@@ -1,0 +1,66 @@
+//===- bench/BenchAblationBackend.cpp - Section 5's backend headroom estimate ---===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates the Section 5 hand-optimization experiment: "we
+// hand-optimized the finedif benchmark by hand-unrolling its innermost loop
+// and performing common subexpression elimination. We obtained a version of
+// finedif that was almost 100% faster than the normal JIT-compiled finedif".
+// Here the optimizer pipeline (unroll + CSE + LICM) plays the hand
+// optimizer: it runs on top of JIT-quality annotations, compile time
+// excluded, for the scalar benchmarks the paper calls out.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include <cstdio>
+
+using namespace majic;
+using namespace majic::bench;
+
+namespace {
+
+double timeExecOnly(const BenchmarkSpec &Spec, CompilePolicy Policy) {
+  EngineOptions O;
+  O.Policy = Policy;
+  Engine E(O);
+  loadBenchmark(E, Spec);
+  if (Policy == CompilePolicy::Falcon)
+    E.precompileWithArgs(Spec.Name, scaledArgs(Spec));
+  else
+    E.callFunction(Spec.Name, scaledArgs(Spec), 1, SourceLoc()); // warm JIT
+  return bestOf(repetitions(), [&] {
+    E.context().Rand.reseed(0x5eed5eed5eedull);
+    E.callFunction(Spec.Name, scaledArgs(Spec), 1, SourceLoc());
+  });
+}
+
+} // namespace
+
+int main() {
+  printHeader("Backend-headroom ablation (Section 5)",
+              "JIT code vs the same annotations through the optimizing "
+              "backend (unroll + CSE + LICM);\ncompile time excluded in "
+              "both columns");
+
+  std::printf("%-10s %12s %14s %10s\n", "benchmark", "jit exec(s)",
+              "optimized(s)", "gain");
+  std::printf("%.*s\n", 50,
+              "-----------------------------------------------------------");
+
+  for (const char *Name : {"finedif", "dirich", "crnich", "icn", "mandel"}) {
+    const BenchmarkSpec *Spec = findBenchmark(Name);
+    double TJit = timeExecOnly(*Spec, CompilePolicy::Jit);
+    double TOpt = timeExecOnly(*Spec, CompilePolicy::Falcon);
+    std::printf("%-10s %12.4f %14.4f %9.1f%%\n", Name, TJit, TOpt,
+                100.0 * (TJit / TOpt - 1.0));
+  }
+  std::printf("\nPaper claim: unrolling + CSE makes finedif 'almost 100%% "
+              "faster' than plain JIT\ncode, 'within 20%% of the best "
+              "native-compiled version'; similar but smaller gains\non the "
+              "other Fortran-like benchmarks.\n");
+  return 0;
+}

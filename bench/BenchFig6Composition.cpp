@@ -1,0 +1,63 @@
+//===- bench/BenchFig6Composition.cpp - Figure 6: JIT time composition ----------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates Figure 6: the normalized composition of a JIT-compiled run
+// (symbol disambiguation, type inference, code generation, execution),
+// starting from an empty repository. "With the exception of orbrk, most
+// benchmarks spend a relatively modest amount of time compiling the code."
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include <cstdio>
+
+using namespace majic;
+using namespace majic::bench;
+
+int main() {
+  printHeader("Figure 6: the composition of JIT execution",
+              "percent of total wall time per phase, empty repository, one "
+              "invocation");
+
+  std::printf("%-10s %9s %9s %9s %9s %9s %12s\n", "benchmark", "disamb%",
+              "typeinf%", "codegen%", "exec%", "total(s)", "compile(ms)");
+  std::printf("%.*s\n", 75,
+              "-----------------------------------------------------------"
+              "----------------");
+
+  for (const BenchmarkSpec &Spec : benchmarkCorpus()) {
+    EngineOptions O;
+    O.Policy = CompilePolicy::Jit;
+    Engine E(O);
+    loadBenchmark(E, Spec);
+    E.phases().clear(); // drop parse/disamb time from loading
+    E.context().Rand.reseed(0x5eed5eed5eedull);
+    E.callFunction(Spec.Name, scaledArgs(Spec), 1, SourceLoc());
+
+    const PhaseTimes &P = E.phases();
+    double Disamb = P.get(Phase::Disambiguate);
+    double Inf = P.get(Phase::TypeInference);
+    double CG = P.get(Phase::CodeGen);
+    // Execute excludes top-level compilation (timed separately); nested JIT
+    // compiles inside recursive runs are a negligible double count.
+    double Exec = P.get(Phase::Execute);
+    double Total = Disamb + Inf + CG + Exec;
+    if (Total <= 0)
+      Total = 1e-12;
+    std::printf("%-10s %8.1f%% %8.1f%% %8.1f%% %8.1f%% %9.4f %12.3f\n",
+                Spec.Name.c_str(), 100 * Disamb / Total, 100 * Inf / Total,
+                100 * CG / Total, 100 * Exec / Total, Total,
+                1e3 * (Disamb + Inf + CG));
+  }
+  std::printf("\nExpected shape (paper): execution dominates nearly "
+              "everywhere; compile fractions are\nartificially high on "
+              "modest problem sizes; orbrk (heavy inlining) compiles "
+              "longest.\nNote: this reproduction's JIT compiles in well "
+              "under a millisecond, so the compile\nslices are far thinner "
+              "than the paper's (see EXPERIMENTS.md).\n");
+  return 0;
+}

@@ -1,0 +1,127 @@
+//===- bench/BenchFig7Ablations.cpp - Figure 7: disabling JIT optimizations -----===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates Figure 7: performance relative to the fully optimized JIT
+// when individually disabling (a) range propagation ("no ranges": kills
+// subscript-check removal), (b) minimum-shape propagation ("no min. shapes":
+// kills check removal and small-vector unrolling), and (c) register
+// allocation ("no regalloc": spill every variable, like compiling with -g).
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "analysis/Disambiguate.h"
+#include "ast/Parser.h"
+#include "backend/Compiler.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace majic;
+using namespace majic::bench;
+
+namespace {
+
+/// Structural companion to the timing: the fraction of element accesses the
+/// JIT emitted WITH a subscript check, with and without range propagation.
+void checkedAccessFractions(const BenchmarkSpec &Spec, double &WithRanges,
+                            double &WithoutRanges) {
+  std::ifstream In(mlibDirectory() + "/" + Spec.Name + ".m");
+  std::stringstream SS;
+  SS << In.rdbuf();
+  SourceManager SM;
+  Diagnostics Diags;
+  auto Mod = parseModule(Spec.Name, SS.str(), SM, Diags);
+  if (!Mod) {
+    WithRanges = WithoutRanges = -1;
+    return;
+  }
+  auto Info = disambiguate(*Mod->mainFunction(), *Mod);
+  TypeSignature Sig = TypeSignature::ofValues(scaledArgs(Spec));
+
+  auto Fraction = [&](bool Ranges) -> double {
+    CompileRequest Req;
+    Req.FI = Info.get();
+    Req.Sig = Sig;
+    Req.Infer.EnableRanges = Ranges;
+    auto R = compileFunction(Req);
+    if (!R)
+      return -1;
+    unsigned Checked = 0, Unchecked = 0;
+    for (const Instr &I : R->Code->Code) {
+      switch (I.Op) {
+      case Opcode::LoadEl:
+      case Opcode::LoadEl2:
+      case Opcode::StoreEl:
+      case Opcode::StoreEl2:
+        ++Unchecked;
+        break;
+      case Opcode::LoadElChk:
+      case Opcode::LoadEl2Chk:
+      case Opcode::StoreElChk:
+      case Opcode::StoreEl2Chk:
+        ++Checked;
+        break;
+      default:
+        break;
+      }
+    }
+    unsigned Total = Checked + Unchecked;
+    return Total ? 100.0 * Checked / Total : 0.0;
+  };
+  WithRanges = Fraction(true);
+  WithoutRanges = Fraction(false);
+}
+
+} // namespace
+
+int main() {
+  PlatformModel Platform = PlatformModel::sparc();
+  printHeader("Figure 7: disabling JIT optimizations",
+              "execution performance relative to the fully optimized JIT "
+              "(100% = no slowdown)");
+
+  std::printf("%-10s %12s %15s %12s %14s %14s\n", "benchmark", "no ranges",
+              "no min. shapes", "no regalloc", "checked-w/rng", "checked-w/o");
+  std::printf("%.*s\n", 84,
+              "-----------------------------------------------------------"
+              "---------------------------");
+
+  for (const BenchmarkSpec &Spec : benchmarkCorpus()) {
+    double Full = timeJit(Spec, Platform);
+
+    InferOptions NoRanges;
+    NoRanges.EnableRanges = false;
+    double TR = timeJit(Spec, Platform, NoRanges);
+
+    InferOptions NoMinShapes;
+    NoMinShapes.EnableMinShapes = false;
+    double TS = timeJit(Spec, Platform, NoMinShapes);
+
+    RegAllocOptions SpillAll;
+    SpillAll.SpillEverything = true;
+    double TA = timeJit(Spec, Platform, InferOptions(), SpillAll);
+
+    double ChkWith, ChkWithout;
+    checkedAccessFractions(Spec, ChkWith, ChkWithout);
+    std::printf("%-10s %11.1f%% %14.1f%% %11.1f%% %13.0f%% %13.0f%%\n",
+                Spec.Name.c_str(), 100 * Full / TR, 100 * Full / TS,
+                100 * Full / TA, ChkWith, ChkWithout);
+  }
+  std::printf("\nExpected shape (paper): 'no ranges' hurts array-access "
+              "heavy codes most (dirich,\nfinedif, mandel); 'no min. "
+              "shapes' hurts the small-vector codes (orbec, orbrk,\n"
+              "fractal); 'no regalloc' hurts everything.\n"
+              "The checked-access columns show the structural mechanism: "
+              "with ranges the JIT\nremoves most subscript checks; without "
+              "them every access is checked. On this\nVM a check is one "
+              "compare inside an already-dispatched instruction, so the\n"
+              "wall-clock effect is smaller than on 2002 native code (see "
+              "EXPERIMENTS.md).\n");
+  return 0;
+}

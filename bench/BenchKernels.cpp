@@ -1,0 +1,212 @@
+//===- bench/BenchKernels.cpp - Compiler-kernel microbenchmarks -----------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// google-benchmark microbenchmarks of the individual compiler phases and
+// execution substrates: parsing, disambiguation, type inference, code
+// generation, register allocation, repository lookup, and the raw dispatch
+// rates of the interpreter and the register VM. These quantify the claims
+// behind Figure 6 ("the type inference engine is fast enough for use by
+// the JIT compiler") at the phase level.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "analysis/Disambiguate.h"
+#include "ast/Parser.h"
+#include "backend/Compiler.h"
+#include "infer/Speculate.h"
+
+#include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <sstream>
+
+using namespace majic;
+
+namespace {
+
+std::string readBenchmarkSource(const std::string &Name) {
+  std::ifstream In(mlibDirectory() + "/" + Name + ".m");
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+const std::string &dirichSource() {
+  static const std::string Src = readBenchmarkSource("dirich");
+  return Src;
+}
+
+struct AnalyzedDirich {
+  SourceManager SM;
+  Diagnostics Diags;
+  std::unique_ptr<Module> Mod;
+  std::unique_ptr<FunctionInfo> Info;
+  TypeSignature Sig;
+
+  AnalyzedDirich() {
+    Mod = parseModule("dirich", dirichSource(), SM, Diags);
+    Info = disambiguate(*Mod->mainFunction(), *Mod);
+    Sig = TypeSignature({Type::ofValue(Value::intScalar(70)),
+                         Type::ofValue(Value::scalar(1e-3)),
+                         Type::ofValue(Value::intScalar(40))});
+  }
+};
+
+AnalyzedDirich &analyzedDirich() {
+  static AnalyzedDirich A;
+  return A;
+}
+
+void BM_Parse(benchmark::State &State) {
+  for (auto _ : State) {
+    SourceManager SM;
+    Diagnostics Diags;
+    auto Mod = parseModule("dirich", dirichSource(), SM, Diags);
+    benchmark::DoNotOptimize(Mod);
+  }
+}
+BENCHMARK(BM_Parse);
+
+void BM_Disambiguate(benchmark::State &State) {
+  SourceManager SM;
+  Diagnostics Diags;
+  auto Mod = parseModule("dirich", dirichSource(), SM, Diags);
+  for (auto _ : State) {
+    auto Info = disambiguate(*Mod->mainFunction(), *Mod);
+    benchmark::DoNotOptimize(Info);
+  }
+}
+BENCHMARK(BM_Disambiguate);
+
+void BM_JitTypeInference(benchmark::State &State) {
+  AnalyzedDirich &A = analyzedDirich();
+  for (auto _ : State) {
+    InferResult R = inferTypes(*A.Info, A.Sig);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_JitTypeInference);
+
+void BM_SpeculativeInference(benchmark::State &State) {
+  AnalyzedDirich &A = analyzedDirich();
+  for (auto _ : State) {
+    TypeSignature S = speculateSignature(*A.Info);
+    benchmark::DoNotOptimize(S);
+  }
+}
+BENCHMARK(BM_SpeculativeInference);
+
+void BM_JitCodeGen(benchmark::State &State) {
+  AnalyzedDirich &A = analyzedDirich();
+  InferResult Inferred = inferTypes(*A.Info, A.Sig);
+  for (auto _ : State) {
+    CodeGenOptions CG;
+    auto Code = generateCode(*A.Info, Inferred.Ann, A.Sig, CG);
+    benchmark::DoNotOptimize(Code);
+  }
+}
+BENCHMARK(BM_JitCodeGen);
+
+void BM_FullJitCompile(benchmark::State &State) {
+  AnalyzedDirich &A = analyzedDirich();
+  for (auto _ : State) {
+    CompileRequest Req;
+    Req.FI = A.Info.get();
+    Req.Sig = A.Sig;
+    Req.Mode = CodeGenMode::Jit;
+    auto R = compileFunction(Req);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_FullJitCompile);
+
+void BM_OptimizedCompile(benchmark::State &State) {
+  AnalyzedDirich &A = analyzedDirich();
+  for (auto _ : State) {
+    CompileRequest Req;
+    Req.FI = A.Info.get();
+    Req.Sig = A.Sig;
+    Req.Mode = CodeGenMode::Optimized;
+    auto R = compileFunction(Req);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_OptimizedCompile);
+
+void BM_RepositoryLookup(benchmark::State &State) {
+  Repository Repo;
+  // Several versions of one function plus noise entries.
+  for (int I = 0; I != 8; ++I) {
+    CompiledObject Obj;
+    Obj.FunctionName = "f";
+    Obj.Sig = I % 2 ? TypeSignature::generic(3)
+                    : TypeSignature({Type::constant(I), Type::constant(I),
+                                     Type::constant(I)});
+    Obj.Code = std::make_shared<IRFunction>();
+    Repo.insert(std::move(Obj));
+  }
+  TypeSignature Probe({Type::constant(2), Type::constant(2),
+                       Type::constant(2)});
+  for (auto _ : State) {
+    const CompiledObject *Hit = Repo.lookup("f", Probe);
+    benchmark::DoNotOptimize(Hit);
+  }
+}
+BENCHMARK(BM_RepositoryLookup);
+
+void BM_InterpreterScalarLoop(benchmark::State &State) {
+  EngineOptions O;
+  O.Policy = CompilePolicy::InterpretOnly;
+  Engine E(O);
+  E.addSource("loop", "function s = loop(n)\ns = 0;\nfor k = 1:n\n"
+                      "s = s + k * 2 - 1;\nend\n");
+  for (auto _ : State) {
+    auto R = E.callFunction("loop", {makeValue(Value::intScalar(10000))}, 1,
+                            SourceLoc());
+    benchmark::DoNotOptimize(R);
+  }
+  State.SetItemsProcessed(State.iterations() * 10000);
+}
+BENCHMARK(BM_InterpreterScalarLoop);
+
+void BM_VmScalarLoop(benchmark::State &State) {
+  EngineOptions O;
+  O.Policy = CompilePolicy::Jit;
+  Engine E(O);
+  E.addSource("loop", "function s = loop(n)\ns = 0;\nfor k = 1:n\n"
+                      "s = s + k * 2 - 1;\nend\n");
+  E.callFunction("loop", {makeValue(Value::intScalar(10000))}, 1,
+                 SourceLoc()); // warm: compile
+  for (auto _ : State) {
+    auto R = E.callFunction("loop", {makeValue(Value::intScalar(10000))}, 1,
+                            SourceLoc());
+    benchmark::DoNotOptimize(R);
+  }
+  State.SetItemsProcessed(State.iterations() * 10000);
+}
+BENCHMARK(BM_VmScalarLoop);
+
+void BM_BoxedGenericLoop(benchmark::State &State) {
+  EngineOptions O;
+  O.Policy = CompilePolicy::Mcc;
+  Engine E(O);
+  E.addSource("loop", "function s = loop(n)\ns = 0;\nfor k = 1:n\n"
+                      "s = s + k * 2 - 1;\nend\n");
+  E.precompileGeneric("loop", 1);
+  for (auto _ : State) {
+    auto R = E.callFunction("loop", {makeValue(Value::intScalar(10000))}, 1,
+                            SourceLoc());
+    benchmark::DoNotOptimize(R);
+  }
+  State.SetItemsProcessed(State.iterations() * 10000);
+}
+BENCHMARK(BM_BoxedGenericLoop);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+//===- bench/BenchTable2Spec.cpp - Table 2: JIT vs speculative inference --------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates Table 2: "speedups produced by the same code generator using
+// type annotations generated with either speculation or JIT type inference
+// (the speedups were calculated without considering compile time)."
+//
+// Methodology here: both configurations use the identical pipeline
+// (Optimized code generator), differing only in the seeding signature —
+// the invocation's actual types (JIT inference) vs the speculated guess.
+// When the speculative signature rejects the invocation, the JIT recompiles
+// at runtime and Table 2 reports that degraded number (the paper's
+// "recursive benchmarks ... always need to be recompiled at runtime").
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include <cstdio>
+
+using namespace majic;
+using namespace majic::bench;
+
+namespace {
+
+/// Execution time with speculation-derived annotations: the speculative
+/// object is precompiled; a signature mismatch falls back to the JIT
+/// inside the timed region.
+double timeSpecAnnotations(const BenchmarkSpec &Spec,
+                           const PlatformModel &Platform, bool &Rejected) {
+  EngineOptions O;
+  O.Policy = CompilePolicy::Speculative;
+  O.Platform = Platform;
+  Engine E(O);
+  loadBenchmark(E, Spec);
+  E.precompileSpeculative(Spec.Name);
+  double T = bestOf(repetitions(), [&] {
+    E.context().Rand.reseed(0x5eed5eed5eedull);
+    E.callFunction(Spec.Name, scaledArgs(Spec), 1, SourceLoc());
+  });
+  Rejected = E.jitCompiles() > 0;
+  return T;
+}
+
+/// Execution time with JIT-inference annotations through the same code
+/// generator, compile time excluded (precompiled with the actual types).
+double timeJitAnnotations(const BenchmarkSpec &Spec,
+                          const PlatformModel &Platform) {
+  EngineOptions O;
+  O.Policy = CompilePolicy::Falcon; // optimized pipeline, actual types
+  O.Platform = Platform;
+  Engine E(O);
+  loadBenchmark(E, Spec);
+  E.precompileWithArgs(Spec.Name, scaledArgs(Spec));
+  return bestOf(repetitions(), [&] {
+    E.context().Rand.reseed(0x5eed5eed5eedull);
+    E.callFunction(Spec.Name, scaledArgs(Spec), 1, SourceLoc());
+  });
+}
+
+} // namespace
+
+int main() {
+  PlatformModel Platform = PlatformModel::sparc();
+  printHeader("Table 2: JIT vs. speculative type inference",
+              "same code generator, annotations from speculation vs the "
+              "runtime signature;\ncompile time excluded (except inside "
+              "rejected speculations, per the paper)");
+
+  std::printf("%-10s %10s %10s %8s  %s\n", "benchmark", "spec", "JIT",
+              "ratio", "notes");
+  std::printf("%.*s\n", 64,
+              "-----------------------------------------------------------"
+              "-----");
+
+  for (const BenchmarkSpec &Spec : benchmarkCorpus()) {
+    double Ti = timeInterpreted(Spec);
+    bool Rejected = false;
+    double TSpec = timeSpecAnnotations(Spec, Platform, Rejected);
+    double TJit = timeJitAnnotations(Spec, Platform);
+    std::printf("%-10s %10.2f %10.2f %8.2f  %s\n", Spec.Name.c_str(),
+                Ti / TSpec, Ti / TJit, (Ti / TSpec) / (Ti / TJit),
+                Rejected ? "speculation rejected -> JIT recompiled" : "");
+  }
+  std::printf("\nExpected shape (paper Table 2): spec matches JIT closely "
+              "on scalar and vector codes;\nbuiltin-heavy codes (qmr, mei) "
+              "and recursion (fibo, ack) lose ground.\n");
+  return 0;
+}

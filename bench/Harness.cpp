@@ -1,0 +1,166 @@
+//===- bench/Harness.cpp - Shared measurement harness ----------------------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "support/StringUtils.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+using namespace majic;
+using namespace majic::bench;
+
+int majic::bench::repetitions() {
+  if (const char *Env = std::getenv("MAJIC_BENCH_REPS"))
+    return std::max(1, std::atoi(Env));
+  return 2;
+}
+
+double majic::bench::sizeScale() {
+  if (const char *Env = std::getenv("MAJIC_BENCH_SCALE"))
+    return std::max(0.01, std::atof(Env));
+  return 1.0;
+}
+
+std::vector<ValuePtr> majic::bench::scaledArgs(const BenchmarkSpec &Spec) {
+  // Which argument positions scale with problem size (iteration counts and
+  // grid extents); tolerances and fixed constants do not.
+  static const std::map<std::string, std::vector<size_t>> Scalable = {
+      {"adapt", {1}},     {"cgopt", {0, 1}},  {"crnich", {2, 3}},
+      {"dirich", {0}},    {"finedif", {3, 4}}, {"galrkn", {0}},
+      {"icn", {0}},       {"mei", {}},         {"orbec", {0}},
+      {"orbrk", {0}},     {"qmr", {0, 1}},     {"sor", {0, 2}},
+      {"ackermann", {}},  {"fractal", {0}},    {"mandel", {0}},
+      {"fibonacci", {}},
+  };
+  double Scale = sizeScale();
+  std::vector<double> Args = Spec.Args;
+  auto It = Scalable.find(Spec.Name);
+  if (Scale != 1.0 && It != Scalable.end()) {
+    for (size_t Idx : It->second)
+      Args[Idx] = std::max(4.0, std::floor(Args[Idx] * Scale));
+  }
+  std::vector<ValuePtr> Boxed;
+  for (double A : Args) {
+    if (A == static_cast<long long>(A))
+      Boxed.push_back(makeValue(Value::intScalar(A)));
+    else
+      Boxed.push_back(makeScalar(A));
+  }
+  return Boxed;
+}
+
+double majic::bench::bestOf(int N, const std::function<void()> &Fn) {
+  double Best = std::numeric_limits<double>::infinity();
+  for (int I = 0; I != N; ++I) {
+    Timer T;
+    Fn();
+    Best = std::min(Best, T.seconds());
+  }
+  return Best;
+}
+
+void majic::bench::loadBenchmark(Engine &E, const BenchmarkSpec &Spec) {
+  if (!E.loadFile(mlibDirectory() + "/" + Spec.Name + ".m")) {
+    std::fprintf(stderr, "failed to load %s:\n%s\n", Spec.Name.c_str(),
+                 E.diagnostics().c_str());
+    std::exit(1);
+  }
+  // Swallow program output during measurement.
+  E.context().setSink([](const std::string &) {});
+}
+
+namespace {
+
+constexpr uint64_t kBenchSeed = 0x5eed5eed5eedull;
+
+void invokeOnce(Engine &E, const BenchmarkSpec &Spec) {
+  E.context().Rand.reseed(kBenchSeed);
+  E.callFunction(Spec.Name, scaledArgs(Spec), 1, SourceLoc());
+}
+
+} // namespace
+
+double majic::bench::timeInterpreted(const BenchmarkSpec &Spec) {
+  EngineOptions O;
+  O.Policy = CompilePolicy::InterpretOnly;
+  Engine E(O);
+  loadBenchmark(E, Spec);
+  return bestOf(repetitions(), [&] { invokeOnce(E, Spec); });
+}
+
+double majic::bench::timeMcc(const BenchmarkSpec &Spec,
+                             const PlatformModel &Platform) {
+  EngineOptions O;
+  O.Policy = CompilePolicy::Mcc;
+  O.Platform = Platform;
+  Engine E(O);
+  loadBenchmark(E, Spec);
+  E.precompileGeneric(Spec.Name, Spec.Args.size());
+  return bestOf(repetitions(), [&] { invokeOnce(E, Spec); });
+}
+
+double majic::bench::timeFalcon(const BenchmarkSpec &Spec,
+                                const PlatformModel &Platform) {
+  EngineOptions O;
+  O.Policy = CompilePolicy::Falcon;
+  O.Platform = Platform;
+  Engine E(O);
+  loadBenchmark(E, Spec);
+  // FALCON peeks at the input files for type information (Section 4);
+  // seeding batch compilation with the actual invocation types models that.
+  E.precompileWithArgs(Spec.Name, scaledArgs(Spec));
+  return bestOf(repetitions(), [&] { invokeOnce(E, Spec); });
+}
+
+double majic::bench::timeJit(const BenchmarkSpec &Spec,
+                             const PlatformModel &Platform,
+                             const InferOptions &Infer,
+                             const RegAllocOptions &RegAlloc) {
+  // "To test JIT compilation, we started our experiments with an empty
+  // repository" — and JIT runtime includes compile time, so every rep uses
+  // a fresh engine.
+  return bestOf(repetitions(), [&] {
+    EngineOptions O;
+    O.Policy = CompilePolicy::Jit;
+    O.Platform = Platform;
+    O.Infer = Infer;
+    O.RegAlloc = RegAlloc;
+    Engine E(O);
+    loadBenchmark(E, Spec);
+    invokeOnce(E, Spec);
+  });
+}
+
+double majic::bench::timeSpec(const BenchmarkSpec &Spec,
+                              const PlatformModel &Platform) {
+  EngineOptions O;
+  O.Policy = CompilePolicy::Speculative;
+  O.Platform = Platform;
+  Engine E(O);
+  loadBenchmark(E, Spec);
+  // "We invoked the benchmarks only after MaJIC's repository had ample time
+  // to find them and compile them speculatively."
+  E.precompileSpeculative(Spec.Name);
+  return bestOf(repetitions(), [&] { invokeOnce(E, Spec); });
+}
+
+void majic::bench::printHeader(const std::string &Title,
+                               const std::string &Note) {
+  std::printf("\n");
+  std::printf("============================================================"
+              "====================\n");
+  std::printf("%s\n", Title.c_str());
+  if (!Note.empty())
+    std::printf("%s\n", Note.c_str());
+  std::printf("============================================================"
+              "====================\n");
+}

@@ -1,0 +1,77 @@
+//===- bench/Harness.h - Shared measurement harness ------------*- C++ -*-===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Timing methodology shared by the table/figure harnesses, following
+/// Section 3.2:
+///
+///  - the key gauge is speedup s = t_i / t_c against the interpreter;
+///  - JIT-mode runtime *includes* JIT compile time (fresh repository);
+///  - mcc / FALCON / speculative runtimes exclude ahead-of-time compilation
+///    (the code is in the repository before the invocation), but a failed
+///    speculation pays for the JIT inside the timed region;
+///  - times are "best of N runs on a quiet system" (N scaled down from the
+///    paper's 10);
+///  - the PRNG is reseeded per run so every configuration does identical
+///    work.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAJIC_BENCH_HARNESS_H
+#define MAJIC_BENCH_HARNESS_H
+
+#include "engine/Corpus.h"
+#include "engine/Engine.h"
+
+#include <functional>
+#include <string>
+
+namespace majic {
+namespace bench {
+
+/// Repetitions per measurement ("best of N"); MAJIC_BENCH_REPS overrides.
+int repetitions();
+
+/// Problem-size scale factor in (0, 1]; MAJIC_BENCH_SCALE overrides (the
+/// quick mode used by smoke runs).
+double sizeScale();
+
+/// The spec's arguments with the scale factor applied to iteration-like
+/// parameters.
+std::vector<ValuePtr> scaledArgs(const BenchmarkSpec &Spec);
+
+/// Best-of-N wall time of Fn().
+double bestOf(int N, const std::function<void()> &Fn);
+
+/// Loads \p Spec's source into \p E, failing hard on diagnostics.
+void loadBenchmark(Engine &E, const BenchmarkSpec &Spec);
+
+/// t_i: interpreted runtime (the baseline of every speedup).
+double timeInterpreted(const BenchmarkSpec &Spec);
+
+/// t_c under the mcc model: generic code precompiled, execution timed.
+double timeMcc(const BenchmarkSpec &Spec, const PlatformModel &Platform);
+
+/// t_c under the FALCON model: batch-optimized code compiled with "peeked"
+/// input types ahead of time, execution timed.
+double timeFalcon(const BenchmarkSpec &Spec, const PlatformModel &Platform);
+
+/// t_c under JIT: empty repository, compile time included.
+double timeJit(const BenchmarkSpec &Spec, const PlatformModel &Platform,
+               const InferOptions &Infer = InferOptions(),
+               const RegAllocOptions &RegAlloc = RegAllocOptions());
+
+/// t_c under speculation: ahead-of-time speculative compile (untimed), then
+/// the invocation (JIT fallback, when speculation missed, is timed).
+double timeSpec(const BenchmarkSpec &Spec, const PlatformModel &Platform);
+
+/// Pretty-prints a separator and a table title.
+void printHeader(const std::string &Title, const std::string &Note);
+
+} // namespace bench
+} // namespace majic
+
+#endif // MAJIC_BENCH_HARNESS_H

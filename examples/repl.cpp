@@ -1,0 +1,77 @@
+//===- examples/repl.cpp - The interactive MATLAB-like front end ----------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The user-facing MaJIC experience (Section 1: "an interactive frontend
+// that looks like MATLAB and compiles/optimizes code behind the scenes").
+// Statements typed at the prompt run in the interpreter over a persistent
+// workspace; function files in watched directories are picked up by the
+// snooping repository and compiled speculatively before first use.
+//
+// Usage:  ./build/examples/repl [directory-with-m-files ...]
+//         echo "x = 2 + 2" | ./build/examples/repl
+//
+// Meta commands: \quit, \repo (repository contents), \phases (timers).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Engine.h"
+#include "engine/Corpus.h"
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+using namespace majic;
+
+int main(int Argc, char **Argv) {
+  EngineOptions Opts;
+  Opts.Policy = CompilePolicy::Speculative;
+  Engine E(Opts);
+
+  // Watch the corpus directory plus any directories on the command line;
+  // the snooper speculatively compiles everything it finds (Section 2).
+  E.watchDirectory(mlibDirectory());
+  for (int A = 1; A != Argc; ++A)
+    E.watchDirectory(Argv[A]);
+  unsigned Loaded = E.snoop();
+  std::printf("MaJIC interactive front end (reproduction). %u function(s) "
+              "snooped and compiled speculatively.\n",
+              Loaded);
+  std::printf("Try: s = fibonacci(20), M = mandel(24, 30), \\repo, \\quit\n");
+
+  std::string Line;
+  while (true) {
+    std::printf(">> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, Line))
+      break;
+    if (Line == "\\quit" || Line == "\\q")
+      break;
+    if (Line == "\\repo") {
+      std::printf("repository: %zu object(s), %llu hits, %llu misses\n",
+                  E.repository().totalObjects(),
+                  static_cast<unsigned long long>(E.repository().lookupHits()),
+                  static_cast<unsigned long long>(
+                      E.repository().lookupMisses()));
+      continue;
+    }
+    if (Line == "\\phases") {
+      const PhaseTimes &P = E.phases();
+      for (unsigned K = 0; K != static_cast<unsigned>(Phase::NumPhases); ++K)
+        std::printf("  %-8s %.4f s\n",
+                    PhaseTimes::phaseName(static_cast<Phase>(K)),
+                    P.get(static_cast<Phase>(K)));
+      continue;
+    }
+    if (Line.empty())
+      continue;
+    // Pick up any new/changed source files before executing.
+    E.snoop();
+    std::fputs(E.runScript(Line).c_str(), stdout);
+  }
+  std::printf("\n");
+  return 0;
+}

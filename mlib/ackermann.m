@@ -1,0 +1,9 @@
+function a = ackermann(m, n)
+% ACKERMANN  Ackermann's function: deeply recursive control flow.
+if m == 0
+  a = n + 1;
+elseif n == 0
+  a = ackermann(m - 1, 1);
+else
+  a = ackermann(m - 1, ackermann(m, n - 1));
+end

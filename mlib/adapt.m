@@ -1,0 +1,42 @@
+function q = adapt(tol, nmax)
+% ADAPT  Adaptive quadrature of f(x) = 13 (x - x^2) e^{-3x/2} over [0, 4]
+% (Mathews). A worklist of subintervals lives in dynamically growing
+% arrays; Simpson values on each interval are small-vector work.
+lo = zeros(1, 1);
+hi = zeros(1, 1);
+lo(1) = 0;
+hi(1) = 4;
+n = 1;
+q = 0;
+steps = 0;
+while n > 0
+  if steps >= nmax
+    break;
+  end
+  steps = steps + 1;
+  a = lo(n);
+  b = hi(n);
+  n = n - 1;
+  c = (a + b) / 2;
+  s1 = simp(a, b);
+  s2 = simp(a, c) + simp(c, b);
+  if abs(s2 - s1) < tol
+    q = q + s2;
+  else
+    % Push both halves; the worklist arrays grow on demand.
+    n = n + 1;
+    lo(n) = a;
+    hi(n) = c;
+    n = n + 1;
+    lo(n) = c;
+    hi(n) = b;
+  end
+end
+
+function s = simp(a, b)
+% Simpson's rule on [a, b] for the Mathews test integrand.
+c = (a + b) / 2;
+fa = 13 * (a - a^2) * exp(-3 * a / 2);
+fb = 13 * (b - b^2) * exp(-3 * b / 2);
+fc = 13 * (c - c^2) * exp(-3 * c / 2);
+s = (b - a) * (fa + 4 * fc + fb) / 6;

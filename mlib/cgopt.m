@@ -1,0 +1,36 @@
+function x = cgopt(n, maxit)
+% CGOPT  Conjugate gradient with a diagonal (Jacobi) preconditioner
+% (Templates for the Solution of Linear Systems). Built-in heavy: the
+% runtime lives in matrix-vector products, dots and norms.
+A = zeros(n, n);
+for i = 1:n
+  A(i, i) = 4;
+end
+for i = 1:n-1
+  A(i, i + 1) = -1;
+  A(i + 1, i) = -1;
+end
+b = ones(n, 1);
+x = zeros(n, 1);
+d = zeros(n, 1);
+for i = 1:n
+  d(i) = 1 / A(i, i);
+end
+r = b - A * x;
+z = d .* r;
+p = z;
+rz = r' * z;
+for it = 1:maxit
+  q = A * p;
+  alpha = rz / (p' * q);
+  x = x + alpha * p;
+  r = r - alpha * q;
+  if norm(r) < 1e-10
+    break;
+  end
+  z = d .* r;
+  rznew = r' * z;
+  beta = rznew / rz;
+  rz = rznew;
+  p = z + beta * p;
+end

@@ -1,0 +1,54 @@
+function U = crnich(c1, c2, n, m)
+% CRNICH  Crank-Nicholson solution to the heat equation (Mathews),
+% with an inline tridiagonal solve per time step.
+h = 1 / (n - 1);
+k = 1 / (m - 1);
+r = c1^2 * k / h^2;
+s1 = 2 + 2 / r;
+s2 = 2 / r - 2;
+U = zeros(n, m);
+for i = 2:n-1
+  U(i, 1) = sin(pi * h * (i - 1)) + sin(c2 * pi * h * (i - 1));
+end
+Vd = zeros(1, n);
+Va = zeros(1, n - 1);
+Vc = zeros(1, n - 1);
+Vb = zeros(1, n);
+for i = 1:n
+  Vd(i) = s1;
+end
+Vd(1) = 1;
+Vd(n) = 1;
+for i = 1:n-1
+  Va(i) = -1;
+  Vc(i) = -1;
+end
+Va(n - 1) = 0;
+Vc(1) = 0;
+for j = 2:m
+  Vb(1) = 0;
+  Vb(n) = 0;
+  for i = 2:n-1
+    Vb(i) = U(i-1, j-1) + U(i+1, j-1) + s2 * U(i, j-1);
+  end
+  % Thomas algorithm: forward elimination, back substitution.
+  A = zeros(1, n);
+  D = zeros(1, n);
+  C = zeros(1, n);
+  for i = 1:n
+    D(i) = Vd(i);
+  end
+  for i = 1:n-1
+    A(i) = Va(i);
+    C(i) = Vc(i);
+  end
+  for i = 2:n
+    mult = A(i - 1) / D(i - 1);
+    D(i) = D(i) - mult * C(i - 1);
+    Vb(i) = Vb(i) - mult * Vb(i - 1);
+  end
+  U(n, j) = Vb(n) / D(n);
+  for i = n-1:-1:1
+    U(i, j) = (Vb(i) - C(i) * U(i + 1, j)) / D(i);
+  end
+end

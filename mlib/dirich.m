@@ -1,0 +1,42 @@
+function U = dirich(n, tol, maxit)
+% DIRICH  Dirichlet solution to Laplace's equation on the unit square.
+% SOR iteration over the interior grid (Mathews, "Numerical Methods").
+% Fortran-77 style: all array accesses use scalar subscripts.
+U = zeros(n, n);
+ave = (20 + 180 + 80 + 0) / 4;
+for i = 2:n-1
+  for j = 2:n-1
+    U(i, j) = ave;
+  end
+end
+for i = 1:n
+  U(i, 1) = 20;
+  U(i, n) = 180;
+end
+for j = 1:n
+  U(1, j) = 80;
+  U(n, j) = 0;
+end
+U(1, 1) = (20 + 80) / 2;
+U(1, n) = (80 + 180) / 2;
+U(n, 1) = (20 + 0) / 2;
+U(n, n) = (180 + 0) / 2;
+w = 4 / (2 + sqrt(4 - (cos(pi / (n - 1)) + cos(pi / (n - 1)))^2));
+err = 1;
+cnt = 0;
+while err > tol
+  if cnt >= maxit
+    break;
+  end
+  err = 0;
+  for j = 2:n-1
+    for i = 2:n-1
+      relx = w * (U(i, j+1) + U(i, j-1) + U(i+1, j) + U(i-1, j) - 4 * U(i, j)) / 4;
+      U(i, j) = U(i, j) + relx;
+      if err <= abs(relx)
+        err = abs(relx);
+      end
+    end
+  end
+  cnt = cnt + 1;
+end

@@ -1,0 +1,7 @@
+function f = fibonacci(n)
+% FIBONACCI  Doubly recursive Fibonacci (exercises call/inline machinery).
+if n <= 1
+  f = n;
+else
+  f = fibonacci(n - 1) + fibonacci(n - 2);
+end

@@ -1,0 +1,21 @@
+function U = finedif(a, b, c, n, m)
+% FINEDIF  Finite-difference solution to the wave equation
+% u_tt = c^2 u_xx on [0,a] x [0,b] (Mathews). Scalar-indexed loops.
+h = a / (n - 1);
+k = b / (m - 1);
+r = c * k / h;
+r2 = r^2;
+r22 = r^2 / 2;
+s1 = 1 - r^2;
+s2 = 2 - 2 * r^2;
+U = zeros(n, m);
+for i = 2:n-1
+  x = h * (i - 1);
+  U(i, 1) = sin(pi * x);
+  U(i, 2) = s1 * sin(pi * x) + r22 * (sin(pi * (x + h)) + sin(pi * (x - h)));
+end
+for j = 3:m
+  for i = 2:n-1
+    U(i, j) = s2 * U(i, j-1) + r2 * (U(i-1, j-1) + U(i+1, j-1)) - U(i, j-2);
+  end
+end

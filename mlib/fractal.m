@@ -1,0 +1,27 @@
+function s = fractal(npoints)
+% FRACTAL  Barnsley fern generator: random affine maps applied to a small
+% 2-vector, history stored in growing arrays.
+px = 0;
+py = 0;
+xs = zeros(1, npoints);
+ys = zeros(1, npoints);
+for k = 1:npoints
+  r = rand;
+  if r < 0.01
+    p = [0.0 * px, 0.16 * py];
+  elseif r < 0.86
+    p = [0.85 * px + 0.04 * py, -0.04 * px + 0.85 * py + 1.6];
+  elseif r < 0.93
+    p = [0.2 * px - 0.26 * py, 0.23 * px + 0.22 * py + 1.6];
+  else
+    p = [-0.15 * px + 0.28 * py, 0.26 * px + 0.24 * py + 0.44];
+  end
+  px = p(1);
+  py = p(2);
+  xs(k) = px;
+  ys(k) = py;
+end
+s = 0;
+for k = 1:npoints
+  s = s + abs(xs(k)) + abs(ys(k));
+end

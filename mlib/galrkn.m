@@ -1,0 +1,48 @@
+function s = galrkn(n)
+% GALRKN  Galerkin finite-element solution of -u'' = f on [0, 1] with
+% linear elements (after Garcia): per-element assembly with quadrature
+% loops and an inline tridiagonal (Thomas) solve.
+h = 1 / (n + 1);
+d = zeros(1, n);
+e = zeros(1, n);
+F = zeros(1, n);
+for i = 1:n
+  d(i) = 2 / h;
+end
+for i = 1:n-1
+  e(i) = -1 / h;
+end
+% Load vector by 4-point quadrature of f(x) phi_i(x), f = sin(pi x).
+for i = 1:n
+  xi = i * h;
+  acc = 0;
+  for q = 1:4
+    xq = xi - h + (q - 0.5) * h / 2;
+    w = 1 - abs(xq - xi) / h;
+    acc = acc + sin(pi * xq) * w;
+  end
+  F(i) = acc * h / 2;
+end
+% Thomas algorithm for the symmetric tridiagonal system.
+cp = zeros(1, n);
+dp = zeros(1, n);
+cp(1) = e(1) / d(1);
+dp(1) = F(1) / d(1);
+for i = 2:n
+  m = d(i) - e(i - 1) * cp(i - 1);
+  if i < n
+    cp(i) = e(i) / m;
+  end
+  dp(i) = (F(i) - e(i - 1) * dp(i - 1)) / m;
+end
+u = zeros(1, n);
+u(n) = dp(n);
+for i = n-1:-1:1
+  u(i) = dp(i) - cp(i) * u(i + 1);
+end
+% Compare with the exact solution sin(pi x) / pi^2 at the nodes.
+s = 0;
+for i = 1:n
+  xi = i * h;
+  s = s + abs(u(i) - sin(pi * xi) / (pi * pi));
+end

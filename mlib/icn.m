@@ -1,0 +1,32 @@
+function s = icn(n)
+% ICN  Incomplete Cholesky factorization (no fill) of the 2-D Laplacian
+% (after R. Bramley). Scalar triple loop in Fortran-77 style.
+A = zeros(n, n);
+for i = 1:n
+  A(i, i) = 4;
+end
+for i = 1:n-1
+  A(i, i + 1) = -1;
+  A(i + 1, i) = -1;
+end
+L = zeros(n, n);
+for j = 1:n
+  sum0 = A(j, j);
+  for k = 1:j-1
+    sum0 = sum0 - L(j, k) * L(j, k);
+  end
+  L(j, j) = sqrt(sum0);
+  for i = j+1:n
+    if A(i, j) ~= 0
+      sum1 = A(i, j);
+      for k = 1:j-1
+        sum1 = sum1 - L(i, k) * L(j, k);
+      end
+      L(i, j) = sum1 / L(j, j);
+    end
+  end
+end
+s = 0;
+for i = 1:n
+  s = s + L(i, i);
+end

@@ -1,0 +1,21 @@
+function M = mandel(n, maxit)
+% MANDEL  Mandelbrot set membership counts on an n x n grid.
+% Complex scalar arithmetic in the inner loop (uses the builtin i).
+M = zeros(n, n);
+for ix = 1:n
+  cx = -2 + 3 * (ix - 1) / (n - 1);
+  for iy = 1:n
+    cy = -1.5 + 3 * (iy - 1) / (n - 1);
+    c = cx + cy * i;
+    z = 0 + 0 * i;
+    k = 0;
+    while k < maxit
+      if abs(z) >= 2
+        break;
+      end
+      z = z * z + c;
+      k = k + 1;
+    end
+    M(ix, iy) = k;
+  end
+end

@@ -1,0 +1,27 @@
+function s = mei(n, m)
+% MEI  Fractal landscape generator: midpoint-displacement heights whose
+% spectral content is summarized through eig (the Section 3.6 failure
+% case: the speculator cannot prove the eig argument is real).
+H = zeros(n, m);
+scale = 1;
+for i = 1:n
+  for j = 1:m
+    H(i, j) = scale * (rand - 0.5);
+  end
+end
+step = 4;
+while step > 1
+  half = step / 2;
+  scale = scale / 2;
+  for i = 1:step:n-step
+    for j = 1:step:m-step
+      mid = (H(i, j) + H(i + step, j) + H(i, j + step) + H(i + step, j + step)) / 4;
+      H(i + half, j + half) = mid + scale * (rand - 0.5);
+    end
+  end
+  step = half;
+end
+C = H' * H;
+C = (C + C') / 2;
+e = eig(C);
+s = sum(e) + max(e);

@@ -1,0 +1,15 @@
+function s = orbec(nstep)
+% ORBEC  Euler-Cromer integration of the one-body Kepler problem
+% (Garcia, "Numerical Methods for Physics"). Small fixed-size vectors.
+r = [1, 0];
+v = [0, 6.2831853071795862];
+gm = 4 * pi * pi;
+tau = 0.0005;
+s = 0;
+for k = 1:nstep
+  rn = sqrt(r(1)^2 + r(2)^2);
+  accel = [-gm * r(1) / rn^3, -gm * r(2) / rn^3];
+  v = [v(1) + tau * accel(1), v(2) + tau * accel(2)];
+  r = [r(1) + tau * v(1), r(2) + tau * v(2)];
+  s = s + rn;
+end

@@ -1,0 +1,29 @@
+function s = orbrk(nstep)
+% ORBRK  Fourth-order Runge-Kutta for the one-body Kepler problem
+% (Garcia). The derivative function is a separate (inlinable) function.
+x = [1, 0, 0, 6.2831853071795862];
+tau = 0.002;
+s = 0;
+for k = 1:nstep
+  f1 = gravrk(x);
+  xh = [x(1) + 0.5 * tau * f1(1), x(2) + 0.5 * tau * f1(2), ...
+        x(3) + 0.5 * tau * f1(3), x(4) + 0.5 * tau * f1(4)];
+  f2 = gravrk(xh);
+  xh = [x(1) + 0.5 * tau * f2(1), x(2) + 0.5 * tau * f2(2), ...
+        x(3) + 0.5 * tau * f2(3), x(4) + 0.5 * tau * f2(4)];
+  f3 = gravrk(xh);
+  xh = [x(1) + tau * f3(1), x(2) + tau * f3(2), ...
+        x(3) + tau * f3(3), x(4) + tau * f3(4)];
+  f4 = gravrk(xh);
+  x = [x(1) + tau * (f1(1) + 2 * f2(1) + 2 * f3(1) + f4(1)) / 6, ...
+       x(2) + tau * (f1(2) + 2 * f2(2) + 2 * f3(2) + f4(2)) / 6, ...
+       x(3) + tau * (f1(3) + 2 * f2(3) + 2 * f3(3) + f4(3)) / 6, ...
+       x(4) + tau * (f1(4) + 2 * f2(4) + 2 * f3(4) + f4(4)) / 6];
+  s = s + x(1);
+end
+
+function deriv = gravrk(x)
+% Gravitational acceleration for the RK driver.
+gm = 4 * pi * pi;
+rn = sqrt(x(1)^2 + x(2)^2);
+deriv = [x(3), x(4), -gm * x(1) / rn^3, -gm * x(2) / rn^3];

@@ -1,0 +1,65 @@
+function x = qmr(n, maxit)
+% QMR  Quasi-minimal residual solver without look-ahead (Templates).
+% Built-in heavy: matvecs, transposed matvecs, norms and scalar updates.
+A = zeros(n, n);
+for i = 1:n
+  A(i, i) = 4;
+end
+for i = 1:n-1
+  A(i, i + 1) = -1;
+  A(i + 1, i) = -2;
+end
+b = ones(n, 1);
+x = zeros(n, 1);
+r = b - A * x;
+vt = r;
+rho = norm(vt);
+wt = r;
+xi = norm(wt);
+gamma0 = 1;
+eta = -1;
+theta0 = 0;
+epsok = 1;
+d = zeros(n, 1);
+s = zeros(n, 1);
+p = zeros(n, 1);
+q = zeros(n, 1);
+delta = 0;
+pde = 0;
+for it = 1:maxit
+  v = vt / rho;
+  w = wt / xi;
+  delta = w' * v;
+  if it == 1
+    p = v;
+    q = w;
+  else
+    p = v - (xi * delta / epsok) * p;
+    q = w - (rho * delta / epsok) * q;
+  end
+  pt = A * p;
+  epsok = q' * pt;
+  beta = epsok / delta;
+  vt = pt - beta * v;
+  rho0 = rho;
+  rho = norm(vt);
+  wt = A' * q - beta * w;
+  xi = norm(wt);
+  theta = rho / (gamma0 * abs(beta));
+  gamma = 1 / sqrt(1 + theta^2);
+  eta = -eta * rho0 * gamma^2 / (beta * gamma0^2);
+  if it == 1
+    d = eta * p;
+    s = eta * pt;
+  else
+    d = eta * p + (theta0 * gamma)^2 * d;
+    s = eta * pt + (theta0 * gamma)^2 * s;
+  end
+  x = x + d;
+  r = r - s;
+  theta0 = theta;
+  gamma0 = gamma;
+  if norm(r) < 1e-10
+    break;
+  end
+end

@@ -1,0 +1,36 @@
+function x = sor(n, w, maxit)
+% SOR  Successive over-relaxation for a linear system, written in the
+% matrix-splitting style of the Templates book: built-in heavy.
+A = zeros(n, n);
+for i = 1:n
+  A(i, i) = 4;
+end
+for i = 1:n-1
+  A(i, i + 1) = -1;
+  A(i + 1, i) = -1;
+end
+b = ones(n, 1);
+% Splitting: M = D/w + L, N = (1/w - 1) D - U.
+M = zeros(n, n);
+N = zeros(n, n);
+for i = 1:n
+  M(i, i) = A(i, i) / w;
+  N(i, i) = (1 / w - 1) * A(i, i);
+end
+for i = 2:n
+  for j = 1:i-1
+    M(i, j) = A(i, j);
+  end
+end
+for i = 1:n-1
+  for j = i+1:n
+    N(i, j) = -A(i, j);
+  end
+end
+x = zeros(n, 1);
+for it = 1:maxit
+  x = M \ (N * x + b);
+  if norm(b - A * x) < 1e-10
+    break;
+  end
+end

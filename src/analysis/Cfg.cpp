@@ -1,0 +1,254 @@
+//===- analysis/Cfg.cpp - Control flow graph --------------------------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Cfg.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace majic;
+
+std::vector<BasicBlock *> BasicBlock::succs() const {
+  std::vector<BasicBlock *> S;
+  if (Succ0)
+    S.push_back(Succ0);
+  if (Succ1)
+    S.push_back(Succ1);
+  return S;
+}
+
+std::vector<BasicBlock *> CFG::reversePostOrder() const {
+  std::vector<BasicBlock *> PostOrder;
+  std::vector<bool> Visited(Blocks.size(), false);
+  // Iterative DFS to avoid deep recursion on long straight-line code.
+  struct Frame {
+    BasicBlock *BB;
+    unsigned NextSucc;
+  };
+  std::vector<Frame> Stack;
+  Stack.push_back({Entry, 0});
+  Visited[Entry->id()] = true;
+  while (!Stack.empty()) {
+    Frame &F = Stack.back();
+    std::vector<BasicBlock *> Succs = F.BB->succs();
+    if (F.NextSucc < Succs.size()) {
+      BasicBlock *S = Succs[F.NextSucc++];
+      if (!Visited[S->id()]) {
+        Visited[S->id()] = true;
+        Stack.push_back({S, 0});
+      }
+      continue;
+    }
+    PostOrder.push_back(F.BB);
+    Stack.pop_back();
+  }
+  std::reverse(PostOrder.begin(), PostOrder.end());
+  return PostOrder;
+}
+
+std::string CFG::dump() const {
+  std::string Out;
+  for (const auto &B : Blocks) {
+    Out += format("bb%u:", B->id());
+    if (B.get() == Entry)
+      Out += " (entry)";
+    if (B.get() == Exit)
+      Out += " (exit)";
+    Out += "\n";
+    for (const BasicBlock::Element &E : B->elements()) {
+      switch (E.K) {
+      case BasicBlock::Element::Kind::Stmt:
+        Out += "  stmt\n";
+        break;
+      case BasicBlock::Element::Kind::ForInit:
+        Out += format("  for-init %s\n", E.For->loopVar().c_str());
+        break;
+      case BasicBlock::Element::Kind::ForStep:
+        Out += format("  for-step %s\n", E.For->loopVar().c_str());
+        break;
+      }
+    }
+    switch (B->termKind()) {
+    case BasicBlock::TermKind::None:
+      Out += "  <unterminated>\n";
+      break;
+    case BasicBlock::TermKind::Jump:
+      Out += format("  jump bb%u\n", B->succ0()->id());
+      break;
+    case BasicBlock::TermKind::CondBranch:
+      Out += format("  br bb%u, bb%u\n", B->succ0()->id(), B->succ1()->id());
+      break;
+    case BasicBlock::TermKind::ForLoop:
+      Out += format("  for bb%u, bb%u\n", B->succ0()->id(), B->succ1()->id());
+      break;
+    case BasicBlock::TermKind::Return:
+      Out += "  return\n";
+      break;
+    }
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Builder
+//===----------------------------------------------------------------------===//
+
+namespace majic {
+
+class CFGBuilder {
+public:
+  std::unique_ptr<CFG> build(const Function &F);
+
+private:
+  BasicBlock *newBlock() {
+    G->Blocks.push_back(std::make_unique<BasicBlock>(
+        static_cast<unsigned>(G->Blocks.size())));
+    return G->Blocks.back().get();
+  }
+
+  void setJump(BasicBlock *From, BasicBlock *To) {
+    From->Term = BasicBlock::TermKind::Jump;
+    From->Succ0 = To;
+    To->Preds.push_back(From);
+  }
+
+  void setCondBranch(BasicBlock *From, Expr *Cond, BasicBlock *Then,
+                     BasicBlock *Else) {
+    From->Term = BasicBlock::TermKind::CondBranch;
+    From->Cond = Cond;
+    From->Succ0 = Then;
+    From->Succ1 = Else;
+    Then->Preds.push_back(From);
+    Else->Preds.push_back(From);
+  }
+
+  void setForLoop(BasicBlock *From, const ForStmt *For, BasicBlock *Body,
+                  BasicBlock *Exit) {
+    From->Term = BasicBlock::TermKind::ForLoop;
+    From->For = For;
+    From->Succ0 = Body;
+    From->Succ1 = Exit;
+    Body->Preds.push_back(From);
+    Exit->Preds.push_back(From);
+  }
+
+  /// Emits \p B starting in \p Cur; returns the block control falls out of,
+  /// or null when the block ends in break/continue/return.
+  BasicBlock *emitBlock(const Block &B, BasicBlock *Cur);
+  BasicBlock *emitStmt(const Stmt *S, BasicBlock *Cur);
+
+  std::unique_ptr<CFG> G;
+  std::vector<BasicBlock *> BreakTargets;
+  std::vector<BasicBlock *> ContinueTargets;
+};
+
+} // namespace majic
+
+BasicBlock *CFGBuilder::emitStmt(const Stmt *S, BasicBlock *Cur) {
+  switch (S->getKind()) {
+  case Stmt::Kind::Expr:
+  case Stmt::Kind::Assign:
+  case Stmt::Kind::Clear:
+    Cur->Elems.push_back({BasicBlock::Element::Kind::Stmt, S, nullptr});
+    return Cur;
+
+  case Stmt::Kind::If: {
+    const auto *If = cast<IfStmt>(S);
+    BasicBlock *Join = newBlock();
+    BasicBlock *CondBlock = Cur;
+    for (const IfStmt::Branch &Br : If->branches()) {
+      BasicBlock *Then = newBlock();
+      BasicBlock *Next = newBlock(); // next condition or else
+      setCondBranch(CondBlock, Br.Cond, Then, Next);
+      if (BasicBlock *ThenEnd = emitBlock(Br.Body, Then))
+        setJump(ThenEnd, Join);
+      CondBlock = Next;
+    }
+    if (BasicBlock *ElseEnd = emitBlock(If->elseBlock(), CondBlock))
+      setJump(ElseEnd, Join);
+    return Join;
+  }
+
+  case Stmt::Kind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    BasicBlock *Header = newBlock();
+    BasicBlock *Body = newBlock();
+    BasicBlock *Exit = newBlock();
+    setJump(Cur, Header);
+    setCondBranch(Header, W->cond(), Body, Exit);
+    BreakTargets.push_back(Exit);
+    ContinueTargets.push_back(Header);
+    if (BasicBlock *BodyEnd = emitBlock(W->body(), Body))
+      setJump(BodyEnd, Header);
+    BreakTargets.pop_back();
+    ContinueTargets.pop_back();
+    return Exit;
+  }
+
+  case Stmt::Kind::For: {
+    const auto *F = cast<ForStmt>(S);
+    Cur->Elems.push_back({BasicBlock::Element::Kind::ForInit, nullptr, F});
+    BasicBlock *Header = newBlock();
+    BasicBlock *Body = newBlock();
+    BasicBlock *Exit = newBlock();
+    setJump(Cur, Header);
+    setForLoop(Header, F, Body, Exit);
+    Body->Elems.push_back({BasicBlock::Element::Kind::ForStep, nullptr, F});
+    BreakTargets.push_back(Exit);
+    ContinueTargets.push_back(Header);
+    if (BasicBlock *BodyEnd = emitBlock(F->body(), Body))
+      setJump(BodyEnd, Header);
+    BreakTargets.pop_back();
+    ContinueTargets.pop_back();
+    return Exit;
+  }
+
+  case Stmt::Kind::Break:
+    assert(!BreakTargets.empty() && "break outside a loop");
+    setJump(Cur, BreakTargets.back());
+    return nullptr;
+
+  case Stmt::Kind::Continue:
+    assert(!ContinueTargets.empty() && "continue outside a loop");
+    setJump(Cur, ContinueTargets.back());
+    return nullptr;
+
+  case Stmt::Kind::Return:
+    Cur->Term = BasicBlock::TermKind::Return;
+    Cur->Succ0 = G->Exit;
+    G->Exit->Preds.push_back(Cur);
+    return nullptr;
+  }
+  majic_unreachable("invalid statement kind");
+}
+
+BasicBlock *CFGBuilder::emitBlock(const Block &B, BasicBlock *Cur) {
+  for (const Stmt *S : B) {
+    Cur = emitStmt(S, Cur);
+    if (!Cur)
+      return nullptr; // unreachable code after break/continue/return
+  }
+  return Cur;
+}
+
+std::unique_ptr<CFG> CFGBuilder::build(const Function &F) {
+  G = std::make_unique<CFG>();
+  BasicBlock *Entry = newBlock();
+  G->Entry = Entry;
+  G->Exit = newBlock();
+  if (BasicBlock *End = emitBlock(F.body(), Entry)) {
+    End->Term = BasicBlock::TermKind::Return;
+    End->Succ0 = G->Exit;
+    G->Exit->Preds.push_back(End);
+  }
+  G->Exit->Term = BasicBlock::TermKind::None;
+  return std::move(G);
+}
+
+std::unique_ptr<CFG> majic::buildCFG(const Function &F) {
+  return CFGBuilder().build(F);
+}

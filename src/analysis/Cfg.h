@@ -1,0 +1,108 @@
+//===- analysis/Cfg.h - Control flow graph ---------------------*- C++ -*-===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The control flow graph the dataflow analyses run on (Section 2.3: "the
+/// type inference engine ... starts out with the control flow graph of a
+/// MATLAB program"). Blocks hold straight-line statements; structured
+/// control flow (if/while/for, break/continue/return) is lowered to edges.
+///
+/// For loops are lowered as:
+///   preheader: ... ForInit(iterand) -> header
+///   header:    ForLoop terminator -> body (another iteration) | exit
+///   body:      ForStep (defines the loop variable), stmts... -> header
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAJIC_ANALYSIS_CFG_H
+#define MAJIC_ANALYSIS_CFG_H
+
+#include "ast/AST.h"
+
+#include <memory>
+#include <vector>
+
+namespace majic {
+
+class BasicBlock {
+public:
+  /// One analysis-visible action inside a block.
+  struct Element {
+    enum class Kind : uint8_t {
+      Stmt,    ///< An Assign/Expr/Clear statement.
+      ForInit, ///< Evaluation of a for loop's iterand.
+      ForStep, ///< Definition of the loop variable from the iterand.
+    };
+    Kind K;
+    const Stmt *S = nullptr;      ///< For Kind::Stmt.
+    const ForStmt *For = nullptr; ///< For ForInit/ForStep.
+  };
+
+  enum class TermKind : uint8_t {
+    None,       ///< Unterminated (only during construction).
+    Jump,       ///< Unconditional edge to Succ0.
+    CondBranch, ///< Cond ? Succ0 : Succ1.
+    ForLoop,    ///< Loop header: Succ0 = body, Succ1 = exit.
+    Return,     ///< Edge to the CFG exit block.
+  };
+
+  explicit BasicBlock(unsigned Id) : Id(Id) {}
+
+  unsigned id() const { return Id; }
+  const std::vector<Element> &elements() const { return Elems; }
+
+  TermKind termKind() const { return Term; }
+  Expr *cond() const { return Cond; }
+  const ForStmt *forStmt() const { return For; }
+  BasicBlock *succ0() const { return Succ0; }
+  BasicBlock *succ1() const { return Succ1; }
+  const std::vector<BasicBlock *> &preds() const { return Preds; }
+
+  /// Successor list helper (0, 1 or 2 entries).
+  std::vector<BasicBlock *> succs() const;
+
+private:
+  friend class CFGBuilder;
+  unsigned Id;
+  std::vector<Element> Elems;
+  TermKind Term = TermKind::None;
+  Expr *Cond = nullptr;
+  const ForStmt *For = nullptr;
+  BasicBlock *Succ0 = nullptr;
+  BasicBlock *Succ1 = nullptr;
+  std::vector<BasicBlock *> Preds;
+};
+
+class CFG {
+public:
+  BasicBlock *entry() const { return Entry; }
+  BasicBlock *exit() const { return Exit; }
+  size_t size() const { return Blocks.size(); }
+  const std::vector<std::unique_ptr<BasicBlock>> &blocks() const {
+    return Blocks;
+  }
+
+  /// Blocks in reverse post-order from the entry (the iteration order of the
+  /// forward dataflow engine).
+  std::vector<BasicBlock *> reversePostOrder() const;
+
+  /// Renders the CFG as text for tests and debugging.
+  std::string dump() const;
+
+private:
+  friend class CFGBuilder;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+  BasicBlock *Entry = nullptr;
+  BasicBlock *Exit = nullptr;
+};
+
+/// Builds the CFG of \p F. Never fails: unsupported constructs cannot reach
+/// here (the parser rejects them).
+std::unique_ptr<CFG> buildCFG(const Function &F);
+
+} // namespace majic
+
+#endif // MAJIC_ANALYSIS_CFG_H

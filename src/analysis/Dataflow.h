@@ -1,0 +1,97 @@
+//===- analysis/Dataflow.h - Monotone dataflow framework -------*- C++ -*-===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The iterative join-of-all-paths monotone dataflow framework (Section 2.3,
+/// citing Muchnick & Jones). Both the symbol disambiguator and the type
+/// inference engine instantiate it.
+///
+/// A Domain provides:
+///   using State = ...;                        // copyable abstract state
+///   State entryState();                       // state at the CFG entry
+///   bool join(State &Into, const State &From);// returns true if Into grew
+///   void transfer(State &S, const BasicBlock::Element &E);
+///   void transferTerminator(State &S, const BasicBlock &B);
+///   void setWidening(bool Enable);            // hint after the iteration cap
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAJIC_ANALYSIS_DATAFLOW_H
+#define MAJIC_ANALYSIS_DATAFLOW_H
+
+#include "analysis/Cfg.h"
+
+#include <optional>
+#include <vector>
+
+namespace majic {
+
+/// Runs forward dataflow over \p G to a fixpoint (or until the iteration cap
+/// triggers widening — the type inference engine "caps the number of
+/// iterations", Section 2.3). Returns the state at entry to each block;
+/// unreachable blocks have no state.
+template <typename Domain>
+std::vector<std::optional<typename Domain::State>>
+runForwardDataflow(const CFG &G, Domain &D, unsigned MaxPasses = 32) {
+  using State = typename Domain::State;
+  std::vector<std::optional<State>> BlockIn(G.size());
+  std::vector<BasicBlock *> RPO = G.reversePostOrder();
+
+  BlockIn[G.entry()->id()] = D.entryState();
+
+  bool Changed = true;
+  for (unsigned Pass = 0; Changed; ++Pass) {
+    if (Pass >= MaxPasses)
+      D.setWidening(true);
+    Changed = false;
+    for (BasicBlock *B : RPO) {
+      if (!BlockIn[B->id()])
+        continue;
+      State S = *BlockIn[B->id()];
+      for (const BasicBlock::Element &E : B->elements())
+        D.transfer(S, E);
+      D.transferTerminator(S, *B);
+      for (BasicBlock *Succ : B->succs()) {
+        std::optional<State> &SuccIn = BlockIn[Succ->id()];
+        if (!SuccIn) {
+          SuccIn = S;
+          Changed = true;
+        } else if (D.join(*SuccIn, S)) {
+          Changed = true;
+        }
+      }
+    }
+    // Widening guarantees convergence on the pass after the cap; guard
+    // against domain bugs anyway.
+    assert(Pass < MaxPasses + 8 && "dataflow failed to converge");
+  }
+  D.setWidening(false);
+  return BlockIn;
+}
+
+/// After convergence, replays the transfer functions once per reachable
+/// block so the domain can record per-expression results (type annotations,
+/// symbol classifications). \p Record is called as Record(S, E) before each
+/// element transfer... the domain itself typically records inside transfer
+/// when a recording flag is enabled.
+template <typename Domain>
+void replayDataflow(const CFG &G, Domain &D,
+                    const std::vector<std::optional<typename Domain::State>>
+                        &BlockIn) {
+  using State = typename Domain::State;
+  for (BasicBlock *B : G.reversePostOrder()) {
+    if (!BlockIn[B->id()])
+      continue;
+    State S = *BlockIn[B->id()];
+    for (const BasicBlock::Element &E : B->elements())
+      D.transfer(S, E);
+    D.transferTerminator(S, *B);
+  }
+}
+
+} // namespace majic
+
+#endif // MAJIC_ANALYSIS_DATAFLOW_H

@@ -1,0 +1,457 @@
+//===- analysis/Inliner.cpp - Function inlining ------------------------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Inliner.h"
+
+#include "ast/ASTClone.h"
+#include "ast/ASTVisit.h"
+#include "support/StringUtils.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace majic;
+
+namespace {
+
+/// Collects the names that can denote variables in \p F (parameters,
+/// outputs, assignment targets, loop variables).
+std::unordered_set<std::string> collectUniverse(const Function &F) {
+  std::unordered_set<std::string> U;
+  for (const std::string &P : F.params())
+    U.insert(P);
+  for (const std::string &O : F.outs())
+    U.insert(O);
+  visitStmts(F.body(), [&U](const Stmt *S) {
+    if (const auto *A = dyn_cast<AssignStmt>(S)) {
+      for (const LValue &LV : A->targets())
+        U.insert(LV.Name);
+    } else if (const auto *For = dyn_cast<ForStmt>(S)) {
+      U.insert(For->loopVar());
+    }
+  });
+  return U;
+}
+
+bool blockContainsReturn(const Block &B) {
+  bool Found = false;
+  visitStmts(B, [&Found](const Stmt *S) {
+    Found |= S->getKind() == Stmt::Kind::Return;
+  });
+  return Found;
+}
+
+class InlinerImpl {
+public:
+  InlinerImpl(ASTContext &Ctx, const FunctionResolver &Resolve,
+              const InlinerOptions &Opts)
+      : Ctx(Ctx), Resolve(Resolve), Opts(Opts) {}
+
+  Block processBlock(const Block &B);
+
+private:
+  void processStmt(const Stmt *S, Block &Out);
+  Expr *processExpr(const Expr *E, Block &Out, bool AllowHoist);
+
+  /// True when \p Call can be replaced by the callee's body here.
+  const Function *inlinableCallee(const IndexOrCallExpr *Call) const;
+
+  /// Inlines \p Callee with the given (already processed) actuals; declares
+  /// \p NumOuts fresh output variables and returns their names.
+  std::vector<std::string> emitInline(const Function &Callee,
+                                      const std::vector<Expr *> &Actuals,
+                                      size_t NumOuts, Block &Out);
+
+  /// Lowers return statements in an inlined body: RetVar = 1 plus breaks and
+  /// guards. Returns true when the block can set the flag.
+  bool returnify(const Block &In, Block &Out, const std::string &RetVar,
+                 bool InLoop);
+  Stmt *returnifyLoopBody(const Block &Body, const std::string &RetVar,
+                          bool &MayRet, const std::function<Stmt *(Block)> &Rebuild);
+
+  std::string freshName(const std::string &Base) {
+    return format("%s$%u", Base.c_str(), ++TempCounter);
+  }
+
+  IdentExpr *ident(const std::string &Name) {
+    return Ctx.create<IdentExpr>(Name, SourceLoc());
+  }
+
+  Stmt *assign(const std::string &Name, Expr *RHS) {
+    std::vector<LValue> Targets;
+    Targets.push_back({Name, -1, {}, false, SourceLoc()});
+    return Ctx.create<AssignStmt>(std::move(Targets), RHS, /*Display=*/false,
+                                  SourceLoc());
+  }
+
+  Expr *number(double V) { return Ctx.create<NumberExpr>(V, false, SourceLoc()); }
+
+  /// RetVar ~= 0.
+  Expr *retSet(const std::string &RetVar) {
+    return Ctx.create<BinaryExpr>(rt::BinOp::Ne, ident(RetVar), number(0),
+                                  SourceLoc());
+  }
+  /// RetVar == 0.
+  Expr *retClear(const std::string &RetVar) {
+    return Ctx.create<BinaryExpr>(rt::BinOp::Eq, ident(RetVar), number(0),
+                                  SourceLoc());
+  }
+
+  ASTContext &Ctx;
+  const FunctionResolver &Resolve;
+  InlinerOptions Opts;
+  unsigned TempCounter = 0;
+  std::unordered_map<std::string, unsigned> ActiveDepth;
+};
+
+const Function *InlinerImpl::inlinableCallee(const IndexOrCallExpr *Call) const {
+  if (Call->base()->symKind() != SymKind::UserFunction)
+    return nullptr;
+  const Function *Callee = Resolve(Call->base()->name());
+  if (!Callee || Callee->isScript())
+    return nullptr;
+  if (Callee->numLines() >= Opts.MaxCalleeLines)
+    return nullptr;
+  if (Call->args().size() > Callee->params().size())
+    return nullptr;
+  // Subscripted argument forms (':', 'end') cannot be actuals.
+  for (const Expr *A : Call->args())
+    if (isa<ColonWildcardExpr>(A))
+      return nullptr;
+  auto It = ActiveDepth.find(Callee->name());
+  if (It != ActiveDepth.end() && It->second >= Opts.MaxRecursionDepth)
+    return nullptr;
+  return Callee;
+}
+
+std::vector<std::string> InlinerImpl::emitInline(const Function &Callee,
+                                                 const std::vector<Expr *> &Actuals,
+                                                 size_t NumOuts, Block &Out) {
+  // Alpha-rename every callee local.
+  unsigned Serial = ++TempCounter;
+  CloneRemap Remap;
+  for (const std::string &Name : collectUniverse(Callee))
+    Remap.RenameVar[Name] =
+        format("%s$%u$%s", Callee.name().c_str(), Serial, Name.c_str());
+
+  // Bind actuals to the renamed parameters (call-by-value; the CoW Value
+  // representation avoids the copy until the callee writes).
+  for (size_t I = 0; I != Actuals.size(); ++I)
+    Out.push_back(assign(Remap.RenameVar[Callee.params()[I]], Actuals[I]));
+
+  Block Body = cloneBlock(Ctx, Callee.body(), Remap);
+
+  if (blockContainsReturn(Body)) {
+    std::string RetVar = format("%s$%u$ret", Callee.name().c_str(), Serial);
+    Out.push_back(assign(RetVar, number(0)));
+    Block Lowered;
+    returnify(Body, Lowered, RetVar, /*InLoop=*/false);
+    Body = std::move(Lowered);
+  }
+
+  // Recursively inline within the inlined body (bounded by ActiveDepth).
+  ++ActiveDepth[Callee.name()];
+  Block Processed = processBlock(Body);
+  --ActiveDepth[Callee.name()];
+  for (Stmt *S : Processed)
+    Out.push_back(S);
+
+  std::vector<std::string> OutNames;
+  for (size_t I = 0; I != NumOuts && I != Callee.outs().size(); ++I)
+    OutNames.push_back(Remap.RenameVar[Callee.outs()[I]]);
+  return OutNames;
+}
+
+//===----------------------------------------------------------------------===//
+// Return lowering
+//===----------------------------------------------------------------------===//
+
+bool InlinerImpl::returnify(const Block &In, Block &Out,
+                            const std::string &RetVar, bool InLoop) {
+  bool MayRet = false;
+  for (size_t I = 0; I != In.size(); ++I) {
+    const Stmt *S = In[I];
+    bool StmtMayRet = false;
+    bool EmitLoopGuard = false;
+
+    switch (S->getKind()) {
+    case Stmt::Kind::Return:
+      Out.push_back(assign(RetVar, number(1)));
+      if (InLoop)
+        Out.push_back(Ctx.create<BreakStmt>(S->getLoc()));
+      StmtMayRet = true;
+      break;
+
+    case Stmt::Kind::If: {
+      const auto *If = cast<IfStmt>(S);
+      std::vector<IfStmt::Branch> Branches;
+      for (const IfStmt::Branch &Br : If->branches()) {
+        Block B;
+        StmtMayRet |= returnify(Br.Body, B, RetVar, InLoop);
+        Branches.push_back({Br.Cond, std::move(B)});
+      }
+      Block Else;
+      StmtMayRet |= returnify(If->elseBlock(), Else, RetVar, InLoop);
+      Out.push_back(Ctx.create<IfStmt>(std::move(Branches), std::move(Else),
+                                       S->getLoc()));
+      EmitLoopGuard = StmtMayRet && InLoop;
+      break;
+    }
+
+    case Stmt::Kind::While: {
+      const auto *W = cast<WhileStmt>(S);
+      Block B;
+      StmtMayRet = returnify(W->body(), B, RetVar, /*InLoop=*/true);
+      Out.push_back(Ctx.create<WhileStmt>(W->cond(), std::move(B), S->getLoc()));
+      EmitLoopGuard = StmtMayRet && InLoop;
+      break;
+    }
+
+    case Stmt::Kind::For: {
+      const auto *F = cast<ForStmt>(S);
+      Block B;
+      StmtMayRet = returnify(F->body(), B, RetVar, /*InLoop=*/true);
+      Out.push_back(Ctx.create<ForStmt>(F->loopVar(), F->iterand(),
+                                        std::move(B), S->getLoc()));
+      EmitLoopGuard = StmtMayRet && InLoop;
+      break;
+    }
+
+    default:
+      Out.push_back(const_cast<Stmt *>(S));
+      break;
+    }
+
+    MayRet |= StmtMayRet;
+    if (!StmtMayRet)
+      continue;
+
+    // After a statement that can set the flag, either break out of the
+    // enclosing loop or guard the rest of the block.
+    if (EmitLoopGuard) {
+      std::vector<IfStmt::Branch> Guard;
+      Block BreakBody;
+      BreakBody.push_back(Ctx.create<BreakStmt>(S->getLoc()));
+      Guard.push_back({retSet(RetVar), std::move(BreakBody)});
+      Out.push_back(
+          Ctx.create<IfStmt>(std::move(Guard), Block(), S->getLoc()));
+      continue;
+    }
+    if (!InLoop && I + 1 < In.size()) {
+      Block Rest;
+      Block RestIn(In.begin() + I + 1, In.end());
+      returnify(RestIn, Rest, RetVar, InLoop);
+      std::vector<IfStmt::Branch> Guard;
+      Guard.push_back({retClear(RetVar), std::move(Rest)});
+      Out.push_back(
+          Ctx.create<IfStmt>(std::move(Guard), Block(), S->getLoc()));
+      return true;
+    }
+  }
+  return MayRet;
+}
+
+//===----------------------------------------------------------------------===//
+// Statement / expression rewriting
+//===----------------------------------------------------------------------===//
+
+Expr *InlinerImpl::processExpr(const Expr *E, Block &Out, bool AllowHoist) {
+  if (!E)
+    return nullptr;
+  SourceLoc Loc = E->getLoc();
+  switch (E->getKind()) {
+  case Expr::Kind::Number:
+  case Expr::Kind::String:
+  case Expr::Kind::Ident:
+  case Expr::Kind::ColonWildcard:
+  case Expr::Kind::EndRef:
+    return cloneExpr(Ctx, E, CloneRemap());
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    return Ctx.create<UnaryExpr>(
+        U->op(), processExpr(U->operand(), Out, AllowHoist), Loc);
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    Expr *L = processExpr(B->lhs(), Out, AllowHoist);
+    Expr *R = processExpr(B->rhs(), Out, AllowHoist);
+    return Ctx.create<BinaryExpr>(B->op(), L, R, Loc);
+  }
+  case Expr::Kind::ShortCircuit: {
+    const auto *B = cast<ShortCircuitExpr>(E);
+    Expr *L = processExpr(B->lhs(), Out, AllowHoist);
+    // The RHS is conditionally evaluated: no hoisting out of it.
+    Expr *R = processExpr(B->rhs(), Out, /*AllowHoist=*/false);
+    return Ctx.create<ShortCircuitExpr>(B->isAnd(), L, R, Loc);
+  }
+  case Expr::Kind::Range: {
+    const auto *R = cast<RangeExpr>(E);
+    return Ctx.create<RangeExpr>(processExpr(R->lo(), Out, AllowHoist),
+                                 processExpr(R->step(), Out, AllowHoist),
+                                 processExpr(R->hi(), Out, AllowHoist), Loc);
+  }
+  case Expr::Kind::Matrix: {
+    const auto *M = cast<MatrixExpr>(E);
+    std::vector<std::vector<Expr *>> Rows;
+    for (const auto &Row : M->rows()) {
+      std::vector<Expr *> NewRow;
+      for (const Expr *Elem : Row)
+        NewRow.push_back(processExpr(Elem, Out, AllowHoist));
+      Rows.push_back(std::move(NewRow));
+    }
+    return Ctx.create<MatrixExpr>(std::move(Rows), Loc);
+  }
+  case Expr::Kind::IndexOrCall: {
+    const auto *IC = cast<IndexOrCallExpr>(E);
+    std::vector<Expr *> Arguments;
+    for (const Expr *A : IC->args())
+      Arguments.push_back(processExpr(A, Out, AllowHoist));
+    const Function *Callee = AllowHoist ? inlinableCallee(IC) : nullptr;
+    if (Callee && !Callee->outs().empty()) {
+      std::vector<std::string> Outs = emitInline(*Callee, Arguments, 1, Out);
+      return ident(Outs.front());
+    }
+    auto *Base = cast<IdentExpr>(cloneExpr(Ctx, IC->base(), CloneRemap()));
+    return Ctx.create<IndexOrCallExpr>(Base, std::move(Arguments), Loc);
+  }
+  }
+  majic_unreachable("invalid expression kind");
+}
+
+void InlinerImpl::processStmt(const Stmt *S, Block &Out) {
+  SourceLoc Loc = S->getLoc();
+  switch (S->getKind()) {
+  case Stmt::Kind::Expr: {
+    const auto *ES = cast<ExprStmt>(S);
+    // A bare call statement: inline without binding outputs.
+    if (const auto *IC = dyn_cast<IndexOrCallExpr>(ES->expr())) {
+      if (const Function *Callee = inlinableCallee(IC)) {
+        std::vector<Expr *> Arguments;
+        for (const Expr *A : IC->args())
+          Arguments.push_back(processExpr(A, Out, /*AllowHoist=*/true));
+        std::vector<std::string> Outs = emitInline(
+            *Callee, Arguments, ES->displays() ? 1 : 0, Out);
+        if (ES->displays() && !Outs.empty())
+          Out.push_back(
+              Ctx.create<ExprStmt>(ident(Outs.front()), true, Loc));
+        return;
+      }
+    }
+    Out.push_back(Ctx.create<ExprStmt>(
+        processExpr(ES->expr(), Out, /*AllowHoist=*/true), ES->displays(),
+        Loc));
+    return;
+  }
+
+  case Stmt::Kind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    // Direct call on the RHS: bind the callee's outputs to the targets.
+    if (const auto *IC = dyn_cast<IndexOrCallExpr>(A->rhs())) {
+      const Function *Callee = inlinableCallee(IC);
+      if (Callee && Callee->outs().size() >= A->targets().size()) {
+        std::vector<Expr *> Arguments;
+        for (const Expr *Arg : IC->args())
+          Arguments.push_back(processExpr(Arg, Out, /*AllowHoist=*/true));
+        std::vector<std::string> Outs =
+            emitInline(*Callee, Arguments, A->targets().size(), Out);
+        for (size_t I = 0; I != A->targets().size(); ++I) {
+          const LValue &LV = A->targets()[I];
+          LValue NewLV;
+          NewLV.Name = LV.Name;
+          NewLV.HasParens = LV.HasParens;
+          NewLV.Loc = LV.Loc;
+          for (const Expr *Idx : LV.Indices)
+            NewLV.Indices.push_back(processExpr(Idx, Out, true));
+          std::vector<LValue> Targets;
+          Targets.push_back(std::move(NewLV));
+          Out.push_back(Ctx.create<AssignStmt>(std::move(Targets),
+                                               ident(Outs[I]),
+                                               A->displays(), Loc));
+        }
+        return;
+      }
+    }
+    Expr *RHS = processExpr(A->rhs(), Out, /*AllowHoist=*/true);
+    std::vector<LValue> Targets;
+    for (const LValue &LV : A->targets()) {
+      LValue NewLV;
+      NewLV.Name = LV.Name;
+      NewLV.HasParens = LV.HasParens;
+      NewLV.Loc = LV.Loc;
+      for (const Expr *Idx : LV.Indices)
+        NewLV.Indices.push_back(processExpr(Idx, Out, true));
+      Targets.push_back(std::move(NewLV));
+    }
+    Out.push_back(Ctx.create<AssignStmt>(std::move(Targets), RHS,
+                                         A->displays(), Loc));
+    return;
+  }
+
+  case Stmt::Kind::If: {
+    const auto *If = cast<IfStmt>(S);
+    std::vector<IfStmt::Branch> Branches;
+    bool First = true;
+    for (const IfStmt::Branch &Br : If->branches()) {
+      // Only the first condition is unconditionally evaluated, so only it
+      // may hoist inlined bodies in front of the 'if'.
+      Expr *Cond = processExpr(Br.Cond, Out, /*AllowHoist=*/First);
+      First = false;
+      Branches.push_back({Cond, processBlock(Br.Body)});
+    }
+    Out.push_back(Ctx.create<IfStmt>(std::move(Branches),
+                                     processBlock(If->elseBlock()), Loc));
+    return;
+  }
+
+  case Stmt::Kind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    // The condition re-evaluates every iteration: no hoisting.
+    Expr *Cond = processExpr(W->cond(), Out, /*AllowHoist=*/false);
+    Out.push_back(
+        Ctx.create<WhileStmt>(Cond, processBlock(W->body()), Loc));
+    return;
+  }
+
+  case Stmt::Kind::For: {
+    const auto *F = cast<ForStmt>(S);
+    Expr *Iterand = processExpr(F->iterand(), Out, /*AllowHoist=*/true);
+    Out.push_back(Ctx.create<ForStmt>(F->loopVar(), Iterand,
+                                      processBlock(F->body()), Loc));
+    return;
+  }
+
+  case Stmt::Kind::Break:
+  case Stmt::Kind::Continue:
+  case Stmt::Kind::Return:
+  case Stmt::Kind::Clear:
+    Out.push_back(cloneStmt(Ctx, S, CloneRemap()));
+    return;
+  }
+  majic_unreachable("invalid statement kind");
+}
+
+Block InlinerImpl::processBlock(const Block &B) {
+  Block Out;
+  for (const Stmt *S : B)
+    processStmt(S, Out);
+  return Out;
+}
+
+} // namespace
+
+std::unique_ptr<Function> majic::inlineFunctionCalls(
+    const Function &F, ASTContext &Ctx, const FunctionResolver &Resolve,
+    const InlinerOptions &Opts) {
+  auto Clone = std::make_unique<Function>(F.name(), F.params(), F.outs(),
+                                          F.isScript());
+  Clone->setNumLines(F.numLines());
+  InlinerImpl Impl(Ctx, Resolve, Opts);
+  // Clone first so the new function shares no mutable nodes with the
+  // original, then inline within the clone.
+  Block Cloned = cloneBlock(Ctx, F.body(), CloneRemap());
+  Clone->body() = Impl.processBlock(Cloned);
+  return Clone;
+}

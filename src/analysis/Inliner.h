@@ -1,0 +1,61 @@
+//===- analysis/Inliner.h - Function inlining ------------------*- C++ -*-===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST-level function inlining (Section 2.6.1): calls to small user
+/// functions (< 200 lines) are replaced by the callee's body with
+/// alpha-renamed locals; recursive calls are inlined at most 3 levels deep
+/// to avoid code explosion (Section 3.4). Inlining runs between
+/// disambiguation and type inference; the caller is re-disambiguated
+/// afterwards ("which then necessitates the re-building of the symbol
+/// table", Section 2).
+///
+/// MATLAB's call-by-value semantics are preserved by binding each actual to
+/// a fresh parameter variable; the copy-on-write Value representation makes
+/// read-only formals free, matching the paper's "read-only formal parameters
+/// are not copied".
+///
+/// Early returns in the callee are lowered structurally: a return flag
+/// variable plus break/guard statements reproduce the control flow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAJIC_ANALYSIS_INLINER_H
+#define MAJIC_ANALYSIS_INLINER_H
+
+#include "ast/AST.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace majic {
+
+struct InlinerOptions {
+  /// "MaJIC does not attempt to inline more than 3 levels of recursive
+  /// calls" (Section 3.4).
+  unsigned MaxRecursionDepth = 3;
+  /// "MaJIC inlines calls to small (less than 200 lines of code) functions"
+  /// (Section 2.6.1).
+  unsigned MaxCalleeLines = 200;
+};
+
+/// Resolves a user-function name to its (disambiguated) AST, or null when
+/// the function is unknown or should not be inlined.
+using FunctionResolver =
+    std::function<const Function *(const std::string &Name)>;
+
+/// Returns a transformed clone of \p F with eligible calls inlined. Nodes
+/// are allocated in \p Ctx (typically the caller module's context). The
+/// result must be re-disambiguated before further analysis.
+std::unique_ptr<Function> inlineFunctionCalls(const Function &F,
+                                              ASTContext &Ctx,
+                                              const FunctionResolver &Resolve,
+                                              const InlinerOptions &Opts = {});
+
+} // namespace majic
+
+#endif // MAJIC_ANALYSIS_INLINER_H

@@ -1,0 +1,16 @@
+//===- ast/AST.cpp - AST out-of-line definitions -----------------------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/AST.h"
+
+using namespace majic;
+
+Function *Module::findFunction(const std::string &FnName) const {
+  for (const auto &F : Functions)
+    if (F->name() == FnName)
+      return F.get();
+  return nullptr;
+}

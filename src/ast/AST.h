@@ -1,0 +1,518 @@
+//===- ast/AST.h - MATLAB abstract syntax tree -----------------*- C++ -*-===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract syntax tree for the MATLAB subset. Nodes are arena-allocated
+/// and owned by a Module; passes reference them by raw pointer. Symbol
+/// resolution (variable vs builtin vs user function, Section 2.1) is filled
+/// in by the disambiguator, not the parser.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAJIC_AST_AST_H
+#define MAJIC_AST_AST_H
+
+#include "runtime/Ops.h"
+#include "support/Casting.h"
+#include "support/SourceLoc.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace majic {
+
+class Expr;
+class Stmt;
+class Function;
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// What a symbol occurrence means. The MaJIC disambiguator resolves these
+/// at compile time with reaching-definitions analysis; occurrences it cannot
+/// prove are Ambiguous and handled dynamically (Section 2.1).
+enum class SymKind : uint8_t {
+  Unresolved,   ///< Not yet analyzed.
+  Variable,     ///< A local variable (VarSlot is valid).
+  Builtin,      ///< A builtin primitive.
+  UserFunction, ///< A user function in the repository/module.
+  Ambiguous,    ///< Variable on some paths only; resolved at runtime.
+};
+
+class Expr {
+public:
+  enum class Kind : uint8_t {
+    Number,
+    String,
+    Ident,
+    ColonWildcard, // a bare ':' subscript
+    EndRef,        // 'end' inside a subscript
+    Unary,
+    Binary,
+    ShortCircuit,
+    Range,
+    Matrix,
+    IndexOrCall,
+  };
+
+  Kind getKind() const { return TheKind; }
+  SourceLoc getLoc() const { return Loc; }
+
+protected:
+  Expr(Kind K, SourceLoc Loc) : TheKind(K), Loc(Loc) {}
+  ~Expr() = default;
+
+private:
+  Kind TheKind;
+  SourceLoc Loc;
+};
+
+/// A numeric literal; 3.5i / 2j carry IsImaginary.
+class NumberExpr : public Expr {
+public:
+  NumberExpr(double V, bool IsImaginary, SourceLoc Loc)
+      : Expr(Kind::Number, Loc), Val(V), IsImag(IsImaginary) {}
+
+  double value() const { return Val; }
+  bool isImaginary() const { return IsImag; }
+  /// True when the literal was written as an integer (5, not 5.0).
+  bool isIntegral() const {
+    return !IsImag && Val == static_cast<long long>(Val);
+  }
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Number; }
+
+private:
+  double Val;
+  bool IsImag;
+};
+
+class StringExpr : public Expr {
+public:
+  StringExpr(std::string S, SourceLoc Loc)
+      : Expr(Kind::String, Loc), Str(std::move(S)) {}
+
+  const std::string &value() const { return Str; }
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::String; }
+
+private:
+  std::string Str;
+};
+
+/// A bare symbol occurrence. The disambiguator fills Sym/VarSlot.
+class IdentExpr : public Expr {
+public:
+  IdentExpr(std::string Name, SourceLoc Loc)
+      : Expr(Kind::Ident, Loc), Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+
+  SymKind symKind() const { return Sym; }
+  void setSymKind(SymKind K) { Sym = K; }
+  int varSlot() const { return VarSlot; }
+  void setVarSlot(int Slot) { VarSlot = Slot; }
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Ident; }
+
+private:
+  std::string Name;
+  SymKind Sym = SymKind::Unresolved;
+  int VarSlot = -1;
+};
+
+/// A bare ':' used as a whole-dimension subscript.
+class ColonWildcardExpr : public Expr {
+public:
+  explicit ColonWildcardExpr(SourceLoc Loc) : Expr(Kind::ColonWildcard, Loc) {}
+  static bool classof(const Expr *E) {
+    return E->getKind() == Kind::ColonWildcard;
+  }
+};
+
+/// 'end' inside a subscript: the length of the subscripted dimension.
+class EndRefExpr : public Expr {
+public:
+  explicit EndRefExpr(SourceLoc Loc) : Expr(Kind::EndRef, Loc) {}
+  static bool classof(const Expr *E) { return E->getKind() == Kind::EndRef; }
+};
+
+enum class UnaryOpKind : uint8_t { Neg, Plus, Not, CTranspose, Transpose };
+
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(UnaryOpKind Op, Expr *Operand, SourceLoc Loc)
+      : Expr(Kind::Unary, Loc), Op(Op), Operand(Operand) {}
+
+  UnaryOpKind op() const { return Op; }
+  Expr *operand() const { return Operand; }
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Unary; }
+
+private:
+  UnaryOpKind Op;
+  Expr *Operand;
+};
+
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(rt::BinOp Op, Expr *L, Expr *R, SourceLoc Loc)
+      : Expr(Kind::Binary, Loc), Op(Op), L(L), R(R) {}
+
+  rt::BinOp op() const { return Op; }
+  Expr *lhs() const { return L; }
+  Expr *rhs() const { return R; }
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Binary; }
+
+private:
+  rt::BinOp Op;
+  Expr *L, *R;
+};
+
+/// && and || with short-circuit evaluation (scalar conditions).
+class ShortCircuitExpr : public Expr {
+public:
+  ShortCircuitExpr(bool IsAnd, Expr *L, Expr *R, SourceLoc Loc)
+      : Expr(Kind::ShortCircuit, Loc), IsAnd(IsAnd), L(L), R(R) {}
+
+  bool isAnd() const { return IsAnd; }
+  Expr *lhs() const { return L; }
+  Expr *rhs() const { return R; }
+
+  static bool classof(const Expr *E) {
+    return E->getKind() == Kind::ShortCircuit;
+  }
+
+private:
+  bool IsAnd;
+  Expr *L, *R;
+};
+
+/// lo:hi or lo:step:hi.
+class RangeExpr : public Expr {
+public:
+  RangeExpr(Expr *Lo, Expr *Step, Expr *Hi, SourceLoc Loc)
+      : Expr(Kind::Range, Loc), Lo(Lo), Step(Step), Hi(Hi) {}
+
+  Expr *lo() const { return Lo; }
+  Expr *step() const { return Step; } ///< Null for lo:hi.
+  Expr *hi() const { return Hi; }
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Range; }
+
+private:
+  Expr *Lo, *Step, *Hi;
+};
+
+/// The bracket operator [a b; c d] (Section 2.5 hint #3).
+class MatrixExpr : public Expr {
+public:
+  MatrixExpr(std::vector<std::vector<Expr *>> Rows, SourceLoc Loc)
+      : Expr(Kind::Matrix, Loc), Rows(std::move(Rows)) {}
+
+  const std::vector<std::vector<Expr *>> &rows() const { return Rows; }
+
+  static bool classof(const Expr *E) { return E->getKind() == Kind::Matrix; }
+
+private:
+  std::vector<std::vector<Expr *>> Rows;
+};
+
+/// name(args): array indexing or a function call, depending on how the
+/// disambiguator resolves the base symbol. MATLAB syntax cannot tell these
+/// apart (Section 2.1).
+class IndexOrCallExpr : public Expr {
+public:
+  IndexOrCallExpr(IdentExpr *Base, std::vector<Expr *> Arguments,
+                  SourceLoc Loc)
+      : Expr(Kind::IndexOrCall, Loc), Base(Base), Args(std::move(Arguments)) {}
+
+  IdentExpr *base() const { return Base; }
+  const std::vector<Expr *> &args() const { return Args; }
+
+  static bool classof(const Expr *E) {
+    return E->getKind() == Kind::IndexOrCall;
+  }
+
+private:
+  IdentExpr *Base;
+  std::vector<Expr *> Args;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+using Block = std::vector<Stmt *>;
+
+class Stmt {
+public:
+  enum class Kind : uint8_t {
+    Expr,
+    Assign,
+    If,
+    While,
+    For,
+    Break,
+    Continue,
+    Return,
+    Clear,
+  };
+
+  Kind getKind() const { return TheKind; }
+  SourceLoc getLoc() const { return Loc; }
+
+protected:
+  Stmt(Kind K, SourceLoc Loc) : TheKind(K), Loc(Loc) {}
+  ~Stmt() = default;
+
+private:
+  Kind TheKind;
+  SourceLoc Loc;
+};
+
+/// An expression statement; displays its value unless suppressed with ';'.
+class ExprStmt : public Stmt {
+public:
+  ExprStmt(Expr *E, bool Display, SourceLoc Loc)
+      : Stmt(Kind::Expr, Loc), E(E), Display(Display) {}
+
+  Expr *expr() const { return E; }
+  bool displays() const { return Display; }
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Expr; }
+
+private:
+  Expr *E;
+  bool Display;
+};
+
+/// One assignment target: a variable, possibly subscripted.
+struct LValue {
+  std::string Name;
+  int VarSlot = -1;                 // filled by the disambiguator
+  std::vector<Expr *> Indices;      // empty for x = ...
+  bool HasParens = false;           // x() = ... (distinguishes x() from x)
+  SourceLoc Loc;
+};
+
+/// x = rhs, x(i,j) = rhs, or [a, b] = f(...).
+class AssignStmt : public Stmt {
+public:
+  AssignStmt(std::vector<LValue> Targets, Expr *RHS, bool Display,
+             SourceLoc Loc)
+      : Stmt(Kind::Assign, Loc), Targets(std::move(Targets)), RHS(RHS),
+        Display(Display) {}
+
+  const std::vector<LValue> &targets() const { return Targets; }
+  std::vector<LValue> &targets() { return Targets; }
+  Expr *rhs() const { return RHS; }
+  bool displays() const { return Display; }
+  bool isMulti() const { return Targets.size() > 1; }
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Assign; }
+
+private:
+  std::vector<LValue> Targets;
+  Expr *RHS;
+  bool Display;
+};
+
+class IfStmt : public Stmt {
+public:
+  struct Branch {
+    Expr *Cond;
+    Block Body;
+  };
+
+  IfStmt(std::vector<Branch> Branches, Block Else, SourceLoc Loc)
+      : Stmt(Kind::If, Loc), Branches(std::move(Branches)),
+        Else(std::move(Else)) {}
+
+  const std::vector<Branch> &branches() const { return Branches; }
+  const Block &elseBlock() const { return Else; }
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::If; }
+
+private:
+  std::vector<Branch> Branches;
+  Block Else;
+};
+
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(Expr *Cond, Block Body, SourceLoc Loc)
+      : Stmt(Kind::While, Loc), Cond(Cond), Body(std::move(Body)) {}
+
+  Expr *cond() const { return Cond; }
+  const Block &body() const { return Body; }
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::While; }
+
+private:
+  Expr *Cond;
+  Block Body;
+};
+
+class ForStmt : public Stmt {
+public:
+  ForStmt(std::string LoopVar, Expr *Iterand, Block Body, SourceLoc Loc)
+      : Stmt(Kind::For, Loc), LoopVar(std::move(LoopVar)), Iterand(Iterand),
+        Body(std::move(Body)) {}
+
+  const std::string &loopVar() const { return LoopVar; }
+  int loopVarSlot() const { return LoopVarSlot; }
+  void setLoopVarSlot(int Slot) { LoopVarSlot = Slot; }
+  Expr *iterand() const { return Iterand; }
+  const Block &body() const { return Body; }
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::For; }
+
+private:
+  std::string LoopVar;
+  int LoopVarSlot = -1;
+  Expr *Iterand;
+  Block Body;
+};
+
+class BreakStmt : public Stmt {
+public:
+  explicit BreakStmt(SourceLoc Loc) : Stmt(Kind::Break, Loc) {}
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Break; }
+};
+
+class ContinueStmt : public Stmt {
+public:
+  explicit ContinueStmt(SourceLoc Loc) : Stmt(Kind::Continue, Loc) {}
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Continue; }
+};
+
+class ReturnStmt : public Stmt {
+public:
+  explicit ReturnStmt(SourceLoc Loc) : Stmt(Kind::Return, Loc) {}
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Return; }
+};
+
+/// clear / clear x y: removes variables from the workspace.
+class ClearStmt : public Stmt {
+public:
+  ClearStmt(std::vector<std::string> Names, SourceLoc Loc)
+      : Stmt(Kind::Clear, Loc), Names(std::move(Names)) {}
+
+  /// Empty means "clear everything".
+  const std::vector<std::string> &names() const { return Names; }
+
+  /// Slots of the named variables (parallel to names(), -1 when the name
+  /// never denotes a variable); filled by the disambiguator.
+  const std::vector<int> &slots() const { return Slots; }
+  void setSlots(std::vector<int> S) { Slots = std::move(S); }
+
+  static bool classof(const Stmt *S) { return S->getKind() == Kind::Clear; }
+
+private:
+  std::vector<std::string> Names;
+  std::vector<int> Slots;
+};
+
+//===----------------------------------------------------------------------===//
+// Functions and modules
+//===----------------------------------------------------------------------===//
+
+/// Arena owning all AST nodes of a module.
+class ASTContext {
+public:
+  template <typename T, typename... ArgTys> T *create(ArgTys &&...Args) {
+    auto Node = std::make_unique<T>(std::forward<ArgTys>(Args)...);
+    T *Ptr = Node.get();
+    Nodes.push_back(
+        std::unique_ptr<void, void (*)(void *)>(Node.release(), [](void *P) {
+          delete static_cast<T *>(P);
+        }));
+    return Ptr;
+  }
+
+private:
+  std::vector<std::unique_ptr<void, void (*)(void *)>> Nodes;
+};
+
+/// A single MATLAB function (or a script wrapped as a zero-argument one).
+class Function {
+public:
+  Function(std::string Name, std::vector<std::string> Params,
+           std::vector<std::string> Outs, bool IsScript)
+      : Name(std::move(Name)), Params(std::move(Params)),
+        Outs(std::move(Outs)), IsScript(IsScript) {}
+
+  const std::string &name() const { return Name; }
+  const std::vector<std::string> &params() const { return Params; }
+  const std::vector<std::string> &outs() const { return Outs; }
+  bool isScript() const { return IsScript; }
+
+  Block &body() { return Body; }
+  const Block &body() const { return Body; }
+
+  /// Number of local variable slots; assigned by the disambiguator.
+  unsigned numSlots() const { return NumSlots; }
+  void setNumSlots(unsigned N) { NumSlots = N; }
+
+  /// Slot of a parameter / output after disambiguation (-1 if unused).
+  const std::vector<int> &paramSlots() const { return ParamSlots; }
+  const std::vector<int> &outSlots() const { return OutSlots; }
+  std::vector<int> &paramSlots() { return ParamSlots; }
+  std::vector<int> &outSlots() { return OutSlots; }
+
+  /// Source line count, used by the inliner's size heuristic.
+  unsigned numLines() const { return NumLines; }
+  void setNumLines(unsigned N) { NumLines = N; }
+
+private:
+  std::string Name;
+  std::vector<std::string> Params;
+  std::vector<std::string> Outs;
+  bool IsScript;
+  Block Body;
+  unsigned NumSlots = 0;
+  unsigned NumLines = 0;
+  std::vector<int> ParamSlots;
+  std::vector<int> OutSlots;
+};
+
+/// One parsed .m file: a primary function plus subfunctions, or a script.
+class Module {
+public:
+  explicit Module(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+  ASTContext &context() { return Ctx; }
+
+  Function *addFunction(std::unique_ptr<Function> F) {
+    Functions.push_back(std::move(F));
+    return Functions.back().get();
+  }
+
+  Function *mainFunction() const {
+    return Functions.empty() ? nullptr : Functions.front().get();
+  }
+
+  /// Finds a function (primary or subfunction) by name; null if absent.
+  Function *findFunction(const std::string &FnName) const;
+
+  const std::vector<std::unique_ptr<Function>> &functions() const {
+    return Functions;
+  }
+
+private:
+  std::string Name;
+  ASTContext Ctx;
+  std::vector<std::unique_ptr<Function>> Functions;
+};
+
+} // namespace majic
+
+#endif // MAJIC_AST_AST_H

@@ -1,0 +1,164 @@
+//===- ast/ASTClone.cpp - AST cloning with substitution ---------------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/ASTClone.h"
+
+using namespace majic;
+
+static const std::string &renamed(const CloneRemap &Remap,
+                                  const std::string &Name) {
+  auto It = Remap.RenameVar.find(Name);
+  return It == Remap.RenameVar.end() ? Name : It->second;
+}
+
+Expr *majic::cloneExpr(ASTContext &Ctx, const Expr *E,
+                       const CloneRemap &Remap) {
+  if (!E)
+    return nullptr;
+  if (auto It = Remap.Replace.find(E); It != Remap.Replace.end())
+    return It->second;
+
+  SourceLoc Loc = E->getLoc();
+  switch (E->getKind()) {
+  case Expr::Kind::Number: {
+    const auto *N = cast<NumberExpr>(E);
+    return Ctx.create<NumberExpr>(N->value(), N->isImaginary(), Loc);
+  }
+  case Expr::Kind::String:
+    return Ctx.create<StringExpr>(cast<StringExpr>(E)->value(), Loc);
+  case Expr::Kind::Ident: {
+    const auto *Id = cast<IdentExpr>(E);
+    // Rename only occurrences that can denote variables; builtin and
+    // user-function references keep their names.
+    bool Renamable = Id->symKind() == SymKind::Variable ||
+                     Id->symKind() == SymKind::Ambiguous ||
+                     Id->symKind() == SymKind::Unresolved;
+    auto *Clone = Ctx.create<IdentExpr>(
+        Renamable ? renamed(Remap, Id->name()) : Id->name(), Loc);
+    // Keep the classification (the inliner consults it before the clone is
+    // re-disambiguated) but drop the slot, which is per-function.
+    Clone->setSymKind(Id->symKind());
+    return Clone;
+  }
+  case Expr::Kind::ColonWildcard:
+    return Ctx.create<ColonWildcardExpr>(Loc);
+  case Expr::Kind::EndRef:
+    return Ctx.create<EndRefExpr>(Loc);
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    return Ctx.create<UnaryExpr>(U->op(), cloneExpr(Ctx, U->operand(), Remap),
+                                 Loc);
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    return Ctx.create<BinaryExpr>(B->op(), cloneExpr(Ctx, B->lhs(), Remap),
+                                  cloneExpr(Ctx, B->rhs(), Remap), Loc);
+  }
+  case Expr::Kind::ShortCircuit: {
+    const auto *B = cast<ShortCircuitExpr>(E);
+    return Ctx.create<ShortCircuitExpr>(B->isAnd(),
+                                        cloneExpr(Ctx, B->lhs(), Remap),
+                                        cloneExpr(Ctx, B->rhs(), Remap), Loc);
+  }
+  case Expr::Kind::Range: {
+    const auto *R = cast<RangeExpr>(E);
+    return Ctx.create<RangeExpr>(cloneExpr(Ctx, R->lo(), Remap),
+                                 cloneExpr(Ctx, R->step(), Remap),
+                                 cloneExpr(Ctx, R->hi(), Remap), Loc);
+  }
+  case Expr::Kind::Matrix: {
+    const auto *M = cast<MatrixExpr>(E);
+    std::vector<std::vector<Expr *>> Rows;
+    for (const auto &Row : M->rows()) {
+      std::vector<Expr *> NewRow;
+      for (const Expr *Elem : Row)
+        NewRow.push_back(cloneExpr(Ctx, Elem, Remap));
+      Rows.push_back(std::move(NewRow));
+    }
+    return Ctx.create<MatrixExpr>(std::move(Rows), Loc);
+  }
+  case Expr::Kind::IndexOrCall: {
+    const auto *IC = cast<IndexOrCallExpr>(E);
+    auto *Base = cast<IdentExpr>(cloneExpr(Ctx, IC->base(), Remap));
+    std::vector<Expr *> Arguments;
+    for (const Expr *A : IC->args())
+      Arguments.push_back(cloneExpr(Ctx, A, Remap));
+    return Ctx.create<IndexOrCallExpr>(Base, std::move(Arguments), Loc);
+  }
+  }
+  majic_unreachable("invalid expression kind");
+}
+
+Stmt *majic::cloneStmt(ASTContext &Ctx, const Stmt *S,
+                       const CloneRemap &Remap) {
+  SourceLoc Loc = S->getLoc();
+  switch (S->getKind()) {
+  case Stmt::Kind::Expr: {
+    const auto *ES = cast<ExprStmt>(S);
+    return Ctx.create<ExprStmt>(cloneExpr(Ctx, ES->expr(), Remap),
+                                ES->displays(), Loc);
+  }
+  case Stmt::Kind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    std::vector<LValue> Targets;
+    for (const LValue &LV : A->targets()) {
+      LValue NewLV;
+      NewLV.Name = renamed(Remap, LV.Name);
+      NewLV.HasParens = LV.HasParens;
+      NewLV.Loc = LV.Loc;
+      for (const Expr *Idx : LV.Indices)
+        NewLV.Indices.push_back(cloneExpr(Ctx, Idx, Remap));
+      Targets.push_back(std::move(NewLV));
+    }
+    return Ctx.create<AssignStmt>(std::move(Targets),
+                                  cloneExpr(Ctx, A->rhs(), Remap),
+                                  A->displays(), Loc);
+  }
+  case Stmt::Kind::If: {
+    const auto *If = cast<IfStmt>(S);
+    std::vector<IfStmt::Branch> Branches;
+    for (const IfStmt::Branch &Br : If->branches())
+      Branches.push_back({cloneExpr(Ctx, Br.Cond, Remap),
+                          cloneBlock(Ctx, Br.Body, Remap)});
+    return Ctx.create<IfStmt>(std::move(Branches),
+                              cloneBlock(Ctx, If->elseBlock(), Remap), Loc);
+  }
+  case Stmt::Kind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    return Ctx.create<WhileStmt>(cloneExpr(Ctx, W->cond(), Remap),
+                                 cloneBlock(Ctx, W->body(), Remap), Loc);
+  }
+  case Stmt::Kind::For: {
+    const auto *F = cast<ForStmt>(S);
+    return Ctx.create<ForStmt>(renamed(Remap, F->loopVar()),
+                               cloneExpr(Ctx, F->iterand(), Remap),
+                               cloneBlock(Ctx, F->body(), Remap), Loc);
+  }
+  case Stmt::Kind::Break:
+    return Ctx.create<BreakStmt>(Loc);
+  case Stmt::Kind::Continue:
+    return Ctx.create<ContinueStmt>(Loc);
+  case Stmt::Kind::Return:
+    return Ctx.create<ReturnStmt>(Loc);
+  case Stmt::Kind::Clear: {
+    const auto *C = cast<ClearStmt>(S);
+    std::vector<std::string> Names;
+    for (const std::string &N : C->names())
+      Names.push_back(renamed(Remap, N));
+    return Ctx.create<ClearStmt>(std::move(Names), Loc);
+  }
+  }
+  majic_unreachable("invalid statement kind");
+}
+
+Block majic::cloneBlock(ASTContext &Ctx, const Block &B,
+                        const CloneRemap &Remap) {
+  Block Out;
+  Out.reserve(B.size());
+  for (const Stmt *S : B)
+    Out.push_back(cloneStmt(Ctx, S, Remap));
+  return Out;
+}

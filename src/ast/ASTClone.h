@@ -1,0 +1,39 @@
+//===- ast/ASTClone.h - AST cloning with substitution ----------*- C++ -*-===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deep-cloning of expressions and statements into a target ASTContext, with
+/// two substitution hooks used by the function inliner: renaming variables
+/// (alpha-renaming the callee's locals) and replacing whole subexpressions
+/// (swapping a call for its result temporary).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAJIC_AST_ASTCLONE_H
+#define MAJIC_AST_ASTCLONE_H
+
+#include "ast/AST.h"
+
+#include <unordered_map>
+
+namespace majic {
+
+struct CloneRemap {
+  /// Variable renamings applied to IdentExpr (Variable/Ambiguous occurrences
+  /// only), assignment targets and loop variables.
+  std::unordered_map<std::string, std::string> RenameVar;
+  /// Whole-subexpression replacements, keyed by the *original* node. The
+  /// replacement is inserted as-is (not cloned again).
+  std::unordered_map<const Expr *, Expr *> Replace;
+};
+
+Expr *cloneExpr(ASTContext &Ctx, const Expr *E, const CloneRemap &Remap);
+Stmt *cloneStmt(ASTContext &Ctx, const Stmt *S, const CloneRemap &Remap);
+Block cloneBlock(ASTContext &Ctx, const Block &B, const CloneRemap &Remap);
+
+} // namespace majic
+
+#endif // MAJIC_AST_ASTCLONE_H

@@ -1,0 +1,212 @@
+//===- ast/ASTPrinter.cpp - AST pretty printer ------------------------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/ASTPrinter.h"
+
+#include "support/StringUtils.h"
+
+using namespace majic;
+using rt::BinOp;
+
+namespace {
+
+std::string indentStr(unsigned Indent) { return std::string(Indent * 2, ' '); }
+
+const char *unaryOpSpelling(UnaryOpKind Op) {
+  switch (Op) {
+  case UnaryOpKind::Neg:
+    return "-";
+  case UnaryOpKind::Plus:
+    return "+";
+  case UnaryOpKind::Not:
+    return "~";
+  case UnaryOpKind::CTranspose:
+    return "'";
+  case UnaryOpKind::Transpose:
+    return ".'";
+  }
+  majic_unreachable("invalid unary op");
+}
+
+} // namespace
+
+std::string majic::printExpr(const Expr *E) {
+  if (!E)
+    return "";
+  switch (E->getKind()) {
+  case Expr::Kind::Number: {
+    const auto *N = cast<NumberExpr>(E);
+    return formatDouble(N->value()) + (N->isImaginary() ? "i" : "");
+  }
+  case Expr::Kind::String:
+    return "'" + cast<StringExpr>(E)->value() + "'";
+  case Expr::Kind::Ident:
+    return cast<IdentExpr>(E)->name();
+  case Expr::Kind::ColonWildcard:
+    return ":";
+  case Expr::Kind::EndRef:
+    return "end";
+  case Expr::Kind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    if (U->op() == UnaryOpKind::CTranspose || U->op() == UnaryOpKind::Transpose)
+      return "(" + printExpr(U->operand()) + ")" + unaryOpSpelling(U->op());
+    return std::string(unaryOpSpelling(U->op())) + "(" +
+           printExpr(U->operand()) + ")";
+  }
+  case Expr::Kind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    return "(" + printExpr(B->lhs()) + " " + rt::binOpName(B->op()) + " " +
+           printExpr(B->rhs()) + ")";
+  }
+  case Expr::Kind::ShortCircuit: {
+    const auto *B = cast<ShortCircuitExpr>(E);
+    return "(" + printExpr(B->lhs()) + (B->isAnd() ? " && " : " || ") +
+           printExpr(B->rhs()) + ")";
+  }
+  case Expr::Kind::Range: {
+    const auto *R = cast<RangeExpr>(E);
+    if (R->step())
+      return printExpr(R->lo()) + ":" + printExpr(R->step()) + ":" +
+             printExpr(R->hi());
+    return printExpr(R->lo()) + ":" + printExpr(R->hi());
+  }
+  case Expr::Kind::Matrix: {
+    const auto *M = cast<MatrixExpr>(E);
+    std::string Out = "[";
+    for (size_t R = 0; R != M->rows().size(); ++R) {
+      if (R)
+        Out += "; ";
+      const auto &Row = M->rows()[R];
+      for (size_t C = 0; C != Row.size(); ++C) {
+        if (C)
+          Out += ", ";
+        Out += printExpr(Row[C]);
+      }
+    }
+    return Out + "]";
+  }
+  case Expr::Kind::IndexOrCall: {
+    const auto *IC = cast<IndexOrCallExpr>(E);
+    std::string Out = IC->base()->name() + "(";
+    for (size_t I = 0; I != IC->args().size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += printExpr(IC->args()[I]);
+    }
+    return Out + ")";
+  }
+  }
+  majic_unreachable("invalid expression kind");
+}
+
+std::string majic::printStmt(const Stmt *S, unsigned Indent) {
+  std::string Pad = indentStr(Indent);
+  switch (S->getKind()) {
+  case Stmt::Kind::Expr: {
+    const auto *ES = cast<ExprStmt>(S);
+    return Pad + printExpr(ES->expr()) + (ES->displays() ? "\n" : ";\n");
+  }
+  case Stmt::Kind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    std::string LHS;
+    if (A->isMulti()) {
+      LHS = "[";
+      for (size_t I = 0; I != A->targets().size(); ++I) {
+        if (I)
+          LHS += ", ";
+        LHS += A->targets()[I].Name;
+      }
+      LHS += "]";
+    } else {
+      const LValue &LV = A->targets().front();
+      LHS = LV.Name;
+      if (LV.HasParens) {
+        LHS += "(";
+        for (size_t I = 0; I != LV.Indices.size(); ++I) {
+          if (I)
+            LHS += ", ";
+          LHS += printExpr(LV.Indices[I]);
+        }
+        LHS += ")";
+      }
+    }
+    return Pad + LHS + " = " + printExpr(A->rhs()) +
+           (A->displays() ? "\n" : ";\n");
+  }
+  case Stmt::Kind::If: {
+    const auto *If = cast<IfStmt>(S);
+    std::string Out;
+    bool First = true;
+    for (const IfStmt::Branch &Br : If->branches()) {
+      Out += Pad + (First ? "if " : "elseif ") + printExpr(Br.Cond) + "\n";
+      Out += printBlock(Br.Body, Indent + 1);
+      First = false;
+    }
+    if (!If->elseBlock().empty()) {
+      Out += Pad + "else\n";
+      Out += printBlock(If->elseBlock(), Indent + 1);
+    }
+    return Out + Pad + "end\n";
+  }
+  case Stmt::Kind::While:
+    return Pad + "while " + printExpr(cast<WhileStmt>(S)->cond()) + "\n" +
+           printBlock(cast<WhileStmt>(S)->body(), Indent + 1) + Pad + "end\n";
+  case Stmt::Kind::For: {
+    const auto *F = cast<ForStmt>(S);
+    return Pad + "for " + F->loopVar() + " = " + printExpr(F->iterand()) +
+           "\n" + printBlock(F->body(), Indent + 1) + Pad + "end\n";
+  }
+  case Stmt::Kind::Break:
+    return Pad + "break;\n";
+  case Stmt::Kind::Continue:
+    return Pad + "continue;\n";
+  case Stmt::Kind::Return:
+    return Pad + "return;\n";
+  case Stmt::Kind::Clear: {
+    std::string Out = Pad + "clear";
+    for (const std::string &N : cast<ClearStmt>(S)->names())
+      Out += " " + N;
+    return Out + ";\n";
+  }
+  }
+  majic_unreachable("invalid statement kind");
+}
+
+std::string majic::printBlock(const Block &B, unsigned Indent) {
+  std::string Out;
+  for (const Stmt *S : B)
+    Out += printStmt(S, Indent);
+  return Out;
+}
+
+std::string majic::printFunction(const Function &F) {
+  std::string Out;
+  if (!F.isScript()) {
+    Out = "function ";
+    if (F.outs().size() == 1) {
+      Out += F.outs()[0] + " = ";
+    } else if (F.outs().size() > 1) {
+      Out += "[";
+      for (size_t I = 0; I != F.outs().size(); ++I) {
+        if (I)
+          Out += ", ";
+        Out += F.outs()[I];
+      }
+      Out += "] = ";
+    }
+    Out += F.name() + "(";
+    for (size_t I = 0; I != F.params().size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += F.params()[I];
+    }
+    Out += ")\n";
+  }
+  Out += printBlock(F.body(), 1);
+  if (!F.isScript())
+    Out += "end\n";
+  return Out;
+}

@@ -1,0 +1,29 @@
+//===- ast/ASTPrinter.h - AST pretty printer -------------------*- C++ -*-===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders an AST back to MATLAB source. Used by tests (round-tripping) and
+/// for inspecting the inliner's output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAJIC_AST_ASTPRINTER_H
+#define MAJIC_AST_ASTPRINTER_H
+
+#include "ast/AST.h"
+
+#include <string>
+
+namespace majic {
+
+std::string printExpr(const Expr *E);
+std::string printStmt(const Stmt *S, unsigned Indent = 0);
+std::string printBlock(const Block &B, unsigned Indent = 0);
+std::string printFunction(const Function &F);
+
+} // namespace majic
+
+#endif // MAJIC_AST_ASTPRINTER_H

@@ -1,0 +1,113 @@
+//===- ast/ASTVisit.cpp - Generic AST traversal helpers ---------------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/ASTVisit.h"
+
+using namespace majic;
+
+void majic::visitExpr(Expr *E, const std::function<void(Expr *)> &Visit) {
+  if (!E)
+    return;
+  Visit(E);
+  switch (E->getKind()) {
+  case Expr::Kind::Number:
+  case Expr::Kind::String:
+  case Expr::Kind::Ident:
+  case Expr::Kind::ColonWildcard:
+  case Expr::Kind::EndRef:
+    return;
+  case Expr::Kind::Unary:
+    visitExpr(cast<UnaryExpr>(E)->operand(), Visit);
+    return;
+  case Expr::Kind::Binary: {
+    auto *B = cast<BinaryExpr>(E);
+    visitExpr(B->lhs(), Visit);
+    visitExpr(B->rhs(), Visit);
+    return;
+  }
+  case Expr::Kind::ShortCircuit: {
+    auto *B = cast<ShortCircuitExpr>(E);
+    visitExpr(B->lhs(), Visit);
+    visitExpr(B->rhs(), Visit);
+    return;
+  }
+  case Expr::Kind::Range: {
+    auto *R = cast<RangeExpr>(E);
+    visitExpr(R->lo(), Visit);
+    visitExpr(R->step(), Visit);
+    visitExpr(R->hi(), Visit);
+    return;
+  }
+  case Expr::Kind::Matrix:
+    for (const auto &Row : cast<MatrixExpr>(E)->rows())
+      for (Expr *Elem : Row)
+        visitExpr(Elem, Visit);
+    return;
+  case Expr::Kind::IndexOrCall: {
+    auto *IC = cast<IndexOrCallExpr>(E);
+    Visit(IC->base());
+    for (Expr *A : IC->args())
+      visitExpr(A, Visit);
+    return;
+  }
+  }
+}
+
+void majic::visitStmtExprs(const Stmt *S,
+                           const std::function<void(Expr *)> &Visit) {
+  switch (S->getKind()) {
+  case Stmt::Kind::Expr:
+    Visit(cast<ExprStmt>(S)->expr());
+    return;
+  case Stmt::Kind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    Visit(A->rhs());
+    for (const LValue &LV : A->targets())
+      for (Expr *Idx : LV.Indices)
+        Visit(Idx);
+    return;
+  }
+  case Stmt::Kind::If:
+    for (const IfStmt::Branch &Br : cast<IfStmt>(S)->branches())
+      Visit(Br.Cond);
+    return;
+  case Stmt::Kind::While:
+    Visit(cast<WhileStmt>(S)->cond());
+    return;
+  case Stmt::Kind::For:
+    Visit(cast<ForStmt>(S)->iterand());
+    return;
+  case Stmt::Kind::Break:
+  case Stmt::Kind::Continue:
+  case Stmt::Kind::Return:
+  case Stmt::Kind::Clear:
+    return;
+  }
+}
+
+void majic::visitStmts(const Block &B,
+                       const std::function<void(const Stmt *)> &Visit) {
+  for (const Stmt *S : B) {
+    Visit(S);
+    switch (S->getKind()) {
+    case Stmt::Kind::If: {
+      const auto *If = cast<IfStmt>(S);
+      for (const IfStmt::Branch &Br : If->branches())
+        visitStmts(Br.Body, Visit);
+      visitStmts(If->elseBlock(), Visit);
+      break;
+    }
+    case Stmt::Kind::While:
+      visitStmts(cast<WhileStmt>(S)->body(), Visit);
+      break;
+    case Stmt::Kind::For:
+      visitStmts(cast<ForStmt>(S)->body(), Visit);
+      break;
+    default:
+      break;
+    }
+  }
+}

@@ -1,0 +1,36 @@
+//===- ast/ASTVisit.h - Generic AST traversal helpers ----------*- C++ -*-===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small traversal helpers shared by the analyses: pre-order expression
+/// walks and statement walks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAJIC_AST_ASTVISIT_H
+#define MAJIC_AST_ASTVISIT_H
+
+#include "ast/AST.h"
+
+#include <functional>
+
+namespace majic {
+
+/// Pre-order walk over \p E and all subexpressions.
+void visitExpr(Expr *E, const std::function<void(Expr *)> &Visit);
+
+/// Invokes \p Visit on every expression directly contained in \p S (RHS,
+/// subscripts, conditions, iterands) without descending into nested
+/// statements.
+void visitStmtExprs(const Stmt *S, const std::function<void(Expr *)> &Visit);
+
+/// Pre-order walk over every statement in \p B, descending into nested
+/// blocks.
+void visitStmts(const Block &B, const std::function<void(const Stmt *)> &Visit);
+
+} // namespace majic
+
+#endif // MAJIC_AST_ASTVISIT_H

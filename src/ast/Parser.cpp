@@ -1,0 +1,682 @@
+//===- ast/Parser.cpp - MATLAB parser --------------------------------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ast/Parser.h"
+
+#include "ast/Lexer.h"
+#include "support/StringUtils.h"
+
+#include <initializer_list>
+
+using namespace majic;
+using rt::BinOp;
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::string Name, std::vector<Token> Tokens, Diagnostics &Diags)
+      : ModName(std::move(Name)), Toks(std::move(Tokens)), Diags(Diags),
+        Mod(std::make_unique<Module>(ModName)) {}
+
+  std::unique_ptr<Module> run();
+
+private:
+  //===--------------------------------------------------------------------===
+  // Token helpers
+  //===--------------------------------------------------------------------===
+
+  const Token &cur() const { return Toks[Pos]; }
+  const Token &next(size_t Ahead = 1) const {
+    size_t I = Pos + Ahead;
+    return I < Toks.size() ? Toks[I] : Toks.back();
+  }
+  TokKind kind() const { return cur().Kind; }
+  SourceLoc loc() const { return cur().Loc; }
+
+  Token eat() { return Toks[Pos < Toks.size() - 1 ? Pos++ : Pos]; }
+
+  bool is(TokKind K) const { return kind() == K; }
+
+  bool accept(TokKind K) {
+    if (!is(K))
+      return false;
+    eat();
+    return true;
+  }
+
+  bool expect(TokKind K, const char *Context) {
+    if (accept(K))
+      return true;
+    Diags.error(loc(), format("expected %s %s, got %s", tokKindName(K),
+                              Context, tokKindName(kind())));
+    return false;
+  }
+
+  void skipNewlines() {
+    while (is(TokKind::Newline))
+      eat();
+  }
+
+  /// Skips to the next statement boundary after an error.
+  void recover() {
+    while (!is(TokKind::Eof) && !is(TokKind::Newline) && !is(TokKind::Semi))
+      eat();
+  }
+
+  template <typename T, typename... ArgTys> T *make(ArgTys &&...Args) {
+    return Mod->context().create<T>(std::forward<ArgTys>(Args)...);
+  }
+
+  //===--------------------------------------------------------------------===
+  // Productions
+  //===--------------------------------------------------------------------===
+
+  std::unique_ptr<Function> parseFunction();
+  void parseScript();
+  Block parseBlock(std::initializer_list<TokKind> Terminators);
+  Stmt *parseStatement();
+  Stmt *parseSimpleStatement();
+  Stmt *finishAssignOrExpr();
+  bool exprToLValues(Expr *E, std::vector<LValue> &Out);
+
+  Expr *parseExpr() { return parseOrOr(); }
+  Expr *parseOrOr();
+  Expr *parseAndAnd();
+  Expr *parseElemOr();
+  Expr *parseElemAnd();
+  Expr *parseComparison();
+  Expr *parseRange();
+  Expr *parseAdditive();
+  Expr *parseMultiplicative();
+  Expr *parseUnary();
+  Expr *parsePower();
+  Expr *parsePostfix();
+  Expr *parsePrimary();
+  Expr *parseMatrixLiteral();
+  std::vector<Expr *> parseCallArgs();
+  Expr *parseIndexArg();
+
+  /// True when a +/- token in matrix context acts as an element separator
+  /// ([1 -2] has two elements; [1 - 2] and [1-2] have one).
+  bool plusMinusStartsNewElement() const {
+    if (MatrixDepth == 0 || ParenDepth != 0)
+      return false;
+    if (!is(TokKind::Plus) && !is(TokKind::Minus))
+      return false;
+    return cur().SpaceBefore && !next().SpaceBefore &&
+           next().Kind != TokKind::Newline && next().Kind != TokKind::Eof;
+  }
+
+  /// True when the current token can begin an expression.
+  bool startsExpr() const {
+    switch (kind()) {
+    case TokKind::Number:
+    case TokKind::String:
+    case TokKind::Identifier:
+    case TokKind::LParen:
+    case TokKind::LBracket:
+    case TokKind::Plus:
+    case TokKind::Minus:
+    case TokKind::Tilde:
+      return true;
+    case TokKind::KwEnd:
+      return IndexDepth > 0;
+    case TokKind::Colon:
+      return IndexDepth > 0;
+    default:
+      return false;
+    }
+  }
+
+  std::string ModName;
+  std::vector<Token> Toks;
+  Diagnostics &Diags;
+  std::unique_ptr<Module> Mod;
+  size_t Pos = 0;
+  int MatrixDepth = 0; ///< Nesting inside [ ... ] element parsing.
+  int ParenDepth = 0;  ///< Nesting inside ( ... ) within a matrix element.
+  int IndexDepth = 0;  ///< Nesting inside subscript argument lists.
+};
+
+//===----------------------------------------------------------------------===//
+// Top level
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Module> Parser::run() {
+  skipNewlines();
+  if (is(TokKind::KwFunction)) {
+    while (is(TokKind::KwFunction)) {
+      auto F = parseFunction();
+      if (F)
+        Mod->addFunction(std::move(F));
+      skipNewlines();
+    }
+    if (!is(TokKind::Eof))
+      Diags.error(loc(), format("unexpected %s after last function",
+                                tokKindName(kind())));
+  } else {
+    parseScript();
+  }
+  if (Diags.hasErrors())
+    return nullptr;
+  return std::move(Mod);
+}
+
+void Parser::parseScript() {
+  auto F = std::make_unique<Function>(ModName, std::vector<std::string>{},
+                                      std::vector<std::string>{},
+                                      /*IsScript=*/true);
+  unsigned StartLine = loc().Line;
+  F->body() = parseBlock({TokKind::Eof});
+  F->setNumLines(loc().Line - StartLine + 1);
+  Mod->addFunction(std::move(F));
+}
+
+std::unique_ptr<Function> Parser::parseFunction() {
+  unsigned StartLine = loc().Line;
+  expect(TokKind::KwFunction, "to begin function");
+
+  std::vector<std::string> Outs;
+  std::string Name;
+
+  // Three header forms:
+  //   function name(...)         function out = name(...)
+  //   function [o1, o2] = name(...)
+  if (is(TokKind::LBracket)) {
+    eat();
+    while (is(TokKind::Identifier)) {
+      Outs.push_back(eat().Text);
+      if (!accept(TokKind::Comma))
+        break;
+    }
+    expect(TokKind::RBracket, "after output list");
+    expect(TokKind::Assign, "after output list");
+    if (is(TokKind::Identifier))
+      Name = eat().Text;
+    else
+      Diags.error(loc(), "expected function name");
+  } else if (is(TokKind::Identifier)) {
+    std::string First = eat().Text;
+    if (accept(TokKind::Assign)) {
+      Outs.push_back(First);
+      if (is(TokKind::Identifier))
+        Name = eat().Text;
+      else
+        Diags.error(loc(), "expected function name");
+    } else {
+      Name = First;
+    }
+  } else {
+    Diags.error(loc(), "expected function name");
+    recover();
+  }
+
+  std::vector<std::string> Params;
+  if (accept(TokKind::LParen)) {
+    while (is(TokKind::Identifier)) {
+      Params.push_back(eat().Text);
+      if (!accept(TokKind::Comma))
+        break;
+    }
+    expect(TokKind::RParen, "after parameter list");
+  }
+
+  auto F = std::make_unique<Function>(Name, std::move(Params), std::move(Outs),
+                                      /*IsScript=*/false);
+  F->body() = parseBlock({TokKind::KwFunction, TokKind::KwEnd, TokKind::Eof});
+  // A function may optionally be terminated by 'end'.
+  if (is(TokKind::KwEnd))
+    eat();
+  F->setNumLines(loc().Line - StartLine + 1);
+  return F;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+Block Parser::parseBlock(std::initializer_list<TokKind> Terminators) {
+  Block B;
+  while (true) {
+    // Skip statement separators.
+    while (is(TokKind::Newline) || is(TokKind::Semi) || is(TokKind::Comma))
+      eat();
+    bool AtTerminator = is(TokKind::Eof);
+    for (TokKind T : Terminators)
+      AtTerminator |= is(T);
+    if (AtTerminator)
+      return B;
+    if (Stmt *S = parseStatement())
+      B.push_back(S);
+    else
+      recover();
+  }
+}
+
+Stmt *Parser::parseStatement() {
+  SourceLoc Loc = loc();
+  switch (kind()) {
+  case TokKind::KwIf: {
+    eat();
+    std::vector<IfStmt::Branch> Branches;
+    Expr *Cond = parseExpr();
+    Block Body = parseBlock({TokKind::KwElseif, TokKind::KwElse, TokKind::KwEnd});
+    Branches.push_back({Cond, std::move(Body)});
+    while (is(TokKind::KwElseif)) {
+      eat();
+      Expr *C = parseExpr();
+      Block ElifBody =
+          parseBlock({TokKind::KwElseif, TokKind::KwElse, TokKind::KwEnd});
+      Branches.push_back({C, std::move(ElifBody)});
+    }
+    Block Else;
+    if (accept(TokKind::KwElse))
+      Else = parseBlock({TokKind::KwEnd});
+    expect(TokKind::KwEnd, "to close 'if'");
+    return make<IfStmt>(std::move(Branches), std::move(Else), Loc);
+  }
+  case TokKind::KwWhile: {
+    eat();
+    Expr *Cond = parseExpr();
+    Block Body = parseBlock({TokKind::KwEnd});
+    expect(TokKind::KwEnd, "to close 'while'");
+    return make<WhileStmt>(Cond, std::move(Body), Loc);
+  }
+  case TokKind::KwFor: {
+    eat();
+    std::string Var;
+    if (is(TokKind::Identifier))
+      Var = eat().Text;
+    else
+      Diags.error(loc(), "expected loop variable after 'for'");
+    expect(TokKind::Assign, "after loop variable");
+    Expr *Iterand = parseExpr();
+    Block Body = parseBlock({TokKind::KwEnd});
+    expect(TokKind::KwEnd, "to close 'for'");
+    return make<ForStmt>(std::move(Var), Iterand, std::move(Body), Loc);
+  }
+  case TokKind::KwBreak:
+    eat();
+    return make<BreakStmt>(Loc);
+  case TokKind::KwContinue:
+    eat();
+    return make<ContinueStmt>(Loc);
+  case TokKind::KwReturn:
+    eat();
+    return make<ReturnStmt>(Loc);
+  case TokKind::KwClear: {
+    eat();
+    std::vector<std::string> Names;
+    while (is(TokKind::Identifier))
+      Names.push_back(eat().Text);
+    return make<ClearStmt>(std::move(Names), Loc);
+  }
+  default:
+    return finishAssignOrExpr();
+  }
+}
+
+/// Converts a parsed LHS expression into assignment targets.
+bool Parser::exprToLValues(Expr *E, std::vector<LValue> &Out) {
+  auto FromOne = [&](Expr *Target) -> bool {
+    if (auto *Id = dyn_cast<IdentExpr>(Target)) {
+      Out.push_back({Id->name(), -1, {}, false, Id->getLoc()});
+      return true;
+    }
+    if (auto *IC = dyn_cast<IndexOrCallExpr>(Target)) {
+      Out.push_back(
+          {IC->base()->name(), -1, IC->args(), true, IC->getLoc()});
+      return true;
+    }
+    return false;
+  };
+
+  if (auto *M = dyn_cast<MatrixExpr>(E)) {
+    if (M->rows().size() != 1)
+      return false;
+    for (Expr *Elem : M->rows().front())
+      if (!FromOne(Elem))
+        return false;
+    return !Out.empty();
+  }
+  return FromOne(E);
+}
+
+Stmt *Parser::finishAssignOrExpr() {
+  SourceLoc Loc = loc();
+  if (!startsExpr()) {
+    Diags.error(Loc, format("unexpected %s", tokKindName(kind())));
+    return nullptr;
+  }
+  Expr *E = parseExpr();
+  if (!E)
+    return nullptr;
+
+  bool IsAssign = is(TokKind::Assign);
+  std::vector<LValue> Targets;
+  if (IsAssign) {
+    if (!exprToLValues(E, Targets)) {
+      Diags.error(Loc, "invalid assignment target");
+      return nullptr;
+    }
+    eat(); // '='
+    Expr *RHS = parseExpr();
+    if (!RHS)
+      return nullptr;
+    bool Display = !is(TokKind::Semi);
+    return make<AssignStmt>(std::move(Targets), RHS, Display, Loc);
+  }
+  bool Display = !is(TokKind::Semi);
+  return make<ExprStmt>(E, Display, Loc);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+Expr *Parser::parseOrOr() {
+  Expr *L = parseAndAnd();
+  while (is(TokKind::PipePipe)) {
+    SourceLoc Loc = eat().Loc;
+    Expr *R = parseAndAnd();
+    L = make<ShortCircuitExpr>(/*IsAnd=*/false, L, R, Loc);
+  }
+  return L;
+}
+
+Expr *Parser::parseAndAnd() {
+  Expr *L = parseElemOr();
+  while (is(TokKind::AmpAmp)) {
+    SourceLoc Loc = eat().Loc;
+    Expr *R = parseElemOr();
+    L = make<ShortCircuitExpr>(/*IsAnd=*/true, L, R, Loc);
+  }
+  return L;
+}
+
+Expr *Parser::parseElemOr() {
+  Expr *L = parseElemAnd();
+  while (is(TokKind::Pipe)) {
+    SourceLoc Loc = eat().Loc;
+    L = make<BinaryExpr>(BinOp::Or, L, parseElemAnd(), Loc);
+  }
+  return L;
+}
+
+Expr *Parser::parseElemAnd() {
+  Expr *L = parseComparison();
+  while (is(TokKind::Amp)) {
+    SourceLoc Loc = eat().Loc;
+    L = make<BinaryExpr>(BinOp::And, L, parseComparison(), Loc);
+  }
+  return L;
+}
+
+Expr *Parser::parseComparison() {
+  Expr *L = parseRange();
+  while (true) {
+    BinOp Op;
+    switch (kind()) {
+    case TokKind::Lt:
+      Op = BinOp::Lt;
+      break;
+    case TokKind::Le:
+      Op = BinOp::Le;
+      break;
+    case TokKind::Gt:
+      Op = BinOp::Gt;
+      break;
+    case TokKind::Ge:
+      Op = BinOp::Ge;
+      break;
+    case TokKind::EqEq:
+      Op = BinOp::Eq;
+      break;
+    case TokKind::NotEq:
+      Op = BinOp::Ne;
+      break;
+    default:
+      return L;
+    }
+    SourceLoc Loc = eat().Loc;
+    L = make<BinaryExpr>(Op, L, parseRange(), Loc);
+  }
+}
+
+Expr *Parser::parseRange() {
+  Expr *Lo = parseAdditive();
+  if (!is(TokKind::Colon))
+    return Lo;
+  SourceLoc Loc = eat().Loc;
+  Expr *Mid = parseAdditive();
+  if (is(TokKind::Colon)) {
+    eat();
+    Expr *Hi = parseAdditive();
+    return make<RangeExpr>(Lo, Mid, Hi, Loc);
+  }
+  return make<RangeExpr>(Lo, /*Step=*/nullptr, Mid, Loc);
+}
+
+Expr *Parser::parseAdditive() {
+  Expr *L = parseMultiplicative();
+  while (is(TokKind::Plus) || is(TokKind::Minus)) {
+    if (plusMinusStartsNewElement())
+      return L;
+    BinOp Op = is(TokKind::Plus) ? BinOp::Add : BinOp::Sub;
+    SourceLoc Loc = eat().Loc;
+    L = make<BinaryExpr>(Op, L, parseMultiplicative(), Loc);
+  }
+  return L;
+}
+
+Expr *Parser::parseMultiplicative() {
+  Expr *L = parseUnary();
+  while (true) {
+    BinOp Op;
+    switch (kind()) {
+    case TokKind::Star:
+      Op = BinOp::MatMul;
+      break;
+    case TokKind::Slash:
+      Op = BinOp::MatRDiv;
+      break;
+    case TokKind::Backslash:
+      Op = BinOp::MatLDiv;
+      break;
+    case TokKind::DotStar:
+      Op = BinOp::ElemMul;
+      break;
+    case TokKind::DotSlash:
+      Op = BinOp::ElemRDiv;
+      break;
+    case TokKind::DotBackslash:
+      Op = BinOp::ElemLDiv;
+      break;
+    default:
+      return L;
+    }
+    SourceLoc Loc = eat().Loc;
+    L = make<BinaryExpr>(Op, L, parseUnary(), Loc);
+  }
+}
+
+Expr *Parser::parseUnary() {
+  SourceLoc Loc = loc();
+  if (accept(TokKind::Plus))
+    return make<UnaryExpr>(UnaryOpKind::Plus, parseUnary(), Loc);
+  if (accept(TokKind::Minus))
+    return make<UnaryExpr>(UnaryOpKind::Neg, parseUnary(), Loc);
+  if (accept(TokKind::Tilde))
+    return make<UnaryExpr>(UnaryOpKind::Not, parseUnary(), Loc);
+  return parsePower();
+}
+
+Expr *Parser::parsePower() {
+  Expr *L = parsePostfix();
+  while (is(TokKind::Caret) || is(TokKind::DotCaret)) {
+    BinOp Op = is(TokKind::Caret) ? BinOp::MatPow : BinOp::ElemPow;
+    SourceLoc Loc = eat().Loc;
+    // The exponent may carry a unary sign: 2^-3.
+    Expr *R;
+    SourceLoc RLoc = loc();
+    if (accept(TokKind::Minus))
+      R = make<UnaryExpr>(UnaryOpKind::Neg, parsePostfix(), RLoc);
+    else if (accept(TokKind::Plus))
+      R = make<UnaryExpr>(UnaryOpKind::Plus, parsePostfix(), RLoc);
+    else
+      R = parsePostfix();
+    L = make<BinaryExpr>(Op, L, R, Loc);
+  }
+  return L;
+}
+
+Expr *Parser::parsePostfix() {
+  Expr *E = parsePrimary();
+  while (true) {
+    if (is(TokKind::Quote)) {
+      SourceLoc Loc = eat().Loc;
+      E = make<UnaryExpr>(UnaryOpKind::CTranspose, E, Loc);
+      continue;
+    }
+    if (is(TokKind::DotQuote)) {
+      SourceLoc Loc = eat().Loc;
+      E = make<UnaryExpr>(UnaryOpKind::Transpose, E, Loc);
+      continue;
+    }
+    if (is(TokKind::LParen)) {
+      auto *Base = dyn_cast<IdentExpr>(E);
+      if (!Base) {
+        Diags.error(loc(), "only simple names can be indexed or called");
+        return E;
+      }
+      SourceLoc Loc = loc();
+      std::vector<Expr *> Args = parseCallArgs();
+      E = make<IndexOrCallExpr>(Base, std::move(Args), Loc);
+      continue;
+    }
+    return E;
+  }
+}
+
+std::vector<Expr *> Parser::parseCallArgs() {
+  expect(TokKind::LParen, "to begin argument list");
+  ++IndexDepth;
+  int SavedMatrix = MatrixDepth, SavedParen = ParenDepth;
+  MatrixDepth = 0;
+  ParenDepth = 0;
+  std::vector<Expr *> Args;
+  if (!is(TokKind::RParen)) {
+    while (true) {
+      Args.push_back(parseIndexArg());
+      if (!accept(TokKind::Comma))
+        break;
+    }
+  }
+  MatrixDepth = SavedMatrix;
+  ParenDepth = SavedParen;
+  --IndexDepth;
+  expect(TokKind::RParen, "to close argument list");
+  return Args;
+}
+
+Expr *Parser::parseIndexArg() {
+  // A bare ':' subscript: only when immediately followed by ',' or ')'.
+  if (is(TokKind::Colon) &&
+      (next().Kind == TokKind::Comma || next().Kind == TokKind::RParen)) {
+    SourceLoc Loc = eat().Loc;
+    return make<ColonWildcardExpr>(Loc);
+  }
+  return parseExpr();
+}
+
+Expr *Parser::parsePrimary() {
+  SourceLoc Loc = loc();
+  switch (kind()) {
+  case TokKind::Number: {
+    Token T = eat();
+    return make<NumberExpr>(T.NumValue, T.IsImaginary, Loc);
+  }
+  case TokKind::String: {
+    Token T = eat();
+    return make<StringExpr>(std::move(T.Text), Loc);
+  }
+  case TokKind::Identifier: {
+    Token T = eat();
+    return make<IdentExpr>(std::move(T.Text), Loc);
+  }
+  case TokKind::KwEnd:
+    if (IndexDepth > 0) {
+      eat();
+      return make<EndRefExpr>(Loc);
+    }
+    break;
+  case TokKind::LParen: {
+    eat();
+    ++ParenDepth;
+    Expr *E = parseExpr();
+    --ParenDepth;
+    expect(TokKind::RParen, "to close parenthesized expression");
+    return E;
+  }
+  case TokKind::LBracket:
+    return parseMatrixLiteral();
+  default:
+    break;
+  }
+  Diags.error(Loc, format("expected an expression, got %s",
+                          tokKindName(kind())));
+  // Produce a placeholder so parsing can continue.
+  eat();
+  return make<NumberExpr>(0.0, false, Loc);
+}
+
+Expr *Parser::parseMatrixLiteral() {
+  SourceLoc Loc = loc();
+  expect(TokKind::LBracket, "to begin matrix");
+  ++MatrixDepth;
+  std::vector<std::vector<Expr *>> Rows;
+  std::vector<Expr *> Row;
+
+  auto FlushRow = [&] {
+    if (!Row.empty()) {
+      Rows.push_back(std::move(Row));
+      Row.clear();
+    }
+  };
+
+  while (!is(TokKind::RBracket) && !is(TokKind::Eof)) {
+    if (accept(TokKind::Semi) || accept(TokKind::Newline)) {
+      FlushRow();
+      continue;
+    }
+    if (accept(TokKind::Comma))
+      continue;
+    if (!startsExpr() && !is(TokKind::Colon)) {
+      Diags.error(loc(), format("unexpected %s in matrix literal",
+                                tokKindName(kind())));
+      break;
+    }
+    Row.push_back(parseExpr());
+  }
+  FlushRow();
+  --MatrixDepth;
+  expect(TokKind::RBracket, "to close matrix");
+  return make<MatrixExpr>(std::move(Rows), Loc);
+}
+
+} // namespace
+
+std::unique_ptr<Module> majic::parseModule(const std::string &Name,
+                                           const std::string &Source,
+                                           SourceManager &SM,
+                                           Diagnostics &Diags) {
+  uint32_t FileId = SM.addBuffer(Name, Source);
+  std::vector<Token> Toks = lex(SM.bufferContents(FileId), FileId, Diags);
+  if (Diags.hasErrors())
+    return nullptr;
+  return Parser(Name, std::move(Toks), Diags).run();
+}

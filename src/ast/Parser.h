@@ -1,0 +1,34 @@
+//===- ast/Parser.h - MATLAB parser ----------------------------*- C++ -*-===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the MATLAB subset. Produces a Module: either
+/// a function file (primary function plus subfunctions) or a script wrapped
+/// as a zero-argument function. Based on FALCON's parser structure
+/// (Section 2: "MaJIC's parser is based on FALCON's parser").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAJIC_AST_PARSER_H
+#define MAJIC_AST_PARSER_H
+
+#include "ast/AST.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string>
+
+namespace majic {
+
+/// Parses \p Source (registered in \p SM under \p Name) into a Module.
+/// Returns null when parse errors were reported to \p Diags.
+std::unique_ptr<Module> parseModule(const std::string &Name,
+                                    const std::string &Source,
+                                    SourceManager &SM, Diagnostics &Diags);
+
+} // namespace majic
+
+#endif // MAJIC_AST_PARSER_H

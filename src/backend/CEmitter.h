@@ -1,0 +1,35 @@
+//===- backend/CEmitter.h - C source emission ------------------*- C++ -*-===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The source code generator's textual backend (Section 2.6: "in
+/// speculative mode, the code generator builds C or Fortran source code,
+/// which is then compiled and linked with platform native tools"). This
+/// reproduction executes compiled code in the register VM instead
+/// (DESIGN.md substitution #2), but the C emitter renders the same IR as a
+/// self-contained C translation unit against an mlf-style runtime shim —
+/// the Figure 3 artifact. The output is for inspection/export; it is not
+/// compiled back in.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAJIC_BACKEND_CEMITTER_H
+#define MAJIC_BACKEND_CEMITTER_H
+
+#include "ir/Instr.h"
+#include "types/Signature.h"
+
+#include <string>
+
+namespace majic {
+
+/// Renders unallocated IR as C source. The signature is emitted as the
+/// Figure 3 style itype/shape/limits comment block.
+std::string emitCSource(const IRFunction &F, const TypeSignature &Sig);
+
+} // namespace majic
+
+#endif // MAJIC_BACKEND_CEMITTER_H

@@ -1,0 +1,1613 @@
+//===- backend/CodeGen.cpp - AST to IR code selection ---------------------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "backend/CodeGen.h"
+
+#include "ast/ASTVisit.h"
+#include "ir/Builder.h"
+#include "runtime/Builtins.h"
+
+#include <cmath>
+#include <optional>
+
+using namespace majic;
+using rt::BinOp;
+
+namespace {
+
+/// Where a value currently lives during code selection.
+struct Operand {
+  enum class Kind : uint8_t { F, I, P, CPair };
+  Kind K = Kind::P;
+  int32_t R0 = -1;
+  int32_t R1 = -1; // imaginary register for CPair
+
+  static Operand f(int32_t R) { return {Kind::F, R, -1}; }
+  static Operand i(int32_t R) { return {Kind::I, R, -1}; }
+  static Operand p(int32_t R) { return {Kind::P, R, -1}; }
+  static Operand c(int32_t Re, int32_t Im) { return {Kind::CPair, Re, Im}; }
+};
+
+/// A variable's home storage.
+struct VarHome {
+  Operand::Kind K = Operand::Kind::P;
+  int32_t R0 = -1;
+  int32_t R1 = -1;
+};
+
+/// Thrown internally to abandon compilation of unsupported functions.
+struct CannotCompile {};
+
+class CodeGen {
+public:
+  CodeGen(const FunctionInfo &FI, const TypeAnnotations &Ann,
+          const TypeSignature &Sig, const CodeGenOptions &Opts)
+      : FI(FI), Ann(Ann), Sig(Sig), Opts(Opts),
+        IR(std::make_unique<IRFunction>()), B(*IR) {}
+
+  std::unique_ptr<IRFunction> run();
+
+private:
+  bool generic() const { return Opts.Mode == CodeGenMode::Generic; }
+
+  Type typeOf(const Expr *E) const {
+    return generic() ? Type::top() : Ann.typeOf(E);
+  }
+
+  /// The storage summary type of a slot.
+  Type slotType(int Slot) const {
+    if (generic() || Slot < 0 ||
+        static_cast<size_t>(Slot) >= Ann.SlotSummary.size())
+      return Type::top();
+    return Ann.SlotSummary[Slot];
+  }
+
+  void assignHomes();
+  void genPrologue();
+  void genEpilogue();
+
+  void genBlock(const Block &Body);
+  void genStmt(const Stmt *S);
+  void genAssign(const AssignStmt *A);
+  void genFor(const ForStmt *For);
+  void genCountedRangeFor(const ForStmt *For, const RangeExpr *R);
+
+  Operand genExpr(const Expr *E);
+  Operand genBinary(const BinaryExpr *E);
+  Operand genUnary(const UnaryExpr *E);
+  Operand genMatrixLit(const MatrixExpr *E);
+  Operand genIndexRead(const IndexOrCallExpr *IC);
+  std::vector<Operand> genCall(const IndexOrCallExpr *IC, size_t NumOuts,
+                               bool Statement = false);
+  std::vector<Operand> genBuiltinCall(const IndexOrCallExpr *IC,
+                                      size_t NumOuts, bool Statement);
+  void genIndexedStore(const LValue &LV, Operand RHS, const Type &RHSType,
+                       const Stmt *S);
+  void storeToHome(int Slot, Operand V);
+  void displayVar(const std::string &Name, const VarHome &Home);
+
+  //===--------------------------------------------------------------------===
+  // Conversions
+  //===--------------------------------------------------------------------===
+
+  Operand toF(Operand V) {
+    switch (V.K) {
+    case Operand::Kind::F:
+      return V;
+    case Operand::Kind::I: {
+      int32_t R = B.newF();
+      B.emit(Opcode::IToF, R, V.R0);
+      return Operand::f(R);
+    }
+    case Operand::Kind::P: {
+      int32_t R = B.newF();
+      B.emit(Opcode::UnboxF, R, V.R0);
+      return Operand::f(R);
+    }
+    case Operand::Kind::CPair:
+      return Operand::f(V.R0); // real part; callers ensure real typing
+    }
+    majic_unreachable("invalid operand kind");
+  }
+
+  Operand toI(Operand V) {
+    switch (V.K) {
+    case Operand::Kind::I:
+      return V;
+    case Operand::Kind::F: {
+      int32_t R = B.newI();
+      B.emit(Opcode::FToI, R, V.R0);
+      return Operand::i(R);
+    }
+    case Operand::Kind::P: {
+      int32_t R = B.newI();
+      B.emit(Opcode::UnboxI, R, V.R0);
+      return Operand::i(R);
+    }
+    case Operand::Kind::CPair: {
+      int32_t R = B.newI();
+      B.emit(Opcode::FToI, R, V.R0);
+      return Operand::i(R);
+    }
+    }
+    majic_unreachable("invalid operand kind");
+  }
+
+  /// Boxes to a P register. \p T guides the boxed class.
+  Operand toP(Operand V, const Type &T) {
+    switch (V.K) {
+    case Operand::Kind::P:
+      return V;
+    case Operand::Kind::F: {
+      int32_t R = B.newP();
+      B.emit(Opcode::BoxF, R, V.R0);
+      return Operand::p(R);
+    }
+    case Operand::Kind::I: {
+      int32_t R = B.newP();
+      B.emit(T.intrinsic() == IntrinsicType::Bool ? Opcode::BoxB : Opcode::BoxI,
+             R, V.R0);
+      return Operand::p(R);
+    }
+    case Operand::Kind::CPair: {
+      int32_t R = B.newP();
+      B.emit(Opcode::BoxC, R, V.R0, V.R1);
+      return Operand::p(R);
+    }
+    }
+    majic_unreachable("invalid operand kind");
+  }
+
+  Operand toCPair(Operand V) {
+    switch (V.K) {
+    case Operand::Kind::CPair:
+      return V;
+    case Operand::Kind::F:
+      return Operand::c(V.R0, B.fconst(0.0));
+    case Operand::Kind::I: {
+      Operand F = toF(V);
+      return Operand::c(F.R0, B.fconst(0.0));
+    }
+    case Operand::Kind::P: {
+      int32_t Re = B.newF(), Im = B.newF();
+      B.emit(Opcode::UnboxReIm, Re, Im, V.R0);
+      return Operand::c(Re, Im);
+    }
+    }
+    majic_unreachable("invalid operand kind");
+  }
+
+  /// An I register holding the condition truth value.
+  int32_t toCond(Operand V) {
+    switch (V.K) {
+    case Operand::Kind::I:
+      return V.R0;
+    case Operand::Kind::F: {
+      int32_t R = B.newI();
+      int32_t Zero = B.fconst(0.0);
+      B.emitImmI(Opcode::FCmp, static_cast<int64_t>(CondCode::NE), R, V.R0,
+                 Zero);
+      return R;
+    }
+    case Operand::Kind::CPair: {
+      // Conditions disregard imaginary parts (Section 2.5).
+      int32_t R = B.newI();
+      int32_t Zero = B.fconst(0.0);
+      B.emitImmI(Opcode::FCmp, static_cast<int64_t>(CondCode::NE), R, V.R0,
+                 Zero);
+      return R;
+    }
+    case Operand::Kind::P: {
+      int32_t R = B.newI();
+      B.emit(Opcode::IsTrue, R, V.R0);
+      return R;
+    }
+    }
+    majic_unreachable("invalid operand kind");
+  }
+
+  /// Loads a variable as an operand (its home registers, directly).
+  Operand readVar(int Slot) {
+    const VarHome &H = Homes[Slot];
+    switch (H.K) {
+    case Operand::Kind::F:
+      return Operand::f(H.R0);
+    case Operand::Kind::I:
+      return Operand::i(H.R0);
+    case Operand::Kind::CPair:
+      return Operand::c(H.R0, H.R1);
+    case Operand::Kind::P:
+      return Operand::p(H.R0);
+    }
+    majic_unreachable("invalid home kind");
+  }
+
+  /// The MClass immediate for unboxed element stores.
+  static MClass storeClassOf(const Type &T) {
+    if (intrinsicLE(T.intrinsic(), IntrinsicType::Bool))
+      return MClass::Bool;
+    if (intrinsicLE(T.intrinsic(), IntrinsicType::Int))
+      return MClass::Int;
+    return MClass::Real;
+  }
+
+  /// True when \p T is a provably real (non-complex, non-string) scalar.
+  static bool realScalarType(const Type &T) {
+    return T.isScalar() && intrinsicLE(T.intrinsic(), IntrinsicType::Real) &&
+           !T.isBottom();
+  }
+  static bool intScalarType(const Type &T) {
+    return T.isScalar() && intrinsicLE(T.intrinsic(), IntrinsicType::Int) &&
+           !T.isBottom();
+  }
+  static bool cplxScalarType(const Type &T) {
+    return T.isScalar() &&
+           intrinsicLE(T.intrinsic(), IntrinsicType::Complex) && !T.isBottom();
+  }
+  static bool realArrayType(const Type &T) {
+    return intrinsicLE(T.intrinsic(), IntrinsicType::Real) && !T.isBottom();
+  }
+
+  /// Computes a 0-based scalar index register from subscript \p Arg against
+  /// dimension \p Dim of \p BaseP (for 'end').
+  int32_t genScalarIndex(const Expr *Arg, int32_t BaseP, unsigned Dim,
+                         unsigned NumDims);
+
+  struct EndContext {
+    int32_t BaseP;
+    unsigned Dim;
+    unsigned NumDims;
+  };
+
+  const FunctionInfo &FI;
+  const TypeAnnotations &Ann;
+  const TypeSignature &Sig;
+  CodeGenOptions Opts;
+  std::unique_ptr<IRFunction> IR;
+  IRBuilder B;
+
+  std::vector<VarHome> Homes;
+  std::vector<EndContext> EndStack;
+  std::vector<IRBuilder::Label> BreakLabels;
+  std::vector<IRBuilder::Label> ContinueLabels;
+  IRBuilder::Label EpilogueLabel;
+
+  // Fused-pattern scratch operands filled by the Axpy matcher.
+  Operand AxpyS, AxpyX, AxpyY;
+};
+
+//===----------------------------------------------------------------------===//
+// Homes, prologue, epilogue
+//===----------------------------------------------------------------------===//
+
+void CodeGen::assignHomes() {
+  const Function &F = *FI.F;
+  unsigned NumSlots = FI.Symbols.numSlots();
+  Homes.resize(NumSlots);
+
+  // Indexed-assignment targets always live boxed (their storage must be a
+  // real array object).
+  std::vector<bool> ForceBoxed(NumSlots, false);
+  visitStmts(F.body(), [&](const Stmt *S) {
+    if (const auto *A = dyn_cast<AssignStmt>(S))
+      for (const LValue &LV : A->targets())
+        if (LV.HasParens && LV.VarSlot >= 0)
+          ForceBoxed[LV.VarSlot] = true;
+  });
+  // Outputs not definitely assigned at exit stay boxed so "not assigned"
+  // remains detectable.
+  for (size_t O = 0; O != F.outs().size(); ++O) {
+    int Slot = F.outSlots()[O];
+    if (Slot >= 0 && (static_cast<size_t>(Slot) >= FI.DefiniteAtExit.size() ||
+                      !FI.DefiniteAtExit[Slot]))
+      ForceBoxed[Slot] = true;
+  }
+
+  for (unsigned Slot = 0; Slot != NumSlots; ++Slot) {
+    VarHome H;
+    Type T = slotType(static_cast<int>(Slot));
+    if (!generic() && !ForceBoxed[Slot] && !T.isBottom()) {
+      if (intScalarType(T)) {
+        H.K = Operand::Kind::I;
+        H.R0 = B.newI();
+      } else if (realScalarType(T)) {
+        H.K = Operand::Kind::F;
+        H.R0 = B.newF();
+      } else if (cplxScalarType(T)) {
+        H.K = Operand::Kind::CPair;
+        H.R0 = B.newF();
+        H.R1 = B.newF();
+      }
+    }
+    if (H.R0 < 0) {
+      H.K = Operand::Kind::P;
+      H.R0 = B.newP();
+    }
+    Homes[Slot] = H;
+  }
+}
+
+void CodeGen::genPrologue() {
+  const Function &F = *FI.F;
+  size_t NumParams = std::min(F.params().size(), Sig.size());
+  IR->NumParams = NumParams;
+  for (size_t P = 0; P != NumParams; ++P) {
+    int Slot = F.paramSlots()[P];
+    if (Slot < 0)
+      continue;
+    const VarHome &H = Homes[Slot];
+    if (H.K == Operand::Kind::P) {
+      B.emitImmI(Opcode::LoadParam, static_cast<int64_t>(P), H.R0);
+      continue;
+    }
+    int32_t Tmp = B.newP();
+    B.emitImmI(Opcode::LoadParam, static_cast<int64_t>(P), Tmp);
+    switch (H.K) {
+    case Operand::Kind::F:
+      B.emit(Opcode::UnboxF, H.R0, Tmp);
+      break;
+    case Operand::Kind::I:
+      B.emit(Opcode::UnboxI, H.R0, Tmp);
+      break;
+    case Operand::Kind::CPair:
+      B.emit(Opcode::UnboxReIm, H.R0, H.R1, Tmp);
+      break;
+    case Operand::Kind::P:
+      break;
+    }
+  }
+}
+
+void CodeGen::genEpilogue() {
+  B.bind(EpilogueLabel);
+  const Function &F = *FI.F;
+  IR->NumOuts = F.outs().size();
+  for (size_t O = 0; O != F.outs().size(); ++O) {
+    int Slot = F.outSlots()[O];
+    if (Slot < 0)
+      continue;
+    Operand V = readVar(Slot);
+    Operand P = toP(V, slotType(Slot));
+    B.emitImmI(Opcode::StoreOut, static_cast<int64_t>(O), P.R0);
+  }
+  B.emit(Opcode::Ret);
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void CodeGen::genBlock(const Block &Body) {
+  for (const Stmt *S : Body)
+    genStmt(S);
+}
+
+void CodeGen::genStmt(const Stmt *S) {
+  switch (S->getKind()) {
+  case Stmt::Kind::Expr: {
+    const auto *ES = cast<ExprStmt>(S);
+    // Bare calls: builtin/user statements like disp(x) or plot-style calls.
+    if (const auto *IC = dyn_cast<IndexOrCallExpr>(ES->expr())) {
+      if (IC->base()->symKind() == SymKind::Builtin ||
+          IC->base()->symKind() == SymKind::UserFunction) {
+        // Statement context (nargout = 0): the call runs with no required
+        // outputs; when unsuppressed, the optional first output (null when
+        // the callee produced none) displays as ans.
+        std::vector<Operand> Rs =
+            genCall(IC, ES->displays() ? 1 : 0, /*Statement=*/true);
+        if (ES->displays() && !Rs.empty())
+          B.emitImmI(Opcode::Display, IR->internName("ans"), Rs.front().R0);
+        return;
+      }
+    }
+    Operand V = genExpr(ES->expr());
+    if (ES->displays()) {
+      Operand P = toP(V, typeOf(ES->expr()));
+      B.emitImmI(Opcode::Display, IR->internName("ans"), P.R0);
+    }
+    return;
+  }
+
+  case Stmt::Kind::Assign:
+    genAssign(cast<AssignStmt>(S));
+    return;
+
+  case Stmt::Kind::If: {
+    const auto *If = cast<IfStmt>(S);
+    IRBuilder::Label Join = B.newLabel();
+    for (const IfStmt::Branch &Br : If->branches()) {
+      IRBuilder::Label Next = B.newLabel();
+      int32_t Cond = toCond(genExpr(Br.Cond));
+      B.brz(Cond, Next);
+      genBlock(Br.Body);
+      B.br(Join);
+      B.bind(Next);
+    }
+    genBlock(If->elseBlock());
+    B.bind(Join);
+    return;
+  }
+
+  case Stmt::Kind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    IRBuilder::Label Header = B.newLabel();
+    IRBuilder::Label Exit = B.newLabel();
+    B.bind(Header);
+    int32_t Cond = toCond(genExpr(W->cond()));
+    B.brz(Cond, Exit);
+    BreakLabels.push_back(Exit);
+    ContinueLabels.push_back(Header);
+    genBlock(W->body());
+    ContinueLabels.pop_back();
+    BreakLabels.pop_back();
+    B.br(Header);
+    B.bind(Exit);
+    return;
+  }
+
+  case Stmt::Kind::For:
+    genFor(cast<ForStmt>(S));
+    return;
+
+  case Stmt::Kind::Break:
+    if (BreakLabels.empty())
+      throw CannotCompile();
+    B.br(BreakLabels.back());
+    return;
+  case Stmt::Kind::Continue:
+    if (ContinueLabels.empty())
+      throw CannotCompile();
+    B.br(ContinueLabels.back());
+    return;
+  case Stmt::Kind::Return:
+    B.br(EpilogueLabel);
+    return;
+
+  case Stmt::Kind::Clear:
+    // clear manipulates the dynamic workspace; such code is interpreted.
+    throw CannotCompile();
+  }
+}
+
+void CodeGen::genAssign(const AssignStmt *A) {
+  if (A->isMulti()) {
+    const auto *IC = dyn_cast<IndexOrCallExpr>(A->rhs());
+    if (!IC || IC->base()->symKind() == SymKind::Variable)
+      throw CannotCompile();
+    std::vector<Operand> Rs = genCall(IC, A->targets().size());
+    for (size_t T = 0; T != A->targets().size(); ++T) {
+      const LValue &LV = A->targets()[T];
+      if (LV.HasParens)
+        genIndexedStore(LV, Rs[T], Type::top(), A);
+      else
+        storeToHome(LV.VarSlot, Rs[T]);
+      if (A->displays())
+        displayVar(LV.Name, Homes[LV.VarSlot]);
+    }
+    return;
+  }
+
+  const LValue &LV = A->targets().front();
+  Operand RHS = genExpr(A->rhs());
+  if (LV.HasParens)
+    genIndexedStore(LV, RHS, typeOf(A->rhs()), A);
+  else
+    storeToHome(LV.VarSlot, RHS);
+  if (A->displays())
+    displayVar(LV.Name, Homes[LV.VarSlot]);
+}
+
+void CodeGen::displayVar(const std::string &Name, const VarHome &Home) {
+  Operand V;
+  switch (Home.K) {
+  case Operand::Kind::F:
+    V = Operand::f(Home.R0);
+    break;
+  case Operand::Kind::I:
+    V = Operand::i(Home.R0);
+    break;
+  case Operand::Kind::CPair:
+    V = Operand::c(Home.R0, Home.R1);
+    break;
+  case Operand::Kind::P:
+    V = Operand::p(Home.R0);
+    break;
+  }
+  Operand P = toP(V, Type::top());
+  B.emitImmI(Opcode::Display, IR->internName(Name), P.R0);
+}
+
+void CodeGen::storeToHome(int Slot, Operand V) {
+  assert(Slot >= 0 && "store to unslotted variable");
+  const VarHome &H = Homes[Slot];
+  switch (H.K) {
+  case Operand::Kind::F: {
+    Operand F = toF(V);
+    B.emit(Opcode::MovF, H.R0, F.R0);
+    return;
+  }
+  case Operand::Kind::I: {
+    Operand I = toI(V);
+    B.emit(Opcode::MovI, H.R0, I.R0);
+    return;
+  }
+  case Operand::Kind::CPair: {
+    Operand C = toCPair(V);
+    B.emit(Opcode::MovF, H.R0, C.R0);
+    B.emit(Opcode::MovF, H.R1, C.R1);
+    return;
+  }
+  case Operand::Kind::P: {
+    Operand P = toP(V, slotType(Slot));
+    B.emit(Opcode::MovP, H.R0, P.R0);
+    return;
+  }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Loops
+//===----------------------------------------------------------------------===//
+
+void CodeGen::genFor(const ForStmt *For) {
+  if (const auto *R = dyn_cast<RangeExpr>(For->iterand())) {
+    Type LoT = typeOf(R->lo()), HiT = typeOf(R->hi());
+    Type StepT = R->step() ? typeOf(R->step()) : Type::constant(1);
+    if (!generic() && realScalarType(LoT) && realScalarType(HiT) &&
+        realScalarType(StepT)) {
+      genCountedRangeFor(For, R);
+      return;
+    }
+  }
+
+  // Generic path: iterate over the columns of the boxed iterand.
+  Operand It = toP(genExpr(For->iterand()), typeOf(For->iterand()));
+  int32_t NCols = B.newI();
+  B.emit(Opcode::LenCols, NCols, It.R0);
+  int32_t NRows = B.newI();
+  B.emit(Opcode::LenRows, NRows, It.R0);
+  int32_t K = B.iconst(0);
+
+  IRBuilder::Label Header = B.newLabel();
+  IRBuilder::Label Latch = B.newLabel();
+  IRBuilder::Label Exit = B.newLabel();
+  B.bind(Header);
+  int32_t Cond = B.newI();
+  B.emitImmI(Opcode::ICmp, static_cast<int64_t>(CondCode::LT), Cond, K, NCols);
+  B.brz(Cond, Exit);
+
+  // Bind the loop variable to column K (or element K of a row vector).
+  const VarHome &H = Homes[For->loopVarSlot()];
+  switch (H.K) {
+  case Operand::Kind::F:
+    B.emit(Opcode::LoadElChk, H.R0, It.R0, K);
+    break;
+  case Operand::Kind::I: {
+    int32_t Tmp = B.newF();
+    B.emit(Opcode::LoadElChk, Tmp, It.R0, K);
+    B.emit(Opcode::FToI, H.R0, Tmp);
+    break;
+  }
+  case Operand::Kind::CPair: {
+    int32_t Col = B.newP();
+    B.emit(Opcode::ColSlice, Col, It.R0, K);
+    B.emit(Opcode::UnboxReIm, H.R0, H.R1, Col);
+    break;
+  }
+  case Operand::Kind::P:
+    B.emit(Opcode::ColSlice, H.R0, It.R0, K);
+    break;
+  }
+
+  BreakLabels.push_back(Exit);
+  ContinueLabels.push_back(Latch);
+  genBlock(For->body());
+  ContinueLabels.pop_back();
+  BreakLabels.pop_back();
+
+  B.bind(Latch);
+  int32_t One = B.iconst(1);
+  B.emit(Opcode::IAdd, K, K, One);
+  B.br(Header);
+  B.bind(Exit);
+}
+
+void CodeGen::genCountedRangeFor(const ForStmt *For, const RangeExpr *R) {
+  Type LoT = typeOf(R->lo()), HiT = typeOf(R->hi());
+  Type StepT = R->step() ? typeOf(R->step()) : Type::constant(1);
+  bool AllInt = intScalarType(LoT) && intScalarType(HiT) &&
+                intScalarType(StepT);
+
+  Operand Lo = genExpr(R->lo());
+  Operand Step = R->step() ? genExpr(R->step()) : Operand::i(B.iconst(1));
+  Operand Hi = genExpr(R->hi());
+
+  // Trip count: floor((hi - lo) / step) + 1, computed in floating point
+  // (negative values simply fail the k < trip test).
+  Operand LoF = toF(Lo), StepF = toF(Step), HiF = toF(Hi);
+  int32_t Span = B.newF();
+  B.emit(Opcode::FSub, Span, HiF.R0, LoF.R0);
+  int32_t Quot = B.newF();
+  B.emit(Opcode::FDiv, Quot, Span, StepF.R0);
+  int32_t Floored = B.newF();
+  B.emitImmI(Opcode::FIntr1, static_cast<int64_t>(ScalarIntrinsic::Floor),
+             Floored, Quot);
+  int32_t OneF = B.fconst(1.0);
+  int32_t TripF = B.newF();
+  B.emit(Opcode::FAdd, TripF, Floored, OneF);
+  int32_t Trip = B.newI();
+  B.emit(Opcode::FToI, Trip, TripF);
+
+  int32_t K = B.iconst(0);
+  IRBuilder::Label Header = B.newLabel();
+  IRBuilder::Label Latch = B.newLabel();
+  IRBuilder::Label Exit = B.newLabel();
+
+  B.bind(Header);
+  size_t HeaderIndex = IR->Code.size();
+  int32_t Cond = B.newI();
+  B.emitImmI(Opcode::ICmp, static_cast<int64_t>(CondCode::LT), Cond, K, Trip);
+  B.brz(Cond, Exit);
+  size_t BodyBegin = IR->Code.size();
+
+  // Loop variable: lo + k * step.
+  const VarHome &H = Homes[For->loopVarSlot()];
+  if (H.K == Operand::Kind::I && AllInt) {
+    Operand LoI = toI(Lo), StepI = toI(Step);
+    int32_t T = B.newI();
+    B.emit(Opcode::IMul, T, K, StepI.R0);
+    B.emit(Opcode::IAdd, H.R0, LoI.R0, T);
+  } else {
+    int32_t KF = B.newF();
+    B.emit(Opcode::IToF, KF, K);
+    int32_t T = B.newF();
+    B.emit(Opcode::FMul, T, KF, StepF.R0);
+    int32_t VarF = B.newF();
+    B.emit(Opcode::FAdd, VarF, LoF.R0, T);
+    switch (H.K) {
+    case Operand::Kind::F:
+      B.emit(Opcode::MovF, H.R0, VarF);
+      break;
+    case Operand::Kind::I:
+      B.emit(Opcode::FToI, H.R0, VarF);
+      break;
+    case Operand::Kind::CPair:
+      B.emit(Opcode::MovF, H.R0, VarF);
+      B.emitImmF(Opcode::FConst, 0.0, H.R1);
+      break;
+    case Operand::Kind::P:
+      B.emit(Opcode::BoxF, H.R0, VarF);
+      break;
+    }
+  }
+
+  BreakLabels.push_back(Exit);
+  ContinueLabels.push_back(Latch);
+  genBlock(For->body());
+  ContinueLabels.pop_back();
+  BreakLabels.pop_back();
+
+  B.bind(Latch);
+  // The unroller expects LatchIndex to point at the counter IAdd; the
+  // constant 1 is emitted just before it (inside the body region, which
+  // stays straight-line).
+  int32_t One = B.iconst(1);
+  size_t LatchIndex = IR->Code.size();
+  B.emit(Opcode::IAdd, K, K, One);
+  B.br(Header);
+  B.bind(Exit);
+  size_t ExitIndex = IR->Code.size();
+
+  // Innermost loops are recorded first (post-order), so the optimizer's
+  // unroller prefers them.
+  LoopMeta Meta;
+  Meta.HeaderIndex = static_cast<uint32_t>(HeaderIndex);
+  Meta.BodyBegin = static_cast<uint32_t>(BodyBegin);
+  Meta.LatchIndex = static_cast<uint32_t>(LatchIndex);
+  Meta.ExitIndex = static_cast<uint32_t>(ExitIndex);
+  Meta.CounterReg = K;
+  Meta.TripReg = Trip;
+  IR->Loops.push_back(Meta);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+Operand CodeGen::genExpr(const Expr *E) {
+  switch (E->getKind()) {
+  case Expr::Kind::Number: {
+    const auto *N = cast<NumberExpr>(E);
+    if (N->isImaginary())
+      return Operand::c(B.fconst(0.0), B.fconst(N->value()));
+    if (!generic() && N->isIntegral() && std::abs(N->value()) < 1e15)
+      return Operand::i(B.iconst(static_cast<int64_t>(N->value())));
+    return Operand::f(B.fconst(N->value()));
+  }
+  case Expr::Kind::String: {
+    int32_t R = B.newP();
+    B.emitImmI(Opcode::SConst,
+               IR->internString(cast<StringExpr>(E)->value()), R);
+    return Operand::p(R);
+  }
+  case Expr::Kind::Ident: {
+    const auto *Id = cast<IdentExpr>(E);
+    switch (Id->symKind()) {
+    case SymKind::Variable: {
+      // Constant propagation pays off here: a variable occurrence whose
+      // inferred range is degenerate materializes as a literal (Figure 3's
+      // sig0 collapses poly(254) to "return 254" this way).
+      if (!generic()) {
+        Type T = typeOf(E);
+        if (auto C = T.constantValue()) {
+          if (intScalarType(T))
+            return Operand::i(B.iconst(static_cast<int64_t>(*C)));
+          return Operand::f(B.fconst(*C));
+        }
+      }
+      return readVar(Id->varSlot());
+    }
+    case SymKind::Builtin: {
+      // Zero-argument builtin reference (pi, rand, i, ...).
+      Type T = typeOf(E);
+      if (auto C = T.constantValue())
+        return Operand::f(B.fconst(*C));
+      if (Id->name() == "i" || Id->name() == "j")
+        return Operand::c(B.fconst(0.0), B.fconst(1.0));
+      int32_t Dst = B.newP();
+      Instr In = Instr::make(Opcode::CallB, B.pool({Dst}), 1, B.pool({}), 0);
+      In.Imm.I = IR->internName(Id->name());
+      B.emit(In);
+      return Operand::p(Dst);
+    }
+    case SymKind::UserFunction: {
+      int32_t Dst = B.newP();
+      Instr In = Instr::make(Opcode::CallU, B.pool({Dst}), 1, B.pool({}), 0);
+      In.Imm.I = IR->internName(Id->name());
+      B.emit(In);
+      return Operand::p(Dst);
+    }
+    default:
+      throw CannotCompile(); // ambiguous symbols are interpreted
+    }
+  }
+  case Expr::Kind::ColonWildcard:
+  case Expr::Kind::EndRef: {
+    if (E->getKind() == Expr::Kind::EndRef) {
+      if (EndStack.empty())
+        throw CannotCompile();
+      const EndContext &Ctx = EndStack.back();
+      int32_t R = B.newI();
+      Opcode Op = Ctx.NumDims == 1
+                      ? Opcode::LenNumel
+                      : (Ctx.Dim == 0 ? Opcode::LenRows : Opcode::LenCols);
+      B.emit(Op, R, Ctx.BaseP);
+      return Operand::i(R); // 1-based length
+    }
+    throw CannotCompile(); // bare ':' outside an index
+  }
+  case Expr::Kind::Unary:
+    return genUnary(cast<UnaryExpr>(E));
+  case Expr::Kind::Binary:
+    return genBinary(cast<BinaryExpr>(E));
+  case Expr::Kind::ShortCircuit: {
+    const auto *SC = cast<ShortCircuitExpr>(E);
+    int32_t Res = B.newI();
+    IRBuilder::Label Short = B.newLabel();
+    IRBuilder::Label Done = B.newLabel();
+    int32_t CondL = toCond(genExpr(SC->lhs()));
+    if (SC->isAnd())
+      B.brz(CondL, Short);
+    else
+      B.brnz(CondL, Short);
+    int32_t CondR = toCond(genExpr(SC->rhs()));
+    B.emit(Opcode::MovI, Res, CondR);
+    B.br(Done);
+    B.bind(Short);
+    B.emitImmI(Opcode::IConst, SC->isAnd() ? 0 : 1, Res);
+    B.bind(Done);
+    return Operand::i(Res);
+  }
+  case Expr::Kind::Range: {
+    const auto *R = cast<RangeExpr>(E);
+    Type LoT = typeOf(R->lo()), HiT = typeOf(R->hi());
+    Type StepT = R->step() ? typeOf(R->step()) : Type::constant(1);
+    if (!generic() && realScalarType(LoT) && realScalarType(HiT) &&
+        realScalarType(StepT)) {
+      Operand Lo = toF(genExpr(R->lo()));
+      Operand Step = R->step() ? toF(genExpr(R->step()))
+                               : Operand::f(B.fconst(1.0));
+      Operand Hi = toF(genExpr(R->hi()));
+      int32_t Dst = B.newP();
+      B.emit(Opcode::MakeRange, Dst, Lo.R0, Step.R0, Hi.R0);
+      return Operand::p(Dst);
+    }
+    // Boxed colon: MATLAB silently uses the real part of the first element
+    // of non-scalar operands (Section 2.5 hint #1 relies on this).
+    Operand Lo = toP(genExpr(R->lo()), LoT);
+    Operand Step = R->step() ? toP(genExpr(R->step()), StepT)
+                             : toP(Operand::f(B.fconst(1.0)), StepT);
+    Operand Hi = toP(genExpr(R->hi()), HiT);
+    int32_t Dst = B.newP();
+    B.emit(Opcode::MakeRangeG, Dst, Lo.R0, Step.R0, Hi.R0);
+    return Operand::p(Dst);
+  }
+  case Expr::Kind::Matrix:
+    return genMatrixLit(cast<MatrixExpr>(E));
+  case Expr::Kind::IndexOrCall: {
+    const auto *IC = cast<IndexOrCallExpr>(E);
+    if (IC->base()->symKind() == SymKind::Variable)
+      return genIndexRead(IC);
+    if (IC->base()->symKind() == SymKind::Ambiguous)
+      throw CannotCompile();
+    std::vector<Operand> Rs = genCall(IC, 1);
+    if (Rs.empty())
+      throw CannotCompile(); // zero-output call used as a value
+    return Rs.front();
+  }
+  }
+  majic_unreachable("invalid expression kind");
+}
+
+Operand CodeGen::genUnary(const UnaryExpr *E) {
+  Type OpT = typeOf(E->operand());
+  switch (E->op()) {
+  case UnaryOpKind::Plus:
+    return genExpr(E->operand());
+  case UnaryOpKind::Neg: {
+    if (!generic() && intScalarType(OpT)) {
+      Operand V = toI(genExpr(E->operand()));
+      int32_t R = B.newI();
+      B.emit(Opcode::INeg, R, V.R0);
+      return Operand::i(R);
+    }
+    if (!generic() && realScalarType(OpT)) {
+      Operand V = toF(genExpr(E->operand()));
+      int32_t R = B.newF();
+      B.emit(Opcode::FNeg, R, V.R0);
+      return Operand::f(R);
+    }
+    if (!generic() && cplxScalarType(OpT)) {
+      Operand V = toCPair(genExpr(E->operand()));
+      int32_t Re = B.newF(), Im = B.newF();
+      B.emit(Opcode::FNeg, Re, V.R0);
+      B.emit(Opcode::FNeg, Im, V.R1);
+      return Operand::c(Re, Im);
+    }
+    break;
+  }
+  case UnaryOpKind::Not: {
+    if (!generic() && realScalarType(OpT)) {
+      int32_t Cond = toCond(genExpr(E->operand()));
+      int32_t R = B.newI();
+      B.emit(Opcode::INot, R, Cond);
+      return Operand::i(R);
+    }
+    break;
+  }
+  case UnaryOpKind::CTranspose:
+  case UnaryOpKind::Transpose: {
+    if (!generic() && realScalarType(OpT))
+      return genExpr(E->operand()); // scalar transpose is the identity
+    if (!generic() && cplxScalarType(OpT) &&
+        E->op() == UnaryOpKind::CTranspose) {
+      Operand V = toCPair(genExpr(E->operand()));
+      int32_t Im = B.newF();
+      B.emit(Opcode::FNeg, Im, V.R1);
+      return Operand::c(V.R0, Im);
+    }
+    break;
+  }
+  }
+  // Generic fallback.
+  Operand P = toP(genExpr(E->operand()), OpT);
+  int32_t Dst = B.newP();
+  rt::UnOp Op = rt::UnOp::Plus;
+  switch (E->op()) {
+  case UnaryOpKind::Neg:
+    Op = rt::UnOp::Neg;
+    break;
+  case UnaryOpKind::Plus:
+    Op = rt::UnOp::Plus;
+    break;
+  case UnaryOpKind::Not:
+    Op = rt::UnOp::Not;
+    break;
+  case UnaryOpKind::CTranspose:
+    Op = rt::UnOp::CTranspose;
+    break;
+  case UnaryOpKind::Transpose:
+    Op = rt::UnOp::Transpose;
+    break;
+  }
+  B.emitImmI(Opcode::RtUn, static_cast<int64_t>(Op), Dst, P.R0);
+  return Operand::p(Dst);
+}
+
+Operand CodeGen::genBinary(const BinaryExpr *E) {
+  Type LT = typeOf(E->lhs()), RT = typeOf(E->rhs());
+  Type ResT = typeOf(E);
+  BinOp Op = E->op();
+
+  bool Fast = !generic();
+
+  // Comparisons on real scalars.
+  auto CondOf = [Op]() -> std::optional<CondCode> {
+    switch (Op) {
+    case BinOp::Lt:
+      return CondCode::LT;
+    case BinOp::Le:
+      return CondCode::LE;
+    case BinOp::Gt:
+      return CondCode::GT;
+    case BinOp::Ge:
+      return CondCode::GE;
+    case BinOp::Eq:
+      return CondCode::EQ;
+    case BinOp::Ne:
+      return CondCode::NE;
+    default:
+      return std::nullopt;
+    }
+  };
+  if (Fast && CondOf() && realScalarType(LT) && realScalarType(RT)) {
+    if (intScalarType(LT) && intScalarType(RT)) {
+      Operand L = toI(genExpr(E->lhs()));
+      Operand R = toI(genExpr(E->rhs()));
+      int32_t Dst = B.newI();
+      B.emitImmI(Opcode::ICmp, static_cast<int64_t>(*CondOf()), Dst, L.R0,
+                 R.R0);
+      return Operand::i(Dst);
+    }
+    Operand L = toF(genExpr(E->lhs()));
+    Operand R = toF(genExpr(E->rhs()));
+    int32_t Dst = B.newI();
+    B.emitImmI(Opcode::FCmp, static_cast<int64_t>(*CondOf()), Dst, L.R0,
+               R.R0);
+    return Operand::i(Dst);
+  }
+
+  // Comparisons on complex scalars disregard imaginary parts for
+  // ordering; ==/~= compare both parts (handled generically below).
+  if (Fast && CondOf() && cplxScalarType(LT) && cplxScalarType(RT) &&
+      Op != BinOp::Eq && Op != BinOp::Ne) {
+    Operand L = toCPair(genExpr(E->lhs()));
+    Operand R = toCPair(genExpr(E->rhs()));
+    int32_t Dst = B.newI();
+    B.emitImmI(Opcode::FCmp, static_cast<int64_t>(*CondOf()), Dst, L.R0,
+               R.R0);
+    return Operand::i(Dst);
+  }
+
+  // Element-wise logical on scalars.
+  if (Fast && (Op == BinOp::And || Op == BinOp::Or) && realScalarType(LT) &&
+      realScalarType(RT)) {
+    int32_t L = toCond(genExpr(E->lhs()));
+    int32_t R = toCond(genExpr(E->rhs()));
+    int32_t Dst = B.newI();
+    B.emit(Op == BinOp::And ? Opcode::IAnd : Opcode::IOr, Dst, L, R);
+    return Operand::i(Dst);
+  }
+
+  // Scalar arithmetic: "probably the most important performance
+  // optimization in MaJIC" (Section 2.6.1).
+  bool ArithOp = Op == BinOp::Add || Op == BinOp::Sub || Op == BinOp::MatMul ||
+                 Op == BinOp::ElemMul || Op == BinOp::MatRDiv ||
+                 Op == BinOp::ElemRDiv || Op == BinOp::MatLDiv ||
+                 Op == BinOp::ElemLDiv || Op == BinOp::MatPow ||
+                 Op == BinOp::ElemPow;
+  if (Fast && ArithOp && realScalarType(LT) && realScalarType(RT) &&
+      realScalarType(ResT)) {
+    bool IntOp = intScalarType(LT) && intScalarType(RT) &&
+                 intScalarType(ResT) &&
+                 (Op == BinOp::Add || Op == BinOp::Sub ||
+                  Op == BinOp::MatMul || Op == BinOp::ElemMul);
+    if (IntOp) {
+      Operand L = toI(genExpr(E->lhs()));
+      Operand R = toI(genExpr(E->rhs()));
+      int32_t Dst = B.newI();
+      Opcode Code = Op == BinOp::Add   ? Opcode::IAdd
+                    : Op == BinOp::Sub ? Opcode::ISub
+                                       : Opcode::IMul;
+      B.emit(Code, Dst, L.R0, R.R0);
+      return Operand::i(Dst);
+    }
+    Operand L = toF(genExpr(E->lhs()));
+    Operand R = toF(genExpr(E->rhs()));
+    int32_t Dst = B.newF();
+    switch (Op) {
+    case BinOp::Add:
+      B.emit(Opcode::FAdd, Dst, L.R0, R.R0);
+      break;
+    case BinOp::Sub:
+      B.emit(Opcode::FSub, Dst, L.R0, R.R0);
+      break;
+    case BinOp::MatMul:
+    case BinOp::ElemMul:
+      B.emit(Opcode::FMul, Dst, L.R0, R.R0);
+      break;
+    case BinOp::MatRDiv:
+    case BinOp::ElemRDiv:
+      B.emit(Opcode::FDiv, Dst, L.R0, R.R0);
+      break;
+    case BinOp::MatLDiv:
+    case BinOp::ElemLDiv:
+      B.emit(Opcode::FDiv, Dst, R.R0, L.R0);
+      break;
+    case BinOp::MatPow:
+    case BinOp::ElemPow:
+      // The annotation being real proves the domain (pow:real-safe rule).
+      B.emit(Opcode::FPow, Dst, L.R0, R.R0);
+      break;
+    default:
+      majic_unreachable("not an arithmetic op");
+    }
+    return Operand::f(Dst);
+  }
+
+  // Complex scalar arithmetic, inlined as register pairs.
+  if (Fast && cplxScalarType(LT) && cplxScalarType(RT) &&
+      (Op == BinOp::Add || Op == BinOp::Sub || Op == BinOp::MatMul ||
+       Op == BinOp::ElemMul || Op == BinOp::MatRDiv ||
+       Op == BinOp::ElemRDiv)) {
+    Operand L = toCPair(genExpr(E->lhs()));
+    Operand R = toCPair(genExpr(E->rhs()));
+    int32_t Re = B.newF(), Im = B.newF();
+    switch (Op) {
+    case BinOp::Add:
+      B.emit(Opcode::FAdd, Re, L.R0, R.R0);
+      B.emit(Opcode::FAdd, Im, L.R1, R.R1);
+      break;
+    case BinOp::Sub:
+      B.emit(Opcode::FSub, Re, L.R0, R.R0);
+      B.emit(Opcode::FSub, Im, L.R1, R.R1);
+      break;
+    case BinOp::MatMul:
+    case BinOp::ElemMul: {
+      // (a+bi)(c+di) = (ac - bd) + (ad + bc)i
+      int32_t AC = B.newF(), BD = B.newF(), AD = B.newF(), BC = B.newF();
+      B.emit(Opcode::FMul, AC, L.R0, R.R0);
+      B.emit(Opcode::FMul, BD, L.R1, R.R1);
+      B.emit(Opcode::FMul, AD, L.R0, R.R1);
+      B.emit(Opcode::FMul, BC, L.R1, R.R0);
+      B.emit(Opcode::FSub, Re, AC, BD);
+      B.emit(Opcode::FAdd, Im, AD, BC);
+      break;
+    }
+    case BinOp::MatRDiv:
+    case BinOp::ElemRDiv: {
+      // (a+bi)/(c+di) = ((ac+bd) + (bc-ad)i) / (c^2+d^2)
+      int32_t CC = B.newF(), DD = B.newF(), Den = B.newF();
+      B.emit(Opcode::FMul, CC, R.R0, R.R0);
+      B.emit(Opcode::FMul, DD, R.R1, R.R1);
+      B.emit(Opcode::FAdd, Den, CC, DD);
+      int32_t AC = B.newF(), BD = B.newF(), BC = B.newF(), AD = B.newF();
+      B.emit(Opcode::FMul, AC, L.R0, R.R0);
+      B.emit(Opcode::FMul, BD, L.R1, R.R1);
+      B.emit(Opcode::FMul, BC, L.R1, R.R0);
+      B.emit(Opcode::FMul, AD, L.R0, R.R1);
+      int32_t NumRe = B.newF(), NumIm = B.newF();
+      B.emit(Opcode::FAdd, NumRe, AC, BD);
+      B.emit(Opcode::FSub, NumIm, BC, AD);
+      B.emit(Opcode::FDiv, Re, NumRe, Den);
+      B.emit(Opcode::FDiv, Im, NumIm, Den);
+      break;
+    }
+    default:
+      majic_unreachable("unhandled complex op");
+    }
+    return Operand::c(Re, Im);
+  }
+
+  // Small fixed-shape element-wise operations unroll completely
+  // (Section 2.6.1: "very effective on small (up to 3x3) matrices and
+  // vectors because it completely eliminates loop overhead").
+  bool ElemwiseOp = Op == BinOp::Add || Op == BinOp::Sub ||
+                    Op == BinOp::ElemMul || Op == BinOp::ElemRDiv ||
+                    Op == BinOp::ElemPow ||
+                    ((Op == BinOp::MatMul || Op == BinOp::MatRDiv) &&
+                     (LT.isScalar() || RT.isScalar()));
+  if (Fast && Opts.MaxUnrollNumel > 0 && ElemwiseOp && realArrayType(LT) &&
+      realArrayType(RT) && realArrayType(ResT) && !ResT.isScalar()) {
+    auto ResShape = ResT.exactShape();
+    auto OkSide = [&](const Type &T) {
+      return T.isScalar() || (T.exactShape() && ResShape &&
+                              *T.exactShape() == *ResShape);
+    };
+    if (ResShape && ResShape->numel() <= Opts.MaxUnrollNumel && OkSide(LT) &&
+        OkSide(RT)) {
+      Operand L = genExpr(E->lhs());
+      Operand R = genExpr(E->rhs());
+      // Scalar sides become one F register; array sides stay boxed and are
+      // read with unchecked element loads.
+      int32_t LScalar = -1, RScalar = -1, LArr = -1, RArr = -1;
+      if (LT.isScalar())
+        LScalar = toF(L).R0;
+      else
+        LArr = toP(L, LT).R0;
+      if (RT.isScalar())
+        RScalar = toF(R).R0;
+      else
+        RArr = toP(R, RT).R0;
+
+      int32_t Rows = B.iconst(static_cast<int64_t>(ResShape->Rows));
+      int32_t Cols = B.iconst(static_cast<int64_t>(ResShape->Cols));
+      int32_t Dst = B.newP();
+      MClass Cls = storeClassOf(ResT);
+      B.emitImmI(Opcode::NewMat, static_cast<int64_t>(Cls), Dst, Rows, Cols);
+      for (uint64_t Idx = 0; Idx != ResShape->numel(); ++Idx) {
+        int32_t IdxReg = B.iconst(static_cast<int64_t>(Idx));
+        int32_t LV = LScalar, RV = RScalar;
+        if (LV < 0) {
+          LV = B.newF();
+          B.emit(Opcode::LoadEl, LV, LArr, IdxReg);
+        }
+        if (RV < 0) {
+          RV = B.newF();
+          B.emit(Opcode::LoadEl, RV, RArr, IdxReg);
+        }
+        int32_t EV = B.newF();
+        switch (Op) {
+        case BinOp::Add:
+          B.emit(Opcode::FAdd, EV, LV, RV);
+          break;
+        case BinOp::Sub:
+          B.emit(Opcode::FSub, EV, LV, RV);
+          break;
+        case BinOp::ElemMul:
+        case BinOp::MatMul:
+          B.emit(Opcode::FMul, EV, LV, RV);
+          break;
+        case BinOp::ElemRDiv:
+        case BinOp::MatRDiv:
+          B.emit(Opcode::FDiv, EV, LV, RV);
+          break;
+        case BinOp::ElemPow:
+          B.emit(Opcode::FPow, EV, LV, RV);
+          break;
+        default:
+          majic_unreachable("unexpected unrolled op");
+        }
+        Instr St = Instr::make(Opcode::StoreEl, Dst, IdxReg, EV);
+        St.Imm.I = static_cast<int64_t>(Cls);
+        B.emit(St);
+      }
+      return Operand::p(Dst);
+    }
+  }
+
+  // Fused BLAS patterns (Section 2.6.1's dgemv selection rule).
+  if (Fast && Op == BinOp::Add) {
+    // a*X + Y / Y + a*X with real vector X, Y: Axpy.
+    auto TryAxpy = [&](const Expr *MulSide, const Expr *Other) -> bool {
+      const auto *Mul = dyn_cast<BinaryExpr>(MulSide);
+      if (!Mul || Mul->op() != BinOp::MatMul)
+        return false;
+      Type ST = typeOf(Mul->lhs()), XT = typeOf(Mul->rhs());
+      const Expr *SE = Mul->lhs(), *XE = Mul->rhs();
+      if (!realScalarType(ST)) {
+        std::swap(SE, XE);
+        std::swap(ST, XT);
+      }
+      Type OT = typeOf(Other);
+      if (!realScalarType(ST) || !realArrayType(XT) || XT.isScalar() ||
+          !realArrayType(OT) || OT.isScalar())
+        return false;
+      AxpyS = toF(genExpr(SE));
+      AxpyX = toP(genExpr(XE), XT);
+      AxpyY = toP(genExpr(Other), OT);
+      return true;
+    };
+    if (TryAxpy(E->lhs(), E->rhs()) || TryAxpy(E->rhs(), E->lhs())) {
+      int32_t Dst = B.newP();
+      B.emit(Opcode::Axpy, Dst, AxpyS.R0, AxpyX.R0, AxpyY.R0);
+      return Operand::p(Dst);
+    }
+  }
+  if (Fast && Op == BinOp::MatMul && realArrayType(LT) && !LT.isScalar() &&
+      realArrayType(RT) && RT.maxShape().Cols == 1 && !RT.isScalar()) {
+    Operand A = toP(genExpr(E->lhs()), LT);
+    Operand X = toP(genExpr(E->rhs()), RT);
+    int32_t Dst = B.newP();
+    B.emit(Opcode::Gemv, Dst, A.R0, X.R0);
+    return Operand::p(Dst);
+  }
+
+  // The implicit default rule: boxed generic operation.
+  Operand L = toP(genExpr(E->lhs()), LT);
+  Operand R = toP(genExpr(E->rhs()), RT);
+  int32_t Dst = B.newP();
+  B.emitImmI(Opcode::RtBin, static_cast<int64_t>(Op), Dst, L.R0, R.R0);
+  return Operand::p(Dst);
+}
+
+//===----------------------------------------------------------------------===//
+// Matrix literals
+//===----------------------------------------------------------------------===//
+
+Operand CodeGen::genMatrixLit(const MatrixExpr *E) {
+  Type T = typeOf(E);
+  auto Exact = T.exactShape();
+
+  // Fully unrolled construction for small, exactly shaped, real literals
+  // (Section 2.6.1: vector concatenation "completely unrolled when exact
+  // array shapes are known").
+  bool CanUnroll = !generic() && Opts.MaxUnrollNumel > 0 && Exact &&
+                   Exact->numel() <= Opts.MaxUnrollNumel &&
+                   realArrayType(T) && !E->rows().empty();
+  if (CanUnroll) {
+    for (const auto &Row : E->rows())
+      for (const Expr *Elem : Row)
+        CanUnroll &= realScalarType(typeOf(Elem));
+  }
+  if (CanUnroll) {
+    int32_t Rows = B.iconst(static_cast<int64_t>(Exact->Rows));
+    int32_t Cols = B.iconst(static_cast<int64_t>(Exact->Cols));
+    int32_t Dst = B.newP();
+    B.emitImmI(Opcode::NewMat, static_cast<int64_t>(storeClassOf(T)), Dst,
+               Rows, Cols);
+    for (size_t RIdx = 0; RIdx != E->rows().size(); ++RIdx) {
+      const auto &Row = E->rows()[RIdx];
+      for (size_t CIdx = 0; CIdx != Row.size(); ++CIdx) {
+        Operand V = toF(genExpr(Row[CIdx]));
+        int32_t Idx = B.iconst(
+            static_cast<int64_t>(CIdx * Exact->Rows + RIdx));
+        Instr St = Instr::make(Opcode::StoreEl, Dst, Idx, V.R0);
+        St.Imm.I = static_cast<int64_t>(storeClassOf(T));
+        B.emit(St);
+      }
+    }
+    return Operand::p(Dst);
+  }
+
+  // Generic: horzcat each row, vertcat the rows.
+  if (E->rows().empty()) {
+    int32_t Zero = B.iconst(0);
+    int32_t Dst = B.newP();
+    B.emitImmI(Opcode::NewMat, static_cast<int64_t>(MClass::Real), Dst, Zero,
+               Zero);
+    return Operand::p(Dst);
+  }
+  std::vector<int32_t> RowRegs;
+  for (const auto &Row : E->rows()) {
+    std::vector<int32_t> Elems;
+    for (const Expr *Elem : Row)
+      Elems.push_back(toP(genExpr(Elem), typeOf(Elem)).R0);
+    int32_t RowDst = B.newP();
+    B.emit(Opcode::HorzCat, RowDst, B.pool(Elems),
+           static_cast<int32_t>(Elems.size()));
+    RowRegs.push_back(RowDst);
+  }
+  if (RowRegs.size() == 1)
+    return Operand::p(RowRegs.front());
+  int32_t Dst = B.newP();
+  B.emit(Opcode::VertCat, Dst, B.pool(RowRegs),
+         static_cast<int32_t>(RowRegs.size()));
+  return Operand::p(Dst);
+}
+
+//===----------------------------------------------------------------------===//
+// Indexing
+//===----------------------------------------------------------------------===//
+
+int32_t CodeGen::genScalarIndex(const Expr *Arg, int32_t BaseP, unsigned Dim,
+                                unsigned NumDims) {
+  EndStack.push_back({BaseP, Dim, NumDims});
+  Operand V = genExpr(Arg);
+  EndStack.pop_back();
+
+  Type T = typeOf(Arg);
+  if (V.K == Operand::Kind::I ||
+      (intScalarType(T) && V.K != Operand::Kind::P)) {
+    Operand I = toI(V);
+    int32_t One = B.iconst(1);
+    int32_t R = B.newI();
+    B.emit(Opcode::ISub, R, I.R0, One);
+    return R;
+  }
+  // Not provably integral: validate and convert (1-based -> 0-based).
+  Operand F = toF(V);
+  int32_t R = B.newI();
+  B.emit(Opcode::FToIdx, R, F.R0);
+  return R;
+}
+
+Operand CodeGen::genIndexRead(const IndexOrCallExpr *IC) {
+  int Slot = IC->base()->varSlot();
+  Operand Base = readVar(Slot);
+  Type BaseT = slotType(Slot);
+  if (IC->args().empty())
+    return Base; // x() is x
+  Operand BaseP = toP(Base, BaseT);
+
+  // Fast path: scalar real element read.
+  bool FastOK = !generic() && realArrayType(BaseT) &&
+                IC->args().size() <= 2;
+  if (FastOK) {
+    for (const Expr *A : IC->args())
+      FastOK &= !isa<ColonWildcardExpr>(A) &&
+                typeOf(A).isScalar() &&
+                intrinsicLE(typeOf(A).intrinsic(), IntrinsicType::Real);
+  }
+  if (FastOK) {
+    bool Safe = Ann.subscriptSafe(IC);
+    if (IC->args().size() == 1) {
+      int32_t Idx = genScalarIndex(IC->args()[0], BaseP.R0, 0, 1);
+      int32_t Dst = B.newF();
+      B.emit(Safe ? Opcode::LoadEl : Opcode::LoadElChk, Dst, BaseP.R0, Idx);
+      return Operand::f(Dst);
+    }
+    int32_t RIdx = genScalarIndex(IC->args()[0], BaseP.R0, 0, 2);
+    int32_t CIdx = genScalarIndex(IC->args()[1], BaseP.R0, 1, 2);
+    int32_t Dst = B.newF();
+    B.emit(Safe ? Opcode::LoadEl2 : Opcode::LoadEl2Chk, Dst, BaseP.R0, RIdx,
+           CIdx);
+    return Operand::f(Dst);
+  }
+
+  // Generic indexing.
+  if (IC->args().size() > 2)
+    throw CannotCompile();
+  std::vector<int32_t> Descriptors;
+  unsigned NumDims = static_cast<unsigned>(IC->args().size());
+  for (unsigned D = 0; D != NumDims; ++D) {
+    const Expr *A = IC->args()[D];
+    if (isa<ColonWildcardExpr>(A)) {
+      Descriptors.push_back(-1);
+      continue;
+    }
+    EndStack.push_back({BaseP.R0, D, NumDims});
+    Operand V = toP(genExpr(A), typeOf(A));
+    EndStack.pop_back();
+    Descriptors.push_back(V.R0);
+  }
+  int32_t Dst = B.newP();
+  B.emit(Opcode::LoadIdxG, Dst, BaseP.R0, B.pool(Descriptors),
+         static_cast<int32_t>(Descriptors.size()));
+  return Operand::p(Dst);
+}
+
+void CodeGen::genIndexedStore(const LValue &LV, Operand RHS,
+                              const Type &RHSType, const Stmt *S) {
+  assert(LV.VarSlot >= 0);
+  const VarHome &H = Homes[LV.VarSlot];
+  assert(H.K == Operand::Kind::P && "indexed targets are boxed");
+  Type BaseT = slotType(LV.VarSlot);
+
+  bool FastOK = !generic() && LV.Indices.size() >= 1 &&
+                LV.Indices.size() <= 2 && realArrayType(BaseT) &&
+                realScalarType(RHSType) && RHS.K != Operand::Kind::P &&
+                RHS.K != Operand::Kind::CPair;
+  if (FastOK) {
+    for (const Expr *A : LV.Indices)
+      FastOK &= !isa<ColonWildcardExpr>(A) && typeOf(A).isScalar() &&
+                intrinsicLE(typeOf(A).intrinsic(), IntrinsicType::Real);
+  }
+  if (FastOK) {
+    bool InBounds = Ann.writeFacts(S).InBounds;
+    Operand ValF = toF(RHS);
+    MClass Cls = storeClassOf(RHSType);
+    if (LV.Indices.size() == 1) {
+      int32_t Idx = genScalarIndex(LV.Indices[0], H.R0, 0, 1);
+      Instr St = Instr::make(InBounds ? Opcode::StoreEl : Opcode::StoreElChk,
+                             H.R0, Idx, ValF.R0);
+      St.Imm.I = static_cast<int64_t>(Cls);
+      B.emit(St);
+      return;
+    }
+    int32_t RIdx = genScalarIndex(LV.Indices[0], H.R0, 0, 2);
+    int32_t CIdx = genScalarIndex(LV.Indices[1], H.R0, 1, 2);
+    Instr St = Instr::make(InBounds ? Opcode::StoreEl2 : Opcode::StoreEl2Chk,
+                           H.R0, RIdx, CIdx, ValF.R0);
+    St.Imm.I = static_cast<int64_t>(Cls);
+    B.emit(St);
+    return;
+  }
+
+  // Generic indexed store.
+  if (LV.Indices.size() > 2 || LV.Indices.empty())
+    throw CannotCompile();
+  std::vector<int32_t> Descriptors;
+  unsigned NumDims = static_cast<unsigned>(LV.Indices.size());
+  for (unsigned D = 0; D != NumDims; ++D) {
+    const Expr *A = LV.Indices[D];
+    if (isa<ColonWildcardExpr>(A)) {
+      Descriptors.push_back(-1);
+      continue;
+    }
+    EndStack.push_back({H.R0, D, NumDims});
+    Operand V = toP(genExpr(A), typeOf(A));
+    EndStack.pop_back();
+    Descriptors.push_back(V.R0);
+  }
+  Operand RHSP = toP(RHS, RHSType);
+  B.emit(Opcode::StoreIdxG, H.R0, RHSP.R0, B.pool(Descriptors),
+         static_cast<int32_t>(Descriptors.size()));
+}
+
+//===----------------------------------------------------------------------===//
+// Calls
+//===----------------------------------------------------------------------===//
+
+std::vector<Operand> CodeGen::genCall(const IndexOrCallExpr *IC,
+                                      size_t NumOuts, bool Statement) {
+  if (IC->base()->symKind() == SymKind::Builtin)
+    return genBuiltinCall(IC, NumOuts, Statement);
+
+  // User function call through the resolver (and the repository).
+  std::vector<int32_t> ArgRegs;
+  for (const Expr *A : IC->args()) {
+    if (isa<ColonWildcardExpr>(A) || isa<EndRefExpr>(A))
+      throw CannotCompile();
+    ArgRegs.push_back(toP(genExpr(A), typeOf(A)).R0);
+  }
+  std::vector<int32_t> DstRegs;
+  std::vector<Operand> Outs;
+  for (size_t K = 0; K != std::max<size_t>(NumOuts, 0); ++K) {
+    DstRegs.push_back(B.newP());
+    Outs.push_back(Operand::p(DstRegs.back()));
+  }
+  Instr In = Instr::make(Opcode::CallU, B.pool(DstRegs),
+                         static_cast<int32_t>(DstRegs.size()),
+                         B.pool(ArgRegs), static_cast<int32_t>(ArgRegs.size()));
+  In.Imm.I = IR->internName(IC->base()->name()) |
+             (Statement ? kStatementCallFlag : 0);
+  B.emit(In);
+  return Outs;
+}
+
+std::vector<Operand> CodeGen::genBuiltinCall(const IndexOrCallExpr *IC,
+                                             size_t NumOuts, bool Statement) {
+  const std::string &Name = IC->base()->name();
+  const BuiltinDef *Def = BuiltinTable::instance().lookup(Name);
+  if (!Def)
+    throw CannotCompile();
+
+  bool Fast = !generic();
+
+  // Scalar math intrinsics, inlined when the domain is proven (sqrt of a
+  // provably non-negative value and so on; Section 2.6.1 "elementary math
+  // functions").
+  if (Fast && Def->Intrinsic != ScalarIntrinsic::None && NumOuts <= 1 &&
+      IC->args().size() == scalarIntrinsicArity(Def->Intrinsic)) {
+    bool ArgsOK = true;
+    for (const Expr *A : IC->args())
+      ArgsOK &= realScalarType(typeOf(A));
+    // The *result* annotation being real certifies the domain (the sqrt
+    // rule only yields Real when the range analysis proved arg >= 0).
+    Type ResT = typeOf(IC);
+    bool DomainOK = !scalarIntrinsicNeedsGuard(Def->Intrinsic) ||
+                    (realScalarType(ResT));
+    if (ArgsOK && DomainOK && realScalarType(ResT)) {
+      if (IC->args().size() == 1) {
+        Operand A = toF(genExpr(IC->args()[0]));
+        int32_t Dst = B.newF();
+        B.emitImmI(Opcode::FIntr1, static_cast<int64_t>(Def->Intrinsic), Dst,
+                   A.R0);
+        return {Operand::f(Dst)};
+      }
+      Operand A = toF(genExpr(IC->args()[0]));
+      Operand C = toF(genExpr(IC->args()[1]));
+      int32_t Dst = B.newF();
+      B.emitImmI(Opcode::FIntr2, static_cast<int64_t>(Def->Intrinsic), Dst,
+                 A.R0, C.R0);
+      return {Operand::f(Dst)};
+    }
+  }
+
+  // Preallocated arrays: zeros/ones with scalar arguments (Section 2.6.1
+  // "small temporary arrays of known sizes are pre-allocated" generalizes
+  // to direct allocation without boxing the dimensions).
+  if (Fast && (Name == "zeros" || Name == "ones") && NumOuts <= 1 &&
+      IC->args().size() >= 1 && IC->args().size() <= 2) {
+    bool ArgsOK = true;
+    for (const Expr *A : IC->args())
+      ArgsOK &= realScalarType(typeOf(A));
+    if (ArgsOK) {
+      Operand R0 = toI(genExpr(IC->args()[0]));
+      Operand C0 = IC->args().size() == 2 ? toI(genExpr(IC->args()[1])) : R0;
+      int32_t Dst = B.newP();
+      B.emitImmI(Opcode::NewMat,
+                 static_cast<int64_t>(Name == "ones" ? MClass::Int
+                                                     : MClass::Real),
+                 Dst, R0.R0, C0.R0);
+      if (Name == "ones")
+        B.emitImmF(Opcode::FillF, 1.0, Dst);
+      return {Operand::p(Dst)};
+    }
+  }
+
+  // Shape queries on boxed values become Len instructions.
+  if (Fast && (Name == "numel" || Name == "size") && IC->args().size() >= 1) {
+    Operand A = toP(genExpr(IC->args()[0]), typeOf(IC->args()[0]));
+    if (Name == "numel" && NumOuts <= 1) {
+      int32_t Dst = B.newI();
+      B.emit(Opcode::LenNumel, Dst, A.R0);
+      return {Operand::i(Dst)};
+    }
+    if (Name == "size" && IC->args().size() == 2 && NumOuts <= 1) {
+      if (auto Dim = typeOf(IC->args()[1]).constantValue()) {
+        int32_t Dst = B.newI();
+        B.emit(*Dim == 1 ? Opcode::LenRows : Opcode::LenCols, Dst, A.R0);
+        return {Operand::i(Dst)};
+      }
+    }
+    if (Name == "size" && IC->args().size() == 1 && NumOuts == 2) {
+      int32_t R = B.newI(), C = B.newI();
+      B.emit(Opcode::LenRows, R, A.R0);
+      B.emit(Opcode::LenCols, C, A.R0);
+      return {Operand::i(R), Operand::i(C)};
+    }
+    // Fall through to the generic call with the boxed argument reused.
+    std::vector<int32_t> ArgRegs{A.R0};
+    for (size_t K = 1; K != IC->args().size(); ++K)
+      ArgRegs.push_back(toP(genExpr(IC->args()[K]),
+                            typeOf(IC->args()[K])).R0);
+    std::vector<int32_t> DstRegs;
+    std::vector<Operand> Outs;
+    for (size_t K = 0; K != NumOuts; ++K) {
+      DstRegs.push_back(B.newP());
+      Outs.push_back(Operand::p(DstRegs.back()));
+    }
+    Instr In = Instr::make(Opcode::CallB, B.pool(DstRegs),
+                           static_cast<int32_t>(DstRegs.size()),
+                           B.pool(ArgRegs),
+                           static_cast<int32_t>(ArgRegs.size()));
+    In.Imm.I = IR->internName(Name) | (Statement ? kStatementCallFlag : 0);
+    B.emit(In);
+    return Outs;
+  }
+
+  // Generic builtin call.
+  std::vector<int32_t> ArgRegs;
+  for (const Expr *A : IC->args()) {
+    if (isa<ColonWildcardExpr>(A) || isa<EndRefExpr>(A))
+      throw CannotCompile();
+    ArgRegs.push_back(toP(genExpr(A), typeOf(A)).R0);
+  }
+  std::vector<int32_t> DstRegs;
+  std::vector<Operand> Outs;
+  for (size_t K = 0; K != NumOuts; ++K) {
+    DstRegs.push_back(B.newP());
+    Outs.push_back(Operand::p(DstRegs.back()));
+  }
+  Instr In = Instr::make(Opcode::CallB, B.pool(DstRegs),
+                         static_cast<int32_t>(DstRegs.size()), B.pool(ArgRegs),
+                         static_cast<int32_t>(ArgRegs.size()));
+  In.Imm.I = IR->internName(Name) | (Statement ? kStatementCallFlag : 0);
+  B.emit(In);
+  return Outs;
+}
+
+//===----------------------------------------------------------------------===//
+// Driver
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<IRFunction> CodeGen::run() {
+  if (FI.HasAmbiguousSymbols)
+    return nullptr;
+  IR->Name = FI.F->name();
+  EpilogueLabel = B.newLabel();
+  try {
+    assignHomes();
+    genPrologue();
+    genBlock(FI.F->body());
+    genEpilogue();
+    B.finish();
+  } catch (const CannotCompile &) {
+    return nullptr;
+  }
+  return std::move(IR);
+}
+
+} // namespace
+
+std::unique_ptr<IRFunction> majic::generateCode(const FunctionInfo &FI,
+                                                const TypeAnnotations &Ann,
+                                                const TypeSignature &Sig,
+                                                const CodeGenOptions &Opts) {
+  return CodeGen(FI, Ann, Sig, Opts).run();
+}

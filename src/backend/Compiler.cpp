@@ -1,0 +1,49 @@
+//===- backend/Compiler.cpp - Compilation driver --------------------------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "backend/Compiler.h"
+
+using namespace majic;
+
+std::optional<CompileResult> majic::compileFunction(const CompileRequest &Req) {
+  assert(Req.FI && "no function to compile");
+  CompileResult Result;
+
+  // Pass 3: type inference (skipped entirely in mcc-like generic mode,
+  // which is the point of that baseline).
+  TypeAnnotations Ann;
+  {
+    Timer T;
+    if (Req.Mode != CodeGenMode::Generic) {
+      InferResult Inferred = inferTypes(*Req.FI, Req.Sig, Req.Infer);
+      Ann = std::move(Inferred.Ann);
+    }
+    Result.TypeInferSeconds = T.seconds();
+  }
+
+  // Pass 4: code selection, optimization, register allocation.
+  Timer T;
+  CodeGenOptions CGOpts;
+  CGOpts.Mode = Req.Mode;
+  CGOpts.MaxUnrollNumel = Req.UnrollSmallVectors ? 9 : 0;
+  std::unique_ptr<IRFunction> Code = generateCode(*Req.FI, Ann, Req.Sig,
+                                                  CGOpts);
+  if (!Code)
+    return std::nullopt;
+
+  if (Req.Mode == CodeGenMode::Optimized) {
+    OptimizeOptions OptOpts;
+    OptOpts.Rounds = Req.Platform.NativeOptRounds;
+    OptOpts.UnrollFactor = Req.Platform.NativeOptRounds >= 2 ? 4 : 2;
+    Result.Optimizer = optimize(*Code, OptOpts);
+  }
+
+  Result.RegAlloc = allocateRegisters(*Code, Req.Platform, Req.RegAlloc);
+  Result.CodeGenSeconds = T.seconds();
+  Result.Code = std::move(Code);
+  Result.Sig = Req.Sig;
+  return Result;
+}

@@ -1,0 +1,663 @@
+//===- backend/Optimize.cpp - The "native compiler" pipeline --------------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "backend/Optimize.h"
+
+#include "ir/Operands.h"
+#include "runtime/Builtins.h"
+
+#include <cmath>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+using namespace majic;
+
+namespace {
+
+bool isBranch(Opcode Op) {
+  return Op == Opcode::Br || Op == Opcode::Brz || Op == Opcode::Brnz;
+}
+
+/// Positions that begin a basic block: entry, branch targets, fallthroughs
+/// after branches.
+std::vector<bool> blockStarts(const IRFunction &F) {
+  std::vector<bool> Starts(F.Code.size() + 1, false);
+  Starts[0] = true;
+  for (size_t Pos = 0; Pos != F.Code.size(); ++Pos) {
+    const Instr &In = F.Code[Pos];
+    if (isBranch(In.Op)) {
+      Starts[In.A] = true;
+      if (Pos + 1 < Starts.size())
+        Starts[Pos + 1] = true;
+    } else if (In.Op == Opcode::Ret && Pos + 1 < Starts.size()) {
+      Starts[Pos + 1] = true;
+    }
+  }
+  return Starts;
+}
+
+//===----------------------------------------------------------------------===//
+// Local value numbering: constant folding, copy propagation, CSE
+//===----------------------------------------------------------------------===//
+
+/// Per-block value state. F and I registers live in disjoint namespaces, so
+/// every map is keyed by (class, register).
+struct VNState {
+  static int64_t key(bool IsF, int32_t R) {
+    return (IsF ? (int64_t(1) << 40) : 0) | static_cast<uint32_t>(R);
+  }
+
+  // (class, vreg) -> current version (bumped on redefinition).
+  std::unordered_map<int64_t, uint32_t> Version;
+  // (class, vreg) -> known constant, valid for the current version.
+  std::unordered_map<int64_t, double> FConstOf;
+  std::unordered_map<int64_t, int64_t> IConstOf;
+  // (class, vreg) -> copy source (same class).
+  struct Copy {
+    int32_t Src;
+    uint32_t SrcVersion;
+  };
+  std::unordered_map<int64_t, Copy> CopyOf;
+  // Expression table: encoded expression -> (holder reg, holder version).
+  struct Holder {
+    int32_t Reg;
+    uint32_t Version;
+  };
+  std::map<std::vector<int64_t>, Holder> Exprs;
+
+  uint32_t version(bool IsF, int32_t R) {
+    auto It = Version.find(key(IsF, R));
+    return It == Version.end() ? 0 : It->second;
+  }
+
+  void define(bool IsF, int32_t R) {
+    ++Version[key(IsF, R)];
+    FConstOf.erase(key(IsF, R));
+    IConstOf.erase(key(IsF, R));
+    CopyOf.erase(key(IsF, R));
+  }
+
+  void reset() {
+    Version.clear();
+    FConstOf.clear();
+    IConstOf.clear();
+    CopyOf.clear();
+    Exprs.clear();
+  }
+};
+
+class ValueNumbering {
+public:
+  ValueNumbering(IRFunction &F, OptimizeStats &Stats) : F(F), Stats(Stats) {}
+
+  void run() {
+    std::vector<bool> Starts = blockStarts(F);
+    for (size_t Pos = 0; Pos != F.Code.size(); ++Pos) {
+      if (Starts[Pos])
+        S.reset();
+      visit(F.Code[Pos]);
+    }
+  }
+
+private:
+  /// Canonicalizes a use operand: follow valid copies within the class.
+  void canon(int32_t &R, bool IsF) {
+    auto It = S.CopyOf.find(VNState::key(IsF, R));
+    if (It != S.CopyOf.end() &&
+        S.version(IsF, It->second.Src) == It->second.SrcVersion)
+      R = It->second.Src;
+  }
+
+  bool fconst(int32_t R, double &V) {
+    auto It = S.FConstOf.find(VNState::key(true, R));
+    if (It == S.FConstOf.end())
+      return false;
+    V = It->second;
+    return true;
+  }
+  bool iconst(int32_t R, int64_t &V) {
+    auto It = S.IConstOf.find(VNState::key(false, R));
+    if (It == S.IConstOf.end())
+      return false;
+    V = It->second;
+    return true;
+  }
+
+  void visit(Instr &In);
+
+  IRFunction &F;
+  OptimizeStats &Stats;
+  VNState S;
+};
+
+void ValueNumbering::visit(Instr &In) {
+  const InstrOperands &Ops = instrOperands(In.Op);
+
+  // Canonicalize F/I use operands through copies. The version-checked copy
+  // map makes this safe without SSA. Keys are physical field slots.
+  int32_t *Fields[4] = {&In.A, &In.B, &In.C, &In.D};
+  for (unsigned K = 0; K != 4; ++K) {
+    OperandKind OK = Ops.Fields[K];
+    if ((OK == OperandKind::UseF || OK == OperandKind::UseI) && *Fields[K] >= 0)
+      canon(*Fields[K], OK == OperandKind::UseF);
+  }
+
+  // Constant folding.
+  auto FoldF = [&](double V) {
+    S.define(true, In.A);
+    Instr NewIn = Instr::make(Opcode::FConst, In.A);
+    NewIn.Imm.F = V;
+    In = NewIn;
+    S.FConstOf[VNState::key(true, In.A)] = V;
+    ++Stats.NumFolded;
+  };
+  auto FoldI = [&](int64_t V) {
+    S.define(false, In.A);
+    Instr NewIn = Instr::make(Opcode::IConst, In.A);
+    NewIn.Imm.I = V;
+    In = NewIn;
+    S.IConstOf[VNState::key(false, In.A)] = V;
+    ++Stats.NumFolded;
+  };
+
+  double FB = 0, FC = 0;
+  int64_t IB = 0, IC = 0;
+  switch (In.Op) {
+  case Opcode::FConst:
+    S.define(true, In.A);
+    S.FConstOf[VNState::key(true, In.A)] = In.Imm.F;
+    return;
+  case Opcode::IConst:
+    S.define(false, In.A);
+    S.IConstOf[VNState::key(false, In.A)] = In.Imm.I;
+    return;
+  case Opcode::MovF: {
+    double FV;
+    bool IsConst = fconst(In.B, FV);
+    uint32_t SrcVer = S.version(true, In.B);
+    S.define(true, In.A);
+    if (IsConst)
+      S.FConstOf[VNState::key(true, In.A)] = FV;
+    if (In.A != In.B)
+      S.CopyOf[VNState::key(true, In.A)] = {In.B, SrcVer};
+    return;
+  }
+  case Opcode::MovI: {
+    int64_t IV;
+    bool IsConst = iconst(In.B, IV);
+    uint32_t SrcVer = S.version(false, In.B);
+    S.define(false, In.A);
+    if (IsConst)
+      S.IConstOf[VNState::key(false, In.A)] = IV;
+    if (In.A != In.B)
+      S.CopyOf[VNState::key(false, In.A)] = {In.B, SrcVer};
+    return;
+  }
+  case Opcode::IToF:
+    if (iconst(In.B, IB)) {
+      FoldF(static_cast<double>(IB));
+      return;
+    }
+    break;
+  case Opcode::FToI:
+    if (fconst(In.B, FB)) {
+      FoldI(static_cast<int64_t>(FB));
+      return;
+    }
+    break;
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FDiv:
+  case Opcode::FPow:
+    if (fconst(In.B, FB) && fconst(In.C, FC)) {
+      double R = In.Op == Opcode::FAdd   ? FB + FC
+                 : In.Op == Opcode::FSub ? FB - FC
+                 : In.Op == Opcode::FMul ? FB * FC
+                 : In.Op == Opcode::FDiv ? FB / FC
+                                         : std::pow(FB, FC);
+      FoldF(R);
+      return;
+    }
+    break;
+  case Opcode::FNeg:
+    if (fconst(In.B, FB)) {
+      FoldF(-FB);
+      return;
+    }
+    break;
+  case Opcode::FIntr1:
+    if (fconst(In.B, FB)) {
+      FoldF(evalScalarIntrinsic1(static_cast<ScalarIntrinsic>(In.Imm.I), FB));
+      return;
+    }
+    break;
+  case Opcode::IAdd:
+  case Opcode::ISub:
+  case Opcode::IMul:
+    if (iconst(In.B, IB) && iconst(In.C, IC)) {
+      int64_t R = In.Op == Opcode::IAdd   ? IB + IC
+                  : In.Op == Opcode::ISub ? IB - IC
+                                          : IB * IC;
+      FoldI(R);
+      return;
+    }
+    break;
+  case Opcode::INeg:
+    if (iconst(In.B, IB)) {
+      FoldI(-IB);
+      return;
+    }
+    break;
+  default:
+    break;
+  }
+
+  // CSE over pure F/I-producing expressions with F/I operands only.
+  bool CSECandidate = false;
+  switch (In.Op) {
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FDiv:
+  case Opcode::FNeg:
+  case Opcode::FPow:
+  case Opcode::FIntr1:
+  case Opcode::FIntr2:
+  case Opcode::FCmp:
+  case Opcode::IToF:
+  case Opcode::FToI:
+  case Opcode::IAdd:
+  case Opcode::ISub:
+  case Opcode::IMul:
+  case Opcode::INeg:
+  case Opcode::ICmp:
+  case Opcode::IAnd:
+  case Opcode::IOr:
+  case Opcode::INot:
+    CSECandidate = true;
+    break;
+  default:
+    break;
+  }
+
+  if (CSECandidate) {
+    std::vector<int64_t> Key;
+    Key.push_back(static_cast<int64_t>(In.Op));
+    Key.push_back(In.Imm.I);
+    for (unsigned K = 1; K != 4; ++K) {
+      OperandKind OK = Ops.Fields[K];
+      if (OK == OperandKind::UseF || OK == OperandKind::UseI) {
+        bool UseIsF = OK == OperandKind::UseF;
+        Key.push_back(VNState::key(UseIsF, *Fields[K]));
+        Key.push_back(S.version(UseIsF, *Fields[K]));
+      }
+    }
+    bool DefIsF = Ops.Fields[0] == OperandKind::DefF;
+    auto It = S.Exprs.find(Key);
+    if (It != S.Exprs.end() &&
+        S.version(DefIsF, It->second.Reg) == It->second.Version) {
+      int32_t Src = It->second.Reg;
+      int32_t Dst = In.A;
+      if (Src == Dst)
+        return; // recomputation into the same register: keep as-is
+      In = Instr::make(DefIsF ? Opcode::MovF : Opcode::MovI, Dst, Src);
+      S.define(DefIsF, Dst);
+      S.CopyOf[VNState::key(DefIsF, Dst)] = {Src, S.version(DefIsF, Src)};
+      ++Stats.NumCSE;
+      return;
+    }
+    S.define(DefIsF, In.A);
+    S.Exprs[Key] = {In.A, S.version(DefIsF, In.A)};
+    return;
+  }
+
+  // Generic definition handling for anything else.
+  for (unsigned K = 0; K != 4; ++K) {
+    OperandKind OK = Ops.Fields[K];
+    if ((OK == OperandKind::DefF || OK == OperandKind::DefI) &&
+        *Fields[K] >= 0)
+      S.define(OK == OperandKind::DefF, *Fields[K]);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Rebuild helper: applies insertions and Nop removal, patching branches
+// and loop metadata.
+//===----------------------------------------------------------------------===//
+
+void rebuild(IRFunction &F,
+             const std::multimap<uint32_t, Instr> &InsertBefore,
+             bool DropNops) {
+  std::vector<Instr> NewCode;
+  NewCode.reserve(F.Code.size() + InsertBefore.size());
+  std::vector<int32_t> NewPos(F.Code.size() + 1, 0);
+
+  for (size_t Pos = 0; Pos != F.Code.size(); ++Pos) {
+    auto [Lo, Hi] = InsertBefore.equal_range(static_cast<uint32_t>(Pos));
+    for (auto It = Lo; It != Hi; ++It)
+      NewCode.push_back(It->second);
+    // Branch targets map to the original instruction, *after* insertions:
+    // code hoisted to a loop header runs on fall-through entry only, not on
+    // every back edge (headers are only ever targeted by their back edges).
+    NewPos[Pos] = static_cast<int32_t>(NewCode.size());
+    if (!(DropNops && F.Code[Pos].Op == Opcode::Nop))
+      NewCode.push_back(F.Code[Pos]);
+  }
+  NewPos[F.Code.size()] = static_cast<int32_t>(NewCode.size());
+
+  for (Instr &In : NewCode)
+    if (isBranch(In.Op))
+      In.A = NewPos[In.A];
+  for (LoopMeta &L : F.Loops) {
+    L.HeaderIndex = NewPos[L.HeaderIndex];
+    L.BodyBegin = NewPos[L.BodyBegin];
+    L.LatchIndex = NewPos[L.LatchIndex];
+    L.ExitIndex = NewPos[L.ExitIndex];
+  }
+  F.Code = std::move(NewCode);
+}
+
+//===----------------------------------------------------------------------===//
+// LICM
+//===----------------------------------------------------------------------===//
+
+/// Hoists invariant instructions out of one loop; returns true when the
+/// function was rebuilt (loop metadata refreshed).
+bool hoistOneLoop(IRFunction &F, const LoopMeta &L, OptimizeStats &Stats) {
+  std::multimap<uint32_t, Instr> Hoists;
+  {
+    if (L.BodyBegin >= L.ExitIndex || L.ExitIndex > F.Code.size())
+      return false;
+    // Registers defined anywhere inside the loop region (header..exit).
+    std::vector<bool> FDef, IDef;
+    auto NoteDef = [](std::vector<bool> &V, int32_t R) {
+      if (R < 0)
+        return;
+      if (static_cast<size_t>(R) >= V.size())
+        V.resize(R + 1, false);
+      V[R] = true;
+    };
+    auto IsDef = [](const std::vector<bool> &V, int32_t R) {
+      return R >= 0 && static_cast<size_t>(R) < V.size() && V[R];
+    };
+    // Count definitions per reg so multiply-defined dsts are not hoisted.
+    std::unordered_map<int64_t, unsigned> DefCount;
+    for (uint32_t Pos = L.HeaderIndex; Pos < L.ExitIndex; ++Pos) {
+      const Instr &In = F.Code[Pos];
+      const InstrOperands &Ops = instrOperands(In.Op);
+      const int32_t *Fields[4] = {&In.A, &In.B, &In.C, &In.D};
+      for (unsigned K = 0; K != 4; ++K) {
+        OperandKind OK = Ops.Fields[K];
+        if (OK == OperandKind::DefF) {
+          NoteDef(FDef, *Fields[K]);
+          ++DefCount[(1ll << 32) | *Fields[K]];
+        } else if (OK == OperandKind::DefI) {
+          NoteDef(IDef, *Fields[K]);
+          ++DefCount[*Fields[K]];
+        }
+      }
+    }
+
+    for (uint32_t Pos = L.BodyBegin; Pos < L.LatchIndex; ++Pos) {
+      Instr &In = F.Code[Pos];
+      if (!isHoistableInstr(In.Op))
+        continue;
+      const InstrOperands &Ops = instrOperands(In.Op);
+      const int32_t *Fields[4] = {&In.A, &In.B, &In.C, &In.D};
+      bool Invariant = true;
+      for (unsigned K = 1; K != 4 && Invariant; ++K) {
+        OperandKind OK = Ops.Fields[K];
+        if (OK == OperandKind::UseF)
+          Invariant = !IsDef(FDef, *Fields[K]);
+        else if (OK == OperandKind::UseI)
+          Invariant = !IsDef(IDef, *Fields[K]);
+        else if (OK != OperandKind::None)
+          Invariant = false; // P operand: not handled
+      }
+      if (!Invariant)
+        continue;
+      // The destination must be defined exactly once in the loop (here).
+      OperandKind DefOK = Ops.Fields[0];
+      bool DefIsF = DefOK == OperandKind::DefF;
+      if (DefOK != OperandKind::DefF && DefOK != OperandKind::DefI)
+        continue;
+      int64_t Key = DefIsF ? ((1ll << 32) | In.A) : In.A;
+      if (DefCount[Key] != 1)
+        continue;
+      Hoists.emplace(L.HeaderIndex, In);
+      In = Instr::make(Opcode::Nop);
+      ++Stats.NumHoisted;
+      // Record the hoisted def so later candidates depending on it remain
+      // hoistable... they do not: conservatively leave FDef/IDef marked.
+    }
+  }
+
+  if (Hoists.empty())
+    return false;
+  rebuild(F, Hoists, /*DropNops=*/true);
+  return true;
+}
+
+void runLICM(IRFunction &F, OptimizeStats &Stats) {
+  // One loop at a time, rebuilding in between: instructions hoisted into an
+  // inner loop's header become visible definitions for the enclosing loop's
+  // invariance analysis (hoisting everything in one batch would let an
+  // outer loop lift users above their freshly hoisted inner-loop defs).
+  for (size_t LoopIdx = 0; LoopIdx != F.Loops.size(); ++LoopIdx)
+    hoistOneLoop(F, F.Loops[LoopIdx], Stats);
+}
+
+//===----------------------------------------------------------------------===//
+// Unrolling
+//===----------------------------------------------------------------------===//
+
+void runUnroll(IRFunction &F, unsigned Factor, unsigned MaxBody,
+               OptimizeStats &Stats) {
+  if (F.Loops.empty() || Factor < 2)
+    return;
+
+  // Collect all branch targets to verify bodies are single-entry.
+  std::vector<uint32_t> Targets;
+  for (const Instr &In : F.Code)
+    if (isBranch(In.Op))
+      Targets.push_back(static_cast<uint32_t>(In.A));
+
+  // Unroll one loop at a time (positions shift after each rebuild).
+  for (size_t LoopIdx = 0; LoopIdx != F.Loops.size(); ++LoopIdx) {
+    const LoopMeta L = F.Loops[LoopIdx];
+    uint32_t BodySize = L.LatchIndex - L.BodyBegin;
+    if (BodySize == 0 || BodySize > MaxBody)
+      continue;
+    // Straight-line body: no branches inside, no external jumps into it.
+    bool Straight = true;
+    for (uint32_t Pos = L.BodyBegin; Pos < L.LatchIndex && Straight; ++Pos)
+      Straight = !isBranch(F.Code[Pos].Op) && F.Code[Pos].Op != Opcode::Ret;
+    for (uint32_t T : Targets)
+      if (T > L.BodyBegin && T <= L.LatchIndex)
+        Straight = false;
+    if (!Straight)
+      continue;
+    // Expected shape produced by the code generator:
+    //   Header:  ICmp cond, k, TC (LT); Brz cond -> Exit
+    //   Body:    ...
+    //   Latch:   IAdd k, k, 1; Br Header
+    const Instr &HeadCmp = F.Code[L.HeaderIndex];
+    const Instr &HeadBr = F.Code[L.HeaderIndex + 1];
+    const Instr &Latch = F.Code[L.LatchIndex];
+    if (HeadCmp.Op != Opcode::ICmp || HeadBr.Op != Opcode::Brz ||
+        Latch.Op != Opcode::IAdd || Latch.A != L.CounterReg)
+      continue;
+
+    // Build the unrolled replacement.
+    std::vector<Instr> New;
+    auto EmitBody = [&] {
+      for (uint32_t Pos = L.BodyBegin; Pos < L.LatchIndex; ++Pos)
+        New.push_back(F.Code[Pos]);
+    };
+    int32_t KTmp = static_cast<int32_t>(F.NumI++);
+    int32_t Cond = static_cast<int32_t>(F.NumI++);
+
+    // Prefix: everything before the header.
+    New.insert(New.end(), F.Code.begin(), F.Code.begin() + L.HeaderIndex);
+
+    // Unrolled header: while (k + Factor - 1 < TC).
+    size_t UHeader = New.size();
+    {
+      Instr Add = Instr::make(Opcode::IAdd, KTmp, L.CounterReg);
+      Add.C = -1;
+      // k + (Factor-1) via constant register.
+      Instr Cst = Instr::make(Opcode::IConst, Cond); // reuse Cond as temp
+      Cst.Imm.I = static_cast<int64_t>(Factor - 1);
+      New.push_back(Cst);
+      Add.C = Cond;
+      New.push_back(Add);
+      Instr Cmp = Instr::make(Opcode::ICmp, Cond, KTmp, L.TripReg);
+      Cmp.Imm.I = static_cast<int64_t>(CondCode::LT);
+      New.push_back(Cmp);
+      Instr Brz = Instr::make(Opcode::Brz, /*target patched below*/ 0, Cond);
+      New.push_back(Brz);
+    }
+    size_t UBrz = New.size() - 1;
+    for (unsigned U = 0; U != Factor; ++U) {
+      EmitBody();
+      New.push_back(F.Code[L.LatchIndex]); // IAdd k, k, 1
+    }
+    {
+      Instr Br = Instr::make(Opcode::Br, static_cast<int32_t>(UHeader));
+      New.push_back(Br);
+    }
+    // Remainder loop: the original header/body/latch.
+    size_t RHeader = New.size();
+    New[UBrz].A = static_cast<int32_t>(RHeader);
+    {
+      Instr Cmp = F.Code[L.HeaderIndex];
+      New.push_back(Cmp);
+      Instr Brz = F.Code[L.HeaderIndex + 1];
+      Brz.A = 0; // patched to exit below
+      New.push_back(Brz);
+    }
+    size_t RBrz = New.size() - 1;
+    EmitBody();
+    New.push_back(F.Code[L.LatchIndex]);
+    New.push_back(Instr::make(Opcode::Br, static_cast<int32_t>(RHeader)));
+    size_t NewExit = New.size();
+    New[RBrz].A = static_cast<int32_t>(NewExit);
+
+    // Suffix: everything from the old exit on. Only *original* prefix and
+    // suffix branches are remapped (targets < HeaderIndex stay, targets
+    // >= ExitIndex shift by Delta, a target at the old header maps to the
+    // unrolled header); branches created by this transform are already
+    // correct in the new layout.
+    int64_t Delta = static_cast<int64_t>(NewExit) -
+                    static_cast<int64_t>(L.ExitIndex);
+    size_t SuffixBegin = New.size();
+    New.insert(New.end(), F.Code.begin() + L.ExitIndex, F.Code.end());
+    auto RemapOriginal = [&](Instr &In) {
+      if (!isBranch(In.Op))
+        return;
+      if (In.A >= static_cast<int32_t>(L.ExitIndex))
+        In.A = static_cast<int32_t>(In.A + Delta);
+      else if (In.A == static_cast<int32_t>(L.HeaderIndex))
+        In.A = static_cast<int32_t>(UHeader);
+    };
+    for (size_t Pos = 0; Pos != L.HeaderIndex; ++Pos)
+      RemapOriginal(New[Pos]);
+    for (size_t Pos = SuffixBegin; Pos != New.size(); ++Pos)
+      RemapOriginal(New[Pos]);
+
+    F.Code = std::move(New);
+    // All loop metadata indices are stale after the rebuild; this pass
+    // consumes them, so drop the rest.
+    F.Loops.clear();
+    ++Stats.NumLoopsUnrolled;
+    break; // metadata gone; unroll at most one loop per pipeline round
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// DCE
+//===----------------------------------------------------------------------===//
+
+void runDCE(IRFunction &F, OptimizeStats &Stats) {
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    // Usage counts per class over the whole function.
+    std::unordered_map<int64_t, unsigned> Uses;
+    auto Key = [](OperandKind OK, int32_t R) -> int64_t {
+      int64_t Cls = OK == OperandKind::UseF || OK == OperandKind::DefF ? 1
+                    : OK == OperandKind::UseI || OK == OperandKind::DefI
+                        ? 2
+                        : 3;
+      return (Cls << 32) | static_cast<uint32_t>(R);
+    };
+    for (const Instr &In : F.Code) {
+      const InstrOperands &Ops = instrOperands(In.Op);
+      const int32_t *Fields[4] = {&In.A, &In.B, &In.C, &In.D};
+      for (unsigned K = 0; K != 4; ++K) {
+        OperandKind OK = Ops.Fields[K];
+        if (OK == OperandKind::UseF || OK == OperandKind::UseI ||
+            OK == OperandKind::UseP || OK == OperandKind::UseDefP)
+          ++Uses[Key(OK == OperandKind::UseDefP ? OperandKind::UseP : OK,
+                     *Fields[K])];
+      }
+      if (Ops.PoolUses || Ops.PoolCall) {
+        PoolRanges PR = poolRanges(In);
+        for (int32_t K = 0; K != PR.UseCount; ++K)
+          if (F.Pool[PR.UseOff + K] >= 0)
+            ++Uses[Key(OperandKind::UseP, F.Pool[PR.UseOff + K])];
+        // Call destinations count as uses too (they must stay defined).
+        for (int32_t K = 0; K != PR.DefCount; ++K)
+          ++Uses[Key(OperandKind::UseP, F.Pool[PR.DefOff + K])];
+      }
+    }
+    for (Instr &In : F.Code) {
+      if (!isPureInstr(In.Op) || In.Op == Opcode::Nop)
+        continue;
+      const InstrOperands &Ops = instrOperands(In.Op);
+      const int32_t *Fields[4] = {&In.A, &In.B, &In.C, &In.D};
+      bool AnyDef = false, AllDead = true;
+      for (unsigned K = 0; K != 4; ++K) {
+        OperandKind OK = Ops.Fields[K];
+        if (OK == OperandKind::DefF || OK == OperandKind::DefI ||
+            OK == OperandKind::DefP) {
+          AnyDef = true;
+          OperandKind UseK = OK == OperandKind::DefF   ? OperandKind::UseF
+                             : OK == OperandKind::DefI ? OperandKind::UseI
+                                                       : OperandKind::UseP;
+          if (Uses[Key(UseK, *Fields[K])] != 0)
+            AllDead = false;
+        }
+      }
+      if (AnyDef && AllDead) {
+        In = Instr::make(Opcode::Nop);
+        ++Stats.NumDead;
+        Changed = true;
+      }
+    }
+  }
+  rebuild(F, {}, /*DropNops=*/true);
+}
+
+} // namespace
+
+OptimizeStats majic::optimize(IRFunction &F, const OptimizeOptions &Opts) {
+  assert(!F.Allocated && "optimize before register allocation");
+  OptimizeStats Stats;
+  for (unsigned Round = 0; Round != std::max(1u, Opts.Rounds); ++Round) {
+    if (Opts.EnableValueNumbering)
+      ValueNumbering(F, Stats).run();
+    if (Opts.EnableLICM)
+      runLICM(F, Stats);
+    if (Opts.EnableUnroll)
+      runUnroll(F, Opts.UnrollFactor, Opts.MaxUnrollBodySize, Stats);
+    if (Opts.EnableDCE)
+      runDCE(F, Stats);
+  }
+  return Stats;
+}

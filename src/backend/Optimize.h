@@ -1,0 +1,55 @@
+//===- backend/Optimize.h - The "native compiler" pipeline -----*- C++ -*-===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The optimizing backend standing in for the host C/Fortran compiler of
+/// the speculative path (Section 2.6: the source code generator's output
+/// is "compiled with the native compiler using the most aggressive
+/// optimization mode"; DESIGN.md substitution #2). The JIT deliberately
+/// skips this pipeline ("no loop optimizations or instruction scheduling
+/// are performed").
+///
+/// Passes, in order, over unallocated IR:
+///   1. Local value numbering: constant folding, copy propagation, CSE.
+///   2. Loop-invariant code motion over the code generator's loop metadata.
+///   3. Unrolling (factor 2 or 4) of small straight-line counted loops.
+///   4. Dead code elimination and Nop compaction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAJIC_BACKEND_OPTIMIZE_H
+#define MAJIC_BACKEND_OPTIMIZE_H
+
+#include "ir/Instr.h"
+
+namespace majic {
+
+struct OptimizeOptions {
+  bool EnableValueNumbering = true;
+  bool EnableLICM = true;
+  bool EnableUnroll = true;
+  unsigned UnrollFactor = 2;
+  unsigned MaxUnrollBodySize = 48;
+  bool EnableDCE = true;
+  /// Pipeline repetitions (the platform's native-compiler quality).
+  unsigned Rounds = 1;
+};
+
+struct OptimizeStats {
+  unsigned NumFolded = 0;
+  unsigned NumCSE = 0;
+  unsigned NumHoisted = 0;
+  unsigned NumLoopsUnrolled = 0;
+  unsigned NumDead = 0;
+};
+
+/// Optimizes \p F in place. Requires unallocated code; preserves loop
+/// metadata across in-place passes and recomputes it across rebuilds.
+OptimizeStats optimize(IRFunction &F, const OptimizeOptions &Opts = {});
+
+} // namespace majic
+
+#endif // MAJIC_BACKEND_OPTIMIZE_H

@@ -1,0 +1,48 @@
+//===- backend/RegAlloc.h - Linear-scan register allocation ----*- C++ -*-===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Linear-scan register allocation (Poletto & Sarkar, the paper's
+/// reference [19]; MaJIC "re-implemented the register allocator used by
+/// tcc"). Virtual F and I registers are mapped onto the platform's fixed
+/// register files; intervals that do not fit are spilled to frame slots
+/// with explicit reload/store instructions. Boxed P registers model stack
+/// handles and are not subject to allocation.
+///
+/// The "no regalloc" ablation of Figure 7 ("forcing the linear-scan
+/// register allocator to spill every variable ... roughly equivalent to
+/// compiling with the -g flag") is the SpillEverything mode.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAJIC_BACKEND_REGALLOC_H
+#define MAJIC_BACKEND_REGALLOC_H
+
+#include "backend/Platform.h"
+#include "ir/Instr.h"
+
+namespace majic {
+
+struct RegAllocOptions {
+  /// Figure 7's "no regalloc" bars: every virtual register lives in a
+  /// spill slot and every access goes through scratch registers.
+  bool SpillEverything = false;
+};
+
+struct RegAllocStats {
+  unsigned NumFSpilled = 0;
+  unsigned NumISpilled = 0;
+  unsigned NumSpillInstrs = 0;
+};
+
+/// Allocates \p F in place (rewriting register operands, inserting spill
+/// code and patching branch targets). Marks the function Allocated.
+RegAllocStats allocateRegisters(IRFunction &F, const PlatformModel &Platform,
+                                const RegAllocOptions &Opts = {});
+
+} // namespace majic
+
+#endif // MAJIC_BACKEND_REGALLOC_H

@@ -1,0 +1,585 @@
+//===- backend/VM.cpp - The register VM ----------------------------------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "backend/VM.h"
+
+#include "runtime/Blas.h"
+#include "runtime/Builtins.h"
+#include "runtime/Ops.h"
+#include "support/StringUtils.h"
+
+#include <cmath>
+
+using namespace majic;
+using rt::Indexer;
+
+namespace {
+
+bool evalCond(CondCode CC, double A, double B) {
+  switch (CC) {
+  case CondCode::LT:
+    return A < B;
+  case CondCode::LE:
+    return A <= B;
+  case CondCode::GT:
+    return A > B;
+  case CondCode::GE:
+    return A >= B;
+  case CondCode::EQ:
+    return A == B;
+  case CondCode::NE:
+    return A != B;
+  }
+  majic_unreachable("invalid condition code");
+}
+
+/// Promotes the array's class tag when storing an element of class \p C.
+void promoteClass(Value &V, MClass C) {
+  if (V.mclass() == MClass::String)
+    throw MatlabError("cannot index-assign into a string");
+  if (static_cast<int>(C) > static_cast<int>(V.mclass()) &&
+      C != MClass::Complex)
+    V.setClass(C);
+}
+
+/// Direct element store with complex-imaginary clearing.
+inline void storeDirect(Value &V, size_t Idx, double X) {
+  V.reRef(Idx) = X;
+  if (V.isComplex())
+    V.imRef(Idx) = 0.0;
+}
+
+/// Domain guards for optimistically typed math intrinsics (Section 2.4's
+/// guarded-intrinsic story): violation triggers deoptimization.
+inline void checkIntrinsicGuard(ScalarIntrinsic Intr, double X) {
+  switch (Intr) {
+  case ScalarIntrinsic::Sqrt:
+  case ScalarIntrinsic::Log:
+  case ScalarIntrinsic::Log2:
+  case ScalarIntrinsic::Log10:
+    if (X < 0)
+      throw DeoptError{Intr, X};
+    return;
+  case ScalarIntrinsic::Asin:
+  case ScalarIntrinsic::Acos:
+    if (X < -1 || X > 1)
+      throw DeoptError{Intr, X};
+    return;
+  default:
+    return;
+  }
+}
+
+Value &requireValue(const ValuePtr &P) {
+  if (!P)
+    throw MatlabError("internal: use of an empty value register");
+  return *P;
+}
+
+} // namespace
+
+std::vector<ValuePtr> VM::run(const IRFunction &F, std::vector<ValuePtr> Args,
+                              size_t NumOuts) {
+  assert(F.Allocated && "VM requires register-allocated code");
+
+  // Register files (physical) and spill frames.
+  std::vector<double> FR(F.NumF, 0.0);
+  std::vector<int64_t> IR(F.NumI, 0);
+  std::vector<ValuePtr> PR(F.NumP);
+  std::vector<double> FSp(F.NumFSpill, 0.0);
+  std::vector<int64_t> ISp(F.NumISpill, 0);
+  std::vector<ValuePtr> PSp(F.NumPSpill);
+  std::vector<ValuePtr> Outs(F.NumOuts);
+
+  // Resolve builtin names once per invocation.
+  std::vector<const BuiltinDef *> Builtins(F.Names.size(), nullptr);
+  for (size_t N = 0; N != F.Names.size(); ++N)
+    Builtins[N] = BuiltinTable::instance().lookup(F.Names[N]);
+
+  const Instr *Code = F.Code.data();
+  size_t PC = 0;
+  uint64_t Count = 0;
+
+  auto GatherArgs = [&](int32_t Off, int32_t N) {
+    std::vector<ValuePtr> Out;
+    Out.reserve(N);
+    for (int32_t K = 0; K != N; ++K) {
+      const ValuePtr &V = PR[F.Pool[Off + K]];
+      if (!V)
+        throw MatlabError("internal: null argument value");
+      Out.push_back(V);
+    }
+    return Out;
+  };
+
+  while (true) {
+    const Instr &In = Code[PC];
+    ++Count;
+    switch (In.Op) {
+    case Opcode::Nop:
+      break;
+
+    case Opcode::FConst:
+      FR[In.A] = In.Imm.F;
+      break;
+    case Opcode::IConst:
+      IR[In.A] = In.Imm.I;
+      break;
+    case Opcode::SConst:
+      PR[In.A] = makeValue(Value::str(F.Strings[In.Imm.I]));
+      break;
+    case Opcode::MovF:
+      FR[In.A] = FR[In.B];
+      break;
+    case Opcode::MovI:
+      IR[In.A] = IR[In.B];
+      break;
+    case Opcode::MovP:
+      PR[In.A] = PR[In.B];
+      break;
+    case Opcode::IToF:
+      FR[In.A] = static_cast<double>(IR[In.B]);
+      break;
+    case Opcode::FToI:
+      IR[In.A] = static_cast<int64_t>(FR[In.B]);
+      break;
+    case Opcode::FToIdx:
+      IR[In.A] = static_cast<int64_t>(rt::checkSubscript(FR[In.B]));
+      break;
+
+    case Opcode::FAdd:
+      FR[In.A] = FR[In.B] + FR[In.C];
+      break;
+    case Opcode::FSub:
+      FR[In.A] = FR[In.B] - FR[In.C];
+      break;
+    case Opcode::FMul:
+      FR[In.A] = FR[In.B] * FR[In.C];
+      break;
+    case Opcode::FDiv:
+      FR[In.A] = FR[In.B] / FR[In.C];
+      break;
+    case Opcode::FNeg:
+      FR[In.A] = -FR[In.B];
+      break;
+    case Opcode::FPow:
+      FR[In.A] = std::pow(FR[In.B], FR[In.C]);
+      break;
+    case Opcode::FCmp:
+      IR[In.A] = evalCond(static_cast<CondCode>(In.Imm.I), FR[In.B], FR[In.C]);
+      break;
+    case Opcode::FIntr1: {
+      auto Intr = static_cast<ScalarIntrinsic>(In.Imm.I);
+      checkIntrinsicGuard(Intr, FR[In.B]);
+      FR[In.A] = evalScalarIntrinsic1(Intr, FR[In.B]);
+      break;
+    }
+    case Opcode::FIntr2:
+      FR[In.A] = evalScalarIntrinsic2(
+          static_cast<ScalarIntrinsic>(In.Imm.I), FR[In.B], FR[In.C]);
+      break;
+
+    case Opcode::IAdd:
+      IR[In.A] = IR[In.B] + IR[In.C];
+      break;
+    case Opcode::ISub:
+      IR[In.A] = IR[In.B] - IR[In.C];
+      break;
+    case Opcode::IMul:
+      IR[In.A] = IR[In.B] * IR[In.C];
+      break;
+    case Opcode::INeg:
+      IR[In.A] = -IR[In.B];
+      break;
+    case Opcode::ICmp:
+      IR[In.A] = evalCond(static_cast<CondCode>(In.Imm.I),
+                          static_cast<double>(IR[In.B]),
+                          static_cast<double>(IR[In.C]));
+      break;
+    case Opcode::IAnd:
+      IR[In.A] = (IR[In.B] != 0) & (IR[In.C] != 0);
+      break;
+    case Opcode::IOr:
+      IR[In.A] = (IR[In.B] != 0) | (IR[In.C] != 0);
+      break;
+    case Opcode::INot:
+      IR[In.A] = IR[In.B] == 0;
+      break;
+
+    case Opcode::Br:
+      PC = static_cast<size_t>(In.A);
+      continue;
+    case Opcode::Brz:
+      if (IR[In.B] == 0) {
+        PC = static_cast<size_t>(In.A);
+        continue;
+      }
+      break;
+    case Opcode::Brnz:
+      if (IR[In.B] != 0) {
+        PC = static_cast<size_t>(In.A);
+        continue;
+      }
+      break;
+    case Opcode::Ret: {
+      InstrCount += Count;
+      if (NumOuts == 0) {
+        // nargout = 0: optional first output for ans/display semantics.
+        if (!Outs.empty() && Outs[0])
+          return {Outs[0]};
+        return {};
+      }
+      if (NumOuts > std::max<size_t>(Outs.size(), 1))
+        throw MatlabError(format("too many output arguments from '%s'",
+                                 F.Name.c_str()));
+      for (size_t K = 0; K != NumOuts; ++K) {
+        if (K >= Outs.size() || !Outs[K])
+          throw MatlabError(
+              format("output argument %zu of '%s' not assigned", K + 1,
+                     F.Name.c_str()));
+      }
+      Outs.resize(std::min(NumOuts, Outs.size()));
+      return Outs;
+    }
+
+    case Opcode::BoxF:
+      PR[In.A] = makeScalar(FR[In.B]);
+      break;
+    case Opcode::BoxI:
+      PR[In.A] = makeValue(Value::intScalar(static_cast<double>(IR[In.B])));
+      break;
+    case Opcode::BoxB:
+      PR[In.A] = makeBool(IR[In.B] != 0);
+      break;
+    case Opcode::BoxC:
+      PR[In.A] = makeValue(Value::complexScalar(FR[In.B], FR[In.C]));
+      break;
+    case Opcode::UnboxF:
+      FR[In.A] = requireValue(PR[In.B]).scalarValue();
+      break;
+    case Opcode::UnboxI: {
+      double X = requireValue(PR[In.B]).scalarValue();
+      double R = std::round(X);
+      if (std::abs(X - R) > 1e-8)
+        throw MatlabError(format("expected an integer value, got %g", X));
+      IR[In.A] = static_cast<int64_t>(R);
+      break;
+    }
+    case Opcode::UnboxReIm: {
+      const Value &V = requireValue(PR[In.C]);
+      if (!V.isScalar())
+        throw MatlabError("expected a scalar value");
+      FR[In.A] = V.re(0);
+      FR[In.B] = V.im(0);
+      break;
+    }
+    case Opcode::CheckDef:
+      if (!PR[In.A])
+        throw MatlabError(format("undefined function or variable '%s'",
+                                 F.Names[In.Imm.I].c_str()));
+      break;
+
+    case Opcode::NewMat: {
+      int64_t R = std::max<int64_t>(IR[In.B], 0);
+      int64_t C = std::max<int64_t>(IR[In.C], 0);
+      PR[In.A] = makeValue(Value::zeros(static_cast<size_t>(R),
+                                        static_cast<size_t>(C),
+                                        static_cast<MClass>(In.Imm.I)));
+      break;
+    }
+    case Opcode::FillF: {
+      Value &V = makeUnique(PR[In.A]);
+      std::fill(V.reData(), V.reData() + V.numel(), In.Imm.F);
+      break;
+    }
+
+    case Opcode::LoadEl:
+      FR[In.A] = requireValue(PR[In.B]).re(static_cast<size_t>(IR[In.C]));
+      break;
+    case Opcode::LoadElChk: {
+      const Value &V = requireValue(PR[In.B]);
+      int64_t Idx = IR[In.C];
+      if (Idx < 0 || static_cast<size_t>(Idx) >= V.numel())
+        throw MatlabError(format("index out of bounds: %lld exceeds numel %zu",
+                                 static_cast<long long>(Idx + 1), V.numel()));
+      FR[In.A] = V.re(static_cast<size_t>(Idx));
+      break;
+    }
+    case Opcode::LoadEl2:
+      FR[In.A] = requireValue(PR[In.B])
+                     .at(static_cast<size_t>(IR[In.C]),
+                         static_cast<size_t>(IR[In.D]));
+      break;
+    case Opcode::LoadEl2Chk: {
+      const Value &V = requireValue(PR[In.B]);
+      int64_t R = IR[In.C], C = IR[In.D];
+      if (R < 0 || C < 0 || static_cast<size_t>(R) >= V.rows() ||
+          static_cast<size_t>(C) >= V.cols())
+        throw MatlabError(format("index (%lld, %lld) out of bounds for "
+                                 "%zux%zu matrix",
+                                 static_cast<long long>(R + 1),
+                                 static_cast<long long>(C + 1), V.rows(),
+                                 V.cols()));
+      FR[In.A] = V.at(static_cast<size_t>(R), static_cast<size_t>(C));
+      break;
+    }
+
+    case Opcode::StoreEl: {
+      Value &V = makeUnique(PR[In.A]);
+      promoteClass(V, static_cast<MClass>(In.Imm.I));
+      storeDirect(V, static_cast<size_t>(IR[In.B]), FR[In.C]);
+      break;
+    }
+    case Opcode::StoreElChk: {
+      if (!PR[In.A])
+        PR[In.A] = makeValue(Value());
+      Value &V = makeUnique(PR[In.A]);
+      int64_t Idx = IR[In.B];
+      if (Idx < 0)
+        throw MatlabError("subscript indices must be positive integers");
+      if (static_cast<size_t>(Idx) < V.numel()) {
+        promoteClass(V, static_cast<MClass>(In.Imm.I));
+        storeDirect(V, static_cast<size_t>(Idx), FR[In.C]);
+      } else {
+        // Resize-on-write (with oversizing) through the runtime.
+        Value RHS = Value::scalar(FR[In.C]);
+        RHS.setClass(static_cast<MClass>(In.Imm.I));
+        rt::indexAssign1(V, Indexer::single(static_cast<size_t>(Idx)), RHS);
+      }
+      break;
+    }
+    case Opcode::StoreEl2: {
+      Value &V = makeUnique(PR[In.A]);
+      promoteClass(V, static_cast<MClass>(In.Imm.I));
+      size_t Idx = static_cast<size_t>(IR[In.C]) * V.rows() +
+                   static_cast<size_t>(IR[In.B]);
+      storeDirect(V, Idx, FR[In.D]);
+      break;
+    }
+    case Opcode::StoreEl2Chk: {
+      if (!PR[In.A])
+        PR[In.A] = makeValue(Value());
+      Value &V = makeUnique(PR[In.A]);
+      int64_t R = IR[In.B], C = IR[In.C];
+      if (R < 0 || C < 0)
+        throw MatlabError("subscript indices must be positive integers");
+      if (static_cast<size_t>(R) < V.rows() &&
+          static_cast<size_t>(C) < V.cols()) {
+        promoteClass(V, static_cast<MClass>(In.Imm.I));
+        storeDirect(V, static_cast<size_t>(C) * V.rows() +
+                           static_cast<size_t>(R),
+                    FR[In.D]);
+      } else {
+        Value RHS = Value::scalar(FR[In.D]);
+        RHS.setClass(static_cast<MClass>(In.Imm.I));
+        rt::indexAssign2(V, Indexer::single(static_cast<size_t>(R)),
+                         Indexer::single(static_cast<size_t>(C)), RHS);
+      }
+      break;
+    }
+
+    case Opcode::LenRows:
+      IR[In.A] = static_cast<int64_t>(requireValue(PR[In.B]).rows());
+      break;
+    case Opcode::LenCols:
+      IR[In.A] = static_cast<int64_t>(requireValue(PR[In.B]).cols());
+      break;
+    case Opcode::LenNumel:
+      IR[In.A] = static_cast<int64_t>(requireValue(PR[In.B]).numel());
+      break;
+    case Opcode::ColSlice: {
+      const Value &V = requireValue(PR[In.B]);
+      PR[In.A] = makeValue(rt::index2(
+          V, Indexer::colon(), Indexer::single(static_cast<size_t>(IR[In.C]))));
+      break;
+    }
+
+    case Opcode::MakeRange:
+      PR[In.A] = makeValue(Value::range(FR[In.B], FR[In.C], FR[In.D]));
+      break;
+    case Opcode::MakeRangeG:
+      PR[In.A] = makeValue(rt::colon(requireValue(PR[In.B]),
+                                     requireValue(PR[In.C]),
+                                     requireValue(PR[In.D])));
+      break;
+    case Opcode::RtBin:
+      PR[In.A] = makeValue(rt::binary(static_cast<rt::BinOp>(In.Imm.I),
+                                      requireValue(PR[In.B]),
+                                      requireValue(PR[In.C])));
+      break;
+    case Opcode::RtUn:
+      PR[In.A] = makeValue(rt::unary(static_cast<rt::UnOp>(In.Imm.I),
+                                     requireValue(PR[In.B])));
+      break;
+    case Opcode::IsTrue:
+      IR[In.A] = requireValue(PR[In.B]).isTrue();
+      break;
+
+    case Opcode::HorzCat:
+    case Opcode::VertCat: {
+      std::vector<const Value *> Parts;
+      Parts.reserve(In.C);
+      for (int32_t K = 0; K != In.C; ++K)
+        Parts.push_back(&requireValue(PR[F.Pool[In.B + K]]));
+      PR[In.A] = makeValue(In.Op == Opcode::HorzCat ? rt::horzcat(Parts)
+                                                    : rt::vertcat(Parts));
+      break;
+    }
+
+    case Opcode::LoadIdxG: {
+      const Value &Base = requireValue(PR[In.B]);
+      std::vector<Indexer> Idx;
+      for (int32_t K = 0; K != In.D; ++K) {
+        int32_t Entry = F.Pool[In.C + K];
+        size_t DimLen = In.D == 1 ? Base.numel()
+                                  : (K == 0 ? Base.rows() : Base.cols());
+        if (Entry < 0)
+          Idx.push_back(Indexer::colon());
+        else
+          Idx.push_back(Indexer::fromValue(requireValue(PR[Entry]), DimLen));
+      }
+      if (In.D == 1)
+        PR[In.A] = makeValue(rt::index1(Base, Idx[0]));
+      else
+        PR[In.A] = makeValue(rt::index2(Base, Idx[0], Idx[1]));
+      break;
+    }
+    case Opcode::StoreIdxG: {
+      if (!PR[In.A])
+        PR[In.A] = makeValue(Value());
+      Value &Base = makeUnique(PR[In.A]);
+      std::vector<Indexer> Idx;
+      for (int32_t K = 0; K != In.D; ++K) {
+        int32_t Entry = F.Pool[In.C + K];
+        size_t DimLen = In.D == 1 ? Base.numel()
+                                  : (K == 0 ? Base.rows() : Base.cols());
+        if (Entry < 0)
+          Idx.push_back(Indexer::colon());
+        else
+          Idx.push_back(Indexer::fromValue(requireValue(PR[Entry]), DimLen));
+      }
+      if (In.D == 1)
+        rt::indexAssign1(Base, Idx[0], requireValue(PR[In.B]));
+      else
+        rt::indexAssign2(Base, Idx[0], Idx[1], requireValue(PR[In.B]));
+      break;
+    }
+
+    case Opcode::CallB: {
+      int64_t NameId = In.Imm.I & ~kStatementCallFlag;
+      bool Statement = (In.Imm.I & kStatementCallFlag) != 0;
+      const BuiltinDef *Def = Builtins[NameId];
+      if (!Def)
+        throw MatlabError(format("unknown builtin '%s'",
+                                 F.Names[NameId].c_str()));
+      std::vector<ValuePtr> CallArgs = GatherArgs(In.C, In.D);
+      std::vector<const Value *> Ptrs;
+      Ptrs.reserve(CallArgs.size());
+      for (const ValuePtr &V : CallArgs)
+        Ptrs.push_back(V.get());
+      std::vector<Value> Rs = BuiltinTable::call(
+          *Def, Ctx, Ptrs, Statement ? 0 : static_cast<size_t>(In.B));
+      for (int32_t K = 0; K != In.B; ++K) {
+        if (static_cast<size_t>(K) >= Rs.size()) {
+          if (Statement) {
+            PR[F.Pool[In.A + K]] = nullptr; // optional output absent
+            continue;
+          }
+          throw MatlabError(format("builtin '%s' returned too few values",
+                                   Def->Name.c_str()));
+        }
+        PR[F.Pool[In.A + K]] = makeValue(std::move(Rs[K]));
+      }
+      break;
+    }
+    case Opcode::CallU: {
+      int64_t NameId = In.Imm.I & ~kStatementCallFlag;
+      bool Statement = (In.Imm.I & kStatementCallFlag) != 0;
+      std::vector<ValuePtr> CallArgs = GatherArgs(In.C, In.D);
+      std::vector<ValuePtr> Rs = Resolver.callFunction(
+          F.Names[NameId], std::move(CallArgs),
+          Statement ? 0 : static_cast<size_t>(In.B), SourceLoc());
+      for (int32_t K = 0; K != In.B; ++K) {
+        if (static_cast<size_t>(K) >= Rs.size()) {
+          if (Statement) {
+            PR[F.Pool[In.A + K]] = nullptr;
+            continue;
+          }
+          throw MatlabError("not enough output arguments");
+        }
+        PR[F.Pool[In.A + K]] = Rs[K];
+      }
+      break;
+    }
+
+    case Opcode::Display:
+      // A null register is an absent optional output: nothing to display.
+      if (PR[In.A])
+        Ctx.print(rt::displayValue(*PR[In.A], F.Names[In.Imm.I]));
+      break;
+
+    case Opcode::Gemv: {
+      const Value &A = requireValue(PR[In.B]);
+      const Value &X = requireValue(PR[In.C]);
+      if (!A.isComplex() && !X.isComplex() && X.isColVector() &&
+          A.cols() == X.rows()) {
+        Value Y = Value::zeros(A.rows(), 1);
+        blas::dgemv(A.rows(), A.cols(), 1.0, A.reData(), X.reData(), 0.0,
+                    Y.reData());
+        PR[In.A] = makeValue(std::move(Y));
+      } else {
+        PR[In.A] = makeValue(rt::binary(rt::BinOp::MatMul, A, X));
+      }
+      break;
+    }
+    case Opcode::Axpy: {
+      const Value &X = requireValue(PR[In.C]);
+      const Value &Y = requireValue(PR[In.D]);
+      if (!X.isComplex() && !Y.isComplex() && X.rows() == Y.rows() &&
+          X.cols() == Y.cols()) {
+        Value Out = Y;
+        blas::daxpy(X.numel(), FR[In.B], X.reData(), Out.reData());
+        Out.setClass(MClass::Real);
+        PR[In.A] = makeValue(std::move(Out));
+      } else {
+        Value Scaled = rt::binary(rt::BinOp::MatMul,
+                                  Value::scalar(FR[In.B]), X);
+        PR[In.A] = makeValue(rt::binary(rt::BinOp::Add, Scaled, Y));
+      }
+      break;
+    }
+
+    case Opcode::LoadParam:
+      PR[In.A] = In.Imm.I < static_cast<int64_t>(Args.size())
+                     ? Args[In.Imm.I]
+                     : nullptr;
+      break;
+    case Opcode::StoreOut:
+      Outs[In.Imm.I] = PR[In.A];
+      break;
+
+    case Opcode::FSpLd:
+      FR[In.A] = FSp[In.Imm.I];
+      break;
+    case Opcode::FSpSt:
+      FSp[In.Imm.I] = FR[In.A];
+      break;
+    case Opcode::ISpLd:
+      IR[In.A] = ISp[In.Imm.I];
+      break;
+    case Opcode::ISpSt:
+      ISp[In.Imm.I] = IR[In.A];
+      break;
+    case Opcode::PSpLd:
+      PR[In.A] = PSp[In.Imm.I];
+      break;
+    case Opcode::PSpSt:
+      PSp[In.Imm.I] = PR[In.A];
+      break;
+    }
+    ++PC;
+  }
+}

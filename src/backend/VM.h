@@ -1,0 +1,59 @@
+//===- backend/VM.h - The register VM --------------------------*- C++ -*-===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution machine for allocated IR: a register VM with fixed
+/// physical register files and separate spill memory. This stands in for
+/// vcode's native code emission (DESIGN.md substitution #1): unboxed
+/// element access, spill traffic and bounds checks each cost real executed
+/// instructions, so the paper's ablations (Figure 7) measure genuine
+/// mechanisms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAJIC_BACKEND_VM_H
+#define MAJIC_BACKEND_VM_H
+
+#include "ir/Instr.h"
+#include "runtime/CallResolver.h"
+#include "runtime/Builtins.h"
+#include "runtime/Context.h"
+
+#include <vector>
+
+namespace majic {
+
+/// Thrown when optimistic compiled code violates a runtime type guard
+/// (e.g. sqrt of a negative value in code typed under the assumption the
+/// domain holds). The engine catches it, recompiles the function without
+/// optimism, and re-executes the invocation.
+struct DeoptError {
+  ScalarIntrinsic Guard;
+  double Operand;
+};
+
+class VM {
+public:
+  VM(Context &Ctx, CallResolver &Resolver) : Ctx(Ctx), Resolver(Resolver) {}
+
+  /// Executes the allocated function \p F with \p Args, producing
+  /// \p NumOuts outputs. Throws MatlabError on runtime errors.
+  std::vector<ValuePtr> run(const IRFunction &F, std::vector<ValuePtr> Args,
+                            size_t NumOuts);
+
+  /// Total instructions dispatched over this VM's lifetime (tests and the
+  /// ablation benches use this as an architecture-neutral cost measure).
+  uint64_t instructionsExecuted() const { return InstrCount; }
+
+private:
+  Context &Ctx;
+  CallResolver &Resolver;
+  uint64_t InstrCount = 0;
+};
+
+} // namespace majic
+
+#endif // MAJIC_BACKEND_VM_H

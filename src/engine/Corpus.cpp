@@ -1,0 +1,87 @@
+//===- engine/Corpus.cpp - The benchmark corpus -----------------------------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Corpus.h"
+
+#include "engine/MlibPath.h"
+
+using namespace majic;
+
+const char *majic::categoryName(BenchmarkSpec::Category C) {
+  switch (C) {
+  case BenchmarkSpec::Category::Scalar:
+    return "scalar";
+  case BenchmarkSpec::Category::Builtin:
+    return "builtin";
+  case BenchmarkSpec::Category::SmallArray:
+    return "array";
+  case BenchmarkSpec::Category::Recursive:
+    return "recursive";
+  }
+  return "?";
+}
+
+const std::vector<BenchmarkSpec> &majic::benchmarkCorpus() {
+  using Cat = BenchmarkSpec::Category;
+  static const std::vector<BenchmarkSpec> Corpus = {
+      {"adapt", "Mathews", "adaptive quadrature", "approx. 2500", 81, 5.24,
+       Cat::SmallArray, {1e-14, 2000000}, "tol 1e-14"},
+      {"cgopt", "Templates", "conjugate gradient w. diagonal preconditioner",
+       "420 x 420", 38, 0.43, Cat::Builtin, {1200, 800}, "1200 x 1200"},
+      {"crnich", "Mathews", "Crank-Nicholson heat equation solver",
+       "321 x 321", 40, 16.33, Cat::Scalar, {1, 3, 321, 321}, "321 x 321 (paper size)"},
+      {"dirich", "Mathews", "Dirichlet solution to Laplace's equation",
+       "134 x 134", 34, 277.89, Cat::Scalar, {134, 1e-4, 100}, "134 x 134 (paper size)"},
+      {"finedif", "Mathews", "finite difference solution to the wave equation",
+       "1000 x 1000", 21, 57.81, Cat::Scalar, {1, 1, 1, 500, 500},
+       "500 x 500"},
+      {"galrkn", "Garcia", "Galerkin's method (finite element method)",
+       "40 x 40", 43, 8.02, Cat::Scalar, {30000}, "30000 elements"},
+      {"icn", "R. Bramley", "incomplete Cholesky factorization", "400 x 400",
+       29, 7.72, Cat::Scalar, {400}, "400 x 400 (paper size)"},
+      {"mei", "unknown", "fractal landscape generator", "31 x 14", 24, 10.77,
+       Cat::Builtin, {513, 257}, "513 x 257"},
+      {"orbec", "Garcia", "Euler-Cromer method for 1-body problem",
+       "62400 points", 24, 19.10, Cat::SmallArray, {62400}, "62400 points"},
+      {"orbrk", "Garcia", "Runge-Kutta method for 1-body problem",
+       "5000 points", 52, 9.30, Cat::SmallArray, {10000}, "10000 points"},
+      {"qmr", "Templates", "linear equation system solver, QMR method",
+       "420 x 420", 119, 5.29, Cat::Builtin, {840, 400}, "840 x 840"},
+      {"sor", "Templates", "lin. eq. sys. solver, successive overrelaxation",
+       "420 x 420", 29, 4.77, Cat::Builtin, {420, 1.2, 60}, "420 x 420 (paper size)"},
+      {"ackermann", "authors", "Ackermann's function", "ackermann(3,5)", 15,
+       3.84, Cat::Recursive, {3, 6}, "ackermann(3,6)"},
+      {"fractal", "authors", "Barnsley fern generator", "25000 points", 35,
+       26.55, Cat::SmallArray, {25000}, "25000 points"},
+      {"mandel", "authors", "Mandelbrot set generator", "200 x 200", 16, 8.64,
+       Cat::Scalar, {200, 100}, "200 x 200 (paper size)"},
+      {"fibonacci", "authors", "recursive Fibonacci function",
+       "fibonacci(20)", 10, 1.29, Cat::Recursive, {25}, "fibonacci(25)"},
+  };
+  return Corpus;
+}
+
+const BenchmarkSpec *majic::findBenchmark(const std::string &Name) {
+  for (const BenchmarkSpec &Spec : benchmarkCorpus())
+    if (Spec.Name == Name)
+      return &Spec;
+  return nullptr;
+}
+
+std::vector<ValuePtr> majic::corpusArgs(const BenchmarkSpec &Spec) {
+  std::vector<ValuePtr> Args;
+  for (double A : Spec.Args) {
+    // Integral sizes arrive as int scalars, tolerances as reals, exactly
+    // like literals typed at the MATLAB prompt.
+    if (A == static_cast<long long>(A))
+      Args.push_back(makeValue(Value::intScalar(A)));
+    else
+      Args.push_back(makeScalar(A));
+  }
+  return Args;
+}
+
+std::string majic::mlibDirectory() { return MAJIC_MLIB_DIR; }

@@ -1,0 +1,55 @@
+//===- engine/Corpus.h - The benchmark corpus ------------------*- C++ -*-===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 16 MATLAB benchmarks of Table 1, with their paper metadata (origin,
+/// problem size, lines, interpreted runtime on the paper's SPARC reference)
+/// and the scaled problem sizes this reproduction runs (the original sizes
+/// target a 400MHz UltraSparc and minutes-long interpreted runs).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAJIC_ENGINE_CORPUS_H
+#define MAJIC_ENGINE_CORPUS_H
+
+#include "runtime/Value.h"
+
+#include <string>
+#include <vector>
+
+namespace majic {
+
+struct BenchmarkSpec {
+  std::string Name;
+  std::string Source;      ///< Origin per Table 1 (Mathews, Garcia, ...).
+  std::string Description; ///< Functional description per Table 1.
+  std::string PaperProblemSize;
+  unsigned PaperLines;     ///< Lines of code reported in Table 1.
+  double PaperRuntime;     ///< MATLAB 6 runtime on the paper's SPARC (s).
+  /// The paper's benchmark categories (Section 3.1).
+  enum class Category : uint8_t { Scalar, Builtin, SmallArray, Recursive } Cat;
+  /// Scaled arguments this reproduction invokes the function with.
+  std::vector<double> Args;
+  std::string ScaledProblemSize;
+};
+
+/// The corpus, in Table 1 order.
+const std::vector<BenchmarkSpec> &benchmarkCorpus();
+
+/// Finds a benchmark by name (null when unknown).
+const BenchmarkSpec *findBenchmark(const std::string &Name);
+
+/// Boxes a spec's scaled arguments for an invocation.
+std::vector<ValuePtr> corpusArgs(const BenchmarkSpec &Spec);
+
+/// Directory holding the corpus .m files (configured by CMake).
+std::string mlibDirectory();
+
+const char *categoryName(BenchmarkSpec::Category C);
+
+} // namespace majic
+
+#endif // MAJIC_ENGINE_CORPUS_H

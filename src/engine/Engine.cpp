@@ -1,0 +1,413 @@
+//===- engine/Engine.cpp - The MaJIC engine --------------------------------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Engine.h"
+
+#include "analysis/Inliner.h"
+#include "infer/Speculate.h"
+#include "support/StringUtils.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace majic;
+
+const char *majic::compilePolicyName(CompilePolicy P) {
+  switch (P) {
+  case CompilePolicy::InterpretOnly:
+    return "interpret";
+  case CompilePolicy::Mcc:
+    return "mcc";
+  case CompilePolicy::Falcon:
+    return "falcon";
+  case CompilePolicy::Jit:
+    return "jit";
+  case CompilePolicy::Speculative:
+    return "spec";
+  }
+  majic_unreachable("invalid policy");
+}
+
+Engine::Engine(EngineOptions OptsIn) : Opts(std::move(OptsIn)) {
+  Ctx.Rand.reseed(Opts.RandSeed);
+  Machine = std::make_unique<VM>(Ctx, *this);
+  Interp = std::make_unique<Interpreter>(Ctx, *this);
+}
+
+Engine::~Engine() = default;
+
+//===----------------------------------------------------------------------===//
+// Loading
+//===----------------------------------------------------------------------===//
+
+bool Engine::addSource(const std::string &Name, const std::string &Source) {
+  // Diagnostics report the most recent load only; stale errors from an
+  // earlier bad file must not poison this parse.
+  Diags.clear();
+  std::unique_ptr<Module> Mod;
+  {
+    ScopedPhaseTimer T(Phases, Phase::Parse);
+    Mod = parseModule(Name, Source, SM, Diags);
+  }
+  if (!Mod)
+    return false;
+
+  Module *M = Mod.get();
+  Modules.push_back(std::move(Mod));
+  ScopedPhaseTimer T(Phases, Phase::Disambiguate);
+  LastLoadedNames.clear();
+  for (const auto &F : M->functions()) {
+    LoadedFunction LF;
+    LF.F = F.get();
+    LF.M = M;
+    LF.Info = disambiguate(*F, *M);
+    // New source shadows any previous definition; drop stale code.
+    Repo.invalidate(F->name());
+    Functions[F->name()] = std::move(LF);
+    LastLoadedNames.push_back(F->name());
+  }
+  return true;
+}
+
+bool Engine::loadFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In) {
+    Diags.error(SourceLoc(), format("cannot open '%s'", Path.c_str()));
+    return false;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  // Module name = basename without extension.
+  size_t Slash = Path.find_last_of('/');
+  std::string Base = Slash == std::string::npos ? Path : Path.substr(Slash + 1);
+  if (endsWith(Base, ".m"))
+    Base = Base.substr(0, Base.size() - 2);
+  return addSource(Base, SS.str());
+}
+
+void Engine::watchDirectory(const std::string &Dir) {
+  Snooper.watchDirectory(Dir);
+}
+
+unsigned Engine::snoop() {
+  unsigned Loaded = 0;
+  for (const SourceSnooper::Change &C : Snooper.scan()) {
+    if (!loadFile(C.Path))
+      continue;
+    ++Loaded;
+    if (Opts.Policy == CompilePolicy::Speculative)
+      for (const std::string &Fn : LastLoadedNames)
+        precompileSpeculative(Fn);
+  }
+  return Loaded;
+}
+
+//===----------------------------------------------------------------------===//
+// Compilation plumbing
+//===----------------------------------------------------------------------===//
+
+Engine::LoadedFunction *Engine::find(const std::string &Name) {
+  auto It = Functions.find(Name);
+  return It == Functions.end() ? nullptr : &It->second;
+}
+
+FunctionInfo *Engine::compileView(LoadedFunction &LF) {
+  if (!Opts.InlineCalls)
+    return LF.Info.get();
+  if (LF.InlinedInfo)
+    return LF.InlinedInfo.get();
+
+  ScopedPhaseTimer T(Phases, Phase::Disambiguate);
+  FunctionResolver Resolve = [this](const std::string &Callee) -> const Function * {
+    LoadedFunction *C = find(Callee);
+    return C ? C->F : nullptr;
+  };
+  LF.InlinedF = inlineFunctionCalls(*LF.F, LF.M->context(), Resolve);
+  // Inlining invalidates the symbol table (Section 2: "which then
+  // necessitates the re-building of the symbol table").
+  LF.InlinedInfo = disambiguate(*LF.InlinedF, *LF.M);
+  return LF.InlinedInfo.get();
+}
+
+const CompiledObject *Engine::compileAndInsert(const std::string &Name,
+                                               const TypeSignature &Sig,
+                                               CodeGenMode Mode,
+                                               CompiledObject::Origin From,
+                                               bool Optimistic) {
+  LoadedFunction *LF = find(Name);
+  if (!LF || LF->F->isScript())
+    return nullptr;
+  FunctionInfo *FI = compileView(*LF);
+  if (FI->HasAmbiguousSymbols)
+    return nullptr;
+
+  Timer Total;
+  CompileRequest Req;
+  Req.FI = FI;
+  Req.Sig = Sig;
+  Req.Mode = Mode;
+  Req.Platform = Opts.Platform;
+  Req.Infer = Opts.Infer;
+  Req.Infer.OptimisticRealMath &= Optimistic;
+  Req.RegAlloc = Opts.RegAlloc;
+  Req.UnrollSmallVectors =
+      Mode == CodeGenMode::Jit ? Opts.Platform.JitUnrollsSmallVectors : true;
+  std::optional<CompileResult> Result = compileFunction(Req);
+  if (!Result)
+    return nullptr;
+
+  Phases.add(Phase::TypeInference, Result->TypeInferSeconds);
+  Phases.add(Phase::CodeGen, Result->CodeGenSeconds);
+
+  CompiledObject Obj;
+  Obj.FunctionName = Name;
+  Obj.Sig = Sig;
+  Obj.Code = std::move(Result->Code);
+  Obj.Mode = Mode;
+  Obj.CompileSeconds = Total.seconds();
+  Obj.From = From;
+  Repo.insert(std::move(Obj));
+  return Repo.lookup(Name, Sig);
+}
+
+bool Engine::precompileWithArgs(const std::string &Name,
+                                const std::vector<ValuePtr> &SampleArgs) {
+  return compileAndInsert(Name, TypeSignature::ofValues(SampleArgs),
+                          CodeGenMode::Optimized,
+                          CompiledObject::Origin::Batch) != nullptr;
+}
+
+bool Engine::precompileSpeculative(const std::string &Name) {
+  LoadedFunction *LF = find(Name);
+  if (!LF || LF->F->isScript())
+    return false;
+  FunctionInfo *FI = compileView(*LF);
+  if (FI->HasAmbiguousSymbols)
+    return false;
+  TypeSignature Spec = speculateSignature(*FI, Opts.Infer);
+  return compileAndInsert(Name, Spec, CodeGenMode::Optimized,
+                          CompiledObject::Origin::Speculative) != nullptr;
+}
+
+bool Engine::precompileGeneric(const std::string &Name, size_t Arity) {
+  return compileAndInsert(Name, TypeSignature::generic(Arity),
+                          CodeGenMode::Generic,
+                          CompiledObject::Origin::Generic) != nullptr;
+}
+
+TypeSignature Engine::speculated(const std::string &Name) {
+  LoadedFunction *LF = find(Name);
+  if (!LF)
+    return TypeSignature();
+  return speculateSignature(*compileView(*LF), Opts.Infer);
+}
+
+//===----------------------------------------------------------------------===//
+// Invocation
+//===----------------------------------------------------------------------===//
+
+namespace {
+struct DepthGuard {
+  unsigned &Depth;
+  explicit DepthGuard(unsigned &Depth) : Depth(Depth) { ++Depth; }
+  ~DepthGuard() { --Depth; }
+};
+} // namespace
+
+std::vector<ValuePtr> Engine::callFunction(const std::string &Name,
+                                           std::vector<ValuePtr> Args,
+                                           size_t NumOuts, SourceLoc Loc) {
+  LoadedFunction *LF = find(Name);
+  if (!LF)
+    throw MatlabError(format("undefined function '%s'", Name.c_str()), Loc);
+  if (!LF->F->isScript() && Args.size() > LF->F->params().size())
+    throw MatlabError(format("too many input arguments to '%s'", Name.c_str()),
+                      Loc);
+  if (NumOuts > std::max<size_t>(LF->F->outs().size(), 1))
+    throw MatlabError(format("too many output arguments from '%s'",
+                             Name.c_str()),
+                      Loc);
+  if (CallDepth >= Opts.MaxCallDepth)
+    throw MatlabError("maximum recursion depth exceeded", Loc);
+  DepthGuard Guard(CallDepth);
+
+  if (Opts.Policy == CompilePolicy::InterpretOnly || LF->F->isScript())
+    return interpretCall(*LF, std::move(Args), NumOuts);
+
+  TypeSignature Sig = TypeSignature::ofValues(Args);
+  const CompiledObject *Obj = Repo.lookup(Name, Sig);
+  if (!Obj) {
+    // Miss: compile according to policy. When a version with the same
+    // skeleton already exists (recursive calls with different constants),
+    // compile the generalized signature so the repository converges.
+    TypeSignature CompileSig = Sig;
+    TypeSignature General = Sig.generalized();
+    if (Repo.versions(Name) && !Repo.versions(Name)->empty() &&
+        !(General == Sig) && Sig.safeFor(General))
+      CompileSig = General;
+
+    switch (Opts.Policy) {
+    case CompilePolicy::Jit:
+    case CompilePolicy::Speculative:
+      Obj = compileAndInsert(Name, CompileSig, CodeGenMode::Jit,
+                             CompiledObject::Origin::Jit);
+      if (Obj)
+        ++JitCompiles;
+      break;
+    case CompilePolicy::Falcon:
+      Obj = compileAndInsert(Name, CompileSig, CodeGenMode::Optimized,
+                             CompiledObject::Origin::Batch);
+      break;
+    case CompilePolicy::Mcc:
+      Obj = compileAndInsert(Name, TypeSignature::generic(Args.size()),
+                             CodeGenMode::Generic,
+                             CompiledObject::Origin::Generic);
+      break;
+    case CompilePolicy::InterpretOnly:
+      break;
+    }
+  }
+  if (!Obj) {
+    ++InterpFallbacks;
+    return interpretCall(*LF, std::move(Args), NumOuts);
+  }
+  return runCompiled(*Obj, std::move(Args), NumOuts);
+}
+
+bool Engine::knowsFunction(const std::string &Name) {
+  return Functions.count(Name) != 0;
+}
+
+std::vector<ValuePtr> Engine::runCompiled(const CompiledObject &Obj,
+                                          std::vector<ValuePtr> Args,
+                                          size_t NumOuts) {
+  // Snapshot the PRNG and buffered output so a deoptimization retry does
+  // identical work.
+  Rng SavedRand = Ctx.Rand;
+  size_t OutputMark = Ctx.output().size();
+  try {
+    if (CallDepth == 1) {
+      ScopedPhaseTimer T(Phases, Phase::Execute);
+      return Machine->run(*Obj.Code, Args, NumOuts);
+    }
+    return Machine->run(*Obj.Code, Args, NumOuts);
+  } catch (const DeoptError &) {
+    // An optimistic guard failed (sqrt of a negative value, ...): undo the
+    // attempt, replace the compiled version with a pessimistic one, retry.
+    ++Deopts;
+    Ctx.Rand = SavedRand;
+    Ctx.truncateOutput(OutputMark);
+    std::string Name = Obj.FunctionName;
+    TypeSignature Sig = Obj.Sig;
+    CodeGenMode Mode = Obj.Mode;
+    CompiledObject::Origin From = Obj.From;
+    const CompiledObject *Repl =
+        compileAndInsert(Name, Sig, Mode, From, /*Optimistic=*/false);
+    if (!Repl) {
+      ++InterpFallbacks;
+      LoadedFunction *LF = find(Name);
+      if (!LF)
+        throw MatlabError("deoptimization of unknown function '" + Name + "'");
+      return interpretCall(*LF, std::move(Args), NumOuts);
+    }
+    // Pessimistic code selects no optimistic guards; a second DeoptError
+    // cannot occur from this object.
+    if (CallDepth == 1) {
+      ScopedPhaseTimer T(Phases, Phase::Execute);
+      return Machine->run(*Repl->Code, std::move(Args), NumOuts);
+    }
+    return Machine->run(*Repl->Code, std::move(Args), NumOuts);
+  }
+}
+
+std::vector<ValuePtr> Engine::interpretCall(LoadedFunction &LF,
+                                            std::vector<ValuePtr> Args,
+                                            size_t NumOuts) {
+  if (CallDepth == 1) {
+    ScopedPhaseTimer T(Phases, Phase::Execute);
+    return Interp->run(*LF.F, std::move(Args), NumOuts);
+  }
+  return Interp->run(*LF.F, std::move(Args), NumOuts);
+}
+
+//===----------------------------------------------------------------------===//
+// Interactive scripts
+//===----------------------------------------------------------------------===//
+
+std::string Engine::runScript(const std::string &Source) {
+  size_t OutputMark = Ctx.output().size();
+
+  std::string Name = format("session%zu", Modules.size());
+  Diags.clear();
+  std::unique_ptr<Module> Mod;
+  {
+    ScopedPhaseTimer T(Phases, Phase::Parse);
+    Mod = parseModule(Name, Source, SM, Diags);
+  }
+  if (!Mod) {
+    std::string Err = Diags.render(SM);
+    Diags.clear();
+    return "??? " + Err;
+  }
+  Function *Script = Mod->mainFunction();
+  if (!Script->isScript()) {
+    // Defining functions interactively: register them instead of running.
+    Modules.push_back(std::move(Mod));
+    Module *M = Modules.back().get();
+    for (const auto &F : M->functions()) {
+      LoadedFunction LF;
+      LF.F = F.get();
+      LF.M = M;
+      LF.Info = disambiguate(*F, *M);
+      Repo.invalidate(F->name());
+      Functions[F->name()] = std::move(LF);
+    }
+    return "";
+  }
+
+  // Pre-existing workspace variables are in scope.
+  std::vector<std::string> Predefined;
+  for (const auto &[VarName, V] : WorkspaceByName)
+    if (V)
+      Predefined.push_back(VarName);
+  std::unique_ptr<FunctionInfo> Info;
+  {
+    ScopedPhaseTimer T(Phases, Phase::Disambiguate);
+    Info = disambiguate(*Script, *Mod, &Predefined);
+  }
+
+  // Map workspace values into the script's slots.
+  std::vector<ValuePtr> Slots(Info->Symbols.numSlots());
+  for (unsigned S = 0; S != Info->Symbols.numSlots(); ++S) {
+    auto It = WorkspaceByName.find(Info->Symbols.nameOfSlot(S));
+    if (It != WorkspaceByName.end())
+      Slots[S] = It->second;
+  }
+
+  try {
+    ScopedPhaseTimer T(Phases, Phase::Execute);
+    Interp->runScript(*Script, Slots);
+  } catch (const MatlabError &E) {
+    Ctx.print("??? " + E.message() + "\n");
+  }
+
+  // Write the workspace back.
+  for (unsigned S = 0; S != Info->Symbols.numSlots(); ++S) {
+    const std::string &VarName = Info->Symbols.nameOfSlot(S);
+    if (Slots[S])
+      WorkspaceByName[VarName] = Slots[S];
+    else
+      WorkspaceByName.erase(VarName);
+  }
+  Modules.push_back(std::move(Mod));
+
+  return Ctx.output().substr(OutputMark);
+}
+
+ValuePtr Engine::workspaceVar(const std::string &Name) const {
+  auto It = WorkspaceByName.find(Name);
+  return It == WorkspaceByName.end() ? nullptr : It->second;
+}

@@ -1,0 +1,201 @@
+//===- engine/Engine.h - The MaJIC engine ----------------------*- C++ -*-===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MaJIC system (Section 2): the MATLAB-like front end (interpreter +
+/// interactive workspace), the code repository, the snooping speculative
+/// compiler, and the invocation path that ties them together:
+///
+///   invocation -> repository lookup (signature safety + best match)
+///              -> hit:   run compiled code in the register VM
+///              -> miss:  compile (policy-dependent) or interpret
+///
+/// Compilation policies model the paper's four measured configurations:
+///   InterpretOnly - the MATLAB-6 baseline (t_i)
+///   Mcc           - batch generic compilation without type inference
+///   Falcon        - batch optimized compilation, "peeking" at inputs
+///   Jit           - just-in-time compilation on first invocation
+///   Speculative   - ahead-of-time speculative compilation + JIT fallback
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAJIC_ENGINE_ENGINE_H
+#define MAJIC_ENGINE_ENGINE_H
+
+#include "analysis/Disambiguate.h"
+#include "ast/Parser.h"
+#include "backend/Compiler.h"
+#include "backend/VM.h"
+#include "interp/Interpreter.h"
+#include "repo/Repository.h"
+#include "repo/Snooper.h"
+#include "support/Timer.h"
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace majic {
+
+enum class CompilePolicy : uint8_t {
+  InterpretOnly,
+  Mcc,
+  Falcon,
+  Jit,
+  Speculative,
+};
+
+const char *compilePolicyName(CompilePolicy P);
+
+struct EngineOptions {
+  CompilePolicy Policy = CompilePolicy::Jit;
+  PlatformModel Platform = PlatformModel::sparc();
+  InferOptions Infer;
+  RegAllocOptions RegAlloc;
+  /// Inline small user functions before compiling (Section 2.6.1).
+  bool InlineCalls = true;
+  uint64_t RandSeed = 0x9e3779b97f4a7c15ull;
+  /// C-stack protection for recursive MATLAB programs.
+  unsigned MaxCallDepth = 4000;
+};
+
+class Engine : public CallResolver {
+public:
+  explicit Engine(EngineOptions Opts = EngineOptions());
+  ~Engine() override;
+
+  //===--------------------------------------------------------------------===
+  // Loading sources
+  //===--------------------------------------------------------------------===
+
+  /// Parses and registers \p Source as module \p Name (function file or
+  /// script). Returns false (with diagnostics()) on parse errors.
+  bool addSource(const std::string &Name, const std::string &Source);
+
+  /// Loads one .m file.
+  bool loadFile(const std::string &Path);
+
+  /// Watches a directory of .m files; scan() picks them up.
+  void watchDirectory(const std::string &Dir);
+
+  /// Scans watched directories: loads new/changed files and, under the
+  /// Speculative policy, compiles them ahead of time.
+  unsigned snoop();
+
+  //===--------------------------------------------------------------------===
+  // Execution
+  //===--------------------------------------------------------------------===
+
+  /// Invokes function \p Name: the repository/compile/interpret path.
+  std::vector<ValuePtr> callFunction(const std::string &Name,
+                                     std::vector<ValuePtr> Args,
+                                     size_t NumOuts, SourceLoc Loc) override;
+
+  bool knowsFunction(const std::string &Name) override;
+
+  /// Runs \p Source as a script in the persistent interactive workspace,
+  /// returning what it printed. Scripts are interpreted (the front end);
+  /// the functions they call go through the repository.
+  std::string runScript(const std::string &Source);
+
+  /// The value of interactive workspace variable \p Name, or null.
+  ValuePtr workspaceVar(const std::string &Name) const;
+
+  //===--------------------------------------------------------------------===
+  // Ahead-of-time entry points for the measured configurations
+  //===--------------------------------------------------------------------===
+
+  /// Falcon-style batch compilation: "peeks" at sample inputs to seed type
+  /// inference, excluded from measured runtime.
+  bool precompileWithArgs(const std::string &Name,
+                          const std::vector<ValuePtr> &SampleArgs);
+
+  /// Speculative compilation of one function (Section 2.5).
+  bool precompileSpeculative(const std::string &Name);
+
+  /// mcc-style generic compilation (no type inference).
+  bool precompileGeneric(const std::string &Name, size_t Arity);
+
+  //===--------------------------------------------------------------------===
+  // Introspection
+  //===--------------------------------------------------------------------===
+
+  Context &context() { return Ctx; }
+  Repository &repository() { return Repo; }
+  PhaseTimes &phases() { return Phases; }
+  const EngineOptions &options() const { return Opts; }
+  std::string diagnostics() const { return Diags.render(SM); }
+  uint64_t vmInstructions() const { return Machine->instructionsExecuted(); }
+
+  /// The speculated signature of \p Name (tests/inspection).
+  TypeSignature speculated(const std::string &Name);
+
+  /// Number of invocations that fell back to the interpreter / the JIT.
+  uint64_t interpreterFallbacks() const { return InterpFallbacks; }
+  uint64_t jitCompiles() const { return JitCompiles; }
+  /// Number of deoptimizations (guard failures causing a recompile).
+  uint64_t deoptimizations() const { return Deopts; }
+
+private:
+  struct LoadedFunction {
+    Function *F = nullptr;
+    Module *M = nullptr;
+    std::unique_ptr<FunctionInfo> Info;
+    /// The inlined clone used for compilation (built lazily).
+    std::unique_ptr<Function> InlinedF;
+    std::unique_ptr<FunctionInfo> InlinedInfo;
+  };
+
+  LoadedFunction *find(const std::string &Name);
+  /// The analysis view compilation uses (inlined when enabled).
+  FunctionInfo *compileView(LoadedFunction &LF);
+
+  /// Compiles \p Name for \p Sig in \p Mode and inserts into the
+  /// repository. Returns the inserted object or null. \p Optimistic
+  /// controls guarded real-domain math (disabled when recompiling after a
+  /// deoptimization).
+  const CompiledObject *compileAndInsert(const std::string &Name,
+                                         const TypeSignature &Sig,
+                                         CodeGenMode Mode,
+                                         CompiledObject::Origin From,
+                                         bool Optimistic = true);
+
+  std::vector<ValuePtr> runCompiled(const CompiledObject &Obj,
+                                    std::vector<ValuePtr> Args,
+                                    size_t NumOuts);
+  std::vector<ValuePtr> interpretCall(LoadedFunction &LF,
+                                      std::vector<ValuePtr> Args,
+                                      size_t NumOuts);
+
+  EngineOptions Opts;
+  SourceManager SM;
+  Diagnostics Diags;
+  Context Ctx;
+  Repository Repo;
+  SourceSnooper Snooper;
+  std::unique_ptr<VM> Machine;
+  std::unique_ptr<Interpreter> Interp;
+  PhaseTimes Phases;
+
+  std::vector<std::unique_ptr<Module>> Modules;
+  std::unordered_map<std::string, LoadedFunction> Functions;
+
+  // Interactive workspace (scripts).
+  std::unordered_map<std::string, ValuePtr> WorkspaceByName;
+  /// Function names registered by the most recent addSource/loadFile (the
+  /// snooper speculates on these; a file's stem need not match them).
+  std::vector<std::string> LastLoadedNames;
+
+  unsigned CallDepth = 0;
+  uint64_t InterpFallbacks = 0;
+  uint64_t JitCompiles = 0;
+  uint64_t Deopts = 0;
+};
+
+} // namespace majic
+
+#endif // MAJIC_ENGINE_ENGINE_H

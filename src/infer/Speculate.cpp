@@ -1,0 +1,296 @@
+//===- infer/Speculate.cpp - Speculative type inference ------------------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "infer/Speculate.h"
+
+#include "ast/ASTVisit.h"
+
+#include <unordered_map>
+
+using namespace majic;
+using rt::BinOp;
+
+namespace {
+
+/// Combines a new hint with an existing one, keeping the tighter guess.
+Type meetHints(const Type &A, const Type &B) {
+  IntrinsicType IT = intrinsicLE(A.intrinsic(), B.intrinsic())
+                         ? A.intrinsic()
+                         : B.intrinsic();
+  ShapeBound Min = A.minShape().joinUpper(B.minShape());
+  ShapeBound Max = A.maxShape().joinLower(B.maxShape());
+  return Type(IT, Min, Max, Range::top());
+}
+
+class HintCollector {
+public:
+  HintCollector(const FunctionInfo &FI, const TypeAnnotations &Ann)
+      : FI(FI), Ann(Ann), Calc(TypeCalculator::instance()) {}
+
+  std::unordered_map<int, Type> run() {
+    // One pass over every statement collecting syntactic hints; then a few
+    // reverse sweeps pushing hints through plain assignments toward the
+    // parameters.
+    visitStmts(FI.F->body(), [this](const Stmt *S) { collectFromStmt(S); });
+    for (unsigned Sweep = 0; Sweep != 3; ++Sweep) {
+      bool Changed = false;
+      propagateThroughAssignments(FI.F->body(), Changed);
+      if (!Changed)
+        break;
+    }
+    return Hints;
+  }
+
+private:
+  static Type intScalarHint() { return Type::scalar(IntrinsicType::Int); }
+  static Type realScalarHint() { return Type::scalar(IntrinsicType::Real); }
+
+  /// Back-propagates \p Hint into \p E: variables absorb it, arithmetic
+  /// expressions forward it to their operands via the calculator's
+  /// backward rules.
+  void backProp(const Expr *E, const Type &Hint) {
+    if (!E)
+      return;
+    switch (E->getKind()) {
+    case Expr::Kind::Ident: {
+      const auto *Id = cast<IdentExpr>(E);
+      if (Id->symKind() != SymKind::Variable &&
+          Id->symKind() != SymKind::Ambiguous)
+        return;
+      addHint(Id->varSlot(), Hint);
+      return;
+    }
+    case Expr::Kind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      Type AH, BH;
+      if (Calc.backwardBinary(B->op(), Hint, AH, BH)) {
+        backProp(B->lhs(), AH);
+        backProp(B->rhs(), BH);
+      }
+      return;
+    }
+    case Expr::Kind::Unary: {
+      const auto *U = cast<UnaryExpr>(E);
+      Type OH;
+      if (Calc.backwardUnary(U->op(), Hint, OH))
+        backProp(U->operand(), OH);
+      return;
+    }
+    default:
+      return;
+    }
+  }
+
+  void addHint(int Slot, const Type &Hint) {
+    if (Slot < 0)
+      return;
+    auto [It, Inserted] = Hints.try_emplace(Slot, Hint);
+    if (!Inserted)
+      It->second = meetHints(It->second, Hint);
+  }
+
+  void collectFromExprTree(const Expr *Root) {
+    visitExpr(const_cast<Expr *>(Root),
+              [this](Expr *E) { collectFromExpr(E); });
+  }
+
+  void collectFromExpr(const Expr *E) {
+    switch (E->getKind()) {
+    case Expr::Kind::Range: {
+      // Hint 1: colon operands are almost always integer scalars.
+      const auto *R = cast<RangeExpr>(E);
+      backProp(R->lo(), intScalarHint());
+      backProp(R->step(), intScalarHint());
+      backProp(R->hi(), intScalarHint());
+      return;
+    }
+    case Expr::Kind::Binary: {
+      // Hint 2: relational operands are real scalars.
+      const auto *B = cast<BinaryExpr>(E);
+      switch (B->op()) {
+      case BinOp::Lt:
+      case BinOp::Le:
+      case BinOp::Gt:
+      case BinOp::Ge:
+      case BinOp::Eq:
+      case BinOp::Ne:
+        backProp(B->lhs(), realScalarHint());
+        backProp(B->rhs(), realScalarHint());
+        break;
+      case BinOp::Add:
+      case BinOp::Sub:
+      case BinOp::MatMul:
+      case BinOp::ElemMul:
+      case BinOp::MatRDiv:
+      case BinOp::ElemRDiv:
+      case BinOp::MatPow:
+      case BinOp::ElemPow:
+        // Arithmetic against a provably scalar operand suggests a scalar
+        // operand (the bracket-rule philosophy applied to arithmetic; this
+        // is what the alternating forward passes feed: forward types from
+        // the previous guess sharpen the next round of hints).
+        if (Ann.typeOf(B->lhs()).isScalar())
+          backProp(B->rhs(), realScalarHint());
+        if (Ann.typeOf(B->rhs()).isScalar())
+          backProp(B->lhs(), realScalarHint());
+        break;
+      default:
+        break;
+      }
+      return;
+    }
+    case Expr::Kind::Matrix: {
+      // Hint 3: when one bracket argument is provably scalar, the others
+      // probably are too.
+      const auto *M = cast<MatrixExpr>(E);
+      bool AnyScalar = false;
+      for (const auto &Row : M->rows())
+        for (const Expr *Elem : Row)
+          AnyScalar |= Ann.typeOf(Elem).isScalar();
+      if (!AnyScalar)
+        return;
+      for (const auto &Row : M->rows())
+        for (const Expr *Elem : Row)
+          backProp(Elem, realScalarHint());
+      return;
+    }
+    case Expr::Kind::IndexOrCall: {
+      const auto *IC = cast<IndexOrCallExpr>(E);
+      if (IC->base()->symKind() == SymKind::Variable ||
+          IC->base()->symKind() == SymKind::Ambiguous) {
+        // Hint 4: F77-style subscripts (no colon anywhere in the access)
+        // are likely integer scalars.
+        bool HasColonStyle = false;
+        for (const Expr *A : IC->args())
+          HasColonStyle |= isa<ColonWildcardExpr>(A) || isa<RangeExpr>(A);
+        if (!HasColonStyle)
+          for (const Expr *A : IC->args())
+            backProp(A, intScalarHint());
+        return;
+      }
+      // Hint 5: arguments of shape-creating builtins are integer scalars.
+      if (IC->base()->symKind() == SymKind::Builtin) {
+        const std::string &Name = IC->base()->name();
+        if (Name == "zeros" || Name == "ones" || Name == "rand" ||
+            Name == "eye" || Name == "linspace") {
+          for (const Expr *A : IC->args())
+            backProp(A, intScalarHint());
+        } else if (Name == "size" && IC->args().size() == 2) {
+          backProp(IC->args()[1], intScalarHint());
+        }
+      }
+      return;
+    }
+    default:
+      return;
+    }
+  }
+
+  void collectFromStmt(const Stmt *S) {
+    visitStmtExprs(S, [this](Expr *E) { collectFromExprTree(E); });
+    // if/while conditions: real scalar hints on the condition itself.
+    if (const auto *If = dyn_cast<IfStmt>(S)) {
+      for (const IfStmt::Branch &Br : If->branches())
+        backProp(Br.Cond, realScalarHint());
+    } else if (const auto *W = dyn_cast<WhileStmt>(S)) {
+      backProp(W->cond(), realScalarHint());
+    } else if (const auto *A = dyn_cast<AssignStmt>(S)) {
+      // Subscripts on the left-hand side are index positions too.
+      for (const LValue &LV : A->targets()) {
+        bool HasColonStyle = false;
+        for (const Expr *Idx : LV.Indices)
+          HasColonStyle |= isa<ColonWildcardExpr>(Idx) || isa<RangeExpr>(Idx);
+        if (!HasColonStyle)
+          for (const Expr *Idx : LV.Indices)
+            backProp(Idx, intScalarHint());
+      }
+    }
+  }
+
+  /// Reverse sweep: a hint on v propagates through "v = expr" into expr.
+  void propagateThroughAssignments(const Block &B, bool &Changed) {
+    for (auto It = B.rbegin(); It != B.rend(); ++It) {
+      const Stmt *S = *It;
+      switch (S->getKind()) {
+      case Stmt::Kind::Assign: {
+        const auto *A = cast<AssignStmt>(S);
+        if (A->isMulti())
+          break;
+        const LValue &LV = A->targets().front();
+        if (LV.HasParens || LV.VarSlot < 0)
+          break;
+        auto HintIt = Hints.find(LV.VarSlot);
+        if (HintIt == Hints.end())
+          break;
+        size_t Before = hintFingerprint();
+        backProp(A->rhs(), HintIt->second);
+        Changed |= hintFingerprint() != Before;
+        break;
+      }
+      case Stmt::Kind::If: {
+        const auto *If = cast<IfStmt>(S);
+        for (const IfStmt::Branch &Br : If->branches())
+          propagateThroughAssignments(Br.Body, Changed);
+        propagateThroughAssignments(If->elseBlock(), Changed);
+        break;
+      }
+      case Stmt::Kind::While:
+        propagateThroughAssignments(cast<WhileStmt>(S)->body(), Changed);
+        break;
+      case Stmt::Kind::For:
+        propagateThroughAssignments(cast<ForStmt>(S)->body(), Changed);
+        break;
+      default:
+        break;
+      }
+    }
+  }
+
+  /// Cheap change detector for the sweep loop.
+  size_t hintFingerprint() const {
+    size_t H = Hints.size();
+    for (const auto &[Slot, T] : Hints) {
+      H = H * 31 + static_cast<size_t>(Slot);
+      H = H * 31 + static_cast<size_t>(T.intrinsic());
+      H = H * 31 + static_cast<size_t>(T.maxShape().Rows & 0xffff);
+      H = H * 31 + static_cast<size_t>(T.maxShape().Cols & 0xffff);
+    }
+    return H;
+  }
+
+  const FunctionInfo &FI;
+  const TypeAnnotations &Ann;
+  const TypeCalculator &Calc;
+  std::unordered_map<int, Type> Hints;
+};
+
+} // namespace
+
+TypeSignature majic::speculateSignature(const FunctionInfo &FI,
+                                        const InferOptions &Opts) {
+  const Function &F = *FI.F;
+  std::vector<Type> Guess(F.params().size(), Type::top());
+
+  // Alternate backward (hints) and forward (re-typing) passes until the
+  // guessed signature stabilizes (Section 2.5).
+  for (unsigned Iter = 0; Iter != 4; ++Iter) {
+    InferResult Fwd = inferTypes(FI, TypeSignature(Guess), Opts);
+    HintCollector Collector(FI, Fwd.Ann);
+    std::unordered_map<int, Type> Hints = Collector.run();
+
+    std::vector<Type> Next(F.params().size(), Type::top());
+    for (size_t P = 0; P != F.params().size(); ++P) {
+      int Slot = F.paramSlots()[P];
+      auto It = Slot >= 0 ? Hints.find(Slot) : Hints.end();
+      if (It != Hints.end())
+        Next[P] = It->second;
+    }
+    if (Next == Guess)
+      break;
+    Guess = std::move(Next);
+  }
+  return TypeSignature(Guess);
+}

@@ -1,0 +1,39 @@
+//===- infer/Speculate.h - Speculative type inference ----------*- C++ -*-===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Speculative type inference (Section 2.5): guesses a credible type
+/// signature from the source code alone by back-propagating type *hints*
+/// from syntactic constructs to the input parameters:
+///
+///  - colon operands are almost always integer scalars,
+///  - relational operands (and if/while conditions) are real scalars,
+///  - when one bracket-operator argument is a scalar, the rest probably are,
+///  - F77-style subscripts (no colon present) are integer scalars,
+///  - arguments of zeros/ones/rand/eye/size are integer scalars.
+///
+/// Speculation alternates backward (hint) and forward (checking) passes
+/// until the guessed signature converges. A wrong guess can never break
+/// correctness: the repository's signature check rejects unsafe code at
+/// invocation time (Section 3.6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAJIC_INFER_SPECULATE_H
+#define MAJIC_INFER_SPECULATE_H
+
+#include "infer/Infer.h"
+
+namespace majic {
+
+/// Guesses a type signature for \p FI's parameters from its body.
+/// Parameters with no applicable hint stay top.
+TypeSignature speculateSignature(const FunctionInfo &FI,
+                                 const InferOptions &Opts = InferOptions());
+
+} // namespace majic
+
+#endif // MAJIC_INFER_SPECULATE_H

@@ -1,0 +1,143 @@
+//===- ir/Builder.h - IR construction helper -------------------*- C++ -*-===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Incremental construction of IRFunctions: virtual register allocation,
+/// label creation/binding with branch patching, and operand-pool helpers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAJIC_IR_BUILDER_H
+#define MAJIC_IR_BUILDER_H
+
+#include "ir/Instr.h"
+
+#include <cassert>
+
+namespace majic {
+
+class IRBuilder {
+public:
+  explicit IRBuilder(IRFunction &F) : F(F) {}
+
+  IRFunction &function() { return F; }
+
+  //===--------------------------------------------------------------------===
+  // Virtual registers
+  //===--------------------------------------------------------------------===
+
+  int32_t newF() { return static_cast<int32_t>(F.NumF++); }
+  int32_t newI() { return static_cast<int32_t>(F.NumI++); }
+  int32_t newP() { return static_cast<int32_t>(F.NumP++); }
+
+  //===--------------------------------------------------------------------===
+  // Emission
+  //===--------------------------------------------------------------------===
+
+  size_t emit(Instr In) {
+    F.Code.push_back(In);
+    return F.Code.size() - 1;
+  }
+
+  size_t emit(Opcode Op, int32_t A = -1, int32_t B = -1, int32_t C = -1,
+              int32_t D = -1) {
+    return emit(Instr::make(Op, A, B, C, D));
+  }
+
+  size_t emitImmF(Opcode Op, double Imm, int32_t A = -1, int32_t B = -1,
+                  int32_t C = -1, int32_t D = -1) {
+    Instr In = Instr::make(Op, A, B, C, D);
+    In.Imm.F = Imm;
+    return emit(In);
+  }
+
+  size_t emitImmI(Opcode Op, int64_t Imm, int32_t A = -1, int32_t B = -1,
+                  int32_t C = -1, int32_t D = -1) {
+    Instr In = Instr::make(Op, A, B, C, D);
+    In.Imm.I = Imm;
+    return emit(In);
+  }
+
+  /// F constant convenience: returns a fresh F register holding \p V.
+  int32_t fconst(double V) {
+    int32_t R = newF();
+    emitImmF(Opcode::FConst, V, R);
+    return R;
+  }
+  int32_t iconst(int64_t V) {
+    int32_t R = newI();
+    emitImmI(Opcode::IConst, V, R);
+    return R;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Labels: create, branch-to, bind. Unbound targets are patched on bind.
+  //===--------------------------------------------------------------------===
+
+  struct Label {
+    int32_t Id = -1;
+  };
+
+  Label newLabel() {
+    Labels.push_back({-1, {}});
+    return {static_cast<int32_t>(Labels.size() - 1)};
+  }
+
+  void br(Label L) { branchTo(Opcode::Br, L, -1); }
+  void brz(int32_t CondI, Label L) { branchTo(Opcode::Brz, L, CondI); }
+  void brnz(int32_t CondI, Label L) { branchTo(Opcode::Brnz, L, CondI); }
+
+  void bind(Label L) {
+    LabelInfo &Info = Labels[L.Id];
+    assert(Info.Target < 0 && "label bound twice");
+    Info.Target = static_cast<int32_t>(F.Code.size());
+    for (size_t Idx : Info.Pending)
+      F.Code[Idx].A = Info.Target;
+    Info.Pending.clear();
+  }
+
+  /// The bound position of \p L; only valid after bind().
+  int32_t target(Label L) const { return Labels[L.Id].Target; }
+
+  /// Asserts every label was bound (called when construction finishes).
+  void finish() {
+#ifndef NDEBUG
+    for (const LabelInfo &Info : Labels)
+      assert(Info.Target >= 0 && Info.Pending.empty() && "unbound label");
+#endif
+  }
+
+  //===--------------------------------------------------------------------===
+  // Operand pools
+  //===--------------------------------------------------------------------===
+
+  /// Appends \p Regs to the pool, returning the starting offset.
+  int32_t pool(const std::vector<int32_t> &Regs) {
+    int32_t Off = static_cast<int32_t>(F.Pool.size());
+    F.Pool.insert(F.Pool.end(), Regs.begin(), Regs.end());
+    return Off;
+  }
+
+private:
+  void branchTo(Opcode Op, Label L, int32_t CondI) {
+    LabelInfo &Info = Labels[L.Id];
+    size_t Idx = emit(Op, /*A=*/Info.Target, /*B=*/CondI);
+    if (Info.Target < 0)
+      Info.Pending.push_back(Idx);
+  }
+
+  struct LabelInfo {
+    int32_t Target = -1;
+    std::vector<size_t> Pending;
+  };
+
+  IRFunction &F;
+  std::vector<LabelInfo> Labels;
+};
+
+} // namespace majic
+
+#endif // MAJIC_IR_BUILDER_H

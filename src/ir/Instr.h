@@ -1,0 +1,215 @@
+//===- ir/Instr.h - The vcode-like low-level IR ----------------*- C++ -*-===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The low-level IR both code generators target (Section 2.6). It is a
+/// RISC-like three-address register language in the spirit of vcode
+/// (Engler '96), with three register classes:
+///
+///   F - unboxed double registers
+///   I - unboxed 64-bit integer registers (indices, counters, booleans)
+///   P - boxed Value handles (matrices, strings, anything dynamic)
+///
+/// Before execution, the linear-scan register allocator maps virtual
+/// registers onto the platform's fixed physical register files and inserts
+/// spill traffic (Section 2.6: "register allocation is done using the
+/// linear-scan register allocator").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAJIC_IR_INSTR_H
+#define MAJIC_IR_INSTR_H
+
+#include "runtime/Ops.h"
+#include "types/Signature.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace majic {
+
+enum class Opcode : uint8_t {
+  Nop,
+
+  // Constants and moves.
+  FConst, // F[A] = Imm.F
+  IConst, // I[A] = Imm.I
+  SConst, // P[A] = string pool [Imm.I]
+  MovF,   // F[A] = F[B]
+  MovI,   // I[A] = I[B]
+  MovP,   // P[A] = P[B]
+  IToF,   // F[A] = double(I[B])
+  FToI,   // I[A] = trunc(F[B])
+  FToIdx, // I[A] = checked 1-based subscript F[B] minus 1 (throws if invalid)
+
+  // Double arithmetic.
+  FAdd, // F[A] = F[B] + F[C]
+  FSub,
+  FMul,
+  FDiv,
+  FNeg,  // F[A] = -F[B]
+  FPow,  // F[A] = pow(F[B], F[C])
+  FCmp,  // I[A] = F[B] <cc Imm.I> F[C]
+  FIntr1, // F[A] = intr(Imm.I)(F[B])
+  FIntr2, // F[A] = intr(Imm.I)(F[B], F[C])
+
+  // Integer arithmetic / logic.
+  IAdd, // I[A] = I[B] + I[C]
+  ISub,
+  IMul,
+  INeg,
+  ICmp, // I[A] = I[B] <cc Imm.I> I[C]
+  IAnd, // I[A] = (I[B] != 0) & (I[C] != 0)
+  IOr,
+  INot, // I[A] = I[B] == 0
+
+  // Control flow. Branch targets (A) are instruction indices, patched by
+  // the builder when labels are bound.
+  Br,   // goto A
+  Brz,  // if (I[B] == 0) goto A
+  Brnz, // if (I[B] != 0) goto A
+  Ret,
+
+  // Boxing and unboxing.
+  BoxF,      // P[A] = scalar(F[B])
+  BoxI,      // P[A] = int scalar(I[B])
+  BoxB,      // P[A] = logical scalar(I[B] != 0)
+  BoxC,      // P[A] = complex scalar(F[B], F[C])
+  UnboxF,    // F[A] = P[B].scalarValue()  (throws unless numeric scalar)
+  UnboxI,    // I[A] = integral scalar of P[B] (throws otherwise)
+  UnboxReIm, // F[A] = re(P[C]), F[B] = im(P[C]) (scalar)
+  CheckDef,  // throw "undefined variable <names[Imm.I]>" if P[A] is null
+
+  // Unboxed array element access. Indices are 0-based and linear (LoadEl /
+  // StoreEl) or (row, col) pairs (LoadEl2 / StoreEl2). The *Chk variants
+  /// carry the MATLAB subscript check; stores additionally take the
+  // resize-on-write slow path when out of bounds.
+  NewMat,      // P[A] = zeros(I[B], I[C]) with class Imm.I
+  FillF,       // fill P[A] elements with Imm.F
+  LoadEl,      // F[A] = P[B].re[I[C]]
+  LoadElChk,   // same plus bounds check
+  LoadEl2,     // F[A] = P[B].at(I[C], I[D])
+  LoadEl2Chk,  // same plus bounds check
+  StoreEl,     // P[A].re[I[B]] = F[C]   (CoW-unique first)
+  StoreElChk,  // same, with bounds + grow path; Imm.I = stored class
+  StoreEl2,    // P[A].at(I[B], I[C]) = F[D]
+  StoreEl2Chk, // same, with bounds + grow path
+  LenRows,     // I[A] = rows(P[B])
+  LenCols,
+  LenNumel,
+  ColSlice, // P[A] = P[B](:, I[C])  (0-based column)
+
+  // Boxed (generic) operations: the "implicit default rule" fallback.
+  MakeRange,  // P[A] = colon(F[B], F[C], F[D])
+  MakeRangeG, // P[A] = colon(P[B], P[C], P[D]) (boxed operands, first-element rule)
+  RtBin,     // P[A] = binary(Imm.I as BinOp, P[B], P[C])
+  RtUn,      // P[A] = unary(Imm.I as UnOp, P[B])
+  IsTrue,    // I[A] = isTrue(P[B])
+  HorzCat,   // P[A] = horzcat(pool[B..B+C))
+  VertCat,   // P[A] = vertcat(pool[B..B+C))
+  LoadIdxG,  // P[A] = P[B](indices); indices in pool[C..C+D), -1 = ':'
+  StoreIdxG, // P[A](indices) = P[B]; indices in pool[C..C+D), -1 = ':'
+  CallB,     // builtin names[Imm.I]: dsts pool[A..A+B), args pool[C..C+D)
+  CallU,     // user function names[Imm.I]: same layout as CallB
+  Display,   // print "names[Imm.I] = <P[A]>"
+
+  // Fused library kernels (Section 2.6.1's dgemv code selection).
+  Gemv, // P[A] = P[B] * P[C]  (real matrix x real vector via BLAS dgemv)
+  Axpy, // P[A] = F[B] * P[C] + P[D]  (real vectors, fused)
+
+  // Calling convention: arguments and outputs live outside the register
+  // files so allocation cannot disturb them.
+  LoadParam, // P[A] = args[Imm.I]
+  StoreOut,  // outs[Imm.I] = P[A]
+
+  // Spill traffic inserted by the register allocator.
+  FSpLd, // F[A] = fspill[Imm.I]
+  FSpSt, // fspill[Imm.I] = F[A]
+  ISpLd,
+  ISpSt,
+  PSpLd,
+  PSpSt,
+};
+
+const char *opcodeName(Opcode Op);
+
+/// CallB/CallU Imm flag: the call is a statement (MATLAB nargout = 0).
+/// Destination registers receive the optional outputs or null.
+constexpr int64_t kStatementCallFlag = int64_t(1) << 30;
+
+/// Condition codes for FCmp/ICmp (Imm.I).
+enum class CondCode : int64_t { LT, LE, GT, GE, EQ, NE };
+
+struct Instr {
+  Opcode Op = Opcode::Nop;
+  int32_t A = -1;
+  int32_t B = -1;
+  int32_t C = -1;
+  int32_t D = -1;
+  union {
+    double F;
+    int64_t I;
+  } Imm = {0.0};
+
+  static Instr make(Opcode Op, int32_t A = -1, int32_t B = -1, int32_t C = -1,
+                    int32_t D = -1) {
+    Instr In;
+    In.Op = Op;
+    In.A = A;
+    In.B = B;
+    In.C = C;
+    In.D = D;
+    return In;
+  }
+};
+
+/// Register classes of the machine.
+enum class RegClass : uint8_t { F, I, P };
+
+/// Metadata for a counted loop emitted by the code generator, consumed by
+/// the optimizer's unroller. Instruction indices are kept valid by the
+/// passes that use them (the unroller runs before allocation).
+struct LoopMeta {
+  uint32_t HeaderIndex;  ///< Index of the loop-condition check (ICmp).
+  uint32_t BodyBegin;    ///< First body instruction.
+  uint32_t LatchIndex;   ///< The counter-increment IAdd.
+  uint32_t ExitIndex;    ///< First instruction after the loop.
+  int32_t CounterReg;    ///< I register holding the counter.
+  int32_t TripReg;       ///< I register holding the trip count.
+};
+
+/// One compiled function in the low-level IR. Before register allocation,
+/// register operands denote virtual registers (NumVirt* of each class);
+/// after allocation they denote physical registers and spill slots.
+class IRFunction {
+public:
+  std::string Name;
+  size_t NumParams = 0;
+  size_t NumOuts = 0;
+
+  std::vector<Instr> Code;
+  std::vector<int32_t> Pool;        ///< Operand lists for call-like ops.
+  std::vector<std::string> Names;   ///< Builtin/user/variable names.
+  std::vector<std::string> Strings; ///< String literals.
+
+  unsigned NumF = 0, NumI = 0, NumP = 0; ///< Register counts (virt or phys).
+  unsigned NumFSpill = 0, NumISpill = 0, NumPSpill = 0;
+  bool Allocated = false;
+
+  std::vector<LoopMeta> Loops;
+
+  /// Interns \p N into Names, returning its id.
+  int32_t internName(const std::string &N);
+  int32_t internString(const std::string &S);
+
+  /// Renders the function as text for tests and debugging.
+  std::string print() const;
+};
+
+} // namespace majic
+
+#endif // MAJIC_IR_INSTR_H

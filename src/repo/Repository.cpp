@@ -1,0 +1,62 @@
+//===- repo/Repository.cpp - The code repository --------------------------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "repo/Repository.h"
+
+using namespace majic;
+
+const CompiledObject *Repository::lookup(const std::string &Name,
+                                         const TypeSignature &Invocation) const {
+  auto It = Table.find(Name);
+  if (It == Table.end()) {
+    ++Misses;
+    return nullptr;
+  }
+  const CompiledObject *Best = nullptr;
+  double BestDistance = 0;
+  for (const CompiledObject &Obj : It->second) {
+    if (!Invocation.safeFor(Obj.Sig))
+      continue;
+    double D = Invocation.distance(Obj.Sig);
+    if (!Best || D < BestDistance) {
+      Best = &Obj;
+      BestDistance = D;
+    }
+  }
+  if (!Best) {
+    ++Misses;
+    return nullptr;
+  }
+  ++HitsCount;
+  ++Best->Hits;
+  return Best;
+}
+
+void Repository::insert(CompiledObject Obj) {
+  std::vector<CompiledObject> &Versions = Table[Obj.FunctionName];
+  for (CompiledObject &Existing : Versions) {
+    if (Existing.Sig == Obj.Sig) {
+      Existing = std::move(Obj);
+      return;
+    }
+  }
+  Versions.push_back(std::move(Obj));
+}
+
+void Repository::invalidate(const std::string &Name) { Table.erase(Name); }
+
+const std::vector<CompiledObject> *
+Repository::versions(const std::string &Name) const {
+  auto It = Table.find(Name);
+  return It == Table.end() ? nullptr : &It->second;
+}
+
+size_t Repository::totalObjects() const {
+  size_t N = 0;
+  for (const auto &[Name, Versions] : Table)
+    N += Versions.size();
+  return N;
+}

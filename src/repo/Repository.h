@@ -1,0 +1,78 @@
+//===- repo/Repository.h - The code repository -----------------*- C++ -*-===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The code repository (Section 2): "a database of compiled code" that may
+/// hold, at any time, several compiled versions of the same function,
+/// differing only in their assumptions about the input types (Figure 3).
+/// The function locator matches an invocation against the stored versions:
+/// a version is *safe* when the invocation's types are subtypes of its
+/// signature (Qi <= Ti), and among safe versions the best candidate is the
+/// one at the smallest Manhattan-like distance (Section 2.2.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAJIC_REPO_REPOSITORY_H
+#define MAJIC_REPO_REPOSITORY_H
+
+#include "backend/CodeGen.h"
+#include "ir/Instr.h"
+#include "types/Signature.h"
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace majic {
+
+/// One compiled version of a function.
+struct CompiledObject {
+  std::string FunctionName;
+  TypeSignature Sig;
+  std::shared_ptr<const IRFunction> Code;
+  CodeGenMode Mode = CodeGenMode::Jit;
+  /// Wall-clock seconds spent producing this object (inference + code
+  /// generation + optimization + allocation).
+  double CompileSeconds = 0;
+  /// How this object came to exist, for the repository's statistics.
+  enum class Origin : uint8_t { Jit, Speculative, Batch, Generic } From =
+      Origin::Jit;
+  mutable uint64_t Hits = 0;
+};
+
+class Repository {
+public:
+  /// The function locator: returns the best safe version for \p Invocation,
+  /// or null ("a failure to find appropriate code usually triggers a
+  /// compilation").
+  const CompiledObject *lookup(const std::string &Name,
+                               const TypeSignature &Invocation) const;
+
+  /// Stores a compiled version. An existing version with the identical
+  /// signature is replaced ("the generated code can later be recompiled
+  /// and replaced in the repository using a better compiler").
+  void insert(CompiledObject Obj);
+
+  /// Drops every version of \p Name (the source changed).
+  void invalidate(const std::string &Name);
+
+  /// All versions of \p Name (inspection/tests).
+  const std::vector<CompiledObject> *versions(const std::string &Name) const;
+
+  size_t totalObjects() const;
+  uint64_t lookupMisses() const { return Misses; }
+  uint64_t lookupHits() const { return HitsCount; }
+
+private:
+  std::unordered_map<std::string, std::vector<CompiledObject>> Table;
+  mutable uint64_t Misses = 0;
+  mutable uint64_t HitsCount = 0;
+};
+
+} // namespace majic
+
+#endif // MAJIC_REPO_REPOSITORY_H

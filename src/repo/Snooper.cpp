@@ -1,0 +1,49 @@
+//===- repo/Snooper.cpp - Source directory snooping -----------------------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "repo/Snooper.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <filesystem>
+
+using namespace majic;
+namespace fs = std::filesystem;
+
+void SourceSnooper::watchDirectory(const std::string &Dir) {
+  if (std::find(Dirs.begin(), Dirs.end(), Dir) == Dirs.end())
+    Dirs.push_back(Dir);
+}
+
+std::vector<SourceSnooper::Change> SourceSnooper::scan() {
+  std::vector<Change> Changes;
+  for (const std::string &Dir : Dirs) {
+    std::error_code EC;
+    for (const fs::directory_entry &Entry : fs::directory_iterator(Dir, EC)) {
+      if (EC)
+        break;
+      if (!Entry.is_regular_file() || Entry.path().extension() != ".m")
+        continue;
+      std::string Path = Entry.path().string();
+      auto MTime = Entry.last_write_time(EC);
+      if (EC)
+        continue;
+      int64_t Stamp = static_cast<int64_t>(
+          MTime.time_since_epoch().count());
+      auto It = LastMTime.find(Path);
+      bool IsNew = It == LastMTime.end();
+      if (!IsNew && It->second == Stamp)
+        continue;
+      LastMTime[Path] = Stamp;
+      Changes.push_back({Path, Entry.path().stem().string(), IsNew});
+    }
+  }
+  // Deterministic processing order.
+  std::sort(Changes.begin(), Changes.end(),
+            [](const Change &A, const Change &B) { return A.Path < B.Path; });
+  return Changes;
+}

@@ -1,0 +1,52 @@
+//===- repo/Snooper.h - Source directory snooping --------------*- C++ -*-===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source snooping (Section 2): the repository "compiles code on its own,
+/// ahead of time, by snooping the source code directories, maintaining
+/// dependency information between source code and object code and
+/// triggering recompilations when the source code changes". This class
+/// does the watching: it reports .m files that appeared or changed since
+/// the last scan; the engine reacts by (re)loading and speculatively
+/// compiling them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAJIC_REPO_SNOOPER_H
+#define MAJIC_REPO_SNOOPER_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace majic {
+
+class SourceSnooper {
+public:
+  /// Adds a directory to watch (non-recursive, .m files only).
+  void watchDirectory(const std::string &Dir);
+
+  struct Change {
+    std::string Path;         ///< Full path to the .m file.
+    std::string FunctionName; ///< Basename without extension.
+    bool IsNew;               ///< First sighting vs modification.
+  };
+
+  /// Scans the watched directories, returning files that are new or whose
+  /// modification time changed since the previous scan.
+  std::vector<Change> scan();
+
+  const std::vector<std::string> &directories() const { return Dirs; }
+
+private:
+  std::vector<std::string> Dirs;
+  std::unordered_map<std::string, int64_t> LastMTime;
+};
+
+} // namespace majic
+
+#endif // MAJIC_REPO_SNOOPER_H

@@ -1,0 +1,88 @@
+//===- runtime/Blas.cpp - BLAS-like dense kernels --------------------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Blas.h"
+
+#include <cmath>
+
+using namespace majic;
+
+double blas::ddot(size_t N, const double *X, const double *Y) {
+  double Sum = 0;
+  for (size_t I = 0; I != N; ++I)
+    Sum += X[I] * Y[I];
+  return Sum;
+}
+
+void blas::daxpy(size_t N, double A, const double *X, double *Y) {
+  for (size_t I = 0; I != N; ++I)
+    Y[I] += A * X[I];
+}
+
+void blas::dscal(size_t N, double A, double *X) {
+  for (size_t I = 0; I != N; ++I)
+    X[I] *= A;
+}
+
+void blas::dgemv(size_t M, size_t N, double Alpha, const double *A,
+                 const double *X, double Beta, double *Y) {
+  if (Beta == 0.0) {
+    for (size_t I = 0; I != M; ++I)
+      Y[I] = 0.0;
+  } else if (Beta != 1.0) {
+    dscal(M, Beta, Y);
+  }
+  // Column-major traversal: accumulate one column at a time.
+  for (size_t J = 0; J != N; ++J) {
+    double Scale = Alpha * X[J];
+    if (Scale == 0.0)
+      continue;
+    const double *Col = A + J * M;
+    for (size_t I = 0; I != M; ++I)
+      Y[I] += Scale * Col[I];
+  }
+}
+
+void blas::dgemm(size_t M, size_t N, size_t K, double Alpha, const double *A,
+                 const double *B, double Beta, double *C) {
+  for (size_t J = 0; J != N; ++J) {
+    double *CCol = C + J * M;
+    if (Beta == 0.0) {
+      for (size_t I = 0; I != M; ++I)
+        CCol[I] = 0.0;
+    } else if (Beta != 1.0) {
+      dscal(M, Beta, CCol);
+    }
+    const double *BCol = B + J * K;
+    for (size_t P = 0; P != K; ++P) {
+      double Scale = Alpha * BCol[P];
+      if (Scale == 0.0)
+        continue;
+      const double *ACol = A + P * M;
+      for (size_t I = 0; I != M; ++I)
+        CCol[I] += Scale * ACol[I];
+    }
+  }
+}
+
+double blas::dnrm2(size_t N, const double *X) {
+  // Scaled accumulation avoids overflow for large magnitudes.
+  double Scale = 0.0, SumSq = 1.0;
+  for (size_t I = 0; I != N; ++I) {
+    double AbsX = std::fabs(X[I]);
+    if (AbsX == 0.0)
+      continue;
+    if (Scale < AbsX) {
+      double Ratio = Scale / AbsX;
+      SumSq = 1.0 + SumSq * Ratio * Ratio;
+      Scale = AbsX;
+    } else {
+      double Ratio = AbsX / Scale;
+      SumSq += Ratio * Ratio;
+    }
+  }
+  return Scale * std::sqrt(SumSq);
+}

@@ -1,0 +1,46 @@
+//===- runtime/Blas.h - BLAS-like dense kernels ----------------*- C++ -*-===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal BLAS-like kernels over column-major double arrays. These are the
+/// "precompiled library" side of MATLAB that compilation cannot accelerate
+/// (Section 3.4: builtin-heavy benchmarks barely benefit), and the fusion
+/// targets of the dgemv code-selection rule (Section 2.6.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAJIC_RUNTIME_BLAS_H
+#define MAJIC_RUNTIME_BLAS_H
+
+#include <cstddef>
+
+namespace majic {
+namespace blas {
+
+/// dot(x, y) over n elements.
+double ddot(size_t N, const double *X, const double *Y);
+
+/// y += a * x over n elements.
+void daxpy(size_t N, double A, const double *X, double *Y);
+
+/// x *= a over n elements.
+void dscal(size_t N, double A, double *X);
+
+/// y = alpha * A * x + beta * y, A is MxN column-major.
+void dgemv(size_t M, size_t N, double Alpha, const double *A, const double *X,
+           double Beta, double *Y);
+
+/// C = alpha * A * B + beta * C; A is MxK, B is KxN, C is MxN, column-major.
+void dgemm(size_t M, size_t N, size_t K, double Alpha, const double *A,
+           const double *B, double Beta, double *C);
+
+/// Euclidean norm of an n-vector.
+double dnrm2(size_t N, const double *X);
+
+} // namespace blas
+} // namespace majic
+
+#endif // MAJIC_RUNTIME_BLAS_H

@@ -1,0 +1,114 @@
+//===- runtime/Builtins.h - MATLAB builtin functions -----------*- C++ -*-===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The builtin ("precompiled library") function table. Builtins are the
+/// functions the interpreter resolves after variables (Section 2.1), and the
+/// library calls that compiled code falls back to. Scalar math builtins also
+/// expose an intrinsic id so the code generator can inline them as single
+/// VM instructions (Section 2.6.1: "MaJIC inlines ... elementary math
+/// functions").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAJIC_RUNTIME_BUILTINS_H
+#define MAJIC_RUNTIME_BUILTINS_H
+
+#include "runtime/Context.h"
+#include "runtime/Value.h"
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace majic {
+
+/// Scalar math operations the register VM can execute as one instruction.
+/// Guarded intrinsics (Sqrt, Log) are only selected when type inference can
+/// prove the real-domain precondition; otherwise the generic builtin call
+/// (which escalates to complex) is used.
+enum class ScalarIntrinsic : uint8_t {
+  None,
+  Abs,
+  Sqrt, // requires arg >= 0
+  Exp,
+  Log, // requires arg > 0
+  Log2,
+  Log10,
+  Sin,
+  Cos,
+  Tan,
+  Asin, // requires |arg| <= 1
+  Acos, // requires |arg| <= 1
+  Atan,
+  Sinh,
+  Cosh,
+  Tanh,
+  Floor,
+  Ceil,
+  Round,
+  Fix,
+  Sign,
+  // Two-argument intrinsics.
+  Atan2,
+  Mod,
+  Rem,
+  Min2,
+  Max2,
+  Hypot,
+};
+
+/// Evaluates a one-argument scalar intrinsic on a double.
+double evalScalarIntrinsic1(ScalarIntrinsic Op, double X);
+/// Evaluates a two-argument scalar intrinsic.
+double evalScalarIntrinsic2(ScalarIntrinsic Op, double X, double Y);
+/// Number of arguments (1 or 2) the intrinsic takes; 0 for None.
+unsigned scalarIntrinsicArity(ScalarIntrinsic Op);
+/// True when the intrinsic needs a domain precondition (Sqrt, Log, ...).
+bool scalarIntrinsicNeedsGuard(ScalarIntrinsic Op);
+
+/// Descriptor of one builtin function.
+struct BuiltinDef {
+  std::string Name;
+  int MinArgs;
+  int MaxArgs; // -1 = unbounded (fprintf)
+  int MaxOuts; // number of output values the builtin can produce
+  /// The implementation; returns MaxOuts or fewer values (>= 1 unless the
+  /// builtin is effect-only like disp).
+  std::vector<Value> (*Impl)(Context &Ctx, std::span<const Value *const> Args,
+                             size_t NumOuts);
+  /// Non-None when the builtin maps to a scalar VM intrinsic.
+  ScalarIntrinsic Intrinsic = ScalarIntrinsic::None;
+  /// True for functions like rand/fprintf/disp/error whose calls cannot be
+  /// reordered or eliminated.
+  bool HasSideEffects = false;
+};
+
+/// The builtin table; a process-wide singleton built on first use.
+class BuiltinTable {
+public:
+  static const BuiltinTable &instance();
+
+  /// Returns the builtin named \p Name, or nullptr.
+  const BuiltinDef *lookup(const std::string &Name) const;
+
+  bool contains(const std::string &Name) const { return lookup(Name); }
+
+  const std::vector<BuiltinDef> &all() const { return Defs; }
+
+  /// Invokes \p Def with arity checking; throws MatlabError on bad arity.
+  static std::vector<Value> call(const BuiltinDef &Def, Context &Ctx,
+                                 std::span<const Value *const> Args,
+                                 size_t NumOuts);
+
+private:
+  BuiltinTable();
+  std::vector<BuiltinDef> Defs; // sorted by name
+};
+
+} // namespace majic
+
+#endif // MAJIC_RUNTIME_BUILTINS_H

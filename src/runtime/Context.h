@@ -1,0 +1,60 @@
+//===- runtime/Context.h - Shared execution context ------------*- C++ -*-===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// State shared by every execution path (interpreter, register VM, generic
+/// compiled code): the PRNG behind rand(), and the output sink for
+/// disp/fprintf. Sharing one context keeps results bit-identical across
+/// paths, which the soundness tests rely on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAJIC_RUNTIME_CONTEXT_H
+#define MAJIC_RUNTIME_CONTEXT_H
+
+#include "support/Rng.h"
+
+#include <functional>
+#include <string>
+
+namespace majic {
+
+class Context {
+public:
+  Rng Rand;
+
+  /// Emits program output (disp, fprintf, unterminated expressions).
+  /// Defaults to accumulating into OutputBuffer.
+  void print(const std::string &S) {
+    if (Sink)
+      Sink(S);
+    else
+      OutputBuffer += S;
+  }
+
+  /// Installs an output callback; pass nullptr to restore buffering.
+  void setSink(std::function<void(const std::string &)> NewSink) {
+    Sink = std::move(NewSink);
+  }
+
+  const std::string &output() const { return OutputBuffer; }
+  void clearOutput() { OutputBuffer.clear(); }
+
+  /// Rolls buffered output back to \p Size (deoptimization retries undo
+  /// partial output; a custom sink cannot be rolled back).
+  void truncateOutput(size_t Size) {
+    if (OutputBuffer.size() > Size)
+      OutputBuffer.resize(Size);
+  }
+
+private:
+  std::function<void(const std::string &)> Sink;
+  std::string OutputBuffer;
+};
+
+} // namespace majic
+
+#endif // MAJIC_RUNTIME_CONTEXT_H

@@ -1,0 +1,45 @@
+//===- runtime/LinAlg.h - Dense linear algebra -----------------*- C++ -*-===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dense linear algebra used by builtins: LU solve (mldivide), Cholesky
+/// factorization (chol), symmetric eigenvalues via cyclic Jacobi (eig),
+/// and matrix inverse (inv). Real matrices only; the benchmark corpus does
+/// not require complex factorizations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAJIC_RUNTIME_LINALG_H
+#define MAJIC_RUNTIME_LINALG_H
+
+#include "runtime/Value.h"
+
+namespace majic {
+namespace linalg {
+
+/// Solves A * X = B via LU with partial pivoting; A must be square and
+/// non-singular (throws MatlabError when numerically singular).
+Value luSolve(const Value &A, const Value &B);
+
+/// Upper-triangular Cholesky factor R with R' * R = A; throws when A is not
+/// (numerically) symmetric positive definite.
+Value cholesky(const Value &A);
+
+/// Eigenvalues of a symmetric matrix, ascending, as a column vector.
+/// Uses the cyclic Jacobi method. When \p Vectors is non-null, it receives
+/// the orthonormal eigenvector matrix (columns match the eigenvalue order).
+Value symEig(const Value &A, Value *Vectors = nullptr);
+
+/// Matrix inverse via LU solve against the identity.
+Value inverse(const Value &A);
+
+/// Determinant via LU factorization.
+double determinant(const Value &A);
+
+} // namespace linalg
+} // namespace majic
+
+#endif // MAJIC_RUNTIME_LINALG_H

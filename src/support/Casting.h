@@ -1,0 +1,46 @@
+//===- support/Casting.h - isa/cast/dyn_cast -------------------*- C++ -*-===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LLVM-style hand-rolled RTTI. A class opts in by providing
+/// `static bool classof(const Base *)`; these templates then provide
+/// isa<>, cast<> and dyn_cast<>.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAJIC_SUPPORT_CASTING_H
+#define MAJIC_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace majic {
+
+template <typename To, typename From> bool isa(const From *V) {
+  assert(V && "isa<> on a null pointer");
+  return To::classof(V);
+}
+
+template <typename To, typename From> To *cast(From *V) {
+  assert(isa<To>(V) && "cast<> to incompatible type");
+  return static_cast<To *>(V);
+}
+
+template <typename To, typename From> const To *cast(const From *V) {
+  assert(isa<To>(V) && "cast<> to incompatible type");
+  return static_cast<const To *>(V);
+}
+
+template <typename To, typename From> To *dyn_cast(From *V) {
+  return V && To::classof(V) ? static_cast<To *>(V) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *V) {
+  return V && To::classof(V) ? static_cast<const To *>(V) : nullptr;
+}
+
+} // namespace majic
+
+#endif // MAJIC_SUPPORT_CASTING_H

@@ -1,0 +1,64 @@
+//===- support/Diagnostics.h - Compile-time diagnostics --------*- C++ -*-===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diagnostic collection for the compiler passes. Diagnostics follow the
+/// LLVM message style: lowercase first letter, no trailing period.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAJIC_SUPPORT_DIAGNOSTICS_H
+#define MAJIC_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace majic {
+
+enum class DiagKind { Error, Warning, Note };
+
+struct Diagnostic {
+  DiagKind Kind;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Accumulates diagnostics produced during parsing and analysis.
+class Diagnostics {
+public:
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
+    ++NumErrors;
+  }
+  void warning(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
+  }
+  void note(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned numErrors() const { return NumErrors; }
+  const std::vector<Diagnostic> &all() const { return Diags; }
+
+  /// Renders every diagnostic, one per line, using \p SM for locations.
+  std::string render(const SourceManager &SM) const;
+
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace majic
+
+#endif // MAJIC_SUPPORT_DIAGNOSTICS_H

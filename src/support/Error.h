@@ -1,0 +1,100 @@
+//===- support/Error.h - Error types for the MaJIC system ------*- C++ -*-===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Error handling primitives.
+///
+/// Two kinds of failure exist in the system:
+///
+///  - MATLAB *runtime errors* (dimension mismatch, undefined variable, bad
+///    subscript, ...). These unwind arbitrarily deep evaluation stacks in the
+///    interpreter and the register VM, so they are modeled as a single C++
+///    exception type, MatlabError. They are always caught at the Session
+///    boundary and reported as diagnostics; they never escape the library.
+///
+///  - *Compile-time* failures (parse errors, unsupported constructs). These
+///    are reported through Diagnostics and signalled by Expected<T> returns.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAJIC_SUPPORT_ERROR_H
+#define MAJIC_SUPPORT_ERROR_H
+
+#include "support/SourceLoc.h"
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace majic {
+
+/// A MATLAB-level runtime error ("??? Undefined function or variable 'x'").
+///
+/// Thrown by the interpreter, the runtime library and the register VM;
+/// caught at the Session/Engine boundary.
+class MatlabError {
+public:
+  explicit MatlabError(std::string Message, SourceLoc Loc = SourceLoc())
+      : Message(std::move(Message)), Loc(Loc) {}
+
+  const std::string &message() const { return Message; }
+  SourceLoc loc() const { return Loc; }
+
+private:
+  std::string Message;
+  SourceLoc Loc;
+};
+
+/// Lightweight Expected: holds either a value or an error message.
+///
+/// Used on compile-time paths (parsing, inference setup) where failure is
+/// expected and must be propagated to the caller without exceptions.
+template <typename T> class Expected {
+public:
+  Expected(T Value) : Value(std::move(Value)) {}
+
+  /// Constructs a failure state carrying \p Message.
+  static Expected failure(std::string Message) {
+    Expected E;
+    E.Message = std::move(Message);
+    return E;
+  }
+
+  explicit operator bool() const { return Value.has_value(); }
+
+  T &operator*() {
+    assert(Value && "dereferencing failed Expected");
+    return *Value;
+  }
+  const T &operator*() const {
+    assert(Value && "dereferencing failed Expected");
+    return *Value;
+  }
+  T *operator->() {
+    assert(Value && "dereferencing failed Expected");
+    return &*Value;
+  }
+
+  /// The error message; only meaningful when in the failure state.
+  const std::string &error() const { return Message; }
+
+private:
+  Expected() = default;
+
+  std::optional<T> Value;
+  std::string Message;
+};
+
+/// Aborts with \p Message; marks code paths that indicate internal bugs.
+[[noreturn]] void reportUnreachable(const char *Message, const char *File,
+                                    unsigned Line);
+
+#define majic_unreachable(MSG) ::majic::reportUnreachable(MSG, __FILE__, __LINE__)
+
+} // namespace majic
+
+#endif // MAJIC_SUPPORT_ERROR_H

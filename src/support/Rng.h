@@ -1,0 +1,59 @@
+//===- support/Rng.h - Deterministic PRNG ----------------------*- C++ -*-===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic xorshift128+ PRNG. MATLAB's rand() must be reproducible
+/// across the interpreter and all compiled configurations so that results
+/// can be compared bit-for-bit in the soundness tests; both execution paths
+/// share one Rng instance owned by the runtime Context.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAJIC_SUPPORT_RNG_H
+#define MAJIC_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace majic {
+
+/// xorshift128+ with a splitmix64-seeded state.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull) { reseed(Seed); }
+
+  void reseed(uint64_t Seed) {
+    State[0] = splitmix64(Seed);
+    State[1] = splitmix64(State[0]);
+  }
+
+  uint64_t nextU64() {
+    uint64_t X = State[0];
+    const uint64_t Y = State[1];
+    State[0] = Y;
+    X ^= X << 23;
+    State[1] = X ^ Y ^ (X >> 17) ^ (Y >> 26);
+    return State[1] + Y;
+  }
+
+  /// Uniform double in [0, 1), 53-bit resolution (like MATLAB rand()).
+  double nextDouble() {
+    return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+  }
+
+private:
+  static uint64_t splitmix64(uint64_t X) {
+    X += 0x9e3779b97f4a7c15ull;
+    X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+    X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+    return X ^ (X >> 31);
+  }
+
+  uint64_t State[2];
+};
+
+} // namespace majic
+
+#endif // MAJIC_SUPPORT_RNG_H

@@ -1,0 +1,53 @@
+//===- support/SourceLoc.h - Source locations ------------------*- C++ -*-===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source locations and the source manager that owns file buffers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAJIC_SUPPORT_SOURCELOC_H
+#define MAJIC_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace majic {
+
+/// A (file, line, column) location. FileId 0 is reserved for "unknown".
+struct SourceLoc {
+  uint32_t FileId = 0;
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  bool isValid() const { return Line != 0; }
+};
+
+/// Owns source buffers and maps FileIds back to names.
+class SourceManager {
+public:
+  /// Registers a buffer under \p Name and returns its FileId (>= 1).
+  uint32_t addBuffer(std::string Name, std::string Contents);
+
+  const std::string &bufferName(uint32_t FileId) const;
+  const std::string &bufferContents(uint32_t FileId) const;
+  size_t numBuffers() const { return Files.size(); }
+
+  /// Renders \p Loc as "name:line:col" (or "<unknown>").
+  std::string describe(SourceLoc Loc) const;
+
+private:
+  struct File {
+    std::string Name;
+    std::string Contents;
+  };
+  std::vector<File> Files;
+};
+
+} // namespace majic
+
+#endif // MAJIC_SUPPORT_SOURCELOC_H

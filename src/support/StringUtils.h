@@ -1,0 +1,35 @@
+//===- support/StringUtils.h - Small string helpers ------------*- C++ -*-===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// printf-style formatting into std::string and small string predicates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAJIC_SUPPORT_STRINGUTILS_H
+#define MAJIC_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <vector>
+
+namespace majic {
+
+/// printf into a std::string.
+std::string format(const char *Fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Splits \p S on \p Sep, keeping empty fields.
+std::vector<std::string> splitString(const std::string &S, char Sep);
+
+/// True if \p S ends with \p Suffix.
+bool endsWith(const std::string &S, const std::string &Suffix);
+
+/// Renders a double the way the MATLAB "format short g" display would,
+/// trimming trailing zeros (used by disp/printing and golden tests).
+std::string formatDouble(double X);
+
+} // namespace majic
+
+#endif // MAJIC_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,87 @@
+//===- support/Timer.h - Wall-clock timing ---------------------*- C++ -*-===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock timers and the per-phase timing used to reproduce Figure 6
+/// (the composition of JIT execution time).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAJIC_SUPPORT_TIMER_H
+#define MAJIC_SUPPORT_TIMER_H
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+
+namespace majic {
+
+/// A simple monotonic stopwatch returning seconds.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  void reset() { Start = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// The compiler/executor phases whose times Figure 6 decomposes.
+enum class Phase : unsigned {
+  Parse,
+  Disambiguate,
+  TypeInference,
+  CodeGen,
+  Execute,
+  NumPhases
+};
+
+/// Accumulates wall-clock seconds per phase.
+class PhaseTimes {
+public:
+  void add(Phase P, double Seconds) {
+    Times[static_cast<size_t>(P)] += Seconds;
+  }
+  double get(Phase P) const { return Times[static_cast<size_t>(P)]; }
+  double total() const {
+    double Sum = 0;
+    for (double T : Times)
+      Sum += T;
+    return Sum;
+  }
+  void clear() { Times.fill(0.0); }
+
+  static const char *phaseName(Phase P);
+
+private:
+  std::array<double, static_cast<size_t>(Phase::NumPhases)> Times{};
+};
+
+/// RAII helper that adds its lifetime to a PhaseTimes bucket.
+class ScopedPhaseTimer {
+public:
+  ScopedPhaseTimer(PhaseTimes &PT, Phase P) : PT(PT), P(P) {}
+  ~ScopedPhaseTimer() { PT.add(P, T.seconds()); }
+
+  ScopedPhaseTimer(const ScopedPhaseTimer &) = delete;
+  ScopedPhaseTimer &operator=(const ScopedPhaseTimer &) = delete;
+
+private:
+  PhaseTimes &PT;
+  Phase P;
+  Timer T;
+};
+
+} // namespace majic
+
+#endif // MAJIC_SUPPORT_TIMER_H

@@ -1,0 +1,745 @@
+//===- tests/BackendTest.cpp - Compiled vs interpreted soundness ---------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The core soundness property: for every program, every compiled
+// configuration (JIT / optimized / generic / ablations / spill-everything)
+// produces bit-identical results and output to the interpreter.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Engine.h"
+
+#include "ast/Parser.h"
+#include "backend/Compiler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+using namespace majic;
+
+namespace {
+
+struct RunOutcome {
+  std::vector<Value> Results;
+  std::string Output;
+  bool Threw = false;
+  std::string ErrorMessage;
+};
+
+RunOutcome runWith(EngineOptions Opts, const std::string &Source,
+                   const std::string &Fn, std::vector<double> ScalarArgs,
+                   size_t NumOuts) {
+  Engine E(Opts);
+  EXPECT_TRUE(E.addSource(Fn, Source)) << E.diagnostics();
+  std::vector<ValuePtr> Args;
+  for (double A : ScalarArgs)
+    Args.push_back(makeValue(Value::intScalar(A)));
+  RunOutcome Out;
+  try {
+    std::vector<ValuePtr> Rs = E.callFunction(Fn, Args, NumOuts, SourceLoc());
+    for (const ValuePtr &R : Rs)
+      Out.Results.push_back(*R);
+  } catch (const MatlabError &Err) {
+    Out.Threw = true;
+    Out.ErrorMessage = Err.message();
+  }
+  Out.Output = E.context().output();
+  return Out;
+}
+
+void expectSameValue(const Value &A, const Value &B, const std::string &Cfg) {
+  ASSERT_EQ(A.rows(), B.rows()) << Cfg;
+  ASSERT_EQ(A.cols(), B.cols()) << Cfg;
+  ASSERT_EQ(A.isString(), B.isString()) << Cfg;
+  if (A.isString()) {
+    EXPECT_EQ(A.stringValue(), B.stringValue()) << Cfg;
+    return;
+  }
+  for (size_t I = 0, E = A.numel(); I != E; ++I) {
+    double AR = A.re(I), BR = B.re(I);
+    if (AR != AR) // NaN
+      EXPECT_NE(BR, BR) << Cfg << " elem " << I;
+    else
+      EXPECT_DOUBLE_EQ(AR, BR) << Cfg << " elem " << I;
+    EXPECT_DOUBLE_EQ(A.im(I), B.im(I)) << Cfg << " elem " << I;
+  }
+}
+
+/// Runs \p Source's function \p Fn under the interpreter and under every
+/// compiled configuration, asserting identical behavior.
+void checkSoundness(const std::string &Source, const std::string &Fn,
+                    std::vector<double> Args, size_t NumOuts = 1) {
+  EngineOptions Ref;
+  Ref.Policy = CompilePolicy::InterpretOnly;
+  RunOutcome Expected = runWith(Ref, Source, Fn, Args, NumOuts);
+
+  struct Config {
+    const char *Name;
+    EngineOptions Opts;
+  };
+  std::vector<Config> Configs;
+  {
+    EngineOptions O;
+    O.Policy = CompilePolicy::Jit;
+    Configs.push_back({"jit", O});
+  }
+  {
+    EngineOptions O;
+    O.Policy = CompilePolicy::Falcon;
+    Configs.push_back({"falcon(optimized)", O});
+  }
+  {
+    EngineOptions O;
+    O.Policy = CompilePolicy::Mcc;
+    Configs.push_back({"mcc(generic)", O});
+  }
+  {
+    EngineOptions O;
+    O.Policy = CompilePolicy::Speculative;
+    Configs.push_back({"speculative", O});
+  }
+  {
+    EngineOptions O;
+    O.Policy = CompilePolicy::Jit;
+    O.Infer.EnableRanges = false;
+    Configs.push_back({"jit-noranges", O});
+  }
+  {
+    EngineOptions O;
+    O.Policy = CompilePolicy::Jit;
+    O.Infer.EnableMinShapes = false;
+    Configs.push_back({"jit-nominshapes", O});
+  }
+  {
+    EngineOptions O;
+    O.Policy = CompilePolicy::Jit;
+    O.RegAlloc.SpillEverything = true;
+    Configs.push_back({"jit-spillall", O});
+  }
+  {
+    EngineOptions O;
+    O.Policy = CompilePolicy::Jit;
+    O.Platform = PlatformModel::mips();
+    Configs.push_back({"jit-mips", O});
+  }
+  {
+    EngineOptions O;
+    O.Policy = CompilePolicy::Falcon;
+    O.Platform = PlatformModel::mips();
+    Configs.push_back({"falcon-mips", O});
+  }
+  {
+    EngineOptions O;
+    O.Policy = CompilePolicy::Jit;
+    O.InlineCalls = false;
+    Configs.push_back({"jit-noinline", O});
+  }
+
+  for (const Config &C : Configs) {
+    RunOutcome Got = runWith(C.Opts, Source, Fn, Args, NumOuts);
+    EXPECT_EQ(Expected.Threw, Got.Threw)
+        << C.Name << ": " << Got.ErrorMessage;
+    if (Expected.Threw || Got.Threw)
+      continue;
+    ASSERT_EQ(Expected.Results.size(), Got.Results.size()) << C.Name;
+    for (size_t I = 0; I != Expected.Results.size(); ++I)
+      expectSameValue(Expected.Results[I], Got.Results[I],
+                      std::string(C.Name) + " result " + std::to_string(I));
+    EXPECT_EQ(Expected.Output, Got.Output) << C.Name;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Soundness across configurations
+//===----------------------------------------------------------------------===//
+
+TEST(Backend, ScalarArithmetic) {
+  checkSoundness("function y = f(a, b)\n"
+                 "y = (a + b) * 3 - a / b + a \\ b + 2^a - a^0.5;\n",
+                 "f", {4, 2});
+}
+
+TEST(Backend, ScalarLoopAccumulation) {
+  checkSoundness("function s = f(n)\ns = 0;\nfor k = 1:n\ns = s + k * k;\n"
+                 "end\n",
+                 "f", {100});
+}
+
+TEST(Backend, WhileLoopWithBreakContinue) {
+  checkSoundness("function s = f(n)\ns = 0;\nk = 0;\n"
+                 "while 1\nk = k + 1;\nif k > n\nbreak;\nend\n"
+                 "if mod(k, 2) == 0\ncontinue;\nend\ns = s + k;\nend\n",
+                 "f", {20});
+}
+
+TEST(Backend, NestedLoops2D) {
+  checkSoundness("function s = f(n)\nA = zeros(n, n);\n"
+                 "for i = 1:n\nfor j = 1:n\nA(i, j) = i * 10 + j;\nend\nend\n"
+                 "s = 0;\n"
+                 "for i = 1:n\nfor j = 1:n\ns = s + A(i, j);\nend\nend\n",
+                 "f", {15});
+}
+
+TEST(Backend, VectorGrowthInLoop) {
+  checkSoundness("function s = f(n)\nx = 0;\nfor k = 1:n\nx(k) = sqrt(k);\n"
+                 "end\ns = sum(x);\n",
+                 "f", {50});
+}
+
+TEST(Backend, ComplexScalarIteration) {
+  checkSoundness("function m = f(n)\nc = -0.4 + 0.6i;\nz = 0;\n"
+                 "for k = 1:n\nz = z * z + c;\nend\nm = abs(z);\n",
+                 "f", {12});
+}
+
+TEST(Backend, SmallVectorOps) {
+  checkSoundness("function s = f(n)\nv = [1 2 3];\n"
+                 "for k = 1:n\nv = [v(1) + 1, v(2) * 2, v(3) - 1];\nend\n"
+                 "s = v(1) + v(2) + v(3);\n",
+                 "f", {8});
+}
+
+TEST(Backend, MatrixLiteralAndConcat) {
+  checkSoundness("function s = f(a)\nM = [a a+1; a+2 a+3];\n"
+                 "N = [M; M];\ns = sum(sum(N));\n",
+                 "f", {3});
+}
+
+TEST(Backend, RangesAndColonIndexing) {
+  checkSoundness("function s = f(n)\nv = 1:n;\nw = v(2:2:end);\n"
+                 "s = sum(w) + numel(w);\n",
+                 "f", {17});
+}
+
+TEST(Backend, TwoDimColonAssignment) {
+  checkSoundness("function s = f(n)\nA = zeros(n, n);\n"
+                 "A(:, 2) = ones(n, 1) * 7;\nA(1, :) = 1:n;\n"
+                 "s = sum(A(:, 2)) + sum(A(1, :));\n",
+                 "f", {6});
+}
+
+TEST(Backend, BuiltinsMix) {
+  checkSoundness("function s = f(n)\nv = linspace(0, 1, n);\n"
+                 "s = max(v) + min(v) + mean(v) + norm(v) + sum(abs(v));\n",
+                 "f", {11});
+}
+
+TEST(Backend, MatrixSolveAndEig) {
+  checkSoundness("function s = f(n)\nA = eye(n) * 4;\n"
+                 "for i = 1:n-1\nA(i, i+1) = 1;\nA(i+1, i) = 1;\nend\n"
+                 "b = ones(n, 1);\nx = A \\ b;\ne = eig(A);\n"
+                 "s = sum(x) + sum(e);\n",
+                 "f", {8});
+}
+
+TEST(Backend, MatVecProducts) {
+  checkSoundness("function s = f(n)\nA = zeros(n, n);\n"
+                 "for i = 1:n\nfor j = 1:n\nA(i, j) = 1 / (i + j);\nend\nend\n"
+                 "x = ones(n, 1);\ny = A * x;\nz = A * y + 2 * x;\n"
+                 "s = norm(z);\n",
+                 "f", {10});
+}
+
+TEST(Backend, RecursionFibonacci) {
+  checkSoundness("function r = f(n)\nif n <= 1\nr = n;\nelse\n"
+                 "r = f(n - 1) + f(n - 2);\nend\n",
+                 "f", {12});
+}
+
+TEST(Backend, MutualCallsWithSubfunctions) {
+  checkSoundness("function r = f(n)\nr = helper(n) + helper(n + 1);\n"
+                 "function h = helper(x)\nh = x * x + inner(x);\n"
+                 "function v = inner(x)\nv = x + 1;\n",
+                 "f", {5});
+}
+
+TEST(Backend, MultipleOutputs) {
+  checkSoundness("function [a, b, c] = f(n)\nv = [3 1 2] * n;\n"
+                 "[a, b] = max(v);\nc = numel(v);\n",
+                 "f", {4}, 3);
+}
+
+TEST(Backend, EarlyReturn) {
+  checkSoundness("function r = f(n)\nr = -1;\nif n > 3\nreturn;\nend\n"
+                 "r = n * 2;\n",
+                 "f", {5});
+}
+
+TEST(Backend, StringsAndPrintf) {
+  checkSoundness("function r = f(n)\nfor k = 1:n\n"
+                 "fprintf('%d squared is %d\\n', k, k * k);\nend\n"
+                 "disp('done');\nr = n;\n",
+                 "f", {3});
+}
+
+TEST(Backend, ShortCircuitSemantics) {
+  // The right operand must not evaluate (it would divide by zero and
+  // print); both paths must agree.
+  checkSoundness("function r = f(n)\nr = 0;\n"
+                 "if n > 100 && probe(n) > 0\nr = 1;\nend\n"
+                 "if n > 0 || probe(n) > 0\nr = r + 2;\nend\n"
+                 "function p = probe(x)\nfprintf('probed\\n');\np = 1 / (x - x);\n",
+                 "f", {5});
+}
+
+TEST(Backend, RandStreamIdenticalAcrossPaths) {
+  checkSoundness("function s = f(n)\nA = rand(n, n);\nv = rand(1, n);\n"
+                 "s = sum(sum(A)) + sum(v) + rand;\n",
+                 "f", {7});
+}
+
+TEST(Backend, NegativeSqrtGoesComplex) {
+  checkSoundness("function s = f(n)\nx = sqrt(-n);\ns = imag(x);\n", "f", {9});
+}
+
+TEST(Backend, SubscriptErrorAgrees) {
+  checkSoundness("function r = f(n)\nv = zeros(n, 1);\nr = v(n + 1);\n", "f",
+                 {4});
+}
+
+TEST(Backend, UndefinedOutputErrorAgrees) {
+  checkSoundness("function r = f(n)\nif n > 100\nr = 1;\nend\n", "f", {3});
+}
+
+TEST(Backend, GrowMatrixTwoDim) {
+  checkSoundness("function s = f(n)\nA = 0;\nA(n, n) = 5;\n"
+                 "s = numel(A) + A(n, n) + A(1, 1);\n",
+                 "f", {7});
+}
+
+TEST(Backend, TransposeAndDot) {
+  checkSoundness("function s = f(n)\nv = (1:n)';\ns = v' * v + dot(v, v);\n",
+                 "f", {9});
+}
+
+TEST(Backend, LogicalIndexing) {
+  checkSoundness("function s = f(n)\nv = 1:n;\nm = v(v > 3);\n"
+                 "v(v < 3) = 0;\ns = sum(m) + sum(v);\n",
+                 "f", {10});
+}
+
+TEST(Backend, CallByValueThroughCompiledCode) {
+  checkSoundness("function s = f(n)\na = zeros(1, n);\nb = touch(a);\n"
+                 "s = sum(a) + b;\n"
+                 "function r = touch(v)\nv(1) = 99;\nr = v(1);\n",
+                 "f", {5});
+}
+
+TEST(Backend, ModRemFloorInLoop) {
+  checkSoundness("function s = f(n)\ns = 0;\nfor k = 1:n\n"
+                 "s = s + mod(k, 3) + rem(k, 4) + floor(k / 2) + "
+                 "ceil(k / 3);\nend\n",
+                 "f", {25});
+}
+
+TEST(Backend, DownwardAndFractionalRanges) {
+  checkSoundness("function s = f(n)\ns = 0;\nfor k = n:-1:1\ns = s + k;\nend\n"
+                 "for t = 0:0.25:1\ns = s + t;\nend\n",
+                 "f", {10});
+}
+
+TEST(Backend, TrigPipeline) {
+  checkSoundness("function s = f(n)\ns = 0;\nfor k = 1:n\n"
+                 "s = s + sin(k) * cos(k) + atan2(k, n) + exp(-k);\nend\n",
+                 "f", {15});
+}
+
+//===----------------------------------------------------------------------===//
+// Repository and policy behavior
+//===----------------------------------------------------------------------===//
+
+TEST(EngineRepo, JitCompilesOncePerSkeleton) {
+  EngineOptions O;
+  O.Policy = CompilePolicy::Jit;
+  Engine E(O);
+  ASSERT_TRUE(E.addSource(
+      "fib", "function r = fib(n)\nif n <= 1\nr = n;\nelse\n"
+             "r = fib(n - 1) + fib(n - 2);\nend\n"));
+  auto R = E.callFunction("fib", {makeValue(Value::intScalar(15))}, 1,
+                          SourceLoc());
+  EXPECT_DOUBLE_EQ(R[0]->scalarValue(), 610);
+  // One constant-specialized version plus one generalized version; the
+  // recursion must not compile one version per argument value.
+  const auto *Versions = E.repository().versions("fib");
+  ASSERT_NE(Versions, nullptr);
+  EXPECT_LE(Versions->size(), 2u);
+  EXPECT_LE(E.jitCompiles(), 2u);
+}
+
+TEST(EngineRepo, LocatorPrefersTighterSignature) {
+  EngineOptions O;
+  O.Policy = CompilePolicy::Jit;
+  Engine E(O);
+  ASSERT_TRUE(E.addSource("g", "function y = g(n)\ny = n + 1;\n"));
+  // Two versions coexist: a generic one and a batch-optimized one for an
+  // int-scalar invocation (Figure 3's multiple signatures).
+  ASSERT_TRUE(E.precompileGeneric("g", 1));
+  ASSERT_TRUE(E.precompileWithArgs("g", {makeValue(Value::intScalar(5))}));
+  const auto *Versions = E.repository().versions("g");
+  ASSERT_NE(Versions, nullptr);
+  EXPECT_EQ(Versions->size(), 2u);
+
+  // An int-scalar invocation picks the tighter (optimized) version...
+  TypeSignature IntSig({Type::ofValue(Value::intScalar(5))});
+  const CompiledObject *Hit = E.repository().lookup("g", IntSig);
+  ASSERT_NE(Hit, nullptr);
+  EXPECT_EQ(Hit->Mode, CodeGenMode::Optimized);
+  // ...a matrix invocation only matches the generic one.
+  TypeSignature MatSig({Type::ofValue(Value::zeros(2, 2))});
+  const CompiledObject *Generic = E.repository().lookup("g", MatSig);
+  ASSERT_NE(Generic, nullptr);
+  EXPECT_EQ(Generic->Mode, CodeGenMode::Generic);
+  // A repository hit means no further compilation.
+  auto Args = std::vector<ValuePtr>{makeValue(Value::intScalar(5))};
+  E.callFunction("g", Args, 1, SourceLoc());
+  EXPECT_EQ(E.jitCompiles(), 0u);
+}
+
+TEST(EngineRepo, SpeculativeHitAvoidsJit) {
+  EngineOptions O;
+  O.Policy = CompilePolicy::Speculative;
+  Engine E(O);
+  ASSERT_TRUE(E.addSource(
+      "sumto", "function s = sumto(n)\ns = 0;\nfor k = 1:n\ns = s + k;\nend\n"));
+  ASSERT_TRUE(E.precompileSpeculative("sumto"));
+  auto R = E.callFunction("sumto", {makeValue(Value::intScalar(100))}, 1,
+                          SourceLoc());
+  EXPECT_DOUBLE_EQ(R[0]->scalarValue(), 5050);
+  // The speculative version matched: no JIT compile happened.
+  EXPECT_EQ(E.jitCompiles(), 0u);
+}
+
+TEST(EngineRepo, SpeculativeMissFallsBackToJit) {
+  EngineOptions O;
+  O.Policy = CompilePolicy::Speculative;
+  Engine E(O);
+  // The speculator guesses n is an int scalar; invoking with a matrix is
+  // rejected by the signature check, and the JIT kicks in (Section 3.6).
+  ASSERT_TRUE(E.addSource(
+      "total", "function s = total(n)\ns = 0;\nfor k = 1:n\ns = s + k;\nend\n"));
+  ASSERT_TRUE(E.precompileSpeculative("total"));
+  Value M = Value::zeros(1, 3);
+  M.reRef(0) = 5; // colon uses the first element only
+  auto R = E.callFunction("total", {makeValue(std::move(M))}, 1, SourceLoc());
+  EXPECT_DOUBLE_EQ(R[0]->scalarValue(), 15);
+  EXPECT_GE(E.jitCompiles(), 1u);
+}
+
+TEST(EngineRepo, SnooperPicksUpSources) {
+  std::string Dir = ::testing::TempDir() + "/majic_snoop";
+  std::filesystem::create_directories(Dir);
+  {
+    std::ofstream F(Dir + "/twice.m");
+    F << "function y = twice(x)\ny = 2 * x;\n";
+  }
+  EngineOptions O;
+  O.Policy = CompilePolicy::Speculative;
+  Engine E(O);
+  E.watchDirectory(Dir);
+  EXPECT_EQ(E.snoop(), 1u);
+  EXPECT_TRUE(E.knowsFunction("twice"));
+  // The snooped function was speculatively compiled ahead of time.
+  EXPECT_GE(E.repository().totalObjects(), 1u);
+  auto R = E.callFunction("twice", {makeValue(Value::intScalar(21))}, 1,
+                          SourceLoc());
+  EXPECT_DOUBLE_EQ(R[0]->scalarValue(), 42);
+  // Unchanged files are not reported again.
+  EXPECT_EQ(E.snoop(), 0u);
+}
+
+TEST(EngineRepo, InteractiveWorkspacePersists) {
+  Engine E;
+  E.runScript("x = 10;");
+  E.runScript("y = x + 5;");
+  ValuePtr Y = E.workspaceVar("y");
+  ASSERT_NE(Y, nullptr);
+  EXPECT_DOUBLE_EQ(Y->scalarValue(), 15);
+  std::string Out = E.runScript("disp(y + 1)");
+  EXPECT_EQ(Out, "16\n");
+}
+
+TEST(EngineRepo, ScriptCallsCompiledFunctions) {
+  EngineOptions O;
+  O.Policy = CompilePolicy::Jit;
+  Engine E(O);
+  ASSERT_TRUE(E.addSource("sq", "function y = sq(x)\ny = x * x;\n"));
+  E.runScript("r = sq(9);");
+  EXPECT_DOUBLE_EQ(E.workspaceVar("r")->scalarValue(), 81);
+  EXPECT_GE(E.jitCompiles(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Engine boundary errors (parity between compiled and interpreted paths)
+//===----------------------------------------------------------------------===//
+
+TEST(EngineBoundary, TooManyInputsRejectedOnCompiledPath) {
+  EngineOptions O;
+  O.Policy = CompilePolicy::Jit;
+  Engine E(O);
+  ASSERT_TRUE(E.addSource("f", "function y = f(x)\ny = x;\n"));
+  try {
+    E.callFunction("f", {makeScalar(1), makeScalar(2)}, 1, SourceLoc());
+    FAIL() << "expected MatlabError";
+  } catch (const MatlabError &Err) {
+    EXPECT_NE(Err.message().find("too many input arguments"),
+              std::string::npos);
+  }
+}
+
+TEST(EngineBoundary, TooManyOutputsRejected) {
+  EngineOptions O;
+  O.Policy = CompilePolicy::Jit;
+  Engine E(O);
+  ASSERT_TRUE(E.addSource("f", "function y = f(x)\ny = x;\n"));
+  try {
+    E.callFunction("f", {makeScalar(1)}, 3, SourceLoc());
+    FAIL() << "expected MatlabError";
+  } catch (const MatlabError &Err) {
+    EXPECT_NE(Err.message().find("too many output arguments"),
+              std::string::npos);
+  }
+}
+
+TEST(EngineBoundary, BadFileDoesNotPoisonLaterLoads) {
+  Engine E;
+  EXPECT_FALSE(E.addSource("bad", "function y = bad(\n"));
+  // A later, valid file must still load and run.
+  ASSERT_TRUE(E.addSource("good", "function y = good(x)\ny = x + 1;\n"));
+  auto R = E.callFunction("good", {makeScalar(4)}, 1, SourceLoc());
+  EXPECT_DOUBLE_EQ(R[0]->scalarValue(), 5);
+}
+
+TEST(EngineBoundary, ZeroOutputFunctionCallableAsStatement) {
+  // MATLAB allows statement calls to functions that return nothing; both
+  // execution paths must too.
+  std::string Src = "function r = main(n)\nshout(n);\nr = n;\n"
+                    "function shout(x)\nfprintf('x=%d\\n', x);\n";
+  for (CompilePolicy Pol :
+       {CompilePolicy::InterpretOnly, CompilePolicy::Jit}) {
+    EngineOptions O;
+    O.Policy = Pol;
+    O.InlineCalls = false; // keep the call visible to the call machinery
+    Engine E(O);
+    ASSERT_TRUE(E.addSource("main", Src));
+    auto R = E.callFunction("main", {makeValue(Value::intScalar(7))}, 1,
+                            SourceLoc());
+    EXPECT_DOUBLE_EQ(R[0]->scalarValue(), 7) << compilePolicyName(Pol);
+    EXPECT_EQ(E.context().output(), "x=7\n") << compilePolicyName(Pol);
+    // The *displayed* form (no semicolon) also runs, printing the callee's
+    // own output but no "ans =" since nothing is returned.
+    E.context().clearOutput();
+    std::string Out = E.runScript("shout(3)\n");
+    EXPECT_EQ(Out, "x=3\n") << compilePolicyName(Pol);
+  }
+}
+
+TEST(EngineBoundary, RunawayRecursionGuarded) {
+  Engine E;
+  ASSERT_TRUE(E.addSource("spin", "function y = spin(n)\ny = spin(n + 1);\n"));
+  try {
+    E.callFunction("spin", {makeScalar(1)}, 1, SourceLoc());
+    FAIL() << "expected MatlabError";
+  } catch (const MatlabError &Err) {
+    EXPECT_NE(Err.message().find("recursion depth"), std::string::npos);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Deoptimization (optimistic real-domain math guards)
+//===----------------------------------------------------------------------===//
+
+TEST(Deopt, GuardFailureRecompilesAndMatchesInterpreter) {
+  // sqrt of a data-dependent negative: optimistic code deopts, the retry
+  // produces the interpreter's complex result.
+  checkSoundness("function s = f(n)\nx = 5 - n;\ny = sqrt(x);\n"
+                 "s = real(y) + 2 * imag(y);\n",
+                 "f", {9});
+}
+
+TEST(Deopt, CounterAndReplacementVersion) {
+  EngineOptions O;
+  O.Policy = CompilePolicy::Jit;
+  Engine E(O);
+  // cos(n)*3 - 2 has the static range [-5, 1]: the sign is unknown at
+  // compile time, so sqrt is compiled optimistically real with a guard.
+  ASSERT_TRUE(E.addSource(
+      "g", "function s = g(n)\nx = cos(n) * 3 - 2;\ny = sqrt(x);\n"
+           "s = imag(y);\n"));
+  auto R = E.callFunction("g", {makeValue(Value::intScalar(9))}, 1,
+                          SourceLoc());
+  double Expected = std::sqrt(-(std::cos(9.0) * 3 - 2)); // arg is negative
+  EXPECT_NEAR(R[0]->scalarValue(), Expected, 1e-12);
+  EXPECT_EQ(E.deoptimizations(), 1u);
+  // The pessimistic replacement handles later calls without deopting.
+  auto R2 = E.callFunction("g", {makeValue(Value::intScalar(9))}, 1,
+                           SourceLoc());
+  EXPECT_NEAR(R2[0]->scalarValue(), Expected, 1e-12);
+  EXPECT_EQ(E.deoptimizations(), 1u);
+}
+
+TEST(Deopt, NoDeoptWhenGuardsHold) {
+  EngineOptions O;
+  O.Policy = CompilePolicy::Jit;
+  Engine E(O);
+  ASSERT_TRUE(E.addSource(
+      "h", "function s = h(n)\ns = 0;\nfor k = 1:n\ns = s + sqrt(s + "
+           "k);\nend\n"));
+  auto R = E.callFunction("h", {makeValue(Value::intScalar(50))}, 1,
+                          SourceLoc());
+  EXPECT_GT(R[0]->scalarValue(), 0);
+  EXPECT_EQ(E.deoptimizations(), 0u);
+}
+
+TEST(Deopt, OutputAndRandRolledBackOnRetry) {
+  // The failed optimistic attempt prints and draws random numbers before
+  // tripping the guard; the retry must not duplicate either.
+  std::string Src = "function s = f(n)\nfprintf('once\\n');\nr = rand;\n"
+                    "y = sqrt(3 - n);\ns = r + imag(y);\n";
+  EngineOptions Interp;
+  Interp.Policy = CompilePolicy::InterpretOnly;
+  RunOutcome Ref = runWith(Interp, Src, "f", {7}, 1);
+  EngineOptions Jit;
+  Jit.Policy = CompilePolicy::Jit;
+  RunOutcome Got = runWith(Jit, Src, "f", {7}, 1);
+  ASSERT_FALSE(Got.Threw) << Got.ErrorMessage;
+  EXPECT_EQ(Ref.Output, Got.Output);
+  EXPECT_DOUBLE_EQ(Ref.Results[0].re(0), Got.Results[0].re(0));
+}
+
+//===----------------------------------------------------------------------===//
+// Performance-shape sanity (not timing: instruction counts)
+//===----------------------------------------------------------------------===//
+
+TEST(BackendPerf, CheckRemovalChangesEmittedOpcodes) {
+  // With range propagation the loop accesses compile to unchecked element
+  // ops; without it every access carries the subscript check (Figure 7's
+  // "no ranges" mechanism, observed structurally in the IR).
+  std::string Src = "function s = f(n)\nA = zeros(n, 1);\n"
+                    "for k = 1:n\nA(k) = k;\nend\n"
+                    "s = 0;\nfor k = 1:n\ns = s + A(k);\nend\n";
+  SourceManager SM;
+  Diagnostics Diags;
+  auto Mod = parseModule("f", Src, SM, Diags);
+  ASSERT_NE(Mod, nullptr);
+  auto Info = disambiguate(*Mod->mainFunction(), *Mod);
+  TypeSignature Sig({Type::ofValue(Value::intScalar(64))});
+
+  auto CountOps = [&](bool Ranges, Opcode Op) {
+    CompileRequest Req;
+    Req.FI = Info.get();
+    Req.Sig = Sig;
+    Req.Infer.EnableRanges = Ranges;
+    auto R = compileFunction(Req);
+    EXPECT_TRUE(R.has_value());
+    unsigned N = 0;
+    for (const Instr &In : R->Code->Code)
+      N += In.Op == Op;
+    return N;
+  };
+
+  // Ranges on: unchecked loads and stores, no checked ones.
+  EXPECT_GT(CountOps(true, Opcode::LoadEl), 0u);
+  EXPECT_EQ(CountOps(true, Opcode::LoadElChk), 0u);
+  EXPECT_GT(CountOps(true, Opcode::StoreEl), 0u);
+  // Ranges off: every access is checked.
+  EXPECT_EQ(CountOps(false, Opcode::LoadEl), 0u);
+  EXPECT_GT(CountOps(false, Opcode::LoadElChk), 0u);
+  EXPECT_GT(CountOps(false, Opcode::StoreElChk), 0u);
+}
+
+TEST(BackendPerf, SpillEverythingExecutesMoreInstructions) {
+  std::string Src = "function s = f(n)\ns = 0;\nfor k = 1:n\n"
+                    "s = s + k * 2 - 1;\nend\n";
+  EngineOptions Normal;
+  Normal.Policy = CompilePolicy::Jit;
+  EngineOptions SpillAll = Normal;
+  SpillAll.RegAlloc.SpillEverything = true;
+
+  uint64_t InstrNormal, InstrSpill;
+  {
+    Engine E(Normal);
+    E.addSource("f", Src);
+    E.callFunction("f", {makeValue(Value::intScalar(1000))}, 1, SourceLoc());
+    InstrNormal = E.vmInstructions();
+  }
+  {
+    Engine E(SpillAll);
+    E.addSource("f", Src);
+    E.callFunction("f", {makeValue(Value::intScalar(1000))}, 1, SourceLoc());
+    InstrSpill = E.vmInstructions();
+  }
+  EXPECT_LT(InstrNormal, InstrSpill);
+  EXPECT_GT(static_cast<double>(InstrSpill) / InstrNormal, 1.5);
+}
+
+TEST(BackendPerf, OptimizerShrinksLoopWork) {
+  std::string Src = "function s = f(n)\ns = 0;\nfor k = 1:n\n"
+                    "s = s + k * 3.5 + 2 * 7 + sin(0.5);\nend\n";
+  EngineOptions Jit;
+  Jit.Policy = CompilePolicy::Jit;
+  EngineOptions Opt;
+  Opt.Policy = CompilePolicy::Falcon;
+
+  uint64_t InstrJit, InstrOpt;
+  {
+    Engine E(Jit);
+    E.addSource("f", Src);
+    E.callFunction("f", {makeValue(Value::intScalar(2000))}, 1, SourceLoc());
+    InstrJit = E.vmInstructions();
+  }
+  {
+    Engine E(Opt);
+    E.addSource("f", Src);
+    E.callFunction("f", {makeValue(Value::intScalar(2000))}, 1, SourceLoc());
+    InstrOpt = E.vmInstructions();
+  }
+  // Constant folding + LICM + unrolling must cut dispatched instructions.
+  EXPECT_LT(InstrOpt, InstrJit);
+}
+
+TEST(BackendPerf, GenericModeExecutesFarMoreWork) {
+  std::string Src = "function s = f(n)\ns = 0;\nfor k = 1:n\n"
+                    "s = s + k * k;\nend\n";
+  uint64_t InstrJit;
+  {
+    EngineOptions O;
+    O.Policy = CompilePolicy::Jit;
+    Engine E(O);
+    E.addSource("f", Src);
+    E.callFunction("f", {makeValue(Value::intScalar(500))}, 1, SourceLoc());
+    InstrJit = E.vmInstructions();
+  }
+  // mcc-style code runs boxed ops; in our VM that is fewer dispatched
+  // instructions but each is a heavyweight runtime call. Time it instead:
+  // JIT must beat generic by a healthy factor on scalar loops.
+  EngineOptions JO;
+  JO.Policy = CompilePolicy::Jit;
+  Engine EJ(JO);
+  EJ.addSource("f", Src);
+  EngineOptions GO;
+  GO.Policy = CompilePolicy::Mcc;
+  Engine EG(GO);
+  EG.addSource("f", Src);
+  EG.precompileGeneric("f", 1);
+
+  auto Arg = [&] { return std::vector<ValuePtr>{makeValue(Value::intScalar(200000))}; };
+  // Warm both.
+  EJ.callFunction("f", Arg(), 1, SourceLoc());
+  EG.callFunction("f", Arg(), 1, SourceLoc());
+  Timer TJ;
+  EJ.callFunction("f", Arg(), 1, SourceLoc());
+  double JitSec = TJ.seconds();
+  Timer TG;
+  EG.callFunction("f", Arg(), 1, SourceLoc());
+  double GenSec = TG.seconds();
+  EXPECT_LT(JitSec * 2, GenSec) << "jit=" << JitSec << " gen=" << GenSec;
+  (void)InstrJit;
+}
+
+} // namespace

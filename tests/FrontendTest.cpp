@@ -1,0 +1,420 @@
+//===- tests/FrontendTest.cpp - Lexer, parser, CFG, disambiguation -----------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Disambiguate.h"
+#include "ast/ASTPrinter.h"
+#include "ast/ASTVisit.h"
+#include "ast/Lexer.h"
+#include "ast/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace majic;
+
+namespace {
+
+std::vector<Token> lexOk(const std::string &Src) {
+  SourceManager SM;
+  Diagnostics Diags;
+  uint32_t Id = SM.addBuffer("t.m", Src);
+  auto Toks = lex(SM.bufferContents(Id), Id, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.render(SM);
+  return Toks;
+}
+
+std::unique_ptr<Module> parseOk(const std::string &Src) {
+  SourceManager SM;
+  Diagnostics Diags;
+  auto M = parseModule("t", Src, SM, Diags);
+  EXPECT_TRUE(M != nullptr) << Diags.render(SM);
+  return M;
+}
+
+/// Finds the first IdentExpr named \p Name in \p F and returns its kind.
+SymKind kindOf(Function &F, const std::string &Name) {
+  SymKind K = SymKind::Unresolved;
+  bool Found = false;
+  visitStmts(F.body(), [&](const Stmt *S) {
+    visitStmtExprs(S, [&](Expr *E) {
+      visitExpr(E, [&](Expr *Node) {
+        if (auto *Id = dyn_cast<IdentExpr>(Node))
+          if (!Found && Id->name() == Name) {
+            K = Id->symKind();
+            Found = true;
+          }
+      });
+    });
+  });
+  return K;
+}
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+TEST(Lexer, NumbersAndSuffixes) {
+  auto T = lexOk("3 3.5 1e3 2.5e-2 4i 7j");
+  ASSERT_GE(T.size(), 7u);
+  EXPECT_DOUBLE_EQ(T[0].NumValue, 3);
+  EXPECT_DOUBLE_EQ(T[1].NumValue, 3.5);
+  EXPECT_DOUBLE_EQ(T[2].NumValue, 1000);
+  EXPECT_DOUBLE_EQ(T[3].NumValue, 0.025);
+  EXPECT_TRUE(T[4].IsImaginary);
+  EXPECT_TRUE(T[5].IsImaginary);
+}
+
+TEST(Lexer, QuoteDisambiguation) {
+  // After an identifier, ' is transpose; at expression start, a string.
+  auto T = lexOk("x' + 'abc'");
+  EXPECT_EQ(T[0].Kind, TokKind::Identifier);
+  EXPECT_EQ(T[1].Kind, TokKind::Quote);
+  EXPECT_EQ(T[2].Kind, TokKind::Plus);
+  EXPECT_EQ(T[3].Kind, TokKind::String);
+  EXPECT_EQ(T[3].Text, "abc");
+}
+
+TEST(Lexer, EscapedQuoteInString) {
+  auto T = lexOk("'don''t'");
+  EXPECT_EQ(T[0].Kind, TokKind::String);
+  EXPECT_EQ(T[0].Text, "don't");
+}
+
+TEST(Lexer, CommentsAndContinuation) {
+  auto T = lexOk("a = 1 % comment\nb = a ... continued\n + 2\n");
+  // No token from the comment; the continuation swallows the newline.
+  size_t Newlines = 0;
+  for (const Token &Tok : T)
+    if (Tok.Kind == TokKind::Newline)
+      ++Newlines;
+  EXPECT_EQ(Newlines, 2u);
+}
+
+TEST(Lexer, DotOperators) {
+  auto T = lexOk("a .* b ./ c .^ d .' e");
+  EXPECT_EQ(T[1].Kind, TokKind::DotStar);
+  EXPECT_EQ(T[3].Kind, TokKind::DotSlash);
+  EXPECT_EQ(T[5].Kind, TokKind::DotCaret);
+  EXPECT_EQ(T[7].Kind, TokKind::DotQuote);
+}
+
+TEST(Lexer, NumberDotDoesNotEatElementwiseOps) {
+  // "3.*x" must lex as 3 .* x (MATLAB semantics), not "3." "*" "x".
+  auto T = lexOk("3.*x");
+  EXPECT_EQ(T[0].Kind, TokKind::Number);
+  EXPECT_EQ(T[1].Kind, TokKind::DotStar);
+}
+
+TEST(Lexer, SpaceBeforeTracking) {
+  auto T = lexOk("[1 -2]");
+  // Tokens: [ 1 - 2 ]
+  EXPECT_EQ(T[2].Kind, TokKind::Minus);
+  EXPECT_TRUE(T[2].SpaceBefore);
+  EXPECT_FALSE(T[3].SpaceBefore);
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+TEST(Parser, ScriptAndFunctionModules) {
+  auto Script = parseOk("x = 1;\ny = x + 2;\n");
+  EXPECT_TRUE(Script->mainFunction()->isScript());
+
+  auto Fn = parseOk("function y = f(x)\ny = x * 2;\n");
+  EXPECT_FALSE(Fn->mainFunction()->isScript());
+  EXPECT_EQ(Fn->mainFunction()->name(), "f");
+  ASSERT_EQ(Fn->mainFunction()->params().size(), 1u);
+  EXPECT_EQ(Fn->mainFunction()->outs().size(), 1u);
+}
+
+TEST(Parser, Subfunctions) {
+  auto M = parseOk("function y = main(x)\ny = helper(x);\n"
+                   "function z = helper(w)\nz = w + 1;\n");
+  EXPECT_EQ(M->functions().size(), 2u);
+  EXPECT_NE(M->findFunction("helper"), nullptr);
+  EXPECT_EQ(M->findFunction("nope"), nullptr);
+}
+
+TEST(Parser, MultiOutputHeader) {
+  auto M = parseOk("function [a, b] = f(x, y)\na = x;\nb = y;\n");
+  EXPECT_EQ(M->mainFunction()->outs().size(), 2u);
+  EXPECT_EQ(M->mainFunction()->params().size(), 2u);
+}
+
+TEST(Parser, PrecedenceColonVsArithmetic) {
+  // 1:n-1 parses as 1:(n-1).
+  auto M = parseOk("x = 1:n-1;");
+  const auto *A = cast<AssignStmt>(M->mainFunction()->body().front());
+  const auto *R = dyn_cast<RangeExpr>(A->rhs());
+  ASSERT_NE(R, nullptr);
+  EXPECT_EQ(R->hi()->getKind(), Expr::Kind::Binary);
+}
+
+TEST(Parser, PowerBindsTighterThanUnaryMinus) {
+  // -2^2 is -(2^2).
+  auto M = parseOk("x = -2^2;");
+  const auto *A = cast<AssignStmt>(M->mainFunction()->body().front());
+  EXPECT_EQ(A->rhs()->getKind(), Expr::Kind::Unary);
+}
+
+TEST(Parser, MatrixSpaceSeparation) {
+  // [1 -2] has two elements; [1 - 2] has one.
+  auto M1 = parseOk("x = [1 -2];");
+  const auto *A1 = cast<AssignStmt>(M1->mainFunction()->body().front());
+  EXPECT_EQ(cast<MatrixExpr>(A1->rhs())->rows().front().size(), 2u);
+
+  auto M2 = parseOk("x = [1 - 2];");
+  const auto *A2 = cast<AssignStmt>(M2->mainFunction()->body().front());
+  EXPECT_EQ(cast<MatrixExpr>(A2->rhs())->rows().front().size(), 1u);
+
+  auto M3 = parseOk("x = [1-2];");
+  const auto *A3 = cast<AssignStmt>(M3->mainFunction()->body().front());
+  EXPECT_EQ(cast<MatrixExpr>(A3->rhs())->rows().front().size(), 1u);
+}
+
+TEST(Parser, MatrixRowsBySemiAndNewline) {
+  auto M = parseOk("x = [1 2; 3 4];\ny = [1 2\n3 4];");
+  const auto *A = cast<AssignStmt>(M->mainFunction()->body()[0]);
+  EXPECT_EQ(cast<MatrixExpr>(A->rhs())->rows().size(), 2u);
+  const auto *B = cast<AssignStmt>(M->mainFunction()->body()[1]);
+  EXPECT_EQ(cast<MatrixExpr>(B->rhs())->rows().size(), 2u);
+}
+
+TEST(Parser, IfElseifElseChain) {
+  auto M = parseOk("if a < 1\nx = 1;\nelseif a < 2\nx = 2;\nelse\nx = 3;\nend\n");
+  const auto *If = cast<IfStmt>(M->mainFunction()->body().front());
+  EXPECT_EQ(If->branches().size(), 2u);
+  EXPECT_EQ(If->elseBlock().size(), 1u);
+}
+
+TEST(Parser, LoopsAndControl) {
+  auto M = parseOk("for k = 1:10\nif k > 5, break; end\nend\n"
+                   "while x > 0\nx = x - 1;\nif x == 2, continue; end\nend\n");
+  EXPECT_EQ(M->mainFunction()->body().size(), 2u);
+  EXPECT_EQ(M->mainFunction()->body()[0]->getKind(), Stmt::Kind::For);
+  EXPECT_EQ(M->mainFunction()->body()[1]->getKind(), Stmt::Kind::While);
+}
+
+TEST(Parser, IndexingWithColonAndEnd) {
+  auto M = parseOk("y = A(2:end, :);");
+  const auto *A = cast<AssignStmt>(M->mainFunction()->body().front());
+  const auto *IC = cast<IndexOrCallExpr>(A->rhs());
+  ASSERT_EQ(IC->args().size(), 2u);
+  EXPECT_EQ(IC->args()[1]->getKind(), Expr::Kind::ColonWildcard);
+  const auto *R = cast<RangeExpr>(IC->args()[0]);
+  EXPECT_EQ(R->hi()->getKind(), Expr::Kind::EndRef);
+}
+
+TEST(Parser, MultiAssignment) {
+  auto M = parseOk("[m, n] = size(A);");
+  const auto *A = cast<AssignStmt>(M->mainFunction()->body().front());
+  EXPECT_TRUE(A->isMulti());
+  EXPECT_EQ(A->targets()[0].Name, "m");
+  EXPECT_EQ(A->targets()[1].Name, "n");
+}
+
+TEST(Parser, IndexedAssignment) {
+  auto M = parseOk("A(i, j) = 5;");
+  const auto *A = cast<AssignStmt>(M->mainFunction()->body().front());
+  EXPECT_TRUE(A->targets().front().HasParens);
+  EXPECT_EQ(A->targets().front().Indices.size(), 2u);
+}
+
+TEST(Parser, DisplaySuppression) {
+  auto M = parseOk("x = 1\ny = 2;\n");
+  EXPECT_TRUE(cast<AssignStmt>(M->mainFunction()->body()[0])->displays());
+  EXPECT_FALSE(cast<AssignStmt>(M->mainFunction()->body()[1])->displays());
+}
+
+TEST(Parser, ShortCircuitOperators) {
+  auto M = parseOk("x = a > 0 && b < 2 || c == 1;");
+  const auto *A = cast<AssignStmt>(M->mainFunction()->body().front());
+  const auto *Or = dyn_cast<ShortCircuitExpr>(A->rhs());
+  ASSERT_NE(Or, nullptr);
+  EXPECT_FALSE(Or->isAnd());
+}
+
+TEST(Parser, ParseErrorReported) {
+  SourceManager SM;
+  Diagnostics Diags;
+  auto M = parseModule("t", "x = (1 + ;\n", SM, Diags);
+  EXPECT_EQ(M, nullptr);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Parser, RoundTripThroughPrinter) {
+  std::string Src = "function y = f(x)\n"
+                    "z = [1, 2; 3, 4];\n"
+                    "for k = 1:10\n"
+                    "z(k) = x * k;\n"
+                    "end\n"
+                    "y = sum(z);\n";
+  auto M1 = parseOk(Src);
+  std::string Printed = printFunction(*M1->mainFunction());
+  auto M2 = parseOk(Printed);
+  // Printing the reparse of the print is a fixpoint.
+  EXPECT_EQ(printFunction(*M2->mainFunction()), Printed);
+}
+
+//===----------------------------------------------------------------------===//
+// CFG
+//===----------------------------------------------------------------------===//
+
+TEST(Cfg, StraightLineIsTwoBlocks) {
+  auto M = parseOk("x = 1;\ny = 2;\n");
+  auto G = buildCFG(*M->mainFunction());
+  // Entry (with both stmts) and exit.
+  EXPECT_EQ(G->entry()->elements().size(), 2u);
+  EXPECT_EQ(G->entry()->termKind(), BasicBlock::TermKind::Return);
+}
+
+TEST(Cfg, IfProducesDiamond) {
+  auto M = parseOk("if c\nx = 1;\nelse\nx = 2;\nend\ny = x;\n");
+  auto G = buildCFG(*M->mainFunction());
+  EXPECT_EQ(G->entry()->termKind(), BasicBlock::TermKind::CondBranch);
+  auto RPO = G->reversePostOrder();
+  // entry, then/else, join, exit all reachable.
+  EXPECT_GE(RPO.size(), 5u);
+}
+
+TEST(Cfg, WhileHasBackEdge) {
+  auto M = parseOk("while c\nx = x + 1;\nend\n");
+  auto G = buildCFG(*M->mainFunction());
+  // Find the loop header: a CondBranch block with 2+ preds.
+  bool FoundHeader = false;
+  for (const auto &B : G->blocks())
+    if (B->termKind() == BasicBlock::TermKind::CondBranch &&
+        B->preds().size() >= 2)
+      FoundHeader = true;
+  EXPECT_TRUE(FoundHeader);
+}
+
+TEST(Cfg, ForLoweringHasInitStepAndLoopTerm) {
+  auto M = parseOk("for k = 1:10\nx = k;\nend\n");
+  auto G = buildCFG(*M->mainFunction());
+  bool HasInit = false, HasStep = false, HasForTerm = false;
+  for (const auto &B : G->blocks()) {
+    for (const auto &E : B->elements()) {
+      HasInit |= E.K == BasicBlock::Element::Kind::ForInit;
+      HasStep |= E.K == BasicBlock::Element::Kind::ForStep;
+    }
+    HasForTerm |= B->termKind() == BasicBlock::TermKind::ForLoop;
+  }
+  EXPECT_TRUE(HasInit);
+  EXPECT_TRUE(HasStep);
+  EXPECT_TRUE(HasForTerm);
+}
+
+TEST(Cfg, BreakJumpsToExitOfLoop) {
+  auto M = parseOk("for k = 1:10\nif k > 2\nbreak;\nend\nend\nx = 1;\n");
+  auto G = buildCFG(*M->mainFunction());
+  // All blocks reachable; the structure converged without errors.
+  EXPECT_GE(G->reversePostOrder().size(), 5u);
+}
+
+//===----------------------------------------------------------------------===//
+// Disambiguation (Section 2.1, Figure 2)
+//===----------------------------------------------------------------------===//
+
+TEST(Disambiguate, ParamsAreVariables) {
+  auto M = parseOk("function y = f(x)\ny = x + 1;\n");
+  auto Info = disambiguate(*M->mainFunction(), *M);
+  EXPECT_EQ(kindOf(*M->mainFunction(), "x"), SymKind::Variable);
+  EXPECT_FALSE(Info->HasAmbiguousSymbols);
+}
+
+TEST(Disambiguate, UnassignedNameIsBuiltin) {
+  auto M = parseOk("function y = f(x)\ny = sqrt(x) + pi;\n");
+  disambiguate(*M->mainFunction(), *M);
+  EXPECT_EQ(kindOf(*M->mainFunction(), "sqrt"), SymKind::Builtin);
+  EXPECT_EQ(kindOf(*M->mainFunction(), "pi"), SymKind::Builtin);
+}
+
+TEST(Disambiguate, UnknownNameIsUserFunction) {
+  auto M = parseOk("function y = f(x)\ny = mystery(x);\n");
+  auto Info = disambiguate(*M->mainFunction(), *M);
+  EXPECT_EQ(kindOf(*M->mainFunction(), "mystery"), SymKind::UserFunction);
+  ASSERT_EQ(Info->Callees.size(), 1u);
+  EXPECT_EQ(Info->Callees.front(), "mystery");
+}
+
+TEST(Disambiguate, SubfunctionBeatsBuiltin) {
+  auto M = parseOk("function y = f(x)\ny = sum(x);\n"
+                   "function s = sum(v)\ns = 0;\n");
+  disambiguate(*M->mainFunction(), *M);
+  EXPECT_EQ(kindOf(*M->mainFunction(), "sum"), SymKind::UserFunction);
+}
+
+TEST(Disambiguate, Figure2LeftAmbiguousI) {
+  // Figure 2 left: the first read of i is sqrt(-1) on iteration one and a
+  // variable afterwards -> ambiguous.
+  auto M = parseOk("clear\nwhile x < 10\nz = i;\ni = z + 1;\nend\n");
+  auto Info = disambiguate(*M->mainFunction(), *M);
+  EXPECT_EQ(kindOf(*M->mainFunction(), "i"), SymKind::Ambiguous);
+  EXPECT_TRUE(Info->HasAmbiguousSymbols);
+}
+
+TEST(Disambiguate, Figure2RightGuardedUseIsAmbiguous) {
+  // Figure 2 right: y is only defined after iteration one; static analysis
+  // must classify the guarded read as ambiguous (deferred to runtime).
+  auto M = parseOk("x = 0;\nfor p = 1:N\nif p >= 2\nx = y;\nend\ny = p;\nend\n");
+  auto Info = disambiguate(*M->mainFunction(), *M);
+  EXPECT_EQ(kindOf(*M->mainFunction(), "y"), SymKind::Ambiguous);
+  EXPECT_TRUE(Info->HasAmbiguousSymbols);
+}
+
+TEST(Disambiguate, SequentialDefinitionIsVariable) {
+  auto M = parseOk("y = 3;\nx = y + 1;\n");
+  auto Info = disambiguate(*M->mainFunction(), *M);
+  EXPECT_EQ(kindOf(*M->mainFunction(), "y"), SymKind::Variable);
+  EXPECT_FALSE(Info->HasAmbiguousSymbols);
+}
+
+TEST(Disambiguate, DefinedInBothBranchesIsVariable) {
+  auto M = parseOk("if c\nx = 1;\nelse\nx = 2;\nend\ny = x;\n");
+  disambiguate(*M->mainFunction(), *M);
+  // The read of x after the if sees a definition on all paths.
+  bool FoundRead = false;
+  visitStmts(M->mainFunction()->body(), [&](const Stmt *S) {
+    if (const auto *A = dyn_cast<AssignStmt>(S)) {
+      if (A->targets().front().Name == "y") {
+        const auto *Id = cast<IdentExpr>(A->rhs());
+        EXPECT_EQ(Id->symKind(), SymKind::Variable);
+        FoundRead = true;
+      }
+    }
+  });
+  EXPECT_TRUE(FoundRead);
+}
+
+TEST(Disambiguate, DefinedInOneBranchIsAmbiguous) {
+  auto M = parseOk("if c\nx = 1;\nend\ny = x;\n");
+  auto Info = disambiguate(*M->mainFunction(), *M);
+  EXPECT_TRUE(Info->HasAmbiguousSymbols);
+}
+
+TEST(Disambiguate, ClearKillsDefiniteness) {
+  auto M = parseOk("x = 1;\nclear\ny = x;\n");
+  auto Info = disambiguate(*M->mainFunction(), *M);
+  // After clear, reading x is no longer definitely a variable.
+  EXPECT_TRUE(Info->HasAmbiguousSymbols);
+}
+
+TEST(Disambiguate, LoopVariableIsVariableInBody) {
+  auto M = parseOk("for k = 1:3\nx = k;\nend\n");
+  disambiguate(*M->mainFunction(), *M);
+  EXPECT_EQ(kindOf(*M->mainFunction(), "k"), SymKind::Variable);
+}
+
+TEST(Disambiguate, SlotsAssigned) {
+  auto M = parseOk("function y = f(a, b)\nc = a + b;\ny = c;\n");
+  auto Info = disambiguate(*M->mainFunction(), *M);
+  EXPECT_EQ(M->mainFunction()->numSlots(), 4u); // a b y c
+  EXPECT_GE(Info->Symbols.lookup("c"), 0);
+  EXPECT_EQ(Info->Symbols.lookup("nonexistent"), -1);
+}
+
+} // namespace

@@ -1,0 +1,240 @@
+//===- tests/FuzzTest.cpp - Randomized differential soundness -----------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Property-based testing of the core soundness invariant: a randomly
+// generated MATLAB program behaves identically (results, output, errors)
+// under the interpreter and under every compiled configuration. Programs
+// are drawn from a grammar over scalars, a vector, loops, branches,
+// indexing and builtins; all loops are bounded so every program terminates.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Engine.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+using namespace majic;
+
+namespace {
+
+/// A tiny seeded program generator.
+class ProgramGen {
+public:
+  explicit ProgramGen(uint64_t Seed) : R(Seed) {}
+
+  std::string generate() {
+    Src = "function out = fuzz(n)\n"
+          "a = n + 1;\n"
+          "b = 3;\n"
+          "c = 0.5;\n"
+          "v = zeros(1, 8);\n"
+          "for k = 1:8\n"
+          "v(k) = k * 2;\n"
+          "end\n";
+    unsigned NumStmts = 3 + pick(6);
+    for (unsigned S = 0; S != NumStmts; ++S)
+      statement(1);
+    Src += "out = a + b + c + sum(v);\n";
+    return Src;
+  }
+
+private:
+  unsigned pick(unsigned N) { return static_cast<unsigned>(R.nextU64() % N); }
+  double num() {
+    static const double Pool[] = {0, 1, 2, 3, 0.5, -1, -2.5, 7, 10};
+    return Pool[pick(sizeof(Pool) / sizeof(Pool[0]))];
+  }
+  std::string scalarVar() {
+    static const char *Vars[] = {"a", "b", "c"};
+    return Vars[pick(3)];
+  }
+
+  std::string scalarExpr(unsigned Depth) {
+    switch (Depth > 2 ? pick(3) : pick(8)) {
+    case 0:
+      return scalarVar();
+    case 1: {
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "%g", num());
+      return Buf;
+    }
+    case 2:
+      return "v(" + indexExpr() + ")";
+    case 3: {
+      static const char *Ops[] = {" + ", " - ", " * "};
+      return "(" + scalarExpr(Depth + 1) + Ops[pick(3)] +
+             scalarExpr(Depth + 1) + ")";
+    }
+    case 4: {
+      // Division keeps denominators away from zero.
+      return "(" + scalarExpr(Depth + 1) + " / (abs(" +
+             scalarExpr(Depth + 1) + ") + 1))";
+    }
+    case 5: {
+      static const char *Fns[] = {"abs", "floor", "cos", "exp"};
+      std::string Fn = Fns[pick(4)];
+      if (Fn == "exp")
+        return "exp(-abs(" + scalarExpr(Depth + 1) + "))";
+      return Fn + "(" + scalarExpr(Depth + 1) + ")";
+    }
+    case 6:
+      return "sqrt(abs(" + scalarExpr(Depth + 1) + "))";
+    default:
+      return "mod(" + scalarExpr(Depth + 1) + ", 5)";
+    }
+  }
+
+  /// An index expression guaranteed in [1, 8].
+  std::string indexExpr() {
+    switch (pick(3)) {
+    case 0:
+      return std::to_string(1 + pick(8));
+    case 1:
+      return "k"; // only used inside the k loops below
+    default:
+      return "mod(floor(abs(" + scalarExpr(3) + ")), 8) + 1";
+    }
+  }
+
+  /// An index valid outside loops.
+  std::string indexExprNoK() {
+    if (pick(2))
+      return std::to_string(1 + pick(8));
+    return "mod(floor(abs(" + scalarExpr(3) + ")), 8) + 1";
+  }
+
+  void statement(unsigned Depth) {
+    switch (Depth > 2 ? pick(3) : pick(7)) {
+    case 0:
+      Src += scalarVar() + " = " + scalarExpr(1) + ";\n";
+      return;
+    case 1:
+      Src += "v(" + indexExprNoK() + ") = " + scalarExpr(1) + ";\n";
+      return;
+    case 2:
+      Src += scalarVar() + " = v(" + indexExprNoK() + ") + " +
+             scalarExpr(2) + ";\n";
+      return;
+    case 3: {
+      Src += "if " + scalarExpr(2) + " > " + scalarExpr(2) + "\n";
+      statement(Depth + 1);
+      if (pick(2)) {
+        Src += "else\n";
+        statement(Depth + 1);
+      }
+      Src += "end\n";
+      return;
+    }
+    case 4: {
+      // Bounded counted loop using k; k-based indexing is in range.
+      Src += "for k = 1:" + std::to_string(2 + pick(7)) + "\n";
+      statement(Depth + 1);
+      if (pick(2))
+        Src += "v(k) = v(k) + " + scalarExpr(3) + ";\n";
+      Src += "end\n";
+      return;
+    }
+    case 5: {
+      // Bounded while with an explicit counter.
+      std::string Cnt = "w" + std::to_string(Counter++);
+      Src += Cnt + " = 0;\n";
+      Src += "while " + Cnt + " < " + std::to_string(1 + pick(5)) + "\n";
+      Src += Cnt + " = " + Cnt + " + 1;\n";
+      statement(Depth + 1);
+      Src += "end\n";
+      return;
+    }
+    default: {
+      Src += scalarVar() + " = max(" + scalarExpr(2) + ", " +
+             scalarExpr(2) + ") + min(v);\n";
+      return;
+    }
+    }
+  }
+
+  Rng R;
+  std::string Src;
+  unsigned Counter = 0;
+};
+
+struct Outcome {
+  bool Threw = false;
+  std::string Error;
+  double Result = 0;
+  std::string Output;
+};
+
+Outcome runFuzz(const std::string &Src, EngineOptions Opts, double Arg) {
+  Engine E(Opts);
+  Outcome Out;
+  if (!E.addSource("fuzz", Src)) {
+    Out.Threw = true;
+    Out.Error = "parse: " + E.diagnostics();
+    return Out;
+  }
+  try {
+    auto R = E.callFunction("fuzz", {makeValue(Value::intScalar(Arg))}, 1,
+                            SourceLoc());
+    Out.Result = R[0]->scalarValue();
+  } catch (const MatlabError &Err) {
+    Out.Threw = true;
+    Out.Error = Err.message();
+  }
+  Out.Output = E.context().output();
+  return Out;
+}
+
+class FuzzSoundness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzSoundness, AllPathsAgree) {
+  ProgramGen Gen(GetParam());
+  std::string Src = Gen.generate();
+
+  EngineOptions Interp;
+  Interp.Policy = CompilePolicy::InterpretOnly;
+  Outcome Ref = runFuzz(Src, Interp, 5);
+
+  struct Cfg {
+    const char *Name;
+    CompilePolicy Policy;
+    bool SpillAll;
+    bool Ranges;
+  };
+  const Cfg Configs[] = {
+      {"jit", CompilePolicy::Jit, false, true},
+      {"falcon", CompilePolicy::Falcon, false, true},
+      {"mcc", CompilePolicy::Mcc, false, true},
+      {"jit-noranges", CompilePolicy::Jit, false, false},
+      {"jit-spillall", CompilePolicy::Jit, true, true},
+  };
+  for (const Cfg &C : Configs) {
+    EngineOptions O;
+    O.Policy = C.Policy;
+    O.RegAlloc.SpillEverything = C.SpillAll;
+    O.Infer.EnableRanges = C.Ranges;
+    Outcome Got = runFuzz(Src, O, 5);
+    ASSERT_EQ(Ref.Threw, Got.Threw)
+        << C.Name << " error='" << Got.Error << "' vs ref='" << Ref.Error
+        << "'\nprogram:\n"
+        << Src;
+    if (!Ref.Threw) {
+      if (std::isnan(Ref.Result))
+        EXPECT_TRUE(std::isnan(Got.Result)) << C.Name << "\n" << Src;
+      else
+        EXPECT_DOUBLE_EQ(Ref.Result, Got.Result) << C.Name << "\n" << Src;
+    }
+    EXPECT_EQ(Ref.Output, Got.Output) << C.Name << "\n" << Src;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSoundness,
+                         ::testing::Range<uint64_t>(1, 41));
+
+} // namespace

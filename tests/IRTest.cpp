@@ -1,0 +1,447 @@
+//===- tests/IRTest.cpp - IR, optimizer and register allocator ----------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "backend/Optimize.h"
+#include "backend/Platform.h"
+#include "backend/RegAlloc.h"
+#include "backend/VM.h"
+#include "ir/Builder.h"
+#include "ir/Operands.h"
+
+#include <gtest/gtest.h>
+
+using namespace majic;
+
+namespace {
+
+struct NoCalls : CallResolver {
+  std::vector<ValuePtr> callFunction(const std::string &Name,
+                                     std::vector<ValuePtr>, size_t,
+                                     SourceLoc) override {
+    throw MatlabError("unexpected call to '" + Name + "'");
+  }
+  bool knowsFunction(const std::string &) override { return false; }
+};
+
+/// Runs an IR function end to end on the VM.
+std::vector<ValuePtr> execute(IRFunction &F, std::vector<ValuePtr> Args,
+                              size_t NumOuts,
+                              const RegAllocOptions &RA = {}) {
+  allocateRegisters(F, PlatformModel::sparc(), RA);
+  Context Ctx;
+  NoCalls Resolver;
+  VM Machine(Ctx, Resolver);
+  return Machine.run(F, std::move(Args), NumOuts);
+}
+
+/// Builds: out0 = sum over k in [0, n) of (k * 2 + 1), with n from arg0.
+/// Exercises constants, a counted loop, compares and boxing.
+std::unique_ptr<IRFunction> buildLoopFunction() {
+  auto F = std::make_unique<IRFunction>();
+  F->Name = "loopsum";
+  F->NumOuts = 1;
+  F->NumParams = 1;
+  IRBuilder B(*F);
+
+  int32_t ArgP = B.newP();
+  B.emitImmI(Opcode::LoadParam, 0, ArgP);
+  int32_t N = B.newI();
+  B.emit(Opcode::UnboxI, N, ArgP);
+  int32_t Sum = B.iconst(0);
+  int32_t K = B.iconst(0);
+  int32_t Two = B.iconst(2);
+  int32_t One = B.iconst(1);
+
+  IRBuilder::Label Header = B.newLabel();
+  IRBuilder::Label Exit = B.newLabel();
+  B.bind(Header);
+  int32_t Cond = B.newI();
+  B.emitImmI(Opcode::ICmp, static_cast<int64_t>(CondCode::LT), Cond, K, N);
+  B.brz(Cond, Exit);
+  int32_t T1 = B.newI(), T2 = B.newI();
+  B.emit(Opcode::IMul, T1, K, Two);
+  B.emit(Opcode::IAdd, T2, T1, One);
+  B.emit(Opcode::IAdd, Sum, Sum, T2);
+  B.emit(Opcode::IAdd, K, K, One);
+  B.br(Header);
+  B.bind(Exit);
+
+  int32_t Out = B.newP();
+  B.emit(Opcode::BoxI, Out, Sum);
+  B.emitImmI(Opcode::StoreOut, 0, Out);
+  B.emit(Opcode::Ret);
+  B.finish();
+  return F;
+}
+
+//===----------------------------------------------------------------------===//
+// Builder and printer
+//===----------------------------------------------------------------------===//
+
+TEST(IRBuilder, ForwardLabelPatching) {
+  IRFunction F;
+  IRBuilder B(F);
+  IRBuilder::Label L = B.newLabel();
+  B.br(L);          // forward branch, unpatched at emission
+  B.emit(Opcode::Nop);
+  B.bind(L);
+  B.emit(Opcode::Ret);
+  B.finish();
+  EXPECT_EQ(F.Code[0].A, 2); // patched to the Ret
+}
+
+TEST(IRBuilder, BackwardBranchImmediate) {
+  IRFunction F;
+  IRBuilder B(F);
+  IRBuilder::Label L = B.newLabel();
+  B.bind(L);
+  B.emit(Opcode::Nop);
+  B.br(L);
+  B.finish();
+  EXPECT_EQ(F.Code[1].A, 0);
+}
+
+TEST(IRBuilder, NameAndStringInterning) {
+  IRFunction F;
+  EXPECT_EQ(F.internName("sqrt"), 0);
+  EXPECT_EQ(F.internName("disp"), 1);
+  EXPECT_EQ(F.internName("sqrt"), 0); // deduplicated
+  EXPECT_EQ(F.internString("a"), 0);
+  EXPECT_EQ(F.internString("a"), 1); // strings are not deduplicated
+}
+
+TEST(IRPrinter, RendersEveryEmittedOpcode) {
+  auto F = buildLoopFunction();
+  std::string Text = F->print();
+  EXPECT_NE(Text.find("loadparam"), std::string::npos);
+  EXPECT_NE(Text.find("unboxi"), std::string::npos);
+  EXPECT_NE(Text.find("icmp"), std::string::npos);
+  EXPECT_NE(Text.find("brz"), std::string::npos);
+  EXPECT_NE(Text.find("ret"), std::string::npos);
+}
+
+TEST(IROperands, MetadataCoversAllOpcodes) {
+  // Every opcode must map to operand metadata without tripping asserts, and
+  // pool-carrying ops must report consistent ranges.
+  for (int OpInt = 0; OpInt <= static_cast<int>(Opcode::PSpSt); ++OpInt) {
+    auto Op = static_cast<Opcode>(OpInt);
+    (void)instrOperands(Op);
+    (void)opcodeName(Op);
+    (void)isPureInstr(Op);
+    (void)isHoistableInstr(Op);
+  }
+  Instr Call = Instr::make(Opcode::CallB, 4, 2, 10, 3);
+  PoolRanges PR = poolRanges(Call);
+  EXPECT_EQ(PR.DefOff, 4);
+  EXPECT_EQ(PR.DefCount, 2);
+  EXPECT_EQ(PR.UseOff, 10);
+  EXPECT_EQ(PR.UseCount, 3);
+  Instr Idx = Instr::make(Opcode::LoadIdxG, 0, 1, 7, 2);
+  PR = poolRanges(Idx);
+  EXPECT_EQ(PR.UseOff, 7);
+  EXPECT_EQ(PR.UseCount, 2);
+  EXPECT_EQ(PR.DefCount, 0);
+}
+
+//===----------------------------------------------------------------------===//
+// VM execution of hand-built IR
+//===----------------------------------------------------------------------===//
+
+TEST(VMExec, CountedLoop) {
+  auto F = buildLoopFunction();
+  auto R = execute(*F, {makeValue(Value::intScalar(10))}, 1);
+  // sum_{k=0}^{9} (2k + 1) = 100.
+  EXPECT_DOUBLE_EQ(R[0]->scalarValue(), 100);
+}
+
+TEST(VMExec, SpillEverythingSameResult) {
+  auto F = buildLoopFunction();
+  RegAllocOptions RA;
+  RA.SpillEverything = true;
+  auto R = execute(*F, {makeValue(Value::intScalar(10))}, 1, RA);
+  EXPECT_DOUBLE_EQ(R[0]->scalarValue(), 100);
+  EXPECT_TRUE(F->Allocated);
+  EXPECT_GT(F->NumISpill, 0u);
+}
+
+TEST(VMExec, MissingOutputThrows) {
+  IRFunction F;
+  IRBuilder B(F);
+  F.NumOuts = 1;
+  B.emit(Opcode::Ret);
+  B.finish();
+  EXPECT_THROW(execute(F, {}, 1), MatlabError);
+}
+
+TEST(VMExec, InstructionCounterAdvances) {
+  auto F = buildLoopFunction();
+  allocateRegisters(*F, PlatformModel::sparc(), {});
+  Context Ctx;
+  NoCalls Resolver;
+  VM Machine(Ctx, Resolver);
+  Machine.run(*F, {makeValue(Value::intScalar(100))}, 1);
+  uint64_t After100 = Machine.instructionsExecuted();
+  Machine.run(*F, {makeValue(Value::intScalar(200))}, 1);
+  uint64_t After200 = Machine.instructionsExecuted() - After100;
+  EXPECT_GT(After200, After100); // twice the loop work
+}
+
+//===----------------------------------------------------------------------===//
+// Register allocation
+//===----------------------------------------------------------------------===//
+
+TEST(RegAlloc, FitsSmallFunctionsWithoutSpills) {
+  auto F = buildLoopFunction();
+  RegAllocStats Stats = allocateRegisters(*F, PlatformModel::sparc(), {});
+  EXPECT_EQ(Stats.NumISpilled, 0u);
+  EXPECT_EQ(Stats.NumSpillInstrs, 0u);
+  EXPECT_EQ(F->NumI, PlatformModel::sparc().NumIRegs);
+}
+
+TEST(RegAlloc, SpillsWhenPressureExceedsFile) {
+  // 40 simultaneously live I registers against a 16-register file.
+  IRFunction F;
+  IRBuilder B(F);
+  F.NumOuts = 1;
+  std::vector<int32_t> Regs;
+  for (int K = 0; K != 40; ++K)
+    Regs.push_back(B.iconst(K));
+  int32_t Sum = B.iconst(0);
+  for (int K = 0; K != 40; ++K)
+    B.emit(Opcode::IAdd, Sum, Sum, Regs[K]);
+  int32_t Out = B.newP();
+  B.emit(Opcode::BoxI, Out, Sum);
+  B.emitImmI(Opcode::StoreOut, 0, Out);
+  B.emit(Opcode::Ret);
+  B.finish();
+
+  RegAllocStats Stats = allocateRegisters(F, PlatformModel::sparc(), {});
+  EXPECT_GT(Stats.NumISpilled, 0u);
+
+  Context Ctx;
+  NoCalls Resolver;
+  VM Machine(Ctx, Resolver);
+  auto R = Machine.run(F, {}, 1);
+  EXPECT_DOUBLE_EQ(R[0]->scalarValue(), 40 * 39 / 2);
+}
+
+TEST(RegAlloc, LoopCarriedValueSurvivesSpilling) {
+  // The loop counter and accumulator live across the back edge; even under
+  // spill-everything the interval extension must keep them correct.
+  auto F = buildLoopFunction();
+  RegAllocOptions RA;
+  RA.SpillEverything = true;
+  auto R = execute(*F, {makeValue(Value::intScalar(33))}, 1, RA);
+  EXPECT_DOUBLE_EQ(R[0]->scalarValue(), 33.0 * 33.0); // sum of first n odds
+}
+
+TEST(RegAlloc, SmallerFileSpillsMore) {
+  auto F1 = buildLoopFunction();
+  auto F2 = buildLoopFunction();
+  RegAllocStats Sparc = allocateRegisters(*F1, PlatformModel::sparc(), {});
+  PlatformModel Tiny = PlatformModel::sparc();
+  Tiny.NumIRegs = 4; // 3 scratch + 1 usable
+  RegAllocStats Small = allocateRegisters(*F2, Tiny, {});
+  EXPECT_GT(Small.NumISpilled, Sparc.NumISpilled);
+  // And the function still computes correctly.
+  Context Ctx;
+  NoCalls Resolver;
+  VM Machine(Ctx, Resolver);
+  auto R = Machine.run(*F2, {makeValue(Value::intScalar(10))}, 1);
+  EXPECT_DOUBLE_EQ(R[0]->scalarValue(), 100);
+}
+
+//===----------------------------------------------------------------------===//
+// Optimizer passes on hand-built IR
+//===----------------------------------------------------------------------===//
+
+TEST(Optimizer, ConstantFoldingCollapsesArithmetic) {
+  IRFunction F;
+  IRBuilder B(F);
+  F.NumOuts = 1;
+  int32_t A = B.fconst(6);
+  int32_t C = B.fconst(7);
+  int32_t M = B.newF();
+  B.emit(Opcode::FMul, M, A, C);
+  int32_t Out = B.newP();
+  B.emit(Opcode::BoxF, Out, M);
+  B.emitImmI(Opcode::StoreOut, 0, Out);
+  B.emit(Opcode::Ret);
+  B.finish();
+
+  OptimizeStats Stats = optimize(F);
+  EXPECT_GE(Stats.NumFolded, 1u);
+  bool FoundFoldedConst = false;
+  for (const Instr &In : F.Code)
+    FoundFoldedConst |= In.Op == Opcode::FConst && In.Imm.F == 42.0;
+  EXPECT_TRUE(FoundFoldedConst);
+  EXPECT_DOUBLE_EQ(execute(F, {}, 1)[0]->scalarValue(), 42);
+}
+
+TEST(Optimizer, CSEEliminatesRecomputation) {
+  IRFunction F;
+  IRBuilder B(F);
+  F.NumOuts = 1;
+  int32_t PIn = B.newP();
+  B.emitImmI(Opcode::LoadParam, 0, PIn);
+  int32_t X = B.newF();
+  B.emit(Opcode::UnboxF, X, PIn);
+  // (x*x) + (x*x) computed twice.
+  int32_t S1 = B.newF(), S2 = B.newF(), Sum = B.newF();
+  B.emit(Opcode::FMul, S1, X, X);
+  B.emit(Opcode::FMul, S2, X, X);
+  B.emit(Opcode::FAdd, Sum, S1, S2);
+  int32_t Out = B.newP();
+  B.emit(Opcode::BoxF, Out, Sum);
+  B.emitImmI(Opcode::StoreOut, 0, Out);
+  B.emit(Opcode::Ret);
+  B.finish();
+
+  OptimizeStats Stats = optimize(F);
+  EXPECT_GE(Stats.NumCSE, 1u);
+  auto R = execute(F, {makeScalar(3)}, 1);
+  EXPECT_DOUBLE_EQ(R[0]->scalarValue(), 18);
+}
+
+TEST(Optimizer, DCEDropsDeadPureCode) {
+  IRFunction F;
+  IRBuilder B(F);
+  F.NumOuts = 1;
+  B.fconst(1.0); // dead
+  B.fconst(2.0); // dead
+  int32_t Live = B.iconst(5);
+  int32_t Out = B.newP();
+  B.emit(Opcode::BoxI, Out, Live);
+  B.emitImmI(Opcode::StoreOut, 0, Out);
+  B.emit(Opcode::Ret);
+  B.finish();
+  size_t Before = F.Code.size();
+  OptimizeStats Stats = optimize(F);
+  EXPECT_GE(Stats.NumDead, 2u);
+  EXPECT_LT(F.Code.size(), Before);
+  EXPECT_DOUBLE_EQ(execute(F, {}, 1)[0]->scalarValue(), 5);
+}
+
+TEST(Optimizer, DCEKeepsEffects) {
+  IRFunction F;
+  IRBuilder B(F);
+  F.NumOuts = 0;
+  int32_t S = B.newP();
+  B.emitImmI(Opcode::SConst, F.internString("hello"), S);
+  Instr Disp = Instr::make(Opcode::Display, S);
+  Disp.Imm.I = F.internName("x");
+  B.emit(Disp); // impure: must survive even though nothing reads a result
+  B.emit(Opcode::Ret);
+  B.finish();
+  optimize(F);
+  bool HasDisplay = false;
+  for (const Instr &In : F.Code)
+    HasDisplay |= In.Op == Opcode::Display;
+  EXPECT_TRUE(HasDisplay);
+}
+
+/// Builds a counted loop with a loop-invariant multiply inside, with proper
+/// LoopMeta, as the code generator would.
+std::unique_ptr<IRFunction> buildInvariantLoop() {
+  auto F = std::make_unique<IRFunction>();
+  IRBuilder B(*F);
+  F->NumOuts = 1;
+  F->NumParams = 1;
+  int32_t PIn = B.newP();
+  B.emitImmI(Opcode::LoadParam, 0, PIn);
+  int32_t N = B.newI();
+  B.emit(Opcode::UnboxI, N, PIn);
+  int32_t Sum = B.fconst(0);
+  int32_t K = B.iconst(0);
+  int32_t One = B.iconst(1);
+
+  IRBuilder::Label Header = B.newLabel();
+  IRBuilder::Label Exit = B.newLabel();
+  B.bind(Header);
+  size_t HeaderIndex = F->Code.size();
+  int32_t Cond = B.newI();
+  B.emitImmI(Opcode::ICmp, static_cast<int64_t>(CondCode::LT), Cond, K, N);
+  B.brz(Cond, Exit);
+  size_t BodyBegin = F->Code.size();
+  // Invariant: inv = 3 * 7 (constants inside the loop).
+  int32_t C3 = B.fconst(3), C7 = B.fconst(7);
+  int32_t Inv = B.newF();
+  B.emit(Opcode::FMul, Inv, C3, C7);
+  B.emit(Opcode::FAdd, Sum, Sum, Inv);
+  size_t LatchIndex = F->Code.size();
+  B.emit(Opcode::IAdd, K, K, One);
+  B.br(Header);
+  B.bind(Exit);
+  size_t ExitIndex = F->Code.size();
+  int32_t Out = B.newP();
+  B.emit(Opcode::BoxF, Out, Sum);
+  B.emitImmI(Opcode::StoreOut, 0, Out);
+  B.emit(Opcode::Ret);
+  B.finish();
+
+  LoopMeta Meta;
+  Meta.HeaderIndex = static_cast<uint32_t>(HeaderIndex);
+  Meta.BodyBegin = static_cast<uint32_t>(BodyBegin);
+  Meta.LatchIndex = static_cast<uint32_t>(LatchIndex);
+  Meta.ExitIndex = static_cast<uint32_t>(ExitIndex);
+  Meta.CounterReg = K;
+  Meta.TripReg = N;
+  F->Loops.push_back(Meta);
+  return F;
+}
+
+TEST(Optimizer, LICMHoistsInvariants) {
+  auto F = buildInvariantLoop();
+  OptimizeOptions Opts;
+  Opts.EnableUnroll = false;
+  OptimizeStats Stats = optimize(*F, Opts);
+  EXPECT_GE(Stats.NumHoisted + Stats.NumFolded, 1u);
+  auto R = execute(*F, {makeValue(Value::intScalar(5))}, 1);
+  EXPECT_DOUBLE_EQ(R[0]->scalarValue(), 105); // 5 * 21
+}
+
+TEST(Optimizer, UnrollPreservesSemanticsAcrossTripCounts) {
+  // Odd, even and zero trip counts through the unrolled main + remainder
+  // structure.
+  for (int N : {0, 1, 2, 3, 7, 8, 100}) {
+    auto F = buildInvariantLoop();
+    OptimizeOptions Opts;
+    Opts.UnrollFactor = 2;
+    OptimizeStats Stats = optimize(*F, Opts);
+    if (N == 0)
+      EXPECT_GE(Stats.NumLoopsUnrolled, 1u);
+    auto R = execute(*F, {makeValue(Value::intScalar(N))}, 1);
+    EXPECT_DOUBLE_EQ(R[0]->scalarValue(), 21.0 * N) << "trip count " << N;
+  }
+}
+
+TEST(Optimizer, UnrollFactorFour) {
+  for (int N : {0, 1, 3, 5, 9}) {
+    auto F = buildInvariantLoop();
+    OptimizeOptions Opts;
+    Opts.UnrollFactor = 4;
+    optimize(*F, Opts);
+    auto R = execute(*F, {makeValue(Value::intScalar(N))}, 1);
+    EXPECT_DOUBLE_EQ(R[0]->scalarValue(), 21.0 * N) << "trip count " << N;
+  }
+}
+
+TEST(Optimizer, PipelineIsIdempotentOnSecondRound) {
+  auto F1 = buildInvariantLoop();
+  OptimizeOptions One;
+  One.Rounds = 1;
+  optimize(*F1, One);
+  auto R1 = execute(*F1, {makeValue(Value::intScalar(6))}, 1);
+
+  auto F2 = buildInvariantLoop();
+  OptimizeOptions Two;
+  Two.Rounds = 2;
+  optimize(*F2, Two);
+  auto R2 = execute(*F2, {makeValue(Value::intScalar(6))}, 1);
+  EXPECT_DOUBLE_EQ(R1[0]->scalarValue(), R2[0]->scalarValue());
+}
+
+} // namespace

@@ -1,0 +1,382 @@
+//===- tests/InferTest.cpp - Type inference and speculation -------------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtils.h"
+
+#include "infer/Infer.h"
+#include "infer/Speculate.h"
+#include "infer/TypeCalculator.h"
+
+#include <gtest/gtest.h>
+
+using namespace majic;
+using namespace majic::test;
+
+namespace {
+
+/// Infers types for the main function of \p Src with parameter types
+/// \p Params.
+struct Inferred {
+  Inferred(const std::string &Src, std::vector<Type> Params = {},
+           InferOptions Opts = InferOptions())
+      : P(Src) {
+    EXPECT_TRUE(P.ok());
+    Info = P.info(P.module().mainFunction()->name());
+    Result = inferTypes(*Info, TypeSignature(std::move(Params)), Opts);
+  }
+
+  Type slotType(const std::string &Name) {
+    int Slot = Info->Symbols.lookup(Name);
+    EXPECT_GE(Slot, 0) << Name;
+    return Result.Ann.SlotSummary[Slot];
+  }
+
+  TestProgram P;
+  FunctionInfo *Info;
+  InferResult Result;
+};
+
+//===----------------------------------------------------------------------===//
+// The type calculator
+//===----------------------------------------------------------------------===//
+
+TEST(TypeCalculator, RuleCountIsInPaperBallpark) {
+  // Section 2.3.1: "Currently, MaJIC's type calculator contains about 250
+  // rules."
+  unsigned N = TypeCalculator::instance().numRules();
+  EXPECT_GE(N, 150u);
+  EXPECT_LE(N, 400u);
+}
+
+TEST(TypeCalculator, MulLadderMostRestrictiveFirst) {
+  // The paper's '*' example: the calculator tries integer scalar multiply,
+  // real scalar multiply, complex scalar multiply, ... generic complex
+  // matrix multiply, in that order.
+  const TypeCalculator &C = TypeCalculator::instance();
+  Type IntS = Type::scalar(IntrinsicType::Int, Range::constant(2));
+  Type RealS = Type::scalar(IntrinsicType::Real);
+  Type CplxS = Type::scalar(IntrinsicType::Complex);
+  Type RealM = Type::matrix(IntrinsicType::Real);
+  Type CplxM = Type::matrix(IntrinsicType::Complex);
+  Type RealCol = Type(IntrinsicType::Real, ShapeBound::bottom(),
+                      ShapeBound{ShapeBound::kUnknownDim, 1}, Range::top());
+
+  EXPECT_EQ(C.firedBinaryRule(rt::BinOp::MatMul, IntS, IntS),
+            "mul:int-scalar");
+  EXPECT_EQ(C.firedBinaryRule(rt::BinOp::MatMul, RealS, RealS),
+            "mul:real-scalar");
+  EXPECT_EQ(C.firedBinaryRule(rt::BinOp::MatMul, CplxS, CplxS),
+            "mul:cplx-scalar");
+  EXPECT_EQ(C.firedBinaryRule(rt::BinOp::MatMul, RealS, RealM),
+            "mul:scalar-array");
+  EXPECT_EQ(C.firedBinaryRule(rt::BinOp::MatMul, RealM, RealCol),
+            "mul:dgemv");
+  EXPECT_EQ(C.firedBinaryRule(rt::BinOp::MatMul, RealM, RealM),
+            "mul:real-matmul");
+  EXPECT_EQ(C.firedBinaryRule(rt::BinOp::MatMul, CplxM, RealM),
+            "mul:cplx-matmul");
+}
+
+TEST(TypeCalculator, DefaultRuleYieldsTop) {
+  const TypeCalculator &C = TypeCalculator::instance();
+  Type Str(IntrinsicType::String, ShapeBound::bottom(), ShapeBound::top(),
+           Range::top());
+  Type R = C.binary(rt::BinOp::MatMul, Str, Str, InferOptions());
+  EXPECT_EQ(R.intrinsic(), IntrinsicType::Top);
+}
+
+TEST(TypeCalculator, MonotonicOnSamples) {
+  // Monotonicity (required by the dataflow framework): growing an input
+  // never shrinks the output.
+  const TypeCalculator &C = TypeCalculator::instance();
+  InferOptions Opts;
+  std::vector<Type> Chain = {
+      Type::scalar(IntrinsicType::Int, Range::constant(2)),
+      Type::scalar(IntrinsicType::Int, Range::interval(0, 10)),
+      Type::scalar(IntrinsicType::Real),
+      Type::scalar(IntrinsicType::Complex),
+      Type::top(),
+  };
+  for (rt::BinOp Op : {rt::BinOp::Add, rt::BinOp::MatMul, rt::BinOp::Lt}) {
+    for (size_t I = 0; I + 1 < Chain.size(); ++I) {
+      for (const Type &Other : Chain) {
+        Type RSmall = C.binary(Op, Chain[I], Other, Opts);
+        Type RBig = C.binary(Op, Chain[I + 1], Other, Opts);
+        EXPECT_TRUE(RSmall.le(RBig))
+            << rt::binOpName(Op) << ": " << RSmall.str() << " vs "
+            << RBig.str();
+      }
+    }
+  }
+}
+
+TEST(TypeCalculator, SqrtDomainRules) {
+  const TypeCalculator &C = TypeCalculator::instance();
+  InferOptions Opts;
+  Type NonNeg = Type::scalar(IntrinsicType::Real, Range::interval(0, 100));
+  Type AnyReal = Type::scalar(IntrinsicType::Real);
+  Type Negative = Type::scalar(IntrinsicType::Real, Range::interval(-9, -9));
+  // Proven domain: real, with a tight range.
+  Type R1 = C.builtin("sqrt", {{NonNeg}}, 1, Opts).front();
+  EXPECT_EQ(R1.intrinsic(), IntrinsicType::Real);
+  EXPECT_DOUBLE_EQ(R1.range().Hi, 10);
+  // Unknown domain, optimistic mode (default): stays real under a runtime
+  // deoptimization guard.
+  Type R2 = C.builtin("sqrt", {{AnyReal}}, 1, Opts).front();
+  EXPECT_EQ(R2.intrinsic(), IntrinsicType::Real);
+  // Provably negative input never stays real, even optimistically.
+  Type R3 = C.builtin("sqrt", {{Negative}}, 1, Opts).front();
+  EXPECT_EQ(R3.intrinsic(), IntrinsicType::Complex);
+  // Pessimistic mode: unknown domains escalate.
+  InferOptions Pessimistic;
+  Pessimistic.OptimisticRealMath = false;
+  Type R4 = C.builtin("sqrt", {{AnyReal}}, 1, Pessimistic).front();
+  EXPECT_EQ(R4.intrinsic(), IntrinsicType::Complex);
+}
+
+//===----------------------------------------------------------------------===//
+// JIT inference (Section 2.4)
+//===----------------------------------------------------------------------===//
+
+TEST(Infer, ConstantPropagationThroughArithmetic) {
+  Inferred I("function y = f(n)\nm = n + 1;\ny = m * 2;\n",
+             {Type::constant(10)});
+  auto C = I.slotType("y").constantValue();
+  ASSERT_TRUE(C.has_value());
+  EXPECT_DOUBLE_EQ(*C, 22);
+}
+
+TEST(Infer, ExactShapeFromZeros) {
+  // "In the statement A = zeros(m,n), the value ranges of m and n may
+  // uniquely determine the shape of A" (Section 2.4).
+  Inferred I("function y = f(n)\nA = zeros(n, n);\ny = A;\n",
+             {Type::constant(134)});
+  auto S = I.slotType("A").exactShape();
+  ASSERT_TRUE(S.has_value());
+  EXPECT_EQ(S->Rows, 134u);
+  EXPECT_EQ(S->Cols, 134u);
+}
+
+TEST(Infer, IndexAssignGrowsShapeFromIndexRange) {
+  // "In array assignments of the form A(i)=..., the range of the index can
+  // determine the shape of the array A" (Section 2.4).
+  Inferred I("function y = f(n)\nx = 0;\nfor k = 1:n\nx(k) = k;\nend\ny = x;\n",
+             {Type::constant(50)});
+  Type X = I.slotType("x");
+  EXPECT_EQ(X.maxShape().Cols, 50u);
+}
+
+TEST(Infer, LoopVariableRangeFromColon) {
+  Inferred I("function y = f(n)\ns = 0;\nfor k = 2:n-1\ns = s + k;\nend\ny = "
+             "s;\n",
+             {Type::constant(100)});
+  Type K = I.slotType("k");
+  EXPECT_TRUE(K.isScalar());
+  EXPECT_EQ(K.intrinsic(), IntrinsicType::Int);
+  EXPECT_DOUBLE_EQ(K.range().Lo, 2);
+  EXPECT_DOUBLE_EQ(K.range().Hi, 99);
+}
+
+TEST(Infer, SubscriptCheckRemoval) {
+  // The loop index provably stays within the array created by zeros(n,1):
+  // all reads inside the loop need no subscript checks.
+  Inferred I("function s = f(n)\nA = zeros(n, 1);\nfor k = 1:n\nA(k) = "
+             "k;\nend\ns = 0;\nfor k = 1:n\ns = s + A(k);\nend\n",
+             {Type::constant(64)});
+  EXPECT_GE(I.Result.Ann.SafeSubscripts.size(), 1u);
+  // And the write is proven in-bounds too.
+  bool AnyInBoundsWrite = false;
+  for (const auto &[S, WF] : I.Result.Ann.Writes)
+    AnyInBoundsWrite |= WF.InBounds;
+  EXPECT_TRUE(AnyInBoundsWrite);
+}
+
+TEST(Infer, NoRangesDisablesCheckRemoval) {
+  // The Figure 7 "no ranges" ablation.
+  InferOptions Opts;
+  Opts.EnableRanges = false;
+  Inferred I("function s = f(n)\nA = zeros(n, 1);\ns = 0;\nfor k = 1:n\ns = s "
+             "+ A(k);\nend\n",
+             {Type::constant(64)}, Opts);
+  EXPECT_TRUE(I.Result.Ann.SafeSubscripts.empty());
+  EXPECT_FALSE(I.slotType("n").range().isConstant());
+}
+
+TEST(Infer, NoMinShapesDropsLowerBounds) {
+  InferOptions Opts;
+  Opts.EnableMinShapes = false;
+  Inferred I("function y = f(n)\nA = zeros(3, 3);\ny = A;\n",
+             {Type::constant(5)}, Opts);
+  EXPECT_FALSE(I.slotType("A").exactShape().has_value());
+  EXPECT_EQ(I.slotType("A").maxShape().Rows, 3u);
+}
+
+TEST(Infer, SmallVectorLiteralHasExactShape) {
+  Inferred I("function y = f(a, b)\nv = [a b 2*a];\ny = v;\n",
+             {Type::scalar(IntrinsicType::Real),
+              Type::scalar(IntrinsicType::Real)});
+  auto S = I.slotType("v").exactShape();
+  ASSERT_TRUE(S.has_value());
+  EXPECT_EQ(S->Rows, 1u);
+  EXPECT_EQ(S->Cols, 3u);
+}
+
+TEST(Infer, ComplexStaysComplex) {
+  Inferred I("function y = f(c)\nz = 0;\nfor k = 1:3\nz = z*z + c;\nend\ny = "
+             "z;\n",
+             {Type::scalar(IntrinsicType::Complex)});
+  EXPECT_EQ(I.slotType("z").intrinsic(), IntrinsicType::Complex);
+  EXPECT_TRUE(I.slotType("z").isScalar());
+}
+
+TEST(Infer, SqrtOfSumOfSquaresStaysReal) {
+  // Interval arithmetic proves x^2 + y^2 >= 0, so sqrt stays real — the
+  // fact that keeps orbec/orbrk on the fast path.
+  Inferred I("function r = f(x, y)\nr = sqrt(x^2 + y^2);\n",
+             {Type::scalar(IntrinsicType::Real),
+              Type::scalar(IntrinsicType::Real)});
+  EXPECT_EQ(I.slotType("r").intrinsic(), IntrinsicType::Real);
+}
+
+TEST(Infer, SqrtOfUnknownMayBeComplex) {
+  // Pessimistic inference (used after a deoptimization) escalates.
+  InferOptions Pessimistic;
+  Pessimistic.OptimisticRealMath = false;
+  Inferred I("function r = f(x)\nr = sqrt(x);\n",
+             {Type::scalar(IntrinsicType::Real)}, Pessimistic);
+  EXPECT_EQ(I.slotType("r").intrinsic(), IntrinsicType::Complex);
+  // Optimistic (default) inference keeps it real, guarded at runtime.
+  Inferred IOpt("function r = f(x)\nr = sqrt(x);\n",
+                {Type::scalar(IntrinsicType::Real)});
+  EXPECT_EQ(IOpt.slotType("r").intrinsic(), IntrinsicType::Real);
+}
+
+TEST(Infer, BranchJoinWidensType) {
+  Inferred I("function y = f(c)\nif c > 0\nx = 1;\nelse\nx = 2.5;\nend\ny = "
+             "x;\n",
+             {Type::scalar(IntrinsicType::Real)});
+  Type X = I.slotType("y");
+  EXPECT_EQ(X.intrinsic(), IntrinsicType::Real);
+  EXPECT_DOUBLE_EQ(X.range().Lo, 1);
+  EXPECT_DOUBLE_EQ(X.range().Hi, 2.5);
+}
+
+TEST(Infer, WideningTerminatesGrowingLoop) {
+  // x grows without bound; the iteration cap must widen and terminate.
+  Inferred I("function y = f(n)\nx = 0;\nwhile x < n\nx = x + 1;\nend\ny = "
+             "x;\n",
+             {Type::scalar(IntrinsicType::Real)});
+  EXPECT_TRUE(I.slotType("x").isScalar());
+  EXPECT_TRUE(intrinsicLE(I.slotType("x").intrinsic(), IntrinsicType::Real));
+}
+
+TEST(Infer, GenericSignatureStaysSound) {
+  // With top parameters everything flows to coarse types, never bottom.
+  Inferred I("function y = f(a, b)\ny = a * b + 1;\n",
+             {Type::top(), Type::top()});
+  EXPECT_FALSE(I.slotType("y").isBottom());
+}
+
+TEST(Infer, ConservativeVsRuntime) {
+  // Dynamic values observed at runtime are subtypes of the inferred
+  // annotations (the soundness invariant of Section 2.3).
+  std::string Src = "function y = f(n)\n"
+                    "A = zeros(n, 1);\n"
+                    "for k = 1:n\nA(k) = sqrt(k);\nend\n"
+                    "y = sum(A);\n";
+  Inferred I(Src, {Type::constant(10)});
+
+  TestProgram P(Src);
+  auto Rs = P.run({makeValue(Value::intScalar(10))}, 1);
+  Type RuntimeT = Type::ofValue(*Rs[0]);
+  EXPECT_TRUE(RuntimeT.le(I.slotType("y").join(RuntimeT)));
+  // And y's static type admits the dynamic value directly.
+  EXPECT_TRUE(RuntimeT.le(I.slotType("y")))
+      << RuntimeT.str() << " not <= " << I.slotType("y").str();
+}
+
+//===----------------------------------------------------------------------===//
+// Speculation (Section 2.5)
+//===----------------------------------------------------------------------===//
+
+TEST(Speculate, ColonHintMakesLoopBoundIntScalar) {
+  TestProgram P("function s = f(n)\ns = 0;\nfor k = 1:n\ns = s + k;\nend\n");
+  ASSERT_TRUE(P.ok());
+  TypeSignature Sig = speculateSignature(*P.info("f"));
+  ASSERT_EQ(Sig.size(), 1u);
+  EXPECT_TRUE(Sig[0].isScalar());
+  EXPECT_EQ(Sig[0].intrinsic(), IntrinsicType::Int);
+}
+
+TEST(Speculate, CreatorArgHint) {
+  TestProgram P("function A = f(m, n)\nA = zeros(m, n);\n");
+  ASSERT_TRUE(P.ok());
+  TypeSignature Sig = speculateSignature(*P.info("f"));
+  EXPECT_EQ(Sig[0].intrinsic(), IntrinsicType::Int);
+  EXPECT_TRUE(Sig[1].isScalar());
+}
+
+TEST(Speculate, RelationalHintIsRealScalar) {
+  TestProgram P("function y = f(x)\nif x > 0\ny = 1;\nelse\ny = 2;\nend\n");
+  ASSERT_TRUE(P.ok());
+  TypeSignature Sig = speculateSignature(*P.info("f"));
+  EXPECT_TRUE(Sig[0].isScalar());
+  EXPECT_TRUE(intrinsicLE(Sig[0].intrinsic(), IntrinsicType::Real));
+}
+
+TEST(Speculate, F77SubscriptHint) {
+  TestProgram P("function y = f(A, k)\ny = A(k);\n");
+  ASSERT_TRUE(P.ok());
+  TypeSignature Sig = speculateSignature(*P.info("f"));
+  // k is hinted integer scalar; A gets no hint (stays top).
+  EXPECT_EQ(Sig[1].intrinsic(), IntrinsicType::Int);
+  EXPECT_EQ(Sig[0].intrinsic(), IntrinsicType::Top);
+}
+
+TEST(Speculate, F90StyleSuppressesSubscriptHint) {
+  TestProgram P("function y = f(A, k)\ny = A(1:k);\n");
+  ASSERT_TRUE(P.ok());
+  TypeSignature Sig = speculateSignature(*P.info("f"));
+  // 1:k is a colon context: k still gets the colon hint (int scalar), but
+  // through the range rule rather than the subscript rule.
+  EXPECT_EQ(Sig[1].intrinsic(), IntrinsicType::Int);
+}
+
+TEST(Speculate, HintsChainThroughAssignments) {
+  // n flows into m, and m is a loop bound: the hint reaches n.
+  TestProgram P("function s = f(n)\nm = n;\ns = 0;\nfor k = 1:m\ns = s + "
+                "k;\nend\n");
+  ASSERT_TRUE(P.ok());
+  TypeSignature Sig = speculateSignature(*P.info("f"));
+  EXPECT_TRUE(Sig[0].isScalar());
+  EXPECT_EQ(Sig[0].intrinsic(), IntrinsicType::Int);
+}
+
+TEST(Speculate, MatrixArgsStayTop) {
+  // qmr/mei-style code: matrix-valued parameters collect no hints, so the
+  // speculative signature stays generic for them (the Section 3.6 failure
+  // mode reproduced).
+  TestProgram P("function y = f(A, b)\ny = A * b;\ny = y + A \\ b;\n");
+  ASSERT_TRUE(P.ok());
+  TypeSignature Sig = speculateSignature(*P.info("f"));
+  EXPECT_EQ(Sig[0].intrinsic(), IntrinsicType::Top);
+  EXPECT_EQ(Sig[1].intrinsic(), IntrinsicType::Top);
+}
+
+TEST(Speculate, GuessIsSafeForMatchingInvocation) {
+  TestProgram P("function s = f(n)\ns = 0;\nfor k = 1:n\ns = s + k;\nend\n");
+  ASSERT_TRUE(P.ok());
+  TypeSignature Spec = speculateSignature(*P.info("f"));
+  // A typical scalar invocation is accepted...
+  TypeSignature IntCall({Type::ofValue(Value::intScalar(100))});
+  EXPECT_TRUE(IntCall.safeFor(Spec));
+  // ...a matrix invocation is rejected (the repository then falls back to
+  // the JIT).
+  TypeSignature MatCall({Type::ofValue(Value::zeros(3, 3))});
+  EXPECT_FALSE(MatCall.safeFor(Spec));
+}
+
+} // namespace

@@ -1,0 +1,208 @@
+//===- tests/InlinerTest.cpp - Function inlining -------------------------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtils.h"
+
+#include "analysis/Inliner.h"
+#include "engine/Engine.h"
+#include "ast/ASTPrinter.h"
+#include "ast/ASTVisit.h"
+
+#include <gtest/gtest.h>
+
+using namespace majic;
+using namespace majic::test;
+
+namespace {
+
+/// Inlines the main function of \p P using its module's subfunctions.
+std::unique_ptr<Function> inlineMain(TestProgram &P,
+                                     InlinerOptions Opts = {}) {
+  Module &M = P.module();
+  FunctionResolver Resolve = [&M](const std::string &Name) -> const Function * {
+    return M.findFunction(Name);
+  };
+  return inlineFunctionCalls(*M.mainFunction(), M.context(), Resolve, Opts);
+}
+
+/// Counts IndexOrCall occurrences resolved as user-function calls.
+unsigned countUserCalls(Function &F) {
+  unsigned N = 0;
+  visitStmts(F.body(), [&N](const Stmt *S) {
+    visitStmtExprs(S, [&N](Expr *E) {
+      visitExpr(E, [&N](Expr *Node) {
+        if (auto *IC = dyn_cast<IndexOrCallExpr>(Node))
+          N += IC->base()->symKind() == SymKind::UserFunction;
+      });
+    });
+  });
+  return N;
+}
+
+/// Runs the inlined clone through the interpreter and returns the scalar
+/// result, checking it matches running the original.
+double runBoth(const std::string &Src, std::vector<double> Args,
+               InlinerOptions Opts = {}) {
+  TestProgram P(Src);
+  EXPECT_TRUE(P.ok());
+  std::vector<ValuePtr> Boxed;
+  for (double A : Args)
+    Boxed.push_back(makeValue(Value::intScalar(A)));
+
+  auto Original = P.run(Boxed, 1);
+  double Expected = Original[0]->scalarValue();
+
+  std::unique_ptr<Function> Inlined = inlineMain(P, Opts);
+  auto Info = disambiguate(*Inlined, P.module());
+  EXPECT_FALSE(Info->HasAmbiguousSymbols) << printFunction(*Inlined);
+  Interpreter Interp(P.context(), P);
+  auto R = Interp.run(*Inlined, Boxed, 1);
+  EXPECT_DOUBLE_EQ(R[0]->scalarValue(), Expected) << printFunction(*Inlined);
+  return Expected;
+}
+
+TEST(Inliner, SimpleCallDisappears) {
+  TestProgram P("function y = main(x)\ny = helper(x) + 1;\n"
+                "function h = helper(v)\nh = v * 2;\n");
+  ASSERT_TRUE(P.ok());
+  auto Inlined = inlineMain(P);
+  EXPECT_EQ(countUserCalls(*Inlined), 0u);
+  runBoth("function y = main(x)\ny = helper(x) + 1;\n"
+          "function h = helper(v)\nh = v * 2;\n",
+          {5});
+}
+
+TEST(Inliner, CallByValuePreserved) {
+  runBoth("function s = main(n)\nv = zeros(1, n);\nt = touch(v);\n"
+          "s = sum(v) + t;\n"
+          "function r = touch(w)\nw(1) = 100;\nr = w(1);\n",
+          {4});
+}
+
+TEST(Inliner, NestedCallsInExpressions) {
+  runBoth("function y = main(x)\ny = f(g(x)) + g(f(x));\n"
+          "function a = f(v)\na = v + 1;\n"
+          "function b = g(v)\nb = v * 3;\n",
+          {2});
+}
+
+TEST(Inliner, EarlyReturnLowering) {
+  runBoth("function y = main(x)\ny = clamp(x);\n"
+          "function c = clamp(v)\nc = v;\nif v > 10\nc = 10;\nreturn;\nend\n"
+          "if v < 0\nc = 0;\nreturn;\nend\nc = v * 2;\n",
+          {15});
+  runBoth("function y = main(x)\ny = clamp(x);\n"
+          "function c = clamp(v)\nc = v;\nif v > 10\nc = 10;\nreturn;\nend\n"
+          "if v < 0\nc = 0;\nreturn;\nend\nc = v * 2;\n",
+          {3});
+}
+
+TEST(Inliner, ReturnInsideLoopLowering) {
+  // return inside a loop must break out and skip the rest of the callee.
+  runBoth("function y = main(n)\ny = firstbig(n);\n"
+          "function r = firstbig(n)\nr = -1;\nfor k = 1:n\nif k * k > 10\n"
+          "r = k;\nreturn;\nend\nend\nr = 0;\n",
+          {10});
+}
+
+TEST(Inliner, ReturnInsideNestedLoops) {
+  runBoth("function y = main(n)\ny = findpair(n);\n"
+          "function r = findpair(n)\nr = 0;\nfor i = 1:n\nfor j = 1:n\n"
+          "if i * j == 12\nr = i * 100 + j;\nreturn;\nend\nend\nend\n",
+          {6});
+}
+
+TEST(Inliner, RecursionCapThreeLevels) {
+  TestProgram P("function r = fib(n)\nif n <= 1\nr = n;\nelse\n"
+                "r = fib(n - 1) + fib(n - 2);\nend\n");
+  ASSERT_TRUE(P.ok());
+  auto Inlined = inlineMain(P);
+  // Recursive calls remain at the cap boundary, never fully unrolled.
+  EXPECT_GT(countUserCalls(*Inlined), 0u);
+  // Semantics preserved through the partial inlining.
+  auto Info = disambiguate(*Inlined, P.module());
+  EXPECT_FALSE(Info->HasAmbiguousSymbols);
+  Interpreter Interp(P.context(), P);
+  auto R = Interp.run(*Inlined, {makeValue(Value::intScalar(10))}, 1);
+  EXPECT_DOUBLE_EQ(R[0]->scalarValue(), 55);
+}
+
+TEST(Inliner, LargeCalleesLeftAlone) {
+  // A callee over the line budget stays a call.
+  std::string Big = "function h = big(v)\nh = v;\n";
+  for (int K = 0; K != 300; ++K)
+    Big += "h = h + 0;\n";
+  TestProgram P("function y = main(x)\ny = big(x);\n" + Big);
+  ASSERT_TRUE(P.ok());
+  auto Inlined = inlineMain(P);
+  EXPECT_EQ(countUserCalls(*Inlined), 1u);
+}
+
+TEST(Inliner, ShortCircuitRhsNotHoisted) {
+  // Inlining f out of the && RHS would evaluate it unconditionally and
+  // change behavior (f errors on negative input).
+  runBoth("function y = main(x)\ny = 0;\n"
+          "if x > 0 && check(x) > 1\ny = 1;\nend\n"
+          "function c = check(v)\nif v < 0\nerror('negative');\nend\n"
+          "c = v;\n",
+          {-5});
+}
+
+TEST(Inliner, WhileConditionNotHoisted) {
+  // The condition re-evaluates per iteration; hoisting would evaluate once.
+  runBoth("function y = main(n)\nk = 0;\nwhile below(k, n)\nk = k + 1;\nend\n"
+          "y = k;\n"
+          "function b = below(a, lim)\nb = a < lim;\n",
+          {7});
+}
+
+TEST(Inliner, AlphaRenamingAvoidsCapture) {
+  // Caller and callee both use 'tmp'; inlining must not confuse them.
+  runBoth("function y = main(x)\ntmp = 100;\ny = twice(x) + tmp;\n"
+          "function t = twice(v)\ntmp = v * 2;\nt = tmp;\n",
+          {4});
+}
+
+TEST(Inliner, MultiOutputCallSite) {
+  runBoth("function y = main(x)\n[a, b] = pairof(x);\ny = a * 10 + b;\n"
+          "function [p, q] = pairof(v)\np = v + 1;\nq = v + 2;\n",
+          {3});
+}
+
+TEST(Inliner, InlinedThroughCompiledPipeline) {
+  // The engine-level behavior: a function with small callees compiles to a
+  // single unit; disabling inlining keeps CallU instructions. Compare
+  // results and the user-call fallback counters.
+  std::string Src = "function s = main(n)\ns = 0;\nfor k = 1:n\n"
+                    "s = s + sq(k);\nend\n"
+                    "function q = sq(v)\nq = v * v;\n";
+  for (bool Inline : {true, false}) {
+    EngineOptions O;
+    O.Policy = CompilePolicy::Jit;
+    O.InlineCalls = Inline;
+    Engine E(O);
+    ASSERT_TRUE(E.addSource("main", Src));
+    auto R = E.callFunction("main", {makeValue(Value::intScalar(50))}, 1,
+                            SourceLoc());
+    EXPECT_DOUBLE_EQ(R[0]->scalarValue(), 50.0 * 51 * 101 / 6);
+  }
+}
+
+TEST(Inliner, HoistedFromForIterand) {
+  // Iterands are evaluated once, so inlined callee bodies may legally be
+  // hoisted before the loop.
+  runBoth("function s = main(n)\ns = 0;\nfor k = 1:bound(n)\ns = s + k;\nend\n"
+          "function b = bound(v)\nb = v * 2;\n",
+          {5});
+}
+
+TEST(Inliner, ZeroArgumentCallee) {
+  runBoth("function y = main(x)\ny = x + base();\n"
+          "function b = base()\nb = 40;\n",
+          {2});
+}
+
+} // namespace

@@ -1,0 +1,236 @@
+//===- tests/InterpreterTest.cpp - Tree-walking interpreter -------------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace majic;
+using namespace majic::test;
+
+TEST(Interp, ScalarArithmetic) {
+  EXPECT_DOUBLE_EQ(scriptResult("x = 2 + 3 * 4;", "x"), 14);
+  EXPECT_DOUBLE_EQ(scriptResult("x = (2 + 3) * 4;", "x"), 20);
+  EXPECT_DOUBLE_EQ(scriptResult("x = 2^3^2;", "x"), 64); // left-assoc
+  EXPECT_DOUBLE_EQ(scriptResult("x = -2^2;", "x"), -4);
+  EXPECT_DOUBLE_EQ(scriptResult("x = 10 / 4;", "x"), 2.5);
+  EXPECT_DOUBLE_EQ(scriptResult("x = 2 \\ 10;", "x"), 5);
+}
+
+TEST(Interp, IfElse) {
+  EXPECT_DOUBLE_EQ(
+      scriptResult("a = 5;\nif a > 3\nx = 1;\nelse\nx = 2;\nend\n", "x"), 1);
+  EXPECT_DOUBLE_EQ(
+      scriptResult("a = 1;\nif a > 3\nx = 1;\nelseif a > 0\nx = 2;\nelse\nx "
+                   "= 3;\nend\n",
+                   "x"),
+      2);
+}
+
+TEST(Interp, WhileLoop) {
+  EXPECT_DOUBLE_EQ(
+      scriptResult("x = 0;\nk = 0;\nwhile k < 10\nk = k + 1;\nx = x + k;\nend\n",
+                   "x"),
+      55);
+}
+
+TEST(Interp, ForLoopOverRange) {
+  EXPECT_DOUBLE_EQ(
+      scriptResult("s = 0;\nfor k = 1:100\ns = s + k;\nend\n", "s"), 5050);
+  EXPECT_DOUBLE_EQ(
+      scriptResult("s = 0;\nfor k = 10:-2:1\ns = s + k;\nend\n", "s"),
+      10 + 8 + 6 + 4 + 2);
+  // Empty range: body never runs.
+  EXPECT_DOUBLE_EQ(scriptResult("s = 5;\nfor k = 3:2\ns = 0;\nend\n", "s"), 5);
+}
+
+TEST(Interp, BreakAndContinue) {
+  EXPECT_DOUBLE_EQ(scriptResult("s = 0;\nfor k = 1:10\nif k > 3\nbreak;\nend\n"
+                                "s = s + k;\nend\n",
+                                "s"),
+                   6);
+  EXPECT_DOUBLE_EQ(scriptResult("s = 0;\nfor k = 1:4\nif k == 2\ncontinue;\n"
+                                "end\ns = s + k;\nend\n",
+                                "s"),
+                   1 + 3 + 4);
+}
+
+TEST(Interp, MatrixLiteralAndIndexing) {
+  EXPECT_DOUBLE_EQ(scriptResult("A = [1 2; 3 4];\nx = A(2, 1);", "x"), 3);
+  EXPECT_DOUBLE_EQ(scriptResult("A = [1 2; 3 4];\nx = A(3);", "x"), 2);
+  EXPECT_DOUBLE_EQ(scriptResult("A = [1 2 3];\nx = A(end);", "x"), 3);
+  EXPECT_DOUBLE_EQ(scriptResult("A = [1 2 3 4];\nx = sum(A(2:end));", "x"), 9);
+  EXPECT_DOUBLE_EQ(scriptResult("A = [1 2; 3 4];\nx = sum(A(:, 2));", "x"), 6);
+}
+
+TEST(Interp, ArrayGrowthOnAssign) {
+  EXPECT_DOUBLE_EQ(scriptResult("x = 0;\nx(5) = 7;\ny = numel(x);", "y"), 5);
+  EXPECT_DOUBLE_EQ(
+      scriptResult("A = [1 2; 3 4];\nA(3, 3) = 9;\ny = A(3, 3) + A(1, 1);",
+                   "y"),
+      10);
+  // Auto-vivification of an unseen variable through indexed assignment.
+  EXPECT_DOUBLE_EQ(scriptResult("z(3) = 5;\ny = numel(z);", "y"), 3);
+}
+
+TEST(Interp, CallByValueSemantics) {
+  // The callee mutates its copy; the caller's variable is untouched.
+  std::string Src = "function r = main()\n"
+                    "a = [1 2 3];\n"
+                    "b = touch(a);\n"
+                    "r = a(1) + b;\n"
+                    "function r = touch(v)\n"
+                    "v(1) = 100;\n"
+                    "r = v(1);\n";
+  TestProgram P(Src);
+  ASSERT_TRUE(P.ok());
+  auto Rs = P.run({}, 1);
+  ASSERT_EQ(Rs.size(), 1u);
+  EXPECT_DOUBLE_EQ(Rs[0]->scalarValue(), 101);
+}
+
+TEST(Interp, RecursionFibonacci) {
+  std::string Src = "function f = fib(n)\n"
+                    "if n <= 1\n"
+                    "f = n;\n"
+                    "else\n"
+                    "f = fib(n - 1) + fib(n - 2);\n"
+                    "end\n";
+  TestProgram P(Src);
+  ASSERT_TRUE(P.ok());
+  auto Rs = P.run({makeScalar(10)}, 1);
+  EXPECT_DOUBLE_EQ(Rs[0]->scalarValue(), 55);
+}
+
+TEST(Interp, MultipleOutputs) {
+  std::string Src = "function [a, b] = swap(x, y)\na = y;\nb = x;\n";
+  TestProgram P(Src);
+  ASSERT_TRUE(P.ok());
+  auto Rs = P.run({makeScalar(1), makeScalar(2)}, 2);
+  ASSERT_EQ(Rs.size(), 2u);
+  EXPECT_DOUBLE_EQ(Rs[0]->scalarValue(), 2);
+  EXPECT_DOUBLE_EQ(Rs[1]->scalarValue(), 1);
+}
+
+TEST(Interp, MultiAssignFromBuiltin) {
+  EXPECT_DOUBLE_EQ(
+      scriptResult("A = zeros(3, 4);\n[m, n] = size(A);\nx = m * 10 + n;",
+                   "x"),
+      34);
+}
+
+TEST(Interp, EarlyReturn) {
+  std::string Src = "function r = f(x)\nr = 1;\nif x > 0\nreturn;\nend\nr = 2;\n";
+  TestProgram P(Src);
+  ASSERT_TRUE(P.ok());
+  EXPECT_DOUBLE_EQ(P.run({makeScalar(5)}, 1)[0]->scalarValue(), 1);
+}
+
+TEST(Interp, AmbiguousIResolvesAtRuntime) {
+  // Figure 2 left: first iteration reads the builtin i = sqrt(-1), later
+  // iterations read the variable.
+  std::string Src = "k = 0;\n"
+                    "while k < 2\n"
+                    "z = i;\n"
+                    "i = z + 1;\n"
+                    "k = k + 1;\n"
+                    "end\n";
+  TestProgram P(Src);
+  ASSERT_TRUE(P.ok());
+  P.run();
+  ValuePtr Z = P.scriptVar("z");
+  ASSERT_TRUE(Z != nullptr);
+  // Second iteration: z = (i_builtin + 1) = 1 + 1i.
+  EXPECT_TRUE(Z->isComplex());
+  EXPECT_DOUBLE_EQ(Z->re(0), 1);
+  EXPECT_DOUBLE_EQ(Z->im(0), 1);
+}
+
+TEST(Interp, Figure2RightGuardedUse) {
+  std::string Src = "x = 0;\n"
+                    "for p = 1:3\n"
+                    "if p >= 2\nx = y;\nend\n"
+                    "y = p;\n"
+                    "end\n";
+  EXPECT_DOUBLE_EQ(scriptResult(Src, "x"), 2); // y from the previous iter
+}
+
+TEST(Interp, UndefinedVariableThrows) {
+  TestProgram P("x = doesnotexist + 1;");
+  ASSERT_TRUE(P.ok());
+  EXPECT_THROW(P.run(), MatlabError);
+}
+
+TEST(Interp, ShortCircuitAvoidsEvaluation) {
+  // The RHS would throw (undefined variable) if evaluated.
+  EXPECT_DOUBLE_EQ(
+      scriptResult("a = 0;\nif a > 0 && nosuchvar(1) > 0\nx = 1;\nelse\nx = "
+                   "2;\nend\n",
+                   "x"),
+      2);
+}
+
+TEST(Interp, StringsAndDisp) {
+  EXPECT_EQ(scriptOutput("disp('hello world');"), "hello world\n");
+  EXPECT_EQ(scriptOutput("fprintf('%d-%d\\n', 3, 4);"), "3-4\n");
+}
+
+TEST(Interp, DisplayUnsuppressed) {
+  std::string Out = scriptOutput("x = 41 + 1\n");
+  EXPECT_NE(Out.find("x ="), std::string::npos);
+  EXPECT_NE(Out.find("42"), std::string::npos);
+}
+
+TEST(Interp, ComplexScalarLoop) {
+  // A mini mandelbrot step: z = z^2 + c iterated.
+  std::string Src = "c = 0.1 + 0.2i;\nz = 0;\nfor k = 1:5\nz = z * z + c;\nend\n"
+                    "m = abs(z);";
+  double M = scriptResult(Src, "m");
+  EXPECT_GT(M, 0.0);
+  EXPECT_LT(M, 1.0);
+}
+
+TEST(Interp, ClearRemovesVariables) {
+  TestProgram P("x = 1;\nclear\ny = 2;");
+  ASSERT_TRUE(P.ok());
+  P.run();
+  EXPECT_EQ(P.scriptVar("x"), nullptr);
+  ASSERT_NE(P.scriptVar("y"), nullptr);
+}
+
+TEST(Interp, TransposeInExpression) {
+  EXPECT_DOUBLE_EQ(scriptResult("v = [1 2 3];\nx = v * v';", "x"), 14);
+}
+
+TEST(Interp, NestedFunctionCalls) {
+  std::string Src = "function r = main(n)\n"
+                    "r = double_(inc(n));\n"
+                    "function r = inc(x)\nr = x + 1;\n"
+                    "function r = double_(x)\nr = x * 2;\n";
+  TestProgram P(Src);
+  ASSERT_TRUE(P.ok());
+  EXPECT_DOUBLE_EQ(P.run({makeScalar(4)}, 1)[0]->scalarValue(), 10);
+}
+
+TEST(Interp, LogicalIndexingReadWrite) {
+  EXPECT_DOUBLE_EQ(
+      scriptResult("v = [1 -2 3 -4];\nv(v < 0) = 0;\nx = sum(v);", "x"), 4);
+}
+
+TEST(Interp, RangeWithFractionalStep) {
+  EXPECT_DOUBLE_EQ(scriptResult("x = sum(0:0.5:2);", "x"), 5.0);
+}
+
+TEST(Interp, ErrorBuiltinAborts) {
+  TestProgram P("error('custom failure');");
+  ASSERT_TRUE(P.ok());
+  try {
+    P.run();
+    FAIL() << "expected MatlabError";
+  } catch (const MatlabError &E) {
+    EXPECT_EQ(E.message(), "custom failure");
+  }
+}

@@ -1,0 +1,312 @@
+//===- tests/OpsTest.cpp - Polymorphic operation semantics --------------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Ops.h"
+
+#include <gtest/gtest.h>
+
+using namespace majic;
+using namespace majic::rt;
+
+namespace {
+
+Value rowVec(std::initializer_list<double> Xs) {
+  Value V = Value::zeros(1, Xs.size());
+  size_t I = 0;
+  for (double X : Xs)
+    V.reRef(I++) = X;
+  return V;
+}
+
+Value colVec(std::initializer_list<double> Xs) {
+  Value V = Value::zeros(Xs.size(), 1);
+  size_t I = 0;
+  for (double X : Xs)
+    V.reRef(I++) = X;
+  return V;
+}
+
+Value mat22(double A, double B, double C, double D) {
+  Value V = Value::zeros(2, 2);
+  V.reRef(0) = A; // (0,0)
+  V.reRef(1) = C; // (1,0)
+  V.reRef(2) = B; // (0,1)
+  V.reRef(3) = D; // (1,1)
+  return V;
+}
+
+} // namespace
+
+TEST(Ops, ScalarArithmetic) {
+  EXPECT_DOUBLE_EQ(
+      binary(BinOp::Add, Value::scalar(2), Value::scalar(3)).scalarValue(), 5);
+  EXPECT_DOUBLE_EQ(
+      binary(BinOp::Sub, Value::scalar(2), Value::scalar(3)).scalarValue(), -1);
+  EXPECT_DOUBLE_EQ(
+      binary(BinOp::MatMul, Value::scalar(2), Value::scalar(3)).scalarValue(),
+      6);
+  EXPECT_DOUBLE_EQ(
+      binary(BinOp::MatRDiv, Value::scalar(1), Value::scalar(4)).scalarValue(),
+      0.25);
+}
+
+TEST(Ops, IntClassPreservation) {
+  Value R = binary(BinOp::Add, Value::intScalar(2), Value::intScalar(3));
+  EXPECT_EQ(R.mclass(), MClass::Int);
+  Value R2 = binary(BinOp::Add, Value::intScalar(2), Value::scalar(3.5));
+  EXPECT_EQ(R2.mclass(), MClass::Real);
+  // Division never preserves int.
+  Value R3 = binary(BinOp::ElemRDiv, Value::intScalar(4), Value::intScalar(2));
+  EXPECT_EQ(R3.mclass(), MClass::Real);
+}
+
+TEST(Ops, ScalarMatrixBroadcast) {
+  Value M = mat22(1, 2, 3, 4);
+  Value R = binary(BinOp::Add, M, Value::scalar(10));
+  EXPECT_DOUBLE_EQ(R.at(0, 0), 11);
+  EXPECT_DOUBLE_EQ(R.at(1, 1), 14);
+}
+
+TEST(Ops, ShapeMismatchThrows) {
+  EXPECT_THROW(binary(BinOp::Add, rowVec({1, 2, 3}), rowVec({1, 2})),
+               MatlabError);
+}
+
+TEST(Ops, MatrixMultiply) {
+  Value A = mat22(1, 2, 3, 4);
+  Value B = mat22(5, 6, 7, 8);
+  Value C = binary(BinOp::MatMul, A, B);
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  EXPECT_DOUBLE_EQ(C.at(0, 0), 19);
+  EXPECT_DOUBLE_EQ(C.at(0, 1), 22);
+  EXPECT_DOUBLE_EQ(C.at(1, 0), 43);
+  EXPECT_DOUBLE_EQ(C.at(1, 1), 50);
+}
+
+TEST(Ops, MatrixVectorMultiply) {
+  Value A = mat22(1, 2, 3, 4);
+  Value X = colVec({1, 1});
+  Value Y = binary(BinOp::MatMul, A, X);
+  EXPECT_EQ(Y.rows(), 2u);
+  EXPECT_EQ(Y.cols(), 1u);
+  EXPECT_DOUBLE_EQ(Y.re(0), 3);
+  EXPECT_DOUBLE_EQ(Y.re(1), 7);
+}
+
+TEST(Ops, InnerDimensionMismatchThrows) {
+  EXPECT_THROW(binary(BinOp::MatMul, mat22(1, 2, 3, 4), rowVec({1, 2})),
+               MatlabError);
+}
+
+TEST(Ops, ComplexArithmetic) {
+  Value A = Value::complexScalar(1, 2);
+  Value B = Value::complexScalar(3, -1);
+  Value P = binary(BinOp::ElemMul, A, B);
+  // (1+2i)(3-i) = 3 - i + 6i - 2i^2 = 5 + 5i
+  EXPECT_DOUBLE_EQ(P.re(0), 5);
+  EXPECT_DOUBLE_EQ(P.im(0), 5);
+}
+
+TEST(Ops, PowerEscalatesToComplex) {
+  // (-8)^(1/3) is complex in MATLAB.
+  Value R = binary(BinOp::MatPow, Value::scalar(-8), Value::scalar(1.0 / 3));
+  EXPECT_TRUE(R.isComplex());
+  EXPECT_NEAR(R.re(0), 1.0, 1e-9);
+  EXPECT_NEAR(R.im(0), std::sqrt(3.0), 1e-9);
+  // Integer exponents stay real.
+  Value R2 = binary(BinOp::MatPow, Value::scalar(-2), Value::scalar(3));
+  EXPECT_FALSE(R2.isComplex());
+  EXPECT_DOUBLE_EQ(R2.scalarValue(), -8);
+}
+
+TEST(Ops, MatrixPower) {
+  Value A = mat22(1, 1, 0, 1);
+  Value R = binary(BinOp::MatPow, A, Value::scalar(3));
+  // [1 1; 0 1]^3 = [1 3; 0 1]
+  EXPECT_DOUBLE_EQ(R.at(0, 1), 3);
+  EXPECT_DOUBLE_EQ(R.at(1, 0), 0);
+}
+
+TEST(Ops, ComparisonsIgnoreImaginaryParts) {
+  // Section 2.5: relational operators disregard imaginary components.
+  Value A = Value::complexScalar(1, 100);
+  Value B = Value::complexScalar(2, -100);
+  EXPECT_DOUBLE_EQ(binary(BinOp::Lt, A, B).scalarValue(), 1.0);
+  // Eq compares full complex values.
+  EXPECT_DOUBLE_EQ(binary(BinOp::Eq, A, A).scalarValue(), 1.0);
+  EXPECT_DOUBLE_EQ(binary(BinOp::Eq, A, B).scalarValue(), 0.0);
+}
+
+TEST(Ops, ComparisonYieldsBoolMatrix) {
+  Value R = binary(BinOp::Gt, rowVec({1, 5, 3}), Value::scalar(2));
+  EXPECT_EQ(R.mclass(), MClass::Bool);
+  EXPECT_DOUBLE_EQ(R.re(0), 0);
+  EXPECT_DOUBLE_EQ(R.re(1), 1);
+  EXPECT_DOUBLE_EQ(R.re(2), 1);
+}
+
+TEST(Ops, TransposeAndConjugate) {
+  Value A = Value::zeros(1, 2, MClass::Complex);
+  A.reRef(0) = 1;
+  A.imRef(0) = 2;
+  A.reRef(1) = 3;
+  A.imRef(1) = 4;
+  Value CT = unary(UnOp::CTranspose, A);
+  EXPECT_EQ(CT.rows(), 2u);
+  EXPECT_DOUBLE_EQ(CT.im(0), -2); // conjugated
+  Value T = unary(UnOp::Transpose, A);
+  EXPECT_DOUBLE_EQ(T.im(0), 2); // not conjugated
+}
+
+TEST(Ops, MatLDivSolvesSystems) {
+  Value A = mat22(2, 0, 0, 4);
+  Value B = colVec({2, 8});
+  Value X = binary(BinOp::MatLDiv, A, B);
+  EXPECT_NEAR(X.re(0), 1, 1e-12);
+  EXPECT_NEAR(X.re(1), 2, 1e-12);
+}
+
+TEST(Ops, ColonUsesRealPartOnly) {
+  // Section 2.5 hint #1: colon silently ignores imaginary parts.
+  Value R = colon(Value::complexScalar(1, 9), Value::complexScalar(3, -5));
+  EXPECT_EQ(R.numel(), 3u);
+  EXPECT_DOUBLE_EQ(R.re(2), 3);
+}
+
+TEST(Ops, Concatenation) {
+  const Value A = rowVec({1, 2});
+  const Value B = rowVec({3});
+  const Value *Hs[] = {&A, &B};
+  Value H = horzcat(Hs);
+  EXPECT_EQ(H.cols(), 3u);
+  EXPECT_DOUBLE_EQ(H.re(2), 3);
+
+  const Value C = rowVec({1, 2});
+  const Value D = rowVec({3, 4});
+  const Value *Vs[] = {&C, &D};
+  Value V = vertcat(Vs);
+  EXPECT_EQ(V.rows(), 2u);
+  EXPECT_DOUBLE_EQ(V.at(1, 0), 3);
+  EXPECT_DOUBLE_EQ(V.at(1, 1), 4);
+}
+
+TEST(Ops, ConcatenationMismatchThrows) {
+  const Value A = rowVec({1, 2});
+  const Value B = colVec({1, 2});
+  const Value *Vs[] = {&A, &B};
+  EXPECT_THROW(vertcat(Vs), MatlabError);
+}
+
+TEST(Ops, StringConcatenation) {
+  const Value A = Value::str("ab");
+  const Value B = Value::str("cd");
+  const Value *Hs[] = {&A, &B};
+  Value H = horzcat(Hs);
+  EXPECT_TRUE(H.isString());
+  EXPECT_EQ(H.stringValue(), "abcd");
+}
+
+TEST(Ops, EmptyPartsAbsorbedInConcat) {
+  const Value A = rowVec({1, 2});
+  const Value E;
+  const Value *Hs[] = {&E, &A};
+  Value H = horzcat(Hs);
+  EXPECT_EQ(H.numel(), 2u);
+}
+
+TEST(Indexing, LinearRead) {
+  Value M = mat22(1, 2, 3, 4); // column-major: 1 3 2 4
+  Value R = rt::index1(M, Indexer::single(2));
+  EXPECT_DOUBLE_EQ(R.scalarValue(), 2); // third element, column-major
+}
+
+TEST(Indexing, TwoDimRead) {
+  Value M = mat22(1, 2, 3, 4);
+  Value R = rt::index2(M, Indexer::single(0), Indexer::single(1));
+  EXPECT_DOUBLE_EQ(R.scalarValue(), 2);
+}
+
+TEST(Indexing, ColonRead) {
+  Value M = mat22(1, 2, 3, 4);
+  Value Col = rt::index2(M, Indexer::colon(), Indexer::single(1));
+  EXPECT_EQ(Col.rows(), 2u);
+  EXPECT_DOUBLE_EQ(Col.re(0), 2);
+  EXPECT_DOUBLE_EQ(Col.re(1), 4);
+  // A(:) is always a column vector.
+  Value All = rt::index1(M, Indexer::colon());
+  EXPECT_EQ(All.rows(), 4u);
+  EXPECT_EQ(All.cols(), 1u);
+}
+
+TEST(Indexing, OutOfBoundsReadThrows) {
+  Value M = mat22(1, 2, 3, 4);
+  EXPECT_THROW(rt::index1(M, Indexer::single(4)), MatlabError);
+  EXPECT_THROW(rt::index2(M, Indexer::single(2), Indexer::single(0)),
+               MatlabError);
+}
+
+TEST(Indexing, BadSubscriptThrows) {
+  EXPECT_THROW(checkSubscript(0), MatlabError);
+  EXPECT_THROW(checkSubscript(-3), MatlabError);
+  EXPECT_THROW(checkSubscript(1.5), MatlabError);
+  EXPECT_EQ(checkSubscript(3), 2u);
+}
+
+TEST(Indexing, LogicalIndexSelectsNonzero) {
+  Value V = rowVec({10, 20, 30});
+  Value Mask = rowVec({1, 0, 1});
+  Mask.setClass(MClass::Bool);
+  Indexer I = Indexer::fromValue(Mask, V.numel());
+  Value R = rt::index1(V, I);
+  EXPECT_EQ(R.numel(), 2u);
+  EXPECT_DOUBLE_EQ(R.re(1), 30);
+}
+
+TEST(Indexing, AssignGrowsVector) {
+  Value V = rowVec({1});
+  rt::indexAssign1(V, Indexer::single(4), Value::scalar(9));
+  EXPECT_EQ(V.cols(), 5u);
+  EXPECT_DOUBLE_EQ(V.re(4), 9);
+  EXPECT_DOUBLE_EQ(V.re(2), 0); // zero-filled gap
+}
+
+TEST(Indexing, AssignGrowsMatrixIn2D) {
+  Value M = mat22(1, 2, 3, 4);
+  rt::indexAssign2(M, Indexer::single(2), Indexer::single(2),
+                   Value::scalar(9));
+  EXPECT_EQ(M.rows(), 3u);
+  EXPECT_EQ(M.cols(), 3u);
+  EXPECT_DOUBLE_EQ(M.at(2, 2), 9);
+  EXPECT_DOUBLE_EQ(M.at(0, 0), 1); // preserved
+}
+
+TEST(Indexing, LinearGrowOfMatrixThrows) {
+  Value M = mat22(1, 2, 3, 4);
+  EXPECT_THROW(rt::indexAssign1(M, Indexer::single(10), Value::scalar(1)),
+               MatlabError);
+}
+
+TEST(Indexing, AssignComplexPromotesBase) {
+  Value V = rowVec({1, 2});
+  rt::indexAssign1(V, Indexer::single(0), Value::complexScalar(0, 1));
+  EXPECT_TRUE(V.isComplex());
+  EXPECT_DOUBLE_EQ(V.im(0), 1);
+  EXPECT_DOUBLE_EQ(V.im(1), 0);
+}
+
+TEST(Indexing, ColonAssignWholeColumn) {
+  Value M = mat22(1, 2, 3, 4);
+  rt::indexAssign2(M, Indexer::colon(), Indexer::single(0), colVec({7, 8}));
+  EXPECT_DOUBLE_EQ(M.at(0, 0), 7);
+  EXPECT_DOUBLE_EQ(M.at(1, 0), 8);
+  EXPECT_DOUBLE_EQ(M.at(0, 1), 2);
+}
+
+TEST(Indexing, CountMismatchThrows) {
+  Value V = rowVec({1, 2, 3});
+  EXPECT_THROW(rt::indexAssign1(V, Indexer::single(0), rowVec({1, 2})),
+               MatlabError);
+}
