@@ -153,7 +153,7 @@ void BM_RepositoryLookup(benchmark::State &State) {
   TypeSignature Probe({Type::constant(2), Type::constant(2),
                        Type::constant(2)});
   for (auto _ : State) {
-    const CompiledObject *Hit = Repo.lookup("f", Probe);
+    CompiledObjectPtr Hit = Repo.lookup("f", Probe);
     benchmark::DoNotOptimize(Hit);
   }
 }

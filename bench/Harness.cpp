@@ -91,6 +91,9 @@ void invokeOnce(Engine &E, const BenchmarkSpec &Spec) {
 
 double majic::bench::timeInterpreted(const BenchmarkSpec &Spec) {
   EngineOptions O;
+  // Measured configurations compile synchronously: the paper's timing
+  // methodology excludes ahead-of-time compilation explicitly.
+  O.BackgroundCompileThreads = 0;
   O.Policy = CompilePolicy::InterpretOnly;
   Engine E(O);
   loadBenchmark(E, Spec);
@@ -100,6 +103,7 @@ double majic::bench::timeInterpreted(const BenchmarkSpec &Spec) {
 double majic::bench::timeMcc(const BenchmarkSpec &Spec,
                              const PlatformModel &Platform) {
   EngineOptions O;
+  O.BackgroundCompileThreads = 0;
   O.Policy = CompilePolicy::Mcc;
   O.Platform = Platform;
   Engine E(O);
@@ -111,6 +115,7 @@ double majic::bench::timeMcc(const BenchmarkSpec &Spec,
 double majic::bench::timeFalcon(const BenchmarkSpec &Spec,
                                 const PlatformModel &Platform) {
   EngineOptions O;
+  O.BackgroundCompileThreads = 0;
   O.Policy = CompilePolicy::Falcon;
   O.Platform = Platform;
   Engine E(O);
@@ -130,6 +135,7 @@ double majic::bench::timeJit(const BenchmarkSpec &Spec,
   // a fresh engine.
   return bestOf(repetitions(), [&] {
     EngineOptions O;
+    O.BackgroundCompileThreads = 0;
     O.Policy = CompilePolicy::Jit;
     O.Platform = Platform;
     O.Infer = Infer;
@@ -143,6 +149,7 @@ double majic::bench::timeJit(const BenchmarkSpec &Spec,
 double majic::bench::timeSpec(const BenchmarkSpec &Spec,
                               const PlatformModel &Platform) {
   EngineOptions O;
+  O.BackgroundCompileThreads = 0;
   O.Policy = CompilePolicy::Speculative;
   O.Platform = Platform;
   Engine E(O);

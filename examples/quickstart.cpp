@@ -51,12 +51,12 @@ int main() {
               Second.seconds() * 1e3);
 
   // What the repository now holds.
-  const auto *Versions = E.repository().versions("demo");
-  std::printf("repository versions of 'demo': %zu\n", Versions->size());
-  for (const CompiledObject &Obj : *Versions)
+  auto Versions = E.repository().versions("demo");
+  std::printf("repository versions of 'demo': %zu\n", Versions.size());
+  for (const CompiledObjectPtr &Obj : Versions)
     std::printf("  signature %s, compiled in %.3f ms, %llu hits\n",
-                Obj.Sig.str().c_str(), Obj.CompileSeconds * 1e3,
-                static_cast<unsigned long long>(Obj.Hits));
+                Obj->Sig.str().c_str(), Obj->CompileSeconds * 1e3,
+                static_cast<unsigned long long>(Obj->Hits.load()));
 
   // The interactive front end works too.
   std::printf("\nscript session:\n%s",

@@ -29,18 +29,22 @@ using namespace majic;
 int main(int Argc, char **Argv) {
   EngineOptions Opts;
   Opts.Policy = CompilePolicy::Speculative;
+  Opts.BackgroundCompileThreads = 2;
   Engine E(Opts);
 
   // Watch the corpus directory plus any directories on the command line;
-  // the snooper speculatively compiles everything it finds (Section 2).
+  // the snooper queues everything it finds for background speculative
+  // compilation (Section 2.5) - the prompt appears immediately, the
+  // compiler works while the user types.
   E.watchDirectory(mlibDirectory());
   for (int A = 1; A != Argc; ++A)
     E.watchDirectory(Argv[A]);
   unsigned Loaded = E.snoop();
   std::printf("MaJIC interactive front end (reproduction). %u function(s) "
-              "snooped and compiled speculatively.\n",
-              Loaded);
-  std::printf("Try: s = fibonacci(20), M = mandel(24, 30), \\repo, \\quit\n");
+              "snooped; compiling speculatively on %u background worker(s).\n",
+              Loaded, Opts.BackgroundCompileThreads);
+  std::printf("Try: s = fibonacci(20), M = mandel(24, 30), \\repo, \\spec, "
+              "\\quit\n");
 
   std::string Line;
   while (true) {
@@ -51,11 +55,36 @@ int main(int Argc, char **Argv) {
     if (Line == "\\quit" || Line == "\\q")
       break;
     if (Line == "\\repo") {
-      std::printf("repository: %zu object(s), %llu hits, %llu misses\n",
+      std::printf("repository: %zu object(s), %llu hits, %llu misses "
+                  "(%llu no-function + %llu no-safe-version), "
+                  "%.3f s total compile time\n",
                   E.repository().totalObjects(),
                   static_cast<unsigned long long>(E.repository().lookupHits()),
                   static_cast<unsigned long long>(
-                      E.repository().lookupMisses()));
+                      E.repository().lookupMisses()),
+                  static_cast<unsigned long long>(
+                      E.repository().lookupMissesNoFunction()),
+                  static_cast<unsigned long long>(
+                      E.repository().lookupMissesNoSafeVersion()),
+                  E.repository().totalCompileSeconds());
+      continue;
+    }
+    if (Line == "\\spec") {
+      SpeculationStats S = E.speculationStats();
+      std::printf("background speculation: %llu queued, %llu completed, "
+                  "%llu dropped, %llu deduped, %llu interpreted-in-flight\n",
+                  static_cast<unsigned long long>(S.Queued),
+                  static_cast<unsigned long long>(S.Completed),
+                  static_cast<unsigned long long>(S.Dropped),
+                  static_cast<unsigned long long>(S.DedupedRequests),
+                  static_cast<unsigned long long>(S.InFlightInterpreted));
+      std::printf("  %.3f s compiled in the background; time to first "
+                  "result: %s\n",
+                  S.BackgroundCompileSeconds,
+                  S.TimeToFirstResultSeconds < 0
+                      ? "(no invocation yet)"
+                      : (std::to_string(S.TimeToFirstResultSeconds) + " s")
+                            .c_str());
       continue;
     }
     if (Line == "\\phases") {

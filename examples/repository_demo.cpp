@@ -26,21 +26,21 @@
 using namespace majic;
 
 static void showRepo(Engine &E, const char *FnName) {
-  const auto *Versions = E.repository().versions(FnName);
-  if (!Versions || Versions->empty()) {
+  auto Versions = E.repository().versions(FnName);
+  if (Versions.empty()) {
     std::printf("  repository: no versions of '%s'\n", FnName);
     return;
   }
   std::printf("  repository versions of '%s':\n", FnName);
-  for (const CompiledObject &Obj : *Versions) {
-    const char *From = Obj.From == CompiledObject::Origin::Speculative
+  for (const CompiledObjectPtr &Obj : Versions) {
+    const char *From = Obj->From == CompiledObject::Origin::Speculative
                            ? "speculative"
-                       : Obj.From == CompiledObject::Origin::Jit ? "jit"
-                       : Obj.From == CompiledObject::Origin::Batch
+                       : Obj->From == CompiledObject::Origin::Jit ? "jit"
+                       : Obj->From == CompiledObject::Origin::Batch
                            ? "batch"
                            : "generic";
-    std::printf("    %-11s sig=%s hits=%llu\n", From, Obj.Sig.str().c_str(),
-                static_cast<unsigned long long>(Obj.Hits));
+    std::printf("    %-11s sig=%s hits=%llu\n", From, Obj->Sig.str().c_str(),
+                static_cast<unsigned long long>(Obj->Hits.load()));
   }
 }
 
@@ -78,6 +78,9 @@ int main() {
 
   std::printf("1) snooping %s\n", Dir.c_str());
   E.snoop();
+  // The speculative compile runs on a background worker; wait for it so
+  // the walkthrough below is deterministic.
+  E.drainCompiles();
   std::printf("   speculated signature: %s\n",
               E.speculated("smooth").str().c_str());
   showRepo(E, "smooth");
@@ -112,6 +115,7 @@ int main() {
          "y = v;\n";
   }
   E.snoop();
+  E.drainCompiles();
   showRepo(E, "smooth");
   auto R2 = E.callFunction(
       "smooth", {makeValue(V), makeValue(Value::intScalar(3))}, 1,

@@ -10,6 +10,7 @@
 #include "infer/Speculate.h"
 #include "support/StringUtils.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -35,9 +36,19 @@ Engine::Engine(EngineOptions OptsIn) : Opts(std::move(OptsIn)) {
   Ctx.Rand.reseed(Opts.RandSeed);
   Machine = std::make_unique<VM>(Ctx, *this);
   Interp = std::make_unique<Interpreter>(Ctx, *this);
+  // Idle-priority workers: background compilation only consumes cycles
+  // the interactive thread leaves free, so responsiveness holds even on a
+  // single-core machine (the paper's "the user never waits").
+  if (Opts.BackgroundCompileThreads > 0)
+    SpecPool = std::make_unique<ThreadPool>(Opts.BackgroundCompileThreads,
+                                            ThreadPool::Priority::Idle);
 }
 
-Engine::~Engine() = default;
+Engine::~Engine() {
+  // Joining the workers first: in-flight tasks touch the repository and
+  // the speculation bookkeeping, which must outlive them.
+  SpecPool.reset();
+}
 
 //===----------------------------------------------------------------------===//
 // Loading
@@ -64,8 +75,10 @@ bool Engine::addSource(const std::string &Name, const std::string &Source) {
     LF.F = F.get();
     LF.M = M;
     LF.Info = disambiguate(*F, *M);
-    // New source shadows any previous definition; drop stale code.
-    Repo.invalidate(F->name());
+    // New source shadows any previous definition; drop stale code and
+    // make sure in-flight background compiles of the old source are
+    // dropped rather than published.
+    invalidateFunction(F->name());
     Functions[F->name()] = std::move(LF);
     LastLoadedNames.push_back(F->name());
   }
@@ -99,8 +112,15 @@ unsigned Engine::snoop() {
       continue;
     ++Loaded;
     if (Opts.Policy == CompilePolicy::Speculative)
-      for (const std::string &Fn : LastLoadedNames)
-        precompileSpeculative(Fn);
+      for (const std::string &Fn : LastLoadedNames) {
+        // With a worker pool the compile happens off this thread ("the
+        // user never waits for the compiler"); without one, fall back to
+        // the synchronous pre-async behavior.
+        if (SpecPool)
+          speculateAsync(Fn);
+        else
+          precompileSpeculative(Fn);
+      }
   }
   return Loaded;
 }
@@ -114,11 +134,11 @@ Engine::LoadedFunction *Engine::find(const std::string &Name) {
   return It == Functions.end() ? nullptr : &It->second;
 }
 
-FunctionInfo *Engine::compileView(LoadedFunction &LF) {
+const std::shared_ptr<FunctionInfo> &Engine::compileView(LoadedFunction &LF) {
   if (!Opts.InlineCalls)
-    return LF.Info.get();
+    return LF.Info;
   if (LF.InlinedInfo)
-    return LF.InlinedInfo.get();
+    return LF.InlinedInfo;
 
   ScopedPhaseTimer T(Phases, Phase::Disambiguate);
   FunctionResolver Resolve = [this](const std::string &Callee) -> const Function * {
@@ -129,22 +149,12 @@ FunctionInfo *Engine::compileView(LoadedFunction &LF) {
   // Inlining invalidates the symbol table (Section 2: "which then
   // necessitates the re-building of the symbol table").
   LF.InlinedInfo = disambiguate(*LF.InlinedF, *LF.M);
-  return LF.InlinedInfo.get();
+  return LF.InlinedInfo;
 }
 
-const CompiledObject *Engine::compileAndInsert(const std::string &Name,
-                                               const TypeSignature &Sig,
-                                               CodeGenMode Mode,
-                                               CompiledObject::Origin From,
-                                               bool Optimistic) {
-  LoadedFunction *LF = find(Name);
-  if (!LF || LF->F->isScript())
-    return nullptr;
-  FunctionInfo *FI = compileView(*LF);
-  if (FI->HasAmbiguousSymbols)
-    return nullptr;
-
-  Timer Total;
+CompileRequest Engine::makeRequest(const FunctionInfo *FI,
+                                   const TypeSignature &Sig, CodeGenMode Mode,
+                                   bool Optimistic) const {
   CompileRequest Req;
   Req.FI = FI;
   Req.Sig = Sig;
@@ -155,6 +165,23 @@ const CompiledObject *Engine::compileAndInsert(const std::string &Name,
   Req.RegAlloc = Opts.RegAlloc;
   Req.UnrollSmallVectors =
       Mode == CodeGenMode::Jit ? Opts.Platform.JitUnrollsSmallVectors : true;
+  return Req;
+}
+
+CompiledObjectPtr Engine::compileAndInsert(const std::string &Name,
+                                           const TypeSignature &Sig,
+                                           CodeGenMode Mode,
+                                           CompiledObject::Origin From,
+                                           bool Optimistic) {
+  LoadedFunction *LF = find(Name);
+  if (!LF || LF->F->isScript())
+    return nullptr;
+  const std::shared_ptr<FunctionInfo> &FI = compileView(*LF);
+  if (FI->HasAmbiguousSymbols)
+    return nullptr;
+
+  Timer Total;
+  CompileRequest Req = makeRequest(FI.get(), Sig, Mode, Optimistic);
   std::optional<CompileResult> Result = compileFunction(Req);
   if (!Result)
     return nullptr;
@@ -184,12 +211,126 @@ bool Engine::precompileSpeculative(const std::string &Name) {
   LoadedFunction *LF = find(Name);
   if (!LF || LF->F->isScript())
     return false;
-  FunctionInfo *FI = compileView(*LF);
+  const std::shared_ptr<FunctionInfo> &FI = compileView(*LF);
   if (FI->HasAmbiguousSymbols)
     return false;
   TypeSignature Spec = speculateSignature(*FI, Opts.Infer);
   return compileAndInsert(Name, Spec, CodeGenMode::Optimized,
                           CompiledObject::Origin::Speculative) != nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Background speculation (the compile queue)
+//===----------------------------------------------------------------------===//
+
+bool Engine::speculateAsync(const std::string &Name) {
+  if (!SpecPool)
+    return false;
+  LoadedFunction *LF = find(Name);
+  if (!LF || LF->F->isScript())
+    return false;
+  // The analysis view is built here, on the engine's thread (it mutates
+  // the LoadedFunction); speculative inference and the compile pipeline -
+  // both pure over the FunctionInfo - run on the worker, keeping the
+  // interactive thread's share of the request to parse + disambiguate.
+  const std::shared_ptr<FunctionInfo> &View = compileView(*LF);
+  if (View->HasAmbiguousSymbols)
+    return false;
+
+  std::shared_ptr<const FunctionInfo> FI = View;
+  std::shared_ptr<const Function> KeepAlive = LF->InlinedF;
+  uint64_t Gen;
+  {
+    std::lock_guard<std::mutex> L(SpecMutex);
+    if (std::find(InFlight.begin(), InFlight.end(), Name) != InFlight.end()) {
+      ++SpecStats.DedupedRequests;
+      return false;
+    }
+    InFlight.push_back(Name);
+    Gen = SourceGeneration[Name];
+    ++SpecStats.Queued;
+    ++PendingCompiles;
+  }
+  SpecPool->enqueue([this, Name, FI, KeepAlive, Gen] {
+    backgroundCompile(Name, FI, KeepAlive, Gen);
+  });
+  return true;
+}
+
+void Engine::backgroundCompile(std::string Name,
+                               std::shared_ptr<const FunctionInfo> FI,
+                               std::shared_ptr<const Function> KeepAlive,
+                               uint64_t Gen) {
+  // KeepAlive pins the inlined clone FI's nodes point into; reloading the
+  // function on the main thread must not pull it out from under us.
+  (void)KeepAlive;
+  Timer Total;
+  TypeSignature Sig = speculateSignature(*FI, Opts.Infer);
+  CompileRequest Req =
+      makeRequest(FI.get(), Sig, CodeGenMode::Optimized, /*Optimistic=*/true);
+  std::optional<CompileResult> Result = compileFunction(Req);
+  double Seconds = Total.seconds();
+
+  CompiledObject Obj;
+  if (Result) {
+    Phases.add(Phase::TypeInference, Result->TypeInferSeconds);
+    Phases.add(Phase::CodeGen, Result->CodeGenSeconds);
+    Obj.FunctionName = Name;
+    Obj.Sig = Sig;
+    Obj.Code = std::move(Result->Code);
+    Obj.Mode = CodeGenMode::Optimized;
+    Obj.CompileSeconds = Seconds;
+    Obj.From = CompiledObject::Origin::Speculative;
+  }
+  {
+    std::lock_guard<std::mutex> L(SpecMutex);
+    SpecStats.BackgroundCompileSeconds += Seconds;
+    // Publish only when the source generation is unchanged: an invalidate
+    // or reload while we compiled makes this object stale.
+    bool Stale = SourceGeneration[Name] != Gen;
+    if (Result && !Stale) {
+      Repo.insert(std::move(Obj));
+      ++SpecStats.Completed;
+    } else {
+      ++SpecStats.Dropped;
+    }
+    InFlight.erase(std::find(InFlight.begin(), InFlight.end(), Name));
+    --PendingCompiles;
+  }
+  SpecIdleCv.notify_all();
+}
+
+void Engine::drainCompiles() {
+  std::unique_lock<std::mutex> L(SpecMutex);
+  SpecIdleCv.wait(L, [this] { return PendingCompiles == 0; });
+}
+
+bool Engine::speculationInFlight(const std::string &Name) const {
+  std::lock_guard<std::mutex> L(SpecMutex);
+  return std::find(InFlight.begin(), InFlight.end(), Name) != InFlight.end();
+}
+
+SpeculationStats Engine::speculationStats() const {
+  std::lock_guard<std::mutex> L(SpecMutex);
+  return SpecStats;
+}
+
+void Engine::invalidateFunction(const std::string &Name) {
+  // Bumping the generation and dropping published code under the same
+  // lock the workers publish under: a worker finishing now either sees
+  // the new generation (and drops its result) or published before the
+  // invalidate (and its object is erased here).
+  std::lock_guard<std::mutex> L(SpecMutex);
+  ++SourceGeneration[Name];
+  Repo.invalidate(Name);
+}
+
+void Engine::recordFirstResult() {
+  if (CallDepth != 1)
+    return;
+  std::lock_guard<std::mutex> L(SpecMutex);
+  if (SpecStats.TimeToFirstResultSeconds < 0)
+    SpecStats.TimeToFirstResultSeconds = BirthTimer.seconds();
 }
 
 bool Engine::precompileGeneric(const std::string &Name, size_t Arity) {
@@ -204,6 +345,7 @@ TypeSignature Engine::speculated(const std::string &Name) {
     return TypeSignature();
   return speculateSignature(*compileView(*LF), Opts.Infer);
 }
+
 
 //===----------------------------------------------------------------------===//
 // Invocation
@@ -234,19 +376,36 @@ std::vector<ValuePtr> Engine::callFunction(const std::string &Name,
     throw MatlabError("maximum recursion depth exceeded", Loc);
   DepthGuard Guard(CallDepth);
 
-  if (Opts.Policy == CompilePolicy::InterpretOnly || LF->F->isScript())
-    return interpretCall(*LF, std::move(Args), NumOuts);
+  if (Opts.Policy == CompilePolicy::InterpretOnly || LF->F->isScript()) {
+    auto R = interpretCall(*LF, std::move(Args), NumOuts);
+    recordFirstResult();
+    return R;
+  }
 
   TypeSignature Sig = TypeSignature::ofValues(Args);
-  const CompiledObject *Obj = Repo.lookup(Name, Sig);
+  CompiledObjectPtr Obj = Repo.lookup(Name, Sig);
+  if (!Obj && Opts.Policy == CompilePolicy::Speculative &&
+      speculationInFlight(Name)) {
+    // A background compile of this function is still in flight: interpret
+    // this one invocation instead of duplicating the compiler's work on
+    // the hot path; the next call picks up the published object.
+    ++InterpFallbacks;
+    {
+      std::lock_guard<std::mutex> L(SpecMutex);
+      ++SpecStats.InFlightInterpreted;
+    }
+    auto R = interpretCall(*LF, std::move(Args), NumOuts);
+    recordFirstResult();
+    return R;
+  }
   if (!Obj) {
     // Miss: compile according to policy. When a version with the same
     // skeleton already exists (recursive calls with different constants),
     // compile the generalized signature so the repository converges.
     TypeSignature CompileSig = Sig;
     TypeSignature General = Sig.generalized();
-    if (Repo.versions(Name) && !Repo.versions(Name)->empty() &&
-        !(General == Sig) && Sig.safeFor(General))
+    if (Repo.versionCount(Name) != 0 && !(General == Sig) &&
+        Sig.safeFor(General))
       CompileSig = General;
 
     switch (Opts.Policy) {
@@ -272,9 +431,15 @@ std::vector<ValuePtr> Engine::callFunction(const std::string &Name,
   }
   if (!Obj) {
     ++InterpFallbacks;
-    return interpretCall(*LF, std::move(Args), NumOuts);
+    auto R = interpretCall(*LF, std::move(Args), NumOuts);
+    recordFirstResult();
+    return R;
   }
-  return runCompiled(*Obj, std::move(Args), NumOuts);
+  // Obj is a shared handle: even if a background recompile replaces this
+  // version in the repository mid-execution, the object stays alive.
+  auto R = runCompiled(*Obj, std::move(Args), NumOuts);
+  recordFirstResult();
+  return R;
 }
 
 bool Engine::knowsFunction(const std::string &Name) {
@@ -304,7 +469,7 @@ std::vector<ValuePtr> Engine::runCompiled(const CompiledObject &Obj,
     TypeSignature Sig = Obj.Sig;
     CodeGenMode Mode = Obj.Mode;
     CompiledObject::Origin From = Obj.From;
-    const CompiledObject *Repl =
+    CompiledObjectPtr Repl =
         compileAndInsert(Name, Sig, Mode, From, /*Optimistic=*/false);
     if (!Repl) {
       ++InterpFallbacks;
@@ -362,7 +527,7 @@ std::string Engine::runScript(const std::string &Source) {
       LF.F = F.get();
       LF.M = M;
       LF.Info = disambiguate(*F, *M);
-      Repo.invalidate(F->name());
+      invalidateFunction(F->name());
       Functions[F->name()] = std::move(LF);
     }
     return "";

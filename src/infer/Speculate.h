@@ -20,6 +20,13 @@
 /// correctness: the repository's signature check rejects unsafe code at
 /// invocation time (Section 3.6).
 ///
+/// Thread safety: speculateSignature() is pure over \p FI - it reads the
+/// FunctionInfo and its AST without mutating either, keeping results in
+/// local side tables. The engine's background-compilation workers call it
+/// concurrently with the interactive thread; any future hint pass that
+/// wants to cache onto the AST must move that state into InferResult
+/// instead.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MAJIC_INFER_SPECULATE_H

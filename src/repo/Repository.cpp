@@ -6,57 +6,88 @@
 
 #include "repo/Repository.h"
 
+#include <mutex>
+
 using namespace majic;
 
-const CompiledObject *Repository::lookup(const std::string &Name,
-                                         const TypeSignature &Invocation) const {
+CompiledObjectPtr Repository::lookup(const std::string &Name,
+                                     const TypeSignature &Invocation) const {
+  std::shared_lock<std::shared_mutex> L(Mutex);
   auto It = Table.find(Name);
   if (It == Table.end()) {
-    ++Misses;
+    MissesNoFunction.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
-  const CompiledObject *Best = nullptr;
+  const std::shared_ptr<CompiledObject> *Best = nullptr;
   double BestDistance = 0;
-  for (const CompiledObject &Obj : It->second) {
-    if (!Invocation.safeFor(Obj.Sig))
+  for (const std::shared_ptr<CompiledObject> &Obj : It->second) {
+    if (!Invocation.safeFor(Obj->Sig))
       continue;
-    double D = Invocation.distance(Obj.Sig);
+    double D = Invocation.distance(Obj->Sig);
     if (!Best || D < BestDistance) {
       Best = &Obj;
       BestDistance = D;
     }
   }
   if (!Best) {
-    ++Misses;
+    MissesNoSafeVersion.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
-  ++HitsCount;
-  ++Best->Hits;
-  return Best;
+  HitsCount.fetch_add(1, std::memory_order_relaxed);
+  (*Best)->Hits.fetch_add(1, std::memory_order_relaxed);
+  return *Best;
 }
 
 void Repository::insert(CompiledObject Obj) {
-  std::vector<CompiledObject> &Versions = Table[Obj.FunctionName];
-  for (CompiledObject &Existing : Versions) {
-    if (Existing.Sig == Obj.Sig) {
-      Existing = std::move(Obj);
+  auto New = std::make_shared<CompiledObject>(std::move(Obj));
+  std::unique_lock<std::shared_mutex> L(Mutex);
+  CompileSecondsTotal += New->CompileSeconds;
+  std::vector<std::shared_ptr<CompiledObject>> &Versions =
+      Table[New->FunctionName];
+  for (std::shared_ptr<CompiledObject> &Existing : Versions) {
+    if (Existing->Sig == New->Sig) {
+      // Recompilation of an existing signature: the object is new but the
+      // version's usage history is not; carry the hit count over.
+      New->Hits.store(Existing->Hits.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+      Existing = std::move(New);
       return;
     }
   }
-  Versions.push_back(std::move(Obj));
+  Versions.push_back(std::move(New));
 }
 
-void Repository::invalidate(const std::string &Name) { Table.erase(Name); }
+void Repository::invalidate(const std::string &Name) {
+  std::unique_lock<std::shared_mutex> L(Mutex);
+  Table.erase(Name);
+}
 
-const std::vector<CompiledObject> *
+std::vector<CompiledObjectPtr>
 Repository::versions(const std::string &Name) const {
+  std::shared_lock<std::shared_mutex> L(Mutex);
+  std::vector<CompiledObjectPtr> Out;
   auto It = Table.find(Name);
-  return It == Table.end() ? nullptr : &It->second;
+  if (It == Table.end())
+    return Out;
+  Out.assign(It->second.begin(), It->second.end());
+  return Out;
+}
+
+size_t Repository::versionCount(const std::string &Name) const {
+  std::shared_lock<std::shared_mutex> L(Mutex);
+  auto It = Table.find(Name);
+  return It == Table.end() ? 0 : It->second.size();
 }
 
 size_t Repository::totalObjects() const {
+  std::shared_lock<std::shared_mutex> L(Mutex);
   size_t N = 0;
   for (const auto &[Name, Versions] : Table)
     N += Versions.size();
   return N;
+}
+
+double Repository::totalCompileSeconds() const {
+  std::unique_lock<std::shared_mutex> L(Mutex);
+  return CompileSecondsTotal;
 }

@@ -13,6 +13,13 @@
 /// signature (Qi <= Ti), and among safe versions the best candidate is the
 /// one at the smallest Manhattan-like distance (Section 2.2.1).
 ///
+/// The repository is thread-safe: background speculative-compilation
+/// workers insert while the interactive thread looks up. Lookups hand out
+/// shared ownership (`std::shared_ptr<const CompiledObject>`) rather than
+/// raw pointers into the version vectors, so a concurrent insert that
+/// grows a vector - or an invalidate that drops a function - can never
+/// leave a caller holding a dangling object.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MAJIC_REPO_REPOSITORY_H
@@ -22,7 +29,9 @@
 #include "ir/Instr.h"
 #include "types/Signature.h"
 
+#include <atomic>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -41,36 +50,93 @@ struct CompiledObject {
   /// How this object came to exist, for the repository's statistics.
   enum class Origin : uint8_t { Jit, Speculative, Batch, Generic } From =
       Origin::Jit;
-  mutable uint64_t Hits = 0;
+  /// Per-object use count; atomic because the locator bumps it from
+  /// whichever thread performs the lookup.
+  mutable std::atomic<uint64_t> Hits{0};
+
+  CompiledObject() = default;
+  CompiledObject(CompiledObject &&O) noexcept
+      : FunctionName(std::move(O.FunctionName)), Sig(std::move(O.Sig)),
+        Code(std::move(O.Code)), Mode(O.Mode),
+        CompileSeconds(O.CompileSeconds), From(O.From),
+        Hits(O.Hits.load(std::memory_order_relaxed)) {}
+  CompiledObject &operator=(CompiledObject &&O) noexcept {
+    FunctionName = std::move(O.FunctionName);
+    Sig = std::move(O.Sig);
+    Code = std::move(O.Code);
+    Mode = O.Mode;
+    CompileSeconds = O.CompileSeconds;
+    From = O.From;
+    Hits.store(O.Hits.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+    return *this;
+  }
 };
+
+/// Shared handle to a repository entry: stays valid after the entry is
+/// replaced or invalidated.
+using CompiledObjectPtr = std::shared_ptr<const CompiledObject>;
 
 class Repository {
 public:
   /// The function locator: returns the best safe version for \p Invocation,
   /// or null ("a failure to find appropriate code usually triggers a
   /// compilation").
-  const CompiledObject *lookup(const std::string &Name,
-                               const TypeSignature &Invocation) const;
+  CompiledObjectPtr lookup(const std::string &Name,
+                           const TypeSignature &Invocation) const;
 
   /// Stores a compiled version. An existing version with the identical
   /// signature is replaced ("the generated code can later be recompiled
-  /// and replaced in the repository using a better compiler").
+  /// and replaced in the repository using a better compiler"); the
+  /// replaced version's accumulated hit count carries over to the new
+  /// object, and its compile time stays in totalCompileSeconds(), so the
+  /// repository statistics survive recompilation.
   void insert(CompiledObject Obj);
 
   /// Drops every version of \p Name (the source changed).
   void invalidate(const std::string &Name);
 
-  /// All versions of \p Name (inspection/tests).
-  const std::vector<CompiledObject> *versions(const std::string &Name) const;
+  /// Snapshot of all versions of \p Name (inspection/tests); empty when
+  /// unknown. A snapshot by value: the repository may change underneath.
+  std::vector<CompiledObjectPtr> versions(const std::string &Name) const;
+
+  /// Number of stored versions of \p Name (0 when unknown).
+  size_t versionCount(const std::string &Name) const;
 
   size_t totalObjects() const;
-  uint64_t lookupMisses() const { return Misses; }
-  uint64_t lookupHits() const { return HitsCount; }
+
+  /// Misses where the function had no entry at all (never compiled or
+  /// invalidated) vs. misses where versions existed but none was safe for
+  /// the invocation (a speculation/specialization miss). Table-2-style
+  /// speculation-accuracy stats must use the NoSafeVersion count only.
+  uint64_t lookupMissesNoFunction() const {
+    return MissesNoFunction.load(std::memory_order_relaxed);
+  }
+  uint64_t lookupMissesNoSafeVersion() const {
+    return MissesNoSafeVersion.load(std::memory_order_relaxed);
+  }
+  /// All misses (both kinds combined).
+  uint64_t lookupMisses() const {
+    return lookupMissesNoFunction() + lookupMissesNoSafeVersion();
+  }
+  uint64_t lookupHits() const {
+    return HitsCount.load(std::memory_order_relaxed);
+  }
+
+  /// Compile seconds accumulated over every insert ever performed,
+  /// including versions since replaced or invalidated.
+  double totalCompileSeconds() const;
 
 private:
-  std::unordered_map<std::string, std::vector<CompiledObject>> Table;
-  mutable uint64_t Misses = 0;
-  mutable uint64_t HitsCount = 0;
+  /// Guards Table. Counters are atomic and may be bumped under a shared
+  /// lock (lookup is logically const and concurrent).
+  mutable std::shared_mutex Mutex;
+  std::unordered_map<std::string, std::vector<std::shared_ptr<CompiledObject>>>
+      Table;
+  mutable std::atomic<uint64_t> MissesNoFunction{0};
+  mutable std::atomic<uint64_t> MissesNoSafeVersion{0};
+  mutable std::atomic<uint64_t> HitsCount{0};
+  double CompileSecondsTotal = 0; ///< guarded by Mutex (exclusive)
 };
 
 } // namespace majic

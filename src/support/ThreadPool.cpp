@@ -1,0 +1,86 @@
+//===- support/ThreadPool.cpp - Fixed-size worker pool ---------------------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+using namespace majic;
+
+namespace {
+
+/// Drops the calling thread to the lowest scheduling class available, so
+/// it never preempts default-priority threads. Best effort: on failure
+/// (or off Linux) the worker simply keeps the inherited priority.
+void demoteCurrentThread() {
+#if defined(__linux__)
+  sched_param SP{};
+  pthread_setschedparam(pthread_self(), SCHED_IDLE, &SP);
+#endif
+}
+
+} // namespace
+
+ThreadPool::ThreadPool(unsigned NumThreads, Priority Prio) {
+  if (NumThreads == 0)
+    NumThreads = 1;
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Workers.emplace_back([this, Prio] {
+      if (Prio == Priority::Idle)
+        demoteCurrentThread();
+      workerLoop();
+    });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> L(Mutex);
+    Stopping = true;
+  }
+  HaveWork.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> L(Mutex);
+    Queue.push_back(std::move(Task));
+  }
+  HaveWork.notify_one();
+}
+
+void ThreadPool::waitIdle() {
+  std::unique_lock<std::mutex> L(Mutex);
+  Idle.wait(L, [this] { return Queue.empty() && Running == 0; });
+}
+
+size_t ThreadPool::queueDepth() const {
+  std::lock_guard<std::mutex> L(Mutex);
+  return Queue.size();
+}
+
+void ThreadPool::workerLoop() {
+  std::unique_lock<std::mutex> L(Mutex);
+  while (true) {
+    HaveWork.wait(L, [this] { return Stopping || !Queue.empty(); });
+    if (Queue.empty()) // Stopping and drained: exit.
+      return;
+    std::function<void()> Task = std::move(Queue.front());
+    Queue.pop_front();
+    ++Running;
+    L.unlock();
+    Task();
+    L.lock();
+    --Running;
+    if (Queue.empty() && Running == 0)
+      Idle.notify_all();
+  }
+}

@@ -1,0 +1,71 @@
+//===- support/ThreadPool.h - Fixed-size worker pool -----------*- C++ -*-===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size worker pool backing the engine's background
+/// speculative compilation (Section 2.5: the repository "compiles code on
+/// its own, ahead of time", so the user never waits for the compiler).
+/// Tasks are plain closures executed FIFO; the destructor finishes every
+/// queued task before joining, so enqueued work is never silently lost.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAJIC_SUPPORT_THREADPOOL_H
+#define MAJIC_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace majic {
+
+class ThreadPool {
+public:
+  /// Worker scheduling priority. Background compilation uses \c Idle so
+  /// the workers only consume cycles the interactive thread leaves free -
+  /// essential on few-core machines, where a default-priority worker
+  /// time-slices against the user's thread and delays the next result.
+  enum class Priority { Normal, Idle };
+
+  /// Spawns \p NumThreads workers (at least one).
+  explicit ThreadPool(unsigned NumThreads,
+                      Priority Prio = Priority::Normal);
+
+  /// Finishes all queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Schedules \p Task for execution on some worker.
+  void enqueue(std::function<void()> Task);
+
+  /// Blocks until the queue is empty and no task is running.
+  void waitIdle();
+
+  unsigned size() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Queued-but-not-started tasks (inspection; racy by nature).
+  size_t queueDepth() const;
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Queue;
+  mutable std::mutex Mutex;
+  std::condition_variable HaveWork; ///< signalled on enqueue/shutdown
+  std::condition_variable Idle;     ///< signalled when a task finishes
+  unsigned Running = 0;             ///< tasks currently executing
+  bool Stopping = false;
+};
+
+} // namespace majic
+
+#endif // MAJIC_SUPPORT_THREADPOOL_H

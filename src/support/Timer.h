@@ -14,6 +14,7 @@
 #define MAJIC_SUPPORT_TIMER_H
 
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 
@@ -46,25 +47,37 @@ enum class Phase : unsigned {
   NumPhases
 };
 
-/// Accumulates wall-clock seconds per phase.
+/// Accumulates wall-clock seconds per phase. Buckets are atomic so
+/// background compile workers can record inference/codegen time while the
+/// main thread times parse/execute phases.
 class PhaseTimes {
 public:
   void add(Phase P, double Seconds) {
-    Times[static_cast<size_t>(P)] += Seconds;
+    std::atomic<double> &Bucket = Times[static_cast<size_t>(P)];
+    double Cur = Bucket.load(std::memory_order_relaxed);
+    while (!Bucket.compare_exchange_weak(Cur, Cur + Seconds,
+                                         std::memory_order_relaxed)) {
+    }
   }
-  double get(Phase P) const { return Times[static_cast<size_t>(P)]; }
+  double get(Phase P) const {
+    return Times[static_cast<size_t>(P)].load(std::memory_order_relaxed);
+  }
   double total() const {
     double Sum = 0;
-    for (double T : Times)
-      Sum += T;
+    for (const std::atomic<double> &T : Times)
+      Sum += T.load(std::memory_order_relaxed);
     return Sum;
   }
-  void clear() { Times.fill(0.0); }
+  void clear() {
+    for (std::atomic<double> &T : Times)
+      T.store(0.0, std::memory_order_relaxed);
+  }
 
   static const char *phaseName(Phase P);
 
 private:
-  std::array<double, static_cast<size_t>(Phase::NumPhases)> Times{};
+  std::array<std::atomic<double>, static_cast<size_t>(Phase::NumPhases)>
+      Times{};
 };
 
 /// RAII helper that adds its lifetime to a PhaseTimes bucket.

@@ -366,9 +366,9 @@ TEST(EngineRepo, JitCompilesOncePerSkeleton) {
   EXPECT_DOUBLE_EQ(R[0]->scalarValue(), 610);
   // One constant-specialized version plus one generalized version; the
   // recursion must not compile one version per argument value.
-  const auto *Versions = E.repository().versions("fib");
-  ASSERT_NE(Versions, nullptr);
-  EXPECT_LE(Versions->size(), 2u);
+  auto Versions = E.repository().versions("fib");
+  ASSERT_FALSE(Versions.empty());
+  EXPECT_LE(Versions.size(), 2u);
   EXPECT_LE(E.jitCompiles(), 2u);
 }
 
@@ -381,18 +381,18 @@ TEST(EngineRepo, LocatorPrefersTighterSignature) {
   // int-scalar invocation (Figure 3's multiple signatures).
   ASSERT_TRUE(E.precompileGeneric("g", 1));
   ASSERT_TRUE(E.precompileWithArgs("g", {makeValue(Value::intScalar(5))}));
-  const auto *Versions = E.repository().versions("g");
-  ASSERT_NE(Versions, nullptr);
-  EXPECT_EQ(Versions->size(), 2u);
+  auto Versions = E.repository().versions("g");
+  ASSERT_FALSE(Versions.empty());
+  EXPECT_EQ(Versions.size(), 2u);
 
   // An int-scalar invocation picks the tighter (optimized) version...
   TypeSignature IntSig({Type::ofValue(Value::intScalar(5))});
-  const CompiledObject *Hit = E.repository().lookup("g", IntSig);
+  CompiledObjectPtr Hit = E.repository().lookup("g", IntSig);
   ASSERT_NE(Hit, nullptr);
   EXPECT_EQ(Hit->Mode, CodeGenMode::Optimized);
   // ...a matrix invocation only matches the generic one.
   TypeSignature MatSig({Type::ofValue(Value::zeros(2, 2))});
-  const CompiledObject *Generic = E.repository().lookup("g", MatSig);
+  CompiledObjectPtr Generic = E.repository().lookup("g", MatSig);
   ASSERT_NE(Generic, nullptr);
   EXPECT_EQ(Generic->Mode, CodeGenMode::Generic);
   // A repository hit means no further compilation.
@@ -444,7 +444,9 @@ TEST(EngineRepo, SnooperPicksUpSources) {
   E.watchDirectory(Dir);
   EXPECT_EQ(E.snoop(), 1u);
   EXPECT_TRUE(E.knowsFunction("twice"));
-  // The snooped function was speculatively compiled ahead of time.
+  // The snooped function was speculatively compiled ahead of time (on the
+  // background workers; drain to observe the published object).
+  E.drainCompiles();
   EXPECT_GE(E.repository().totalObjects(), 1u);
   auto R = E.callFunction("twice", {makeValue(Value::intScalar(21))}, 1,
                           SourceLoc());

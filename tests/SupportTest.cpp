@@ -158,12 +158,12 @@ TEST(Repository, BestMatchByDistance) {
   R.insert(makeObj("f", TypeSignature::generic(1)));
   R.insert(makeObj("f", TypeSignature({Type::scalar(IntrinsicType::Int)})));
   TypeSignature Call({Type::ofValue(Value::intScalar(3))});
-  const CompiledObject *Hit = R.lookup("f", Call);
+  CompiledObjectPtr Hit = R.lookup("f", Call);
   ASSERT_NE(Hit, nullptr);
   EXPECT_EQ(Hit->Sig[0].intrinsic(), IntrinsicType::Int);
   // A real-scalar call can only use the generic version.
   TypeSignature RealCall({Type::ofValue(Value::scalar(2.5))});
-  const CompiledObject *Generic = R.lookup("f", RealCall);
+  CompiledObjectPtr Generic = R.lookup("f", RealCall);
   ASSERT_NE(Generic, nullptr);
   EXPECT_EQ(Generic->Sig[0].intrinsic(), IntrinsicType::Top);
 }
@@ -175,7 +175,7 @@ TEST(Repository, InsertReplacesSameSignature) {
   Obj.CompileSeconds = 42;
   R.insert(std::move(Obj));
   EXPECT_EQ(R.totalObjects(), 1u);
-  const CompiledObject *Hit = R.lookup("f", TypeSignature::generic(1));
+  CompiledObjectPtr Hit = R.lookup("f", TypeSignature::generic(1));
   ASSERT_NE(Hit, nullptr);
   EXPECT_DOUBLE_EQ(Hit->CompileSeconds, 42);
 }
@@ -186,7 +186,7 @@ TEST(Repository, InvalidateDropsAllVersions) {
   R.insert(makeObj("f", TypeSignature({Type::scalar(IntrinsicType::Int)})));
   R.insert(makeObj("g", TypeSignature::generic(1)));
   R.invalidate("f");
-  EXPECT_EQ(R.versions("f"), nullptr);
+  EXPECT_TRUE(R.versions("f").empty());
   EXPECT_EQ(R.totalObjects(), 1u);
 }
 
@@ -199,7 +199,74 @@ TEST(Repository, HitCountersAdvance) {
   R.lookup("g", Call);
   EXPECT_EQ(R.lookupHits(), 2u);
   EXPECT_EQ(R.lookupMisses(), 1u);
-  EXPECT_EQ(R.versions("f")->front().Hits, 2u);
+  EXPECT_EQ(R.versions("f").front()->Hits, 2u);
+}
+
+TEST(Repository, MissKindsAreSplit) {
+  Repository R;
+  TypeSignature IntCall({Type::ofValue(Value::intScalar(1))});
+  // Unknown function: a no-function miss.
+  R.lookup("f", IntCall);
+  EXPECT_EQ(R.lookupMissesNoFunction(), 1u);
+  EXPECT_EQ(R.lookupMissesNoSafeVersion(), 0u);
+  // Versions exist but none is safe for a matrix: a speculation miss.
+  R.insert(makeObj("f", TypeSignature({Type::scalar(IntrinsicType::Real)})));
+  TypeSignature MatCall({Type::ofValue(Value::zeros(2, 2))});
+  R.lookup("f", MatCall);
+  EXPECT_EQ(R.lookupMissesNoFunction(), 1u);
+  EXPECT_EQ(R.lookupMissesNoSafeVersion(), 1u);
+  // The combined counter is the sum of both kinds.
+  EXPECT_EQ(R.lookupMisses(), 2u);
+}
+
+TEST(Repository, ReplacementPreservesHits) {
+  Repository R;
+  R.insert(makeObj("f", TypeSignature::generic(1)));
+  TypeSignature Call({Type::ofValue(Value::intScalar(1))});
+  R.lookup("f", Call);
+  R.lookup("f", Call);
+  R.lookup("f", Call);
+  EXPECT_EQ(R.versions("f").front()->Hits, 3u);
+  // Recompiling the same signature (e.g. the optimizing backend replacing
+  // JIT code) must not zero the accumulated per-version hit count.
+  auto Better = makeObj("f", TypeSignature::generic(1));
+  Better.CompileSeconds = 0.5;
+  R.insert(std::move(Better));
+  EXPECT_EQ(R.totalObjects(), 1u);
+  EXPECT_EQ(R.versions("f").front()->Hits, 3u);
+  R.lookup("f", Call);
+  EXPECT_EQ(R.versions("f").front()->Hits, 4u);
+}
+
+TEST(Repository, CompileSecondsAccumulateAcrossReplacement) {
+  Repository R;
+  auto A = makeObj("f", TypeSignature::generic(1));
+  A.CompileSeconds = 1.0;
+  R.insert(std::move(A));
+  auto B = makeObj("f", TypeSignature::generic(1));
+  B.CompileSeconds = 2.5;
+  R.insert(std::move(B));
+  // The replaced version's compile time is not lost to the statistics.
+  EXPECT_DOUBLE_EQ(R.totalCompileSeconds(), 3.5);
+  EXPECT_DOUBLE_EQ(R.versions("f").front()->CompileSeconds, 2.5);
+}
+
+TEST(Repository, LookupHandleSurvivesReplacementAndGrowth) {
+  Repository R;
+  R.insert(makeObj("f", TypeSignature({Type::scalar(IntrinsicType::Int)})));
+  TypeSignature Call({Type::ofValue(Value::intScalar(1))});
+  CompiledObjectPtr Hit = R.lookup("f", Call);
+  ASSERT_NE(Hit, nullptr);
+  std::shared_ptr<const IRFunction> Code = Hit->Code;
+  // Push enough versions to force vector growth, then replace and
+  // invalidate; the handle must stay fully usable (the latent
+  // use-after-free this API change fixed).
+  for (int I = 0; I != 64; ++I)
+    R.insert(makeObj("f", TypeSignature({Type::constant(I)})));
+  R.insert(makeObj("f", TypeSignature({Type::scalar(IntrinsicType::Int)})));
+  R.invalidate("f");
+  EXPECT_EQ(Hit->Code, Code);
+  EXPECT_EQ(Hit->Sig[0].intrinsic(), IntrinsicType::Int);
 }
 
 //===----------------------------------------------------------------------===//
