@@ -1,15 +1,23 @@
-//===- bench/BenchKernels.cpp - Compiler-kernel microbenchmarks -----------------===//
+//===- bench/BenchKernels.cpp - Kernel and compiler microbenchmarks -------------===//
 //
 // Part of the MaJIC reproduction. Distributed under the MIT license.
 //
 //===----------------------------------------------------------------------===//
 //
-// google-benchmark microbenchmarks of the individual compiler phases and
-// execution substrates: parsing, disambiguation, type inference, code
-// generation, register allocation, repository lookup, and the raw dispatch
-// rates of the interpreter and the register VM. These quantify the claims
-// behind Figure 6 ("the type inference engine is fast enough for use by
-// the JIT compiler") at the phase level.
+// Two modes:
+//
+//  * Default: the dense-kernel sweep (ISSUE 2). Times the naive seed
+//    dgemm against the blocked/packed kernel at 64..512 with
+//    ComputeThreads in {1, 2, 4}, plus dgemv and elementwise throughput,
+//    and writes the machine-readable results to BENCH_kernels.json
+//    (kernel, size, threads, seconds, GFLOP/s).
+//
+//  * --micro: google-benchmark microbenchmarks of the individual compiler
+//    phases and execution substrates: parsing, disambiguation, type
+//    inference, code generation, repository lookup, and the raw dispatch
+//    rates of the interpreter and the register VM. These quantify the
+//    claims behind Figure 6 ("the type inference engine is fast enough
+//    for use by the JIT compiler") at the phase level.
 //
 //===----------------------------------------------------------------------===//
 
@@ -19,13 +27,178 @@
 #include "ast/Parser.h"
 #include "backend/Compiler.h"
 #include "infer/Speculate.h"
+#include "runtime/Blas.h"
+#include "runtime/Ops.h"
+#include "support/Parallel.h"
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <fstream>
+#include <random>
 #include <sstream>
+#include <thread>
 
 using namespace majic;
+
+//===----------------------------------------------------------------------===//
+// Dense-kernel sweep (default mode)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The seed's naive dgemm (axpy-style column walk, exactly as shipped
+/// before the blocked kernel landed): the single-threaded baseline every
+/// speedup in BENCH_kernels.json is measured against.
+void naiveSeedDgemm(size_t M, size_t N, size_t K, const double *A,
+                    const double *B, double *C) {
+  std::memset(C, 0, M * N * sizeof(double));
+  for (size_t J = 0; J != N; ++J)
+    for (size_t P = 0; P != K; ++P) {
+      double BV = B[J * K + P];
+      if (BV == 0.0)
+        continue;
+      const double *ACol = A + P * M;
+      double *CCol = C + J * M;
+      for (size_t I = 0; I != M; ++I)
+        CCol[I] += ACol[I] * BV;
+    }
+}
+
+std::vector<double> randomVec(size_t N, uint64_t Seed) {
+  std::mt19937_64 Rng(Seed);
+  std::uniform_real_distribution<double> D(-1.0, 1.0);
+  std::vector<double> V(N);
+  for (double &X : V)
+    X = D(Rng);
+  return V;
+}
+
+struct SweepResult {
+  std::string Kernel;
+  size_t Size;
+  unsigned Threads;
+  double Seconds;
+  double GFlops;
+};
+
+void runKernelSweep() {
+  using bench::bestOf;
+  const int Reps = std::max(3, bench::repetitions());
+  const unsigned HW = std::thread::hardware_concurrency();
+  std::vector<SweepResult> Results;
+  auto Record = [&](std::string Kernel, size_t Size, unsigned Threads,
+                    double Seconds, double Flops) {
+    double GF = Flops / Seconds / 1e9;
+    Results.push_back({Kernel, Size, Threads, Seconds, GF});
+    std::printf("  %-16s n=%-5zu threads=%-2u  %10.3f ms  %8.2f GFLOP/s\n",
+                Kernel.c_str(), Size, Threads, Seconds * 1e3, GF);
+  };
+
+  bench::printHeader("Dense kernel sweep",
+                     "best of " + std::to_string(Reps) +
+                         " reps; hardware threads: " + std::to_string(HW));
+
+  // dgemm: naive seed baseline vs the blocked kernel across thread counts.
+  for (size_t N : {64u, 128u, 256u, 512u}) {
+    std::vector<double> A = randomVec(N * N, 1), B = randomVec(N * N, 2);
+    std::vector<double> C(N * N);
+    double Flops = 2.0 * static_cast<double>(N) * N * N;
+
+    double TNaive = bestOf(
+        Reps, [&] { naiveSeedDgemm(N, N, N, A.data(), B.data(), C.data()); });
+    Record("dgemm_naive", N, 1, TNaive, Flops);
+
+    for (unsigned Threads : {1u, 2u, 4u}) {
+      par::setComputeThreads(Threads);
+      double T = bestOf(Reps, [&] {
+        blas::dgemm(N, N, N, 1.0, A.data(), B.data(), 0.0, C.data());
+      });
+      Record("dgemm_blocked", N, Threads, T, Flops);
+    }
+    par::setComputeThreads(0);
+  }
+
+  // dgemv: matrix-vector throughput (memory bound; one pass over A).
+  for (size_t N : {512u, 2048u}) {
+    std::vector<double> A = randomVec(N * N, 3), X = randomVec(N, 4);
+    std::vector<double> Y(N);
+    double Flops = 2.0 * static_cast<double>(N) * N;
+    for (unsigned Threads : {1u, 4u}) {
+      par::setComputeThreads(Threads);
+      double T = bestOf(Reps, [&] {
+        blas::dgemv(N, N, 1.0, A.data(), X.data(), 0.0, Y.data());
+      });
+      Record("dgemv", N, Threads, T, Flops);
+    }
+    par::setComputeThreads(0);
+  }
+
+  // Elementwise multiply through the runtime's Value dispatch (the path
+  // MATLAB's a .* b takes), one flop per element.
+  {
+    size_t N = 1u << 22;
+    Value A = Value::zeros(N, 1), B = Value::zeros(N, 1);
+    std::vector<double> RA = randomVec(N, 5), RB = randomVec(N, 6);
+    std::memcpy(A.reData(), RA.data(), N * sizeof(double));
+    std::memcpy(B.reData(), RB.data(), N * sizeof(double));
+    for (unsigned Threads : {1u, 4u}) {
+      par::setComputeThreads(Threads);
+      double T = bestOf(Reps, [&] {
+        Value R = rt::binary(rt::BinOp::ElemMul, A, B);
+        benchmark::DoNotOptimize(R.reData());
+      });
+      Record("elemwise_mul", N, Threads, T, static_cast<double>(N));
+    }
+    par::setComputeThreads(0);
+  }
+
+  // Speedup summary against the acceptance gates.
+  auto Find = [&](const std::string &Kernel, size_t Size,
+                  unsigned Threads) -> const SweepResult * {
+    for (const SweepResult &R : Results)
+      if (R.Kernel == Kernel && R.Size == Size && R.Threads == Threads)
+        return &R;
+    return nullptr;
+  };
+  const SweepResult *Naive512 = Find("dgemm_naive", 512, 1);
+  const SweepResult *B1 = Find("dgemm_blocked", 512, 1);
+  const SweepResult *B4 = Find("dgemm_blocked", 512, 4);
+  if (Naive512 && B1 && B4) {
+    std::printf("\n  dgemm 512: blocked(1T) %.2fx over naive, "
+                "1T -> 4T scaling %.2fx\n",
+                Naive512->Seconds / B1->Seconds, B1->Seconds / B4->Seconds);
+  }
+
+  bench::JsonWriter W;
+  W.beginObject();
+  W.field("bench", "kernels");
+  W.field("hardware_concurrency", HW);
+  W.field("repetitions", Reps);
+  W.beginArray("results");
+  for (const SweepResult &R : Results) {
+    W.beginObject();
+    W.field("kernel", R.Kernel);
+    W.field("size", R.Size);
+    W.field("threads", R.Threads);
+    W.field("seconds", R.Seconds);
+    W.field("gflops", R.GFlops);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  const char *Path = "BENCH_kernels.json";
+  if (W.writeFile(Path))
+    std::printf("\n  wrote %s\n", Path);
+  else
+    std::fprintf(stderr, "failed to write %s\n", Path);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Compiler-phase microbenchmarks (--micro)
+//===----------------------------------------------------------------------===//
 
 namespace {
 
@@ -209,4 +382,25 @@ BENCHMARK(BM_BoxedGenericLoop);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  // --micro selects the google-benchmark compiler-phase suite; any other
+  // arguments pass through to the benchmark library untouched.
+  std::vector<char *> Args;
+  bool Micro = false;
+  for (int I = 0; I != argc; ++I) {
+    if (std::strcmp(argv[I], "--micro") == 0)
+      Micro = true;
+    else
+      Args.push_back(argv[I]);
+  }
+  if (!Micro) {
+    runKernelSweep();
+    return 0;
+  }
+  int ArgC = static_cast<int>(Args.size());
+  benchmark::Initialize(&ArgC, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(ArgC, Args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

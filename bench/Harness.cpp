@@ -160,6 +160,106 @@ double majic::bench::timeSpec(const BenchmarkSpec &Spec,
   return bestOf(repetitions(), [&] { invokeOnce(E, Spec); });
 }
 
+//===----------------------------------------------------------------------===//
+// JsonWriter
+//===----------------------------------------------------------------------===//
+
+void JsonWriter::indent() {
+  Buf.push_back('\n');
+  Buf.append(2 * Depth, ' ');
+}
+
+void JsonWriter::prefix(const std::string &Key) {
+  if (NeedComma.back())
+    Buf.push_back(',');
+  NeedComma.back() = true;
+  if (Depth != 0)
+    indent();
+  if (!Key.empty()) {
+    Buf.push_back('"');
+    Buf += Key;
+    Buf += "\": ";
+  }
+}
+
+JsonWriter &JsonWriter::beginObject(const std::string &Key) {
+  prefix(Key);
+  Buf.push_back('{');
+  NeedComma.push_back(false);
+  ++Depth;
+  return *this;
+}
+
+JsonWriter &JsonWriter::endObject() {
+  bool HadFields = NeedComma.back();
+  NeedComma.pop_back();
+  --Depth;
+  if (HadFields)
+    indent();
+  Buf.push_back('}');
+  return *this;
+}
+
+JsonWriter &JsonWriter::beginArray(const std::string &Key) {
+  prefix(Key);
+  Buf.push_back('[');
+  NeedComma.push_back(false);
+  ++Depth;
+  return *this;
+}
+
+JsonWriter &JsonWriter::endArray() {
+  bool HadFields = NeedComma.back();
+  NeedComma.pop_back();
+  --Depth;
+  if (HadFields)
+    indent();
+  Buf.push_back(']');
+  return *this;
+}
+
+JsonWriter &JsonWriter::field(const std::string &Key, const std::string &V) {
+  prefix(Key);
+  Buf.push_back('"');
+  for (char C : V) {
+    if (C == '"' || C == '\\')
+      Buf.push_back('\\');
+    Buf.push_back(C);
+  }
+  Buf.push_back('"');
+  return *this;
+}
+
+JsonWriter &JsonWriter::field(const std::string &Key, const char *V) {
+  return field(Key, std::string(V));
+}
+
+JsonWriter &JsonWriter::field(const std::string &Key, double V) {
+  prefix(Key);
+  char Tmp[64];
+  if (std::isfinite(V))
+    std::snprintf(Tmp, sizeof(Tmp), "%.6g", V);
+  else
+    std::snprintf(Tmp, sizeof(Tmp), "null"); // JSON has no inf/nan
+  Buf += Tmp;
+  return *this;
+}
+
+JsonWriter &JsonWriter::field(const std::string &Key, uint64_t V) {
+  prefix(Key);
+  Buf += std::to_string(V);
+  return *this;
+}
+
+bool JsonWriter::writeFile(const std::string &Path) const {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  bool Ok = std::fwrite(Buf.data(), 1, Buf.size(), F) == Buf.size() &&
+            std::fputc('\n', F) != EOF;
+  return std::fclose(F) == 0 && Ok;
+}
+
 void majic::bench::printHeader(const std::string &Title,
                                const std::string &Note) {
   std::printf("\n");

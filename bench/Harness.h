@@ -26,8 +26,10 @@
 #include "engine/Corpus.h"
 #include "engine/Engine.h"
 
+#include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 namespace majic {
 namespace bench {
@@ -70,6 +72,49 @@ double timeSpec(const BenchmarkSpec &Spec, const PlatformModel &Platform);
 
 /// Pretty-prints a separator and a table title.
 void printHeader(const std::string &Title, const std::string &Note);
+
+/// Minimal streaming JSON emitter for machine-readable BENCH_*.json result
+/// files. Keys are emitted in insertion order; values are numbers or
+/// strings. No dependency beyond the standard library:
+///
+///   JsonWriter W;
+///   W.beginObject();
+///   W.field("threads", 4);
+///   W.beginArray("results");
+///   W.beginObject(); W.field("kernel", "dgemm"); W.endObject();
+///   W.endArray();
+///   W.endObject();
+///   W.writeFile("BENCH_kernels.json");
+class JsonWriter {
+public:
+  JsonWriter &beginObject(const std::string &Key = "");
+  JsonWriter &endObject();
+  JsonWriter &beginArray(const std::string &Key = "");
+  JsonWriter &endArray();
+  JsonWriter &field(const std::string &Key, const std::string &V);
+  JsonWriter &field(const std::string &Key, const char *V);
+  JsonWriter &field(const std::string &Key, double V);
+  JsonWriter &field(const std::string &Key, uint64_t V);
+  JsonWriter &field(const std::string &Key, int V) {
+    return field(Key, static_cast<uint64_t>(V));
+  }
+  JsonWriter &field(const std::string &Key, unsigned V) {
+    return field(Key, static_cast<uint64_t>(V));
+  }
+
+  const std::string &str() const { return Buf; }
+  /// Writes the accumulated document (plus a trailing newline) to \p Path;
+  /// returns false on I/O failure.
+  bool writeFile(const std::string &Path) const;
+
+private:
+  void prefix(const std::string &Key);
+  void indent();
+
+  std::string Buf;
+  std::vector<bool> NeedComma = {false};
+  unsigned Depth = 0;
+};
 
 } // namespace bench
 } // namespace majic

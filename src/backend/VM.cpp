@@ -540,9 +540,12 @@ std::vector<ValuePtr> VM::run(const IRFunction &F, std::vector<ValuePtr> Args,
       const Value &Y = requireValue(PR[In.D]);
       if (!X.isComplex() && !Y.isComplex() && X.rows() == Y.rows() &&
           X.cols() == Y.cols()) {
-        Value Out = Y;
-        blas::daxpy(X.numel(), FR[In.B], X.reData(), Out.reData());
-        Out.setClass(MClass::Real);
+        // Single pass: write a*x + y straight into a fresh array instead of
+        // copying Y and updating it in place (daxpyz rounds the multiply
+        // and add separately, exactly like the interpreter's two-op form).
+        Value Out = Value::zeros(X.rows(), X.cols());
+        blas::daxpyz(X.numel(), FR[In.B], X.reData(), Y.reData(),
+                     Out.reData());
         PR[In.A] = makeValue(std::move(Out));
       } else {
         Value Scaled = rt::binary(rt::BinOp::MatMul,

@@ -8,6 +8,7 @@
 
 #include "analysis/Inliner.h"
 #include "infer/Speculate.h"
+#include "support/Parallel.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -34,6 +35,10 @@ const char *majic::compilePolicyName(CompilePolicy P) {
 
 Engine::Engine(EngineOptions OptsIn) : Opts(std::move(OptsIn)) {
   Ctx.Rand.reseed(Opts.RandSeed);
+  // Pin the dense-kernel thread count when the embedder asked for one;
+  // 0 leaves the process-wide default (env override, then hardware).
+  if (Opts.ComputeThreads)
+    par::setComputeThreads(Opts.ComputeThreads);
   Machine = std::make_unique<VM>(Ctx, *this);
   Interp = std::make_unique<Interpreter>(Ctx, *this);
   // Idle-priority workers: background compilation only consumes cycles
@@ -239,7 +244,6 @@ bool Engine::speculateAsync(const std::string &Name) {
 
   std::shared_ptr<const FunctionInfo> FI = View;
   std::shared_ptr<const Function> KeepAlive = LF->InlinedF;
-  uint64_t Gen;
   {
     std::lock_guard<std::mutex> L(SpecMutex);
     if (std::find(InFlight.begin(), InFlight.end(), Name) != InFlight.end()) {
@@ -247,14 +251,56 @@ bool Engine::speculateAsync(const std::string &Name) {
       return false;
     }
     InFlight.push_back(Name);
-    Gen = SourceGeneration[Name];
+    uint64_t Gen = SourceGeneration[Name];
     ++SpecStats.Queued;
     ++PendingCompiles;
+    // Enqueue under SpecMutex so the task id lands in QueuedIds before any
+    // promoteSpeculation can look for it. Safe against the workers: they
+    // release the pool lock before running a task, so SpecMutex ->
+    // pool-mutex is the only order these two locks are ever taken in.
+    ThreadPool::TaskId Id =
+        SpecPool->enqueue([this, Name, FI, KeepAlive, Gen] {
+          backgroundCompile(Name, FI, KeepAlive, Gen);
+        });
+    QueuedIds[Name] = Id;
+    QueuedOrder.push_back(Name);
   }
-  SpecPool->enqueue([this, Name, FI, KeepAlive, Gen] {
-    backgroundCompile(Name, FI, KeepAlive, Gen);
-  });
   return true;
+}
+
+bool Engine::promoteSpeculation(const std::string &Name) {
+  if (!SpecPool)
+    return false;
+  std::lock_guard<std::mutex> L(SpecMutex);
+  auto It = QueuedIds.find(Name);
+  if (It == QueuedIds.end())
+    return false;
+  // The pool may have handed the task to a worker that hasn't erased its
+  // bookkeeping yet; promote() refuses once the task left the queue.
+  if (!SpecPool->promote(It->second))
+    return false;
+  auto QIt = std::find(QueuedOrder.begin(), QueuedOrder.end(), Name);
+  if (QIt != QueuedOrder.end() && QIt != QueuedOrder.begin()) {
+    QueuedOrder.erase(QIt);
+    QueuedOrder.insert(QueuedOrder.begin(), Name);
+  }
+  ++SpecStats.Promoted;
+  return true;
+}
+
+void Engine::pauseBackgroundCompiles() {
+  if (SpecPool)
+    SpecPool->setPaused(true);
+}
+
+void Engine::resumeBackgroundCompiles() {
+  if (SpecPool)
+    SpecPool->setPaused(false);
+}
+
+std::vector<std::string> Engine::queuedSpeculations() const {
+  std::lock_guard<std::mutex> L(SpecMutex);
+  return QueuedOrder;
 }
 
 void Engine::backgroundCompile(std::string Name,
@@ -264,6 +310,14 @@ void Engine::backgroundCompile(std::string Name,
   // KeepAlive pins the inlined clone FI's nodes point into; reloading the
   // function on the main thread must not pull it out from under us.
   (void)KeepAlive;
+  {
+    // No longer queued: promotion from here on is a no-op.
+    std::lock_guard<std::mutex> L(SpecMutex);
+    QueuedIds.erase(Name);
+    auto It = std::find(QueuedOrder.begin(), QueuedOrder.end(), Name);
+    if (It != QueuedOrder.end())
+      QueuedOrder.erase(It);
+  }
   Timer Total;
   TypeSignature Sig = speculateSignature(*FI, Opts.Infer);
   CompileRequest Req =
@@ -388,7 +442,12 @@ std::vector<ValuePtr> Engine::callFunction(const std::string &Name,
       speculationInFlight(Name)) {
     // A background compile of this function is still in flight: interpret
     // this one invocation instead of duplicating the compiler's work on
-    // the hot path; the next call picks up the published object.
+    // the hot path; the next call picks up the published object. An actual
+    // invocation is the strongest priority signal we have, so if the
+    // compile is still sitting in the queue, move it to the front - the
+    // snooper enqueues in discovery order, not in the order the user ends
+    // up calling things.
+    promoteSpeculation(Name);
     ++InterpFallbacks;
     {
       std::lock_guard<std::mutex> L(SpecMutex);

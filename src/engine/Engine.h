@@ -70,6 +70,11 @@ struct EngineOptions {
   /// on the calling thread (the pre-async behavior, and what deterministic
   /// measurement configurations want).
   unsigned BackgroundCompileThreads = 1;
+  /// Compute threads for the runtime's dense kernels (support/Parallel.h).
+  /// 0 keeps the process-wide default: the MAJIC_COMPUTE_THREADS
+  /// environment variable when set, otherwise the hardware concurrency.
+  /// Nonzero pins the count (kernel results are bit-identical either way).
+  unsigned ComputeThreads = 0;
 };
 
 /// Responsiveness counters for the background speculation subsystem.
@@ -82,6 +87,8 @@ struct SpeculationStats {
   uint64_t InFlightInterpreted = 0; ///< invocations interpreted because a
                                     ///< compile for the function was still
                                     ///< in flight
+  uint64_t Promoted = 0; ///< queued compiles moved to the front because an
+                         ///< invocation was waiting on them
   /// Seconds of compilation performed off the caller's thread.
   double BackgroundCompileSeconds = 0;
   /// Seconds from engine construction to the first completed top-level
@@ -161,6 +168,23 @@ public:
 
   /// True when a background compile of \p Name is queued or running.
   bool speculationInFlight(const std::string &Name) const;
+
+  /// Moves \p Name's still-queued speculative compile to the front of the
+  /// compile queue (ROADMAP "compile-priority heuristics": an invocation
+  /// that misses on a queued function is evidence the user wants it next,
+  /// so it should not wait behind the snooper's FIFO backlog). Returns
+  /// false when no compile of \p Name is queued - including when one is
+  /// already running, which needs no help.
+  bool promoteSpeculation(const std::string &Name);
+
+  /// Pause/resume the background compile workers (running compiles finish;
+  /// queued ones hold). Tests use this to stage a deterministic backlog.
+  void pauseBackgroundCompiles();
+  void resumeBackgroundCompiles();
+
+  /// Names whose compiles are queued but not yet started, in the order the
+  /// workers will pick them up.
+  std::vector<std::string> queuedSpeculations() const;
 
   /// Snapshot of the background-speculation counters.
   SpeculationStats speculationStats() const;
@@ -280,6 +304,12 @@ private:
   /// name (one speculative compile per function at a time) because the
   /// speculated signature is only computed on the worker.
   std::vector<std::string> InFlight;
+  /// Pool task ids of compiles still sitting in the queue (erased when a
+  /// worker starts the task); promoteSpeculation reorders through these.
+  std::unordered_map<std::string, ThreadPool::TaskId> QueuedIds;
+  /// The same queued compiles in worker pick-up order (mirrors the pool's
+  /// queue; inspection + promotion bookkeeping).
+  std::vector<std::string> QueuedOrder;
   /// Source generation per function; bumped on invalidation so stale
   /// in-flight results are dropped instead of published.
   std::unordered_map<std::string, uint64_t> SourceGeneration;

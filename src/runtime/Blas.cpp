@@ -1,6 +1,14 @@
-//===- runtime/Blas.cpp - BLAS-like dense kernels --------------------------===//
+//===- runtime/Blas.cpp - Exact-FP vector kernels --------------------------===//
 //
 // Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// This TU is built WITHOUT extra architecture flags (see
+// src/runtime/CMakeLists.txt): the kernels here must round every multiply
+// and add separately, because the VM's fused ops are checked bit-for-bit
+// against the interpreter's unfused element-wise sequences. The blocked
+// matrix kernels, where FMA is safe, live in BlasKernels.cpp.
 //
 //===----------------------------------------------------------------------===//
 
@@ -11,8 +19,19 @@
 using namespace majic;
 
 double blas::ddot(size_t N, const double *X, const double *Y) {
-  double Sum = 0;
-  for (size_t I = 0; I != N; ++I)
+  // Four-lane unroll with a fixed combination order: the result is a
+  // deterministic function of the inputs (no vectorization-dependent
+  // reassociation), just not the same order as the seed's single chain.
+  double S0 = 0, S1 = 0, S2 = 0, S3 = 0;
+  size_t I = 0;
+  for (; I + 4 <= N; I += 4) {
+    S0 += X[I] * Y[I];
+    S1 += X[I + 1] * Y[I + 1];
+    S2 += X[I + 2] * Y[I + 2];
+    S3 += X[I + 3] * Y[I + 3];
+  }
+  double Sum = (S0 + S1) + (S2 + S3);
+  for (; I != N; ++I)
     Sum += X[I] * Y[I];
   return Sum;
 }
@@ -22,13 +41,20 @@ void blas::daxpy(size_t N, double A, const double *X, double *Y) {
     Y[I] += A * X[I];
 }
 
+void blas::daxpyz(size_t N, double A, const double *X, const double *Y,
+                  double *Z) {
+  for (size_t I = 0; I != N; ++I)
+    Z[I] = A * X[I] + Y[I];
+}
+
 void blas::dscal(size_t N, double A, double *X) {
   for (size_t I = 0; I != N; ++I)
     X[I] *= A;
 }
 
-void blas::dgemv(size_t M, size_t N, double Alpha, const double *A,
-                 const double *X, double Beta, double *Y) {
+void blas::detail::naiveDgemv(size_t M, size_t N, double Alpha,
+                              const double *A, const double *X, double Beta,
+                              double *Y) {
   if (Beta == 0.0) {
     for (size_t I = 0; I != M; ++I)
       Y[I] = 0.0;
@@ -46,8 +72,9 @@ void blas::dgemv(size_t M, size_t N, double Alpha, const double *A,
   }
 }
 
-void blas::dgemm(size_t M, size_t N, size_t K, double Alpha, const double *A,
-                 const double *B, double Beta, double *C) {
+void blas::detail::naiveDgemm(size_t M, size_t N, size_t K, double Alpha,
+                              const double *A, const double *B, double Beta,
+                              double *C) {
   for (size_t J = 0; J != N; ++J) {
     double *CCol = C + J * M;
     if (Beta == 0.0) {

@@ -5,10 +5,27 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Minimal BLAS-like kernels over column-major double arrays. These are the
+/// BLAS-like kernels over column-major double arrays. These are the
 /// "precompiled library" side of MATLAB that compilation cannot accelerate
 /// (Section 3.4: builtin-heavy benchmarks barely benefit), and the fusion
 /// targets of the dgemv code-selection rule (Section 2.6.1).
+///
+/// The implementation is split across two translation units with different
+/// floating-point contracts:
+///
+///  - BlasKernels.cpp (dgemm/dgemv/zgemm): cache-blocked, vectorized, and
+///    multithreaded; built with the host's full instruction set (FMA is
+///    allowed because the interpreter and the VM reach matrix products
+///    through these same entry points, so both see identical results).
+///    Threaded kernels partition work into fixed-size panels whose
+///    per-element computation order does not depend on the thread count -
+///    results are bit-identical for any ComputeThreads setting.
+///
+///  - Blas.cpp (ddot/daxpy/daxpyz/dscal/dnrm2 and the small-size naive
+///    fallbacks): built without extra arch flags so no FMA contraction
+///    occurs. The VM's fused Axpy op must match the interpreter's separate
+///    multiply-then-add element-wise sequence to the last bit, which a
+///    contracted fused multiply-add would break.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,6 +43,11 @@ double ddot(size_t N, const double *X, const double *Y);
 /// y += a * x over n elements.
 void daxpy(size_t N, double A, const double *X, double *Y);
 
+/// z = a * x + y over n elements (single-pass fused form of the VM's Axpy
+/// op; z may not alias x but may equal y). Computes round(round(a*x) + y)
+/// exactly like daxpy - never FMA-contracted.
+void daxpyz(size_t N, double A, const double *X, const double *Y, double *Z);
+
 /// x *= a over n elements.
 void dscal(size_t N, double A, double *X);
 
@@ -34,11 +56,46 @@ void dgemv(size_t M, size_t N, double Alpha, const double *A, const double *X,
            double Beta, double *Y);
 
 /// C = alpha * A * B + beta * C; A is MxK, B is KxN, C is MxN, column-major.
+/// Small products use the naive seed kernel; larger ones the blocked,
+/// multithreaded kernel. N == 1 delegates to dgemv so the VM's fused Gemv
+/// op and the interpreter's general matrix product stay bit-identical.
 void dgemm(size_t M, size_t N, size_t K, double Alpha, const double *A,
            const double *B, double Beta, double *C);
 
+/// Complex C = A * B over split real/imaginary planes; A is MxK, B is KxN,
+/// C is MxN, column-major. A null AIm/BIm means that operand is purely real
+/// (the plane is implicitly zero), so real-by-complex products never
+/// materialize a zero imaginary plane. CRe and CIm must both be non-null
+/// and are fully overwritten. Internally four (or fewer) dgemm calls.
+void zgemm(size_t M, size_t N, size_t K, const double *ARe, const double *AIm,
+           const double *BRe, const double *BIm, double *CRe, double *CIm);
+
 /// Euclidean norm of an n-vector.
 double dnrm2(size_t N, const double *X);
+
+/// Cache-blocking parameters the blocked dgemm runs with. MC and KC are
+/// sized from the host's L1/L2 data caches at first use; NC is the width of
+/// the column panels the parallel kernel distributes over threads.
+/// MAJIC_GEMM_MC / MAJIC_GEMM_KC / MAJIC_GEMM_NC override each field.
+struct GemmBlocking {
+  size_t MC, KC, NC;
+};
+
+/// The process-wide blocking configuration (resolved once, then cached).
+const GemmBlocking &gemmBlocking();
+
+namespace detail {
+
+/// The seed's reference kernels, kept verbatim (axpy-style, zero-skip) in
+/// the no-arch-flags TU. The public entry points fall back to these below
+/// the blocking cutoff so small products - everything the golden tests
+/// print - are byte-for-byte identical with the seed runtime.
+void naiveDgemm(size_t M, size_t N, size_t K, double Alpha, const double *A,
+                const double *B, double Beta, double *C);
+void naiveDgemv(size_t M, size_t N, double Alpha, const double *A,
+                const double *X, double Beta, double *Y);
+
+} // namespace detail
 
 } // namespace blas
 } // namespace majic

@@ -7,6 +7,7 @@
 #include "runtime/Builtins.h"
 
 #include "runtime/Blas.h"
+#include "support/Parallel.h"
 #include "runtime/LinAlg.h"
 #include "runtime/Ops.h"
 #include "support/StringUtils.h"
@@ -339,6 +340,13 @@ std::vector<Value> bAngle(Context &, Args A, size_t) {
 
 /// Applies a column-wise reduction: vectors reduce to a scalar, matrices to
 /// a row vector (MATLAB's dimension convention).
+/// Fixed partial-reduction chunk width for long vectors. The chunking (and
+/// therefore the combination order, and the floating-point result) depends
+/// only on the element count, never on the thread count: every chunk's
+/// partial is folded from Init identically, and the partials are merged
+/// sequentially in chunk order - bit-identical for any ComputeThreads.
+constexpr size_t ReduceChunk = 16384;
+
 template <typename Fn>
 Value reduceColumns(const Value &VIn, double Init, Fn Step) {
   Value Scratch;
@@ -348,18 +356,48 @@ Value reduceColumns(const Value &VIn, double Init, Fn Step) {
   if (V.isEmpty())
     return Value::scalar(Init);
   if (V.isVector()) {
+    const double *P = V.reData();
+    size_t N = V.numel();
+    if (N >= 2 * ReduceChunk) {
+      // Chunked: valid because Init is Step's identity and Step itself
+      // merges two partial accumulations (sum, prod, any, all all qualify).
+      size_t NumChunks = (N + ReduceChunk - 1) / ReduceChunk;
+      std::vector<double> Partials(NumChunks);
+      par::parallelFor(NumChunks, 1, [&](size_t C0, size_t C1) {
+        for (size_t C = C0; C != C1; ++C) {
+          double Acc = Init;
+          size_t End = std::min(N, (C + 1) * ReduceChunk);
+          for (size_t I = C * ReduceChunk; I != End; ++I)
+            Acc = Step(Acc, P[I]);
+          Partials[C] = Acc;
+        }
+      });
+      double Acc = Init;
+      for (double Partial : Partials)
+        Acc = Step(Acc, Partial);
+      return Value::scalar(Acc);
+    }
     double Acc = Init;
-    for (size_t I = 0, E = V.numel(); I != E; ++I)
-      Acc = Step(Acc, V.re(I));
+    for (size_t I = 0; I != N; ++I)
+      Acc = Step(Acc, P[I]);
     return Value::scalar(Acc);
   }
   Value Out = Value::zeros(1, V.cols());
-  for (size_t C = 0; C != V.cols(); ++C) {
-    double Acc = Init;
-    for (size_t R = 0; R != V.rows(); ++R)
-      Acc = Step(Acc, V.at(R, C));
-    Out.reRef(C) = Acc;
-  }
+  // Each column folds sequentially exactly as in the serial code; threads
+  // only decide which columns they own, so results cannot depend on them.
+  const double *P = V.reData();
+  double *PO = Out.reData();
+  size_t Rows = V.rows();
+  par::parallelFor(V.cols(), std::max<size_t>(1, ReduceChunk / Rows),
+                   [&](size_t C0, size_t C1) {
+                     for (size_t C = C0; C != C1; ++C) {
+                       double Acc = Init;
+                       const double *Col = P + C * Rows;
+                       for (size_t R = 0; R != Rows; ++R)
+                         Acc = Step(Acc, Col[R]);
+                       PO[C] = Acc;
+                     }
+                   });
   return Out;
 }
 

@@ -6,6 +6,8 @@
 
 #include "runtime/LinAlg.h"
 
+#include "runtime/Blas.h"
+#include "support/Parallel.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -46,14 +48,28 @@ bool luFactor(std::vector<double> &LU, size_t N, std::vector<size_t> &Perm,
       ++NumSwaps;
     }
     double Diag = LU[K * N + K];
-    for (size_t I = K + 1; I != N; ++I) {
-      double Mult = LU[K * N + I] / Diag;
-      LU[K * N + I] = Mult;
-      if (Mult == 0.0)
-        continue;
-      for (size_t J = K + 1; J != N; ++J)
-        LU[J * N + I] -= Mult * LU[J * N + K];
-    }
+    // The multiplier column LU[K*N + K+1 .. K*N + N) is contiguous in
+    // column-major storage.
+    double *Mult = LU.data() + K * N;
+    for (size_t I = K + 1; I != N; ++I)
+      Mult[I] /= Diag;
+    // Rank-1 update of the trailing block, one contiguous column at a time
+    // (the seed iterated rows here, striding by N on every access). Each
+    // element still receives the single update Mult[I] * LU[J*N+K], so the
+    // factorization is unchanged; columns are independent, so the update
+    // parallelizes without affecting results.
+    size_t Rem = N - K - 1;
+    if (Rem != 0)
+      par::parallelFor(Rem, std::max<size_t>(1, 32768 / (Rem + 1)),
+                       [&](size_t J0, size_t J1) {
+                         for (size_t J = K + 1 + J0; J != K + 1 + J1; ++J) {
+                           double Ujk = LU[J * N + K];
+                           if (Ujk == 0.0)
+                             continue;
+                           blas::daxpy(Rem, -Ujk, Mult + K + 1,
+                                       LU.data() + J * N + K + 1);
+                         }
+                       });
   }
   return true;
 }
@@ -70,27 +86,36 @@ Value linalg::luSolve(const Value &A, const Value &B) {
     throw MatlabError("matrix is singular to working precision");
 
   Value X = Value::zeros(N, NRhs);
-  for (size_t R = 0; R != NRhs; ++R) {
-    double *Col = X.reData() + R * N;
-    // Apply the row permutation to the right-hand side.
-    for (size_t I = 0; I != N; ++I)
-      Col[I] = B.at(Perm[I], R);
-    // Forward substitution (L has unit diagonal).
-    for (size_t I = 1; I != N; ++I) {
-      double Sum = Col[I];
-      for (size_t J = 0; J != I; ++J)
-        Sum -= LU[J * N + I] * Col[J];
-      Col[I] = Sum;
-    }
-    // Backward substitution.
-    for (size_t IPlus = N; IPlus != 0; --IPlus) {
-      size_t I = IPlus - 1;
-      double Sum = Col[I];
-      for (size_t J = I + 1; J != N; ++J)
-        Sum -= LU[J * N + I] * Col[J];
-      Col[I] = Sum / LU[I * N + I];
-    }
-  }
+  const double *BD = B.reData();
+  double *XD = X.reData();
+  // Right-hand sides are independent (inv() solves N of them at once), so
+  // each thread takes a contiguous block of columns; per-column arithmetic
+  // is unchanged from the serial code.
+  par::parallelFor(
+      NRhs, std::max<size_t>(1, 32768 / (N * N + 1)),
+      [&](size_t R0, size_t R1) {
+        for (size_t R = R0; R != R1; ++R) {
+          double *Col = XD + R * N;
+          // Apply the row permutation to the right-hand side.
+          for (size_t I = 0; I != N; ++I)
+            Col[I] = BD[R * N + Perm[I]];
+          // Forward substitution (L has unit diagonal).
+          for (size_t I = 1; I != N; ++I) {
+            double Sum = Col[I];
+            for (size_t J = 0; J != I; ++J)
+              Sum -= LU[J * N + I] * Col[J];
+            Col[I] = Sum;
+          }
+          // Backward substitution.
+          for (size_t IPlus = N; IPlus != 0; --IPlus) {
+            size_t I = IPlus - 1;
+            double Sum = Col[I];
+            for (size_t J = I + 1; J != N; ++J)
+              Sum -= LU[J * N + I] * Col[J];
+            Col[I] = Sum / LU[I * N + I];
+          }
+        }
+      });
   return X;
 }
 

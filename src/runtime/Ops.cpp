@@ -8,6 +8,7 @@
 
 #include "runtime/Blas.h"
 #include "runtime/LinAlg.h"
+#include "support/Parallel.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -148,6 +149,38 @@ inline Cplx elemAt(const Value &V, size_t I, bool Scalar) {
   return Cplx(V.re(Idx), V.im(Idx));
 }
 
+/// Minimum elements before an element-wise loop goes parallel. These loops
+/// are memory-bound, so below ~a few L2's worth of data the fork/join
+/// handshake costs more than the loop.
+constexpr size_t ElemGrain = 32768;
+
+/// Runs an element-wise kernel over [0, N) in parallel with the scalar
+/// operand hoisted: one of three specializations of \p Fn(I, X, Y) is
+/// chosen once, outside the loop, instead of re-deriving `SA ? 0 : I` per
+/// element. \p Fn receives the element index and both real operand values.
+template <typename Fn>
+void forEachRealPair(size_t N, const double *PA, bool SA, const double *PB,
+                     bool SB, Fn F) {
+  if (SA && !SB) {
+    double X = PA[0];
+    par::parallelFor(N, ElemGrain, [&](size_t I0, size_t I1) {
+      for (size_t I = I0; I != I1; ++I)
+        F(I, X, PB[I]);
+    });
+  } else if (SB && !SA) {
+    double Y = PB[0];
+    par::parallelFor(N, ElemGrain, [&](size_t I0, size_t I1) {
+      for (size_t I = I0; I != I1; ++I)
+        F(I, PA[I], Y);
+    });
+  } else { // same shape (or both scalar)
+    par::parallelFor(N, ElemGrain, [&](size_t I0, size_t I1) {
+      for (size_t I = I0; I != I1; ++I)
+        F(I, PA[I], PB[I]);
+    });
+  }
+}
+
 /// Generic element-wise arithmetic: applies \p RealFn on doubles when both
 /// operands are real, \p CplxFn otherwise.
 template <typename RealFn, typename CplxFn>
@@ -162,10 +195,9 @@ Value elemArith(const Value &AIn, const Value &BIn, const char *Name,
   size_t N = Out.numel();
   bool SA = A.isScalar(), SB = B.isScalar();
   if (Cls != MClass::Complex) {
-    const double *PA = A.reData(), *PB = B.reData();
     double *PO = Out.reData();
-    for (size_t I = 0; I != N; ++I)
-      PO[I] = RF(PA[SA ? 0 : I], PB[SB ? 0 : I]);
+    forEachRealPair(N, A.reData(), SA, B.reData(), SB,
+                    [&RF, PO](size_t I, double X, double Y) { PO[I] = RF(X, Y); });
     return Out;
   }
   for (size_t I = 0; I != N; ++I) {
@@ -186,32 +218,47 @@ Value elemCompare(BinOp Op, const Value &AIn, const Value &BIn) {
   Value Out = Value::zeros(S.R, S.C, MClass::Bool);
   size_t N = Out.numel();
   bool SA = A.isScalar(), SB = B.isScalar();
-  for (size_t I = 0; I != N; ++I) {
-    double Ar = A.re(SA ? 0 : I), Br = B.re(SB ? 0 : I);
-    bool R;
-    switch (Op) {
-    case BinOp::Lt:
-      R = Ar < Br;
-      break;
-    case BinOp::Le:
-      R = Ar <= Br;
-      break;
-    case BinOp::Gt:
-      R = Ar > Br;
-      break;
-    case BinOp::Ge:
-      R = Ar >= Br;
-      break;
-    case BinOp::Eq:
-      R = Ar == Br && A.im(SA ? 0 : I) == B.im(SB ? 0 : I);
-      break;
-    case BinOp::Ne:
-      R = Ar != Br || A.im(SA ? 0 : I) != B.im(SB ? 0 : I);
-      break;
-    default:
-      majic_unreachable("not a comparison");
+  // Imaginary parts only participate in Eq/Ne, and only when present.
+  bool NeedIm =
+      (Op == BinOp::Eq || Op == BinOp::Ne) && (A.isComplex() || B.isComplex());
+  if (NeedIm) {
+    for (size_t I = 0; I != N; ++I) {
+      double Ar = A.re(SA ? 0 : I), Br = B.re(SB ? 0 : I);
+      bool Same = Ar == Br && A.im(SA ? 0 : I) == B.im(SB ? 0 : I);
+      Out.reRef(I) = (Op == BinOp::Eq ? Same : !Same) ? 1.0 : 0.0;
     }
-    Out.reRef(I) = R ? 1.0 : 0.0;
+    return Out;
+  }
+  // Real fast path: hoist the operator dispatch out of the loop and run the
+  // raw-pointer compare in parallel.
+  double *PO = Out.reData();
+  auto Run = [&](auto Cmp) {
+    forEachRealPair(N, A.reData(), SA, B.reData(), SB,
+                    [&Cmp, PO](size_t I, double X, double Y) {
+                      PO[I] = Cmp(X, Y) ? 1.0 : 0.0;
+                    });
+  };
+  switch (Op) {
+  case BinOp::Lt:
+    Run([](double X, double Y) { return X < Y; });
+    break;
+  case BinOp::Le:
+    Run([](double X, double Y) { return X <= Y; });
+    break;
+  case BinOp::Gt:
+    Run([](double X, double Y) { return X > Y; });
+    break;
+  case BinOp::Ge:
+    Run([](double X, double Y) { return X >= Y; });
+    break;
+  case BinOp::Eq:
+    Run([](double X, double Y) { return X == Y; });
+    break;
+  case BinOp::Ne:
+    Run([](double X, double Y) { return X != Y; });
+    break;
+  default:
+    majic_unreachable("not a comparison");
   }
   return Out;
 }
@@ -226,10 +273,13 @@ Value elemLogical(BinOp Op, const Value &AIn, const Value &BIn) {
   Value Out = Value::zeros(S.R, S.C, MClass::Bool);
   size_t N = Out.numel();
   bool SA = A.isScalar(), SB = B.isScalar();
-  for (size_t I = 0; I != N; ++I) {
-    bool Ab = A.re(SA ? 0 : I) != 0.0, Bb = B.re(SB ? 0 : I) != 0.0;
-    Out.reRef(I) = (Op == BinOp::And ? (Ab && Bb) : (Ab || Bb)) ? 1.0 : 0.0;
-  }
+  double *PO = Out.reData();
+  bool IsAnd = Op == BinOp::And;
+  forEachRealPair(N, A.reData(), SA, B.reData(), SB,
+                  [IsAnd, PO](size_t I, double X, double Y) {
+                    bool Ab = X != 0.0, Bb = Y != 0.0;
+                    PO[I] = (IsAnd ? (Ab && Bb) : (Ab || Bb)) ? 1.0 : 0.0;
+                  });
   return Out;
 }
 
@@ -252,16 +302,13 @@ Value matMul(const Value &AIn, const Value &BIn) {
     blas::dgemm(M, N, K, 1.0, A.reData(), B.reData(), 0.0, Out.reData());
     return Out;
   }
+  // Complex product over split planes; a real operand passes a null
+  // imaginary plane instead of materializing a zero one, and zgemm reduces
+  // the product to the plane combinations that actually exist.
   Value Out = Value::zeros(M, N, MClass::Complex);
-  for (size_t J = 0; J != N; ++J) {
-    for (size_t I = 0; I != M; ++I) {
-      Cplx Sum = 0;
-      for (size_t P = 0; P != K; ++P)
-        Sum += Cplx(A.at(I, P), A.atIm(I, P)) * Cplx(B.at(P, J), B.atIm(P, J));
-      Out.reRef(J * M + I) = Sum.real();
-      Out.imRef(J * M + I) = Sum.imag();
-    }
-  }
+  blas::zgemm(M, N, K, A.reData(), A.isComplex() ? A.imData() : nullptr,
+              B.reData(), B.isComplex() ? B.imData() : nullptr, Out.reData(),
+              Out.imData());
   return Out;
 }
 

@@ -1,0 +1,165 @@
+//===- support/Parallel.cpp - Data-parallel compute primitive --------------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Parallel.h"
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+using namespace majic;
+
+namespace {
+
+thread_local bool InParallelBody = false;
+
+/// Tracks completion of one parallelFor call: the caller blocks until every
+/// chunk (including those on pool workers) has run. The first exception a
+/// chunk throws is captured and rethrown on the calling thread.
+struct Latch {
+  std::mutex M;
+  std::condition_variable Done;
+  unsigned Remaining;
+  std::exception_ptr Error;
+
+  explicit Latch(unsigned Count) : Remaining(Count) {}
+
+  void finish(std::exception_ptr E) {
+    std::lock_guard<std::mutex> L(M);
+    if (E && !Error)
+      Error = E;
+    if (--Remaining == 0)
+      Done.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> L(M);
+    Done.wait(L, [this] { return Remaining == 0; });
+  }
+};
+
+struct PoolState {
+  std::mutex M;
+  std::unique_ptr<ThreadPool> Pool; ///< holds resolved-count - 1 workers
+  unsigned PoolThreads = 0;         ///< resolved count the pool was built for
+  unsigned Requested = 0;           ///< setComputeThreads() value; 0 = auto
+};
+
+PoolState &state() {
+  // Leaked intentionally: compute workers may still be parked in the pool
+  // at static-destruction time, and tearing them down then races with
+  // other static destructors. The OS reclaims everything on exit.
+  static PoolState *S = new PoolState;
+  return *S;
+}
+
+unsigned autoThreads() {
+  if (const char *Env = std::getenv("MAJIC_COMPUTE_THREADS")) {
+    long V = std::strtol(Env, nullptr, 10);
+    if (V > 0)
+      return static_cast<unsigned>(std::min<long>(V, 256));
+  }
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW ? HW : 1;
+}
+
+unsigned resolvedThreads(PoolState &S) {
+  return S.Requested ? S.Requested : autoThreads();
+}
+
+/// Returns the shared compute pool sized for the current thread count, or
+/// null when one thread is configured (the caller runs everything inline).
+/// Rebuilds the pool only when the resolved count changed.
+ThreadPool *computePool(PoolState &S, unsigned Threads) {
+  if (Threads <= 1)
+    return nullptr;
+  if (!S.Pool || S.PoolThreads != Threads) {
+    S.Pool.reset(); // join old workers before spawning the new set
+    S.Pool = std::make_unique<ThreadPool>(Threads - 1, ThreadPool::Priority::Normal);
+    S.PoolThreads = Threads;
+  }
+  return S.Pool.get();
+}
+
+} // namespace
+
+unsigned par::computeThreads() {
+  PoolState &S = state();
+  std::lock_guard<std::mutex> L(S.M);
+  return resolvedThreads(S);
+}
+
+void par::setComputeThreads(unsigned N) {
+  PoolState &S = state();
+  std::lock_guard<std::mutex> L(S.M);
+  S.Requested = std::min(N, 256u);
+  // The pool is rebuilt lazily by the next parallelFor that needs it.
+}
+
+bool par::inParallelRegion() { return InParallelBody; }
+
+void par::parallelFor(size_t N, size_t Grain,
+                      const std::function<void(size_t, size_t)> &Body) {
+  if (N == 0)
+    return;
+  Grain = std::max<size_t>(Grain, 1);
+
+  ThreadPool *Pool = nullptr;
+  unsigned Threads = 1;
+  if (N > Grain && !InParallelBody) {
+    PoolState &S = state();
+    std::lock_guard<std::mutex> L(S.M);
+    Threads = resolvedThreads(S);
+    Pool = computePool(S, Threads);
+  }
+
+  size_t Chunks = std::min<size_t>(Threads, (N + Grain - 1) / Grain);
+  if (!Pool || Chunks <= 1) {
+    InParallelBody = true;
+    try {
+      Body(0, N);
+    } catch (...) {
+      InParallelBody = false;
+      throw;
+    }
+    InParallelBody = false;
+    return;
+  }
+
+  // Split [0, N) into Chunks contiguous ranges of near-equal size. The
+  // caller takes chunk 0 so one configured thread's worth of work never
+  // waits behind the pool's queue.
+  size_t Base = N / Chunks, Extra = N % Chunks;
+  Latch Sync(static_cast<unsigned>(Chunks));
+  auto RunChunk = [&Body, &Sync](size_t Begin, size_t End) {
+    InParallelBody = true;
+    std::exception_ptr E;
+    try {
+      Body(Begin, End);
+    } catch (...) {
+      E = std::current_exception();
+    }
+    InParallelBody = false;
+    Sync.finish(E);
+  };
+
+  size_t FirstEnd = Base + (Extra ? 1 : 0); // chunk 0 = [0, FirstEnd), caller's
+  size_t Begin = FirstEnd;
+  for (size_t C = 1; C != Chunks; ++C) {
+    size_t End = Begin + Base + (C < Extra ? 1 : 0);
+    Pool->enqueue([RunChunk, Begin, End] { RunChunk(Begin, End); });
+    Begin = End;
+  }
+  RunChunk(0, FirstEnd);
+  Sync.wait();
+  if (Sync.Error)
+    std::rethrow_exception(Sync.Error);
+}

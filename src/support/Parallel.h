@@ -1,0 +1,65 @@
+//===- support/Parallel.h - Data-parallel compute primitive ----*- C++ -*-===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// parallelFor: the runtime's data-parallel primitive, backing the dense
+/// kernel layer (runtime/Blas.h) and the element-wise/reduction paths in
+/// runtime/Ops.cpp and runtime/Builtins.cpp.
+///
+/// Work runs on a process-wide pool of ThreadPool workers at *normal*
+/// priority - unlike the engine's idle-priority speculation pool, compute
+/// workers act on behalf of the thread the user is waiting on. The caller
+/// participates: a parallelFor over T threads enqueues T-1 chunks and runs
+/// the first chunk itself, so a 1-thread configuration never touches a
+/// worker at all.
+///
+/// Determinism contract: parallelFor splits the index range into contiguous
+/// chunks whose boundaries depend on the configured thread count. A body is
+/// deterministic across thread counts iff the value it writes for index I
+/// depends only on I (true for every kernel in the runtime: disjoint output
+/// ranges, no cross-chunk accumulation). Code that *reduces* must instead
+/// partition by a fixed chunk size and combine partials in chunk order -
+/// see runtime/Builtins.cpp - so the result is bit-identical whether the
+/// chunks ran on 1 thread or 16.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAJIC_SUPPORT_PARALLEL_H
+#define MAJIC_SUPPORT_PARALLEL_H
+
+#include <cstddef>
+#include <functional>
+
+namespace majic {
+namespace par {
+
+/// The configured compute-thread count (>= 1). Resolution order: the last
+/// setComputeThreads() value; the MAJIC_COMPUTE_THREADS environment
+/// variable; std::thread::hardware_concurrency().
+unsigned computeThreads();
+
+/// Reconfigures the compute pool to \p N threads; 0 restores the automatic
+/// default (environment variable, then hardware concurrency). Safe to call
+/// between parallel regions; must not be called from inside one. The pool
+/// is (re)created lazily on the next parallelFor that needs it.
+void setComputeThreads(unsigned N);
+
+/// Runs Body(Begin, End) over disjoint contiguous subranges of [0, N),
+/// using at most computeThreads() threads, with at least \p Grain indices
+/// per chunk. Runs serially (a single Body(0, N) call) when N <= Grain,
+/// when one thread is configured, or when already inside a parallelFor
+/// (no nested parallelism). Exceptions thrown by Body are rethrown on the
+/// calling thread after all chunks finish.
+void parallelFor(size_t N, size_t Grain,
+                 const std::function<void(size_t, size_t)> &Body);
+
+/// True while the calling thread is executing inside a parallelFor body.
+bool inParallelRegion();
+
+} // namespace par
+} // namespace majic
+
+#endif // MAJIC_SUPPORT_PARALLEL_H

@@ -6,6 +6,8 @@
 
 #include "support/ThreadPool.h"
 
+#include <algorithm>
+
 #if defined(__linux__)
 #include <pthread.h>
 #include <sched.h>
@@ -49,12 +51,38 @@ ThreadPool::~ThreadPool() {
     W.join();
 }
 
-void ThreadPool::enqueue(std::function<void()> Task) {
+ThreadPool::TaskId ThreadPool::enqueue(std::function<void()> Task) {
+  TaskId Id;
   {
     std::lock_guard<std::mutex> L(Mutex);
-    Queue.push_back(std::move(Task));
+    Id = NextId++;
+    Queue.push_back({Id, std::move(Task)});
   }
   HaveWork.notify_one();
+  return Id;
+}
+
+bool ThreadPool::promote(TaskId Id) {
+  std::lock_guard<std::mutex> L(Mutex);
+  auto It = std::find_if(Queue.begin(), Queue.end(),
+                         [Id](const Item &I) { return I.Id == Id; });
+  if (It == Queue.end())
+    return false;
+  if (It != Queue.begin()) {
+    Item Promoted = std::move(*It);
+    Queue.erase(It);
+    Queue.push_front(std::move(Promoted));
+  }
+  return true;
+}
+
+void ThreadPool::setPaused(bool NewPaused) {
+  {
+    std::lock_guard<std::mutex> L(Mutex);
+    Paused = NewPaused;
+  }
+  if (!NewPaused)
+    HaveWork.notify_all();
 }
 
 void ThreadPool::waitIdle() {
@@ -70,10 +98,14 @@ size_t ThreadPool::queueDepth() const {
 void ThreadPool::workerLoop() {
   std::unique_lock<std::mutex> L(Mutex);
   while (true) {
-    HaveWork.wait(L, [this] { return Stopping || !Queue.empty(); });
+    // Stopping overrides Paused: the destructor's drain-everything contract
+    // holds even for a pool left paused.
+    HaveWork.wait(L, [this] {
+      return Stopping || (!Paused && !Queue.empty());
+    });
     if (Queue.empty()) // Stopping and drained: exit.
       return;
-    std::function<void()> Task = std::move(Queue.front());
+    std::function<void()> Task = std::move(Queue.front().Task);
     Queue.pop_front();
     ++Running;
     L.unlock();

@@ -7,9 +7,13 @@
 /// \file
 /// A small fixed-size worker pool backing the engine's background
 /// speculative compilation (Section 2.5: the repository "compiles code on
-/// its own, ahead of time", so the user never waits for the compiler).
+/// its own, ahead of time", so the user never waits for the compiler) and
+/// the compute-side parallelFor primitive (support/Parallel.h).
 /// Tasks are plain closures executed FIFO; the destructor finishes every
 /// queued task before joining, so enqueued work is never silently lost.
+/// Queued (not yet started) tasks can be promoted to the front of the
+/// queue - the engine uses this to prioritize the function the user is
+/// actually waiting on over the FIFO backlog of speculative compiles.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,6 +21,7 @@
 #define MAJIC_SUPPORT_THREADPOOL_H
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -31,20 +36,37 @@ public:
   /// the workers only consume cycles the interactive thread leaves free -
   /// essential on few-core machines, where a default-priority worker
   /// time-slices against the user's thread and delays the next result.
+  /// Compute workers (support/Parallel.h) run at \c Normal priority: they
+  /// execute on behalf of the thread the user is waiting on.
   enum class Priority { Normal, Idle };
+
+  /// Identifies an enqueued task; never reused within a pool's lifetime.
+  using TaskId = uint64_t;
 
   /// Spawns \p NumThreads workers (at least one).
   explicit ThreadPool(unsigned NumThreads,
                       Priority Prio = Priority::Normal);
 
-  /// Finishes all queued tasks, then joins the workers.
+  /// Finishes all queued tasks, then joins the workers (pausing does not
+  /// survive destruction: a paused pool drains on shutdown).
   ~ThreadPool();
 
   ThreadPool(const ThreadPool &) = delete;
   ThreadPool &operator=(const ThreadPool &) = delete;
 
-  /// Schedules \p Task for execution on some worker.
-  void enqueue(std::function<void()> Task);
+  /// Schedules \p Task for execution on some worker. The returned id can
+  /// be passed to promote() while the task is still queued.
+  TaskId enqueue(std::function<void()> Task);
+
+  /// Moves the queued task \p Id to the front of the queue so it is the
+  /// next one a worker picks up. Returns false when the task already
+  /// started (or finished) - promotion is only meaningful while queued.
+  bool promote(TaskId Id);
+
+  /// While paused, workers finish the tasks they are running but start no
+  /// new ones; enqueue/promote still operate on the queue. Tests use this
+  /// to build a deterministic backlog.
+  void setPaused(bool Paused);
 
   /// Blocks until the queue is empty and no task is running.
   void waitIdle();
@@ -55,14 +77,21 @@ public:
   size_t queueDepth() const;
 
 private:
+  struct Item {
+    TaskId Id;
+    std::function<void()> Task;
+  };
+
   void workerLoop();
 
   std::vector<std::thread> Workers;
-  std::deque<std::function<void()>> Queue;
+  std::deque<Item> Queue;
   mutable std::mutex Mutex;
-  std::condition_variable HaveWork; ///< signalled on enqueue/shutdown
+  std::condition_variable HaveWork; ///< signalled on enqueue/resume/shutdown
   std::condition_variable Idle;     ///< signalled when a task finishes
+  TaskId NextId = 1;                ///< 0 is never a valid id
   unsigned Running = 0;             ///< tasks currently executing
+  bool Paused = false;
   bool Stopping = false;
 };
 

@@ -19,7 +19,10 @@
 #include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
+#include <string>
 #include <thread>
+#include <vector>
 
 using namespace majic;
 
@@ -61,6 +64,37 @@ TEST(ThreadPool, ZeroRequestedThreadsStillWorks) {
   Pool.enqueue([&Ran] { Ran.store(true); });
   Pool.waitIdle();
   EXPECT_TRUE(Ran.load());
+}
+
+TEST(ThreadPool, PromoteMovesQueuedTaskToFront) {
+  ThreadPool Pool(1);
+  Pool.setPaused(true); // build a backlog no worker can touch yet
+  std::mutex M;
+  std::vector<char> Order;
+  auto Record = [&](char C) {
+    return [&Order, &M, C] {
+      std::lock_guard<std::mutex> Lock(M);
+      Order.push_back(C);
+    };
+  };
+  Pool.enqueue(Record('A'));
+  Pool.enqueue(Record('B'));
+  ThreadPool::TaskId IdC = Pool.enqueue(Record('C'));
+  EXPECT_TRUE(Pool.promote(IdC));
+  Pool.setPaused(false);
+  Pool.waitIdle();
+  ASSERT_EQ(Order.size(), 3u);
+  EXPECT_EQ(Order[0], 'C'); // promoted ahead of the FIFO backlog
+  EXPECT_EQ(Order[1], 'A');
+  EXPECT_EQ(Order[2], 'B');
+}
+
+TEST(ThreadPool, PromoteAfterCompletionReturnsFalse) {
+  ThreadPool Pool(1);
+  ThreadPool::TaskId Id = Pool.enqueue([] {});
+  Pool.waitIdle();
+  EXPECT_FALSE(Pool.promote(Id)); // already ran: nothing left to move
+  EXPECT_FALSE(Pool.promote(Id + 1000)); // never existed
 }
 
 //===----------------------------------------------------------------------===//
@@ -258,6 +292,50 @@ TEST(EngineAsync, FirstCallDuringCompileInterpretsAndLaterCallsHit) {
   SpeculationStats S = E.speculationStats();
   EXPECT_EQ(S.Completed, 1u);
   EXPECT_GE(S.TimeToFirstResultSeconds, 0.0);
+}
+
+TEST(EngineAsync, InvocationPromotesQueuedSpeculation) {
+  // A call that misses on a function whose speculative compile is still
+  // queued is the strongest priority signal there is: the entry jumps to
+  // the front of the queue instead of waiting out the FIFO backlog.
+  const char *Fns[] = {"aaa", "bbb", "ccc"};
+  EngineOptions O;
+  O.Policy = CompilePolicy::Speculative;
+  O.BackgroundCompileThreads = 1;
+  Engine E(O);
+  for (const char *Name : Fns)
+    ASSERT_TRUE(E.addSource(
+        Name, "function y = " + std::string(Name) + "(x)\ny = x + 1;\n"));
+
+  E.pauseBackgroundCompiles(); // freeze the worker so the queue is stable
+  for (const char *Name : Fns)
+    ASSERT_TRUE(E.speculateAsync(Name));
+  EXPECT_EQ(E.queuedSpeculations(),
+            (std::vector<std::string>{"aaa", "bbb", "ccc"}));
+
+  // Explicit promotion moves ccc to the front...
+  EXPECT_TRUE(E.promoteSpeculation("ccc"));
+  EXPECT_EQ(E.queuedSpeculations(),
+            (std::vector<std::string>{"ccc", "aaa", "bbb"}));
+  // ...and an actual invocation of bbb promotes it implicitly (the call
+  // itself interprets, since the compile hasn't finished).
+  auto R =
+      E.callFunction("bbb", {makeValue(Value::intScalar(4))}, 1, SourceLoc());
+  EXPECT_DOUBLE_EQ(R[0]->scalarValue(), 5);
+  EXPECT_EQ(E.queuedSpeculations(),
+            (std::vector<std::string>{"bbb", "ccc", "aaa"}));
+
+  // Promotion of functions that are not queued reports false.
+  EXPECT_FALSE(E.promoteSpeculation("nope"));
+
+  E.resumeBackgroundCompiles();
+  E.drainCompiles();
+  SpeculationStats S = E.speculationStats();
+  EXPECT_EQ(S.Completed, 3u);
+  EXPECT_EQ(S.Promoted, 2u);
+  EXPECT_TRUE(E.queuedSpeculations().empty());
+  // Once drained nothing is queued, so promotion is a no-op again.
+  EXPECT_FALSE(E.promoteSpeculation("ccc"));
 }
 
 TEST(EngineAsync, SnoopQueuesAndStatsAddUp) {
