@@ -7,6 +7,7 @@
 #include "ast/Parser.h"
 
 #include "ast/Lexer.h"
+#include "support/FaultInjection.h"
 #include "support/StringUtils.h"
 
 #include <initializer_list>
@@ -674,6 +675,14 @@ std::unique_ptr<Module> majic::parseModule(const std::string &Name,
                                            const std::string &Source,
                                            SourceManager &SM,
                                            Diagnostics &Diags) {
+  // An injected parse fault surfaces like any other syntax error: through
+  // the diagnostic stream, never as an escaping exception.
+  try {
+    faults::maybeThrow(faults::Site::Parse);
+  } catch (const faults::InjectedFault &F) {
+    Diags.error(SourceLoc(), F.what());
+    return nullptr;
+  }
   uint32_t FileId = SM.addBuffer(Name, Source);
   std::vector<Token> Toks = lex(SM.bufferContents(FileId), FileId, Diags);
   if (Diags.hasErrors())

@@ -6,6 +6,8 @@
 
 #include "backend/Compiler.h"
 
+#include "support/FaultInjection.h"
+
 using namespace majic;
 
 std::optional<CompileResult> majic::compileFunction(const CompileRequest &Req) {
@@ -18,6 +20,7 @@ std::optional<CompileResult> majic::compileFunction(const CompileRequest &Req) {
   {
     Timer T;
     if (Req.Mode != CodeGenMode::Generic) {
+      faults::maybeThrow(faults::Site::Infer);
       InferResult Inferred = inferTypes(*Req.FI, Req.Sig, Req.Infer);
       Ann = std::move(Inferred.Ann);
     }
@@ -29,6 +32,7 @@ std::optional<CompileResult> majic::compileFunction(const CompileRequest &Req) {
   CodeGenOptions CGOpts;
   CGOpts.Mode = Req.Mode;
   CGOpts.MaxUnrollNumel = Req.UnrollSmallVectors ? 9 : 0;
+  faults::maybeThrow(faults::Site::CodeGen);
   std::unique_ptr<IRFunction> Code = generateCode(*Req.FI, Ann, Req.Sig,
                                                   CGOpts);
   if (!Code)
@@ -41,6 +45,7 @@ std::optional<CompileResult> majic::compileFunction(const CompileRequest &Req) {
     Result.Optimizer = optimize(*Code, OptOpts);
   }
 
+  faults::maybeThrow(faults::Site::RegAlloc);
   Result.RegAlloc = allocateRegisters(*Code, Req.Platform, Req.RegAlloc);
   Result.CodeGenSeconds = T.seconds();
   Result.Code = std::move(Code);

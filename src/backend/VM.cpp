@@ -118,6 +118,11 @@ std::vector<ValuePtr> VM::run(const IRFunction &F, std::vector<ValuePtr> Args,
   while (true) {
     const Instr &In = Code[PC];
     ++Count;
+    // Execution-limit poll (op budget + cooperative interrupt) every 256
+    // dispatches: cheap enough for the hot loop, frequent enough that a
+    // runaway program or a Ctrl-C unwinds within microseconds.
+    if ((Count & 0xFF) == 0)
+      Ctx.Exec.consume(256);
     switch (In.Op) {
     case Opcode::Nop:
       break;
@@ -225,6 +230,7 @@ std::vector<ValuePtr> VM::run(const IRFunction &F, std::vector<ValuePtr> Args,
       }
       break;
     case Opcode::Ret: {
+      Ctx.Exec.consume(Count & 0xFF); // the tail not covered by the poll
       InstrCount += Count;
       if (NumOuts == 0) {
         // nargout = 0: optional first output for ans/display semantics.

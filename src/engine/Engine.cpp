@@ -8,10 +8,12 @@
 
 #include "analysis/Inliner.h"
 #include "infer/Speculate.h"
+#include "support/FaultInjection.h"
 #include "support/Parallel.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -33,8 +35,46 @@ const char *majic::compilePolicyName(CompilePolicy P) {
   majic_unreachable("invalid policy");
 }
 
+namespace {
+
+/// Reads a nonnegative integer environment knob; 0 when unset or invalid.
+uint64_t envLimit(const char *Name) {
+  const char *V = std::getenv(Name);
+  if (!V || !*V)
+    return 0;
+  char *End = nullptr;
+  unsigned long long N = std::strtoull(V, &End, 10);
+  return (End && *End == '\0') ? N : 0;
+}
+
+} // namespace
+
 Engine::Engine(EngineOptions OptsIn) : Opts(std::move(OptsIn)) {
+  // Arm the fault-injection schedule from MAJIC_FAULTS once per process;
+  // later engines leave whatever schedule the tests armed via the API.
+  static bool FaultEnvLoaded = (faults::loadEnv(), true);
+  (void)FaultEnvLoaded;
+  // Environment knobs fill in limits the embedder left unset.
+  if (!Opts.Limits.MaxAllocBytes)
+    Opts.Limits.MaxAllocBytes = envLimit("MAJIC_MAX_ALLOC_BYTES");
+  if (!Opts.Limits.MaxOps)
+    Opts.Limits.MaxOps = envLimit("MAJIC_MAX_OPS");
+
   Ctx.Rand.reseed(Opts.RandSeed);
+  Ctx.Exec.OpBudget = Opts.Limits.MaxOps;
+  // Matrix storage is charged against a process-wide account (the tracking
+  // allocator cannot see engine state), so apply the stricter of the two
+  // limits globally and lift it again in the destructor.
+  uint64_t ByteLimit = Opts.Limits.MaxAllocBytes;
+  if (Opts.Limits.MaxLiveElements) {
+    uint64_t ElemBytes = Opts.Limits.MaxLiveElements * sizeof(double);
+    ByteLimit = ByteLimit ? std::min(ByteLimit, ElemBytes) : ElemBytes;
+  }
+  if (ByteLimit) {
+    mem::setLimitBytes(ByteLimit);
+    OwnsMemLimit = true;
+  }
+  Repo.setVersionCap(Opts.MaxVersionsPerFunction);
   // Pin the dense-kernel thread count when the embedder asked for one;
   // 0 leaves the process-wide default (env override, then hardware).
   if (Opts.ComputeThreads)
@@ -50,9 +90,15 @@ Engine::Engine(EngineOptions OptsIn) : Opts(std::move(OptsIn)) {
 }
 
 Engine::~Engine() {
+  // A paused pool would never drain its queue; the pool destructor joins
+  // after finishing queued tasks, so un-pause first.
+  if (SpecPool)
+    SpecPool->setPaused(false);
   // Joining the workers first: in-flight tasks touch the repository and
   // the speculation bookkeeping, which must outlive them.
   SpecPool.reset();
+  if (OwnsMemLimit)
+    mem::setLimitBytes(0);
 }
 
 //===----------------------------------------------------------------------===//
@@ -112,20 +158,31 @@ void Engine::watchDirectory(const std::string &Dir) {
 
 unsigned Engine::snoop() {
   unsigned Loaded = 0;
+  // Load in the scanner's deterministic path order, but speculate in
+  // source-recency order: the file the user just saved is the one they
+  // will most likely run next, so its compile should not wait behind the
+  // rest of the batch.
+  std::vector<std::pair<int64_t, std::string>> ToSpeculate;
   for (const SourceSnooper::Change &C : Snooper.scan()) {
     if (!loadFile(C.Path))
       continue;
     ++Loaded;
     if (Opts.Policy == CompilePolicy::Speculative)
-      for (const std::string &Fn : LastLoadedNames) {
-        // With a worker pool the compile happens off this thread ("the
-        // user never waits for the compiler"); without one, fall back to
-        // the synchronous pre-async behavior.
-        if (SpecPool)
-          speculateAsync(Fn);
-        else
-          precompileSpeculative(Fn);
-      }
+      for (const std::string &Fn : LastLoadedNames)
+        ToSpeculate.emplace_back(C.MTime, Fn);
+  }
+  std::stable_sort(ToSpeculate.begin(), ToSpeculate.end(),
+                   [](const auto &A, const auto &B) {
+                     return A.first > B.first;
+                   });
+  for (const auto &[MTime, Fn] : ToSpeculate) {
+    // With a worker pool the compile happens off this thread ("the user
+    // never waits for the compiler"); without one, fall back to the
+    // synchronous pre-async behavior.
+    if (SpecPool)
+      speculateAsync(Fn);
+    else
+      precompileSpeculative(Fn);
   }
   return Loaded;
 }
@@ -181,28 +238,44 @@ CompiledObjectPtr Engine::compileAndInsert(const std::string &Name,
   LoadedFunction *LF = find(Name);
   if (!LF || LF->F->isScript())
     return nullptr;
+  if (isQuarantined(Name))
+    return nullptr;
   const std::shared_ptr<FunctionInfo> &FI = compileView(*LF);
   if (FI->HasAmbiguousSymbols)
     return nullptr;
 
-  Timer Total;
-  CompileRequest Req = makeRequest(FI.get(), Sig, Mode, Optimistic);
-  std::optional<CompileResult> Result = compileFunction(Req);
-  if (!Result)
+  uint64_t Gen;
+  {
+    std::lock_guard<std::mutex> L(SpecMutex);
+    Gen = SourceGeneration[Name];
+  }
+  // The compiler must never take the engine down: any exception escaping
+  // the pipeline (injected faults included; MatlabError does not derive
+  // from std::exception, hence catch-all) quarantines the function and the
+  // caller transparently falls back to the interpreter.
+  try {
+    Timer Total;
+    CompileRequest Req = makeRequest(FI.get(), Sig, Mode, Optimistic);
+    std::optional<CompileResult> Result = compileFunction(Req);
+    if (!Result)
+      return nullptr;
+
+    Phases.add(Phase::TypeInference, Result->TypeInferSeconds);
+    Phases.add(Phase::CodeGen, Result->CodeGenSeconds);
+
+    CompiledObject Obj;
+    Obj.FunctionName = Name;
+    Obj.Sig = Sig;
+    Obj.Code = std::move(Result->Code);
+    Obj.Mode = Mode;
+    Obj.CompileSeconds = Total.seconds();
+    Obj.From = From;
+    Repo.insert(std::move(Obj));
+    return Repo.lookup(Name, Sig);
+  } catch (...) {
+    noteCompileFailure(Name, Gen);
     return nullptr;
-
-  Phases.add(Phase::TypeInference, Result->TypeInferSeconds);
-  Phases.add(Phase::CodeGen, Result->CodeGenSeconds);
-
-  CompiledObject Obj;
-  Obj.FunctionName = Name;
-  Obj.Sig = Sig;
-  Obj.Code = std::move(Result->Code);
-  Obj.Mode = Mode;
-  Obj.CompileSeconds = Total.seconds();
-  Obj.From = From;
-  Repo.insert(std::move(Obj));
-  return Repo.lookup(Name, Sig);
+  }
 }
 
 bool Engine::precompileWithArgs(const std::string &Name,
@@ -234,6 +307,8 @@ bool Engine::speculateAsync(const std::string &Name) {
   LoadedFunction *LF = find(Name);
   if (!LF || LF->F->isScript())
     return false;
+  if (isQuarantined(Name))
+    return false;
   // The analysis view is built here, on the engine's thread (it mutates
   // the LoadedFunction); speculative inference and the compile pipeline -
   // both pure over the FunctionInfo - run on the worker, keeping the
@@ -252,16 +327,25 @@ bool Engine::speculateAsync(const std::string &Name) {
     }
     InFlight.push_back(Name);
     uint64_t Gen = SourceGeneration[Name];
-    ++SpecStats.Queued;
-    ++PendingCompiles;
     // Enqueue under SpecMutex so the task id lands in QueuedIds before any
     // promoteSpeculation can look for it. Safe against the workers: they
     // release the pool lock before running a task, so SpecMutex ->
     // pool-mutex is the only order these two locks are ever taken in.
-    ThreadPool::TaskId Id =
-        SpecPool->enqueue([this, Name, FI, KeepAlive, Gen] {
-          backgroundCompile(Name, FI, KeepAlive, Gen);
-        });
+    // Count the request only once the pool accepted it: a throwing enqueue
+    // (injected pool-enqueue fault) must leave no bookkeeping behind, or
+    // drainCompiles would wait forever on a task that does not exist.
+    ThreadPool::TaskId Id;
+    try {
+      Id = SpecPool->enqueue([this, Name, FI, KeepAlive, Gen] {
+        backgroundCompile(Name, FI, KeepAlive, Gen);
+      });
+    } catch (...) {
+      InFlight.pop_back();
+      ++SpecStats.Failed;
+      return false;
+    }
+    ++SpecStats.Queued;
+    ++PendingCompiles;
     QueuedIds[Name] = Id;
     QueuedOrder.push_back(Name);
   }
@@ -319,10 +403,20 @@ void Engine::backgroundCompile(std::string Name,
       QueuedOrder.erase(It);
   }
   Timer Total;
-  TypeSignature Sig = speculateSignature(*FI, Opts.Infer);
-  CompileRequest Req =
-      makeRequest(FI.get(), Sig, CodeGenMode::Optimized, /*Optimistic=*/true);
-  std::optional<CompileResult> Result = compileFunction(Req);
+  // A worker exception must never escape into the pool (it would be
+  // swallowed there, silently losing the bookkeeping below); capture it
+  // and convert it into a Failed + quarantine record instead.
+  std::optional<CompileResult> Result;
+  TypeSignature Sig;
+  bool Crashed = false;
+  try {
+    Sig = speculateSignature(*FI, Opts.Infer);
+    CompileRequest Req = makeRequest(FI.get(), Sig, CodeGenMode::Optimized,
+                                     /*Optimistic=*/true);
+    Result = compileFunction(Req);
+  } catch (...) {
+    Crashed = true;
+  }
   double Seconds = Total.seconds();
 
   CompiledObject Obj;
@@ -343,10 +437,23 @@ void Engine::backgroundCompile(std::string Name,
     // or reload while we compiled makes this object stale.
     bool Stale = SourceGeneration[Name] != Gen;
     if (Result && !Stale) {
-      Repo.insert(std::move(Obj));
-      ++SpecStats.Completed;
+      try {
+        Repo.insert(std::move(Obj));
+        ++SpecStats.Completed;
+      } catch (...) {
+        Crashed = true;
+        ++SpecStats.Dropped;
+      }
     } else {
       ++SpecStats.Dropped;
+    }
+    // Quarantine on a crash, but only against the generation we compiled:
+    // if the source was reloaded meanwhile, the fresh source keeps its
+    // chance to compile.
+    if (Crashed) {
+      ++SpecStats.Failed;
+      if (!Stale)
+        Quarantined[Name] = Gen;
     }
     InFlight.erase(std::find(InFlight.begin(), InFlight.end(), Name));
     --PendingCompiles;
@@ -376,8 +483,32 @@ void Engine::invalidateFunction(const std::string &Name) {
   // invalidate (and its object is erased here).
   std::lock_guard<std::mutex> L(SpecMutex);
   ++SourceGeneration[Name];
+  // New source gets a fresh chance: the quarantine recorded a crash of the
+  // old generation's compile.
+  Quarantined.erase(Name);
   Repo.invalidate(Name);
 }
+
+void Engine::noteCompileFailure(const std::string &Name, uint64_t Gen) {
+  std::lock_guard<std::mutex> L(SpecMutex);
+  ++SpecStats.Failed;
+  if (SourceGeneration[Name] == Gen)
+    Quarantined[Name] = Gen;
+}
+
+bool Engine::isQuarantined(const std::string &Name) const {
+  std::lock_guard<std::mutex> L(SpecMutex);
+  return Quarantined.count(Name) != 0;
+}
+
+size_t Engine::quarantineCount() const {
+  std::lock_guard<std::mutex> L(SpecMutex);
+  return Quarantined.size();
+}
+
+void Engine::requestInterrupt() { exec::requestInterrupt(); }
+
+void Engine::clearInterrupt() { exec::clearInterrupt(); }
 
 void Engine::recordFirstResult() {
   if (CallDepth != 1)
@@ -428,6 +559,10 @@ std::vector<ValuePtr> Engine::callFunction(const std::string &Name,
                       Loc);
   if (CallDepth >= Opts.MaxCallDepth)
     throw MatlabError("maximum recursion depth exceeded", Loc);
+  // A fresh top-level invocation gets a fresh op budget; nested calls
+  // (including scripts' callees) spend their caller's.
+  if (CallDepth == 0)
+    Ctx.Exec.reset();
   DepthGuard Guard(CallDepth);
 
   if (Opts.Policy == CompilePolicy::InterpretOnly || LF->F->isScript()) {
@@ -613,7 +748,13 @@ std::string Engine::runScript(const std::string &Source) {
 
   try {
     ScopedPhaseTimer T(Phases, Phase::Execute);
+    // The script itself is a top-level invocation: it gets a fresh op
+    // budget, and the depth guard keeps callFunction (depth >= 1 from
+    // here) from resetting the budget mid-script.
+    Ctx.Exec.reset();
+    DepthGuard Guard(CallDepth);
     Interp->runScript(*Script, Slots);
+    recordFirstResult();
   } catch (const MatlabError &E) {
     Ctx.print("??? " + E.message() + "\n");
   }

@@ -55,6 +55,22 @@ enum class CompilePolicy : uint8_t {
 
 const char *compilePolicyName(CompilePolicy P);
 
+/// Cooperative resource limits for one engine. All default to 0
+/// (unlimited). Breaches surface as ordinary MatlabErrors on the thread
+/// running the program; the engine (workspace, repository, statistics)
+/// stays intact and usable afterwards.
+struct ExecutionLimits {
+  /// Maximum live matrix elements across all values (each element is one
+  /// double, plus another for complex storage).
+  uint64_t MaxLiveElements = 0;
+  /// Maximum live matrix-storage bytes. When both element and byte limits
+  /// are set, the stricter one wins.
+  uint64_t MaxAllocBytes = 0;
+  /// Operation budget per top-level invocation (VM instructions plus
+  /// interpreted statements); bounds runaway loops.
+  uint64_t MaxOps = 0;
+};
+
 struct EngineOptions {
   CompilePolicy Policy = CompilePolicy::Jit;
   PlatformModel Platform = PlatformModel::sparc();
@@ -75,6 +91,13 @@ struct EngineOptions {
   /// environment variable when set, otherwise the hardware concurrency.
   /// Nonzero pins the count (kernel results are bit-identical either way).
   unsigned ComputeThreads = 0;
+  /// Resource limits (0 = unlimited). The memory limits are applied
+  /// process-wide (matrix storage uses a global tracking allocator), so
+  /// only one engine at a time should set them.
+  ExecutionLimits Limits;
+  /// Cap on compiled versions kept per function; the least-used version is
+  /// evicted when a new one would exceed it. 0 = unlimited.
+  unsigned MaxVersionsPerFunction = 8;
 };
 
 /// Responsiveness counters for the background speculation subsystem.
@@ -89,6 +112,9 @@ struct SpeculationStats {
                                     ///< in flight
   uint64_t Promoted = 0; ///< queued compiles moved to the front because an
                          ///< invocation was waiting on them
+  uint64_t Failed = 0;   ///< compiles that raised an exception (including
+                         ///< injected faults); the function is quarantined
+                         ///< until its source changes
   /// Seconds of compilation performed off the caller's thread.
   double BackgroundCompileSeconds = 0;
   /// Seconds from engine construction to the first completed top-level
@@ -193,6 +219,25 @@ public:
   bool precompileGeneric(const std::string &Name, size_t Arity);
 
   //===--------------------------------------------------------------------===
+  // Robustness: interrupts and compile-failure quarantine
+  //===--------------------------------------------------------------------===
+
+  /// Requests cooperative interruption of the running program (safe from
+  /// any thread, e.g. a SIGINT handler). The program stops at the next
+  /// poll point with a clean MatlabError; the engine stays usable.
+  void requestInterrupt();
+
+  /// Clears a pending interrupt request.
+  void clearInterrupt();
+
+  /// True when \p Name's compiler crashed and the engine has stopped
+  /// retrying it (every invocation interprets) until its source changes.
+  bool isQuarantined(const std::string &Name) const;
+
+  /// Number of currently quarantined functions.
+  size_t quarantineCount() const;
+
+  //===--------------------------------------------------------------------===
   // Introspection
   //===--------------------------------------------------------------------===
 
@@ -254,7 +299,14 @@ private:
 
   /// Invalidates \p Name's compiled code and bumps its source generation
   /// so in-flight background compiles of the old source are dropped.
+  /// Also lifts any quarantine: new source gets a fresh chance to compile.
   void invalidateFunction(const std::string &Name);
+
+  /// Records a compile failure for \p Name at source generation \p Gen and
+  /// quarantines the function (no recompile attempts until the source
+  /// changes). Pass the generation the failing compile started from so a
+  /// failure racing a reload cannot quarantine the fresh source.
+  void noteCompileFailure(const std::string &Name, uint64_t Gen);
 
   /// Records the time-to-first-result counter (top-level calls only).
   void recordFirstResult();
@@ -289,6 +341,9 @@ private:
   uint64_t InterpFallbacks = 0;
   uint64_t JitCompiles = 0;
   uint64_t Deopts = 0;
+  /// True when this engine installed the process-wide memory limit (so the
+  /// destructor knows to lift it).
+  bool OwnsMemLimit = false;
 
   //===--------------------------------------------------------------------===
   // Background speculation (the compile queue). All fields below are
@@ -313,6 +368,11 @@ private:
   /// Source generation per function; bumped on invalidation so stale
   /// in-flight results are dropped instead of published.
   std::unordered_map<std::string, uint64_t> SourceGeneration;
+  /// Functions whose compiler raised an exception, mapped to the source
+  /// generation that failed. While the generation is unchanged the engine
+  /// interprets them instead of retrying the compiler; a reload clears the
+  /// entry.
+  std::unordered_map<std::string, uint64_t> Quarantined;
   unsigned PendingCompiles = 0;
   SpeculationStats SpecStats;
   /// Engine birth, the zero point of TimeToFirstResultSeconds.

@@ -142,6 +142,9 @@ InterpFrame::Flow InterpFrame::execBlock(const Block &B) {
 }
 
 InterpFrame::Flow InterpFrame::execStmt(const Stmt *S) {
+  // Execution-limit poll (op budget + cooperative interrupt): the
+  // interpreter's statement granularity is its natural cancellation point.
+  I.Ctx.Exec.consume(1);
   switch (S->getKind()) {
   case Stmt::Kind::Expr: {
     const auto *ES = cast<ExprStmt>(S);
@@ -177,6 +180,9 @@ InterpFrame::Flow InterpFrame::execStmt(const Stmt *S) {
   case Stmt::Kind::While: {
     const auto *W = cast<WhileStmt>(S);
     while (evalExpr(W->cond())->isTrue()) {
+      // Charge each iteration, not just each body statement: an empty-body
+      // `while 1, end` must still hit the op budget / interrupt poll.
+      I.Ctx.Exec.consume(1);
       Flow FlowResult = execBlock(W->body());
       if (FlowResult == Flow::Break)
         break;
@@ -195,6 +201,7 @@ InterpFrame::Flow InterpFrame::execStmt(const Stmt *S) {
     // MATLAB iterates over the columns of the iterand.
     size_t NumIter = It.isEmpty() ? 0 : It.cols();
     for (size_t J = 0; J != NumIter; ++J) {
+      I.Ctx.Exec.consume(1); // empty-body loops must still poll (see While)
       ValuePtr &LoopVar = varAccess(For->loopVar(), VarSlot);
       if (It.rows() == 1) {
         Value V = Value::scalar(It.re(J));

@@ -6,6 +6,9 @@
 
 #include "repo/Repository.h"
 
+#include "support/FaultInjection.h"
+
+#include <algorithm>
 #include <mutex>
 
 using namespace majic;
@@ -39,6 +42,7 @@ CompiledObjectPtr Repository::lookup(const std::string &Name,
 }
 
 void Repository::insert(CompiledObject Obj) {
+  faults::maybeThrow(faults::Site::RepoInsert);
   auto New = std::make_shared<CompiledObject>(std::move(Obj));
   std::unique_lock<std::shared_mutex> L(Mutex);
   CompileSecondsTotal += New->CompileSeconds;
@@ -55,6 +59,27 @@ void Repository::insert(CompiledObject Obj) {
     }
   }
   Versions.push_back(std::move(New));
+  // Evict least-used versions down to the cap, sparing the entry just
+  // pushed: evicting a 0-hit newcomer would immediately re-miss and
+  // recompile the same signature, livelocking the compile pipeline.
+  while (VersionCap && Versions.size() > VersionCap) {
+    size_t Victim = 0;
+    uint64_t VictimHits = UINT64_MAX;
+    for (size_t I = 0; I + 1 < Versions.size(); ++I) {
+      uint64_t H = Versions[I]->Hits.load(std::memory_order_relaxed);
+      if (H < VictimHits) {
+        Victim = I;
+        VictimHits = H;
+      }
+    }
+    Versions.erase(Versions.begin() + Victim);
+    EvictionsCount.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Repository::setVersionCap(size_t Cap) {
+  std::unique_lock<std::shared_mutex> L(Mutex);
+  VersionCap = Cap;
 }
 
 void Repository::invalidate(const std::string &Name) {

@@ -91,7 +91,20 @@ public:
   /// replaced version's accumulated hit count carries over to the new
   /// object, and its compile time stays in totalCompileSeconds(), so the
   /// repository statistics survive recompilation.
+  ///
+  /// When a version cap is set and the function already holds that many
+  /// versions, the least-used (lowest hit count, oldest among ties)
+  /// version is evicted — never the one being inserted, so a freshly
+  /// compiled cold version cannot be discarded before its first use.
   void insert(CompiledObject Obj);
+
+  /// Caps the number of versions kept per function; 0 means unlimited.
+  void setVersionCap(size_t Cap);
+
+  /// Versions discarded to stay under the cap, over the repository's life.
+  uint64_t evictions() const {
+    return EvictionsCount.load(std::memory_order_relaxed);
+  }
 
   /// Drops every version of \p Name (the source changed).
   void invalidate(const std::string &Name);
@@ -136,7 +149,9 @@ private:
   mutable std::atomic<uint64_t> MissesNoFunction{0};
   mutable std::atomic<uint64_t> MissesNoSafeVersion{0};
   mutable std::atomic<uint64_t> HitsCount{0};
+  mutable std::atomic<uint64_t> EvictionsCount{0};
   double CompileSecondsTotal = 0; ///< guarded by Mutex (exclusive)
+  size_t VersionCap = 0;          ///< guarded by Mutex; 0 = unlimited
 };
 
 } // namespace majic

@@ -39,7 +39,7 @@ std::vector<SourceSnooper::Change> SourceSnooper::scan() {
       if (!IsNew && It->second == Stamp)
         continue;
       LastMTime[Path] = Stamp;
-      Changes.push_back({Path, Entry.path().stem().string(), IsNew});
+      Changes.push_back({Path, Entry.path().stem().string(), IsNew, Stamp});
     }
   }
   // Deterministic processing order.

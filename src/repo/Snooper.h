@@ -34,6 +34,8 @@ public:
     std::string Path;         ///< Full path to the .m file.
     std::string FunctionName; ///< Basename without extension.
     bool IsNew;               ///< First sighting vs modification.
+    int64_t MTime;            ///< Filesystem stamp; most-recent-first lets
+                              ///< the engine speculate on fresh edits first.
   };
 
   /// Scans the watched directories, returning files that are new or whose

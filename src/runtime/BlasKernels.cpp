@@ -34,7 +34,9 @@
 
 #include "runtime/Blas.h"
 
+#include "support/Error.h"
 #include "support/Parallel.h"
+#include "support/ResourceGuard.h"
 
 #include <algorithm>
 #include <cstdlib>
@@ -284,17 +286,24 @@ void blas::dgemm(size_t M, size_t N, size_t K, double Alpha, const double *A,
   const GemmBlocking &BK = gemmBlocking();
   size_t NumPanels = (N + BK.NC - 1) / BK.NC;
   size_t ASlivers = (BK.MC + MR - 1) / MR, BSlivers = (BK.NC + NR - 1) / NR;
-  par::parallelFor(NumPanels, 1, [&](size_t P0, size_t P1) {
-    // Per-task packing buffers, reused across this task's panels.
-    std::vector<double> ABuf(ASlivers * MR * BK.KC);
-    std::vector<double> BBuf(BSlivers * NR * BK.KC);
-    for (size_t Panel = P0; Panel != P1; ++Panel) {
-      size_t Jc = Panel * BK.NC;
-      size_t Nc = std::min(BK.NC, N - Jc);
-      gemmPanel(M, K, Alpha, A, B + Jc * K, Beta, C + Jc * M, M, Nc, BK,
-                ABuf.data(), BBuf.data());
-    }
-  });
+  try {
+    par::parallelFor(NumPanels, 1, [&](size_t P0, size_t P1) {
+      // Per-task packing buffers, reused across this task's panels; tracked
+      // so a live-byte limit covers scratch memory, not just values.
+      std::vector<double, mem::TrackingAllocator<double>> ABuf(ASlivers * MR *
+                                                               BK.KC);
+      std::vector<double, mem::TrackingAllocator<double>> BBuf(BSlivers * NR *
+                                                               BK.KC);
+      for (size_t Panel = P0; Panel != P1; ++Panel) {
+        size_t Jc = Panel * BK.NC;
+        size_t Nc = std::min(BK.NC, N - Jc);
+        gemmPanel(M, K, Alpha, A, B + Jc * K, Beta, C + Jc * M, M, Nc, BK,
+                  ABuf.data(), BBuf.data());
+      }
+    });
+  } catch (const std::bad_alloc &) {
+    throw MatlabError("out of memory in matrix multiply");
+  }
 }
 
 void blas::zgemm(size_t M, size_t N, size_t K, const double *ARe,

@@ -6,15 +6,18 @@
 ///
 /// \file
 /// State shared by every execution path (interpreter, register VM, generic
-/// compiled code): the PRNG behind rand(), and the output sink for
-/// disp/fprintf. Sharing one context keeps results bit-identical across
-/// paths, which the soundness tests rely on.
+/// compiled code): the PRNG behind rand(), the output sink for
+/// disp/fprintf, and the execution-control block (op budget + cooperative
+/// interrupt) that bounds runaway programs. Sharing one context keeps
+/// results bit-identical across paths, which the soundness tests rely on.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef MAJIC_RUNTIME_CONTEXT_H
 #define MAJIC_RUNTIME_CONTEXT_H
 
+#include "support/Error.h"
+#include "support/ResourceGuard.h"
 #include "support/Rng.h"
 
 #include <functional>
@@ -22,9 +25,37 @@
 
 namespace majic {
 
+/// Cooperative execution limits, polled from the VM dispatch loop (every
+/// 256 instructions), the interpreter (every statement) and parallelFor
+/// chunk boundaries. "Ops" are VM instructions plus interpreted statements:
+/// an architecture-neutral cost proxy, reset by the engine at every
+/// top-level invocation so the budget bounds one user request at a time.
+class ExecControl {
+public:
+  uint64_t OpBudget = 0; ///< 0 = unlimited
+
+  void reset() { Used = 0; }
+  uint64_t used() const { return Used; }
+
+  /// Accounts \p N ops; throws a clean MatlabError on interrupt or budget
+  /// exhaustion. Engine state stays intact: callers unwind through the
+  /// normal MATLAB-error path.
+  void consume(uint64_t N) {
+    Used += N;
+    exec::pollInterrupt();
+    if (OpBudget && Used > OpBudget)
+      throw MatlabError("operation budget exceeded (limit " +
+                        std::to_string(OpBudget) + " ops)");
+  }
+
+private:
+  uint64_t Used = 0;
+};
+
 class Context {
 public:
   Rng Rand;
+  ExecControl Exec;
 
   /// Emits program output (disp, fprintf, unterminated expressions).
   /// Defaults to accumulating into OutputBuffer.

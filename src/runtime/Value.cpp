@@ -6,11 +6,23 @@
 
 #include "runtime/Value.h"
 
+#include "support/FaultInjection.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
 
 using namespace majic;
+
+namespace {
+
+/// Maps an allocation failure (real or injected, including a live-byte
+/// limit breach) to the recoverable MATLAB error every execution path
+/// already knows how to unwind.
+[[noreturn]] void throwOutOfMemory(size_t R, size_t C) {
+  throw MatlabError(format("out of memory allocating a %zux%zu matrix", R, C));
+}
+
+} // namespace
 
 const char *majic::mclassName(MClass C) {
   switch (C) {
@@ -86,10 +98,19 @@ bool Value::isTrue() const {
 }
 
 void Value::reshapeUninit(size_t R, size_t C, bool WithImag) {
+  // Commit the new shape only after the storage exists: a failed resize
+  // must leave the value self-consistent (numel() never exceeds storage).
+  // The injected fault fires inside the try so it takes the exact same
+  // recovery path as a real allocation failure.
+  try {
+    faults::maybeThrowOom(faults::Site::ValueAlloc);
+    ReData.resize(R * C);
+    ImData.resize(WithImag ? R * C : 0);
+  } catch (const std::bad_alloc &) {
+    throwOutOfMemory(R, C);
+  }
   NumRows = R;
   NumCols = C;
-  ReData.resize(R * C);
-  ImData.resize(WithImag ? R * C : 0);
   Str.clear();
 }
 
@@ -115,15 +136,20 @@ void Value::growTo(size_t R, size_t C) {
   bool InPlace = (NumCols <= 1 && NewC <= 1) || (NewR == NumRows);
   if (InPlace) {
     size_t Needed = NewR * NewC;
-    if (Needed > ReData.capacity()) {
-      size_t Oversized = Needed + Needed / 10 + 4;
-      ReData.reserve(Oversized);
+    try {
+      faults::maybeThrowOom(faults::Site::ValueAlloc);
+      if (Needed > ReData.capacity()) {
+        size_t Oversized = Needed + Needed / 10 + 4;
+        ReData.reserve(Oversized);
+        if (WithImag)
+          ImData.reserve(Oversized);
+      }
+      ReData.resize(Needed, 0.0);
       if (WithImag)
-        ImData.reserve(Oversized);
+        ImData.resize(Needed, 0.0);
+    } catch (const std::bad_alloc &) {
+      throwOutOfMemory(NewR, NewC);
     }
-    ReData.resize(Needed, 0.0);
-    if (WithImag)
-      ImData.resize(Needed, 0.0);
     NumRows = NewR;
     NumCols = NewC;
     return;
@@ -131,8 +157,14 @@ void Value::growTo(size_t R, size_t C) {
 
   // General case: re-stride into a fresh buffer. Large arrays are never
   // oversized (Section 2.6.1).
-  std::vector<double> NewRe(NewR * NewC, 0.0);
-  std::vector<double> NewIm(WithImag ? NewR * NewC : 0, 0.0);
+  TrackedDoubles NewRe, NewIm;
+  try {
+    faults::maybeThrowOom(faults::Site::ValueAlloc);
+    NewRe.assign(NewR * NewC, 0.0);
+    NewIm.assign(WithImag ? NewR * NewC : 0, 0.0);
+  } catch (const std::bad_alloc &) {
+    throwOutOfMemory(NewR, NewC);
+  }
   for (size_t CIdx = 0; CIdx != NumCols; ++CIdx) {
     for (size_t RIdx = 0; RIdx != NumRows; ++RIdx) {
       NewRe[CIdx * NewR + RIdx] = ReData[CIdx * NumRows + RIdx];
@@ -149,8 +181,14 @@ void Value::growTo(size_t R, size_t C) {
 void Value::makeComplex() {
   if (isString())
     throw MatlabError("cannot convert a string to complex");
-  if (ImData.empty())
-    ImData.assign(numel(), 0.0);
+  if (ImData.empty()) {
+    try {
+      faults::maybeThrowOom(faults::Site::ValueAlloc);
+      ImData.assign(numel(), 0.0);
+    } catch (const std::bad_alloc &) {
+      throwOutOfMemory(NumRows, NumCols);
+    }
+  }
   Class = MClass::Complex;
 }
 

@@ -19,6 +19,7 @@
 #define MAJIC_RUNTIME_VALUE_H
 
 #include "support/Error.h"
+#include "support/ResourceGuard.h"
 
 #include <cmath>
 #include <cstddef>
@@ -36,6 +37,11 @@ const char *mclassName(MClass C);
 
 class Value;
 using ValuePtr = std::shared_ptr<Value>;
+
+/// Value element storage: accounted against the process-wide live-byte
+/// limit (support/ResourceGuard.h), so a runaway workspace surfaces as a
+/// recoverable out-of-memory MatlabError instead of an OOM kill.
+using TrackedDoubles = std::vector<double, mem::TrackingAllocator<double>>;
 
 /// A MATLAB value: an R x C column-major matrix of doubles (with optional
 /// imaginary parts) or a string. Bool/Int values are stored as doubles, as
@@ -190,8 +196,8 @@ private:
   MClass Class = MClass::Real;
   size_t NumRows = 0;
   size_t NumCols = 0;
-  std::vector<double> ReData;
-  std::vector<double> ImData;
+  TrackedDoubles ReData;
+  TrackedDoubles ImData;
   std::string Str;
 };
 

@@ -1,0 +1,253 @@
+//===- support/FaultInjection.cpp - Deterministic fault injection ----------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include "support/Rng.h"
+#include "support/StringUtils.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+using namespace majic;
+using namespace majic::faults;
+
+namespace {
+
+enum class Mode : uint8_t { Off, At, Every, Rand };
+
+struct SiteState {
+  Mode M = Mode::Off;
+  uint64_t N = 0; ///< At/Every parameter
+  double P = 0;   ///< Rand probability
+  Rng R;          ///< Rand per-site stream
+  uint64_t Hits = 0;
+  uint64_t Fired = 0;
+};
+
+struct Registry {
+  std::mutex Mutex;
+  SiteState Sites[kNumSites];
+  /// Fast-path gate: shouldFire() is on hot paths (every Value allocation),
+  /// so the disarmed case must not take the mutex.
+  std::atomic<bool> AnyArmed{false};
+};
+
+Registry &registry() {
+  static Registry R;
+  return R;
+}
+
+SiteState &stateLocked(Registry &Reg, Site S) {
+  return Reg.Sites[static_cast<unsigned>(S)];
+}
+
+void refreshAnyArmedLocked(Registry &Reg) {
+  bool Armed = false;
+  for (const SiteState &St : Reg.Sites)
+    Armed |= St.M != Mode::Off;
+  Reg.AnyArmed.store(Armed, std::memory_order_relaxed);
+}
+
+const char *const SiteNames[kNumSites] = {
+    "parse",       "infer",       "codegen",     "regalloc",
+    "repo-insert", "value-alloc", "pool-enqueue"};
+
+} // namespace
+
+const char *majic::faults::siteName(Site S) {
+  return SiteNames[static_cast<unsigned>(S)];
+}
+
+bool majic::faults::siteFromName(const std::string &Name, Site &Out) {
+  for (unsigned I = 0; I != kNumSites; ++I)
+    if (Name == SiteNames[I]) {
+      Out = static_cast<Site>(I);
+      return true;
+    }
+  return false;
+}
+
+InjectedFault::InjectedFault(Site S)
+    : S(S), Msg(format("injected fault at site '%s'", siteName(S))) {}
+
+void majic::faults::reset() {
+  Registry &Reg = registry();
+  std::lock_guard<std::mutex> L(Reg.Mutex);
+  for (SiteState &St : Reg.Sites)
+    St = SiteState();
+  Reg.AnyArmed.store(false, std::memory_order_relaxed);
+}
+
+bool majic::faults::anyArmed() {
+  return registry().AnyArmed.load(std::memory_order_relaxed);
+}
+
+void majic::faults::armAt(Site S, uint64_t Nth) {
+  Registry &Reg = registry();
+  std::lock_guard<std::mutex> L(Reg.Mutex);
+  SiteState &St = stateLocked(Reg, S);
+  St.M = Mode::At;
+  St.N = Nth ? Nth : 1;
+  St.Hits = St.Fired = 0;
+  refreshAnyArmedLocked(Reg);
+}
+
+void majic::faults::armEvery(Site S, uint64_t Nth) {
+  Registry &Reg = registry();
+  std::lock_guard<std::mutex> L(Reg.Mutex);
+  SiteState &St = stateLocked(Reg, S);
+  St.M = Mode::Every;
+  St.N = Nth ? Nth : 1;
+  St.Hits = St.Fired = 0;
+  refreshAnyArmedLocked(Reg);
+}
+
+void majic::faults::armRandom(Site S, double P, uint64_t Seed) {
+  Registry &Reg = registry();
+  std::lock_guard<std::mutex> L(Reg.Mutex);
+  SiteState &St = stateLocked(Reg, S);
+  St.M = Mode::Rand;
+  St.P = P < 0 ? 0 : (P > 1 ? 1 : P);
+  St.R.reseed(Seed);
+  St.Hits = St.Fired = 0;
+  refreshAnyArmedLocked(Reg);
+}
+
+void majic::faults::disarm(Site S) {
+  Registry &Reg = registry();
+  std::lock_guard<std::mutex> L(Reg.Mutex);
+  stateLocked(Reg, S).M = Mode::Off;
+  refreshAnyArmedLocked(Reg);
+}
+
+bool majic::faults::loadSpec(const std::string &Spec, std::string *Error) {
+  struct Entry {
+    Site S;
+    Mode M;
+    uint64_t N;
+    double P;
+    uint64_t Seed;
+  };
+  std::vector<Entry> Entries;
+
+  auto Fail = [&](const std::string &Msg) {
+    if (Error)
+      *Error = Msg;
+    return false;
+  };
+
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t End = Spec.find_first_of(",;", Pos);
+    if (End == std::string::npos)
+      End = Spec.size();
+    std::string Item = Spec.substr(Pos, End - Pos);
+    Pos = End + 1;
+    if (Item.empty())
+      continue;
+
+    size_t Eq = Item.find('=');
+    if (Eq == std::string::npos)
+      return Fail("fault entry '" + Item + "' has no '='");
+    Entry E;
+    if (!siteFromName(Item.substr(0, Eq), E.S))
+      return Fail("unknown fault site '" + Item.substr(0, Eq) + "'");
+    std::string Action = Item.substr(Eq + 1);
+    size_t C1 = Action.find(':');
+    std::string Kind = Action.substr(0, C1);
+    std::string Args = C1 == std::string::npos ? "" : Action.substr(C1 + 1);
+    if (Kind == "at" || Kind == "every") {
+      E.M = Kind == "at" ? Mode::At : Mode::Every;
+      E.N = std::strtoull(Args.c_str(), nullptr, 10);
+      if (E.N == 0)
+        return Fail("fault entry '" + Item + "' needs a positive count");
+    } else if (Kind == "rand") {
+      E.M = Mode::Rand;
+      size_t C2 = Args.find(':');
+      E.P = std::strtod(Args.substr(0, C2).c_str(), nullptr);
+      E.Seed = C2 == std::string::npos
+                   ? 1
+                   : std::strtoull(Args.substr(C2 + 1).c_str(), nullptr, 10);
+      if (!(E.P > 0) || E.P > 1)
+        return Fail("fault entry '" + Item + "' needs probability in (0,1]");
+    } else {
+      return Fail("unknown fault action '" + Kind + "'");
+    }
+    Entries.push_back(E);
+  }
+
+  // Replace the whole schedule only once the spec parsed cleanly.
+  reset();
+  for (const Entry &E : Entries)
+    switch (E.M) {
+    case Mode::At:
+      armAt(E.S, E.N);
+      break;
+    case Mode::Every:
+      armEvery(E.S, E.N);
+      break;
+    case Mode::Rand:
+      armRandom(E.S, E.P, E.Seed);
+      break;
+    case Mode::Off:
+      break;
+    }
+  return true;
+}
+
+bool majic::faults::loadEnv() {
+  const char *Spec = std::getenv("MAJIC_FAULTS");
+  if (!Spec || !*Spec)
+    return false;
+  return loadSpec(Spec);
+}
+
+SiteStats majic::faults::stats(Site S) {
+  Registry &Reg = registry();
+  std::lock_guard<std::mutex> L(Reg.Mutex);
+  const SiteState &St = stateLocked(Reg, S);
+  return {St.Hits, St.Fired};
+}
+
+uint64_t majic::faults::totalFired() {
+  Registry &Reg = registry();
+  std::lock_guard<std::mutex> L(Reg.Mutex);
+  uint64_t N = 0;
+  for (const SiteState &St : Reg.Sites)
+    N += St.Fired;
+  return N;
+}
+
+bool majic::faults::shouldFire(Site S) {
+  Registry &Reg = registry();
+  if (!Reg.AnyArmed.load(std::memory_order_relaxed))
+    return false;
+  std::lock_guard<std::mutex> L(Reg.Mutex);
+  SiteState &St = stateLocked(Reg, S);
+  if (St.M == Mode::Off)
+    return false;
+  ++St.Hits;
+  bool Fire = false;
+  switch (St.M) {
+  case Mode::Off:
+    break;
+  case Mode::At:
+    Fire = St.Hits == St.N;
+    break;
+  case Mode::Every:
+    Fire = St.Hits % St.N == 0;
+    break;
+  case Mode::Rand:
+    Fire = St.R.nextDouble() < St.P;
+    break;
+  }
+  if (Fire)
+    ++St.Fired;
+  return Fire;
+}

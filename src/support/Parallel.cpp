@@ -6,6 +6,7 @@
 
 #include "support/Parallel.h"
 
+#include "support/ResourceGuard.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -110,6 +111,10 @@ void par::parallelFor(size_t N, size_t Grain,
                       const std::function<void(size_t, size_t)> &Body) {
   if (N == 0)
     return;
+  // Cooperative-interrupt poll: parallel regions are where long kernel
+  // work happens, so every region entry (and every chunk below) is a
+  // cancellation point. Throws before any chunk has run.
+  exec::pollInterrupt();
   Grain = std::max<size_t>(Grain, 1);
 
   ThreadPool *Pool = nullptr;
@@ -143,6 +148,10 @@ void par::parallelFor(size_t N, size_t Grain,
     InParallelBody = true;
     std::exception_ptr E;
     try {
+      // Chunk boundaries are the cancellation points inside a region: an
+      // interrupt lands here as a captured exception, rethrown once every
+      // sibling chunk has finished, so the caller unwinds cleanly.
+      exec::pollInterrupt();
       Body(Begin, End);
     } catch (...) {
       E = std::current_exception();
@@ -155,7 +164,15 @@ void par::parallelFor(size_t N, size_t Grain,
   size_t Begin = FirstEnd;
   for (size_t C = 1; C != Chunks; ++C) {
     size_t End = Begin + Base + (C < Extra ? 1 : 0);
-    Pool->enqueue([RunChunk, Begin, End] { RunChunk(Begin, End); });
+    // If the pool refuses the chunk (fault-injected or genuinely failing
+    // enqueue), run it inline on the caller: the latch accounting stays
+    // exact and the region degrades to serial instead of wedging or
+    // leaving chunks referencing a dead Latch.
+    try {
+      Pool->enqueue([RunChunk, Begin, End] { RunChunk(Begin, End); });
+    } catch (...) {
+      RunChunk(Begin, End);
+    }
     Begin = End;
   }
   RunChunk(0, FirstEnd);

@@ -1,0 +1,73 @@
+//===- support/ResourceGuard.cpp - Memory and interrupt guards -------------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ResourceGuard.h"
+
+#include "support/Error.h"
+
+#include <atomic>
+
+using namespace majic;
+
+namespace {
+
+std::atomic<uint64_t> Limit{0};
+std::atomic<uint64_t> Live{0};
+std::atomic<uint64_t> Peak{0};
+std::atomic<bool> InterruptFlag{false};
+
+} // namespace
+
+void majic::mem::setLimitBytes(uint64_t Bytes) {
+  Limit.store(Bytes, std::memory_order_relaxed);
+}
+
+uint64_t majic::mem::limitBytes() {
+  return Limit.load(std::memory_order_relaxed);
+}
+
+uint64_t majic::mem::liveBytes() {
+  return Live.load(std::memory_order_relaxed);
+}
+
+uint64_t majic::mem::peakBytes() {
+  return Peak.load(std::memory_order_relaxed);
+}
+
+void majic::mem::charge(size_t Bytes) {
+  uint64_t Now = Live.fetch_add(Bytes, std::memory_order_relaxed) + Bytes;
+  uint64_t Max = Limit.load(std::memory_order_relaxed);
+  if (Max && Now > Max) {
+    Live.fetch_sub(Bytes, std::memory_order_relaxed);
+    throw std::bad_alloc();
+  }
+  // Racy max update is fine: Peak is a diagnostic, not a correctness value.
+  uint64_t Prev = Peak.load(std::memory_order_relaxed);
+  while (Now > Prev &&
+         !Peak.compare_exchange_weak(Prev, Now, std::memory_order_relaxed))
+    ;
+}
+
+void majic::mem::release(size_t Bytes) {
+  Live.fetch_sub(Bytes, std::memory_order_relaxed);
+}
+
+void majic::exec::requestInterrupt() {
+  InterruptFlag.store(true, std::memory_order_relaxed);
+}
+
+void majic::exec::clearInterrupt() {
+  InterruptFlag.store(false, std::memory_order_relaxed);
+}
+
+bool majic::exec::interruptRequested() {
+  return InterruptFlag.load(std::memory_order_relaxed);
+}
+
+void majic::exec::pollInterrupt() {
+  if (InterruptFlag.load(std::memory_order_relaxed))
+    throw MatlabError("execution interrupted");
+}

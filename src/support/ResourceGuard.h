@@ -1,0 +1,102 @@
+//===- support/ResourceGuard.h - Memory and interrupt guards ---*- C++ -*-===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Resource guards for the execution pipeline:
+///
+///  - mem::  process-wide live-allocation accounting for Value storage and
+///    kernel packing buffers. A byte limit turns a runaway allocation into
+///    std::bad_alloc at the allocation site, which the runtime maps to a
+///    recoverable MatlabError instead of an OS-level OOM kill. The
+///    TrackingAllocator plugs the accounting into std::vector with no
+///    change to container semantics.
+///
+///  - exec:: the cooperative interrupt flag (Ctrl-C semantics). Long-running
+///    work polls it at cheap boundaries - the VM dispatch loop, interpreter
+///    statements, parallelFor chunks - and unwinds with a clean MatlabError,
+///    leaving engine state intact.
+///
+/// Both are process-wide: the accounting must be visible from compute and
+/// compilation workers, and an interrupt targets whatever the process is
+/// doing on the user's behalf.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAJIC_SUPPORT_RESOURCEGUARD_H
+#define MAJIC_SUPPORT_RESOURCEGUARD_H
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+namespace majic {
+namespace mem {
+
+/// Sets the live-byte ceiling; 0 disables the limit. Allocations that would
+/// push liveBytes() past the ceiling fail with std::bad_alloc.
+void setLimitBytes(uint64_t Bytes);
+uint64_t limitBytes();
+
+/// Bytes currently live in tracked containers, and the lifetime high-water
+/// mark.
+uint64_t liveBytes();
+uint64_t peakBytes();
+
+/// Accounts \p Bytes of allocation; throws std::bad_alloc when the limit
+/// would be exceeded (the charge is rolled back first).
+void charge(size_t Bytes);
+void release(size_t Bytes);
+
+/// std::allocator with live-byte accounting and limit enforcement.
+template <typename T> struct TrackingAllocator {
+  using value_type = T;
+
+  TrackingAllocator() = default;
+  template <typename U>
+  TrackingAllocator(const TrackingAllocator<U> &) noexcept {}
+
+  T *allocate(size_t N) {
+    charge(N * sizeof(T));
+    try {
+      return static_cast<T *>(::operator new(N * sizeof(T)));
+    } catch (...) {
+      release(N * sizeof(T));
+      throw;
+    }
+  }
+  void deallocate(T *P, size_t N) noexcept {
+    release(N * sizeof(T));
+    ::operator delete(P);
+  }
+
+  template <typename U>
+  bool operator==(const TrackingAllocator<U> &) const noexcept {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const TrackingAllocator<U> &) const noexcept {
+    return false;
+  }
+};
+
+} // namespace mem
+
+namespace exec {
+
+/// Requests cooperative cancellation of in-flight execution. Sticky until
+/// cleared: new invocations fail fast while the flag is up.
+void requestInterrupt();
+void clearInterrupt();
+bool interruptRequested();
+
+/// Throws MatlabError("execution interrupted") when the flag is set; the
+/// polling points in the VM, interpreter and parallelFor call this.
+void pollInterrupt();
+
+} // namespace exec
+} // namespace majic
+
+#endif // MAJIC_SUPPORT_RESOURCEGUARD_H

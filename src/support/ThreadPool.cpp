@@ -6,6 +6,8 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/FaultInjection.h"
+
 #include <algorithm>
 
 #if defined(__linux__)
@@ -52,6 +54,7 @@ ThreadPool::~ThreadPool() {
 }
 
 ThreadPool::TaskId ThreadPool::enqueue(std::function<void()> Task) {
+  faults::maybeThrow(faults::Site::PoolEnqueue);
   TaskId Id;
   {
     std::lock_guard<std::mutex> L(Mutex);
@@ -109,7 +112,14 @@ void ThreadPool::workerLoop() {
     Queue.pop_front();
     ++Running;
     L.unlock();
-    Task();
+    // A task that throws must not take the worker (and with it the whole
+    // process) down; owners catch their own failures, this records the
+    // ones that slipped through.
+    try {
+      Task();
+    } catch (...) {
+      UncaughtExceptions.fetch_add(1, std::memory_order_relaxed);
+    }
     L.lock();
     --Running;
     if (Queue.empty() && Running == 0)

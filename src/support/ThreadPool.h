@@ -20,6 +20,7 @@
 #ifndef MAJIC_SUPPORT_THREADPOOL_H
 #define MAJIC_SUPPORT_THREADPOOL_H
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -76,6 +77,13 @@ public:
   /// Queued-but-not-started tasks (inspection; racy by nature).
   size_t queueDepth() const;
 
+  /// Tasks that let an exception escape. Owners are expected to catch their
+  /// own failures; this last-resort guard only exists so a buggy or
+  /// fault-injected task can never std::terminate the process.
+  uint64_t uncaughtTaskExceptions() const {
+    return UncaughtExceptions.load(std::memory_order_relaxed);
+  }
+
 private:
   struct Item {
     TaskId Id;
@@ -93,6 +101,7 @@ private:
   unsigned Running = 0;             ///< tasks currently executing
   bool Paused = false;
   bool Stopping = false;
+  std::atomic<uint64_t> UncaughtExceptions{0};
 };
 
 } // namespace majic

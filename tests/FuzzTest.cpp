@@ -13,6 +13,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "engine/Engine.h"
+#include "support/FaultInjection.h"
 #include "support/Rng.h"
 
 #include <gtest/gtest.h>
@@ -236,5 +237,101 @@ TEST_P(FuzzSoundness, AllPathsAgree) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSoundness,
                          ::testing::Range<uint64_t>(1, 41));
+
+//===----------------------------------------------------------------------===//
+// Fault-schedule sweep: under an arbitrary seeded injection schedule the
+// engine never crashes, a call that completes returns the interpreter's
+// answer, and once the faults clear (and the source is reloaded, lifting
+// any quarantine) behavior is exactly the reference again.
+//===----------------------------------------------------------------------===//
+
+class FaultSweep : public ::testing::TestWithParam<uint64_t> {
+protected:
+  void SetUp() override { faults::reset(); }
+  void TearDown() override { faults::reset(); }
+};
+
+TEST_P(FaultSweep, EngineSurvivesScheduleAndRecovers) {
+  uint64_t Seed = GetParam();
+  ProgramGen Gen(Seed);
+  std::string Src = Gen.generate();
+
+  EngineOptions InterpOpts;
+  InterpOpts.Policy = CompilePolicy::InterpretOnly;
+  Outcome Ref = runFuzz(Src, InterpOpts, 5);
+
+  // Derive a schedule from the seed: each site independently stays off,
+  // fires once at a random hit, or fires randomly at 20%.
+  Rng R(Seed * 0x9e3779b97f4a7c15ull + 0xda3e39cb94b95bdbull);
+  for (unsigned SI = 0; SI != faults::kNumSites; ++SI) {
+    auto S = static_cast<faults::Site>(SI);
+    switch (R.nextU64() % 3) {
+    case 0:
+      break;
+    case 1:
+      faults::armAt(S, 1 + R.nextU64() % 20);
+      break;
+    default:
+      faults::armRandom(S, 0.2, R.nextU64());
+      break;
+    }
+  }
+
+  EngineOptions O;
+  O.Policy = CompilePolicy::Speculative;
+  O.BackgroundCompileThreads = 1;
+  Engine E(O);
+
+  // Under injection a load may fail (parse fault) and a call may fail
+  // (injected OOM); neither may crash, and a call that succeeds must
+  // return the reference result - faults deny work, they never corrupt it.
+  if (E.addSource("fuzz", Src)) {
+    for (int I = 0; I != 6; ++I) {
+      E.speculateAsync("fuzz");
+      try {
+        auto Got = E.callFunction("fuzz", {makeValue(Value::intScalar(5))}, 1,
+                                  SourceLoc());
+        if (!Ref.Threw) {
+          if (std::isnan(Ref.Result))
+            EXPECT_TRUE(std::isnan(Got[0]->scalarValue())) << Src;
+          else
+            EXPECT_DOUBLE_EQ(Ref.Result, Got[0]->scalarValue()) << Src;
+        }
+      } catch (const MatlabError &) {
+        // Injected denial (out of memory, ...): recoverable by contract.
+      }
+    }
+    E.drainCompiles();
+  }
+
+  // Faults clear; reloading the source lifts any quarantine the schedule
+  // caused, so the engine must compile and agree with the reference again.
+  faults::reset();
+  ASSERT_TRUE(E.addSource("fuzz", Src)) << E.diagnostics();
+  EXPECT_EQ(E.quarantineCount(), 0u);
+
+  Outcome Got;
+  try {
+    auto Res = E.callFunction("fuzz", {makeValue(Value::intScalar(5))}, 1,
+                              SourceLoc());
+    Got.Result = Res[0]->scalarValue();
+  } catch (const MatlabError &Err) {
+    Got.Threw = true;
+    Got.Error = Err.message();
+  }
+  ASSERT_EQ(Ref.Threw, Got.Threw)
+      << "error='" << Got.Error << "' vs ref='" << Ref.Error
+      << "'\nprogram:\n"
+      << Src;
+  if (!Ref.Threw) {
+    if (std::isnan(Ref.Result))
+      EXPECT_TRUE(std::isnan(Got.Result)) << Src;
+    else
+      EXPECT_DOUBLE_EQ(Ref.Result, Got.Result) << Src;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedules, FaultSweep,
+                         ::testing::Range<uint64_t>(1, 56));
 
 } // namespace
