@@ -1,0 +1,186 @@
+//===- bench/BenchWarmstart.cpp - Cold vs warm time to first result --------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The payoff of the persistent code repository: a session that starts on a
+// populated store serves its first invocation from disk instead of paying
+// the JIT. Measured per benchmark, with the JIT policy and a fresh engine
+// per run:
+//
+//  - cold: empty store; time covers engine birth (store open), snooping
+//    the mlib corpus, and the first invocation - which JIT-compiles and
+//    persists its code;
+//  - warm: the same directory, now populated by the cold session; the
+//    first invocation must come from the store (zero JIT compiles).
+//
+// Cold and warm must produce identical numeric results. Emits
+// BENCH_warmstart.json.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+
+using namespace majic;
+using namespace majic::bench;
+
+namespace {
+
+struct Scenario {
+  const char *Name;
+  std::vector<double> Args;
+};
+
+// Small first-invocation arguments (the interactive user's exploratory
+// call), matching the responsiveness harness.
+const Scenario kScenarios[] = {
+    {"fibonacci", {11}},
+    {"dirich", {20, 1e-3, 10}},
+    {"sor", {24, 1.2, 10}},
+    {"crnich", {1, 3, 33, 33}},
+    {"galrkn", {24}},
+};
+
+std::vector<ValuePtr> boxArgs(const std::vector<double> &Args) {
+  std::vector<ValuePtr> Out;
+  for (double A : Args)
+    Out.push_back(A == std::floor(A)
+                      ? makeValue(Value::intScalar(static_cast<long>(A)))
+                      : makeValue(Value::scalar(A)));
+  return Out;
+}
+
+struct FirstResult {
+  double Seconds = 0;
+  std::vector<ValuePtr> Values;
+  uint64_t JitCompiles = 0;
+};
+
+/// One session measurement against \p RepoDir: wall time from engine birth
+/// (which opens and validates the store) through snooping the corpus and
+/// the first answer. Synchronous compile/save configuration so cold runs
+/// pay the full persist cost inside the timed region - the comparison
+/// cannot be flattered by hiding the store's own overhead.
+FirstResult measure(const Scenario &S, const std::string &RepoDir) {
+  EngineOptions O;
+  O.Policy = CompilePolicy::Jit;
+  O.BackgroundCompileThreads = 0;
+  O.RepoDir = RepoDir;
+  FirstResult R;
+  Timer T;
+  Engine E(O);
+  E.watchDirectory(mlibDirectory());
+  E.snoop();
+  R.Values = E.callFunction(S.Name, boxArgs(S.Args), 1, SourceLoc());
+  R.Seconds = T.seconds();
+  R.JitCompiles = E.jitCompiles();
+  return R;
+}
+
+bool sameValues(const std::vector<ValuePtr> &A, const std::vector<ValuePtr> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I != A.size(); ++I) {
+    const Value &X = *A[I], &Y = *B[I];
+    if (X.rows() != Y.rows() || X.cols() != Y.cols() ||
+        X.isComplex() != Y.isComplex())
+      return false;
+    for (size_t K = 0; K != X.numel(); ++K)
+      if (X.reData()[K] != Y.reData()[K] ||
+          (X.isComplex() && X.imData()[K] != Y.imData()[K]))
+        return false;
+  }
+  return true;
+}
+
+} // namespace
+
+int main() {
+  namespace fs = std::filesystem;
+  const fs::path Dir = fs::temp_directory_path() / "majic_bench_warmstart";
+
+  printHeader("Warm start: cold vs populated persistent repository",
+              "JIT policy, fresh engine per run; cold = empty store (compile "
+              "+ persist timed),\nwarm = same store on the next 'session' "
+              "(first result served from disk)");
+
+  std::printf("%-10s %12s %12s %8s %9s  %s\n", "benchmark", "cold (ms)",
+              "warm (ms)", "speedup", "compiles", "results");
+  std::printf("%.*s\n", 66,
+              "-----------------------------------------------------------"
+              "----------");
+
+  JsonWriter W;
+  W.beginObject();
+  W.field("benchmark_set", "warmstart");
+  W.field("policy", "jit");
+  W.beginArray("results");
+
+  int Faster = 0, ZeroCompile = 0, Matching = 0;
+  const int N = repetitions();
+  for (const Scenario &S : kScenarios) {
+    // Cold: wipe the store each rep (cold is only defined against an empty
+    // directory). The final cold rep leaves the store populated.
+    FirstResult Cold;
+    for (int R = 0; R < N; ++R) {
+      fs::remove_all(Dir);
+      FirstResult C = measure(S, Dir.string());
+      if (R == 0 || C.Seconds < Cold.Seconds)
+        Cold = std::move(C);
+    }
+    // Warm: best-of-N on the populated store; no run may compile.
+    FirstResult Warm = measure(S, Dir.string());
+    uint64_t WarmCompiles = Warm.JitCompiles;
+    for (int R = 1; R < N; ++R) {
+      FirstResult W2 = measure(S, Dir.string());
+      WarmCompiles += W2.JitCompiles;
+      if (W2.Seconds < Warm.Seconds)
+        Warm = std::move(W2);
+    }
+
+    double Speedup = Warm.Seconds > 0 ? Cold.Seconds / Warm.Seconds : 0;
+    bool Match = sameValues(Cold.Values, Warm.Values);
+    Faster += Warm.Seconds < Cold.Seconds;
+    ZeroCompile += WarmCompiles == 0;
+    Matching += Match;
+    std::printf("%-10s %12.3f %12.3f %7.2fx %9llu  %s\n", S.Name,
+                Cold.Seconds * 1e3, Warm.Seconds * 1e3, Speedup,
+                static_cast<unsigned long long>(WarmCompiles),
+                Match ? "identical" : "MISMATCH");
+
+    W.beginObject();
+    W.field("benchmark", S.Name);
+    W.field("cold_ms", Cold.Seconds * 1e3);
+    W.field("warm_ms", Warm.Seconds * 1e3);
+    W.field("speedup", Speedup);
+    W.field("cold_jit_compiles", Cold.JitCompiles);
+    W.field("warm_jit_compiles", WarmCompiles);
+    W.field("results_identical", Match ? "true" : "false");
+    W.endObject();
+  }
+  fs::remove_all(Dir);
+
+  const int Total = static_cast<int>(std::size(kScenarios));
+  W.endArray();
+  W.field("warm_faster", static_cast<uint64_t>(Faster));
+  W.field("warm_zero_compiles", static_cast<uint64_t>(ZeroCompile));
+  W.field("results_identical", static_cast<uint64_t>(Matching));
+  W.field("total", static_cast<uint64_t>(Total));
+  W.endObject();
+  if (!W.writeFile("BENCH_warmstart.json"))
+    std::fprintf(stderr, "warning: could not write BENCH_warmstart.json\n");
+
+  std::printf("\n%d/%d warm session(s) faster than cold; %d/%d with zero "
+              "compiles; %d/%d identical results.\n",
+              Faster, Total, ZeroCompile, Total, Matching, Total);
+  // The subsystem's acceptance bar: a warm start never compiles, never
+  // changes results, and pays off on at least a majority of programs.
+  return ZeroCompile == Total && Matching == Total && 2 * Faster >= Total ? 0
+                                                                          : 1;
+}

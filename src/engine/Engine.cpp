@@ -9,6 +9,7 @@
 #include "analysis/Inliner.h"
 #include "infer/Speculate.h"
 #include "support/FaultInjection.h"
+#include "support/Hashing.h"
 #include "support/Parallel.h"
 #include "support/StringUtils.h"
 
@@ -81,6 +82,20 @@ Engine::Engine(EngineOptions OptsIn) : Opts(std::move(OptsIn)) {
     par::setComputeThreads(Opts.ComputeThreads);
   Machine = std::make_unique<VM>(Ctx, *this);
   Interp = std::make_unique<Interpreter>(Ctx, *this);
+  // Open the persistent repository (warm start): sweep temp files a crashed
+  // save left behind, then read and validate every entry. Entries wait in
+  // PendingWarm until their source is loaded - only then can the source
+  // hash confirm the compiled code still matches the .m text.
+  std::string RepoDir = Opts.RepoDir;
+  if (RepoDir.empty())
+    if (const char *Env = std::getenv("MAJIC_REPO_DIR"); Env && *Env)
+      RepoDir = Env;
+  if (!RepoDir.empty()) {
+    Store = std::make_unique<RepoStore>(RepoDir);
+    Store->sweepTemps();
+    for (RepoStore::Entry &E : Store->loadAll())
+      PendingWarm[E.Obj.FunctionName].push_back(std::move(E));
+  }
   // Idle-priority workers: background compilation only consumes cycles
   // the interactive thread leaves free, so responsiveness holds even on a
   // single-core machine (the paper's "the user never waits").
@@ -121,6 +136,7 @@ bool Engine::addSource(const std::string &Name, const std::string &Source) {
   Modules.push_back(std::move(Mod));
   ScopedPhaseTimer T(Phases, Phase::Disambiguate);
   LastLoadedNames.clear();
+  uint64_t SrcHash = hashing::fnv1a(Source);
   for (const auto &F : M->functions()) {
     LoadedFunction LF;
     LF.F = F.get();
@@ -132,6 +148,11 @@ bool Engine::addSource(const std::string &Name, const std::string &Source) {
     invalidateFunction(F->name());
     Functions[F->name()] = std::move(LF);
     LastLoadedNames.push_back(F->name());
+    {
+      std::lock_guard<std::mutex> L(SpecMutex);
+      SourceHashByFn[F->name()] = SrcHash;
+    }
+    adoptWarmEntries(F->name(), SrcHash);
   }
   return true;
 }
@@ -149,7 +170,12 @@ bool Engine::loadFile(const std::string &Path) {
   std::string Base = Slash == std::string::npos ? Path : Path.substr(Slash + 1);
   if (endsWith(Base, ".m"))
     Base = Base.substr(0, Base.size() - 2);
-  return addSource(Base, SS.str());
+  if (!addSource(Base, SS.str()))
+    return false;
+  // Remember which functions this file defined: when the snooper reports
+  // the file deleted, exactly these must be invalidated (stem aside).
+  FileFunctions[Path] = LastLoadedNames;
+  return true;
 }
 
 void Engine::watchDirectory(const std::string &Dir) {
@@ -164,6 +190,10 @@ unsigned Engine::snoop() {
   // rest of the batch.
   std::vector<std::pair<int64_t, std::string>> ToSpeculate;
   for (const SourceSnooper::Change &C : Snooper.scan()) {
+    if (C.K == SourceSnooper::Change::Kind::Removed) {
+      handleRemovedSource(C);
+      continue;
+    }
     if (!loadFile(C.Path))
       continue;
     ++Loaded;
@@ -271,10 +301,130 @@ CompiledObjectPtr Engine::compileAndInsert(const std::string &Name,
     Obj.CompileSeconds = Total.seconds();
     Obj.From = From;
     Repo.insert(std::move(Obj));
-    return Repo.lookup(Name, Sig);
+    CompiledObjectPtr Inserted = Repo.lookup(Name, Sig);
+    if (Inserted)
+      saveToStore(*Inserted);
+    return Inserted;
   } catch (...) {
     noteCompileFailure(Name, Gen);
     return nullptr;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Persistent repository (warm start)
+//===----------------------------------------------------------------------===//
+
+void Engine::adoptWarmEntries(const std::string &Name, uint64_t SrcHash) {
+  if (!Store)
+    return;
+  auto It = PendingWarm.find(Name);
+  if (It == PendingWarm.end())
+    return;
+  std::vector<RepoStore::Entry> Entries = std::move(It->second);
+  PendingWarm.erase(It);
+  for (RepoStore::Entry &E : Entries) {
+    if (E.SourceHash != SrcHash) {
+      // The .m text changed since this was compiled: the final rung of the
+      // validation ladder fails, and the entry must not shadow the new
+      // source. Delete the file; the new source recompiles on demand.
+      Store->discardStale(E.Path);
+      continue;
+    }
+    try {
+      Repo.insert(std::move(E.Obj));
+      Store->noteAdopted();
+    } catch (...) {
+      // An injected repo-insert fault while adopting costs one recompile;
+      // loading must never take the engine down.
+    }
+  }
+}
+
+void Engine::saveToStore(const CompiledObject &Obj) {
+  if (!Store || !Obj.Code)
+    return;
+  uint64_t SrcHash;
+  {
+    std::lock_guard<std::mutex> L(SpecMutex);
+    auto It = SourceHashByFn.find(Obj.FunctionName);
+    if (It == SourceHashByFn.end())
+      return;
+    SrcHash = It->second;
+  }
+  // Clone for the task: CompiledObject is move-only (atomic hit counter)
+  // and the repository keeps the original. The IR itself is shared.
+  auto Clone = std::make_shared<CompiledObject>();
+  Clone->FunctionName = Obj.FunctionName;
+  Clone->Sig = Obj.Sig;
+  Clone->Code = Obj.Code;
+  Clone->Mode = Obj.Mode;
+  Clone->CompileSeconds = Obj.CompileSeconds;
+  Clone->From = Obj.From;
+  RepoStore *S = Store.get();
+  if (SpecPool) {
+    // Persisting rides the idle-priority pool like speculative compiles:
+    // the interactive thread never waits for the disk.
+    {
+      std::lock_guard<std::mutex> L(SpecMutex);
+      ++PendingSaves;
+    }
+    try {
+      SpecPool->enqueue([this, S, Clone, SrcHash] {
+        S->save(*Clone, SrcHash);
+        {
+          std::lock_guard<std::mutex> L(SpecMutex);
+          --PendingSaves;
+        }
+        SpecIdleCv.notify_all();
+      });
+      return;
+    } catch (...) {
+      // Injected pool-enqueue fault: undo the pending count and fall back
+      // to the synchronous path (save() itself never throws).
+      std::lock_guard<std::mutex> L(SpecMutex);
+      --PendingSaves;
+    }
+  }
+  S->save(*Clone, SrcHash);
+}
+
+void Engine::flushRepoStore() {
+  // A compile still in flight may yet queue a save, so wait out both.
+  std::unique_lock<std::mutex> L(SpecMutex);
+  SpecIdleCv.wait(L,
+                  [this] { return PendingSaves == 0 && PendingCompiles == 0; });
+}
+
+RepoStoreStats Engine::repoStoreStats() const {
+  return Store ? Store->stats() : RepoStoreStats();
+}
+
+void Engine::handleRemovedSource(const SourceSnooper::Change &C) {
+  // Which functions did that file define? Fall back to the stem for files
+  // loaded by an embedder directly rather than through loadFile.
+  std::vector<std::string> Names;
+  auto It = FileFunctions.find(C.Path);
+  if (It != FileFunctions.end()) {
+    Names = std::move(It->second);
+    FileFunctions.erase(It);
+  } else {
+    Names.push_back(C.FunctionName);
+  }
+  for (const std::string &Fn : Names) {
+    // Same teardown as a reload - drop compiled versions, bump the source
+    // generation so in-flight compiles are discarded - plus: the function
+    // stops resolving, and its on-disk entries go too (a deleted source
+    // must not resurrect on the next warm start).
+    invalidateFunction(Fn);
+    Functions.erase(Fn);
+    PendingWarm.erase(Fn);
+    {
+      std::lock_guard<std::mutex> L(SpecMutex);
+      SourceHashByFn.erase(Fn);
+    }
+    if (Store)
+      Store->erase(Fn);
   }
 }
 
@@ -430,6 +580,7 @@ void Engine::backgroundCompile(std::string Name,
     Obj.CompileSeconds = Seconds;
     Obj.From = CompiledObject::Origin::Speculative;
   }
+  CompiledObjectPtr Published;
   {
     std::lock_guard<std::mutex> L(SpecMutex);
     SpecStats.BackgroundCompileSeconds += Seconds;
@@ -439,6 +590,7 @@ void Engine::backgroundCompile(std::string Name,
     if (Result && !Stale) {
       try {
         Repo.insert(std::move(Obj));
+        Published = Repo.lookup(Name, Sig);
         ++SpecStats.Completed;
       } catch (...) {
         Crashed = true;
@@ -455,6 +607,15 @@ void Engine::backgroundCompile(std::string Name,
       if (!Stale)
         Quarantined[Name] = Gen;
     }
+  }
+  // Queue the persist before releasing the compile's pending count (and
+  // outside SpecMutex, which saveToStore takes): a drainCompiles() +
+  // flushRepoStore() sequence must find either PendingCompiles or
+  // PendingSaves nonzero until the object is actually on disk.
+  if (Published)
+    saveToStore(*Published);
+  {
+    std::lock_guard<std::mutex> L(SpecMutex);
     InFlight.erase(std::find(InFlight.begin(), InFlight.end(), Name));
     --PendingCompiles;
   }
@@ -716,6 +877,7 @@ std::string Engine::runScript(const std::string &Source) {
     // Defining functions interactively: register them instead of running.
     Modules.push_back(std::move(Mod));
     Module *M = Modules.back().get();
+    uint64_t SrcHash = hashing::fnv1a(Source);
     for (const auto &F : M->functions()) {
       LoadedFunction LF;
       LF.F = F.get();
@@ -723,6 +885,11 @@ std::string Engine::runScript(const std::string &Source) {
       LF.Info = disambiguate(*F, *M);
       invalidateFunction(F->name());
       Functions[F->name()] = std::move(LF);
+      {
+        std::lock_guard<std::mutex> L(SpecMutex);
+        SourceHashByFn[F->name()] = SrcHash;
+      }
+      adoptWarmEntries(F->name(), SrcHash);
     }
     return "";
   }

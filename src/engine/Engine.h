@@ -30,6 +30,7 @@
 #include "backend/Compiler.h"
 #include "backend/VM.h"
 #include "interp/Interpreter.h"
+#include "repo/RepoStore.h"
 #include "repo/Repository.h"
 #include "repo/Snooper.h"
 #include "support/ThreadPool.h"
@@ -98,6 +99,13 @@ struct EngineOptions {
   /// Cap on compiled versions kept per function; the least-used version is
   /// evicted when a new one would exceed it. 0 = unlimited.
   unsigned MaxVersionsPerFunction = 8;
+  /// Directory for the persistent code repository (warm start). Empty
+  /// falls back to the MAJIC_REPO_DIR environment variable; when both are
+  /// empty the repository is in-memory only. Compiled objects are written
+  /// crash-safely on the background pool and validated (checksum, build
+  /// stamp, source hash) before being served on the next start; any
+  /// invalid entry degrades to a recompile.
+  std::string RepoDir;
 };
 
 /// Responsiveness counters for the background speculation subsystem.
@@ -237,6 +245,16 @@ public:
   /// Number of currently quarantined functions.
   size_t quarantineCount() const;
 
+  /// Counters of the persistent store (all zero when no RepoDir is set):
+  /// saves, load/quarantine outcomes of the startup validation ladder,
+  /// warm-start adoptions, and swept temp files.
+  RepoStoreStats repoStoreStats() const;
+
+  /// Blocks until background store saves queued so far have finished
+  /// (tests/benchmarks; implies drainCompiles-like determinism for the
+  /// on-disk state).
+  void flushRepoStore();
+
   //===--------------------------------------------------------------------===
   // Introspection
   //===--------------------------------------------------------------------===
@@ -311,6 +329,20 @@ private:
   /// Records the time-to-first-result counter (top-level calls only).
   void recordFirstResult();
 
+  /// Runs the source-hash rung of the validation ladder over \p Name's
+  /// pending warm-start entries: matching entries are published to the
+  /// repository, drifted ones are discarded from disk.
+  void adoptWarmEntries(const std::string &Name, uint64_t SrcHash);
+
+  /// Persists \p Obj to the on-disk store, on the idle pool when one
+  /// exists. Never throws; a failed save only costs a future recompile.
+  void saveToStore(const CompiledObject &Obj);
+
+  /// Reacts to the snooper reporting a deleted .m file: the functions it
+  /// defined stop resolving and their compiled versions - in memory and on
+  /// disk - are invalidated rather than served stale.
+  void handleRemovedSource(const SourceSnooper::Change &C);
+
   std::vector<ValuePtr> runCompiled(const CompiledObject &Obj,
                                     std::vector<ValuePtr> Args,
                                     size_t NumOuts);
@@ -346,6 +378,25 @@ private:
   bool OwnsMemLimit = false;
 
   //===--------------------------------------------------------------------===
+  // Persistent repository (warm start). Declared before SpecPool: save
+  // tasks run on the pool and touch the store, so the store must outlive
+  // the workers.
+  //===--------------------------------------------------------------------===
+
+  /// Open when RepoDir (option or MAJIC_REPO_DIR) names a directory.
+  std::unique_ptr<RepoStore> Store;
+  /// Entries loaded from disk at startup, keyed by function name, waiting
+  /// for their source to be loaded so the source-hash rung of the
+  /// validation ladder can run (adoptWarmEntries).
+  std::unordered_map<std::string, std::vector<RepoStore::Entry>> PendingWarm;
+  /// Content hash of each function's current source text. Guarded by
+  /// SpecMutex: background save tasks read it.
+  std::unordered_map<std::string, uint64_t> SourceHashByFn;
+  /// Function names each loaded file defined; snooper removal invalidates
+  /// through this (a file's stem need not match its function names).
+  std::unordered_map<std::string, std::vector<std::string>> FileFunctions;
+
+  //===--------------------------------------------------------------------===
   // Background speculation (the compile queue). All fields below are
   // guarded by SpecMutex except the pool itself. The engine's public API
   // remains single-threaded; only Repository, PhaseTimes and this block
@@ -374,6 +425,8 @@ private:
   /// entry.
   std::unordered_map<std::string, uint64_t> Quarantined;
   unsigned PendingCompiles = 0;
+  /// Store saves still queued or running on the pool (flushRepoStore).
+  unsigned PendingSaves = 0;
   SpeculationStats SpecStats;
   /// Engine birth, the zero point of TimeToFirstResultSeconds.
   Timer BirthTimer;

@@ -1,0 +1,260 @@
+//===- ir/Serialize.cpp - IR binary (de)serialization ----------------------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Serialize.h"
+
+#include <cstring>
+
+using namespace majic;
+using namespace majic::ser;
+
+//===----------------------------------------------------------------------===//
+// ByteWriter
+//===----------------------------------------------------------------------===//
+
+void ByteWriter::u32(uint32_t V) {
+  for (int I = 0; I != 4; ++I)
+    Buf.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void ByteWriter::u64(uint64_t V) {
+  for (int I = 0; I != 8; ++I)
+    Buf.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void ByteWriter::f64(double V) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  u64(Bits);
+}
+
+void ByteWriter::str(const std::string &S) {
+  u32(static_cast<uint32_t>(S.size()));
+  Buf.append(S);
+}
+
+//===----------------------------------------------------------------------===//
+// ByteReader
+//===----------------------------------------------------------------------===//
+
+void ByteReader::need(size_t N) {
+  if (remaining() < N)
+    throw SerializeError("truncated input");
+}
+
+uint8_t ByteReader::u8() {
+  need(1);
+  return *P++;
+}
+
+uint32_t ByteReader::u32() {
+  need(4);
+  uint32_t V = 0;
+  for (int I = 0; I != 4; ++I)
+    V |= static_cast<uint32_t>(P[I]) << (8 * I);
+  P += 4;
+  return V;
+}
+
+uint64_t ByteReader::u64() {
+  need(8);
+  uint64_t V = 0;
+  for (int I = 0; I != 8; ++I)
+    V |= static_cast<uint64_t>(P[I]) << (8 * I);
+  P += 8;
+  return V;
+}
+
+double ByteReader::f64() {
+  uint64_t Bits = u64();
+  double V;
+  std::memcpy(&V, &Bits, sizeof(V));
+  return V;
+}
+
+std::string ByteReader::str() {
+  uint32_t Len = u32();
+  need(Len);
+  std::string S(reinterpret_cast<const char *>(P), Len);
+  P += Len;
+  return S;
+}
+
+uint32_t ByteReader::arrayLen(size_t MinElemBytes) {
+  uint32_t N = u32();
+  if (MinElemBytes && static_cast<uint64_t>(N) * MinElemBytes > remaining())
+    throw SerializeError("array length exceeds remaining bytes");
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// Type signatures
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+// Per-element encoded sizes (the arrayLen sanity floor).
+constexpr size_t kTypeBytes = 1 + 4 * 8 + 2 * 8;  // intrinsic, 2 shapes, range
+constexpr size_t kInstrBytes = 1 + 4 * 4 + 8;     // op, A..D, imm
+constexpr size_t kLoopBytes = 4 * 4 + 2 * 4;      // 4 indices, 2 registers
+
+void writeType(ByteWriter &W, const Type &T) {
+  W.u8(static_cast<uint8_t>(T.intrinsic()));
+  W.u64(T.minShape().Rows);
+  W.u64(T.minShape().Cols);
+  W.u64(T.maxShape().Rows);
+  W.u64(T.maxShape().Cols);
+  W.f64(T.range().Lo);
+  W.f64(T.range().Hi);
+}
+
+Type readType(ByteReader &R) {
+  uint8_t Raw = R.u8();
+  if (Raw > static_cast<uint8_t>(IntrinsicType::Top))
+    throw SerializeError("invalid intrinsic type");
+  ShapeBound Min{R.u64(), R.u64()};
+  ShapeBound Max{R.u64(), R.u64()};
+  double Lo = R.f64(), Hi = R.f64();
+  return Type(static_cast<IntrinsicType>(Raw), Min, Max,
+              Range::interval(Lo, Hi));
+}
+
+} // namespace
+
+void majic::ser::writeTypeSignature(ByteWriter &W, const TypeSignature &Sig) {
+  W.u32(static_cast<uint32_t>(Sig.size()));
+  for (const Type &T : Sig.types())
+    writeType(W, T);
+}
+
+TypeSignature majic::ser::readTypeSignature(ByteReader &R) {
+  uint32_t N = R.arrayLen(kTypeBytes);
+  std::vector<Type> Types;
+  Types.reserve(N);
+  for (uint32_t I = 0; I != N; ++I)
+    Types.push_back(readType(R));
+  return TypeSignature(std::move(Types));
+}
+
+//===----------------------------------------------------------------------===//
+// IR functions
+//===----------------------------------------------------------------------===//
+
+void majic::ser::writeIRFunction(ByteWriter &W, const IRFunction &F) {
+  W.str(F.Name);
+  W.u64(F.NumParams);
+  W.u64(F.NumOuts);
+
+  W.u32(static_cast<uint32_t>(F.Code.size()));
+  for (const Instr &In : F.Code) {
+    W.u8(static_cast<uint8_t>(In.Op));
+    W.i32(In.A);
+    W.i32(In.B);
+    W.i32(In.C);
+    W.i32(In.D);
+    W.i64(In.Imm.I);
+  }
+
+  W.u32(static_cast<uint32_t>(F.Pool.size()));
+  for (int32_t V : F.Pool)
+    W.i32(V);
+  W.u32(static_cast<uint32_t>(F.Names.size()));
+  for (const std::string &N : F.Names)
+    W.str(N);
+  W.u32(static_cast<uint32_t>(F.Strings.size()));
+  for (const std::string &S : F.Strings)
+    W.str(S);
+
+  W.u32(F.NumF);
+  W.u32(F.NumI);
+  W.u32(F.NumP);
+  W.u32(F.NumFSpill);
+  W.u32(F.NumISpill);
+  W.u32(F.NumPSpill);
+  W.u8(F.Allocated ? 1 : 0);
+
+  W.u32(static_cast<uint32_t>(F.Loops.size()));
+  for (const LoopMeta &L : F.Loops) {
+    W.u32(L.HeaderIndex);
+    W.u32(L.BodyBegin);
+    W.u32(L.LatchIndex);
+    W.u32(L.ExitIndex);
+    W.i32(L.CounterReg);
+    W.i32(L.TripReg);
+  }
+}
+
+IRFunction majic::ser::readIRFunction(ByteReader &R) {
+  IRFunction F;
+  F.Name = R.str();
+  F.NumParams = R.u64();
+  F.NumOuts = R.u64();
+  if (F.NumParams > (1u << 20) || F.NumOuts > (1u << 20))
+    throw SerializeError("implausible parameter count");
+
+  uint32_t NumInstr = R.arrayLen(kInstrBytes);
+  F.Code.reserve(NumInstr);
+  constexpr uint8_t MaxOp = static_cast<uint8_t>(Opcode::PSpSt);
+  for (uint32_t I = 0; I != NumInstr; ++I) {
+    Instr In;
+    uint8_t Op = R.u8();
+    if (Op > MaxOp)
+      throw SerializeError("invalid opcode");
+    In.Op = static_cast<Opcode>(Op);
+    In.A = R.i32();
+    In.B = R.i32();
+    In.C = R.i32();
+    In.D = R.i32();
+    In.Imm.I = R.i64();
+    F.Code.push_back(In);
+  }
+  // Branch targets are instruction indices; a target past the end would
+  // run the VM off the code array.
+  for (const Instr &In : F.Code)
+    if ((In.Op == Opcode::Br || In.Op == Opcode::Brz ||
+         In.Op == Opcode::Brnz) &&
+        (In.A < 0 || static_cast<uint32_t>(In.A) > NumInstr))
+      throw SerializeError("branch target out of range");
+
+  uint32_t NumPool = R.arrayLen(4);
+  F.Pool.reserve(NumPool);
+  for (uint32_t I = 0; I != NumPool; ++I)
+    F.Pool.push_back(R.i32());
+  uint32_t NumNames = R.arrayLen(4);
+  F.Names.reserve(NumNames);
+  for (uint32_t I = 0; I != NumNames; ++I)
+    F.Names.push_back(R.str());
+  uint32_t NumStrings = R.arrayLen(4);
+  F.Strings.reserve(NumStrings);
+  for (uint32_t I = 0; I != NumStrings; ++I)
+    F.Strings.push_back(R.str());
+
+  F.NumF = R.u32();
+  F.NumI = R.u32();
+  F.NumP = R.u32();
+  F.NumFSpill = R.u32();
+  F.NumISpill = R.u32();
+  F.NumPSpill = R.u32();
+  if (F.NumF > (1u << 24) || F.NumI > (1u << 24) || F.NumP > (1u << 24) ||
+      F.NumFSpill > (1u << 24) || F.NumISpill > (1u << 24) ||
+      F.NumPSpill > (1u << 24))
+    throw SerializeError("implausible register count");
+  F.Allocated = R.u8() != 0;
+
+  uint32_t NumLoops = R.arrayLen(kLoopBytes);
+  F.Loops.reserve(NumLoops);
+  for (uint32_t I = 0; I != NumLoops; ++I) {
+    LoopMeta L;
+    L.HeaderIndex = R.u32();
+    L.BodyBegin = R.u32();
+    L.LatchIndex = R.u32();
+    L.ExitIndex = R.u32();
+    L.CounterReg = R.i32();
+    L.TripReg = R.i32();
+    F.Loops.push_back(L);
+  }
+  return F;
+}

@@ -1,0 +1,271 @@
+//===- repo/RepoStore.cpp - Persistent code repository ----------------------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "repo/RepoStore.h"
+
+#include "ir/Serialize.h"
+#include "support/AtomicFile.h"
+#include "support/FaultInjection.h"
+#include "support/Hashing.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+
+using namespace majic;
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr uint32_t kMagic = 0x4d4a4f42u; // "MJOB"
+constexpr uint32_t kFormatVersion = 1;
+constexpr const char *kExtension = ".mjo";
+/// Refuse to slurp absurdly large files: a cache entry is a few KB; a
+/// multi-megabyte one is damage, not data.
+constexpr uint64_t kMaxFileBytes = 64ull << 20;
+
+/// The engine build stamp: compiled code is an internal ABI (IR opcodes,
+/// register layout), so entries written by a different build of the engine
+/// are discarded rather than decoded.
+uint64_t buildStamp() {
+  static const uint64_t Stamp =
+      hashing::fnv1a(__DATE__ " " __TIME__,
+                     hashing::fnv1a("majic-repo-format-1"));
+  return Stamp;
+}
+
+std::string payloadBytes(const CompiledObject &Obj) {
+  ser::ByteWriter W;
+  W.str(Obj.FunctionName);
+  ser::writeTypeSignature(W, Obj.Sig);
+  W.u8(static_cast<uint8_t>(Obj.Mode));
+  W.u8(static_cast<uint8_t>(Obj.From));
+  W.f64(Obj.CompileSeconds);
+  ser::writeIRFunction(W, *Obj.Code);
+  return W.take();
+}
+
+CompiledObject decodePayload(ser::ByteReader &R) {
+  CompiledObject Obj;
+  Obj.FunctionName = R.str();
+  Obj.Sig = ser::readTypeSignature(R);
+  uint8_t Mode = R.u8();
+  if (Mode > static_cast<uint8_t>(CodeGenMode::Generic))
+    throw ser::SerializeError("invalid codegen mode");
+  Obj.Mode = static_cast<CodeGenMode>(Mode);
+  uint8_t From = R.u8();
+  if (From > static_cast<uint8_t>(CompiledObject::Origin::Generic))
+    throw ser::SerializeError("invalid origin");
+  Obj.From = static_cast<CompiledObject::Origin>(From);
+  Obj.CompileSeconds = R.f64();
+  Obj.Code = std::make_shared<IRFunction>(ser::readIRFunction(R));
+  if (!R.atEnd())
+    throw ser::SerializeError("trailing bytes after payload");
+  if (Obj.Code->Name != Obj.FunctionName)
+    throw ser::SerializeError("function name mismatch");
+  return Obj;
+}
+
+/// A function name is a MATLAB identifier ([A-Za-z_][A-Za-z0-9_]*), which
+/// is filesystem-safe by construction; anything else never reaches the
+/// repository, but check anyway so a hostile name cannot escape the dir.
+bool safeFileName(const std::string &Name) {
+  if (Name.empty())
+    return false;
+  for (char C : Name)
+    if (!(std::isalnum(static_cast<unsigned char>(C)) || C == '_'))
+      return false;
+  return true;
+}
+
+} // namespace
+
+RepoStore::RepoStore(std::string DirIn) : Dir(std::move(DirIn)) {
+  std::error_code EC;
+  fs::create_directories(Dir, EC);
+  Usable = !EC && fs::is_directory(Dir, EC);
+}
+
+unsigned RepoStore::sweepTemps() {
+  if (!Usable)
+    return 0;
+  unsigned N = atomicfile::sweepTempFiles(Dir, kExtension);
+  std::lock_guard<std::mutex> L(Mutex);
+  Stats.SweptTemps += N;
+  return N;
+}
+
+std::string RepoStore::encode(const CompiledObject &Obj, uint64_t SourceHash) {
+  std::string Payload = payloadBytes(Obj);
+  ser::ByteWriter W;
+  W.u32(kMagic);
+  W.u32(kFormatVersion);
+  W.u64(buildStamp());
+  W.u64(SourceHash);
+  W.u64(Payload.size());
+  W.u32(hashing::crc32(Payload));
+  std::string File = W.take();
+  File += Payload;
+  return File;
+}
+
+std::string RepoStore::entryPath(const CompiledObject &Obj) const {
+  // One file per (function, signature) version: the signature hash keys
+  // the version, so recompiling the same signature overwrites in place.
+  ser::ByteWriter SigBytes;
+  ser::writeTypeSignature(SigBytes, Obj.Sig);
+  uint64_t SigHash = hashing::fnv1a(SigBytes.bytes());
+  return Dir + "/" + Obj.FunctionName + "." + format("%016llx",
+         static_cast<unsigned long long>(SigHash)) + kExtension;
+}
+
+bool RepoStore::save(const CompiledObject &Obj, uint64_t SourceHash) {
+  // Saving must never take down the caller (it runs on the idle pool or
+  // inline on the compile path): any failure - injected fault, full disk,
+  // unwritable directory - is swallowed into a counter.
+  try {
+    faults::maybeThrow(faults::Site::RepoSave);
+    if (!Usable || !Obj.Code || !safeFileName(Obj.FunctionName))
+      throw std::runtime_error("store unusable");
+    std::string Bytes = encode(Obj, SourceHash);
+    std::string Error;
+    if (!atomicfile::writeFileAtomic(entryPath(Obj), Bytes, &Error))
+      throw std::runtime_error(Error);
+    std::lock_guard<std::mutex> L(Mutex);
+    ++Stats.Saved;
+    return true;
+  } catch (...) {
+    std::lock_guard<std::mutex> L(Mutex);
+    ++Stats.SaveFailures;
+    return false;
+  }
+}
+
+std::vector<RepoStore::Entry> RepoStore::loadAll() {
+  std::vector<Entry> Out;
+  if (!Usable)
+    return Out;
+
+  std::vector<std::string> Paths;
+  std::error_code EC;
+  for (const fs::directory_entry &E : fs::directory_iterator(Dir, EC)) {
+    if (EC)
+      break;
+    if (E.is_regular_file() && E.path().extension() == kExtension)
+      Paths.push_back(E.path().string());
+  }
+  std::sort(Paths.begin(), Paths.end()); // deterministic load order
+
+  for (const std::string &Path : Paths) {
+    enum class Verdict { Ok, Corrupt, Skew } V = Verdict::Corrupt;
+    try {
+      faults::maybeThrow(faults::Site::RepoLoad);
+      std::error_code SzEC;
+      uint64_t Size = fs::file_size(Path, SzEC);
+      if (SzEC || Size > kMaxFileBytes)
+        throw ser::SerializeError("unreadable or oversized file");
+      std::string Bytes;
+      if (!atomicfile::readFile(Path, Bytes))
+        throw ser::SerializeError("cannot read file");
+
+      // The validation ladder: magic -> format version -> build stamp ->
+      // payload size -> checksum -> bounds-checked decode. The source-hash
+      // rung runs later, at adoption time, when the engine knows the
+      // current source text.
+      ser::ByteReader R(Bytes);
+      if (R.u32() != kMagic)
+        throw ser::SerializeError("bad magic");
+      if (R.u32() != kFormatVersion) {
+        V = Verdict::Skew;
+        throw ser::SerializeError("format version skew");
+      }
+      if (R.u64() != buildStamp()) {
+        V = Verdict::Skew;
+        throw ser::SerializeError("build stamp skew");
+      }
+      Entry E;
+      E.SourceHash = R.u64();
+      uint64_t PayloadSize = R.u64();
+      uint32_t Crc = R.u32();
+      if (PayloadSize != R.remaining())
+        throw ser::SerializeError("payload size mismatch");
+      if (hashing::crc32(static_cast<const void *>(
+                             Bytes.data() + (Bytes.size() - PayloadSize)),
+                         static_cast<size_t>(PayloadSize)) != Crc)
+        throw ser::SerializeError("checksum mismatch");
+      E.Obj = decodePayload(R);
+      E.Path = Path;
+      Out.push_back(std::move(E));
+      V = Verdict::Ok;
+    } catch (...) {
+      // fall through to the verdict handling below
+    }
+
+    std::error_code IgnoredEC;
+    switch (V) {
+    case Verdict::Ok: {
+      std::lock_guard<std::mutex> L(Mutex);
+      ++Stats.Loaded;
+      break;
+    }
+    case Verdict::Corrupt: {
+      // Quarantine, don't delete: the bytes are evidence. The rename also
+      // takes the file out of the .mjo namespace so the next load is
+      // clean. If even the rename fails, fall back to removal.
+      fs::rename(Path, Path + ".corrupt", IgnoredEC);
+      if (IgnoredEC)
+        fs::remove(Path, IgnoredEC);
+      std::lock_guard<std::mutex> L(Mutex);
+      ++Stats.Quarantined;
+      break;
+    }
+    case Verdict::Skew: {
+      // A different engine build or format owns this file; discarding it
+      // is routine turnover, not corruption.
+      fs::remove(Path, IgnoredEC);
+      std::lock_guard<std::mutex> L(Mutex);
+      ++Stats.Skewed;
+      break;
+    }
+    }
+  }
+  return Out;
+}
+
+void RepoStore::erase(const std::string &FunctionName) {
+  if (!Usable || !safeFileName(FunctionName))
+    return;
+  std::error_code EC;
+  std::string Prefix = FunctionName + ".";
+  for (const fs::directory_entry &E : fs::directory_iterator(Dir, EC)) {
+    if (EC)
+      break;
+    std::string Name = E.path().filename().string();
+    if (E.is_regular_file() && E.path().extension() == kExtension &&
+        Name.rfind(Prefix, 0) == 0) {
+      std::error_code RmEC;
+      fs::remove(E.path(), RmEC);
+    }
+  }
+}
+
+void RepoStore::discardStale(const std::string &Path) {
+  std::error_code EC;
+  fs::remove(Path, EC);
+  std::lock_guard<std::mutex> L(Mutex);
+  ++Stats.StaleSource;
+}
+
+void RepoStore::noteAdopted() {
+  std::lock_guard<std::mutex> L(Mutex);
+  ++Stats.Adopted;
+}
+
+RepoStoreStats RepoStore::stats() const {
+  std::lock_guard<std::mutex> L(Mutex);
+  return Stats;
+}

@@ -1,0 +1,107 @@
+//===- repo/RepoStore.h - Persistent code repository -----------*- C++ -*-===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The on-disk half of the code repository (Section 2: a "database of
+/// compiled code" that snoops source directories and maintains dependency
+/// information between source and object code - i.e. compiled code is
+/// meant to outlive a session). One file per compiled version, named
+/// `<function>.<sighash>.mjo`, written crash-safely (temp file + fsync +
+/// atomic rename; see support/AtomicFile.h).
+///
+/// Every file carries a header with a format version, the engine build
+/// stamp, the source .m file's content hash, and a CRC32 of the payload.
+/// Loading walks a validation ladder - magic, format version, build stamp,
+/// payload size, checksum, bounds-checked decode - and any rung that fails
+/// quarantines the file (renamed to `*.corrupt`, or deleted for benign
+/// version/build skew) and the engine transparently recompiles. Corruption
+/// degrades to a cold compile, never a crash or a wrong answer.
+///
+/// Thread-safe: saves run on the engine's idle-priority pool while the
+/// interactive thread may be erasing entries for a reloaded function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAJIC_REPO_REPOSTORE_H
+#define MAJIC_REPO_REPOSTORE_H
+
+#include "repo/Repository.h"
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace majic {
+
+/// Observability counters for the persistent store.
+struct RepoStoreStats {
+  uint64_t Saved = 0;        ///< entries written successfully
+  uint64_t SaveFailures = 0; ///< saves that failed (I/O or injected fault)
+  uint64_t Loaded = 0;       ///< entries that passed the validation ladder
+  uint64_t Quarantined = 0;  ///< corrupt files renamed to *.corrupt
+  uint64_t Skewed = 0;       ///< discarded for format/build-stamp skew
+  uint64_t StaleSource = 0;  ///< discarded because the source hash drifted
+  uint64_t Adopted = 0;      ///< loaded entries published to the repository
+  uint64_t SweptTemps = 0;   ///< leftover temp files removed at startup
+};
+
+class RepoStore {
+public:
+  /// Opens (creating if needed) the store directory. A directory that
+  /// cannot be created leaves the store disabled: saves fail soft.
+  explicit RepoStore(std::string Dir);
+
+  /// Removes temp files a crashed save left behind. Returns the count.
+  unsigned sweepTemps();
+
+  /// One validated entry read back from disk.
+  struct Entry {
+    CompiledObject Obj;
+    uint64_t SourceHash = 0; ///< content hash of the source .m definition
+    std::string Path;        ///< the file it came from
+  };
+
+  /// Reads and validates every entry in the store. Files failing the
+  /// validation ladder are quarantined or discarded (see stats()); this
+  /// never throws and never crashes, whatever the bytes on disk are.
+  std::vector<Entry> loadAll();
+
+  /// Persists one compiled version (crash-safely; replaces any previous
+  /// file for the same function + signature). Returns false on failure -
+  /// saving is best-effort, a failed save only costs a future recompile.
+  bool save(const CompiledObject &Obj, uint64_t SourceHash);
+
+  /// Deletes every on-disk version of \p FunctionName.
+  void erase(const std::string &FunctionName);
+
+  /// Deletes one entry file (stale-source cleanup at adoption time).
+  void discardStale(const std::string &Path);
+
+  /// Bumps the Adopted counter (the engine decides adoption; the store
+  /// keeps the statistic so warm-start behavior is observable in one place).
+  void noteAdopted();
+
+  RepoStoreStats stats() const;
+
+  const std::string &directory() const { return Dir; }
+
+  /// Serialized file image of one entry (header + payload); exposed so the
+  /// loader fuzz tests can corrupt known-good bytes.
+  static std::string encode(const CompiledObject &Obj, uint64_t SourceHash);
+
+private:
+  std::string entryPath(const CompiledObject &Obj) const;
+
+  std::string Dir;
+  bool Usable = false;
+  mutable std::mutex Mutex; ///< guards Stats (file ops are atomic already)
+  RepoStoreStats Stats;
+};
+
+} // namespace majic
+
+#endif // MAJIC_REPO_REPOSTORE_H

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <unordered_set>
 
 using namespace majic;
 namespace fs = std::filesystem;
@@ -21,6 +22,7 @@ void SourceSnooper::watchDirectory(const std::string &Dir) {
 
 std::vector<SourceSnooper::Change> SourceSnooper::scan() {
   std::vector<Change> Changes;
+  std::unordered_set<std::string> Seen;
   for (const std::string &Dir : Dirs) {
     std::error_code EC;
     for (const fs::directory_entry &Entry : fs::directory_iterator(Dir, EC)) {
@@ -32,6 +34,7 @@ std::vector<SourceSnooper::Change> SourceSnooper::scan() {
       auto MTime = Entry.last_write_time(EC);
       if (EC)
         continue;
+      Seen.insert(Path);
       int64_t Stamp = static_cast<int64_t>(
           MTime.time_since_epoch().count());
       auto It = LastMTime.find(Path);
@@ -39,8 +42,22 @@ std::vector<SourceSnooper::Change> SourceSnooper::scan() {
       if (!IsNew && It->second == Stamp)
         continue;
       LastMTime[Path] = Stamp;
-      Changes.push_back({Path, Entry.path().stem().string(), IsNew, Stamp});
+      Changes.push_back({Path, Entry.path().stem().string(),
+                         IsNew ? Change::Kind::Added : Change::Kind::Modified,
+                         Stamp});
     }
+  }
+  // A file we reported before that no longer exists was removed (this also
+  // covers a watched directory disappearing wholesale); the engine must
+  // stop serving its compiled versions.
+  for (auto It = LastMTime.begin(); It != LastMTime.end();) {
+    if (Seen.count(It->first)) {
+      ++It;
+      continue;
+    }
+    Changes.push_back({It->first, fs::path(It->first).stem().string(),
+                       Change::Kind::Removed, It->second});
+    It = LastMTime.erase(It);
   }
   // Deterministic processing order.
   std::sort(Changes.begin(), Changes.end(),

@@ -31,15 +31,23 @@ public:
   void watchDirectory(const std::string &Dir);
 
   struct Change {
+    /// What happened to the file since the previous scan. A Removed change
+    /// is how the engine learns to stop serving compiled versions of a
+    /// deleted source file (the repository entry - and, with the on-disk
+    /// store, its files - must be invalidated, not served stale).
+    enum class Kind : uint8_t { Added, Modified, Removed };
+
     std::string Path;         ///< Full path to the .m file.
     std::string FunctionName; ///< Basename without extension.
-    bool IsNew;               ///< First sighting vs modification.
+    Kind K;                   ///< Added / Modified / Removed.
     int64_t MTime;            ///< Filesystem stamp; most-recent-first lets
-                              ///< the engine speculate on fresh edits first.
+                              ///< the engine speculate on fresh edits first
+                              ///< (last known stamp for Removed changes).
   };
 
-  /// Scans the watched directories, returning files that are new or whose
-  /// modification time changed since the previous scan.
+  /// Scans the watched directories, returning files that are new, whose
+  /// modification time changed, or that disappeared since the previous
+  /// scan.
   std::vector<Change> scan();
 
   const std::vector<std::string> &directories() const { return Dirs; }

@@ -1,0 +1,128 @@
+//===- support/AtomicFile.cpp - Crash-safe file writes ---------------------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/AtomicFile.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+using namespace majic;
+namespace fs = std::filesystem;
+
+const char *const majic::atomicfile::kTempMarker = ".tmp";
+
+namespace {
+
+void setError(std::string *Error, const std::string &What) {
+  if (Error)
+    *Error = What + ": " + std::strerror(errno);
+}
+
+/// fsync the directory containing \p Path so a completed rename is durable.
+void syncParentDir(const std::string &Path) {
+  fs::path Parent = fs::path(Path).parent_path();
+  if (Parent.empty())
+    Parent = ".";
+  int Fd = ::open(Parent.c_str(), O_RDONLY);
+  if (Fd >= 0) {
+    ::fsync(Fd);
+    ::close(Fd);
+  }
+}
+
+} // namespace
+
+bool majic::atomicfile::writeFileAtomic(const std::string &Path,
+                                        const std::string &Bytes,
+                                        std::string *Error) {
+  // Unique within the process so concurrent saves of the same target never
+  // share a temp file; unique-enough across crashed processes because the
+  // sweep removes strays by pattern, not by name.
+  static std::atomic<uint64_t> Counter{0};
+  std::string Tmp = Path + kTempMarker +
+                    std::to_string(static_cast<unsigned long>(::getpid())) +
+                    "." +
+                    std::to_string(Counter.fetch_add(1,
+                                                     std::memory_order_relaxed));
+
+  int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0) {
+    setError(Error, "cannot create '" + Tmp + "'");
+    return false;
+  }
+  size_t Off = 0;
+  while (Off < Bytes.size()) {
+    ssize_t N = ::write(Fd, Bytes.data() + Off, Bytes.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      setError(Error, "cannot write '" + Tmp + "'");
+      ::close(Fd);
+      ::unlink(Tmp.c_str());
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  // The data must be on disk before the rename makes it reachable,
+  // otherwise a crash could expose a named-but-empty file.
+  if (::fsync(Fd) != 0) {
+    setError(Error, "cannot fsync '" + Tmp + "'");
+    ::close(Fd);
+    ::unlink(Tmp.c_str());
+    return false;
+  }
+  if (::close(Fd) != 0) {
+    setError(Error, "cannot close '" + Tmp + "'");
+    ::unlink(Tmp.c_str());
+    return false;
+  }
+  if (::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    setError(Error, "cannot rename '" + Tmp + "' to '" + Path + "'");
+    ::unlink(Tmp.c_str());
+    return false;
+  }
+  syncParentDir(Path);
+  return true;
+}
+
+bool majic::atomicfile::readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::string Bytes((std::istreambuf_iterator<char>(In)),
+                    std::istreambuf_iterator<char>());
+  if (In.bad())
+    return false;
+  Out = std::move(Bytes);
+  return true;
+}
+
+unsigned majic::atomicfile::sweepTempFiles(const std::string &Dir,
+                                           const std::string &Suffix) {
+  unsigned Removed = 0;
+  std::error_code EC;
+  for (const fs::directory_entry &Entry : fs::directory_iterator(Dir, EC)) {
+    if (EC)
+      break;
+    if (!Entry.is_regular_file())
+      continue;
+    std::string Name = Entry.path().filename().string();
+    size_t SuffixAt = Name.find(Suffix + kTempMarker);
+    if (SuffixAt == std::string::npos)
+      continue;
+    std::error_code RmEC;
+    if (fs::remove(Entry.path(), RmEC))
+      ++Removed;
+  }
+  return Removed;
+}

@@ -10,6 +10,7 @@
 #include "support/StringUtils.h"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <mutex>
 #include <vector>
@@ -55,8 +56,32 @@ void refreshAnyArmedLocked(Registry &Reg) {
 }
 
 const char *const SiteNames[kNumSites] = {
-    "parse",       "infer",       "codegen",     "regalloc",
-    "repo-insert", "value-alloc", "pool-enqueue"};
+    "parse",       "infer",       "codegen",   "regalloc",  "repo-insert",
+    "value-alloc", "pool-enqueue", "repo-save", "repo-load"};
+
+/// Strict full-string parses: "5x" or "" must be diagnosed, not silently
+/// truncated to a number.
+bool parseU64(const std::string &S, uint64_t &Out) {
+  if (S.empty())
+    return false;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(S.c_str(), &End, 10);
+  if (!End || *End != '\0')
+    return false;
+  Out = V;
+  return true;
+}
+
+bool parseProb(const std::string &S, double &Out) {
+  if (S.empty())
+    return false;
+  char *End = nullptr;
+  double V = std::strtod(S.c_str(), &End);
+  if (!End || *End != '\0')
+    return false;
+  Out = V;
+  return true;
+}
 
 } // namespace
 
@@ -164,16 +189,22 @@ bool majic::faults::loadSpec(const std::string &Spec, std::string *Error) {
     std::string Args = C1 == std::string::npos ? "" : Action.substr(C1 + 1);
     if (Kind == "at" || Kind == "every") {
       E.M = Kind == "at" ? Mode::At : Mode::Every;
-      E.N = std::strtoull(Args.c_str(), nullptr, 10);
+      if (!parseU64(Args, E.N))
+        return Fail("fault entry '" + Item + "' has a malformed count '" +
+                    Args + "'");
       if (E.N == 0)
         return Fail("fault entry '" + Item + "' needs a positive count");
     } else if (Kind == "rand") {
       E.M = Mode::Rand;
       size_t C2 = Args.find(':');
-      E.P = std::strtod(Args.substr(0, C2).c_str(), nullptr);
-      E.Seed = C2 == std::string::npos
-                   ? 1
-                   : std::strtoull(Args.substr(C2 + 1).c_str(), nullptr, 10);
+      if (!parseProb(Args.substr(0, C2), E.P))
+        return Fail("fault entry '" + Item + "' has a malformed probability '" +
+                    Args.substr(0, C2) + "'");
+      E.Seed = 1;
+      if (C2 != std::string::npos &&
+          !parseU64(Args.substr(C2 + 1), E.Seed))
+        return Fail("fault entry '" + Item + "' has a malformed seed '" +
+                    Args.substr(C2 + 1) + "'");
       if (!(E.P > 0) || E.P > 1)
         return Fail("fault entry '" + Item + "' needs probability in (0,1]");
     } else {
@@ -205,7 +236,18 @@ bool majic::faults::loadEnv() {
   const char *Spec = std::getenv("MAJIC_FAULTS");
   if (!Spec || !*Spec)
     return false;
-  return loadSpec(Spec);
+  std::string Error;
+  if (!loadSpec(Spec, &Error)) {
+    // A typo'd schedule must neither run half-armed nor be mistaken for a
+    // working one: complain on stderr and disarm everything.
+    std::fprintf(stderr,
+                 "majic: ignoring malformed MAJIC_FAULTS '%s': %s "
+                 "(fault injection disarmed)\n",
+                 Spec, Error.c_str());
+    reset();
+    return false;
+  }
+  return true;
 }
 
 SiteStats majic::faults::stats(Site S) {

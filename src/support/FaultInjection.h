@@ -49,8 +49,10 @@ enum class Site : uint8_t {
   RepoInsert,  ///< repo: before a compiled object is stored
   ValueAlloc,  ///< runtime: Value storage allocation (fires std::bad_alloc)
   PoolEnqueue, ///< support: ThreadPool::enqueue
+  RepoSave,    ///< repo: before a compiled object is persisted to disk
+  RepoLoad,    ///< repo: before a persisted entry is decoded at startup
 };
-constexpr unsigned kNumSites = 7;
+constexpr unsigned kNumSites = 9;
 
 const char *siteName(Site S);
 
@@ -101,7 +103,9 @@ void disarm(Site S);
 bool loadSpec(const std::string &Spec, std::string *Error = nullptr);
 
 /// Applies the MAJIC_FAULTS environment variable when set; returns whether
-/// a schedule was applied.
+/// a schedule was applied. A malformed spec is rejected loudly: a
+/// diagnostic goes to stderr and every site is disarmed (a typo must not
+/// silently leave a partial or stale schedule running).
 bool loadEnv();
 
 SiteStats stats(Site S);

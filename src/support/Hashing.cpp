@@ -1,0 +1,45 @@
+//===- support/Hashing.cpp - Content hashing -------------------------------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Hashing.h"
+
+#include <array>
+
+using namespace majic;
+
+uint64_t majic::hashing::fnv1a(const void *Data, size_t Len, uint64_t Seed) {
+  const auto *P = static_cast<const unsigned char *>(Data);
+  uint64_t H = Seed;
+  for (size_t I = 0; I != Len; ++I) {
+    H ^= P[I];
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+namespace {
+
+std::array<uint32_t, 256> makeCrcTable() {
+  std::array<uint32_t, 256> T{};
+  for (uint32_t I = 0; I != 256; ++I) {
+    uint32_t C = I;
+    for (int K = 0; K != 8; ++K)
+      C = (C & 1) ? 0xedb88320u ^ (C >> 1) : C >> 1;
+    T[I] = C;
+  }
+  return T;
+}
+
+} // namespace
+
+uint32_t majic::hashing::crc32(const void *Data, size_t Len, uint32_t Seed) {
+  static const std::array<uint32_t, 256> Table = makeCrcTable();
+  const auto *P = static_cast<const unsigned char *>(Data);
+  uint32_t C = Seed ^ 0xffffffffu;
+  for (size_t I = 0; I != Len; ++I)
+    C = Table[(C ^ P[I]) & 0xffu] ^ (C >> 8);
+  return C ^ 0xffffffffu;
+}

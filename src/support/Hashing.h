@@ -1,0 +1,59 @@
+//===- support/Hashing.h - Content hashing ---------------------*- C++ -*-===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Content hashing for the persistent code repository: FNV-1a (64-bit)
+/// identity hashes for source files and signatures, and CRC32 integrity
+/// checksums for serialized payloads. CRC32 detects every 1- and 2-bit
+/// error and any error burst up to 32 bits, which is exactly the failure
+/// model of a torn or bit-rotted cache file; FNV-1a is the cheap
+/// fingerprint used where collisions merely cost a recompile.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAJIC_SUPPORT_HASHING_H
+#define MAJIC_SUPPORT_HASHING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace majic {
+namespace hashing {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+
+/// 64-bit FNV-1a over \p Len bytes, chainable via \p Seed.
+uint64_t fnv1a(const void *Data, size_t Len, uint64_t Seed = kFnvOffset);
+
+inline uint64_t fnv1a(const std::string &S, uint64_t Seed = kFnvOffset) {
+  return fnv1a(S.data(), S.size(), Seed);
+}
+
+/// NUL-terminated overload. Load-bearing, not convenience: without it a
+/// string literal binds the (void*, len) overload exactly, with the *seed*
+/// silently consumed as the byte count.
+inline uint64_t fnv1a(const char *S, uint64_t Seed = kFnvOffset) {
+  return fnv1a(S, std::char_traits<char>::length(S), Seed);
+}
+
+/// CRC-32 (IEEE 802.3 polynomial) over \p Len bytes, chainable via \p Seed
+/// (pass a previous return value to extend the checksum).
+uint32_t crc32(const void *Data, size_t Len, uint32_t Seed = 0);
+
+inline uint32_t crc32(const std::string &S, uint32_t Seed = 0) {
+  return crc32(S.data(), S.size(), Seed);
+}
+
+/// NUL-terminated overload; see the fnv1a(const char*) comment.
+inline uint32_t crc32(const char *S, uint32_t Seed = 0) {
+  return crc32(S, std::char_traits<char>::length(S), Seed);
+}
+
+} // namespace hashing
+} // namespace majic
+
+#endif // MAJIC_SUPPORT_HASHING_H

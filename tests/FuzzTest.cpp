@@ -19,6 +19,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
 #include <string>
 
 using namespace majic;
@@ -242,7 +243,11 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSoundness,
 // Fault-schedule sweep: under an arbitrary seeded injection schedule the
 // engine never crashes, a call that completes returns the interpreter's
 // answer, and once the faults clear (and the source is reloaded, lifting
-// any quarantine) behavior is exactly the reference again.
+// any quarantine) behavior is exactly the reference again. The engines run
+// against a persistent store so the repo-save and repo-load sites are part
+// of every schedule: a second session starts under the same schedule (its
+// warm-start load may be denied or quarantined), and the recovery session
+// warm-starts from whatever survived.
 //===----------------------------------------------------------------------===//
 
 class FaultSweep : public ::testing::TestWithParam<uint64_t> {
@@ -277,15 +282,25 @@ TEST_P(FaultSweep, EngineSurvivesScheduleAndRecovers) {
     }
   }
 
+  namespace fs = std::filesystem;
+  fs::path StoreDir =
+      fs::temp_directory_path() / ("majic_faultsweep_" + std::to_string(Seed));
+  fs::remove_all(StoreDir);
+
   EngineOptions O;
   O.Policy = CompilePolicy::Speculative;
   O.BackgroundCompileThreads = 1;
-  Engine E(O);
+  O.RepoDir = StoreDir.string();
 
   // Under injection a load may fail (parse fault) and a call may fail
   // (injected OOM); neither may crash, and a call that succeeds must
   // return the reference result - faults deny work, they never corrupt it.
-  if (E.addSource("fuzz", Src)) {
+  // Two sessions run under the schedule: the second warm-starts from
+  // whatever the first managed to persist, with repo-load faults live.
+  for (int Session = 0; Session != 2; ++Session) {
+    Engine E(O);
+    if (!E.addSource("fuzz", Src))
+      continue;
     for (int I = 0; I != 6; ++I) {
       E.speculateAsync("fuzz");
       try {
@@ -302,11 +317,14 @@ TEST_P(FaultSweep, EngineSurvivesScheduleAndRecovers) {
       }
     }
     E.drainCompiles();
+    E.flushRepoStore();
   }
 
-  // Faults clear; reloading the source lifts any quarantine the schedule
-  // caused, so the engine must compile and agree with the reference again.
+  // Faults clear. A fresh session warm-starts from whatever the faulted
+  // sessions left on disk - possibly nothing, never anything harmful - and
+  // must agree with the reference exactly.
   faults::reset();
+  Engine E(O);
   ASSERT_TRUE(E.addSource("fuzz", Src)) << E.diagnostics();
   EXPECT_EQ(E.quarantineCount(), 0u);
 
@@ -329,6 +347,7 @@ TEST_P(FaultSweep, EngineSurvivesScheduleAndRecovers) {
     else
       EXPECT_DOUBLE_EQ(Ref.Result, Got.Result) << Src;
   }
+  fs::remove_all(StoreDir);
 }
 
 INSTANTIATE_TEST_SUITE_P(Schedules, FaultSweep,

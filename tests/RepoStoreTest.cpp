@@ -1,0 +1,423 @@
+//===- tests/RepoStoreTest.cpp - Persistent repository & warm start --------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The on-disk code repository: crash-safe saves, the startup validation
+// ladder, warm starts that serve the first invocation with zero compiles,
+// and - above all - that no corruption of the store (bit flips, truncation,
+// injected faults, leftover temp files, deleted sources) can ever crash the
+// engine or change a program's results.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Engine.h"
+#include "repo/RepoStore.h"
+#include "support/FaultInjection.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace majic;
+namespace fs = std::filesystem;
+
+namespace {
+
+class RepoStoreTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    faults::reset();
+    Dir = fs::temp_directory_path() /
+          ("majic_repostore_" +
+           std::string(
+               ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(Dir);
+  }
+  void TearDown() override {
+    faults::reset();
+    fs::remove_all(Dir);
+  }
+
+  /// Engine options for a deterministic store session: JIT policy and no
+  /// worker pool, so compiles and saves both happen synchronously.
+  EngineOptions syncOpts() {
+    EngineOptions O;
+    O.Policy = CompilePolicy::Jit;
+    O.BackgroundCompileThreads = 0;
+    O.RepoDir = Dir.string();
+    return O;
+  }
+
+  /// Paths of the store's entry files.
+  std::vector<fs::path> entryFiles() {
+    std::vector<fs::path> Out;
+    if (!fs::exists(Dir))
+      return Out;
+    for (const fs::directory_entry &E : fs::directory_iterator(Dir))
+      if (E.path().extension() == ".mjo")
+        Out.push_back(E.path());
+    return Out;
+  }
+
+  fs::path Dir;
+};
+
+ValuePtr intArg(double X) { return makeValue(Value::intScalar(X)); }
+
+const char *kSource = "function y = ff(x)\n"
+                      "y = 0;\n"
+                      "for k = 1:x\n"
+                      "y = y + k * k;\n"
+                      "end\n";
+const double kArg = 10;
+const double kExpect = 385; // sum of squares 1..10
+
+//===----------------------------------------------------------------------===//
+// Round trip and warm start
+//===----------------------------------------------------------------------===//
+
+TEST_F(RepoStoreTest, CompileWritesOneEntryFile) {
+  Engine E(syncOpts());
+  ASSERT_TRUE(E.addSource("ff", kSource));
+  auto R = E.callFunction("ff", {intArg(kArg)}, 1, SourceLoc());
+  EXPECT_DOUBLE_EQ(R[0]->scalarValue(), kExpect);
+  EXPECT_EQ(E.jitCompiles(), 1u);
+
+  RepoStoreStats S = E.repoStoreStats();
+  EXPECT_EQ(S.Saved, 1u);
+  EXPECT_EQ(S.SaveFailures, 0u);
+  auto Files = entryFiles();
+  ASSERT_EQ(Files.size(), 1u);
+  // <function>.<sighash>.mjo
+  EXPECT_EQ(Files[0].filename().string().rfind("ff.", 0), 0u);
+}
+
+TEST_F(RepoStoreTest, WarmStartServesFirstCallWithZeroCompiles) {
+  {
+    Engine Cold(syncOpts());
+    ASSERT_TRUE(Cold.addSource("ff", kSource));
+    auto R = Cold.callFunction("ff", {intArg(kArg)}, 1, SourceLoc());
+    ASSERT_DOUBLE_EQ(R[0]->scalarValue(), kExpect);
+    ASSERT_EQ(Cold.repoStoreStats().Saved, 1u);
+  }
+
+  Engine Warm(syncOpts());
+  RepoStoreStats S = Warm.repoStoreStats();
+  EXPECT_EQ(S.Loaded, 1u);
+  EXPECT_EQ(S.Quarantined, 0u);
+  ASSERT_TRUE(Warm.addSource("ff", kSource));
+  EXPECT_EQ(Warm.repoStoreStats().Adopted, 1u);
+  EXPECT_EQ(Warm.repository().versionCount("ff"), 1u);
+
+  // The first invocation is served straight from disk: no JIT compile, no
+  // interpreter fallback, no speculation queued - and the same answer.
+  auto R = Warm.callFunction("ff", {intArg(kArg)}, 1, SourceLoc());
+  EXPECT_DOUBLE_EQ(R[0]->scalarValue(), kExpect);
+  EXPECT_EQ(Warm.jitCompiles(), 0u);
+  EXPECT_EQ(Warm.interpreterFallbacks(), 0u);
+  EXPECT_EQ(Warm.speculationStats().Queued, 0u);
+}
+
+TEST_F(RepoStoreTest, SourceDriftDiscardsEntryAndRecompiles) {
+  {
+    Engine Cold(syncOpts());
+    ASSERT_TRUE(Cold.addSource("ff", kSource));
+    Cold.callFunction("ff", {intArg(kArg)}, 1, SourceLoc());
+    ASSERT_EQ(Cold.repoStoreStats().Saved, 1u);
+  }
+
+  // The .m text changed: the stored object was compiled from different
+  // source and must not be served, however plausible its bytes are.
+  std::string NewSource = "function y = ff(x)\ny = x + 1;\n";
+  Engine Warm(syncOpts());
+  EXPECT_EQ(Warm.repoStoreStats().Loaded, 1u);
+  ASSERT_TRUE(Warm.addSource("ff", NewSource));
+  RepoStoreStats S = Warm.repoStoreStats();
+  EXPECT_EQ(S.Adopted, 0u);
+  EXPECT_EQ(S.StaleSource, 1u);
+  EXPECT_EQ(Warm.repository().versionCount("ff"), 0u);
+
+  auto R = Warm.callFunction("ff", {intArg(kArg)}, 1, SourceLoc());
+  EXPECT_DOUBLE_EQ(R[0]->scalarValue(), kArg + 1);
+  EXPECT_EQ(Warm.jitCompiles(), 1u);
+}
+
+TEST_F(RepoStoreTest, AsyncSavesFlushDeterministically) {
+  {
+    EngineOptions O;
+    O.Policy = CompilePolicy::Speculative;
+    O.BackgroundCompileThreads = 1;
+    O.RepoDir = Dir.string();
+    Engine E(O);
+    ASSERT_TRUE(E.addSource("ff", kSource));
+    ASSERT_TRUE(E.speculateAsync("ff"));
+    E.drainCompiles();
+    E.flushRepoStore();
+    EXPECT_EQ(E.repoStoreStats().Saved, 1u);
+    EXPECT_EQ(entryFiles().size(), 1u);
+  }
+  // Destroying the engine with saves possibly queued is also clean (the
+  // pool drains before the store goes away); the file is intact on disk.
+  Engine Warm(syncOpts());
+  EXPECT_EQ(Warm.repoStoreStats().Loaded, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Corruption: the loader must never crash, whatever the bytes
+//===----------------------------------------------------------------------===//
+
+/// Reads a store entry file as raw bytes.
+std::string slurp(const fs::path &P) {
+  std::ifstream In(P, std::ios::binary);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+void spit(const fs::path &P, const std::string &Bytes) {
+  std::ofstream Out(P, std::ios::binary | std::ios::trunc);
+  Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+}
+
+TEST_F(RepoStoreTest, BitFlipFuzzAlwaysQuarantinesOrValidates) {
+  {
+    Engine Cold(syncOpts());
+    ASSERT_TRUE(Cold.addSource("ff", kSource));
+    Cold.callFunction("ff", {intArg(kArg)}, 1, SourceLoc());
+  }
+  auto Files = entryFiles();
+  ASSERT_EQ(Files.size(), 1u);
+  std::string Good = slurp(Files[0]);
+  ASSERT_GT(Good.size(), 40u);
+
+  fs::path FuzzDir = Dir / "fuzz";
+  uint64_t Accepted = 0, Rejected = 0;
+  for (size_t I = 0; I < Good.size(); ++I) {
+    std::string Bad = Good;
+    Bad[I] = static_cast<char>(Bad[I] ^ (1u << (I % 8)));
+    fs::remove_all(FuzzDir);
+    fs::create_directories(FuzzDir);
+    spit(FuzzDir / Files[0].filename(), Bad);
+
+    RepoStore S(FuzzDir.string());
+    std::vector<RepoStore::Entry> Loaded = S.loadAll();
+    RepoStoreStats St = S.stats();
+    // Every flipped file is either caught by the validation ladder or - for
+    // flips in the source-hash header field - decodes but carries a hash
+    // the engine will refuse at adoption. Nothing crashes, and the
+    // bookkeeping always accounts for exactly the one file.
+    EXPECT_EQ(Loaded.size() + St.Quarantined + St.Skewed, 1u)
+        << "byte " << I;
+    if (!Loaded.empty()) {
+      ++Accepted;
+      EXPECT_EQ(Loaded[0].Obj.FunctionName, "ff");
+    } else {
+      ++Rejected;
+    }
+  }
+  // The CRC covers the payload and the header fields are individually
+  // validated, so the overwhelming majority of flips must be rejected; the
+  // only survivable flips are in the source-hash field (8 bytes x 1 flip).
+  EXPECT_LE(Accepted, 8u);
+  EXPECT_GT(Rejected, 0u);
+}
+
+TEST_F(RepoStoreTest, TruncationFuzzNeverCrashes) {
+  {
+    Engine Cold(syncOpts());
+    ASSERT_TRUE(Cold.addSource("ff", kSource));
+    Cold.callFunction("ff", {intArg(kArg)}, 1, SourceLoc());
+  }
+  auto Files = entryFiles();
+  ASSERT_EQ(Files.size(), 1u);
+  std::string Good = slurp(Files[0]);
+
+  fs::path FuzzDir = Dir / "fuzz";
+  for (size_t Len = 0; Len < Good.size(); Len += 3) {
+    fs::remove_all(FuzzDir);
+    fs::create_directories(FuzzDir);
+    spit(FuzzDir / Files[0].filename(), Good.substr(0, Len));
+
+    RepoStore S(FuzzDir.string());
+    EXPECT_TRUE(S.loadAll().empty()) << "length " << Len;
+    EXPECT_EQ(S.stats().Quarantined, 1u) << "length " << Len;
+  }
+}
+
+TEST_F(RepoStoreTest, GarbageFilesAreQuarantined) {
+  fs::create_directories(Dir);
+  spit(Dir / "ff.0000000000000000.mjo", std::string(512, '\x5a'));
+  spit(Dir / "gg.ffffffffffffffff.mjo", "");
+  RepoStore S(Dir.string());
+  EXPECT_TRUE(S.loadAll().empty());
+  EXPECT_EQ(S.stats().Quarantined, 2u);
+  // Quarantined files are renamed out of the .mjo namespace: a second load
+  // of the same directory is clean.
+  RepoStore S2(Dir.string());
+  EXPECT_TRUE(S2.loadAll().empty());
+  EXPECT_EQ(S2.stats().Quarantined, 0u);
+}
+
+TEST_F(RepoStoreTest, PoisonedStoreRecomputesIdenticalResults) {
+  double ColdResult;
+  {
+    Engine Cold(syncOpts());
+    ASSERT_TRUE(Cold.addSource("ff", kSource));
+    ColdResult =
+        Cold.callFunction("ff", {intArg(kArg)}, 1, SourceLoc())[0]->scalarValue();
+  }
+  // Flip one bit in the middle of every entry file.
+  for (const fs::path &P : entryFiles()) {
+    std::string Bytes = slurp(P);
+    Bytes[Bytes.size() / 2] = static_cast<char>(Bytes[Bytes.size() / 2] ^ 0x10);
+    spit(P, Bytes);
+  }
+
+  Engine Warm(syncOpts());
+  RepoStoreStats S = Warm.repoStoreStats();
+  EXPECT_EQ(S.Loaded, 0u);
+  EXPECT_EQ(S.Quarantined, 1u);
+  ASSERT_TRUE(Warm.addSource("ff", kSource));
+  auto R = Warm.callFunction("ff", {intArg(kArg)}, 1, SourceLoc());
+  // Transparent fallback: the poisoned entry cost a recompile, nothing else.
+  EXPECT_DOUBLE_EQ(R[0]->scalarValue(), ColdResult);
+  EXPECT_EQ(Warm.jitCompiles(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Crash consistency: temp files and injected faults
+//===----------------------------------------------------------------------===//
+
+TEST_F(RepoStoreTest, LeftoverTempFilesAreSweptAtStartup) {
+  fs::create_directories(Dir);
+  // What a save that died between write and rename leaves behind.
+  spit(Dir / "ff.0123456789abcdef.mjo.tmp12345.7", "partial bytes");
+  spit(Dir / "gg.aaaaaaaaaaaaaaaa.mjo.tmp999.1", "");
+
+  Engine E(syncOpts());
+  EXPECT_EQ(E.repoStoreStats().SweptTemps, 2u);
+  EXPECT_TRUE(entryFiles().empty());
+  for (const fs::directory_entry &F : fs::directory_iterator(Dir))
+    EXPECT_EQ(F.path().filename().string().find(".tmp"), std::string::npos)
+        << F.path();
+}
+
+TEST_F(RepoStoreTest, InjectedSaveFaultIsContained) {
+  Engine E(syncOpts());
+  ASSERT_TRUE(E.addSource("ff", kSource));
+  faults::armEvery(faults::Site::RepoSave, 1);
+  auto R = E.callFunction("ff", {intArg(kArg)}, 1, SourceLoc());
+  // The failed save is invisible to the caller...
+  EXPECT_DOUBLE_EQ(R[0]->scalarValue(), kExpect);
+  EXPECT_EQ(E.jitCompiles(), 1u);
+  RepoStoreStats S = E.repoStoreStats();
+  EXPECT_EQ(S.Saved, 0u);
+  EXPECT_EQ(S.SaveFailures, 1u);
+  // ...and leaves no debris: no entry file, no temp file.
+  EXPECT_TRUE(entryFiles().empty());
+
+  // With the fault gone, the next compile persists normally.
+  faults::reset();
+  ASSERT_TRUE(E.addSource("ff", kSource));
+  E.callFunction("ff", {intArg(kArg)}, 1, SourceLoc());
+  EXPECT_EQ(E.repoStoreStats().Saved, 1u);
+  EXPECT_EQ(entryFiles().size(), 1u);
+}
+
+TEST_F(RepoStoreTest, InjectedLoadFaultQuarantinesAndRecovers) {
+  {
+    Engine Cold(syncOpts());
+    ASSERT_TRUE(Cold.addSource("ff", kSource));
+    Cold.callFunction("ff", {intArg(kArg)}, 1, SourceLoc());
+  }
+
+  faults::armEvery(faults::Site::RepoLoad, 1);
+  Engine Warm(syncOpts());
+  RepoStoreStats S = Warm.repoStoreStats();
+  EXPECT_EQ(S.Loaded, 0u);
+  EXPECT_EQ(S.Quarantined, 1u);
+  faults::reset();
+
+  // Cold path again, same answer, and the store repopulates.
+  ASSERT_TRUE(Warm.addSource("ff", kSource));
+  auto R = Warm.callFunction("ff", {intArg(kArg)}, 1, SourceLoc());
+  EXPECT_DOUBLE_EQ(R[0]->scalarValue(), kExpect);
+  EXPECT_EQ(Warm.jitCompiles(), 1u);
+  EXPECT_EQ(Warm.repoStoreStats().Saved, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Source deletion invalidates memory and disk
+//===----------------------------------------------------------------------===//
+
+TEST_F(RepoStoreTest, RemovedSourceErasesRepositoryAndStore) {
+  fs::path SrcDir = Dir / "src";
+  fs::create_directories(SrcDir);
+  { std::ofstream(SrcDir / "ff.m") << kSource; }
+
+  EngineOptions O = syncOpts();
+  O.RepoDir = (Dir / "store").string();
+  Engine E(O);
+  E.watchDirectory(SrcDir.string());
+  EXPECT_EQ(E.snoop(), 1u);
+  auto R = E.callFunction("ff", {intArg(kArg)}, 1, SourceLoc());
+  ASSERT_DOUBLE_EQ(R[0]->scalarValue(), kExpect);
+  ASSERT_EQ(E.repository().versionCount("ff"), 1u);
+  ASSERT_EQ(E.repoStoreStats().Saved, 1u);
+
+  // Delete the source; the next snoop must stop serving it, from memory
+  // and from disk.
+  fs::remove(SrcDir / "ff.m");
+  EXPECT_EQ(E.snoop(), 0u);
+  EXPECT_EQ(E.repository().versionCount("ff"), 0u);
+  EXPECT_THROW(E.callFunction("ff", {intArg(kArg)}, 1, SourceLoc()),
+               MatlabError);
+  bool AnyEntry = false;
+  for (const fs::directory_entry &F : fs::directory_iterator(Dir / "store"))
+    AnyEntry |= F.path().extension() == ".mjo";
+  EXPECT_FALSE(AnyEntry);
+
+  // A fresh engine on the same store has nothing to warm-start from.
+  Engine E2(O);
+  EXPECT_EQ(E2.repoStoreStats().Loaded, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Multiple versions and functions round-trip
+//===----------------------------------------------------------------------===//
+
+TEST_F(RepoStoreTest, MultipleVersionsAndFunctionsSurviveRestart) {
+  std::string Other = "function y = gg(a, b)\ny = a * 2 + b;\n";
+  {
+    Engine Cold(syncOpts());
+    ASSERT_TRUE(Cold.addSource("ff", kSource));
+    ASSERT_TRUE(Cold.addSource("gg", Other));
+    // Two signatures of ff (scalar and 1x4 vector) and one of gg.
+    Cold.callFunction("ff", {intArg(kArg)}, 1, SourceLoc());
+    Cold.precompileWithArgs("ff", {makeValue(Value::zeros(1, 4))});
+    Cold.callFunction("gg", {intArg(3), intArg(4)}, 1, SourceLoc());
+    EXPECT_EQ(Cold.repoStoreStats().Saved, 3u);
+  }
+  ASSERT_EQ(entryFiles().size(), 3u);
+
+  Engine Warm(syncOpts());
+  EXPECT_EQ(Warm.repoStoreStats().Loaded, 3u);
+  ASSERT_TRUE(Warm.addSource("ff", kSource));
+  ASSERT_TRUE(Warm.addSource("gg", Other));
+  EXPECT_EQ(Warm.repoStoreStats().Adopted, 3u);
+  EXPECT_EQ(Warm.repository().versionCount("ff"), 2u);
+  EXPECT_EQ(Warm.repository().versionCount("gg"), 1u);
+
+  auto R1 = Warm.callFunction("ff", {intArg(kArg)}, 1, SourceLoc());
+  auto R2 = Warm.callFunction("gg", {intArg(3), intArg(4)}, 1, SourceLoc());
+  EXPECT_DOUBLE_EQ(R1[0]->scalarValue(), kExpect);
+  EXPECT_DOUBLE_EQ(R2[0]->scalarValue(), 10.0);
+  EXPECT_EQ(Warm.jitCompiles(), 0u);
+}
+
+} // namespace

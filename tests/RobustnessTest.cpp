@@ -425,6 +425,73 @@ TEST_F(RobustnessTest, SnoopSpeculatesMostRecentSourceFirst) {
 }
 
 //===----------------------------------------------------------------------===//
+// Fault-spec grammar: malformed MAJIC_FAULTS specs are rejected loudly
+//===----------------------------------------------------------------------===//
+
+TEST_F(RobustnessTest, MalformedFaultSpecsAreDiagnosed) {
+  // Each malformed spec must fail with a diagnostic naming the problem -
+  // a typo'd schedule silently doing nothing would defeat the harness.
+  struct Case {
+    const char *Spec;
+    const char *ErrorContains;
+  };
+  const Case Cases[] = {
+      {"codegen", "has no '='"},
+      {"=at:1", "unknown fault site"},
+      {"warpcore=at:1", "unknown fault site"},
+      {"codegen=", "unknown fault action"},
+      {"codegen=explode:3", "unknown fault action"},
+      {"codegen=at", "malformed count"},
+      {"codegen=at:", "malformed count"},
+      {"codegen=at:x", "malformed count"},
+      {"codegen=at:3x", "malformed count"},
+      {"codegen=at:0", "needs a positive count"},
+      {"codegen=every:0", "needs a positive count"},
+      {"codegen=rand", "malformed probability"},
+      {"codegen=rand:oops:7", "malformed probability"},
+      {"codegen=rand:0.5:zz", "malformed seed"},
+      {"codegen=rand:0:7", "needs probability in (0,1]"},
+      {"codegen=rand:1.5:7", "needs probability in (0,1]"},
+      // One bad entry poisons the whole spec, wherever it sits.
+      {"parse=at:1,codegen=at:x", "malformed count"},
+  };
+  for (const Case &C : Cases) {
+    std::string Error;
+    EXPECT_FALSE(faults::loadSpec(C.Spec, &Error)) << C.Spec;
+    EXPECT_NE(Error.find(C.ErrorContains), std::string::npos)
+        << "spec '" << C.Spec << "' produced: " << Error;
+  }
+}
+
+TEST_F(RobustnessTest, RejectedSpecLeavesPriorScheduleIntact) {
+  // A schedule is armed...
+  ASSERT_TRUE(faults::loadSpec("codegen=at:5"));
+  EXPECT_TRUE(faults::anyArmed());
+  // ...and a later malformed spec is rejected *before* the replace: the
+  // working schedule keeps running rather than being half-torn-down.
+  std::string Error;
+  EXPECT_FALSE(faults::loadSpec("codegen=at:x", &Error));
+  EXPECT_TRUE(faults::anyArmed());
+  for (int I = 0; I != 4; ++I)
+    EXPECT_FALSE(faults::shouldFire(faults::Site::CodeGen));
+  EXPECT_TRUE(faults::shouldFire(faults::Site::CodeGen)); // the 5th hit
+}
+
+TEST_F(RobustnessTest, ValidSpecsParseAndArm) {
+  ASSERT_TRUE(faults::loadSpec(
+      "parse=at:2;infer=every:3,repo-save=rand:0.5:9;;repo-load=at:1"));
+  EXPECT_TRUE(faults::anyArmed());
+  // at:1 fires immediately; every:3 fires on the third hit.
+  EXPECT_TRUE(faults::shouldFire(faults::Site::RepoLoad));
+  EXPECT_FALSE(faults::shouldFire(faults::Site::Infer));
+  EXPECT_FALSE(faults::shouldFire(faults::Site::Infer));
+  EXPECT_TRUE(faults::shouldFire(faults::Site::Infer));
+  // The empty spec is valid and disarms everything.
+  ASSERT_TRUE(faults::loadSpec(""));
+  EXPECT_FALSE(faults::anyArmed());
+}
+
+//===----------------------------------------------------------------------===//
 // Thread-pool fault containment
 //===----------------------------------------------------------------------===//
 

@@ -288,7 +288,7 @@ TEST(Snooper, DetectsNewAndModified) {
   auto C1 = S.scan();
   ASSERT_EQ(C1.size(), 1u);
   EXPECT_EQ(C1[0].FunctionName, "a");
-  EXPECT_TRUE(C1[0].IsNew);
+  EXPECT_EQ(C1[0].K, SourceSnooper::Change::Kind::Added);
   EXPECT_TRUE(S.scan().empty()); // unchanged
 
   // Touch with a strictly newer mtime.
@@ -297,7 +297,15 @@ TEST(Snooper, DetectsNewAndModified) {
       std::filesystem::file_time_type::clock::now() + std::chrono::seconds(3));
   auto C2 = S.scan();
   ASSERT_EQ(C2.size(), 1u);
-  EXPECT_FALSE(C2[0].IsNew);
+  EXPECT_EQ(C2[0].K, SourceSnooper::Change::Kind::Modified);
+
+  // Deleting the file is reported exactly once, as Removed.
+  std::filesystem::remove(Dir + "/a.m");
+  auto C3 = S.scan();
+  ASSERT_EQ(C3.size(), 1u);
+  EXPECT_EQ(C3[0].FunctionName, "a");
+  EXPECT_EQ(C3[0].K, SourceSnooper::Change::Kind::Removed);
+  EXPECT_TRUE(S.scan().empty());
 
   // Non-.m files are ignored.
   {
