@@ -151,6 +151,7 @@ bool Engine::addSource(const std::string &Name, const std::string &Source) {
     {
       std::lock_guard<std::mutex> L(SpecMutex);
       SourceHashByFn[F->name()] = SrcHash;
+      ErasedFns.erase(F->name());
     }
     adoptWarmEntries(F->name(), SrcHash);
   }
@@ -371,7 +372,7 @@ void Engine::saveToStore(const CompiledObject &Obj) {
     }
     try {
       SpecPool->enqueue([this, S, Clone, SrcHash] {
-        S->save(*Clone, SrcHash);
+        runStoreSave(*S, *Clone, SrcHash);
         {
           std::lock_guard<std::mutex> L(SpecMutex);
           --PendingSaves;
@@ -386,7 +387,29 @@ void Engine::saveToStore(const CompiledObject &Obj) {
       --PendingSaves;
     }
   }
-  S->save(*Clone, SrcHash);
+  runStoreSave(*S, *Clone, SrcHash);
+}
+
+void Engine::runStoreSave(RepoStore &S, const CompiledObject &Obj,
+                          uint64_t SrcHash) {
+  {
+    std::lock_guard<std::mutex> L(SpecMutex);
+    if (ErasedFns.count(Obj.FunctionName))
+      return;
+  }
+  S.save(Obj, SrcHash);
+  // Re-check after the write: handleRemovedSource sets the tombstone
+  // before calling Store->erase, so if we do not see it here, our file
+  // landed before the erase scanned the directory and the eraser removes
+  // it; if we do see it, the erase may have run first and missed the file,
+  // and we take it back out ourselves. Either way nothing survives.
+  bool Erased;
+  {
+    std::lock_guard<std::mutex> L(SpecMutex);
+    Erased = ErasedFns.count(Obj.FunctionName) != 0;
+  }
+  if (Erased)
+    S.erase(Obj.FunctionName);
 }
 
 void Engine::flushRepoStore() {
@@ -422,6 +445,11 @@ void Engine::handleRemovedSource(const SourceSnooper::Change &C) {
     {
       std::lock_guard<std::mutex> L(SpecMutex);
       SourceHashByFn.erase(Fn);
+      // Tombstone before erasing the files: a background save queued
+      // before this removal must not recreate them (runStoreSave checks
+      // the tombstone on both sides of its write).
+      if (Store)
+        ErasedFns.insert(Fn);
     }
     if (Store)
       Store->erase(Fn);

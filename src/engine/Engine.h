@@ -41,6 +41,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -338,6 +339,12 @@ private:
   /// exists. Never throws; a failed save only costs a future recompile.
   void saveToStore(const CompiledObject &Obj);
 
+  /// The body of one store save (pool task or synchronous fallback):
+  /// honors the erased-function tombstone on both sides of the write, so
+  /// a save racing a source removal can never leave an entry on disk.
+  void runStoreSave(RepoStore &S, const CompiledObject &Obj,
+                    uint64_t SrcHash);
+
   /// Reacts to the snooper reporting a deleted .m file: the functions it
   /// defined stop resolving and their compiled versions - in memory and on
   /// disk - are invalidated rather than served stale.
@@ -392,6 +399,12 @@ private:
   /// Content hash of each function's current source text. Guarded by
   /// SpecMutex: background save tasks read it.
   std::unordered_map<std::string, uint64_t> SourceHashByFn;
+  /// Functions whose on-disk entries were erased because their source was
+  /// deleted (cleared when the name is loaded again). Guarded by SpecMutex.
+  /// A save queued before the removal consults this tombstone around its
+  /// write, so the deleted function cannot resurrect on the next warm
+  /// start however the save and the erase interleave.
+  std::unordered_set<std::string> ErasedFns;
   /// Function names each loaded file defined; snooper removal invalidates
   /// through this (a file's stem need not match its function names).
   std::unordered_map<std::string, std::vector<std::string>> FileFunctions;

@@ -6,6 +6,8 @@
 
 #include "ir/Serialize.h"
 
+#include "runtime/Builtins.h"
+
 #include <cstring>
 
 using namespace majic;
@@ -211,13 +213,6 @@ IRFunction majic::ser::readIRFunction(ByteReader &R) {
     In.Imm.I = R.i64();
     F.Code.push_back(In);
   }
-  // Branch targets are instruction indices; a target past the end would
-  // run the VM off the code array.
-  for (const Instr &In : F.Code)
-    if ((In.Op == Opcode::Br || In.Op == Opcode::Brz ||
-         In.Op == Opcode::Brnz) &&
-        (In.A < 0 || static_cast<uint32_t>(In.A) > NumInstr))
-      throw SerializeError("branch target out of range");
 
   uint32_t NumPool = R.arrayLen(4);
   F.Pool.reserve(NumPool);
@@ -256,5 +251,339 @@ IRFunction majic::ser::readIRFunction(ByteReader &R) {
     L.TripReg = R.i32();
     F.Loops.push_back(L);
   }
+  validateIRFunction(F);
   return F;
+}
+
+//===----------------------------------------------------------------------===//
+// Structural validation
+//===----------------------------------------------------------------------===//
+
+void majic::ser::validateIRFunction(const IRFunction &F) {
+  const uint32_t NumInstr = static_cast<uint32_t>(F.Code.size());
+  // The VM dispatches in an unbounded `Code[PC]` loop that only stops on
+  // Ret, so empty code - or any path that falls past the last instruction -
+  // reads off the end of the array.
+  if (NumInstr == 0)
+    throw SerializeError("empty code array");
+
+  auto RegF = [&](int32_t R) {
+    if (R < 0 || static_cast<uint32_t>(R) >= F.NumF)
+      throw SerializeError("F register out of range");
+  };
+  auto RegI = [&](int32_t R) {
+    if (R < 0 || static_cast<uint32_t>(R) >= F.NumI)
+      throw SerializeError("I register out of range");
+  };
+  auto RegP = [&](int32_t R) {
+    if (R < 0 || static_cast<uint32_t>(R) >= F.NumP)
+      throw SerializeError("P register out of range");
+  };
+  auto Target = [&](int32_t T) {
+    if (T < 0 || static_cast<uint32_t>(T) >= NumInstr)
+      throw SerializeError("branch target out of range");
+  };
+  auto Index = [&](int64_t I, size_t N, const char *What) {
+    if (I < 0 || static_cast<uint64_t>(I) >= N)
+      throw SerializeError(What);
+  };
+  // A pool-backed operand list: offset Off, length Len, every entry a P
+  // register. A zero-length list may carry any offset (codegen leaves the
+  // field at its -1 default when there is nothing to point at).
+  auto PoolP = [&](int32_t Off, int32_t Len) {
+    if (Len < 0)
+      throw SerializeError("negative pool operand count");
+    if (Len == 0)
+      return;
+    if (Off < 0 || static_cast<uint64_t>(Off) + static_cast<uint64_t>(Len) >
+                       F.Pool.size())
+      throw SerializeError("pool range out of bounds");
+    for (int32_t K = 0; K != Len; ++K)
+      RegP(F.Pool[Off + K]);
+  };
+  // The index list of LoadIdxG/StoreIdxG: one or two subscripts, each a P
+  // register or -1 for ':'.
+  auto PoolIdx = [&](int32_t Off, int32_t Len) {
+    if (Len != 1 && Len != 2)
+      throw SerializeError("invalid subscript count");
+    if (Off < 0 || static_cast<uint64_t>(Off) + static_cast<uint64_t>(Len) >
+                       F.Pool.size())
+      throw SerializeError("pool range out of bounds");
+    for (int32_t K = 0; K != Len; ++K)
+      if (F.Pool[Off + K] != -1)
+        RegP(F.Pool[Off + K]);
+  };
+  auto Cond = [&](int64_t I) {
+    if (I < 0 || I > static_cast<int64_t>(CondCode::NE))
+      throw SerializeError("invalid condition code");
+  };
+  auto Intr = [&](int64_t I, unsigned Arity) {
+    if (I < 0 || I > static_cast<int64_t>(ScalarIntrinsic::Hypot) ||
+        scalarIntrinsicArity(static_cast<ScalarIntrinsic>(I)) != Arity)
+      throw SerializeError("invalid scalar intrinsic");
+  };
+  auto Class = [&](int64_t I) {
+    if (I < 0 || I > static_cast<int64_t>(MClass::String))
+      throw SerializeError("invalid matrix class");
+  };
+
+  for (const Instr &In : F.Code) {
+    switch (In.Op) {
+    case Opcode::Nop:
+    case Opcode::Ret:
+      break;
+    case Opcode::FConst:
+      RegF(In.A);
+      break;
+    case Opcode::IConst:
+      RegI(In.A);
+      break;
+    case Opcode::SConst:
+      RegP(In.A);
+      Index(In.Imm.I, F.Strings.size(), "string index out of range");
+      break;
+    case Opcode::MovF:
+    case Opcode::FNeg:
+      RegF(In.A);
+      RegF(In.B);
+      break;
+    case Opcode::MovI:
+    case Opcode::INeg:
+    case Opcode::INot:
+      RegI(In.A);
+      RegI(In.B);
+      break;
+    case Opcode::MovP:
+      RegP(In.A);
+      RegP(In.B);
+      break;
+    case Opcode::IToF:
+      RegF(In.A);
+      RegI(In.B);
+      break;
+    case Opcode::FToI:
+    case Opcode::FToIdx:
+      RegI(In.A);
+      RegF(In.B);
+      break;
+    case Opcode::FAdd:
+    case Opcode::FSub:
+    case Opcode::FMul:
+    case Opcode::FDiv:
+    case Opcode::FPow:
+      RegF(In.A);
+      RegF(In.B);
+      RegF(In.C);
+      break;
+    case Opcode::FCmp:
+      RegI(In.A);
+      RegF(In.B);
+      RegF(In.C);
+      Cond(In.Imm.I);
+      break;
+    case Opcode::FIntr1:
+      RegF(In.A);
+      RegF(In.B);
+      Intr(In.Imm.I, 1);
+      break;
+    case Opcode::FIntr2:
+      RegF(In.A);
+      RegF(In.B);
+      RegF(In.C);
+      Intr(In.Imm.I, 2);
+      break;
+    case Opcode::IAdd:
+    case Opcode::ISub:
+    case Opcode::IMul:
+    case Opcode::IAnd:
+    case Opcode::IOr:
+      RegI(In.A);
+      RegI(In.B);
+      RegI(In.C);
+      break;
+    case Opcode::ICmp:
+      RegI(In.A);
+      RegI(In.B);
+      RegI(In.C);
+      Cond(In.Imm.I);
+      break;
+    case Opcode::Br:
+      Target(In.A);
+      break;
+    case Opcode::Brz:
+    case Opcode::Brnz:
+      Target(In.A);
+      RegI(In.B);
+      break;
+    case Opcode::BoxF:
+      RegP(In.A);
+      RegF(In.B);
+      break;
+    case Opcode::BoxI:
+    case Opcode::BoxB:
+      RegP(In.A);
+      RegI(In.B);
+      break;
+    case Opcode::BoxC:
+      RegP(In.A);
+      RegF(In.B);
+      RegF(In.C);
+      break;
+    case Opcode::UnboxF:
+      RegF(In.A);
+      RegP(In.B);
+      break;
+    case Opcode::UnboxI:
+      RegI(In.A);
+      RegP(In.B);
+      break;
+    case Opcode::UnboxReIm:
+      RegF(In.A);
+      RegF(In.B);
+      RegP(In.C);
+      break;
+    case Opcode::CheckDef:
+      RegP(In.A);
+      Index(In.Imm.I, F.Names.size(), "name index out of range");
+      break;
+    case Opcode::NewMat:
+      RegP(In.A);
+      RegI(In.B);
+      RegI(In.C);
+      Class(In.Imm.I);
+      break;
+    case Opcode::FillF:
+      RegP(In.A);
+      break;
+    case Opcode::LoadEl:
+    case Opcode::LoadElChk:
+      RegF(In.A);
+      RegP(In.B);
+      RegI(In.C);
+      break;
+    case Opcode::LoadEl2:
+    case Opcode::LoadEl2Chk:
+      RegF(In.A);
+      RegP(In.B);
+      RegI(In.C);
+      RegI(In.D);
+      break;
+    case Opcode::StoreEl:
+    case Opcode::StoreElChk:
+      RegP(In.A);
+      RegI(In.B);
+      RegF(In.C);
+      Class(In.Imm.I);
+      break;
+    case Opcode::StoreEl2:
+    case Opcode::StoreEl2Chk:
+      RegP(In.A);
+      RegI(In.B);
+      RegI(In.C);
+      RegF(In.D);
+      Class(In.Imm.I);
+      break;
+    case Opcode::LenRows:
+    case Opcode::LenCols:
+    case Opcode::LenNumel:
+    case Opcode::IsTrue:
+      RegI(In.A);
+      RegP(In.B);
+      break;
+    case Opcode::ColSlice:
+      RegP(In.A);
+      RegP(In.B);
+      RegI(In.C);
+      break;
+    case Opcode::MakeRange:
+      RegP(In.A);
+      RegF(In.B);
+      RegF(In.C);
+      RegF(In.D);
+      break;
+    case Opcode::MakeRangeG:
+      RegP(In.A);
+      RegP(In.B);
+      RegP(In.C);
+      RegP(In.D);
+      break;
+    case Opcode::RtBin:
+      RegP(In.A);
+      RegP(In.B);
+      RegP(In.C);
+      if (In.Imm.I < 0 || In.Imm.I > static_cast<int64_t>(rt::BinOp::Or))
+        throw SerializeError("invalid binary op");
+      break;
+    case Opcode::RtUn:
+      RegP(In.A);
+      RegP(In.B);
+      if (In.Imm.I < 0 ||
+          In.Imm.I > static_cast<int64_t>(rt::UnOp::Transpose))
+        throw SerializeError("invalid unary op");
+      break;
+    case Opcode::HorzCat:
+    case Opcode::VertCat:
+      RegP(In.A);
+      PoolP(In.B, In.C);
+      break;
+    case Opcode::LoadIdxG:
+    case Opcode::StoreIdxG:
+      RegP(In.A);
+      RegP(In.B);
+      PoolIdx(In.C, In.D);
+      break;
+    case Opcode::CallB:
+    case Opcode::CallU:
+      Index(In.Imm.I & ~kStatementCallFlag, F.Names.size(),
+            "call name index out of range");
+      PoolP(In.A, In.B); // destinations
+      PoolP(In.C, In.D); // arguments
+      break;
+    case Opcode::Display:
+      RegP(In.A);
+      Index(In.Imm.I, F.Names.size(), "name index out of range");
+      break;
+    case Opcode::Gemv:
+      RegP(In.A);
+      RegP(In.B);
+      RegP(In.C);
+      break;
+    case Opcode::Axpy:
+      RegP(In.A);
+      RegF(In.B);
+      RegP(In.C);
+      RegP(In.D);
+      break;
+    case Opcode::LoadParam:
+      RegP(In.A);
+      Index(In.Imm.I, F.NumParams, "parameter index out of range");
+      break;
+    case Opcode::StoreOut:
+      RegP(In.A);
+      Index(In.Imm.I, F.NumOuts, "output index out of range");
+      break;
+    case Opcode::FSpLd:
+    case Opcode::FSpSt:
+      RegF(In.A);
+      Index(In.Imm.I, F.NumFSpill, "F spill slot out of range");
+      break;
+    case Opcode::ISpLd:
+    case Opcode::ISpSt:
+      RegI(In.A);
+      Index(In.Imm.I, F.NumISpill, "I spill slot out of range");
+      break;
+    case Opcode::PSpLd:
+    case Opcode::PSpSt:
+      RegP(In.A);
+      Index(In.Imm.I, F.NumPSpill, "P spill slot out of range");
+      break;
+    }
+  }
+
+  // The only ways not to fall through an instruction are Ret and an
+  // unconditional Br (whose target is validated above); anything else as
+  // the final instruction would run the VM off the code array.
+  Opcode Last = F.Code.back().Op;
+  if (Last != Opcode::Ret && Last != Opcode::Br)
+    throw SerializeError("code does not end in a terminator");
 }

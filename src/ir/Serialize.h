@@ -18,6 +18,16 @@
 /// virtually all corruption first; this is the second layer of the
 /// validation ladder).
 ///
+/// Decoded code is additionally validated structurally (validateIRFunction)
+/// so the register VM can execute it without per-dispatch bounds checks:
+/// every register operand is inside its register file, every pool / name /
+/// string / spill index is in range, every branch lands on an instruction,
+/// and control flow cannot fall off the end of the code array. What this
+/// does NOT re-prove are dynamic-value invariants the compiler established
+/// through type inference (e.g. that an unchecked element load is in
+/// bounds for the array that reaches it at run time); those rungs of trust
+/// rest on the checksum and build-stamp checks that gate admission.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MAJIC_IR_SERIALIZE_H
@@ -32,6 +42,17 @@
 
 namespace majic {
 namespace ser {
+
+/// Version of the serialized-code ABI: the IR opcode set and operand
+/// layout, the register-allocation contract, and the VM's execution
+/// semantics. Bump it whenever a change anywhere in the compile pipeline
+/// alters what serialized code *means*; the persistent store discards
+/// entries whose stamp differs rather than decode them. Deliberately a
+/// hand-maintained constant and not a build timestamp: incremental builds
+/// reuse object files, so a timestamp both churns without a semantic
+/// change and - worse - stays fixed when a semantic change lands in a
+/// different translation unit.
+constexpr uint32_t kCodeABIVersion = 2;
 
 /// Raised by the readers on any malformed input.
 class SerializeError : public std::runtime_error {
@@ -99,8 +120,18 @@ TypeSignature readTypeSignature(ByteReader &R);
 
 void writeIRFunction(ByteWriter &W, const IRFunction &F);
 /// Validates opcode ranges and structural counts; throws SerializeError on
-/// any malformed encoding.
+/// any malformed encoding. The returned function has passed
+/// validateIRFunction.
 IRFunction readIRFunction(ByteReader &R);
+
+/// Structural validation of \p F against the VM's execution model: code is
+/// non-empty and ends in a terminator (Ret or an unconditional Br), branch
+/// targets are instruction indices, every register operand fits its
+/// register file, every pool range / name / string / spill / output /
+/// parameter index is in bounds, and every immediate-encoded enum
+/// (condition codes, intrinsics, classes, runtime ops) is in range.
+/// Throws SerializeError on any violation.
+void validateIRFunction(const IRFunction &F);
 
 } // namespace ser
 } // namespace majic

@@ -29,13 +29,25 @@ constexpr const char *kExtension = ".mjo";
 constexpr uint64_t kMaxFileBytes = 64ull << 20;
 
 /// The engine build stamp: compiled code is an internal ABI (IR opcodes,
-/// register layout), so entries written by a different build of the engine
-/// are discarded rather than decoded.
+/// register layout, VM semantics), so entries written under a different
+/// ABI are discarded rather than decoded. The stamp derives from
+/// ser::kCodeABIVersion - a constant bumped by hand with semantic changes -
+/// plus mechanical facts of the opcode set that catch the most common
+/// drift (adding an opcode, widening an instruction) automatically. A
+/// compilation timestamp would do neither job: under incremental builds it
+/// churns without a semantic change and, worse, stays fixed when a
+/// semantic change lands in a translation unit this file never includes.
 uint64_t buildStamp() {
-  static const uint64_t Stamp =
-      hashing::fnv1a(__DATE__ " " __TIME__,
-                     hashing::fnv1a("majic-repo-format-1"));
-  return Stamp;
+  struct {
+    uint32_t Abi;
+    uint32_t MaxOpcode;
+    uint32_t InstrBytes;
+    uint32_t TypeBytes;
+  } Facts = {ser::kCodeABIVersion, static_cast<uint32_t>(Opcode::PSpSt),
+             static_cast<uint32_t>(sizeof(Instr)),
+             static_cast<uint32_t>(sizeof(Type))};
+  return hashing::fnv1a(&Facts, sizeof(Facts),
+                        hashing::fnv1a("majic-repo-abi"));
 }
 
 std::string payloadBytes(const CompiledObject &Obj) {

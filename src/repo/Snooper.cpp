@@ -23,35 +23,75 @@ void SourceSnooper::watchDirectory(const std::string &Dir) {
 std::vector<SourceSnooper::Change> SourceSnooper::scan() {
   std::vector<Change> Changes;
   std::unordered_set<std::string> Seen;
+  // Directories whose listing failed for any reason other than genuine
+  // absence. A file we cannot enumerate is not a file that was deleted: a
+  // transient EPERM / EIO / NFS hiccup must never be reported as Removed,
+  // because the engine reacts to Removed by dropping the function and
+  // erasing its persistent cache entries.
+  std::vector<std::string> Unreadable;
   for (const std::string &Dir : Dirs) {
     std::error_code EC;
-    for (const fs::directory_entry &Entry : fs::directory_iterator(Dir, EC)) {
-      if (EC)
+    fs::directory_iterator It(Dir, EC), End;
+    if (EC) {
+      // A directory that is genuinely gone means its files are gone too
+      // (wholesale removal); any other failure makes it unreadable.
+      if (EC != std::errc::no_such_file_or_directory &&
+          EC != std::errc::not_a_directory)
+        Unreadable.push_back(Dir);
+      continue;
+    }
+    while (It != End) {
+      const fs::directory_entry &Entry = *It;
+      const fs::path &P = Entry.path();
+      if (P.extension() == ".m") {
+        std::string Path = P.string();
+        std::error_code StEC;
+        bool Regular = Entry.is_regular_file(StEC);
+        if (StEC) {
+          // The directory listed the name, so it exists; a failed stat
+          // only means we learn nothing new about it this scan.
+          Seen.insert(Path);
+        } else if (Regular) {
+          Seen.insert(Path);
+          std::error_code MtEC;
+          auto MTime = Entry.last_write_time(MtEC);
+          if (!MtEC) {
+            int64_t Stamp =
+                static_cast<int64_t>(MTime.time_since_epoch().count());
+            auto Known = LastMTime.find(Path);
+            bool IsNew = Known == LastMTime.end();
+            if (IsNew || Known->second != Stamp) {
+              LastMTime[Path] = Stamp;
+              Changes.push_back({Path, P.stem().string(),
+                                 IsNew ? Change::Kind::Added
+                                       : Change::Kind::Modified,
+                                 Stamp});
+            }
+          }
+        }
+      }
+      // The non-throwing increment: a mid-listing error leaves the rest of
+      // the directory unseen, which must not read as mass deletion (and
+      // the throwing operator++ would propagate out of scan()).
+      It.increment(EC);
+      if (EC) {
+        Unreadable.push_back(Dir);
         break;
-      if (!Entry.is_regular_file() || Entry.path().extension() != ".m")
-        continue;
-      std::string Path = Entry.path().string();
-      auto MTime = Entry.last_write_time(EC);
-      if (EC)
-        continue;
-      Seen.insert(Path);
-      int64_t Stamp = static_cast<int64_t>(
-          MTime.time_since_epoch().count());
-      auto It = LastMTime.find(Path);
-      bool IsNew = It == LastMTime.end();
-      if (!IsNew && It->second == Stamp)
-        continue;
-      LastMTime[Path] = Stamp;
-      Changes.push_back({Path, Entry.path().stem().string(),
-                         IsNew ? Change::Kind::Added : Change::Kind::Modified,
-                         Stamp});
+      }
     }
   }
   // A file we reported before that no longer exists was removed (this also
   // covers a watched directory disappearing wholesale); the engine must
-  // stop serving its compiled versions.
+  // stop serving its compiled versions. Files under a directory whose
+  // listing failed are exempt: absence of evidence only.
+  auto UnderUnreadable = [&](const std::string &Path) {
+    for (const std::string &Dir : Unreadable)
+      if (Path.compare(0, Dir.size(), Dir) == 0)
+        return true;
+    return false;
+  };
   for (auto It = LastMTime.begin(); It != LastMTime.end();) {
-    if (Seen.count(It->first)) {
+    if (Seen.count(It->first) || UnderUnreadable(It->first)) {
       ++It;
       continue;
     }

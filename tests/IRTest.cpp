@@ -10,6 +10,7 @@
 #include "backend/VM.h"
 #include "ir/Builder.h"
 #include "ir/Operands.h"
+#include "ir/Serialize.h"
 
 #include <gtest/gtest.h>
 
@@ -442,6 +443,157 @@ TEST(Optimizer, PipelineIsIdempotentOnSecondRound) {
   optimize(*F2, Two);
   auto R2 = execute(*F2, {makeValue(Value::intScalar(6))}, 1);
   EXPECT_DOUBLE_EQ(R1[0]->scalarValue(), R2[0]->scalarValue());
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization: round trips and the structural validator
+//===----------------------------------------------------------------------===//
+
+IRFunction decodeBytes(const std::string &Bytes) {
+  ser::ByteReader R(Bytes);
+  return ser::readIRFunction(R);
+}
+
+std::string encodeFunction(const IRFunction &F) {
+  ser::ByteWriter W;
+  ser::writeIRFunction(W, F);
+  return W.take();
+}
+
+/// The smallest function the validator accepts: one register of each class
+/// and a lone Ret. Tests mutate it into each rejection case.
+IRFunction tinyFunction() {
+  IRFunction F;
+  F.Name = "t";
+  F.NumF = 1;
+  F.NumI = 1;
+  F.NumP = 1;
+  F.Allocated = true;
+  F.Code.push_back(Instr::make(Opcode::Ret));
+  return F;
+}
+
+TEST(Serialize, RoundTripExecutesIdentically) {
+  auto F = buildLoopFunction();
+  allocateRegisters(*F, PlatformModel::sparc(), {});
+  IRFunction G = decodeBytes(encodeFunction(*F));
+  EXPECT_EQ(G.Name, F->Name);
+  EXPECT_EQ(G.Code.size(), F->Code.size());
+
+  Context Ctx;
+  NoCalls Resolver;
+  VM Machine(Ctx, Resolver);
+  auto A = Machine.run(*F, {makeValue(Value::intScalar(5))}, 1);
+  auto B = Machine.run(G, {makeValue(Value::intScalar(5))}, 1);
+  EXPECT_DOUBLE_EQ(A[0]->scalarValue(), B[0]->scalarValue());
+}
+
+TEST(Serialize, DecoderRejectsBranchPastTheEnd) {
+  // A branch target equal to the instruction count is one past the last
+  // instruction: the VM would dispatch off the end of the code array.
+  IRFunction F = tinyFunction();
+  F.Code.insert(F.Code.begin(),
+                Instr::make(Opcode::Br, static_cast<int32_t>(2)));
+  EXPECT_THROW(decodeBytes(encodeFunction(F)), ser::SerializeError);
+}
+
+TEST(Serialize, DecoderRejectsEmptyAndUnterminatedCode) {
+  {
+    IRFunction F = tinyFunction();
+    F.Code.clear();
+    EXPECT_THROW(decodeBytes(encodeFunction(F)), ser::SerializeError);
+  }
+  {
+    // Execution falls through a trailing Nop and off the array.
+    IRFunction F = tinyFunction();
+    F.Code.back() = Instr::make(Opcode::Nop);
+    EXPECT_THROW(decodeBytes(encodeFunction(F)), ser::SerializeError);
+  }
+  {
+    // A trailing conditional branch falls through when not taken.
+    IRFunction F = tinyFunction();
+    F.Code.back() = Instr::make(Opcode::Brz, 0, 0);
+    EXPECT_THROW(decodeBytes(encodeFunction(F)), ser::SerializeError);
+  }
+}
+
+TEST(Serialize, ValidatorRejectsOutOfRangeOperands) {
+  auto Rejects = [](IRFunction F) {
+    EXPECT_THROW(ser::validateIRFunction(F), ser::SerializeError);
+  };
+
+  { // F register past the file.
+    IRFunction F = tinyFunction();
+    F.Code.insert(F.Code.begin(), Instr::make(Opcode::MovF, 0, 1));
+    Rejects(std::move(F));
+  }
+  { // Negative register.
+    IRFunction F = tinyFunction();
+    F.Code.insert(F.Code.begin(), Instr::make(Opcode::MovP, 0, -1));
+    Rejects(std::move(F));
+  }
+  { // StoreOut beyond NumOuts (the VM indexes Outs unchecked).
+    IRFunction F = tinyFunction();
+    Instr In = Instr::make(Opcode::StoreOut, 0);
+    In.Imm.I = 3;
+    F.Code.insert(F.Code.begin(), In);
+    Rejects(std::move(F));
+  }
+  { // Negative parameter index (the VM only checks the upper bound).
+    IRFunction F = tinyFunction();
+    Instr In = Instr::make(Opcode::LoadParam, 0);
+    In.Imm.I = -1;
+    F.Code.insert(F.Code.begin(), In);
+    Rejects(std::move(F));
+  }
+  { // Call whose pool range reaches past the pool.
+    IRFunction F = tinyFunction();
+    F.Names.push_back("zeros");
+    Instr In = Instr::make(Opcode::CallB, 0, 0, 0, 2);
+    In.Imm.I = 0;
+    F.Code.insert(F.Code.begin(), In);
+    Rejects(std::move(F));
+  }
+  { // Call name index past the name table.
+    IRFunction F = tinyFunction();
+    Instr In = Instr::make(Opcode::CallB, 0, 0, 0, 0);
+    In.Imm.I = 5;
+    F.Code.insert(F.Code.begin(), In);
+    Rejects(std::move(F));
+  }
+  { // Pool entry that names a P register outside the file.
+    IRFunction F = tinyFunction();
+    F.Pool.push_back(7);
+    F.Code.insert(F.Code.begin(), Instr::make(Opcode::HorzCat, 0, 0, 1));
+    Rejects(std::move(F));
+  }
+  { // Spill slot index beyond the spill frame.
+    IRFunction F = tinyFunction();
+    Instr In = Instr::make(Opcode::FSpLd, 0);
+    In.Imm.I = 0; // NumFSpill == 0
+    F.Code.insert(F.Code.begin(), In);
+    Rejects(std::move(F));
+  }
+  { // String index past the string table.
+    IRFunction F = tinyFunction();
+    Instr In = Instr::make(Opcode::SConst, 0);
+    In.Imm.I = 0; // Strings is empty
+    F.Code.insert(F.Code.begin(), In);
+    Rejects(std::move(F));
+  }
+  { // Condition code outside the enum.
+    IRFunction F = tinyFunction();
+    Instr In = Instr::make(Opcode::ICmp, 0, 0, 0);
+    In.Imm.I = 99;
+    F.Code.insert(F.Code.begin(), In);
+    Rejects(std::move(F));
+  }
+}
+
+TEST(Serialize, ValidatorAcceptsCompiledCode) {
+  auto F = buildLoopFunction();
+  allocateRegisters(*F, PlatformModel::sparc(), {});
+  EXPECT_NO_THROW(ser::validateIRFunction(*F));
 }
 
 } // namespace

@@ -387,6 +387,39 @@ TEST_F(RepoStoreTest, RemovedSourceErasesRepositoryAndStore) {
   EXPECT_EQ(E2.repoStoreStats().Loaded, 0u);
 }
 
+TEST_F(RepoStoreTest, QueuedSaveDoesNotResurrectRemovedSource) {
+  fs::path SrcDir = Dir / "src";
+  fs::path StoreDir = Dir / "store";
+  fs::create_directories(SrcDir);
+  { std::ofstream(SrcDir / "ff.m") << kSource; }
+
+  EngineOptions O;
+  O.Policy = CompilePolicy::Jit;
+  O.BackgroundCompileThreads = 1; // saves ride the background pool
+  O.RepoDir = StoreDir.string();
+  Engine E(O);
+  E.watchDirectory(SrcDir.string());
+  ASSERT_EQ(E.snoop(), 1u);
+
+  // Hold the pool so the save stays queued, compile, then delete the
+  // source and process the removal while the save is still pending. The
+  // save must not recreate the erased entry when it finally runs - a
+  // deleted source must not resurrect on the next warm start.
+  E.pauseBackgroundCompiles();
+  auto R = E.callFunction("ff", {intArg(kArg)}, 1, SourceLoc());
+  ASSERT_DOUBLE_EQ(R[0]->scalarValue(), kExpect);
+  fs::remove(SrcDir / "ff.m");
+  EXPECT_EQ(E.snoop(), 0u);
+  E.resumeBackgroundCompiles();
+  E.flushRepoStore();
+
+  for (const fs::directory_entry &F : fs::directory_iterator(StoreDir))
+    EXPECT_NE(F.path().extension(), ".mjo") << F.path();
+
+  Engine E2(O);
+  EXPECT_EQ(E2.repoStoreStats().Loaded, 0u);
+}
+
 //===----------------------------------------------------------------------===//
 // Multiple versions and functions round-trip
 //===----------------------------------------------------------------------===//
