@@ -175,6 +175,7 @@ void runKernelSweep() {
   W.field("bench", "kernels");
   W.field("hardware_concurrency", HW);
   W.field("repetitions", Reps);
+  bench::writeMachineInfo(W);
   W.beginArray("results");
   for (const SweepResult &R : Results) {
     W.beginObject();

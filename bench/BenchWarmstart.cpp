@@ -120,6 +120,7 @@ int main() {
   W.beginObject();
   W.field("benchmark_set", "warmstart");
   W.field("policy", "jit");
+  writeMachineInfo(W);
   W.beginArray("results");
 
   int Faster = 0, ZeroCompile = 0, Matching = 0;

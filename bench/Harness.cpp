@@ -6,6 +6,7 @@
 
 #include "Harness.h"
 
+#include "support/Parallel.h"
 #include "support/StringUtils.h"
 #include "support/Timer.h"
 
@@ -14,6 +15,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <thread>
 
 using namespace majic;
 using namespace majic::bench;
@@ -270,4 +272,21 @@ void majic::bench::printHeader(const std::string &Title,
     std::printf("%s\n", Note.c_str());
   std::printf("============================================================"
               "====================\n");
+}
+
+void majic::bench::writeMachineInfo(JsonWriter &W) {
+  W.beginObject("machine");
+  W.field("hardware_concurrency", std::thread::hardware_concurrency());
+  W.field("compute_threads", par::computeThreads());
+#ifdef MAJIC_BUILD_TYPE
+  W.field("build_type", MAJIC_BUILD_TYPE);
+#else
+  W.field("build_type", "unknown");
+#endif
+#ifdef __VERSION__
+  W.field("compiler", __VERSION__);
+#else
+  W.field("compiler", "unknown");
+#endif
+  W.endObject();
 }

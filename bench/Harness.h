@@ -73,6 +73,14 @@ double timeSpec(const BenchmarkSpec &Spec, const PlatformModel &Platform);
 /// Pretty-prints a separator and a table title.
 void printHeader(const std::string &Title, const std::string &Note);
 
+class JsonWriter;
+
+/// Stamps a "machine" object into \p W (inside the currently open object):
+/// hardware concurrency, configured compute threads, build type, and
+/// compiler version. Every BENCH_*.json carries this so results from
+/// different machines/configurations are never compared blind.
+void writeMachineInfo(JsonWriter &W);
+
 /// Minimal streaming JSON emitter for machine-readable BENCH_*.json result
 /// files. Keys are emitted in insertion order; values are numbers or
 /// strings. No dependency beyond the standard library:

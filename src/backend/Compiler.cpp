@@ -6,18 +6,22 @@
 
 #include "backend/Compiler.h"
 
+#include "obs/Trace.h"
 #include "support/FaultInjection.h"
 
 using namespace majic;
 
 std::optional<CompileResult> majic::compileFunction(const CompileRequest &Req) {
   assert(Req.FI && "no function to compile");
+  const std::string &FnName = Req.FI->F->name();
+  obs::TraceScope CompileSpan("compile", "compile", FnName);
   CompileResult Result;
 
   // Pass 3: type inference (skipped entirely in mcc-like generic mode,
   // which is the point of that baseline).
   TypeAnnotations Ann;
   {
+    obs::TraceScope Span("infer", "compile", FnName);
     Timer T;
     if (Req.Mode != CodeGenMode::Generic) {
       faults::maybeThrow(faults::Site::Infer);
@@ -32,21 +36,28 @@ std::optional<CompileResult> majic::compileFunction(const CompileRequest &Req) {
   CodeGenOptions CGOpts;
   CGOpts.Mode = Req.Mode;
   CGOpts.MaxUnrollNumel = Req.UnrollSmallVectors ? 9 : 0;
-  faults::maybeThrow(faults::Site::CodeGen);
-  std::unique_ptr<IRFunction> Code = generateCode(*Req.FI, Ann, Req.Sig,
-                                                  CGOpts);
+  std::unique_ptr<IRFunction> Code;
+  {
+    obs::TraceScope Span("codegen", "compile", FnName);
+    faults::maybeThrow(faults::Site::CodeGen);
+    Code = generateCode(*Req.FI, Ann, Req.Sig, CGOpts);
+  }
   if (!Code)
     return std::nullopt;
 
   if (Req.Mode == CodeGenMode::Optimized) {
+    obs::TraceScope Span("optimize", "compile", FnName);
     OptimizeOptions OptOpts;
     OptOpts.Rounds = Req.Platform.NativeOptRounds;
     OptOpts.UnrollFactor = Req.Platform.NativeOptRounds >= 2 ? 4 : 2;
     Result.Optimizer = optimize(*Code, OptOpts);
   }
 
-  faults::maybeThrow(faults::Site::RegAlloc);
-  Result.RegAlloc = allocateRegisters(*Code, Req.Platform, Req.RegAlloc);
+  {
+    obs::TraceScope Span("regalloc", "compile", FnName);
+    faults::maybeThrow(faults::Site::RegAlloc);
+    Result.RegAlloc = allocateRegisters(*Code, Req.Platform, Req.RegAlloc);
+  }
   Result.CodeGenSeconds = T.seconds();
   Result.Code = std::move(Code);
   Result.Sig = Req.Sig;

@@ -6,6 +6,7 @@
 
 #include "backend/VM.h"
 
+#include "obs/Trace.h"
 #include "runtime/Blas.h"
 #include "runtime/Builtins.h"
 #include "runtime/Ops.h"
@@ -84,6 +85,7 @@ Value &requireValue(const ValuePtr &P) {
 std::vector<ValuePtr> VM::run(const IRFunction &F, std::vector<ValuePtr> Args,
                               size_t NumOuts) {
   assert(F.Allocated && "VM requires register-allocated code");
+  obs::TraceScope Span("vm.run", "exec", F.Name);
 
   // Register files (physical) and spill frames.
   std::vector<double> FR(F.NumF, 0.0);

@@ -8,6 +8,7 @@
 
 #include "analysis/Inliner.h"
 #include "infer/Speculate.h"
+#include "obs/Trace.h"
 #include "support/FaultInjection.h"
 #include "support/Hashing.h"
 #include "support/Parallel.h"
@@ -48,6 +49,10 @@ uint64_t envLimit(const char *Name) {
   return (End && *End == '\0') ? N : 0;
 }
 
+/// The profile-layer signature for invocations that never compute one
+/// (InterpretOnly policy, scripts).
+const std::string UntypedSig = "(untyped)";
+
 } // namespace
 
 Engine::Engine(EngineOptions OptsIn) : Opts(std::move(OptsIn)) {
@@ -76,6 +81,40 @@ Engine::Engine(EngineOptions OptsIn) : Opts(std::move(OptsIn)) {
     OwnsMemLimit = true;
   }
   Repo.setVersionCap(Opts.MaxVersionsPerFunction);
+  // Wire the observability subsystem. The repository's hit/miss/eviction
+  // counters and the engine's own counters register as externally-owned
+  // instruments; member order guarantees the registry outlives them. The
+  // hot-path histograms are registry-owned, resolved once here.
+  Repo.registerMetrics(Metrics);
+  Metrics.registerCounter("engine.interp_fallbacks", InterpFallbacks);
+  Metrics.registerCounter("engine.jit_compiles", JitCompiles);
+  Metrics.registerCounter("engine.deopts", Deopts);
+  Metrics.registerCounter("spec.queued", Spec.Queued);
+  Metrics.registerCounter("spec.completed", Spec.Completed);
+  Metrics.registerCounter("spec.dropped", Spec.Dropped);
+  Metrics.registerCounter("spec.deduped_requests", Spec.DedupedRequests);
+  Metrics.registerCounter("spec.inflight_interpreted",
+                          Spec.InFlightInterpreted);
+  Metrics.registerCounter("spec.promoted", Spec.Promoted);
+  Metrics.registerCounter("spec.failed", Spec.Failed);
+  Inst.CompileSeconds = &Metrics.histogram("compile.seconds");
+  Inst.InferSeconds = &Metrics.histogram("compile.infer.seconds");
+  Inst.CodeGenSeconds = &Metrics.histogram("compile.codegen.seconds");
+  Inst.VmRunSeconds = &Metrics.histogram("vm.run.seconds");
+  Inst.InterpRunSeconds = &Metrics.histogram("interp.run.seconds");
+  // Trace/metrics destinations: option first, environment knob second.
+  // Tracing is enabled only when a destination exists - the disabled path
+  // is one relaxed atomic load per site.
+  TraceFile = Opts.TracePath;
+  if (TraceFile.empty())
+    if (const char *Env = std::getenv("MAJIC_TRACE"); Env && *Env)
+      TraceFile = Env;
+  if (!TraceFile.empty())
+    obs::setTraceEnabled(true);
+  MetricsFile = Opts.MetricsPath;
+  if (MetricsFile.empty())
+    if (const char *Env = std::getenv("MAJIC_METRICS"); Env && *Env)
+      MetricsFile = Env;
   // Pin the dense-kernel thread count when the embedder asked for one;
   // 0 leaves the process-wide default (env override, then hardware).
   if (Opts.ComputeThreads)
@@ -98,10 +137,20 @@ Engine::Engine(EngineOptions OptsIn) : Opts(std::move(OptsIn)) {
   }
   // Idle-priority workers: background compilation only consumes cycles
   // the interactive thread leaves free, so responsiveness holds even on a
-  // single-core machine (the paper's "the user never waits").
-  if (Opts.BackgroundCompileThreads > 0)
+  // single-core machine (the paper's "the user never waits"). The pool
+  // records into registry-owned instruments ("pool.spec.*").
+  if (Opts.BackgroundCompileThreads > 0) {
+    ThreadPool::MetricsSink Sink;
+    Sink.Enqueued = &Metrics.counter("pool.spec.enqueued");
+    Sink.Finished = &Metrics.counter("pool.spec.finished");
+    Sink.Promoted = &Metrics.counter("pool.spec.promoted");
+    Sink.QueueDepth = &Metrics.gauge("pool.spec.queue_depth");
+    Sink.QueueSeconds = &Metrics.histogram("pool.spec.queue_seconds");
+    Sink.RunSeconds = &Metrics.histogram("pool.spec.run_seconds");
     SpecPool = std::make_unique<ThreadPool>(Opts.BackgroundCompileThreads,
-                                            ThreadPool::Priority::Idle);
+                                            ThreadPool::Priority::Idle,
+                                            &Sink);
+  }
 }
 
 Engine::~Engine() {
@@ -112,6 +161,15 @@ Engine::~Engine() {
   // Joining the workers first: in-flight tasks touch the repository and
   // the speculation bookkeeping, which must outlive them.
   SpecPool.reset();
+  // Final observability dumps, with every member still alive and all
+  // recording quiesced (the workers are joined).
+  if (!MetricsFile.empty()) {
+    std::ofstream Out(MetricsFile);
+    if (Out)
+      Out << metricsJson() << "\n";
+  }
+  if (!TraceFile.empty())
+    obs::writeTraceJson(TraceFile);
   if (OwnsMemLimit)
     mem::setLimitBytes(0);
 }
@@ -121,11 +179,13 @@ Engine::~Engine() {
 //===----------------------------------------------------------------------===//
 
 bool Engine::addSource(const std::string &Name, const std::string &Source) {
+  obs::TraceScope Span("addSource", "engine", Name);
   // Diagnostics report the most recent load only; stale errors from an
   // earlier bad file must not poison this parse.
   Diags.clear();
   std::unique_ptr<Module> Mod;
   {
+    obs::TraceScope ParseSpan("parse", "compile", Name);
     ScopedPhaseTimer T(Phases, Phase::Parse);
     Mod = parseModule(Name, Source, SM, Diags);
   }
@@ -184,6 +244,7 @@ void Engine::watchDirectory(const std::string &Dir) {
 }
 
 unsigned Engine::snoop() {
+  obs::TraceScope Span("snoop", "engine");
   unsigned Loaded = 0;
   // Load in the scanner's deterministic path order, but speculate in
   // source-recency order: the file the user just saved is the one they
@@ -293,6 +354,8 @@ CompiledObjectPtr Engine::compileAndInsert(const std::string &Name,
 
     Phases.add(Phase::TypeInference, Result->TypeInferSeconds);
     Phases.add(Phase::CodeGen, Result->CodeGenSeconds);
+    Inst.InferSeconds->observe(Result->TypeInferSeconds);
+    Inst.CodeGenSeconds->observe(Result->CodeGenSeconds);
 
     CompiledObject Obj;
     Obj.FunctionName = Name;
@@ -301,6 +364,8 @@ CompiledObjectPtr Engine::compileAndInsert(const std::string &Name,
     Obj.Mode = Mode;
     Obj.CompileSeconds = Total.seconds();
     Obj.From = From;
+    Inst.CompileSeconds->observe(Obj.CompileSeconds);
+    Profiles.recordCompile(Name, Obj.CompileSeconds);
     Repo.insert(std::move(Obj));
     CompiledObjectPtr Inserted = Repo.lookup(Name, Sig);
     if (Inserted)
@@ -335,6 +400,8 @@ void Engine::adoptWarmEntries(const std::string &Name, uint64_t SrcHash) {
     try {
       Repo.insert(std::move(E.Obj));
       Store->noteAdopted();
+      Profiles.recordWarmAdoption(Name);
+      obs::traceInstant("warm.adopt", "repo", Name);
     } catch (...) {
       // An injected repo-insert fault while adopting costs one recompile;
       // loading must never take the engine down.
@@ -500,7 +567,7 @@ bool Engine::speculateAsync(const std::string &Name) {
   {
     std::lock_guard<std::mutex> L(SpecMutex);
     if (std::find(InFlight.begin(), InFlight.end(), Name) != InFlight.end()) {
-      ++SpecStats.DedupedRequests;
+      Spec.DedupedRequests.inc();
       return false;
     }
     InFlight.push_back(Name);
@@ -519,14 +586,15 @@ bool Engine::speculateAsync(const std::string &Name) {
       });
     } catch (...) {
       InFlight.pop_back();
-      ++SpecStats.Failed;
+      Spec.Failed.inc();
       return false;
     }
-    ++SpecStats.Queued;
+    Spec.Queued.inc();
     ++PendingCompiles;
     QueuedIds[Name] = Id;
     QueuedOrder.push_back(Name);
   }
+  obs::traceInstant("speculate.queue", "engine", Name);
   return true;
 }
 
@@ -546,7 +614,7 @@ bool Engine::promoteSpeculation(const std::string &Name) {
     QueuedOrder.erase(QIt);
     QueuedOrder.insert(QueuedOrder.begin(), Name);
   }
-  ++SpecStats.Promoted;
+  Spec.Promoted.inc();
   return true;
 }
 
@@ -601,6 +669,10 @@ void Engine::backgroundCompile(std::string Name,
   if (Result) {
     Phases.add(Phase::TypeInference, Result->TypeInferSeconds);
     Phases.add(Phase::CodeGen, Result->CodeGenSeconds);
+    Inst.InferSeconds->observe(Result->TypeInferSeconds);
+    Inst.CodeGenSeconds->observe(Result->CodeGenSeconds);
+    Inst.CompileSeconds->observe(Seconds);
+    Profiles.recordCompile(Name, Seconds);
     Obj.FunctionName = Name;
     Obj.Sig = Sig;
     Obj.Code = std::move(Result->Code);
@@ -611,7 +683,7 @@ void Engine::backgroundCompile(std::string Name,
   CompiledObjectPtr Published;
   {
     std::lock_guard<std::mutex> L(SpecMutex);
-    SpecStats.BackgroundCompileSeconds += Seconds;
+    SpecBackgroundSeconds += Seconds;
     // Publish only when the source generation is unchanged: an invalidate
     // or reload while we compiled makes this object stale.
     bool Stale = SourceGeneration[Name] != Gen;
@@ -619,19 +691,19 @@ void Engine::backgroundCompile(std::string Name,
       try {
         Repo.insert(std::move(Obj));
         Published = Repo.lookup(Name, Sig);
-        ++SpecStats.Completed;
+        Spec.Completed.inc();
       } catch (...) {
         Crashed = true;
-        ++SpecStats.Dropped;
+        Spec.Dropped.inc();
       }
     } else {
-      ++SpecStats.Dropped;
+      Spec.Dropped.inc();
     }
     // Quarantine on a crash, but only against the generation we compiled:
     // if the source was reloaded meanwhile, the fresh source keeps its
     // chance to compile.
     if (Crashed) {
-      ++SpecStats.Failed;
+      Spec.Failed.inc();
       if (!Stale)
         Quarantined[Name] = Gen;
     }
@@ -661,8 +733,18 @@ bool Engine::speculationInFlight(const std::string &Name) const {
 }
 
 SpeculationStats Engine::speculationStats() const {
+  SpeculationStats S;
+  S.Queued = Spec.Queued.value();
+  S.Completed = Spec.Completed.value();
+  S.Dropped = Spec.Dropped.value();
+  S.DedupedRequests = Spec.DedupedRequests.value();
+  S.InFlightInterpreted = Spec.InFlightInterpreted.value();
+  S.Promoted = Spec.Promoted.value();
+  S.Failed = Spec.Failed.value();
   std::lock_guard<std::mutex> L(SpecMutex);
-  return SpecStats;
+  S.BackgroundCompileSeconds = SpecBackgroundSeconds;
+  S.TimeToFirstResultSeconds = TimeToFirstResultSeconds;
+  return S;
 }
 
 void Engine::invalidateFunction(const std::string &Name) {
@@ -680,7 +762,7 @@ void Engine::invalidateFunction(const std::string &Name) {
 
 void Engine::noteCompileFailure(const std::string &Name, uint64_t Gen) {
   std::lock_guard<std::mutex> L(SpecMutex);
-  ++SpecStats.Failed;
+  Spec.Failed.inc();
   if (SourceGeneration[Name] == Gen)
     Quarantined[Name] = Gen;
 }
@@ -703,8 +785,8 @@ void Engine::recordFirstResult() {
   if (CallDepth != 1)
     return;
   std::lock_guard<std::mutex> L(SpecMutex);
-  if (SpecStats.TimeToFirstResultSeconds < 0)
-    SpecStats.TimeToFirstResultSeconds = BirthTimer.seconds();
+  if (TimeToFirstResultSeconds < 0)
+    TimeToFirstResultSeconds = BirthTimer.seconds();
 }
 
 bool Engine::precompileGeneric(const std::string &Name, size_t Arity) {
@@ -718,6 +800,69 @@ TypeSignature Engine::speculated(const std::string &Name) {
   if (!LF)
     return TypeSignature();
   return speculateSignature(*compileView(*LF), Opts.Infer);
+}
+
+//===----------------------------------------------------------------------===//
+// Observability
+//===----------------------------------------------------------------------===//
+
+const std::string &Engine::sigString(LoadedFunction &LF,
+                                     const TypeSignature &Sig) {
+  for (const auto &[S, Str] : LF.SigStrings)
+    if (S == Sig)
+      return Str;
+  LF.SigStrings.emplace_back(Sig, Sig.str());
+  return LF.SigStrings.back().second;
+}
+
+obs::MetricsSnapshot Engine::sampleMetrics() {
+  // Point-in-time levels live in their components; mirror them into
+  // gauges at snapshot time instead of threading writes through the hot
+  // paths.
+  RepoStoreStats SS = repoStoreStats();
+  Metrics.gauge("repo.store.saved").set(int64_t(SS.Saved));
+  Metrics.gauge("repo.store.save_failures").set(int64_t(SS.SaveFailures));
+  Metrics.gauge("repo.store.loaded").set(int64_t(SS.Loaded));
+  Metrics.gauge("repo.store.quarantined").set(int64_t(SS.Quarantined));
+  Metrics.gauge("repo.store.skewed").set(int64_t(SS.Skewed));
+  Metrics.gauge("repo.store.stale_source").set(int64_t(SS.StaleSource));
+  Metrics.gauge("repo.store.adopted").set(int64_t(SS.Adopted));
+  Metrics.gauge("repo.store.swept_temps").set(int64_t(SS.SweptTemps));
+  Metrics.gauge("repo.objects").set(int64_t(Repo.totalObjects()));
+  Metrics.gauge("engine.quarantined").set(int64_t(quarantineCount()));
+  par::ComputePoolSample CP = par::sampleComputePool();
+  Metrics.gauge("pool.compute.threads").set(int64_t(CP.Threads));
+  Metrics.gauge("pool.compute.enqueued").set(int64_t(CP.TasksEnqueued));
+  Metrics.gauge("pool.compute.finished").set(int64_t(CP.TasksFinished));
+  Metrics.gauge("pool.compute.queue_depth").set(CP.QueueDepth);
+  // Fault-injection site counters, so a fault-sweep run can report which
+  // sites actually fired (all zero when no schedule is armed).
+  for (unsigned S = 0; S != faults::kNumSites; ++S) {
+    auto Site = static_cast<faults::Site>(S);
+    faults::SiteStats FS = faults::stats(Site);
+    std::string Base = std::string("faults.") + faults::siteName(Site);
+    Metrics.gauge(Base + ".hits").set(int64_t(FS.Hits));
+    Metrics.gauge(Base + ".fired").set(int64_t(FS.Fired));
+  }
+  return Metrics.snapshot();
+}
+
+std::string Engine::statsReport() {
+  sampleMetrics();
+  std::string Out = Metrics.renderTable();
+  Out += "\n";
+  Out += Profiles.renderTable();
+  return Out;
+}
+
+std::string Engine::metricsJson() {
+  sampleMetrics();
+  std::string Out = "{\"metrics\": ";
+  Out += Metrics.json();
+  Out += ", \"profiles\": ";
+  Out += Profiles.json();
+  Out += "}";
+  return Out;
 }
 
 
@@ -755,12 +900,14 @@ std::vector<ValuePtr> Engine::callFunction(const std::string &Name,
   DepthGuard Guard(CallDepth);
 
   if (Opts.Policy == CompilePolicy::InterpretOnly || LF->F->isScript()) {
+    Profiles.recordInvocation(Name, UntypedSig);
     auto R = interpretCall(*LF, std::move(Args), NumOuts);
     recordFirstResult();
     return R;
   }
 
   TypeSignature Sig = TypeSignature::ofValues(Args);
+  Profiles.recordInvocation(Name, sigString(*LF, Sig));
   CompiledObjectPtr Obj = Repo.lookup(Name, Sig);
   if (!Obj && Opts.Policy == CompilePolicy::Speculative &&
       speculationInFlight(Name)) {
@@ -772,11 +919,8 @@ std::vector<ValuePtr> Engine::callFunction(const std::string &Name,
     // snooper enqueues in discovery order, not in the order the user ends
     // up calling things.
     promoteSpeculation(Name);
-    ++InterpFallbacks;
-    {
-      std::lock_guard<std::mutex> L(SpecMutex);
-      ++SpecStats.InFlightInterpreted;
-    }
+    InterpFallbacks.inc();
+    Spec.InFlightInterpreted.inc();
     auto R = interpretCall(*LF, std::move(Args), NumOuts);
     recordFirstResult();
     return R;
@@ -797,7 +941,7 @@ std::vector<ValuePtr> Engine::callFunction(const std::string &Name,
       Obj = compileAndInsert(Name, CompileSig, CodeGenMode::Jit,
                              CompiledObject::Origin::Jit);
       if (Obj)
-        ++JitCompiles;
+        JitCompiles.inc();
       break;
     case CompilePolicy::Falcon:
       Obj = compileAndInsert(Name, CompileSig, CodeGenMode::Optimized,
@@ -813,7 +957,7 @@ std::vector<ValuePtr> Engine::callFunction(const std::string &Name,
     }
   }
   if (!Obj) {
-    ++InterpFallbacks;
+    InterpFallbacks.inc();
     auto R = interpretCall(*LF, std::move(Args), NumOuts);
     recordFirstResult();
     return R;
@@ -839,13 +983,20 @@ std::vector<ValuePtr> Engine::runCompiled(const CompiledObject &Obj,
   try {
     if (CallDepth == 1) {
       ScopedPhaseTimer T(Phases, Phase::Execute);
-      return Machine->run(*Obj.Code, Args, NumOuts);
+      Timer Run;
+      auto R = Machine->run(*Obj.Code, Args, NumOuts);
+      double Seconds = Run.seconds();
+      Inst.VmRunSeconds->observe(Seconds);
+      Profiles.recordVmRun(Obj.FunctionName, Seconds);
+      return R;
     }
     return Machine->run(*Obj.Code, Args, NumOuts);
   } catch (const DeoptError &) {
     // An optimistic guard failed (sqrt of a negative value, ...): undo the
     // attempt, replace the compiled version with a pessimistic one, retry.
-    ++Deopts;
+    Deopts.inc();
+    Profiles.recordDeopt(Obj.FunctionName);
+    obs::traceInstant("deopt", "engine", Obj.FunctionName);
     Ctx.Rand = SavedRand;
     Ctx.truncateOutput(OutputMark);
     std::string Name = Obj.FunctionName;
@@ -855,7 +1006,7 @@ std::vector<ValuePtr> Engine::runCompiled(const CompiledObject &Obj,
     CompiledObjectPtr Repl =
         compileAndInsert(Name, Sig, Mode, From, /*Optimistic=*/false);
     if (!Repl) {
-      ++InterpFallbacks;
+      InterpFallbacks.inc();
       LoadedFunction *LF = find(Name);
       if (!LF)
         throw MatlabError("deoptimization of unknown function '" + Name + "'");
@@ -865,7 +1016,12 @@ std::vector<ValuePtr> Engine::runCompiled(const CompiledObject &Obj,
     // cannot occur from this object.
     if (CallDepth == 1) {
       ScopedPhaseTimer T(Phases, Phase::Execute);
-      return Machine->run(*Repl->Code, std::move(Args), NumOuts);
+      Timer Run;
+      auto R = Machine->run(*Repl->Code, std::move(Args), NumOuts);
+      double Seconds = Run.seconds();
+      Inst.VmRunSeconds->observe(Seconds);
+      Profiles.recordVmRun(Repl->FunctionName, Seconds);
+      return R;
     }
     return Machine->run(*Repl->Code, std::move(Args), NumOuts);
   }
@@ -876,7 +1032,12 @@ std::vector<ValuePtr> Engine::interpretCall(LoadedFunction &LF,
                                             size_t NumOuts) {
   if (CallDepth == 1) {
     ScopedPhaseTimer T(Phases, Phase::Execute);
-    return Interp->run(*LF.F, std::move(Args), NumOuts);
+    Timer Run;
+    auto R = Interp->run(*LF.F, std::move(Args), NumOuts);
+    double Seconds = Run.seconds();
+    Inst.InterpRunSeconds->observe(Seconds);
+    Profiles.recordInterpRun(LF.F->name(), Seconds);
+    return R;
   }
   return Interp->run(*LF.F, std::move(Args), NumOuts);
 }
@@ -886,12 +1047,14 @@ std::vector<ValuePtr> Engine::interpretCall(LoadedFunction &LF,
 //===----------------------------------------------------------------------===//
 
 std::string Engine::runScript(const std::string &Source) {
+  obs::TraceScope Span("script", "engine");
   size_t OutputMark = Ctx.output().size();
 
   std::string Name = format("session%zu", Modules.size());
   Diags.clear();
   std::unique_ptr<Module> Mod;
   {
+    obs::TraceScope ParseSpan("parse", "compile", Name);
     ScopedPhaseTimer T(Phases, Phase::Parse);
     Mod = parseModule(Name, Source, SM, Diags);
   }

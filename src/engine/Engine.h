@@ -30,6 +30,8 @@
 #include "backend/Compiler.h"
 #include "backend/VM.h"
 #include "interp/Interpreter.h"
+#include "obs/Metrics.h"
+#include "obs/Profile.h"
 #include "repo/RepoStore.h"
 #include "repo/Repository.h"
 #include "repo/Snooper.h"
@@ -107,6 +109,16 @@ struct EngineOptions {
   /// stamp, source hash) before being served on the next start; any
   /// invalid entry degrades to a recompile.
   std::string RepoDir;
+  /// Chrome-trace output path (chrome://tracing / Perfetto JSON). Empty
+  /// falls back to the MAJIC_TRACE environment variable; when both are
+  /// empty, tracing stays runtime-disabled and every trace site costs one
+  /// relaxed atomic load. The file is written when the engine is
+  /// destroyed.
+  std::string TracePath;
+  /// Metrics-dump output path. Empty falls back to MAJIC_METRICS; when
+  /// set, the engine writes metricsJson() there at destruction. Metrics
+  /// recording itself is always on (lock-free counters).
+  std::string MetricsPath;
 };
 
 /// Responsiveness counters for the background speculation subsystem.
@@ -271,10 +283,44 @@ public:
   TypeSignature speculated(const std::string &Name);
 
   /// Number of invocations that fell back to the interpreter / the JIT.
-  uint64_t interpreterFallbacks() const { return InterpFallbacks; }
-  uint64_t jitCompiles() const { return JitCompiles; }
+  uint64_t interpreterFallbacks() const { return InterpFallbacks.value(); }
+  uint64_t jitCompiles() const { return JitCompiles.value(); }
   /// Number of deoptimizations (guard failures causing a recompile).
-  uint64_t deoptimizations() const { return Deopts; }
+  uint64_t deoptimizations() const { return Deopts.value(); }
+
+  //===--------------------------------------------------------------------===
+  // Observability
+  //===--------------------------------------------------------------------===
+
+  /// The engine's metrics registry (counters, gauges, latency histograms).
+  /// Point-in-time gauges (repo store, fault sites, compute pool,
+  /// quarantine count) are refreshed by sampleMetrics(); everything else
+  /// records continuously.
+  obs::MetricsRegistry &metrics() { return Metrics; }
+
+  /// Refreshes the sampled gauges and returns a snapshot of every
+  /// instrument.
+  obs::MetricsSnapshot sampleMetrics();
+
+  /// Human-readable dump: every metric (after a sampleMetrics()) plus the
+  /// most-invoked per-function profiles.
+  std::string statsReport();
+
+  /// Machine dump: {"metrics": {...}, "profiles": [...]} — what
+  /// MAJIC_METRICS / EngineOptions::MetricsPath writes at destruction.
+  std::string metricsJson();
+
+  /// The recorded profile of \p Name: invocation count, VM vs interpreter
+  /// time, compile count/time, warm-start adoptions, observed argument
+  /// type signatures. Zeroed when the function was never invoked.
+  obs::FunctionProfile profile(const std::string &Name) const {
+    return Profiles.profile(Name);
+  }
+
+  /// Every function profile, most-invoked first.
+  std::vector<obs::FunctionProfile> profiles() const {
+    return Profiles.snapshot();
+  }
 
 private:
   struct LoadedFunction {
@@ -286,6 +332,11 @@ private:
     /// The inlined clone used for compilation (built lazily).
     std::shared_ptr<Function> InlinedF;
     std::shared_ptr<FunctionInfo> InlinedInfo;
+    /// Rendered signature strings for the profile layer, cached so the
+    /// invocation hot path pays a linear scan over the one or two
+    /// signatures a function sees in practice, not a render per call.
+    /// Engine-thread only.
+    std::vector<std::pair<TypeSignature, std::string>> SigStrings;
   };
 
   LoadedFunction *find(const std::string &Name);
@@ -357,6 +408,30 @@ private:
                                       std::vector<ValuePtr> Args,
                                       size_t NumOuts);
 
+  /// The cached rendering of \p Sig for the profile layer.
+  const std::string &sigString(LoadedFunction &LF, const TypeSignature &Sig);
+
+  //===--------------------------------------------------------------------===
+  // Observability. Declared before every other member: components register
+  // their own counters here (Repository) or receive pointers to
+  // registry-owned instruments (SpecPool), so the registry must be
+  // constructed first and destroyed last. The destructor body writes the
+  // final dumps while all members are still alive.
+  //===--------------------------------------------------------------------===
+
+  obs::MetricsRegistry Metrics;
+  obs::FunctionProfiles Profiles;
+  /// Hot-path histograms resolved once at construction (registry-owned).
+  struct {
+    obs::Histogram *CompileSeconds = nullptr;
+    obs::Histogram *InferSeconds = nullptr;
+    obs::Histogram *CodeGenSeconds = nullptr;
+    obs::Histogram *VmRunSeconds = nullptr;
+    obs::Histogram *InterpRunSeconds = nullptr;
+  } Inst;
+  std::string TraceFile;   ///< trace JSON destination; empty = tracing off
+  std::string MetricsFile; ///< metrics JSON destination; empty = no dump
+
   EngineOptions Opts;
   SourceManager SM;
   Diagnostics Diags;
@@ -377,9 +452,9 @@ private:
   std::vector<std::string> LastLoadedNames;
 
   unsigned CallDepth = 0;
-  uint64_t InterpFallbacks = 0;
-  uint64_t JitCompiles = 0;
-  uint64_t Deopts = 0;
+  obs::Counter InterpFallbacks; ///< registered as "engine.interp_fallbacks"
+  obs::Counter JitCompiles;     ///< registered as "engine.jit_compiles"
+  obs::Counter Deopts;          ///< registered as "engine.deopts"
   /// True when this engine installed the process-wide memory limit (so the
   /// destructor knows to lift it).
   bool OwnsMemLimit = false;
@@ -440,7 +515,15 @@ private:
   unsigned PendingCompiles = 0;
   /// Store saves still queued or running on the pool (flushRepoStore).
   unsigned PendingSaves = 0;
-  SpeculationStats SpecStats;
+  /// The speculation counters, migrated onto the registry ("spec.*");
+  /// speculationStats() composes the legacy struct from them. The
+  /// double-valued timers stay plain and SpecMutex-guarded.
+  struct {
+    obs::Counter Queued, Completed, Dropped, DedupedRequests,
+        InFlightInterpreted, Promoted, Failed;
+  } Spec;
+  double SpecBackgroundSeconds = 0;     ///< guarded by SpecMutex
+  double TimeToFirstResultSeconds = -1; ///< guarded by SpecMutex
   /// Engine birth, the zero point of TimeToFirstResultSeconds.
   Timer BirthTimer;
 };

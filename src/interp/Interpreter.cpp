@@ -6,6 +6,7 @@
 
 #include "interp/Interpreter.h"
 
+#include "obs/Trace.h"
 #include "runtime/Builtins.h"
 #include "runtime/Ops.h"
 #include "support/StringUtils.h"
@@ -86,6 +87,7 @@ private:
 std::vector<ValuePtr> Interpreter::run(const Function &F,
                                        std::vector<ValuePtr> Args,
                                        size_t NumOuts) {
+  obs::TraceScope Span("interp.run", "exec", F.name());
   if (Args.size() > F.params().size())
     throw MatlabError(format("too many input arguments to '%s'",
                              F.name().c_str()));
@@ -123,6 +125,7 @@ std::vector<ValuePtr> Interpreter::run(const Function &F,
 
 void Interpreter::runScript(const Function &F,
                             std::vector<ValuePtr> &Workspace) {
+  obs::TraceScope Span("interp.script", "exec", F.name());
   Workspace.resize(F.numSlots());
   InterpFrame Frame(*this, F, Workspace);
   Frame.execBlock(F.body());

@@ -1,0 +1,247 @@
+//===- obs/Metrics.cpp - Always-on metrics registry ------------------------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+using namespace majic;
+using namespace majic::obs;
+
+//===----------------------------------------------------------------------===//
+// Histogram
+//===----------------------------------------------------------------------===//
+
+unsigned Histogram::bucketIndexUs(uint64_t Us) {
+  if (Us == 0)
+    return 0;
+  // [2^(I-1), 2^I) us lands in bucket I; bit_width(Us) is exactly that I.
+  return std::min<unsigned>(kNumBuckets - 1, std::bit_width(Us));
+}
+
+void Histogram::observe(double Seconds) {
+  if (!(Seconds > 0))
+    Seconds = 0; // negative clock skew and NaN count as instantaneous
+  double NsF = Seconds * 1e9;
+  uint64_t Ns = NsF >= double(UINT64_MAX) ? UINT64_MAX : uint64_t(NsF);
+  Buckets[bucketIndexUs(Ns / 1000)].fetch_add(1, std::memory_order_relaxed);
+  CountV.fetch_add(1, std::memory_order_relaxed);
+  SumNs.fetch_add(Ns, std::memory_order_relaxed);
+  uint64_t Cur = MinNs.load(std::memory_order_relaxed);
+  while (Ns < Cur &&
+         !MinNs.compare_exchange_weak(Cur, Ns, std::memory_order_relaxed)) {
+  }
+  Cur = MaxNs.load(std::memory_order_relaxed);
+  while (Ns > Cur &&
+         !MaxNs.compare_exchange_weak(Cur, Ns, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::minSeconds() const {
+  uint64_t Ns = MinNs.load(std::memory_order_relaxed);
+  return Ns == UINT64_MAX ? 0 : double(Ns) * 1e-9;
+}
+
+//===----------------------------------------------------------------------===//
+// MetricsRegistry
+//===----------------------------------------------------------------------===//
+
+Counter &MetricsRegistry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> L(M);
+  auto It = Counters.find(Name);
+  if (It != Counters.end())
+    return *It->second;
+  OwnedCounters.emplace_back();
+  Counters[Name] = &OwnedCounters.back();
+  return OwnedCounters.back();
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &Name) {
+  std::lock_guard<std::mutex> L(M);
+  auto It = Gauges.find(Name);
+  if (It != Gauges.end())
+    return *It->second;
+  OwnedGauges.emplace_back();
+  Gauges[Name] = &OwnedGauges.back();
+  return OwnedGauges.back();
+}
+
+Histogram &MetricsRegistry::histogram(const std::string &Name) {
+  std::lock_guard<std::mutex> L(M);
+  auto It = Histograms.find(Name);
+  if (It != Histograms.end())
+    return *It->second;
+  OwnedHistograms.emplace_back();
+  Histograms[Name] = &OwnedHistograms.back();
+  return OwnedHistograms.back();
+}
+
+void MetricsRegistry::registerCounter(const std::string &Name, Counter &C) {
+  std::lock_guard<std::mutex> L(M);
+  Counters[Name] = &C;
+}
+
+void MetricsRegistry::registerGauge(const std::string &Name, Gauge &G) {
+  std::lock_guard<std::mutex> L(M);
+  Gauges[Name] = &G;
+}
+
+void MetricsRegistry::registerHistogram(const std::string &Name,
+                                        Histogram &H) {
+  std::lock_guard<std::mutex> L(M);
+  Histograms[Name] = &H;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> L(M);
+  MetricsSnapshot S;
+  S.Counters.reserve(Counters.size());
+  for (const auto &[Name, C] : Counters)
+    S.Counters.emplace_back(Name, C->value());
+  S.Gauges.reserve(Gauges.size());
+  for (const auto &[Name, G] : Gauges)
+    S.Gauges.emplace_back(Name, G->value());
+  S.Histograms.reserve(Histograms.size());
+  for (const auto &[Name, H] : Histograms) {
+    HistogramSnapshot HS;
+    HS.Name = Name;
+    HS.Count = H->count();
+    HS.SumSeconds = H->sumSeconds();
+    HS.MinSeconds = H->minSeconds();
+    HS.MaxSeconds = H->maxSeconds();
+    for (unsigned I = 0; I != Histogram::kNumBuckets; ++I)
+      HS.Buckets[I] = H->bucketCount(I);
+    S.Histograms.push_back(std::move(HS));
+  }
+  return S;
+}
+
+std::string MetricsRegistry::renderTable() const {
+  MetricsSnapshot S = snapshot();
+  std::string Out;
+  char Line[256];
+  if (!S.Counters.empty()) {
+    Out += "counters:\n";
+    for (const auto &[Name, V] : S.Counters) {
+      std::snprintf(Line, sizeof(Line), "  %-44s %12llu\n", Name.c_str(),
+                    static_cast<unsigned long long>(V));
+      Out += Line;
+    }
+  }
+  if (!S.Gauges.empty()) {
+    Out += "gauges:\n";
+    for (const auto &[Name, V] : S.Gauges) {
+      std::snprintf(Line, sizeof(Line), "  %-44s %12lld\n", Name.c_str(),
+                    static_cast<long long>(V));
+      Out += Line;
+    }
+  }
+  if (!S.Histograms.empty()) {
+    Out += "histograms:                                           count"
+           "      mean ms       max ms\n";
+    for (const HistogramSnapshot &H : S.Histograms) {
+      double MeanMs = H.Count ? H.SumSeconds / double(H.Count) * 1e3 : 0;
+      std::snprintf(Line, sizeof(Line), "  %-44s %10llu %12.3f %12.3f\n",
+                    H.Name.c_str(), static_cast<unsigned long long>(H.Count),
+                    MeanMs, H.MaxSeconds * 1e3);
+      Out += Line;
+    }
+  }
+  return Out;
+}
+
+std::string MetricsRegistry::json() const {
+  MetricsSnapshot S = snapshot();
+  std::string Out = "{\n  \"counters\": {";
+  bool First = true;
+  for (const auto &[Name, V] : S.Counters) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    Out += "    \"" + jsonEscape(Name) + "\": " + std::to_string(V);
+  }
+  Out += First ? "},\n" : "\n  },\n";
+  Out += "  \"gauges\": {";
+  First = true;
+  for (const auto &[Name, V] : S.Gauges) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    Out += "    \"" + jsonEscape(Name) + "\": " + std::to_string(V);
+  }
+  Out += First ? "},\n" : "\n  },\n";
+  Out += "  \"histograms\": {";
+  First = true;
+  for (const HistogramSnapshot &H : S.Histograms) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    Out += "    \"" + jsonEscape(H.Name) + "\": {\"count\": " +
+           std::to_string(H.Count) + ", \"sum_seconds\": " +
+           jsonNumber(H.SumSeconds) + ", \"min_seconds\": " +
+           jsonNumber(H.MinSeconds) + ", \"max_seconds\": " +
+           jsonNumber(H.MaxSeconds) + ", \"buckets\": [";
+    bool FirstB = true;
+    for (unsigned I = 0; I != Histogram::kNumBuckets; ++I) {
+      if (!H.Buckets[I])
+        continue;
+      if (!FirstB)
+        Out += ", ";
+      FirstB = false;
+      Out += "{\"floor_us\": " +
+             std::to_string(Histogram::bucketFloorUs(I)) + ", \"count\": " +
+             std::to_string(H.Buckets[I]) + "}";
+    }
+    Out += "]}";
+  }
+  Out += First ? "}\n}" : "\n  }\n}";
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// JSON helpers
+//===----------------------------------------------------------------------===//
+
+std::string obs::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  return Out;
+}
+
+std::string obs::jsonNumber(double V) {
+  if (!std::isfinite(V))
+    return "null";
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.9g", V);
+  return Buf;
+}

@@ -1,0 +1,172 @@
+//===- obs/Metrics.h - Always-on metrics registry --------------*- C++ -*-===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The metrics half of the observability subsystem: named counters, gauges
+/// and fixed-bucket latency histograms, registered in a MetricsRegistry and
+/// snapshottable at any time. The instruments are plain relaxed atomics -
+/// recording is lock-free and safe from any thread, including the engine's
+/// idle-priority compile workers and the compute pool. The registry itself
+/// takes a mutex only for registration and snapshots, never on the record
+/// path.
+///
+/// Instruments are either *owned* by the registry (counter()/gauge()/
+/// histogram() get-or-create) or *external* (registerCounter(...) etc.),
+/// the latter for components that already hold their tallies as members
+/// (e.g. Repository's hit/miss counters, migrated onto obs::Counter so the
+/// old accessors become thin reads). External instruments must outlive
+/// every use of the registry; the engine guarantees this by declaring its
+/// registry before every component it wires in, and by writing its final
+/// dump in the destructor body, while all members are still alive.
+///
+/// Snapshots render as a human table (Engine::statsReport()) and as
+/// machine JSON (MAJIC_METRICS=path).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAJIC_OBS_METRICS_H
+#define MAJIC_OBS_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace majic {
+namespace obs {
+
+/// Monotonic event count. Recording is one relaxed fetch_add.
+class Counter {
+public:
+  void inc(uint64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// A point-in-time level (queue depth, live objects). May go up and down.
+class Gauge {
+public:
+  void set(int64_t N) { V.store(N, std::memory_order_relaxed); }
+  void add(int64_t D) { V.fetch_add(D, std::memory_order_relaxed); }
+  int64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<int64_t> V{0};
+};
+
+/// Fixed-bucket latency histogram over seconds. Bucket 0 holds sub-1us
+/// observations; bucket I (1..24) holds [2^(I-1), 2^I) microseconds; the
+/// last bucket holds everything >= 2^24 us (~16.8 s). Recording is a
+/// handful of relaxed atomic ops; no allocation, no locks.
+class Histogram {
+public:
+  static constexpr unsigned kNumBuckets = 26;
+
+  /// Inclusive lower bound of bucket \p I, in microseconds.
+  static uint64_t bucketFloorUs(unsigned I) {
+    return I == 0 ? 0 : uint64_t(1) << (I - 1);
+  }
+
+  /// The bucket an observation of \p Us microseconds lands in.
+  static unsigned bucketIndexUs(uint64_t Us);
+
+  void observe(double Seconds);
+
+  uint64_t count() const { return CountV.load(std::memory_order_relaxed); }
+  double sumSeconds() const {
+    return double(SumNs.load(std::memory_order_relaxed)) * 1e-9;
+  }
+  /// Smallest/largest observation in seconds; 0 when empty.
+  double minSeconds() const;
+  double maxSeconds() const {
+    return double(MaxNs.load(std::memory_order_relaxed)) * 1e-9;
+  }
+  uint64_t bucketCount(unsigned I) const {
+    return Buckets[I].load(std::memory_order_relaxed);
+  }
+
+private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> Buckets{};
+  std::atomic<uint64_t> CountV{0};
+  std::atomic<uint64_t> SumNs{0};
+  std::atomic<uint64_t> MinNs{UINT64_MAX};
+  std::atomic<uint64_t> MaxNs{0};
+};
+
+/// One histogram's state at snapshot time.
+struct HistogramSnapshot {
+  std::string Name;
+  uint64_t Count = 0;
+  double SumSeconds = 0;
+  double MinSeconds = 0;
+  double MaxSeconds = 0;
+  std::array<uint64_t, Histogram::kNumBuckets> Buckets{};
+};
+
+/// A consistent-enough view of every instrument, sorted by name. (Counts
+/// are read with relaxed loads; concurrent writers may land between two
+/// reads, which is fine for statistics.)
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> Counters;
+  std::vector<std::pair<std::string, int64_t>> Gauges;
+  std::vector<HistogramSnapshot> Histograms;
+};
+
+class MetricsRegistry {
+public:
+  /// Get-or-create a registry-owned instrument. The reference stays valid
+  /// for the registry's lifetime (instruments live in stable deques).
+  Counter &counter(const std::string &Name);
+  Gauge &gauge(const std::string &Name);
+  Histogram &histogram(const std::string &Name);
+
+  /// Registers an externally-owned instrument under \p Name (replacing any
+  /// previous registration of that name). The instrument must outlive
+  /// every subsequent use of the registry.
+  void registerCounter(const std::string &Name, Counter &C);
+  void registerGauge(const std::string &Name, Gauge &G);
+  void registerHistogram(const std::string &Name, Histogram &H);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Human-readable table of every instrument (histograms as count / mean /
+  /// max summaries).
+  std::string renderTable() const;
+
+  /// The registry as one JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {...}} with histogram buckets emitted sparsely (nonzero
+  /// buckets only, each with its floor in microseconds).
+  std::string json() const;
+
+private:
+  mutable std::mutex M;
+  std::map<std::string, Counter *> Counters;
+  std::map<std::string, Gauge *> Gauges;
+  std::map<std::string, Histogram *> Histograms;
+  std::deque<Counter> OwnedCounters;
+  std::deque<Gauge> OwnedGauges;
+  std::deque<Histogram> OwnedHistograms;
+};
+
+/// JSON string escaping shared by the obs emitters (registry, profiles,
+/// trace). Escapes quotes, backslashes and control characters.
+std::string jsonEscape(const std::string &S);
+
+/// Formats a finite double for JSON ("null" for inf/nan, which JSON lacks).
+std::string jsonNumber(double V);
+
+} // namespace obs
+} // namespace majic
+
+#endif // MAJIC_OBS_METRICS_H

@@ -1,0 +1,174 @@
+//===- obs/Profile.cpp - Per-function execution profiles -------------------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Profile.h"
+
+#include "obs/Metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace majic;
+using namespace majic::obs;
+
+void FunctionProfiles::recordInvocation(const std::string &Name,
+                                        const std::string &SigStr) {
+  std::lock_guard<std::mutex> L(M);
+  Entry &E = Map[Name];
+  ++E.Invocations;
+  ++E.Sigs[SigStr];
+}
+
+void FunctionProfiles::recordVmRun(const std::string &Name, double Seconds) {
+  std::lock_guard<std::mutex> L(M);
+  Entry &E = Map[Name];
+  ++E.VmRuns;
+  E.VmSeconds += Seconds;
+}
+
+void FunctionProfiles::recordInterpRun(const std::string &Name,
+                                       double Seconds) {
+  std::lock_guard<std::mutex> L(M);
+  Entry &E = Map[Name];
+  ++E.InterpRuns;
+  E.InterpSeconds += Seconds;
+}
+
+void FunctionProfiles::recordCompile(const std::string &Name,
+                                     double Seconds) {
+  std::lock_guard<std::mutex> L(M);
+  Entry &E = Map[Name];
+  ++E.Compiles;
+  E.CompileSeconds += Seconds;
+}
+
+void FunctionProfiles::recordWarmAdoption(const std::string &Name) {
+  std::lock_guard<std::mutex> L(M);
+  ++Map[Name].WarmStartAdoptions;
+}
+
+void FunctionProfiles::recordDeopt(const std::string &Name) {
+  std::lock_guard<std::mutex> L(M);
+  ++Map[Name].Deopts;
+}
+
+FunctionProfile FunctionProfiles::toProfile(const std::string &Name,
+                                            const Entry &E) const {
+  FunctionProfile P;
+  P.Name = Name;
+  P.Invocations = E.Invocations;
+  P.VmRuns = E.VmRuns;
+  P.InterpRuns = E.InterpRuns;
+  P.VmSeconds = E.VmSeconds;
+  P.InterpSeconds = E.InterpSeconds;
+  P.Compiles = E.Compiles;
+  P.CompileSeconds = E.CompileSeconds;
+  P.WarmStartAdoptions = E.WarmStartAdoptions;
+  P.Deopts = E.Deopts;
+  P.ArgSignatures.assign(E.Sigs.begin(), E.Sigs.end());
+  std::sort(P.ArgSignatures.begin(), P.ArgSignatures.end(),
+            [](const auto &A, const auto &B) {
+              return A.second != B.second ? A.second > B.second
+                                          : A.first < B.first;
+            });
+  return P;
+}
+
+FunctionProfile FunctionProfiles::profile(const std::string &Name) const {
+  std::lock_guard<std::mutex> L(M);
+  auto It = Map.find(Name);
+  if (It == Map.end()) {
+    FunctionProfile P;
+    P.Name = Name;
+    return P;
+  }
+  return toProfile(Name, It->second);
+}
+
+std::vector<FunctionProfile> FunctionProfiles::snapshot() const {
+  std::vector<FunctionProfile> Out;
+  {
+    std::lock_guard<std::mutex> L(M);
+    Out.reserve(Map.size());
+    for (const auto &[Name, E] : Map)
+      Out.push_back(toProfile(Name, E));
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const FunctionProfile &A, const FunctionProfile &B) {
+              return A.Invocations != B.Invocations
+                         ? A.Invocations > B.Invocations
+                         : A.Name < B.Name;
+            });
+  return Out;
+}
+
+std::string FunctionProfiles::json() const {
+  std::string Out = "[";
+  bool First = true;
+  for (const FunctionProfile &P : snapshot()) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    Out += "    {\"function\": \"" + jsonEscape(P.Name) +
+           "\", \"invocations\": " + std::to_string(P.Invocations) +
+           ", \"vm_runs\": " + std::to_string(P.VmRuns) +
+           ", \"interp_runs\": " + std::to_string(P.InterpRuns) +
+           ", \"vm_seconds\": " + jsonNumber(P.VmSeconds) +
+           ", \"interp_seconds\": " + jsonNumber(P.InterpSeconds) +
+           ", \"compiles\": " + std::to_string(P.Compiles) +
+           ", \"compile_seconds\": " + jsonNumber(P.CompileSeconds) +
+           ", \"warm_start_adoptions\": " +
+           std::to_string(P.WarmStartAdoptions) +
+           ", \"deopts\": " + std::to_string(P.Deopts) +
+           ", \"signatures\": [";
+    bool FirstS = true;
+    for (const auto &[Sig, Count] : P.ArgSignatures) {
+      if (!FirstS)
+        Out += ", ";
+      FirstS = false;
+      Out += "{\"sig\": \"" + jsonEscape(Sig) +
+             "\", \"count\": " + std::to_string(Count) + "}";
+    }
+    Out += "]}";
+  }
+  Out += First ? "]" : "\n  ]";
+  return Out;
+}
+
+std::string FunctionProfiles::renderTable(size_t Limit) const {
+  std::vector<FunctionProfile> All = snapshot();
+  std::string Out;
+  if (All.empty())
+    return Out;
+  Out += "function profiles (top by invocations):\n"
+         "  function             calls  vm-runs  int-runs    vm ms   int ms"
+         "  compiles  top signature\n";
+  char Line[256];
+  for (size_t I = 0; I != All.size() && I != Limit; ++I) {
+    const FunctionProfile &P = All[I];
+    const char *TopSig =
+        P.ArgSignatures.empty() ? "-" : P.ArgSignatures.front().first.c_str();
+    std::snprintf(Line, sizeof(Line),
+                  "  %-18s %7llu %8llu %9llu %8.2f %8.2f %9llu  %s\n",
+                  P.Name.c_str(),
+                  static_cast<unsigned long long>(P.Invocations),
+                  static_cast<unsigned long long>(P.VmRuns),
+                  static_cast<unsigned long long>(P.InterpRuns),
+                  P.VmSeconds * 1e3, P.InterpSeconds * 1e3,
+                  static_cast<unsigned long long>(P.Compiles), TopSig);
+    Out += Line;
+  }
+  return Out;
+}
+
+size_t FunctionProfiles::size() const {
+  std::lock_guard<std::mutex> L(M);
+  return Map.size();
+}
+
+void FunctionProfiles::clear() {
+  std::lock_guard<std::mutex> L(M);
+  Map.clear();
+}

@@ -1,0 +1,99 @@
+//===- obs/Profile.h - Per-function execution profiles ---------*- C++ -*-===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-function execution profiles: invocation counts (all call depths),
+/// top-level VM vs. interpreter time, compile count/time, warm-start
+/// adoptions, deoptimizations, and the observed argument-type signatures.
+/// This is the usage record the speculation layer can rank candidates by -
+/// the paper compiles what the snooper *finds*; real deployments should
+/// compile what users actually *call*, with the types they call it with.
+///
+/// Signatures arrive pre-rendered as strings so this layer stays below
+/// majic_types in the dependency order (the engine caches the rendering
+/// per (function, signature), so the hot path pays a string hash, not a
+/// signature render).
+///
+/// Thread-safe behind one mutex: invocations are recorded by the engine
+/// thread, compiles by the background workers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAJIC_OBS_PROFILE_H
+#define MAJIC_OBS_PROFILE_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace majic {
+namespace obs {
+
+/// One function's profile at snapshot time.
+struct FunctionProfile {
+  std::string Name;
+  uint64_t Invocations = 0; ///< calls at every depth, however executed
+  uint64_t VmRuns = 0;      ///< top-level executions on compiled code
+  uint64_t InterpRuns = 0;  ///< top-level executions in the interpreter
+  double VmSeconds = 0;     ///< inclusive top-level VM time
+  double InterpSeconds = 0; ///< inclusive top-level interpreter time
+  uint64_t Compiles = 0;
+  double CompileSeconds = 0;
+  uint64_t WarmStartAdoptions = 0;
+  uint64_t Deopts = 0;
+  /// Observed argument-type signatures with call counts, most-called first.
+  std::vector<std::pair<std::string, uint64_t>> ArgSignatures;
+};
+
+class FunctionProfiles {
+public:
+  void recordInvocation(const std::string &Name, const std::string &SigStr);
+  void recordVmRun(const std::string &Name, double Seconds);
+  void recordInterpRun(const std::string &Name, double Seconds);
+  void recordCompile(const std::string &Name, double Seconds);
+  void recordWarmAdoption(const std::string &Name);
+  void recordDeopt(const std::string &Name);
+
+  /// The profile of \p Name; a zeroed profile when never recorded.
+  FunctionProfile profile(const std::string &Name) const;
+
+  /// Every profile, most-invoked first.
+  std::vector<FunctionProfile> snapshot() const;
+
+  /// JSON array of every profile (same order as snapshot()).
+  std::string json() const;
+
+  /// Human table of the top \p Limit profiles.
+  std::string renderTable(size_t Limit = 10) const;
+
+  size_t size() const;
+  void clear();
+
+private:
+  struct Entry {
+    uint64_t Invocations = 0;
+    uint64_t VmRuns = 0, InterpRuns = 0;
+    double VmSeconds = 0, InterpSeconds = 0;
+    uint64_t Compiles = 0;
+    double CompileSeconds = 0;
+    uint64_t WarmStartAdoptions = 0;
+    uint64_t Deopts = 0;
+    std::unordered_map<std::string, uint64_t> Sigs;
+  };
+
+  FunctionProfile toProfile(const std::string &Name, const Entry &E) const;
+
+  mutable std::mutex M;
+  std::unordered_map<std::string, Entry> Map;
+};
+
+} // namespace obs
+} // namespace majic
+
+#endif // MAJIC_OBS_PROFILE_H

@@ -1,0 +1,249 @@
+//===- obs/Trace.cpp - Low-overhead trace ring -----------------------------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+#include "obs/Metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+using namespace majic;
+using namespace majic::obs;
+
+std::atomic<bool> obs::detail::TraceEnabledFlag{false};
+
+namespace {
+
+constexpr size_t kDefaultRingCapacity = 32768;
+
+struct Event {
+  const char *Name;
+  const char *Cat;
+  uint64_t StartNs;
+  uint64_t DurNs;
+  uint32_t Tid;
+  char Ph; // 'X' complete span, 'i' instant
+  char Detail[48];
+};
+
+/// One thread's fixed-capacity event ring. The owning thread writes; an
+/// exporter may read concurrently, hence the (uncontended) mutex.
+struct Ring {
+  std::mutex M;
+  std::vector<Event> Buf;
+  size_t Capacity;
+  size_t Head = 0; ///< next overwrite position once Buf is full
+  uint32_t Tid;
+
+  Ring(size_t Capacity, uint32_t Tid) : Capacity(Capacity), Tid(Tid) {
+    Buf.reserve(std::min<size_t>(Capacity, 1024));
+  }
+};
+
+struct TraceState {
+  std::mutex M;
+  std::vector<std::shared_ptr<Ring>> Rings;
+  size_t RingCapacity = kDefaultRingCapacity;
+  uint32_t NextTid = 1;
+  /// Bumped by traceReset so threads re-create their ring lazily.
+  std::atomic<uint64_t> Epoch{1};
+  std::atomic<uint64_t> Recorded{0};
+  std::atomic<uint64_t> Dropped{0};
+};
+
+TraceState &state() {
+  // Leaked intentionally: worker threads may record during static
+  // destruction; the OS reclaims the memory on exit.
+  static TraceState *S = new TraceState;
+  return *S;
+}
+
+uint64_t nowNs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point ProcessEpoch = Clock::now();
+  return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      Clock::now() - ProcessEpoch)
+                      .count());
+}
+
+struct ThreadRingHandle {
+  std::shared_ptr<Ring> R;
+  uint64_t Epoch = 0;
+};
+
+Ring &myRing() {
+  thread_local ThreadRingHandle H;
+  TraceState &S = state();
+  uint64_t Epoch = S.Epoch.load(std::memory_order_acquire);
+  if (!H.R || H.Epoch != Epoch) {
+    std::lock_guard<std::mutex> L(S.M);
+    H.R = std::make_shared<Ring>(S.RingCapacity, S.NextTid++);
+    H.Epoch = S.Epoch.load(std::memory_order_relaxed);
+    S.Rings.push_back(H.R);
+  }
+  return *H.R;
+}
+
+void record(const Event &E) {
+  TraceState &S = state();
+  Ring &R = myRing();
+  std::lock_guard<std::mutex> L(R.M);
+  if (R.Buf.size() < R.Capacity) {
+    R.Buf.push_back(E);
+  } else {
+    R.Buf[R.Head] = E;
+    R.Head = (R.Head + 1) % R.Capacity;
+    S.Dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+  S.Recorded.fetch_add(1, std::memory_order_relaxed);
+}
+
+void copyDetail(char (&Dst)[48], const char *Src) {
+  if (!Src) {
+    Dst[0] = '\0';
+    return;
+  }
+  std::strncpy(Dst, Src, sizeof(Dst) - 1);
+  Dst[sizeof(Dst) - 1] = '\0';
+}
+
+} // namespace
+
+void obs::setTraceEnabled(bool Enabled) {
+  detail::TraceEnabledFlag.store(Enabled, std::memory_order_relaxed);
+}
+
+void obs::traceInstant(const char *Name, const char *Cat,
+                       const char *Detail) {
+  if (!traceEnabled())
+    return;
+  Event E;
+  E.Name = Name;
+  E.Cat = Cat;
+  E.StartNs = nowNs();
+  E.DurNs = 0;
+  E.Tid = 0; // filled from the ring at export
+  E.Ph = 'i';
+  copyDetail(E.Detail, Detail);
+  record(E);
+}
+
+void obs::traceInstant(const char *Name, const char *Cat,
+                       const std::string &Detail) {
+  traceInstant(Name, Cat, Detail.c_str());
+}
+
+TraceScope::TraceScope(const char *Name, const char *Cat, const char *Det)
+    : Name(Name), Cat(Cat) {
+  if (!traceEnabled())
+    return;
+  Armed = true;
+  copyDetail(Detail, Det);
+  StartNs = nowNs();
+}
+
+TraceScope::TraceScope(const char *Name, const char *Cat,
+                       const std::string &Det)
+    : TraceScope(Name, Cat, Det.c_str()) {}
+
+TraceScope::~TraceScope() {
+  if (!Armed)
+    return;
+  Event E;
+  E.Name = Name;
+  E.Cat = Cat;
+  E.StartNs = StartNs;
+  E.DurNs = nowNs() - StartNs;
+  E.Tid = 0;
+  E.Ph = 'X';
+  std::memcpy(E.Detail, Detail, sizeof(Detail));
+  record(E);
+}
+
+uint64_t obs::traceEventsRecorded() {
+  return state().Recorded.load(std::memory_order_relaxed);
+}
+
+uint64_t obs::traceEventsDropped() {
+  return state().Dropped.load(std::memory_order_relaxed);
+}
+
+void obs::traceReset(size_t RingCapacity) {
+  TraceState &S = state();
+  std::lock_guard<std::mutex> L(S.M);
+  S.Rings.clear();
+  if (RingCapacity)
+    S.RingCapacity = RingCapacity;
+  S.Recorded.store(0, std::memory_order_relaxed);
+  S.Dropped.store(0, std::memory_order_relaxed);
+  // Release-publish the new epoch so threads observing it also observe the
+  // capacity change on their next ring creation.
+  S.Epoch.fetch_add(1, std::memory_order_acq_rel);
+}
+
+std::string obs::traceJson() {
+  TraceState &S = state();
+  std::vector<Event> All;
+  {
+    std::lock_guard<std::mutex> L(S.M);
+    for (const std::shared_ptr<Ring> &R : S.Rings) {
+      std::lock_guard<std::mutex> RL(R->M);
+      for (Event E : R->Buf) {
+        E.Tid = R->Tid;
+        All.push_back(E);
+      }
+    }
+  }
+  std::sort(All.begin(), All.end(), [](const Event &A, const Event &B) {
+    return A.StartNs < B.StartNs;
+  });
+
+  std::string Out = "{\"traceEvents\": [";
+  char Buf[160];
+  bool First = true;
+  for (const Event &E : All) {
+    Out += First ? "\n" : ",\n";
+    First = false;
+    Out += "{\"name\": \"" + jsonEscape(E.Name) + "\", \"cat\": \"" +
+           jsonEscape(E.Cat) + "\", \"ph\": \"";
+    Out.push_back(E.Ph);
+    Out += "\", ";
+    std::snprintf(Buf, sizeof(Buf), "\"ts\": %.3f, ", double(E.StartNs) / 1e3);
+    Out += Buf;
+    if (E.Ph == 'X') {
+      std::snprintf(Buf, sizeof(Buf), "\"dur\": %.3f, ",
+                    double(E.DurNs) / 1e3);
+      Out += Buf;
+    } else {
+      Out += "\"s\": \"t\", ";
+    }
+    std::snprintf(Buf, sizeof(Buf), "\"pid\": 1, \"tid\": %u", E.Tid);
+    Out += Buf;
+    if (E.Detail[0])
+      Out += ", \"args\": {\"detail\": \"" + jsonEscape(E.Detail) + "\"}";
+    Out += "}";
+  }
+  Out += "\n], \"displayTimeUnit\": \"ms\", \"otherData\": "
+         "{\"dropped_events\": " +
+         std::to_string(traceEventsDropped()) + "}}";
+  return Out;
+}
+
+bool obs::writeTraceJson(const std::string &Path) {
+  std::string Doc = traceJson();
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  bool Ok = std::fwrite(Doc.data(), 1, Doc.size(), F) == Doc.size() &&
+            std::fputc('\n', F) != EOF;
+  return std::fclose(F) == 0 && Ok;
+}

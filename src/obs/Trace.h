@@ -1,0 +1,101 @@
+//===- obs/Trace.h - Low-overhead trace ring -------------------*- C++ -*-===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tracing half of the observability subsystem: per-thread ring
+/// buffers of scoped (begin/end) and instant events, exported as Chrome
+/// trace JSON loadable in chrome://tracing or Perfetto (MAJIC_TRACE=path),
+/// so a whole session - parse -> infer -> codegen -> regalloc -> repository
+/// saves/loads -> VM/interpreter execution -> pool tasks - is visually
+/// inspectable on a timeline.
+///
+/// Cost model: tracing is gated by one process-wide atomic flag. When
+/// disabled (the default), a TraceScope or instant() is a single relaxed
+/// load - no allocation, no lock, no clock read. When enabled, each event
+/// takes two steady_clock reads plus one uncontended per-thread mutex
+/// (the mutex exists only so an exporter on another thread can read the
+/// ring TSan-clean). Rings are fixed-capacity and overwrite their oldest
+/// events on wrap, so a long session's memory is bounded; the drop count
+/// is reported in the export.
+///
+/// Event names and categories must be string literals (the ring stores
+/// the pointers); the optional detail is copied into a small inline
+/// buffer, truncating - it carries dynamic context like function names.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAJIC_OBS_TRACE_H
+#define MAJIC_OBS_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace majic {
+namespace obs {
+
+namespace detail {
+extern std::atomic<bool> TraceEnabledFlag;
+} // namespace detail
+
+/// The runtime gate every recording site checks first.
+inline bool traceEnabled() {
+  return detail::TraceEnabledFlag.load(std::memory_order_relaxed);
+}
+
+void setTraceEnabled(bool Enabled);
+
+/// Records a zero-duration marker (Chrome "i" event). No-op when disabled.
+void traceInstant(const char *Name, const char *Cat,
+                  const char *Detail = nullptr);
+void traceInstant(const char *Name, const char *Cat,
+                  const std::string &Detail);
+
+/// RAII span: records one complete ("X") event covering its lifetime. The
+/// enabled check happens at construction; a scope armed before tracing is
+/// disabled still records, keeping spans internally consistent.
+class TraceScope {
+public:
+  TraceScope(const char *Name, const char *Cat, const char *Detail = nullptr);
+  TraceScope(const char *Name, const char *Cat, const std::string &Detail);
+  ~TraceScope();
+
+  TraceScope(const TraceScope &) = delete;
+  TraceScope &operator=(const TraceScope &) = delete;
+
+private:
+  const char *Name;
+  const char *Cat;
+  uint64_t StartNs = 0;
+  bool Armed = false;
+  char Detail[48];
+};
+
+/// Merges every thread's ring into one Chrome-trace JSON document
+/// ({"traceEvents": [...]}). Timestamps are microseconds from the first
+/// trace use in the process; safe to call while other threads trace.
+std::string traceJson();
+
+/// Writes traceJson() to \p Path (plus a trailing newline); false on I/O
+/// failure.
+bool writeTraceJson(const std::string &Path);
+
+/// Events recorded process-wide since the last reset, and how many of them
+/// were overwritten by ring wraparound.
+uint64_t traceEventsRecorded();
+uint64_t traceEventsDropped();
+
+/// Drops every ring and (when \p RingCapacity is nonzero) changes the
+/// per-thread ring capacity for rings created afterwards. Threads with a
+/// live ring re-create it on their next event. Intended for tests; calling
+/// it concurrently with active tracers is safe but may discard their
+/// in-flight events.
+void traceReset(size_t RingCapacity = 0);
+
+} // namespace obs
+} // namespace majic
+
+#endif // MAJIC_OBS_TRACE_H

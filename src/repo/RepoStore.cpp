@@ -7,6 +7,7 @@
 #include "repo/RepoStore.h"
 
 #include "ir/Serialize.h"
+#include "obs/Trace.h"
 #include "support/AtomicFile.h"
 #include "support/FaultInjection.h"
 #include "support/Hashing.h"
@@ -136,6 +137,7 @@ std::string RepoStore::entryPath(const CompiledObject &Obj) const {
 }
 
 bool RepoStore::save(const CompiledObject &Obj, uint64_t SourceHash) {
+  obs::TraceScope Span("repo.save", "repo", Obj.FunctionName.c_str());
   // Saving must never take down the caller (it runs on the idle pool or
   // inline on the compile path): any failure - injected fault, full disk,
   // unwritable directory - is swallowed into a counter.
@@ -158,6 +160,7 @@ bool RepoStore::save(const CompiledObject &Obj, uint64_t SourceHash) {
 }
 
 std::vector<RepoStore::Entry> RepoStore::loadAll() {
+  obs::TraceScope Span("repo.load", "repo", Dir.c_str());
   std::vector<Entry> Out;
   if (!Usable)
     return Out;

@@ -18,7 +18,7 @@ CompiledObjectPtr Repository::lookup(const std::string &Name,
   std::shared_lock<std::shared_mutex> L(Mutex);
   auto It = Table.find(Name);
   if (It == Table.end()) {
-    MissesNoFunction.fetch_add(1, std::memory_order_relaxed);
+    MissesNoFunction.inc();
     return nullptr;
   }
   const std::shared_ptr<CompiledObject> *Best = nullptr;
@@ -33,10 +33,10 @@ CompiledObjectPtr Repository::lookup(const std::string &Name,
     }
   }
   if (!Best) {
-    MissesNoSafeVersion.fetch_add(1, std::memory_order_relaxed);
+    MissesNoSafeVersion.inc();
     return nullptr;
   }
-  HitsCount.fetch_add(1, std::memory_order_relaxed);
+  HitsCount.inc();
   (*Best)->Hits.fetch_add(1, std::memory_order_relaxed);
   return *Best;
 }
@@ -73,7 +73,7 @@ void Repository::insert(CompiledObject Obj) {
       }
     }
     Versions.erase(Versions.begin() + Victim);
-    EvictionsCount.fetch_add(1, std::memory_order_relaxed);
+    EvictionsCount.inc();
   }
 }
 

@@ -27,6 +27,7 @@
 
 #include "backend/CodeGen.h"
 #include "ir/Instr.h"
+#include "obs/Metrics.h"
 #include "types/Signature.h"
 
 #include <atomic>
@@ -102,9 +103,7 @@ public:
   void setVersionCap(size_t Cap);
 
   /// Versions discarded to stay under the cap, over the repository's life.
-  uint64_t evictions() const {
-    return EvictionsCount.load(std::memory_order_relaxed);
-  }
+  uint64_t evictions() const { return EvictionsCount.value(); }
 
   /// Drops every version of \p Name (the source changed).
   void invalidate(const std::string &Name);
@@ -122,18 +121,27 @@ public:
   /// invalidated) vs. misses where versions existed but none was safe for
   /// the invocation (a speculation/specialization miss). Table-2-style
   /// speculation-accuracy stats must use the NoSafeVersion count only.
-  uint64_t lookupMissesNoFunction() const {
-    return MissesNoFunction.load(std::memory_order_relaxed);
-  }
+  uint64_t lookupMissesNoFunction() const { return MissesNoFunction.value(); }
   uint64_t lookupMissesNoSafeVersion() const {
-    return MissesNoSafeVersion.load(std::memory_order_relaxed);
+    return MissesNoSafeVersion.value();
   }
   /// All misses (both kinds combined).
   uint64_t lookupMisses() const {
     return lookupMissesNoFunction() + lookupMissesNoSafeVersion();
   }
-  uint64_t lookupHits() const {
-    return HitsCount.load(std::memory_order_relaxed);
+  uint64_t lookupHits() const { return HitsCount.value(); }
+
+  /// Registers the repository's counters in \p Registry under "repo.*".
+  /// The registry only borrows the instruments; the repository must
+  /// outlive any use of the registry (the engine guarantees this by
+  /// member order).
+  void registerMetrics(obs::MetricsRegistry &Registry) const {
+    Registry.registerCounter("repo.lookup.hits", HitsCount);
+    Registry.registerCounter("repo.lookup.miss_no_function",
+                             MissesNoFunction);
+    Registry.registerCounter("repo.lookup.miss_no_safe_version",
+                             MissesNoSafeVersion);
+    Registry.registerCounter("repo.evictions", EvictionsCount);
   }
 
   /// Compile seconds accumulated over every insert ever performed,
@@ -146,10 +154,10 @@ private:
   mutable std::shared_mutex Mutex;
   std::unordered_map<std::string, std::vector<std::shared_ptr<CompiledObject>>>
       Table;
-  mutable std::atomic<uint64_t> MissesNoFunction{0};
-  mutable std::atomic<uint64_t> MissesNoSafeVersion{0};
-  mutable std::atomic<uint64_t> HitsCount{0};
-  mutable std::atomic<uint64_t> EvictionsCount{0};
+  mutable obs::Counter MissesNoFunction;
+  mutable obs::Counter MissesNoSafeVersion;
+  mutable obs::Counter HitsCount;
+  mutable obs::Counter EvictionsCount;
   double CompileSecondsTotal = 0; ///< guarded by Mutex (exclusive)
   size_t VersionCap = 0;          ///< guarded by Mutex; 0 = unlimited
 };

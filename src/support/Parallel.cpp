@@ -6,11 +6,13 @@
 
 #include "support/Parallel.h"
 
+#include "obs/Trace.h"
 #include "support/ResourceGuard.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
@@ -107,6 +109,20 @@ void par::setComputeThreads(unsigned N) {
 
 bool par::inParallelRegion() { return InParallelBody; }
 
+par::ComputePoolSample par::sampleComputePool() {
+  PoolState &S = state();
+  std::lock_guard<std::mutex> L(S.M);
+  ComputePoolSample Sample;
+  Sample.Threads = resolvedThreads(S);
+  if (S.Pool) {
+    const ThreadPool::MetricsSink &Sink = S.Pool->metricsSink();
+    Sample.TasksEnqueued = Sink.Enqueued->value();
+    Sample.TasksFinished = Sink.Finished->value();
+    Sample.QueueDepth = Sink.QueueDepth->value();
+  }
+  return Sample;
+}
+
 void par::parallelFor(size_t N, size_t Grain,
                       const std::function<void(size_t, size_t)> &Body) {
   if (N == 0)
@@ -142,6 +158,10 @@ void par::parallelFor(size_t N, size_t Grain,
   // Split [0, N) into Chunks contiguous ranges of near-equal size. The
   // caller takes chunk 0 so one configured thread's worth of work never
   // waits behind the pool's queue.
+  char SpanDetail[48];
+  std::snprintf(SpanDetail, sizeof(SpanDetail), "n=%zu chunks=%zu", N,
+                Chunks);
+  obs::TraceScope Span("parallelFor", "compute", SpanDetail);
   size_t Base = N / Chunks, Extra = N % Chunks;
   Latch Sync(static_cast<unsigned>(Chunks));
   auto RunChunk = [&Body, &Sync](size_t Begin, size_t End) {

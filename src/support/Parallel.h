@@ -31,6 +31,7 @@
 #define MAJIC_SUPPORT_PARALLEL_H
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 
 namespace majic {
@@ -58,6 +59,17 @@ void parallelFor(size_t N, size_t Grain,
 
 /// True while the calling thread is executing inside a parallelFor body.
 bool inParallelRegion();
+
+/// Point-in-time sample of the process-wide compute pool's observability
+/// counters (all zero before the first multi-threaded parallelFor spins
+/// the pool up). The engine mirrors this into its metrics registry.
+struct ComputePoolSample {
+  unsigned Threads = 0; ///< configured compute threads (pool holds T-1)
+  uint64_t TasksEnqueued = 0;
+  uint64_t TasksFinished = 0;
+  int64_t QueueDepth = 0;
+};
+ComputePoolSample sampleComputePool();
 
 } // namespace par
 } // namespace majic

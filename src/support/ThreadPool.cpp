@@ -6,6 +6,7 @@
 
 #include "support/ThreadPool.h"
 
+#include "obs/Trace.h"
 #include "support/FaultInjection.h"
 
 #include <algorithm>
@@ -31,7 +32,23 @@ void demoteCurrentThread() {
 
 } // namespace
 
-ThreadPool::ThreadPool(unsigned NumThreads, Priority Prio) {
+ThreadPool::ThreadPool(unsigned NumThreads, Priority Prio,
+                       const MetricsSink *ExtSink)
+    : PrioTag(Prio == Priority::Idle ? "idle" : "normal") {
+  if (ExtSink)
+    Sink = *ExtSink;
+  if (!Sink.Enqueued)
+    Sink.Enqueued = &Own.Enqueued;
+  if (!Sink.Finished)
+    Sink.Finished = &Own.Finished;
+  if (!Sink.Promoted)
+    Sink.Promoted = &Own.Promoted;
+  if (!Sink.QueueDepth)
+    Sink.QueueDepth = &Own.QueueDepth;
+  if (!Sink.QueueSeconds)
+    Sink.QueueSeconds = &Own.QueueSeconds;
+  if (!Sink.RunSeconds)
+    Sink.RunSeconds = &Own.RunSeconds;
   if (NumThreads == 0)
     NumThreads = 1;
   Workers.reserve(NumThreads);
@@ -59,7 +76,11 @@ ThreadPool::TaskId ThreadPool::enqueue(std::function<void()> Task) {
   {
     std::lock_guard<std::mutex> L(Mutex);
     Id = NextId++;
-    Queue.push_back({Id, std::move(Task)});
+    Queue.push_back({Id, std::move(Task), Timer()});
+    // Inside the lock so the depth gauge can never transiently go negative
+    // against a worker's decrement.
+    Sink.Enqueued->inc();
+    Sink.QueueDepth->add(1);
   }
   HaveWork.notify_one();
   return Id;
@@ -76,6 +97,8 @@ bool ThreadPool::promote(TaskId Id) {
     Queue.erase(It);
     Queue.push_front(std::move(Promoted));
   }
+  Sink.Promoted->inc();
+  obs::traceInstant("pool.promote", "pool", PrioTag);
   return true;
 }
 
@@ -84,6 +107,8 @@ void ThreadPool::setPaused(bool NewPaused) {
     std::lock_guard<std::mutex> L(Mutex);
     Paused = NewPaused;
   }
+  obs::traceInstant(NewPaused ? "pool.pause" : "pool.resume", "pool",
+                    PrioTag);
   if (!NewPaused)
     HaveWork.notify_all();
 }
@@ -109,17 +134,26 @@ void ThreadPool::workerLoop() {
     if (Queue.empty()) // Stopping and drained: exit.
       return;
     std::function<void()> Task = std::move(Queue.front().Task);
+    double QueuedSeconds = Queue.front().Queued.seconds();
     Queue.pop_front();
     ++Running;
     L.unlock();
+    Sink.QueueDepth->add(-1);
+    Sink.QueueSeconds->observe(QueuedSeconds);
     // A task that throws must not take the worker (and with it the whole
     // process) down; owners catch their own failures, this records the
     // ones that slipped through.
-    try {
-      Task();
-    } catch (...) {
-      UncaughtExceptions.fetch_add(1, std::memory_order_relaxed);
+    {
+      obs::TraceScope Span("pool.task", "pool", PrioTag);
+      Timer Run;
+      try {
+        Task();
+      } catch (...) {
+        UncaughtExceptions.fetch_add(1, std::memory_order_relaxed);
+      }
+      Sink.RunSeconds->observe(Run.seconds());
     }
+    Sink.Finished->inc();
     L.lock();
     --Running;
     if (Queue.empty() && Running == 0)

@@ -20,6 +20,9 @@
 #ifndef MAJIC_SUPPORT_THREADPOOL_H
 #define MAJIC_SUPPORT_THREADPOOL_H
 
+#include "obs/Metrics.h"
+#include "support/Timer.h"
+
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -44,9 +47,22 @@ public:
   /// Identifies an enqueued task; never reused within a pool's lifetime.
   using TaskId = uint64_t;
 
+  /// Where the pool records its observability data. Entries left null are
+  /// pointed at pool-owned instruments, so recording never branches. An
+  /// owner that wires in external instruments (the engine points these at
+  /// its MetricsRegistry) must keep them alive for the pool's lifetime.
+  struct MetricsSink {
+    obs::Counter *Enqueued = nullptr;  ///< tasks accepted by enqueue()
+    obs::Counter *Finished = nullptr;  ///< tasks that ran to completion
+    obs::Counter *Promoted = nullptr;  ///< successful promote() calls
+    obs::Gauge *QueueDepth = nullptr;  ///< queued-but-not-started tasks
+    obs::Histogram *QueueSeconds = nullptr; ///< enqueue -> worker pickup
+    obs::Histogram *RunSeconds = nullptr;   ///< task body execution
+  };
+
   /// Spawns \p NumThreads workers (at least one).
-  explicit ThreadPool(unsigned NumThreads,
-                      Priority Prio = Priority::Normal);
+  explicit ThreadPool(unsigned NumThreads, Priority Prio = Priority::Normal,
+                      const MetricsSink *Sink = nullptr);
 
   /// Finishes all queued tasks, then joins the workers (pausing does not
   /// survive destruction: a paused pool drains on shutdown).
@@ -84,13 +100,28 @@ public:
     return UncaughtExceptions.load(std::memory_order_relaxed);
   }
 
+  /// The resolved instruments (external where wired, pool-owned
+  /// otherwise); par::sampleComputePool reads the process-wide compute
+  /// pool through this.
+  const MetricsSink &metricsSink() const { return Sink; }
+
 private:
   struct Item {
     TaskId Id;
     std::function<void()> Task;
+    Timer Queued; ///< measures enqueue -> pickup latency
   };
 
   void workerLoop();
+
+  /// Resolved at construction: every entry non-null, external or &Own*.
+  MetricsSink Sink;
+  struct {
+    obs::Counter Enqueued, Finished, Promoted;
+    obs::Gauge QueueDepth;
+    obs::Histogram QueueSeconds, RunSeconds;
+  } Own;
+  const char *PrioTag; ///< "idle" or "normal", for trace details
 
   std::vector<std::thread> Workers;
   std::deque<Item> Queue;

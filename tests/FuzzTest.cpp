@@ -13,12 +13,14 @@
 //===----------------------------------------------------------------------===//
 
 #include "engine/Engine.h"
+#include "obs/Metrics.h"
 #include "support/FaultInjection.h"
 #include "support/Rng.h"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <filesystem>
 #include <string>
 
@@ -318,6 +320,35 @@ TEST_P(FaultSweep, EngineSurvivesScheduleAndRecovers) {
     }
     E.drainCompiles();
     E.flushRepoStore();
+    if (Session == 1) {
+      // The sweep's observability contract: after the workers quiesce, the
+      // engine's sampled "faults.*" gauges report exactly the per-site
+      // hit/fired counts the injector saw, so a sweep run can tell which
+      // sites its schedule actually exercised.
+      obs::MetricsSnapshot Snap = E.sampleMetrics();
+      auto GaugeOf = [&Snap](const std::string &Name) -> int64_t {
+        for (const auto &[N, V] : Snap.Gauges)
+          if (N == Name)
+            return V;
+        return -1;
+      };
+      std::string FiredSummary;
+      for (unsigned SI = 0; SI != faults::kNumSites; ++SI) {
+        auto S = static_cast<faults::Site>(SI);
+        faults::SiteStats FS = faults::stats(S);
+        std::string Base = std::string("faults.") + faults::siteName(S);
+        EXPECT_EQ(GaugeOf(Base + ".hits"), int64_t(FS.Hits)) << Base;
+        EXPECT_EQ(GaugeOf(Base + ".fired"), int64_t(FS.Fired)) << Base;
+        if (FS.Fired)
+          FiredSummary += (FiredSummary.empty() ? "" : ", ") +
+                          std::string(faults::siteName(S)) + "=" +
+                          std::to_string(FS.Fired);
+      }
+      if (!FiredSummary.empty())
+        std::printf("  [seed %llu] fired sites: %s\n",
+                    static_cast<unsigned long long>(Seed),
+                    FiredSummary.c_str());
+    }
   }
 
   // Faults clear. A fresh session warm-starts from whatever the faulted
