@@ -253,6 +253,12 @@ JsonWriter &JsonWriter::field(const std::string &Key, uint64_t V) {
   return *this;
 }
 
+JsonWriter &JsonWriter::field(const std::string &Key, bool V) {
+  prefix(Key);
+  Buf += V ? "true" : "false";
+  return *this;
+}
+
 bool JsonWriter::writeFile(const std::string &Path) const {
   std::FILE *F = std::fopen(Path.c_str(), "w");
   if (!F)

@@ -103,6 +103,7 @@ public:
   JsonWriter &field(const std::string &Key, const char *V);
   JsonWriter &field(const std::string &Key, double V);
   JsonWriter &field(const std::string &Key, uint64_t V);
+  JsonWriter &field(const std::string &Key, bool V);
   JsonWriter &field(const std::string &Key, int V) {
     return field(Key, static_cast<uint64_t>(V));
   }

@@ -1,0 +1,137 @@
+//===- examples/profile_smoke.cpp - Two-session profile-guided smoke -------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Scriptable two-session smoke check for profile-guided speculation, used
+// by CI:
+//
+//   profile_smoke <srcdir> <storedir> cold
+//     writes a three-function corpus into <srcdir>, then runs a skewed
+//     workload (hotfn called 5x, midfn 2x, coldfn never) against the
+//     persistent store in <storedir>; teardown persists both the compiled
+//     code and the profile.
+//
+//   profile_smoke <srcdir> <storedir> warm
+//     a fresh session on the same directories. Asserts, exiting nonzero
+//     on any violation:
+//       - the persisted profile loaded (not quarantined);
+//       - with the worker paused, snoop() queues speculation hot-first:
+//         hotfn before midfn before coldfn;
+//       - the first invocation of hotfn is served without a foreground
+//         (JIT) compile and produces the expected value.
+//
+// Run the warm session with MAJIC_METRICS=metrics.json and the CI job
+// greps `"engine.jit_compiles": 0` from the dump as an independent check.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Engine.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace majic;
+
+namespace {
+
+int fail(const char *Msg) {
+  std::fprintf(stderr, "profile_smoke: FAIL: %s\n", Msg);
+  return 1;
+}
+
+// Self-contained bodies (no cross-function calls), so the invocation
+// counts - and therefore the expected queue order - are exactly the
+// workload's call counts.
+void writeCorpus(const std::string &SrcDir) {
+  std::filesystem::create_directories(SrcDir);
+  std::ofstream(SrcDir + "/hotfn.m") << "function y = hotfn(n)\n"
+                                        "y = 0;\n"
+                                        "for k = 1:n\ny = y + k;\nend\n";
+  std::ofstream(SrcDir + "/midfn.m") << "function y = midfn(n)\n"
+                                        "y = 1;\n"
+                                        "for k = 1:n\ny = y * 2;\nend\n";
+  std::ofstream(SrcDir + "/coldfn.m") << "function y = coldfn(x)\n"
+                                         "y = x * x;\n";
+}
+
+EngineOptions options(const std::string &StoreDir) {
+  EngineOptions O;
+  O.Policy = CompilePolicy::Speculative;
+  O.BackgroundCompileThreads = 1;
+  O.RepoDir = StoreDir;
+  return O;
+}
+
+ValuePtr intArg(long N) { return makeValue(Value::intScalar(N)); }
+
+int runCold(const std::string &SrcDir, const std::string &StoreDir) {
+  writeCorpus(SrcDir);
+  Engine E(options(StoreDir));
+  E.watchDirectory(SrcDir);
+  if (E.snoop() != 3)
+    return fail("cold: expected to snoop 3 files");
+  E.drainCompiles();
+
+  // The skewed workload the profile must remember.
+  for (int I = 0; I != 5; ++I)
+    E.callFunction("hotfn", {intArg(10)}, 1, SourceLoc());
+  for (int I = 0; I != 2; ++I)
+    E.callFunction("midfn", {intArg(4)}, 1, SourceLoc());
+  E.drainCompiles();
+  E.flushRepoStore();
+  std::printf("profile_smoke: cold session done (hotfn x5, midfn x2)\n");
+  return 0;
+}
+
+int runWarm(const std::string &SrcDir, const std::string &StoreDir) {
+  Engine E(options(StoreDir));
+  RepoStoreStats St = E.repoStoreStats();
+  if (St.ProfilesLoaded == 0)
+    return fail("warm: no persisted profiles loaded");
+  if (St.ProfilesQuarantined != 0 || St.ProfilesSkewed != 0)
+    return fail("warm: profile file was quarantined");
+
+  // Freeze the worker so the ranked queue is observable, then snoop.
+  E.pauseBackgroundCompiles();
+  E.watchDirectory(SrcDir);
+  if (E.snoop() != 3)
+    return fail("warm: expected to snoop 3 files");
+  std::vector<std::string> Q = E.queuedSpeculations();
+  std::printf("profile_smoke: warm speculation queue:");
+  for (const std::string &Fn : Q)
+    std::printf(" %s", Fn.c_str());
+  std::printf("\n");
+  if (Q != std::vector<std::string>{"hotfn", "midfn", "coldfn"})
+    return fail("warm: queue is not in hot-first profile order");
+  E.resumeBackgroundCompiles();
+  E.drainCompiles();
+
+  // The call the profile predicted: served from the warm store, no
+  // foreground compile.
+  auto R = E.callFunction("hotfn", {intArg(10)}, 1, SourceLoc());
+  if (R.empty() || R[0]->scalarValue() != 55)
+    return fail("warm: hotfn(10) != 55");
+  if (E.jitCompiles() != 0)
+    return fail("warm: first invocation paid a foreground JIT compile");
+  std::printf("profile_smoke: warm session OK (hot-first queue, zero "
+              "foreground compiles)\n");
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc != 4 || (std::strcmp(Argv[3], "cold") != 0 &&
+                    std::strcmp(Argv[3], "warm") != 0)) {
+    std::fprintf(stderr, "usage: profile_smoke <srcdir> <storedir> cold|warm\n");
+    return 2;
+  }
+  return std::strcmp(Argv[3], "cold") == 0 ? runCold(Argv[1], Argv[2])
+                                           : runWarm(Argv[1], Argv[2]);
+}

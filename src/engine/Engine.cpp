@@ -53,6 +53,12 @@ uint64_t envLimit(const char *Name) {
 /// (InterpretOnly policy, scripts).
 const std::string UntypedSig = "(untyped)";
 
+/// Re-speculation thresholds: consecutive repository misses against
+/// existing versions, and cumulative deopts, before the engine asks the
+/// background queue to recompile on the newly observed signature.
+constexpr uint64_t kRespeculateMissStreak = 2;
+constexpr uint64_t kRespeculateDeopts = 2;
+
 } // namespace
 
 Engine::Engine(EngineOptions OptsIn) : Opts(std::move(OptsIn)) {
@@ -97,6 +103,8 @@ Engine::Engine(EngineOptions OptsIn) : Opts(std::move(OptsIn)) {
                           Spec.InFlightInterpreted);
   Metrics.registerCounter("spec.promoted", Spec.Promoted);
   Metrics.registerCounter("spec.failed", Spec.Failed);
+  Metrics.registerCounter("spec.observed_sig_compiles",
+                          Spec.ObservedSigCompiles);
   Inst.CompileSeconds = &Metrics.histogram("compile.seconds");
   Inst.InferSeconds = &Metrics.histogram("compile.infer.seconds");
   Inst.CodeGenSeconds = &Metrics.histogram("compile.codegen.seconds");
@@ -135,6 +143,33 @@ Engine::Engine(EngineOptions OptsIn) : Opts(std::move(OptsIn)) {
     for (RepoStore::Entry &E : Store->loadAll())
       PendingWarm[E.Obj.FunctionName].push_back(std::move(E));
   }
+  // The profile summary lives beside the .mjo entries unless an explicit
+  // profile directory points elsewhere. Persisted counts merge into the
+  // in-memory profiles right away (so the snooper ranks hot-first before
+  // anything runs); the observed signatures wait in PendingProfileSigs
+  // until their source is loaded and the arity can be checked.
+  std::string ProfDir = Opts.ProfileDir;
+  if (ProfDir.empty())
+    if (const char *Env = std::getenv("MAJIC_PROFILE_DIR"); Env && *Env)
+      ProfDir = Env;
+  if (ProfDir.empty())
+    ProfDir = RepoDir;
+  if (!ProfDir.empty()) {
+    if (Store && ProfDir == RepoDir) {
+      ProfileStore = Store.get();
+    } else {
+      OwnedProfileStore = std::make_unique<RepoStore>(ProfDir);
+      OwnedProfileStore->sweepTemps();
+      ProfileStore = OwnedProfileStore.get();
+    }
+    for (RepoStore::ProfileSummary &PS : ProfileStore->loadProfiles()) {
+      Profiles.mergePersisted(PS.Name, PS.Invocations, PS.OtherSignatures);
+      for (const RepoStore::ProfileSig &Sg : PS.Sigs)
+        Profiles.mergeSignatureCount(PS.Name, Sg.SigStr, Sg.Count);
+      if (!PS.Sigs.empty())
+        PendingProfileSigs[PS.Name] = std::move(PS.Sigs);
+    }
+  }
   // Idle-priority workers: background compilation only consumes cycles
   // the interactive thread leaves free, so responsiveness holds even on a
   // single-core machine (the paper's "the user never waits"). The pool
@@ -161,6 +196,9 @@ Engine::~Engine() {
   // Joining the workers first: in-flight tasks touch the repository and
   // the speculation bookkeeping, which must outlive them.
   SpecPool.reset();
+  // Persist the profile summary now that all recording is quiesced; the
+  // next session's snooper ranks its speculation queue by these counts.
+  saveProfilesToStore();
   // Final observability dumps, with every member still alive and all
   // recording quiesced (the workers are joined).
   if (!MetricsFile.empty()) {
@@ -207,6 +245,7 @@ bool Engine::addSource(const std::string &Name, const std::string &Source) {
     // dropped rather than published.
     invalidateFunction(F->name());
     Functions[F->name()] = std::move(LF);
+    seedObservedSignatures(F->name(), Functions[F->name()]);
     LastLoadedNames.push_back(F->name());
     {
       std::lock_guard<std::mutex> L(SpecMutex);
@@ -246,11 +285,18 @@ void Engine::watchDirectory(const std::string &Dir) {
 unsigned Engine::snoop() {
   obs::TraceScope Span("snoop", "engine");
   unsigned Loaded = 0;
-  // Load in the scanner's deterministic path order, but speculate in
-  // source-recency order: the file the user just saved is the one they
-  // will most likely run next, so its compile should not wait behind the
-  // rest of the batch.
-  std::vector<std::pair<int64_t, std::string>> ToSpeculate;
+  // Load in the scanner's deterministic path order, but speculate
+  // hot-first: the profile's invocation counts (live plus persisted from
+  // the last session) say what the user actually runs, so the most-called
+  // function's compile goes first. Never-run functions tie at zero and
+  // keep source-recency order - the file the user just saved is the one
+  // they will most likely run next.
+  struct Candidate {
+    uint64_t Invocations;
+    int64_t MTime;
+    std::string Fn;
+  };
+  std::vector<Candidate> ToSpeculate;
   for (const SourceSnooper::Change &C : Snooper.scan()) {
     if (C.K == SourceSnooper::Change::Kind::Removed) {
       handleRemovedSource(C);
@@ -261,13 +307,15 @@ unsigned Engine::snoop() {
     ++Loaded;
     if (Opts.Policy == CompilePolicy::Speculative)
       for (const std::string &Fn : LastLoadedNames)
-        ToSpeculate.emplace_back(C.MTime, Fn);
+        ToSpeculate.push_back({Profiles.invocations(Fn), C.MTime, Fn});
   }
   std::stable_sort(ToSpeculate.begin(), ToSpeculate.end(),
-                   [](const auto &A, const auto &B) {
-                     return A.first > B.first;
+                   [](const Candidate &A, const Candidate &B) {
+                     return A.Invocations != B.Invocations
+                                ? A.Invocations > B.Invocations
+                                : A.MTime > B.MTime;
                    });
-  for (const auto &[MTime, Fn] : ToSpeculate) {
+  for (const auto &[Invocations, MTime, Fn] : ToSpeculate) {
     // With a worker pool the compile happens off this thread ("the user
     // never waits for the compiler"); without one, fall back to the
     // synchronous pre-async behavior.
@@ -487,7 +535,19 @@ void Engine::flushRepoStore() {
 }
 
 RepoStoreStats Engine::repoStoreStats() const {
-  return Store ? Store->stats() : RepoStoreStats();
+  RepoStoreStats S = Store ? Store->stats() : RepoStoreStats();
+  if (OwnedProfileStore) {
+    // The profile file lives in its own store instance; fold its counters
+    // in so one snapshot covers both directories.
+    RepoStoreStats P = OwnedProfileStore->stats();
+    S.ProfilesSaved += P.ProfilesSaved;
+    S.ProfileSaveFailures += P.ProfileSaveFailures;
+    S.ProfilesLoaded += P.ProfilesLoaded;
+    S.ProfilesQuarantined += P.ProfilesQuarantined;
+    S.ProfilesSkewed += P.ProfilesSkewed;
+    S.SweptTemps += P.SweptTemps;
+  }
+  return S;
 }
 
 void Engine::handleRemovedSource(const SourceSnooper::Change &C) {
@@ -509,9 +569,12 @@ void Engine::handleRemovedSource(const SourceSnooper::Change &C) {
     invalidateFunction(Fn);
     Functions.erase(Fn);
     PendingWarm.erase(Fn);
+    PendingProfileSigs.erase(Fn);
     {
       std::lock_guard<std::mutex> L(SpecMutex);
       SourceHashByFn.erase(Fn);
+      // A deleted function must not keep steering speculation either.
+      ObservedSigByFn.erase(Fn);
       // Tombstone before erasing the files: a background save queued
       // before this removal must not recreate them (runStoreSave checks
       // the tombstone on both sides of its write).
@@ -537,8 +600,14 @@ bool Engine::precompileSpeculative(const std::string &Name) {
   const std::shared_ptr<FunctionInfo> &FI = compileView(*LF);
   if (FI->HasAmbiguousSymbols)
     return false;
-  TypeSignature Spec = speculateSignature(*FI, Opts.Infer);
-  return compileAndInsert(Name, Spec, CodeGenMode::Optimized,
+  // What users actually call beats what the hint pass guesses; the guess
+  // stays as the cold-start fallback.
+  TypeSignature SpecSig;
+  if (observedSignatureFor(Name, LF->F->params().size(), SpecSig))
+    Spec.ObservedSigCompiles.inc();
+  else
+    SpecSig = speculateSignature(*FI, Opts.Infer);
+  return compileAndInsert(Name, SpecSig, CodeGenMode::Optimized,
                           CompiledObject::Origin::Speculative) != nullptr;
 }
 
@@ -546,7 +615,8 @@ bool Engine::precompileSpeculative(const std::string &Name) {
 // Background speculation (the compile queue)
 //===----------------------------------------------------------------------===//
 
-bool Engine::speculateAsync(const std::string &Name) {
+bool Engine::speculateAsync(const std::string &Name,
+                            const TypeSignature *SigOverride) {
   if (!SpecPool)
     return false;
   LoadedFunction *LF = find(Name);
@@ -564,6 +634,9 @@ bool Engine::speculateAsync(const std::string &Name) {
 
   std::shared_ptr<const FunctionInfo> FI = View;
   std::shared_ptr<const Function> KeepAlive = LF->InlinedF;
+  std::optional<TypeSignature> Forced;
+  if (SigOverride)
+    Forced = *SigOverride;
   {
     std::lock_guard<std::mutex> L(SpecMutex);
     if (std::find(InFlight.begin(), InFlight.end(), Name) != InFlight.end()) {
@@ -581,8 +654,8 @@ bool Engine::speculateAsync(const std::string &Name) {
     // drainCompiles would wait forever on a task that does not exist.
     ThreadPool::TaskId Id;
     try {
-      Id = SpecPool->enqueue([this, Name, FI, KeepAlive, Gen] {
-        backgroundCompile(Name, FI, KeepAlive, Gen);
+      Id = SpecPool->enqueue([this, Name, FI, KeepAlive, Gen, Forced] {
+        backgroundCompile(Name, FI, KeepAlive, Gen, Forced);
       });
     } catch (...) {
       InFlight.pop_back();
@@ -636,7 +709,8 @@ std::vector<std::string> Engine::queuedSpeculations() const {
 void Engine::backgroundCompile(std::string Name,
                                std::shared_ptr<const FunctionInfo> FI,
                                std::shared_ptr<const Function> KeepAlive,
-                               uint64_t Gen) {
+                               uint64_t Gen,
+                               std::optional<TypeSignature> Forced) {
   // KeepAlive pins the inlined clone FI's nodes point into; reloading the
   // function on the main thread must not pull it out from under us.
   (void)KeepAlive;
@@ -656,7 +730,19 @@ void Engine::backgroundCompile(std::string Name,
   TypeSignature Sig;
   bool Crashed = false;
   try {
-    Sig = speculateSignature(*FI, Opts.Infer);
+    // Signature pick order: an explicit override (re-speculation), then
+    // the most-called observed signature, then the backward-hint guess.
+    // Arity is checked against the live analysis view so a stale persisted
+    // profile can never force a wrong-arity compile.
+    size_t Arity = FI->F->params().size();
+    if (Forced && Forced->size() == Arity) {
+      Sig = std::move(*Forced);
+      Spec.ObservedSigCompiles.inc();
+    } else if (observedSignatureFor(Name, Arity, Sig)) {
+      Spec.ObservedSigCompiles.inc();
+    } else {
+      Sig = speculateSignature(*FI, Opts.Infer);
+    }
     CompileRequest Req = makeRequest(FI.get(), Sig, CodeGenMode::Optimized,
                                      /*Optimistic=*/true);
     Result = compileFunction(Req);
@@ -806,13 +892,119 @@ TypeSignature Engine::speculated(const std::string &Name) {
 // Observability
 //===----------------------------------------------------------------------===//
 
-const std::string &Engine::sigString(LoadedFunction &LF,
-                                     const TypeSignature &Sig) {
-  for (const auto &[S, Str] : LF.SigStrings)
-    if (S == Sig)
-      return Str;
-  LF.SigStrings.emplace_back(Sig, Sig.str());
-  return LF.SigStrings.back().second;
+const std::string &Engine::observeSignature(LoadedFunction &LF,
+                                            const TypeSignature &Sig) {
+  for (LoadedFunction::SigObs &O : LF.Obs) {
+    if (!(O.Sig == Sig))
+      continue;
+    ++O.Count;
+    if (O.Count > LF.BestCount) {
+      size_t Idx = static_cast<size_t>(&O - LF.Obs.data());
+      LF.BestCount = O.Count;
+      if (Idx != LF.BestIdx) {
+        // A different signature overtook the best: publish it for the
+        // workers. Same-signature bumps skip this, so the steady state
+        // pays no extra locking.
+        LF.BestIdx = Idx;
+        std::lock_guard<std::mutex> L(SpecMutex);
+        ObservedSigByFn[LF.F->name()] = O.Sig;
+      }
+    }
+    return O.Str;
+  }
+  if (LF.Obs.size() < obs::FunctionProfiles::kMaxSignatures) {
+    LF.Obs.push_back({Sig, Sig.str(), 1});
+    LoadedFunction::SigObs &O = LF.Obs.back();
+    if (O.Count > LF.BestCount) {
+      LF.BestCount = O.Count;
+      LF.BestIdx = LF.Obs.size() - 1;
+      std::lock_guard<std::mutex> L(SpecMutex);
+      ObservedSigByFn[LF.F->name()] = O.Sig;
+    }
+    return O.Str;
+  }
+  // Megamorphic overflow: past the cap the rendering is not cached (the
+  // profile layer folds these calls into its own overflow counter anyway).
+  LF.OverflowSig = Sig.str();
+  return LF.OverflowSig;
+}
+
+bool Engine::observedSignatureFor(const std::string &Name, size_t Arity,
+                                  TypeSignature &Out) const {
+  std::lock_guard<std::mutex> L(SpecMutex);
+  auto It = ObservedSigByFn.find(Name);
+  if (It == ObservedSigByFn.end() || It->second.size() != Arity)
+    return false;
+  Out = It->second;
+  return true;
+}
+
+void Engine::seedObservedSignatures(const std::string &Name,
+                                    LoadedFunction &LF) {
+  auto It = PendingProfileSigs.find(Name);
+  if (It == PendingProfileSigs.end() || LF.F->isScript())
+    return;
+  size_t Arity = LF.F->params().size();
+  for (const RepoStore::ProfileSig &PS : It->second) {
+    // Persisted signatures whose arity drifted from the live source are
+    // stale; dropping them here means they can never win best-observed.
+    if (PS.Sig.size() != Arity ||
+        LF.Obs.size() >= obs::FunctionProfiles::kMaxSignatures)
+      continue;
+    LF.Obs.push_back({PS.Sig, PS.SigStr, PS.Count});
+    if (PS.Count > LF.BestCount) {
+      LF.BestCount = PS.Count;
+      LF.BestIdx = LF.Obs.size() - 1;
+    }
+  }
+  if (LF.BestIdx != SIZE_MAX) {
+    std::lock_guard<std::mutex> L(SpecMutex);
+    ObservedSigByFn[Name] = LF.Obs[LF.BestIdx].Sig;
+  }
+}
+
+void Engine::saveProfilesToStore() {
+  if (!ProfileStore)
+    return;
+  // Compose the persisted summaries from the profile layer's counts (live
+  // plus what was merged at startup) and the engine-side signature caches,
+  // which hold the TypeSignature for each rendered string. Untyped
+  // invocations (scripts, InterpretOnly) carry counts but no signature.
+  std::vector<RepoStore::ProfileSummary> Out;
+  for (obs::FunctionProfile &P : Profiles.snapshot()) {
+    RepoStore::ProfileSummary S;
+    S.Name = P.Name;
+    S.Invocations = P.Invocations;
+    S.OtherSignatures = P.OtherSignatures;
+    const LoadedFunction *LF = find(P.Name);
+    auto PendingIt = PendingProfileSigs.find(P.Name);
+    for (const auto &[Str, Count] : P.ArgSignatures) {
+      if (Str == UntypedSig)
+        continue;
+      TypeSignature Sig;
+      bool Found = false;
+      if (LF)
+        for (const LoadedFunction::SigObs &O : LF->Obs)
+          if (O.Str == Str) {
+            Sig = O.Sig;
+            Found = true;
+            break;
+          }
+      if (!Found && PendingIt != PendingProfileSigs.end())
+        for (const RepoStore::ProfileSig &PS : PendingIt->second)
+          if (PS.SigStr == Str) {
+            Sig = PS.Sig;
+            Found = true;
+            break;
+          }
+      if (Found && S.Sigs.size() < RepoStore::kProfileTopK)
+        S.Sigs.push_back({Sig, Str, Count});
+    }
+    if (S.Invocations == 0 && S.Sigs.empty())
+      continue;
+    Out.push_back(std::move(S));
+  }
+  ProfileStore->saveProfiles(Out);
 }
 
 obs::MetricsSnapshot Engine::sampleMetrics() {
@@ -828,6 +1020,13 @@ obs::MetricsSnapshot Engine::sampleMetrics() {
   Metrics.gauge("repo.store.stale_source").set(int64_t(SS.StaleSource));
   Metrics.gauge("repo.store.adopted").set(int64_t(SS.Adopted));
   Metrics.gauge("repo.store.swept_temps").set(int64_t(SS.SweptTemps));
+  Metrics.gauge("repo.store.profiles_saved").set(int64_t(SS.ProfilesSaved));
+  Metrics.gauge("repo.store.profile_save_failures")
+      .set(int64_t(SS.ProfileSaveFailures));
+  Metrics.gauge("repo.store.profiles_loaded").set(int64_t(SS.ProfilesLoaded));
+  Metrics.gauge("repo.store.profiles_quarantined")
+      .set(int64_t(SS.ProfilesQuarantined));
+  Metrics.gauge("repo.store.profiles_skewed").set(int64_t(SS.ProfilesSkewed));
   Metrics.gauge("repo.objects").set(int64_t(Repo.totalObjects()));
   Metrics.gauge("engine.quarantined").set(int64_t(quarantineCount()));
   par::ComputePoolSample CP = par::sampleComputePool();
@@ -907,8 +1106,10 @@ std::vector<ValuePtr> Engine::callFunction(const std::string &Name,
   }
 
   TypeSignature Sig = TypeSignature::ofValues(Args);
-  Profiles.recordInvocation(Name, sigString(*LF, Sig));
+  Profiles.recordInvocation(Name, observeSignature(*LF, Sig));
   CompiledObjectPtr Obj = Repo.lookup(Name, Sig);
+  if (Obj)
+    LF->SigMissStreak = 0;
   if (!Obj && Opts.Policy == CompilePolicy::Speculative &&
       speculationInFlight(Name)) {
     // A background compile of this function is still in flight: interpret
@@ -934,6 +1135,21 @@ std::vector<ValuePtr> Engine::callFunction(const std::string &Name,
     if (Repo.versionCount(Name) != 0 && !(General == Sig) &&
         Sig.safeFor(General))
       CompileSig = General;
+
+    // Repeated misses against existing compiled versions mean speculation
+    // guessed wrong for what the user actually calls: re-speculate on the
+    // newly observed signature (once per distinct signature, so a stable
+    // pattern does not churn the background queue). The JIT below still
+    // serves this invocation; the background compile upgrades the hot
+    // signature to optimized code.
+    if (Opts.Policy == CompilePolicy::Speculative && SpecPool &&
+        Repo.versionCount(Name) != 0 &&
+        ++LF->SigMissStreak >= kRespeculateMissStreak &&
+        (!LF->RespecValid || !(LF->RespecSig == CompileSig))) {
+      LF->RespecSig = CompileSig;
+      LF->RespecValid = true;
+      speculateAsync(Name, &CompileSig);
+    }
 
     switch (Opts.Policy) {
     case CompilePolicy::Jit:
@@ -997,6 +1213,21 @@ std::vector<ValuePtr> Engine::runCompiled(const CompiledObject &Obj,
     Deopts.inc();
     Profiles.recordDeopt(Obj.FunctionName);
     obs::traceInstant("deopt", "engine", Obj.FunctionName);
+    // Repeated deopts say the speculated types were wrong for the live
+    // call pattern. When the observed signature differs from the one that
+    // deopted, queue an optimized recompile for it; same-signature deopts
+    // are already handled by the pessimistic replacement below (and must
+    // not be re-speculated optimistically, which would just deopt again).
+    if (Opts.Policy == CompilePolicy::Speculative && SpecPool) {
+      if (LoadedFunction *DLF = find(Obj.FunctionName))
+        if (++DLF->DeoptCount == kRespeculateDeopts) {
+          TypeSignature Observed;
+          if (observedSignatureFor(Obj.FunctionName, Obj.Sig.size(),
+                                   Observed) &&
+              !(Observed == Obj.Sig))
+            speculateAsync(Obj.FunctionName, &Observed);
+        }
+    }
     Ctx.Rand = SavedRand;
     Ctx.truncateOutput(OutputMark);
     std::string Name = Obj.FunctionName;
@@ -1076,6 +1307,7 @@ std::string Engine::runScript(const std::string &Source) {
       LF.Info = disambiguate(*F, *M);
       invalidateFunction(F->name());
       Functions[F->name()] = std::move(LF);
+      seedObservedSignatures(F->name(), Functions[F->name()]);
       {
         std::lock_guard<std::mutex> L(SpecMutex);
         SourceHashByFn[F->name()] = SrcHash;

@@ -39,8 +39,10 @@
 #include "support/Timer.h"
 
 #include <condition_variable>
+#include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -109,6 +111,16 @@ struct EngineOptions {
   /// stamp, source hash) before being served on the next start; any
   /// invalid entry degrades to a recompile.
   std::string RepoDir;
+  /// Directory for the persisted profile summary (hot-first warm starts).
+  /// Empty falls back to the MAJIC_PROFILE_DIR environment variable, then
+  /// to the repository directory, so by default the profile file sits
+  /// beside the .mjo entries. The summary (per function: invocation count
+  /// and the top-K observed signatures with call counts) is written
+  /// CRC32-checksummed and atomically at engine destruction and merged
+  /// into the in-memory profiles at construction, so a warm-started
+  /// session speculates hot-first on what the user actually ran last
+  /// session. Corrupt files are quarantined exactly like .mjo entries.
+  std::string ProfileDir;
   /// Chrome-trace output path (chrome://tracing / Perfetto JSON). Empty
   /// falls back to the MAJIC_TRACE environment variable; when both are
   /// empty, tracing stays runtime-disabled and every trace site costs one
@@ -204,10 +216,14 @@ public:
   /// Queues a speculative compilation of \p Name on the background worker
   /// pool; returns false when the function cannot be compiled, a compile
   /// for it is already in flight, or no pool is configured (in which case
-  /// the caller should use precompileSpeculative). The compiled object is
-  /// published to the repository when the worker finishes; use
-  /// drainCompiles() to wait for that deterministically.
-  bool speculateAsync(const std::string &Name);
+  /// the caller should use precompileSpeculative). The worker prefers the
+  /// most-called observed signature over the backward-hint guess (pass
+  /// \p SigOverride to force one, e.g. re-speculation after repeated
+  /// deopts or repository misses). The compiled object is published to
+  /// the repository when the worker finishes; use drainCompiles() to wait
+  /// for that deterministically.
+  bool speculateAsync(const std::string &Name,
+                      const TypeSignature *SigOverride = nullptr);
 
   /// Blocks until every queued background compilation has been published
   /// or dropped. Tests and benchmarks use this for determinism.
@@ -332,11 +348,32 @@ private:
     /// The inlined clone used for compilation (built lazily).
     std::shared_ptr<Function> InlinedF;
     std::shared_ptr<FunctionInfo> InlinedInfo;
-    /// Rendered signature strings for the profile layer, cached so the
-    /// invocation hot path pays a linear scan over the one or two
-    /// signatures a function sees in practice, not a render per call.
-    /// Engine-thread only.
-    std::vector<std::pair<TypeSignature, std::string>> SigStrings;
+    /// One observed argument signature with its cached rendering and call
+    /// count. The cache keeps the invocation hot path to a linear scan
+    /// over the one or two signatures a function sees in practice (not a
+    /// render per call); the counts drive observed-signature speculation.
+    struct SigObs {
+      TypeSignature Sig;
+      std::string Str;
+      uint64_t Count = 0;
+    };
+    /// Observed signatures, capped at obs::FunctionProfiles::kMaxSignatures
+    /// entries (overflow renders fresh per call). Engine-thread only; the
+    /// most-called signature is published into ObservedSigByFn (under
+    /// SpecMutex) for the background workers.
+    std::vector<SigObs> Obs;
+    size_t BestIdx = SIZE_MAX; ///< index into Obs of the published best
+    uint64_t BestCount = 0;    ///< its call count at publish time
+    /// Rendering scratch for signatures past the Obs cap.
+    std::string OverflowSig;
+    /// Deopt count and consecutive repository-miss streak feeding the
+    /// re-speculation triggers. Engine-thread only.
+    uint64_t DeoptCount = 0;
+    uint64_t SigMissStreak = 0;
+    /// The last signature re-speculation was triggered for (so a stable
+    /// mismatch pattern triggers once, not per call).
+    TypeSignature RespecSig;
+    bool RespecValid = false;
   };
 
   LoadedFunction *find(const std::string &Name);
@@ -359,13 +396,29 @@ private:
   CompileRequest makeRequest(const FunctionInfo *FI, const TypeSignature &Sig,
                              CodeGenMode Mode, bool Optimistic) const;
 
-  /// Worker-side body of speculateAsync: speculates the signature,
-  /// compiles, and publishes unless the source generation moved
-  /// (invalidate/reload) while in flight.
+  /// Worker-side body of speculateAsync: picks the signature (override,
+  /// then most-called observed, then backward-hint guess), compiles, and
+  /// publishes unless the source generation moved (invalidate/reload)
+  /// while in flight.
   void backgroundCompile(std::string Name,
                          std::shared_ptr<const FunctionInfo> FI,
                          std::shared_ptr<const Function> KeepAlive,
-                         uint64_t Gen);
+                         uint64_t Gen, std::optional<TypeSignature> Forced);
+
+  /// The most-called observed signature of \p Name when one was published
+  /// and its arity matches \p Arity (an arity mismatch means the profile
+  /// is stale against the live source - fall back to the hint pass).
+  bool observedSignatureFor(const std::string &Name, size_t Arity,
+                            TypeSignature &Out) const;
+
+  /// Seeds a freshly registered \p LF with the persisted observed
+  /// signatures of \p Name (arity-checked against the live source) and
+  /// publishes the most-called one for the speculation workers.
+  void seedObservedSignatures(const std::string &Name, LoadedFunction &LF);
+
+  /// Composes the persisted profile summaries and writes them through the
+  /// profile store (destructor, after the workers are joined).
+  void saveProfilesToStore();
 
   /// Invalidates \p Name's compiled code and bumps its source generation
   /// so in-flight background compiles of the old source are dropped.
@@ -408,8 +461,11 @@ private:
                                       std::vector<ValuePtr> Args,
                                       size_t NumOuts);
 
-  /// The cached rendering of \p Sig for the profile layer.
-  const std::string &sigString(LoadedFunction &LF, const TypeSignature &Sig);
+  /// Records one observation of \p Sig on \p LF (count bump, publishing
+  /// the most-called signature for the speculation workers) and returns
+  /// its cached rendering for the profile layer.
+  const std::string &observeSignature(LoadedFunction &LF,
+                                      const TypeSignature &Sig);
 
   //===--------------------------------------------------------------------===
   // Observability. Declared before every other member: components register
@@ -467,6 +523,18 @@ private:
 
   /// Open when RepoDir (option or MAJIC_REPO_DIR) names a directory.
   std::unique_ptr<RepoStore> Store;
+  /// Separate store instance when ProfileDir differs from RepoDir (used
+  /// only for the profile summary file).
+  std::unique_ptr<RepoStore> OwnedProfileStore;
+  /// Where the profile summary is loaded from / saved to: Store when the
+  /// directories coincide, OwnedProfileStore otherwise, null when neither
+  /// directory is configured.
+  RepoStore *ProfileStore = nullptr;
+  /// Persisted observed signatures per function, waiting for the source
+  /// to be loaded so they can seed LoadedFunction::Obs (arity-checked
+  /// against the live source at that point). Engine-thread only.
+  std::unordered_map<std::string, std::vector<RepoStore::ProfileSig>>
+      PendingProfileSigs;
   /// Entries loaded from disk at startup, keyed by function name, waiting
   /// for their source to be loaded so the source-hash rung of the
   /// validation ladder can run (adoptWarmEntries).
@@ -512,6 +580,10 @@ private:
   /// interprets them instead of retrying the compiler; a reload clears the
   /// entry.
   std::unordered_map<std::string, uint64_t> Quarantined;
+  /// The most-called observed signature per function, published by the
+  /// engine thread when a signature overtakes the previous best and read
+  /// by the workers when picking what to speculate. Guarded by SpecMutex.
+  std::unordered_map<std::string, TypeSignature> ObservedSigByFn;
   unsigned PendingCompiles = 0;
   /// Store saves still queued or running on the pool (flushRepoStore).
   unsigned PendingSaves = 0;
@@ -521,6 +593,9 @@ private:
   struct {
     obs::Counter Queued, Completed, Dropped, DedupedRequests,
         InFlightInterpreted, Promoted, Failed;
+    /// Speculative compiles whose signature came from observation (live
+    /// or persisted) rather than the backward-hint guess.
+    obs::Counter ObservedSigCompiles;
   } Spec;
   double SpecBackgroundSeconds = 0;     ///< guarded by SpecMutex
   double TimeToFirstResultSeconds = -1; ///< guarded by SpecMutex

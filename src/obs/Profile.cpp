@@ -14,45 +14,80 @@
 using namespace majic;
 using namespace majic::obs;
 
+void FunctionProfiles::Entry::addSignature(const std::string &SigStr,
+                                           uint64_t Count) {
+  auto It = Sigs.find(SigStr);
+  if (It != Sigs.end())
+    It->second += Count;
+  else if (Sigs.size() < kMaxSignatures)
+    Sigs.emplace(SigStr, Count);
+  else
+    OtherSignatures += Count;
+}
+
 void FunctionProfiles::recordInvocation(const std::string &Name,
                                         const std::string &SigStr) {
-  std::lock_guard<std::mutex> L(M);
-  Entry &E = Map[Name];
+  Shard &S = shardFor(Name);
+  std::lock_guard<std::mutex> L(S.M);
+  Entry &E = S.Map[Name];
   ++E.Invocations;
-  ++E.Sigs[SigStr];
+  E.addSignature(SigStr, 1);
 }
 
 void FunctionProfiles::recordVmRun(const std::string &Name, double Seconds) {
-  std::lock_guard<std::mutex> L(M);
-  Entry &E = Map[Name];
+  Shard &S = shardFor(Name);
+  std::lock_guard<std::mutex> L(S.M);
+  Entry &E = S.Map[Name];
   ++E.VmRuns;
   E.VmSeconds += Seconds;
 }
 
 void FunctionProfiles::recordInterpRun(const std::string &Name,
                                        double Seconds) {
-  std::lock_guard<std::mutex> L(M);
-  Entry &E = Map[Name];
+  Shard &S = shardFor(Name);
+  std::lock_guard<std::mutex> L(S.M);
+  Entry &E = S.Map[Name];
   ++E.InterpRuns;
   E.InterpSeconds += Seconds;
 }
 
 void FunctionProfiles::recordCompile(const std::string &Name,
                                      double Seconds) {
-  std::lock_guard<std::mutex> L(M);
-  Entry &E = Map[Name];
+  Shard &S = shardFor(Name);
+  std::lock_guard<std::mutex> L(S.M);
+  Entry &E = S.Map[Name];
   ++E.Compiles;
   E.CompileSeconds += Seconds;
 }
 
 void FunctionProfiles::recordWarmAdoption(const std::string &Name) {
-  std::lock_guard<std::mutex> L(M);
-  ++Map[Name].WarmStartAdoptions;
+  Shard &S = shardFor(Name);
+  std::lock_guard<std::mutex> L(S.M);
+  ++S.Map[Name].WarmStartAdoptions;
 }
 
 void FunctionProfiles::recordDeopt(const std::string &Name) {
-  std::lock_guard<std::mutex> L(M);
-  ++Map[Name].Deopts;
+  Shard &S = shardFor(Name);
+  std::lock_guard<std::mutex> L(S.M);
+  ++S.Map[Name].Deopts;
+}
+
+void FunctionProfiles::mergePersisted(const std::string &Name,
+                                      uint64_t Invocations,
+                                      uint64_t OtherSigs) {
+  Shard &S = shardFor(Name);
+  std::lock_guard<std::mutex> L(S.M);
+  Entry &E = S.Map[Name];
+  E.Invocations += Invocations;
+  E.OtherSignatures += OtherSigs;
+}
+
+void FunctionProfiles::mergeSignatureCount(const std::string &Name,
+                                           const std::string &SigStr,
+                                           uint64_t Count) {
+  Shard &S = shardFor(Name);
+  std::lock_guard<std::mutex> L(S.M);
+  S.Map[Name].addSignature(SigStr, Count);
 }
 
 FunctionProfile FunctionProfiles::toProfile(const std::string &Name,
@@ -68,6 +103,7 @@ FunctionProfile FunctionProfiles::toProfile(const std::string &Name,
   P.CompileSeconds = E.CompileSeconds;
   P.WarmStartAdoptions = E.WarmStartAdoptions;
   P.Deopts = E.Deopts;
+  P.OtherSignatures = E.OtherSignatures;
   P.ArgSignatures.assign(E.Sigs.begin(), E.Sigs.end());
   std::sort(P.ArgSignatures.begin(), P.ArgSignatures.end(),
             [](const auto &A, const auto &B) {
@@ -78,9 +114,10 @@ FunctionProfile FunctionProfiles::toProfile(const std::string &Name,
 }
 
 FunctionProfile FunctionProfiles::profile(const std::string &Name) const {
-  std::lock_guard<std::mutex> L(M);
-  auto It = Map.find(Name);
-  if (It == Map.end()) {
+  const Shard &S = shardFor(Name);
+  std::lock_guard<std::mutex> L(S.M);
+  auto It = S.Map.find(Name);
+  if (It == S.Map.end()) {
     FunctionProfile P;
     P.Name = Name;
     return P;
@@ -88,12 +125,18 @@ FunctionProfile FunctionProfiles::profile(const std::string &Name) const {
   return toProfile(Name, It->second);
 }
 
+uint64_t FunctionProfiles::invocations(const std::string &Name) const {
+  const Shard &S = shardFor(Name);
+  std::lock_guard<std::mutex> L(S.M);
+  auto It = S.Map.find(Name);
+  return It == S.Map.end() ? 0 : It->second.Invocations;
+}
+
 std::vector<FunctionProfile> FunctionProfiles::snapshot() const {
   std::vector<FunctionProfile> Out;
-  {
-    std::lock_guard<std::mutex> L(M);
-    Out.reserve(Map.size());
-    for (const auto &[Name, E] : Map)
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> L(S.M);
+    for (const auto &[Name, E] : S.Map)
       Out.push_back(toProfile(Name, E));
   }
   std::sort(Out.begin(), Out.end(),
@@ -122,6 +165,7 @@ std::string FunctionProfiles::json() const {
            ", \"warm_start_adoptions\": " +
            std::to_string(P.WarmStartAdoptions) +
            ", \"deopts\": " + std::to_string(P.Deopts) +
+           ", \"other_signatures\": " + std::to_string(P.OtherSignatures) +
            ", \"signatures\": [";
     bool FirstS = true;
     for (const auto &[Sig, Count] : P.ArgSignatures) {
@@ -164,11 +208,17 @@ std::string FunctionProfiles::renderTable(size_t Limit) const {
 }
 
 size_t FunctionProfiles::size() const {
-  std::lock_guard<std::mutex> L(M);
-  return Map.size();
+  size_t N = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> L(S.M);
+    N += S.Map.size();
+  }
+  return N;
 }
 
 void FunctionProfiles::clear() {
-  std::lock_guard<std::mutex> L(M);
-  Map.clear();
+  for (Shard &S : Shards) {
+    std::lock_guard<std::mutex> L(S.M);
+    S.Map.clear();
+  }
 }

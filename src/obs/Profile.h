@@ -8,23 +8,28 @@
 /// Per-function execution profiles: invocation counts (all call depths),
 /// top-level VM vs. interpreter time, compile count/time, warm-start
 /// adoptions, deoptimizations, and the observed argument-type signatures.
-/// This is the usage record the speculation layer can rank candidates by -
+/// This is the usage record the speculation layer ranks candidates by -
 /// the paper compiles what the snooper *finds*; real deployments should
 /// compile what users actually *call*, with the types they call it with.
 ///
 /// Signatures arrive pre-rendered as strings so this layer stays below
 /// majic_types in the dependency order (the engine caches the rendering
 /// per (function, signature), so the hot path pays a string hash, not a
-/// signature render).
+/// signature render). Per function only the first kMaxSignatures distinct
+/// signatures get their own counter; further distinct signatures land in
+/// an OtherSignatures overflow bucket so a megamorphic call site cannot
+/// grow the map without bound.
 ///
-/// Thread-safe behind one mutex: invocations are recorded by the engine
-/// thread, compiles by the background workers.
+/// Thread-safe: the name->entry map is sharded by name hash so the engine
+/// thread recording invocations and the background workers recording
+/// compiles do not serialize on one process-wide mutex.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef MAJIC_OBS_PROFILE_H
 #define MAJIC_OBS_PROFILE_H
 
+#include <array>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -49,10 +54,16 @@ struct FunctionProfile {
   uint64_t Deopts = 0;
   /// Observed argument-type signatures with call counts, most-called first.
   std::vector<std::pair<std::string, uint64_t>> ArgSignatures;
+  /// Calls whose distinct signature arrived after the per-function cap.
+  uint64_t OtherSignatures = 0;
 };
 
 class FunctionProfiles {
 public:
+  /// Distinct signatures tracked per function; later distinct signatures
+  /// only bump the OtherSignatures overflow counter.
+  static constexpr size_t kMaxSignatures = 16;
+
   void recordInvocation(const std::string &Name, const std::string &SigStr);
   void recordVmRun(const std::string &Name, double Seconds);
   void recordInterpRun(const std::string &Name, double Seconds);
@@ -60,8 +71,21 @@ public:
   void recordWarmAdoption(const std::string &Name);
   void recordDeopt(const std::string &Name);
 
+  /// Merge a persisted profile summary (warm start): adds \p Invocations
+  /// and \p OtherSigs without touching the signature table.
+  void mergePersisted(const std::string &Name, uint64_t Invocations,
+                      uint64_t OtherSigs);
+
+  /// Merge a persisted per-signature call count; overflow past the cap is
+  /// folded into OtherSignatures like live recording.
+  void mergeSignatureCount(const std::string &Name, const std::string &SigStr,
+                           uint64_t Count);
+
   /// The profile of \p Name; a zeroed profile when never recorded.
   FunctionProfile profile(const std::string &Name) const;
+
+  /// Invocation count of \p Name without copying the whole profile.
+  uint64_t invocations(const std::string &Name) const;
 
   /// Every profile, most-invoked first.
   std::vector<FunctionProfile> snapshot() const;
@@ -84,13 +108,29 @@ private:
     double CompileSeconds = 0;
     uint64_t WarmStartAdoptions = 0;
     uint64_t Deopts = 0;
+    uint64_t OtherSignatures = 0;
     std::unordered_map<std::string, uint64_t> Sigs;
+
+    void addSignature(const std::string &SigStr, uint64_t Count);
   };
+
+  struct Shard {
+    mutable std::mutex M;
+    std::unordered_map<std::string, Entry> Map;
+  };
+
+  static constexpr size_t kNumShards = 16;
+
+  Shard &shardFor(const std::string &Name) {
+    return Shards[std::hash<std::string>{}(Name) % kNumShards];
+  }
+  const Shard &shardFor(const std::string &Name) const {
+    return Shards[std::hash<std::string>{}(Name) % kNumShards];
+  }
 
   FunctionProfile toProfile(const std::string &Name, const Entry &E) const;
 
-  mutable std::mutex M;
-  std::unordered_map<std::string, Entry> Map;
+  std::array<Shard, kNumShards> Shards;
 };
 
 } // namespace obs

@@ -25,6 +25,9 @@ namespace {
 constexpr uint32_t kMagic = 0x4d4a4f42u; // "MJOB"
 constexpr uint32_t kFormatVersion = 1;
 constexpr const char *kExtension = ".mjo";
+constexpr uint32_t kProfileMagic = 0x4d4a5046u; // "MJPF"
+constexpr uint32_t kProfileFormatVersion = 1;
+constexpr const char *kProfileExtension = ".mjp";
 /// Refuse to slurp absurdly large files: a cache entry is a few KB; a
 /// multi-megabyte one is damage, not data.
 constexpr uint64_t kMaxFileBytes = 64ull << 20;
@@ -107,6 +110,7 @@ unsigned RepoStore::sweepTemps() {
   if (!Usable)
     return 0;
   unsigned N = atomicfile::sweepTempFiles(Dir, kExtension);
+  N += atomicfile::sweepTempFiles(Dir, kProfileExtension);
   std::lock_guard<std::mutex> L(Mutex);
   Stats.SweptTemps += N;
   return N;
@@ -278,6 +282,163 @@ void RepoStore::discardStale(const std::string &Path) {
 void RepoStore::noteAdopted() {
   std::lock_guard<std::mutex> L(Mutex);
   ++Stats.Adopted;
+}
+
+std::string RepoStore::profilePath() const {
+  return Dir + "/" + kProfileFileName;
+}
+
+std::string RepoStore::encodeProfiles(const std::vector<ProfileSummary> &Ps) {
+  ser::ByteWriter P;
+  P.u32(static_cast<uint32_t>(Ps.size()));
+  for (const ProfileSummary &S : Ps) {
+    P.str(S.Name);
+    P.u64(S.Invocations);
+    P.u64(S.OtherSignatures);
+    size_t N = std::min(S.Sigs.size(), kProfileTopK);
+    P.u32(static_cast<uint32_t>(N));
+    for (size_t I = 0; I != N; ++I) {
+      ser::writeTypeSignature(P, S.Sigs[I].Sig);
+      P.u64(S.Sigs[I].Count);
+    }
+  }
+  std::string Payload = P.take();
+  ser::ByteWriter W;
+  W.u32(kProfileMagic);
+  W.u32(kProfileFormatVersion);
+  W.u64(buildStamp());
+  W.u64(Payload.size());
+  W.u32(hashing::crc32(Payload));
+  std::string File = W.take();
+  File += Payload;
+  return File;
+}
+
+bool RepoStore::saveProfiles(const std::vector<ProfileSummary> &Ps) {
+  obs::TraceScope Span("repo.save_profiles", "repo", Dir.c_str());
+  try {
+    faults::maybeThrow(faults::Site::RepoSave);
+    if (!Usable)
+      throw std::runtime_error("store unusable");
+    // A summary whose name could not have come from a MATLAB identifier is
+    // damage; persisting it would just feed loadProfiles a corrupt rung.
+    std::vector<ProfileSummary> Clean;
+    Clean.reserve(Ps.size());
+    for (const ProfileSummary &S : Ps)
+      if (safeFileName(S.Name))
+        Clean.push_back(S);
+    std::string Bytes = encodeProfiles(Clean);
+    std::string Error;
+    if (!atomicfile::writeFileAtomic(profilePath(), Bytes, &Error))
+      throw std::runtime_error(Error);
+    std::lock_guard<std::mutex> L(Mutex);
+    ++Stats.ProfilesSaved;
+    return true;
+  } catch (...) {
+    std::lock_guard<std::mutex> L(Mutex);
+    ++Stats.ProfileSaveFailures;
+    return false;
+  }
+}
+
+std::vector<RepoStore::ProfileSummary> RepoStore::loadProfiles() {
+  obs::TraceScope Span("repo.load_profiles", "repo", Dir.c_str());
+  std::vector<ProfileSummary> Out;
+  if (!Usable)
+    return Out;
+  std::string Path = profilePath();
+  std::error_code ExistsEC;
+  if (!fs::exists(Path, ExistsEC) || ExistsEC)
+    return Out; // a missing profile file is a routine cold start
+
+  // The same ladder as .mjo entries; there is no source-hash rung because
+  // profiles are advisory - a stale profile mis-ranks the queue, and the
+  // engine guards observed signatures against the live arity before use.
+  enum class Verdict { Ok, Corrupt, Skew } V = Verdict::Corrupt;
+  try {
+    faults::maybeThrow(faults::Site::RepoLoad);
+    std::error_code SzEC;
+    uint64_t Size = fs::file_size(Path, SzEC);
+    if (SzEC || Size > kMaxFileBytes)
+      throw ser::SerializeError("unreadable or oversized file");
+    std::string Bytes;
+    if (!atomicfile::readFile(Path, Bytes))
+      throw ser::SerializeError("cannot read file");
+
+    ser::ByteReader R(Bytes);
+    if (R.u32() != kProfileMagic)
+      throw ser::SerializeError("bad magic");
+    if (R.u32() != kProfileFormatVersion) {
+      V = Verdict::Skew;
+      throw ser::SerializeError("format version skew");
+    }
+    if (R.u64() != buildStamp()) {
+      V = Verdict::Skew;
+      throw ser::SerializeError("build stamp skew");
+    }
+    uint64_t PayloadSize = R.u64();
+    uint32_t Crc = R.u32();
+    if (PayloadSize != R.remaining())
+      throw ser::SerializeError("payload size mismatch");
+    if (hashing::crc32(static_cast<const void *>(
+                           Bytes.data() + (Bytes.size() - PayloadSize)),
+                       static_cast<size_t>(PayloadSize)) != Crc)
+      throw ser::SerializeError("checksum mismatch");
+
+    uint32_t Count = R.u32();
+    std::vector<ProfileSummary> Decoded;
+    Decoded.reserve(Count);
+    for (uint32_t I = 0; I != Count; ++I) {
+      ProfileSummary S;
+      S.Name = R.str();
+      if (!safeFileName(S.Name))
+        throw ser::SerializeError("invalid function name");
+      S.Invocations = R.u64();
+      S.OtherSignatures = R.u64();
+      uint32_t NSigs = R.u32();
+      if (NSigs > kProfileTopK)
+        throw ser::SerializeError("signature count out of range");
+      S.Sigs.reserve(NSigs);
+      for (uint32_t J = 0; J != NSigs; ++J) {
+        ProfileSig PS;
+        PS.Sig = ser::readTypeSignature(R);
+        PS.Count = R.u64();
+        PS.SigStr = PS.Sig.str();
+        S.Sigs.push_back(std::move(PS));
+      }
+      Decoded.push_back(std::move(S));
+    }
+    if (!R.atEnd())
+      throw ser::SerializeError("trailing bytes after payload");
+    Out = std::move(Decoded);
+    V = Verdict::Ok;
+  } catch (...) {
+    // fall through to the verdict handling below
+  }
+
+  std::error_code IgnoredEC;
+  switch (V) {
+  case Verdict::Ok: {
+    std::lock_guard<std::mutex> L(Mutex);
+    Stats.ProfilesLoaded += Out.size();
+    break;
+  }
+  case Verdict::Corrupt: {
+    fs::rename(Path, Path + ".corrupt", IgnoredEC);
+    if (IgnoredEC)
+      fs::remove(Path, IgnoredEC);
+    std::lock_guard<std::mutex> L(Mutex);
+    ++Stats.ProfilesQuarantined;
+    break;
+  }
+  case Verdict::Skew: {
+    fs::remove(Path, IgnoredEC);
+    std::lock_guard<std::mutex> L(Mutex);
+    ++Stats.ProfilesSkewed;
+    break;
+  }
+  }
+  return Out;
 }
 
 RepoStoreStats RepoStore::stats() const {

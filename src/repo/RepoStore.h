@@ -47,6 +47,11 @@ struct RepoStoreStats {
   uint64_t StaleSource = 0;  ///< discarded because the source hash drifted
   uint64_t Adopted = 0;      ///< loaded entries published to the repository
   uint64_t SweptTemps = 0;   ///< leftover temp files removed at startup
+  uint64_t ProfilesSaved = 0;        ///< profile summary files written
+  uint64_t ProfileSaveFailures = 0;  ///< profile writes that failed
+  uint64_t ProfilesLoaded = 0;       ///< function summaries read back
+  uint64_t ProfilesQuarantined = 0;  ///< corrupt profile files renamed
+  uint64_t ProfilesSkewed = 0;       ///< profile files dropped for skew
 };
 
 class RepoStore {
@@ -84,6 +89,48 @@ public:
   /// Bumps the Adopted counter (the engine decides adoption; the store
   /// keeps the statistic so warm-start behavior is observable in one place).
   void noteAdopted();
+
+  /// One persisted observed signature: the serialized type signature plus
+  /// its call count. SigStr is re-rendered from the signature at load time
+  /// (the rendering is deterministic, so it round-trips with the string
+  /// keys FunctionProfiles uses).
+  struct ProfileSig {
+    TypeSignature Sig;
+    std::string SigStr;
+    uint64_t Count = 0;
+  };
+
+  /// One function's persisted profile summary.
+  struct ProfileSummary {
+    std::string Name;
+    uint64_t Invocations = 0;
+    uint64_t OtherSignatures = 0;
+    std::vector<ProfileSig> Sigs; ///< most-called first, <= kProfileTopK
+  };
+
+  /// Signatures persisted per function (mirrors the in-memory cap).
+  static constexpr size_t kProfileTopK = 16;
+
+  /// Name of the single profile summary file inside the store directory.
+  static constexpr const char *kProfileFileName = "profiles.mjp";
+
+  /// Atomically replaces the profile summary file. Best-effort like
+  /// save(): a failed write only costs next session's hot-first ordering.
+  bool saveProfiles(const std::vector<ProfileSummary> &Profiles);
+
+  /// Reads the profile summary file through the same validation ladder as
+  /// .mjo entries (magic, format version, build stamp, payload size, CRC32,
+  /// bounds-checked decode). A corrupt file is quarantined (*.corrupt), a
+  /// build/format-skewed one deleted; either way this returns empty and
+  /// the session cold-starts its profile. Never throws.
+  std::vector<ProfileSummary> loadProfiles();
+
+  /// Full path of the profile summary file (even when the store directory
+  /// could not be created).
+  std::string profilePath() const;
+
+  /// Serialized image of a profile summary file; exposed for fuzz tests.
+  static std::string encodeProfiles(const std::vector<ProfileSummary> &Ps);
 
   RepoStoreStats stats() const;
 

@@ -338,6 +338,90 @@ TEST(EngineAsync, InvocationPromotesQueuedSpeculation) {
   EXPECT_FALSE(E.promoteSpeculation("ccc"));
 }
 
+TEST(EngineAsync, SnoopOrdersNeverRunBySourceRecency) {
+  // Never-run functions tie at zero invocations, so the ranked queue falls
+  // back to source recency: the file the user saved last speculates first.
+  namespace fs = std::filesystem;
+  std::string Dir = ::testing::TempDir() + "/majic_async_rank_mtime";
+  fs::remove_all(Dir);
+  fs::create_directories(Dir);
+  auto Now = fs::file_time_type::clock::now();
+  const struct {
+    const char *Name;
+    std::chrono::hours Age;
+  } Files[] = {{"aa", std::chrono::hours(3)},
+               {"bb", std::chrono::hours(2)},
+               {"cc", std::chrono::hours(1)}};
+  for (const auto &F : Files) {
+    std::string Path = Dir + "/" + F.Name + ".m";
+    std::ofstream(Path) << "function y = " << F.Name << "(x)\ny = x + 1;\n";
+    fs::last_write_time(Path, Now - F.Age);
+  }
+
+  EngineOptions O;
+  O.Policy = CompilePolicy::Speculative;
+  O.BackgroundCompileThreads = 1;
+  Engine E(O);
+  E.pauseBackgroundCompiles();
+  E.watchDirectory(Dir);
+  EXPECT_EQ(E.snoop(), 3u);
+  // Newest source first: cc (1h old), bb (2h), aa (3h).
+  EXPECT_EQ(E.queuedSpeculations(),
+            (std::vector<std::string>{"cc", "bb", "aa"}));
+  E.resumeBackgroundCompiles();
+  E.drainCompiles();
+}
+
+TEST(EngineAsync, SnoopOrdersHotFirstAndPromotionStillWins) {
+  // Once the profile has invocation counts, they dominate the ranking -
+  // even over source recency - and explicit promotion still reorders the
+  // ranked queue.
+  namespace fs = std::filesystem;
+  std::string Dir = ::testing::TempDir() + "/majic_async_rank_hot";
+  fs::remove_all(Dir);
+  fs::create_directories(Dir);
+  auto Write = [&](const char *Name, std::chrono::hours Age) {
+    std::string Path = Dir + "/" + Name + std::string(".m");
+    std::ofstream(Path) << "function y = " << Name << "(x)\ny = x + 1;\n";
+    fs::last_write_time(Path, fs::file_time_type::clock::now() - Age);
+  };
+  Write("aa", std::chrono::hours(6));
+  Write("bb", std::chrono::hours(5));
+  Write("cc", std::chrono::hours(4));
+
+  EngineOptions O;
+  O.Policy = CompilePolicy::Speculative;
+  O.BackgroundCompileThreads = 1;
+  Engine E(O);
+  E.watchDirectory(Dir);
+  EXPECT_EQ(E.snoop(), 3u);
+  E.drainCompiles();
+
+  // The session's workload: bb is hot, aa lukewarm, cc never run.
+  for (int I = 0; I != 3; ++I)
+    E.callFunction("bb", {makeValue(Value::intScalar(1))}, 1, SourceLoc());
+  E.callFunction("aa", {makeValue(Value::intScalar(1))}, 1, SourceLoc());
+
+  // Touch every file - cc most recently, so recency alone would put the
+  // never-run cc first. Invocation counts must win instead.
+  Write("aa", std::chrono::hours(3));
+  Write("bb", std::chrono::hours(2));
+  Write("cc", std::chrono::hours(1));
+  E.pauseBackgroundCompiles();
+  EXPECT_EQ(E.snoop(), 3u);
+  EXPECT_EQ(E.queuedSpeculations(),
+            (std::vector<std::string>{"bb", "aa", "cc"}));
+
+  // Promotion of the coldest entry overrides the ranking; the rest keep
+  // their relative hot-first order.
+  EXPECT_TRUE(E.promoteSpeculation("cc"));
+  EXPECT_EQ(E.queuedSpeculations(),
+            (std::vector<std::string>{"cc", "bb", "aa"}));
+  E.resumeBackgroundCompiles();
+  E.drainCompiles();
+  EXPECT_TRUE(E.queuedSpeculations().empty());
+}
+
 TEST(EngineAsync, SnoopQueuesAndStatsAddUp) {
   std::string Dir = ::testing::TempDir() + "/majic_async_snoop";
   std::filesystem::remove_all(Dir);

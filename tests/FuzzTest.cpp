@@ -355,18 +355,23 @@ TEST_P(FaultSweep, EngineSurvivesScheduleAndRecovers) {
   // sessions left on disk - possibly nothing, never anything harmful - and
   // must agree with the reference exactly.
   faults::reset();
-  Engine E(O);
-  ASSERT_TRUE(E.addSource("fuzz", Src)) << E.diagnostics();
-  EXPECT_EQ(E.quarantineCount(), 0u);
-
   Outcome Got;
-  try {
-    auto Res = E.callFunction("fuzz", {makeValue(Value::intScalar(5))}, 1,
-                              SourceLoc());
-    Got.Result = Res[0]->scalarValue();
-  } catch (const MatlabError &Err) {
-    Got.Threw = true;
-    Got.Error = Err.message();
+  {
+    // Scoped: the engine (and its background store writes) must be fully
+    // torn down before the directory goes away, or the cleanup races a
+    // late save re-populating it.
+    Engine E(O);
+    ASSERT_TRUE(E.addSource("fuzz", Src)) << E.diagnostics();
+    EXPECT_EQ(E.quarantineCount(), 0u);
+
+    try {
+      auto Res = E.callFunction("fuzz", {makeValue(Value::intScalar(5))}, 1,
+                                SourceLoc());
+      Got.Result = Res[0]->scalarValue();
+    } catch (const MatlabError &Err) {
+      Got.Threw = true;
+      Got.Error = Err.message();
+    }
   }
   ASSERT_EQ(Ref.Threw, Got.Threw)
       << "error='" << Got.Error << "' vs ref='" << Ref.Error

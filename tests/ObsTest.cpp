@@ -505,6 +505,89 @@ TEST(Profiles, RecordAndSnapshot) {
   EXPECT_EQ(P.size(), 0u);
 }
 
+// Regression: the per-function signature map is capped. A function called
+// with an unbounded variety of signatures (e.g. cell-driven dispatch in a
+// long session) must not grow the profile without bound; the overflow is
+// counted, and invocation totals stay exact.
+TEST(Profiles, SignatureCapAndOverflowCounter) {
+  obs::FunctionProfiles P;
+  const size_t K = obs::FunctionProfiles::kMaxSignatures;
+  const size_t Total = K + 24;
+  for (size_t I = 0; I != Total; ++I)
+    P.recordInvocation("f", "(double 1x" + std::to_string(I + 1) + ")");
+
+  obs::FunctionProfile F = P.profile("f");
+  EXPECT_EQ(F.Invocations, Total);
+  // Exactly K distinct signatures retained; the rest fold into the
+  // overflow counter, so retained + overflow still equals Invocations.
+  EXPECT_EQ(F.ArgSignatures.size(), K);
+  EXPECT_EQ(F.OtherSignatures, Total - K);
+  uint64_t Retained = 0;
+  for (const auto &[Sig, Count] : F.ArgSignatures)
+    Retained += Count;
+  EXPECT_EQ(Retained + F.OtherSignatures, F.Invocations);
+
+  // Re-observing a retained signature still counts against it, not the
+  // overflow bucket.
+  P.recordInvocation("f", "(double 1x1)");
+  F = P.profile("f");
+  EXPECT_EQ(F.ArgSignatures[0].first, "(double 1x1)");
+  EXPECT_EQ(F.ArgSignatures[0].second, 2u);
+  EXPECT_EQ(F.OtherSignatures, Total - K);
+
+  // The overflow bucket surfaces in the JSON dump.
+  EXPECT_TRUE(jsonValid(P.json())) << P.json();
+  EXPECT_NE(P.json().find("\"other_signatures\""), std::string::npos);
+}
+
+// The recording hot path is sharded by function name: concurrent
+// recorders on different (and same) functions must neither lose counts
+// nor race (TSan covers the latter when enabled).
+TEST(Profiles, ConcurrentShardedRecording) {
+  obs::FunctionProfiles P;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> Ts;
+  for (int T = 0; T != kThreads; ++T)
+    Ts.emplace_back([&P, T] {
+      std::string Own = "fn" + std::to_string(T);
+      for (int I = 0; I != kPerThread; ++I) {
+        P.recordInvocation(Own, "(double 1x1)");
+        P.recordInvocation("shared", "(int 1x1)");
+      }
+    });
+  for (std::thread &T : Ts)
+    T.join();
+
+  EXPECT_EQ(P.profile("shared").Invocations,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  for (int T = 0; T != kThreads; ++T)
+    EXPECT_EQ(P.profile("fn" + std::to_string(T)).Invocations,
+              static_cast<uint64_t>(kPerThread));
+  EXPECT_EQ(P.invocations("shared"),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+// Warm-start merging: persisted totals land under the same entry as live
+// recording, and persisted signature counts seed the ranking.
+TEST(Profiles, MergePersistedCounts) {
+  obs::FunctionProfiles P;
+  P.mergePersisted("f", 10, 3);
+  P.mergeSignatureCount("f", "(double 1x1)", 7);
+  P.mergeSignatureCount("f", "(int 1x1)", 2);
+  P.recordInvocation("f", "(int 1x1)");
+
+  obs::FunctionProfile F = P.profile("f");
+  EXPECT_EQ(F.Invocations, 11u);
+  EXPECT_EQ(F.OtherSignatures, 3u);
+  ASSERT_EQ(F.ArgSignatures.size(), 2u);
+  EXPECT_EQ(F.ArgSignatures[0].first, "(double 1x1)");
+  EXPECT_EQ(F.ArgSignatures[0].second, 7u);
+  EXPECT_EQ(F.ArgSignatures[1].second, 3u);
+  EXPECT_EQ(P.invocations("f"), 11u);
+  EXPECT_EQ(P.invocations("never-run"), 0u);
+}
+
 //===----------------------------------------------------------------------===//
 // Engine integration
 //===----------------------------------------------------------------------===//

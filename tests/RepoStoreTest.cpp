@@ -453,4 +453,182 @@ TEST_F(RepoStoreTest, MultipleVersionsAndFunctionsSurviveRestart) {
   EXPECT_EQ(Warm.jitCompiles(), 0u);
 }
 
+//===----------------------------------------------------------------------===//
+// Persistent profiles (profiles.mjp)
+//===----------------------------------------------------------------------===//
+
+/// A representative profile summary for the store round-trip tests: two
+/// functions, one with signatures and an overflow count, one bare.
+std::vector<RepoStore::ProfileSummary> sampleProfiles() {
+  RepoStore::ProfileSummary Hot;
+  Hot.Name = "gg";
+  Hot.Invocations = 41;
+  Hot.OtherSignatures = 2;
+  RepoStore::ProfileSig S1;
+  S1.Sig = TypeSignature::ofValues({makeValue(Value::scalar(2.5))});
+  S1.SigStr = S1.Sig.str();
+  S1.Count = 30;
+  RepoStore::ProfileSig S2;
+  S2.Sig = TypeSignature::ofValues({intArg(3)});
+  S2.SigStr = S2.Sig.str();
+  S2.Count = 9;
+  Hot.Sigs = {S1, S2};
+
+  RepoStore::ProfileSummary Cold;
+  Cold.Name = "ff";
+  Cold.Invocations = 1;
+  return {Hot, Cold};
+}
+
+TEST_F(RepoStoreTest, ProfileSaveLoadRoundTrip) {
+  RepoStore S(Dir.string());
+  ASSERT_TRUE(S.saveProfiles(sampleProfiles()));
+  EXPECT_EQ(S.stats().ProfilesSaved, 1u);
+  EXPECT_TRUE(fs::exists(S.profilePath()));
+
+  RepoStore S2(Dir.string());
+  std::vector<RepoStore::ProfileSummary> Loaded = S2.loadProfiles();
+  EXPECT_EQ(S2.stats().ProfilesLoaded, 2u);
+  ASSERT_EQ(Loaded.size(), 2u);
+  EXPECT_EQ(Loaded[0].Name, "gg");
+  EXPECT_EQ(Loaded[0].Invocations, 41u);
+  EXPECT_EQ(Loaded[0].OtherSignatures, 2u);
+  ASSERT_EQ(Loaded[0].Sigs.size(), 2u);
+  EXPECT_EQ(Loaded[0].Sigs[0].Count, 30u);
+  // The signature string is re-rendered from the decoded signature, not
+  // stored: equality proves the type payload itself survived.
+  EXPECT_EQ(Loaded[0].Sigs[0].SigStr,
+            TypeSignature::ofValues({makeValue(Value::scalar(2.5))}).str());
+  EXPECT_EQ(Loaded[1].Name, "ff");
+  EXPECT_EQ(Loaded[1].Invocations, 1u);
+  EXPECT_TRUE(Loaded[1].Sigs.empty());
+
+  // A missing profile file is not an event at all: no load, no quarantine.
+  fs::remove(S2.profilePath());
+  RepoStore S3(Dir.string());
+  EXPECT_TRUE(S3.loadProfiles().empty());
+  EXPECT_EQ(S3.stats().ProfilesQuarantined, 0u);
+}
+
+TEST_F(RepoStoreTest, ProfileBitFlipFuzzRejectsEveryFlip) {
+  // Unlike .mjo entries (whose source-hash field is validated at adoption,
+  // not load), every byte of profiles.mjp is covered by a header check or
+  // the payload CRC: no single-bit flip may ever load.
+  std::string Good = RepoStore::encodeProfiles(sampleProfiles());
+  ASSERT_GT(Good.size(), 40u);
+
+  fs::path FuzzDir = Dir / "fuzz";
+  for (size_t I = 0; I < Good.size(); ++I) {
+    std::string Bad = Good;
+    Bad[I] = static_cast<char>(Bad[I] ^ (1u << (I % 8)));
+    fs::remove_all(FuzzDir);
+    fs::create_directories(FuzzDir);
+    spit(FuzzDir / RepoStore::kProfileFileName, Bad);
+
+    RepoStore S(FuzzDir.string());
+    EXPECT_TRUE(S.loadProfiles().empty()) << "byte " << I;
+    RepoStoreStats St = S.stats();
+    EXPECT_EQ(St.ProfilesLoaded, 0u) << "byte " << I;
+    EXPECT_EQ(St.ProfilesQuarantined + St.ProfilesSkewed, 1u) << "byte " << I;
+  }
+}
+
+TEST_F(RepoStoreTest, ProfileTruncationFuzzNeverCrashes) {
+  std::string Good = RepoStore::encodeProfiles(sampleProfiles());
+  fs::path FuzzDir = Dir / "fuzz";
+  for (size_t Len = 0; Len < Good.size(); Len += 3) {
+    fs::remove_all(FuzzDir);
+    fs::create_directories(FuzzDir);
+    spit(FuzzDir / RepoStore::kProfileFileName, Good.substr(0, Len));
+
+    RepoStore S(FuzzDir.string());
+    EXPECT_TRUE(S.loadProfiles().empty()) << "length " << Len;
+    EXPECT_EQ(S.stats().ProfilesQuarantined, 1u) << "length " << Len;
+  }
+}
+
+TEST_F(RepoStoreTest, CorruptProfileFileColdStartsCleanly) {
+  // A trashed profiles.mjp must behave exactly like a trashed .mjo: it is
+  // quarantined out of the namespace, the session cold-starts with empty
+  // profiles, and nothing crashes or changes results.
+  fs::create_directories(Dir);
+  spit(Dir / RepoStore::kProfileFileName, std::string(256, '\x5a'));
+
+  {
+    Engine E(syncOpts()); // RepoDir == ProfileDir == Dir by default
+    RepoStoreStats St = E.repoStoreStats();
+    EXPECT_EQ(St.ProfilesLoaded, 0u);
+    EXPECT_EQ(St.ProfilesQuarantined, 1u);
+    ASSERT_TRUE(E.addSource("ff", kSource));
+    auto R = E.callFunction("ff", {intArg(kArg)}, 1, SourceLoc());
+    EXPECT_DOUBLE_EQ(R[0]->scalarValue(), kExpect);
+  }
+  // The corrupt file was renamed away and the session above persisted a
+  // fresh, valid profile: the next start loads it cleanly.
+  Engine E2(syncOpts());
+  RepoStoreStats St = E2.repoStoreStats();
+  EXPECT_EQ(St.ProfilesQuarantined, 0u);
+  EXPECT_GE(St.ProfilesLoaded, 1u);
+}
+
+// The acceptance test for profile-guided speculation end to end: session 1
+// builds a profile (gg hot with a real-scalar argument, ff lukewarm) in a
+// profile-only directory - no code store, so nothing but the profile can
+// carry information across sessions. Session 2 must (a) queue gg before ff
+// and (b) speculatively compile gg's *observed* real-scalar signature, not
+// the backward hint's integer guess (gg's argument drives a for-range, so
+// the hint infers int), proving the first real call hits with zero JIT
+// compiles.
+TEST_F(RepoStoreTest, PersistedProfilesDriveHotFirstObservedSigSpeculation) {
+  fs::path SrcDir = Dir / "src";
+  fs::path ProfDir = Dir / "prof";
+  fs::create_directories(SrcDir);
+  {
+    std::ofstream(SrcDir / "gg.m") << "function y = gg(n)\ny = 0;\n"
+                                      "for k = 1:n\ny = y + k;\nend\n";
+    std::ofstream(SrcDir / "ff.m") << kSource;
+  }
+  ValuePtr RealArg = makeValue(Value::scalar(2.5));
+  const std::string ObservedSig = TypeSignature::ofValues({RealArg}).str();
+
+  {
+    EngineOptions O;
+    O.Policy = CompilePolicy::Jit;
+    O.BackgroundCompileThreads = 0;
+    O.ProfileDir = ProfDir.string();
+    Engine S1(O);
+    S1.watchDirectory(SrcDir.string());
+    ASSERT_EQ(S1.snoop(), 2u);
+    for (int I = 0; I != 3; ++I)
+      S1.callFunction("gg", {RealArg}, 1, SourceLoc());
+    S1.callFunction("ff", {intArg(kArg)}, 1, SourceLoc());
+  }
+  ASSERT_TRUE(fs::exists(ProfDir / RepoStore::kProfileFileName));
+
+  EngineOptions O;
+  O.Policy = CompilePolicy::Speculative;
+  O.BackgroundCompileThreads = 1;
+  O.ProfileDir = ProfDir.string();
+  Engine S2(O);
+  EXPECT_EQ(S2.repoStoreStats().ProfilesLoaded, 2u);
+  S2.pauseBackgroundCompiles();
+  S2.watchDirectory(SrcDir.string());
+  ASSERT_EQ(S2.snoop(), 2u);
+  EXPECT_EQ(S2.queuedSpeculations(),
+            (std::vector<std::string>{"gg", "ff"}));
+  S2.resumeBackgroundCompiles();
+  S2.drainCompiles();
+
+  ASSERT_EQ(S2.repository().versionCount("gg"), 1u);
+  CompiledObjectPtr Obj = S2.repository().versions("gg").front();
+  EXPECT_EQ(Obj->From, CompiledObject::Origin::Speculative);
+  EXPECT_EQ(Obj->Sig.str(), ObservedSig);
+
+  // The call the profile predicted: served by the speculative compile.
+  auto R = S2.callFunction("gg", {RealArg}, 1, SourceLoc());
+  EXPECT_DOUBLE_EQ(R[0]->scalarValue(), 3.0); // k = 1, 2
+  EXPECT_EQ(S2.jitCompiles(), 0u);
+  EXPECT_EQ(S2.interpreterFallbacks(), 0u);
+}
+
 } // namespace
