@@ -1,0 +1,182 @@
+//===- bench/BenchFusion.cpp - Fused vs unfused elementwise chains --------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The payoff of elementwise expression fusion: a chain of L elementwise
+// operators over an n x n matrix is one memory pass and one allocation
+// when fused, L passes and L allocations when not. Measured per (chain
+// length, matrix size) with two engines that differ only in the
+// FuseElementwise knob, single compute thread, steady state (the JIT
+// compile happens in an untimed warmup call):
+//
+//   per-chain time = (t(reps_hi) - t(reps_lo)) / (reps_hi - reps_lo)
+//
+// which cancels the call overhead and the operand-construction prologue
+// exactly. Both configurations must produce bit-identical results - a
+// speedup with a different answer is a bug, not a win. Emits
+// BENCH_fusion.json.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace majic;
+using namespace majic::bench;
+
+namespace {
+
+struct Chain {
+  const char *Name;
+  int Ops;          ///< elementwise operators in the fused statement
+  const char *Stmt; ///< the chain, over operands a, b, c
+};
+
+// Linear chains (single-use intermediates, stack depth <= 2) so the whole
+// right-hand side fuses into one EwFuse group.
+const Chain kChains[] = {
+    {"chain2", 2, "r = a .* b + c;"},
+    {"chain4", 4, "r = a .* b + c - a .* 0.5;"},
+    {"chain8", 8, "r = a .* b + c - a .* 0.5 + b ./ 2.0 - c + 1.5;"},
+};
+
+const int kSizes[] = {64, 256, 1024};
+
+/// Best-of count: the acceptance measurement is best-of-25 on a quiet
+/// system; MAJIC_BENCH_REPS lowers it for smoke runs.
+int benchReps() {
+  return std::getenv("MAJIC_BENCH_REPS") ? repetitions() : 25;
+}
+
+std::string chainSource(const Chain &C) {
+  return std::string("function s = bench(n, reps)\n"
+                     "a = ones(n, n) * 1.5;\n"
+                     "b = ones(n, n) * 0.25;\n"
+                     "c = ones(n, n) * 3.0;\n"
+                     "s = 0;\n"
+                     "for k = 1:reps\n") +
+         C.Stmt +
+         "\ns = s + r(1) + r(n * n);\n"
+         "end\n";
+}
+
+struct Measured {
+  double SecondsPerChain = 0;
+  double Result = 0; ///< the accumulated scalar, for the identity check
+  uint64_t TempsElided = 0;
+};
+
+/// Steady-state per-chain-evaluation time under one engine configuration.
+Measured measure(const Chain &C, int N, int Reps, bool Fused) {
+  EngineOptions O;
+  O.Policy = CompilePolicy::Jit;
+  O.BackgroundCompileThreads = 0;
+  O.ComputeThreads = 1;
+  O.FuseElementwise = Fused;
+  Engine E(O);
+  if (!E.addSource("bench", chainSource(C)))
+    std::abort();
+
+  auto Call = [&](int Reps2) {
+    auto R = E.callFunction("bench",
+                            {makeValue(Value::intScalar(N)),
+                             makeValue(Value::intScalar(Reps2))},
+                            1, SourceLoc());
+    return R[0]->scalarValue();
+  };
+
+  Measured M;
+  M.Result = Call(Reps); // warmup: JIT compile + the identity-check answer
+
+  const int Lo = 1, Hi = 1 + Reps;
+  double TLo = bestOf(benchReps(), [&] { Call(Lo); });
+  double THi = bestOf(benchReps(), [&] { Call(Hi); });
+  M.SecondsPerChain = std::max(THi - TLo, 0.0) / (Hi - Lo);
+
+  obs::MetricsSnapshot Snap = E.sampleMetrics();
+  for (const auto &[Name, V] : Snap.Counters)
+    if (Name == "fusion.temps_elided")
+      M.TempsElided = V;
+  return M;
+}
+
+} // namespace
+
+int main() {
+  printHeader("Elementwise fusion: one pass vs one pass per operator",
+              "JIT policy, 1 compute thread, steady state (compile untimed); "
+              "per-chain time\nfrom a two-point fit so call overhead and "
+              "operand setup cancel exactly");
+
+  std::printf("%-8s %4s %9s %14s %14s %8s  %s\n", "chain", "n", "elements",
+              "unfused (ms)", "fused (ms)", "speedup", "results");
+  std::printf("%.*s\n", 78,
+              "-----------------------------------------------------------"
+              "--------------------");
+
+  const int ChainReps = 6;
+
+  JsonWriter W;
+  W.beginObject();
+  W.field("benchmark_set", "fusion");
+  W.field("policy", "jit");
+  W.field("compute_threads", 1);
+  W.field("best_of", benchReps());
+  writeMachineInfo(W);
+  W.beginArray("results");
+
+  int Matching = 0, Faster = 0, Total = 0;
+  for (const Chain &C : kChains) {
+    for (int Size : kSizes) {
+      int N = std::max(16, static_cast<int>(Size * sizeScale()));
+      Measured Un = measure(C, N, ChainReps, /*Fused=*/false);
+      Measured Fu = measure(C, N, ChainReps, /*Fused=*/true);
+      double Speedup =
+          Fu.SecondsPerChain > 0 ? Un.SecondsPerChain / Fu.SecondsPerChain : 0;
+      bool Match = Un.Result == Fu.Result; // bit-identical accumulations
+      ++Total;
+      Matching += Match;
+      Faster += Fu.SecondsPerChain < Un.SecondsPerChain;
+
+      std::printf("%-8s %4d %9d %14.3f %14.3f %7.2fx  %s\n", C.Name, N, N * N,
+                  Un.SecondsPerChain * 1e3, Fu.SecondsPerChain * 1e3, Speedup,
+                  Match ? "identical" : "MISMATCH");
+
+      W.beginObject();
+      W.field("chain", C.Name);
+      W.field("ops", C.Ops);
+      W.field("n", N);
+      W.field("elements", static_cast<uint64_t>(N) * N);
+      W.field("unfused_ms", Un.SecondsPerChain * 1e3);
+      W.field("fused_ms", Fu.SecondsPerChain * 1e3);
+      W.field("speedup", Speedup);
+      // Intermediate Values the unfused chain materializes per evaluation
+      // and the fused loop never allocates (compile-time count).
+      W.field("temps_elided", Fu.TempsElided);
+      W.field("results_identical", Match);
+      W.endObject();
+    }
+  }
+
+  W.endArray();
+  W.field("all_identical", Matching == Total);
+  W.field("fused_faster", Faster);
+  W.field("combinations", Total);
+  W.endObject();
+  if (!W.writeFile("BENCH_fusion.json"))
+    std::fprintf(stderr, "warning: could not write BENCH_fusion.json\n");
+
+  std::printf("\n%d/%d combinations bit-identical, %d/%d fused faster; "
+              "BENCH_fusion.json written.\n",
+              Matching, Total, Faster, Total);
+  return Matching == Total ? 0 : 1;
+}

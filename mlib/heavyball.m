@@ -1,0 +1,31 @@
+function x = heavyball(n, maxit)
+% HEAVYBALL  Polyak heavy-ball (momentum) iteration for the tridiagonal
+% test system shared with cgopt/qmr/sor, written in vectorized
+% whole-array style rather than the corpus' Fortran-77 scalar loops.
+% The update is a single five-operator elementwise expression - the
+% statement shape MaJIC's elementwise fusion compiles to one loop.
+A = zeros(n, n);
+for i = 1:n
+  A(i, i) = 4;
+end
+for i = 1:n-1
+  A(i, i + 1) = -1;
+  A(i + 1, i) = -1;
+end
+b = ones(n, 1);
+x = zeros(n, 1);
+xp = zeros(n, 1);
+% Optimal step and momentum from the eigenvalue bounds 4 - 2cos(k*pi/(n+1))
+% in (2, 6): alpha = 4/(sqrt(L)+sqrt(mu))^2, beta = ((sqrt(L)-sqrt(mu)) /
+% (sqrt(L)+sqrt(mu)))^2 with mu = 2, L = 6.
+alpha = 4 / (sqrt(6) + sqrt(2))^2;
+beta = ((sqrt(6) - sqrt(2)) / (sqrt(6) + sqrt(2)))^2;
+for it = 1:maxit
+  r = b - A * x;
+  xn = x + alpha * r + beta * (x - xp);
+  xp = x;
+  x = xn;
+  if norm(r) < 1e-10
+    break;
+  end
+end

@@ -262,6 +262,30 @@ private:
     unsigned NumDims;
   };
 
+  //===--------------------------------------------------------------------===
+  // Elementwise fusion (EwFuse selection)
+  //===--------------------------------------------------------------------===
+
+  /// One node of a fusable elementwise expression tree.
+  struct FuseNode {
+    const Expr *E;
+    enum class Kind : uint8_t { Leaf, Bin, Neg, Intr } K;
+    int32_t Arg = 0; ///< rt::BinOp for Bin, ScalarIntrinsic for Intr
+    int L = -1, R = -1;
+  };
+  struct FuseTree {
+    std::vector<FuseNode> Nodes;
+    int Root = -1;
+    unsigned NumOps = 0; ///< fused interior ops (Bin/Neg/Intr nodes)
+  };
+
+  int buildFuseNode(FuseTree &T, const Expr *E, int Avail);
+  bool fuseErrorOrderSafe(const FuseTree &T) const;
+  std::optional<Operand> tryFuseElementwise(const Expr *E,
+                                            unsigned MinOps = 2);
+  Operand emitFuseTree(const FuseTree &T);
+  bool isSimpleFuseLeaf(const Expr *E) const;
+
   const FunctionInfo &FI;
   const TypeAnnotations &Ann;
   const TypeSignature &Sig;
@@ -902,6 +926,12 @@ Operand CodeGen::genUnary(const UnaryExpr *E) {
     break;
   }
   }
+  // Elementwise fusion: -(<elementwise tree>) over a real array. (Unary
+  // plus returned above: it compiles to its operand directly.)
+  if (E->op() == UnaryOpKind::Neg)
+    if (auto Fused = tryFuseElementwise(E))
+      return *Fused;
+
   // Generic fallback.
   Operand P = toP(genExpr(E->operand()), OpT);
   int32_t Dst = B.newP();
@@ -925,6 +955,221 @@ Operand CodeGen::genUnary(const UnaryExpr *E) {
   }
   B.emitImmI(Opcode::RtUn, static_cast<int64_t>(Op), Dst, P.R0);
   return Operand::p(Dst);
+}
+
+//===----------------------------------------------------------------------===//
+// Elementwise fusion: grow a maximal tree of elementwise ops and emit one
+// EwFuse instruction (one loop, one memory pass, zero temporaries).
+//===----------------------------------------------------------------------===//
+
+/// Non-throwing, non-printing leaf expressions: literals, variable reads,
+/// and constant-folded builtin references. Only these may be evaluated
+/// after an op that could raise a runtime dimension error without
+/// reordering observable behavior (see fuseErrorOrderSafe).
+bool CodeGen::isSimpleFuseLeaf(const Expr *E) const {
+  if (isa<NumberExpr>(E))
+    return true;
+  if (const auto *Id = dyn_cast<IdentExpr>(E)) {
+    if (Id->symKind() == SymKind::Variable)
+      return true;
+    if (Id->symKind() == SymKind::Builtin &&
+        typeOf(E).constantValue().has_value())
+      return true;
+  }
+  return false;
+}
+
+/// Grows the fusable tree rooted at \p E. \p Avail is the number of free
+/// evaluation-stack slots when this node starts executing (>= 1); a node
+/// that cannot (or should not) fuse becomes a leaf. Scalar-typed subtrees
+/// always become leaves: they are computed once in registers and broadcast,
+/// instead of being re-evaluated per element inside the loop.
+int CodeGen::buildFuseNode(FuseTree &T, const Expr *E, int Avail) {
+  auto Leaf = [&] {
+    T.Nodes.push_back({E, FuseNode::Kind::Leaf, 0, -1, -1});
+    return static_cast<int>(T.Nodes.size()) - 1;
+  };
+  Type ResT = typeOf(E);
+  if (!realArrayType(ResT))
+    return Leaf(); // interior legality rechecks; belt and braces
+  if (ResT.isScalar())
+    return Leaf();
+
+  if (const auto *U = dyn_cast<UnaryExpr>(E)) {
+    // Unary plus is the identity (genUnary compiles it away); fuse
+    // through it transparently.
+    if (U->op() == UnaryOpKind::Plus &&
+        realArrayType(typeOf(U->operand())))
+      return buildFuseNode(T, U->operand(), Avail);
+    if (U->op() == UnaryOpKind::Neg &&
+        realArrayType(typeOf(U->operand()))) {
+      int C = buildFuseNode(T, U->operand(), Avail);
+      T.Nodes.push_back({E, FuseNode::Kind::Neg, 0, C, -1});
+      ++T.NumOps;
+      return static_cast<int>(T.Nodes.size()) - 1;
+    }
+    return Leaf();
+  }
+
+  if (const auto *Bin = dyn_cast<BinaryExpr>(E)) {
+    if (Avail < 2)
+      return Leaf(); // no slot left for the second operand
+    Type LT = typeOf(Bin->lhs()), RT = typeOf(Bin->rhs());
+    BinOp Op = Bin->op();
+    bool Fusable =
+        Op == BinOp::Add || Op == BinOp::Sub || Op == BinOp::ElemMul ||
+        Op == BinOp::ElemRDiv || Op == BinOp::ElemPow ||
+        // * and / degenerate to the elementwise op only with a scalar
+        // multiplicand / divisor, and fuse only when the type proves it.
+        (Op == BinOp::MatMul && (LT.isScalar() || RT.isScalar())) ||
+        (Op == BinOp::MatRDiv && RT.isScalar());
+    if (!Fusable || !realArrayType(LT) || !realArrayType(RT))
+      return Leaf();
+    // Left child evaluates with all our slots; its result then occupies
+    // one while the right child evaluates.
+    int L = buildFuseNode(T, Bin->lhs(), Avail);
+    int R = buildFuseNode(T, Bin->rhs(), Avail - 1);
+    T.Nodes.push_back(
+        {E, FuseNode::Kind::Bin, static_cast<int32_t>(Op), L, R});
+    ++T.NumOps;
+    return static_cast<int>(T.Nodes.size()) - 1;
+  }
+
+  if (const auto *IC = dyn_cast<IndexOrCallExpr>(E)) {
+    if (IC->base() && IC->base()->symKind() == SymKind::Builtin &&
+        IC->args().size() == 1) {
+      const BuiltinDef *Def =
+          BuiltinTable::instance().lookup(IC->base()->name());
+      // A Real result annotation is the domain certificate for guarded
+      // intrinsics (sqrt of a proven-nonnegative array, or the optimistic
+      // real-math rule backed by the runtime guard + deopt).
+      if (Def && Def->Intrinsic != ScalarIntrinsic::None &&
+          scalarIntrinsicArity(Def->Intrinsic) == 1 &&
+          realArrayType(typeOf(IC->args()[0]))) {
+        int C = buildFuseNode(T, IC->args()[0], Avail);
+        T.Nodes.push_back({E, FuseNode::Kind::Intr,
+                           static_cast<int32_t>(Def->Intrinsic), C, -1});
+        ++T.NumOps;
+        return static_cast<int>(T.Nodes.size()) - 1;
+      }
+    }
+    return Leaf();
+  }
+
+  return Leaf();
+}
+
+/// The fused loop evaluates every leaf before it applies any operator,
+/// while the interpreter interleaves them in post-order. That reordering
+/// is observable only when an operator that can throw a runtime dimension
+/// error executes (in interpreter order) before a leaf that can itself
+/// throw or print. Reject such trees: once a possibly-mismatching Bin has
+/// been seen in post-order, later leaves must be simple.
+bool CodeGen::fuseErrorOrderSafe(const FuseTree &T) const {
+  bool MismatchPossible = false;
+  bool Safe = true;
+  auto Walk = [&](auto &&Self, int N) -> void {
+    const FuseNode &Node = T.Nodes[N];
+    switch (Node.K) {
+    case FuseNode::Kind::Leaf:
+      if (MismatchPossible && !isSimpleFuseLeaf(Node.E))
+        Safe = false;
+      return;
+    case FuseNode::Kind::Bin: {
+      Self(Self, Node.L);
+      Self(Self, Node.R);
+      const auto *Bin = cast<BinaryExpr>(Node.E);
+      Type LT = typeOf(Bin->lhs()), RT = typeOf(Bin->rhs());
+      bool Compatible =
+          LT.isScalar() || RT.isScalar() ||
+          (LT.exactShape() && RT.exactShape() &&
+           *LT.exactShape() == *RT.exactShape());
+      if (!Compatible)
+        MismatchPossible = true;
+      return;
+    }
+    case FuseNode::Kind::Neg:
+    case FuseNode::Kind::Intr:
+      Self(Self, Node.L);
+      return;
+    }
+  };
+  Walk(Walk, T.Root);
+  return Safe;
+}
+
+/// Emits the fused tree: leaves are evaluated depth-first left-to-right
+/// (exactly the interpreter's subexpression order), boxed, and collected
+/// into the operand table; the postfix program mirrors the tree.
+Operand CodeGen::emitFuseTree(const FuseTree &T) {
+  std::vector<int32_t> OperandRegs;
+  std::vector<int32_t> Program;
+  auto Emit = [&](auto &&Self, int N) -> void {
+    const FuseNode &Node = T.Nodes[N];
+    switch (Node.K) {
+    case FuseNode::Kind::Leaf: {
+      int32_t Reg = toP(genExpr(Node.E), typeOf(Node.E)).R0;
+      // Re-pushing an already-tabled register (the same variable read
+      // twice) reuses its slot; the push still re-broadcasts per element.
+      int32_t Idx = -1;
+      for (size_t K = 0; K != OperandRegs.size(); ++K)
+        if (OperandRegs[K] == Reg)
+          Idx = static_cast<int32_t>(K);
+      if (Idx < 0) {
+        Idx = static_cast<int32_t>(OperandRegs.size());
+        OperandRegs.push_back(Reg);
+      }
+      Program.push_back(ew::encode(ew::EwOp::Push, Idx));
+      return;
+    }
+    case FuseNode::Kind::Bin:
+      Self(Self, Node.L);
+      Self(Self, Node.R);
+      Program.push_back(ew::encode(ew::EwOp::Bin, Node.Arg));
+      return;
+    case FuseNode::Kind::Neg:
+      Self(Self, Node.L);
+      Program.push_back(ew::encode(ew::EwOp::Neg));
+      return;
+    case FuseNode::Kind::Intr:
+      Self(Self, Node.L);
+      Program.push_back(ew::encode(ew::EwOp::Intr, Node.Arg));
+      return;
+    }
+  };
+  Emit(Emit, T.Root);
+
+  int32_t Dst = B.newP();
+  Instr In = Instr::make(Opcode::EwFuse, Dst, B.pool(OperandRegs),
+                         static_cast<int32_t>(OperandRegs.size()),
+                         B.pool(Program));
+  In.Imm.I = static_cast<int64_t>(Program.size());
+  B.emit(In);
+
+  if (Opts.Stats) {
+    Opts.Stats->Groups += 1;
+    Opts.Stats->OpsFused += T.NumOps;
+    Opts.Stats->TempsElided += T.NumOps - 1;
+  }
+  return Operand::p(Dst);
+}
+
+/// Root entry: fuse \p E when it heads a legal elementwise tree of at
+/// least two ops with a provably real, non-scalar result. Single ops gain
+/// nothing over the runtime's own parallel elementwise kernels, so they
+/// keep the boxed path.
+std::optional<Operand> CodeGen::tryFuseElementwise(const Expr *E,
+                                                   unsigned MinOps) {
+  if (generic() || !Opts.EnableFusion)
+    return std::nullopt;
+  Type ResT = typeOf(E);
+  if (!realArrayType(ResT) || ResT.isScalar())
+    return std::nullopt;
+  FuseTree T;
+  T.Root = buildFuseNode(T, E, ew::kMaxEwStack);
+  if (T.NumOps < MinOps || !fuseErrorOrderSafe(T))
+    return std::nullopt;
+  return emitFuseTree(T);
 }
 
 Operand CodeGen::genBinary(const BinaryExpr *E) {
@@ -1181,6 +1426,11 @@ Operand CodeGen::genBinary(const BinaryExpr *E) {
 
   // Fused BLAS patterns (Section 2.6.1's dgemv selection rule).
   if (Fast && Op == BinOp::Add) {
+    // A chain of three or more elementwise ops is one EwFuse pass; Axpy
+    // would claim only its a*X + Y root and leave the rest as separate
+    // boxed passes. Plain two-op a*X + Y still prefers the Axpy kernel.
+    if (auto Fused = tryFuseElementwise(E, /*MinOps=*/3))
+      return *Fused;
     // a*X + Y / Y + a*X with real vector X, Y: Axpy.
     auto TryAxpy = [&](const Expr *MulSide, const Expr *Other) -> bool {
       const auto *Mul = dyn_cast<BinaryExpr>(MulSide);
@@ -1215,6 +1465,11 @@ Operand CodeGen::genBinary(const BinaryExpr *E) {
     B.emit(Opcode::Gemv, Dst, A.R0, X.R0);
     return Operand::p(Dst);
   }
+
+  // Elementwise fusion: a chain of two or more elementwise ops over real
+  // arrays becomes one EwFuse loop instead of per-op boxed passes.
+  if (auto Fused = tryFuseElementwise(E))
+    return *Fused;
 
   // The implicit default rule: boxed generic operation.
   Operand L = toP(genExpr(E->lhs()), LT);
@@ -1560,6 +1815,12 @@ std::vector<Operand> CodeGen::genBuiltinCall(const IndexOrCallExpr *IC,
     B.emit(In);
     return Outs;
   }
+
+  // Elementwise fusion: an intrinsic map over a fusable array chain
+  // (exp(-x.^2) and friends) becomes part of one EwFuse loop.
+  if (Fast && NumOuts == 1 && !Statement)
+    if (auto Fused = tryFuseElementwise(IC))
+      return {*Fused};
 
   // Generic builtin call.
   std::vector<int32_t> ArgRegs;

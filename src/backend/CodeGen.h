@@ -41,12 +41,25 @@ namespace majic {
 
 enum class CodeGenMode : uint8_t { Jit, Optimized, Generic };
 
+/// Counters filled by the elementwise-fusion matcher (per compile).
+struct FusionStats {
+  uint64_t Groups = 0;      ///< EwFuse instructions emitted
+  uint64_t OpsFused = 0;    ///< elementwise ops folded into them
+  uint64_t TempsElided = 0; ///< intermediate full-size temporaries avoided
+};
+
 struct CodeGenOptions {
   CodeGenMode Mode = CodeGenMode::Jit;
   /// Fully unroll element-wise operations on exactly-shaped arrays of at
   /// most this many elements (Section 2.6.1: "very effective on small
   /// (up to 3x3) matrices"). 0 disables unrolling.
   unsigned MaxUnrollNumel = 9;
+  /// Fuse maximal elementwise expression trees into single-pass EwFuse
+  /// loops (one loop, one memory pass, zero intermediate temporaries).
+  /// Has no effect in Generic mode: fusion legality needs annotations.
+  bool EnableFusion = true;
+  /// Out-channel: when non-null, fusion statistics accumulate here.
+  FusionStats *Stats = nullptr;
 };
 
 /// Lowers \p FI with annotations \p Ann. Returns null when the function

@@ -36,6 +36,8 @@ std::optional<CompileResult> majic::compileFunction(const CompileRequest &Req) {
   CodeGenOptions CGOpts;
   CGOpts.Mode = Req.Mode;
   CGOpts.MaxUnrollNumel = Req.UnrollSmallVectors ? 9 : 0;
+  CGOpts.EnableFusion = Req.FuseElementwise;
+  CGOpts.Stats = &Result.Fusion;
   std::unique_ptr<IRFunction> Code;
   {
     obs::TraceScope Span("codegen", "compile", FnName);
@@ -50,7 +52,18 @@ std::optional<CompileResult> majic::compileFunction(const CompileRequest &Req) {
     OptimizeOptions OptOpts;
     OptOpts.Rounds = Req.Platform.NativeOptRounds;
     OptOpts.UnrollFactor = Req.Platform.NativeOptRounds >= 2 ? 4 : 2;
+    OptOpts.Fusion = &Result.Fusion;
     Result.Optimizer = optimize(*Code, OptOpts);
+  }
+
+  // Record the fusion outcome as its own compiler phase span so traces
+  // show what the matcher did for this compile (satellite: codegen.fuse).
+  {
+    const FusionStats &FS = Result.Fusion;
+    obs::TraceScope Span("codegen.fuse", "compile",
+                         FnName + ": groups=" + std::to_string(FS.Groups) +
+                             " ops=" + std::to_string(FS.OpsFused) +
+                             " temps=" + std::to_string(FS.TempsElided));
   }
 
   {

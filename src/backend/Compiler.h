@@ -37,6 +37,8 @@ struct CompileRequest {
   /// Unroll small-vector operations (platform JIT maturity; Figure 7's
   /// "no min. shapes" disables the shapes instead).
   bool UnrollSmallVectors = true;
+  /// Fuse elementwise expression trees into single-pass EwFuse loops.
+  bool FuseElementwise = true;
 };
 
 struct CompileResult {
@@ -46,6 +48,7 @@ struct CompileResult {
   double CodeGenSeconds = 0;
   RegAllocStats RegAlloc;
   OptimizeStats Optimizer;
+  FusionStats Fusion;
 };
 
 /// Runs the pipeline. Returns nullopt when the function cannot be compiled

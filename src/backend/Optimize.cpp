@@ -6,9 +6,11 @@
 
 #include "backend/Optimize.h"
 
+#include "backend/CodeGen.h"
 #include "ir/Operands.h"
 #include "runtime/Builtins.h"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <unordered_map>
@@ -580,6 +582,282 @@ void runUnroll(IRFunction &F, unsigned Factor, unsigned MaxBody,
 }
 
 //===----------------------------------------------------------------------===//
+// Cross-statement EwFuse merging
+//===----------------------------------------------------------------------===//
+
+/// True for instructions that may sit between a merged producer and
+/// consumer: they cannot throw a user-visible MatlabError, print, or touch
+/// the heap, so deferring the producer's execution past them is invisible.
+/// (Guarded FIntr1/2 can throw DeoptError, but a deopt replays the whole
+/// call in the interpreter, which reproduces the original order exactly.)
+bool isEwMergeGapSafe(Opcode Op) {
+  switch (Op) {
+  case Opcode::Nop:
+  case Opcode::FConst:
+  case Opcode::IConst:
+  case Opcode::MovF:
+  case Opcode::MovI:
+  case Opcode::MovP:
+  case Opcode::IToF:
+  case Opcode::FToI:
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FDiv:
+  case Opcode::FPow:
+  case Opcode::FNeg:
+  case Opcode::FIntr1:
+  case Opcode::FIntr2:
+  case Opcode::FCmp:
+  case Opcode::IAdd:
+  case Opcode::ISub:
+  case Opcode::IMul:
+  case Opcode::INeg:
+  case Opcode::ICmp:
+  case Opcode::IAnd:
+  case Opcode::IOr:
+  case Opcode::INot:
+  case Opcode::BoxF:
+  case Opcode::BoxI:
+  case Opcode::BoxB:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Maximum stack depth a fused program reaches, or -1 when malformed.
+int ewProgramDepth(const IRFunction &F, int32_t Off, int64_t Len) {
+  int Sp = 0, Max = 0;
+  for (int64_t K = 0; K != Len; ++K) {
+    int32_t Entry = F.Pool[Off + K];
+    switch (ew::opOf(Entry)) {
+    case ew::EwOp::Push:
+      if (++Sp > Max)
+        Max = Sp;
+      break;
+    case ew::EwOp::Bin:
+      if (Sp < 2)
+        return -1;
+      --Sp;
+      break;
+    case ew::EwOp::Neg:
+    case ew::EwOp::Intr:
+      if (Sp < 1)
+        return -1;
+      break;
+    }
+  }
+  return Sp == 1 ? Max : -1;
+}
+
+/// One merge sweep; returns true when anything merged. A producer EwFuse
+/// whose result (optionally forwarded through one single-use MovP) feeds
+/// exactly one later EwFuse in the same straight-line region is inlined
+/// into the consumer: its program is spliced at the consumer's Push site
+/// and the intermediate full-size temporary disappears. Legality mirrors
+/// the code generator's error-order rule: the splice site must not be
+/// preceded by any Bin entry in the consumer's program (Push/Neg cannot
+/// throw a user-visible error, Bin dimension mismatches can), so the
+/// producer's error, if any, still fires before every consumer error.
+bool mergeEwFuseOnce(IRFunction &F, OptimizeStats &Stats, FusionStats *FS) {
+  std::vector<bool> Starts = blockStarts(F);
+
+  // Whole-function P-register use counts (pool uses and call defs count,
+  // exactly as DCE counts them, so StoreOut/call liveness is respected).
+  std::unordered_map<int32_t, unsigned> PUses;
+  for (const Instr &In : F.Code) {
+    const InstrOperands &Ops = instrOperands(In.Op);
+    const int32_t *Fields[4] = {&In.A, &In.B, &In.C, &In.D};
+    for (unsigned K = 0; K != 4; ++K) {
+      OperandKind OK = Ops.Fields[K];
+      if (OK == OperandKind::UseP || OK == OperandKind::UseDefP)
+        ++PUses[*Fields[K]];
+    }
+    if (Ops.PoolUses || Ops.PoolCall) {
+      PoolRanges PR = poolRanges(In);
+      for (int32_t K = 0; K != PR.UseCount; ++K)
+        if (F.Pool[PR.UseOff + K] >= 0)
+          ++PUses[F.Pool[PR.UseOff + K]];
+      for (int32_t K = 0; K != PR.DefCount; ++K)
+        ++PUses[F.Pool[PR.DefOff + K]];
+    }
+  }
+
+  bool Merged = false;
+  for (size_t Pos = 0; Pos != F.Code.size(); ++Pos) {
+    const Instr &Prod = F.Code[Pos];
+    if (Prod.Op != Opcode::EwFuse)
+      continue;
+    int32_t CurReg = Prod.A;
+    if (PUses[CurReg] != 1)
+      continue;
+    // Producer operand registers must keep their values until the splice
+    // site executes; a gap instruction redefining one aborts the scan.
+    std::vector<int32_t> Guarded(F.Pool.begin() + Prod.B,
+                                 F.Pool.begin() + Prod.B + Prod.C);
+    if (std::find(Guarded.begin(), Guarded.end(), CurReg) != Guarded.end())
+      continue;
+
+    size_t MovPos = SIZE_MAX;
+    size_t ConsPos = SIZE_MAX;
+    for (size_t Q = Pos + 1; Q != F.Code.size(); ++Q) {
+      if (Starts[Q])
+        break; // entering another block: give up on this producer
+      const Instr &In = F.Code[Q];
+      if (In.Op == Opcode::EwFuse) {
+        bool FeedsIt = false;
+        for (int32_t K = 0; K != In.C && !FeedsIt; ++K)
+          FeedsIt = F.Pool[In.B + K] == CurReg;
+        if (FeedsIt)
+          ConsPos = Q;
+        break; // found the consumer, or an unrelated (unsafe) EwFuse
+      }
+      if (!isEwMergeGapSafe(In.Op))
+        break;
+      // Follow at most one single-use MovP forwarding the producer result
+      // (the code generator stores fused statement results this way).
+      if (In.Op == Opcode::MovP && In.B == CurReg && MovPos == SIZE_MAX &&
+          PUses[In.A] == 1 && In.A != In.B) {
+        MovPos = Q;
+        CurReg = In.A;
+        if (std::find(Guarded.begin(), Guarded.end(), CurReg) !=
+            Guarded.end()) {
+          ConsPos = SIZE_MAX;
+          break;
+        }
+        continue;
+      }
+      // Any other P definition in the gap must not clobber the forwarded
+      // result or a producer operand.
+      const InstrOperands &Ops = instrOperands(In.Op);
+      const int32_t *Fields[4] = {&In.A, &In.B, &In.C, &In.D};
+      bool Clobbers = false;
+      for (unsigned K = 0; K != 4 && !Clobbers; ++K) {
+        OperandKind OK = Ops.Fields[K];
+        if (OK == OperandKind::DefP || OK == OperandKind::UseDefP)
+          Clobbers = *Fields[K] == CurReg ||
+                     std::find(Guarded.begin(), Guarded.end(), *Fields[K]) !=
+                         Guarded.end();
+      }
+      if (Clobbers)
+        break;
+    }
+    if (ConsPos == SIZE_MAX)
+      continue;
+
+    Instr &Cons = F.Code[ConsPos];
+    // The splice site: exactly one Push of the producer result, with no
+    // Bin entry before it (error-order rule above).
+    int32_t ProdIdx = -1;
+    for (int32_t K = 0; K != Cons.C; ++K)
+      if (F.Pool[Cons.B + K] == CurReg)
+        ProdIdx = K;
+    int PushCount = 0;
+    bool BinBefore = false, SeenPush = false;
+    for (int64_t K = 0; K != Cons.Imm.I; ++K) {
+      int32_t Entry = F.Pool[Cons.D + K];
+      if (ew::opOf(Entry) == ew::EwOp::Push && ew::argOf(Entry) == ProdIdx) {
+        ++PushCount;
+        SeenPush = true;
+      } else if (ew::opOf(Entry) == ew::EwOp::Bin && !SeenPush) {
+        BinBefore = true;
+      }
+    }
+    if (PushCount != 1 || BinBefore)
+      continue;
+
+    // Stack headroom: splicing runs the producer program where the Push
+    // would have left one slot, so the merged maximum depth is
+    // (depth at the splice site - 1) + producer max depth.
+    int ProdDepth = ewProgramDepth(F, Prod.D, Prod.Imm.I);
+    if (ProdDepth < 0)
+      continue;
+    bool TooDeep = false;
+    {
+      int Sp = 0;
+      for (int64_t K = 0; K != Cons.Imm.I; ++K) {
+        int32_t Entry = F.Pool[Cons.D + K];
+        switch (ew::opOf(Entry)) {
+        case ew::EwOp::Push:
+          ++Sp;
+          if (ew::argOf(Entry) == ProdIdx && Sp - 1 + ProdDepth > ew::kMaxEwStack)
+            TooDeep = true;
+          break;
+        case ew::EwOp::Bin:
+          --Sp;
+          break;
+        case ew::EwOp::Neg:
+        case ew::EwOp::Intr:
+          break;
+        }
+      }
+    }
+    if (TooDeep)
+      continue;
+
+    // Build the merged operand table and program.
+    std::vector<int32_t> Table, Program;
+    auto IndexOf = [&](int32_t Reg) -> int32_t {
+      for (size_t K = 0; K != Table.size(); ++K)
+        if (Table[K] == Reg)
+          return static_cast<int32_t>(K);
+      Table.push_back(Reg);
+      return static_cast<int32_t>(Table.size() - 1);
+    };
+    for (int64_t K = 0; K != Cons.Imm.I; ++K) {
+      int32_t Entry = F.Pool[Cons.D + K];
+      if (ew::opOf(Entry) != ew::EwOp::Push) {
+        Program.push_back(Entry);
+        continue;
+      }
+      int32_t Arg = ew::argOf(Entry);
+      if (Arg == ProdIdx) {
+        for (int64_t J = 0; J != Prod.Imm.I; ++J) {
+          int32_t PEntry = F.Pool[Prod.D + J];
+          if (ew::opOf(PEntry) == ew::EwOp::Push)
+            PEntry = ew::encode(ew::EwOp::Push,
+                                IndexOf(F.Pool[Prod.B + ew::argOf(PEntry)]));
+          Program.push_back(PEntry);
+        }
+      } else {
+        Program.push_back(
+            ew::encode(ew::EwOp::Push, IndexOf(F.Pool[Cons.B + Arg])));
+      }
+    }
+
+    int32_t TableOff = static_cast<int32_t>(F.Pool.size());
+    F.Pool.insert(F.Pool.end(), Table.begin(), Table.end());
+    int32_t ProgOff = static_cast<int32_t>(F.Pool.size());
+    F.Pool.insert(F.Pool.end(), Program.begin(), Program.end());
+    Cons.B = TableOff;
+    Cons.C = static_cast<int32_t>(Table.size());
+    Cons.D = ProgOff;
+    Cons.Imm.I = static_cast<int64_t>(Program.size());
+
+    F.Code[Pos] = Instr::make(Opcode::Nop);
+    if (MovPos != SIZE_MAX)
+      F.Code[MovPos] = Instr::make(Opcode::Nop);
+    ++Stats.NumEwFuseMerged;
+    if (FS) {
+      FS->Groups -= 1;
+      FS->TempsElided += 1;
+    }
+    Merged = true;
+    // Use counts and block starts are stale now; restart the sweep.
+    return true;
+  }
+  return Merged;
+}
+
+void runEwFuseMerge(IRFunction &F, OptimizeStats &Stats, FusionStats *FS) {
+  // Each successful merge restarts the scan with fresh use counts; the
+  // producer count strictly decreases, so this terminates.
+  while (mergeEwFuseOnce(F, Stats, FS))
+    ;
+}
+
+//===----------------------------------------------------------------------===//
 // DCE
 //===----------------------------------------------------------------------===//
 
@@ -652,6 +930,8 @@ OptimizeStats majic::optimize(IRFunction &F, const OptimizeOptions &Opts) {
   for (unsigned Round = 0; Round != std::max(1u, Opts.Rounds); ++Round) {
     if (Opts.EnableValueNumbering)
       ValueNumbering(F, Stats).run();
+    if (Opts.EnableEwFuseMerge)
+      runEwFuseMerge(F, Stats, Opts.Fusion);
     if (Opts.EnableLICM)
       runLICM(F, Stats);
     if (Opts.EnableUnroll)

@@ -27,6 +27,8 @@
 
 namespace majic {
 
+struct FusionStats;
+
 struct OptimizeOptions {
   bool EnableValueNumbering = true;
   bool EnableLICM = true;
@@ -34,8 +36,15 @@ struct OptimizeOptions {
   unsigned UnrollFactor = 2;
   unsigned MaxUnrollBodySize = 48;
   bool EnableDCE = true;
+  /// Cross-statement EwFuse merging: a fused group whose result feeds
+  /// exactly one later fused group in the same block is inlined into it,
+  /// eliding the intermediate temporary entirely.
+  bool EnableEwFuseMerge = true;
   /// Pipeline repetitions (the platform's native-compiler quality).
   unsigned Rounds = 1;
+  /// When non-null, EwFuse merges adjust these compile-wide fusion
+  /// counters (one fewer group, one more elided temporary per merge).
+  FusionStats *Fusion = nullptr;
 };
 
 struct OptimizeStats {
@@ -44,6 +53,7 @@ struct OptimizeStats {
   unsigned NumHoisted = 0;
   unsigned NumLoopsUnrolled = 0;
   unsigned NumDead = 0;
+  unsigned NumEwFuseMerged = 0;
 };
 
 /// Optimizes \p F in place. Requires unallocated code; preserves loop

@@ -10,6 +10,7 @@
 #include "runtime/Blas.h"
 #include "runtime/Builtins.h"
 #include "runtime/Ops.h"
+#include "support/Parallel.h"
 #include "support/StringUtils.h"
 
 #include <cmath>
@@ -78,6 +79,289 @@ Value &requireValue(const ValuePtr &P) {
   if (!P)
     throw MatlabError("internal: use of an empty value register");
   return *P;
+}
+
+/// Real-extraction guard: codegen routes a value through F registers only
+/// when inference typed it real, and under optimistic real-math that typing
+/// is a speculation (sqrt/log/... assumed to stay in domain). A complex
+/// value reaching an F extraction means the speculation failed - reading
+/// just the real part would silently drop the imaginary half - so
+/// deoptimize and let the replay produce the general complex result.
+/// Pessimistic code never selects an F path for a possibly-complex value,
+/// so this cannot fire twice.
+const Value &requireRealData(const Value &V) {
+  if (V.isComplex())
+    throw DeoptError{ScalarIntrinsic::None, 0.0};
+  return V;
+}
+
+/// Minimum elements before the fused elementwise loop goes parallel
+/// (matches the interpreter's ElemGrain: these loops are memory-bound).
+constexpr size_t kEwGrain = 32768;
+
+/// Executes one fused elementwise program (Opcode::EwFuse) in a single
+/// pass over the data: zero intermediate Values, one parallelFor, one
+/// store per output element.
+///
+/// Bit-identity with the interpreter's unfused chain rests on three
+/// points. (1) The result shape and class are resolved by simulating the
+/// postfix program through the interpreter's own broadcast and
+/// class-promotion rules, in the interpreter's evaluation order, so
+/// dimension errors carry the identical operator name and shapes.
+/// (2) Every element's value depends only on its own index, and the
+/// per-element op order is exactly the program order - no reassociation -
+/// so chunk boundaries (thread count) cannot change results. (3) Each
+/// program op runs as its own strip loop storing to a stack-slot array,
+/// so the compiler cannot contract a multiply and an add into an FMA
+/// across ops, just as the interpreter's separate memory passes cannot.
+Value runEwFuse(const IRFunction &F, const Instr &In,
+                const std::vector<ValuePtr> &PR) {
+  const int32_t *Prog = F.Pool.data() + In.D;
+  const size_t ProgLen = static_cast<size_t>(In.Imm.I);
+  const int32_t NumOps = In.C;
+
+  // Operand table. Codegen only fuses positions inference typed as real
+  // arrays; a complex or string value reaching one anyway means an
+  // optimistic assumption failed, so deoptimize (the interpreter fallback
+  // produces the general-semantics result) rather than risk divergence.
+  std::vector<const Value *> Ops(NumOps);
+  for (int32_t K = 0; K != NumOps; ++K) {
+    const Value &V = requireValue(PR[F.Pool[In.B + K]]);
+    if (V.isComplex() || V.mclass() == MClass::String)
+      throw DeoptError{ScalarIntrinsic::None, 0.0};
+    Ops[K] = &V;
+  }
+
+  // Pass 1 - shape/class simulation, mirroring the interpreter's unfused
+  // chain: scalars (1x1) broadcast, equal shapes pass, anything else
+  // throws the interpreter's exact dimension error at the same operator.
+  // Classes follow arithResultClass: int-preserving ops keep int-like
+  // (Int/Bool) operands Int; division, power, and math builtins give Real.
+  struct SimSlot {
+    size_t R, C;
+    bool Scalar, IntLike;
+  };
+  SimSlot Sim[ew::kMaxEwStack];
+  int SP = 0;
+  for (size_t K = 0; K != ProgLen; ++K) {
+    int32_t Arg = ew::argOf(Prog[K]);
+    switch (ew::opOf(Prog[K])) {
+    case ew::EwOp::Push: {
+      const Value &V = *Ops[Arg];
+      MClass MC = V.mclass();
+      Sim[SP++] = {V.rows(), V.cols(), V.isScalar(),
+                   MC == MClass::Int || MC == MClass::Bool};
+      break;
+    }
+    case ew::EwOp::Bin: {
+      auto Op = static_cast<rt::BinOp>(Arg);
+      SimSlot &L = Sim[SP - 2], &R = Sim[SP - 1];
+      --SP;
+      // MatMul (*) and MatRDiv (/) were fused because one side was typed
+      // scalar; if the runtime value disagrees, the op is a real matrix
+      // product/solve - deoptimize so the interpreter's general path
+      // (and its distinct error messages) takes over.
+      if ((Op == rt::BinOp::MatMul && !L.Scalar && !R.Scalar) ||
+          (Op == rt::BinOp::MatRDiv && !R.Scalar))
+        throw DeoptError{ScalarIntrinsic::None, 0.0};
+      size_t RR, RC;
+      if (L.Scalar) {
+        RR = R.R;
+        RC = R.C;
+      } else if (R.Scalar) {
+        RR = L.R;
+        RC = L.C;
+      } else if (L.R == R.R && L.C == R.C) {
+        RR = L.R;
+        RC = L.C;
+      } else {
+        throw MatlabError(format(
+            "matrix dimensions must agree for operator '%s' (%zux%zu vs "
+            "%zux%zu)",
+            rt::binOpName(Op), L.R, L.C, R.R, R.C));
+      }
+      bool Preserving = Op == rt::BinOp::Add || Op == rt::BinOp::Sub ||
+                        Op == rt::BinOp::ElemMul || Op == rt::BinOp::MatMul;
+      L = {RR, RC, RR == 1 && RC == 1,
+           Preserving && L.IntLike && R.IntLike};
+      break;
+    }
+    case ew::EwOp::Neg:
+      // Negation preserves shape; Bool negates to Int, both int-like.
+      break;
+    case ew::EwOp::Intr:
+      Sim[SP - 1].IntLike = false; // math builtins produce Real arrays
+      break;
+    }
+  }
+
+  size_t Rows = Sim[0].R, Cols = Sim[0].C;
+  Value Out =
+      Value::uninit(Rows, Cols, Sim[0].IntLike ? MClass::Int : MClass::Real);
+  size_t N = Out.numel();
+  if (N == 0)
+    return Out;
+
+  // Hoist per-operand addressing out of the element loop. Every non-scalar
+  // operand has exactly the result shape (broadcasting admits only
+  // scalar-or-equal, so any other shape was rejected by the simulation).
+  std::vector<const double *> Data(NumOps);
+  std::vector<double> Splat(NumOps, 0.0);
+  std::vector<uint8_t> IsScal(NumOps, 0);
+  for (int32_t K = 0; K != NumOps; ++K) {
+    if (Ops[K]->isScalar()) {
+      IsScal[K] = 1;
+      Splat[K] = Ops[K]->re(0);
+    } else {
+      Data[K] = Ops[K]->reData();
+    }
+  }
+
+  double *PO = Out.reData();
+  constexpr size_t kStrip = 128;
+  par::parallelFor(N, kEwGrain, [&](size_t Begin, size_t End) {
+    // Stack slots are (pointer, stride) views: a Push is free (it aliases
+    // the operand strip or its scalar splat), each operator writes its
+    // slot's scratch strip, and the final operator writes the output array
+    // directly - so a balanced program is one pass over main memory with
+    // no per-push copying. A valid program's last entry is always an
+    // operator: the stack depth never returns to zero after the first
+    // push, so a trailing Push could not leave the required depth of one.
+    struct Slot {
+      const double *P;
+      size_t S; ///< 0 = broadcast scalar, 1 = vector strip
+    };
+    alignas(64) double Scratch[ew::kMaxEwStack][kStrip];
+    double ScalOut[ew::kMaxEwStack];
+    Slot Stack[ew::kMaxEwStack];
+    for (size_t S0 = Begin; S0 < End; S0 += kStrip) {
+      const size_t Len = std::min(kStrip, End - S0);
+      int Top = 0;
+      for (size_t K = 0; K != ProgLen; ++K) {
+        const int32_t Arg = ew::argOf(Prog[K]);
+        const bool IsLast = K + 1 == ProgLen;
+        switch (ew::opOf(Prog[K])) {
+        case ew::EwOp::Push:
+          Stack[Top] = IsScal[Arg] ? Slot{&Splat[Arg], 0}
+                                   : Slot{Data[Arg] + S0, 1};
+          ++Top;
+          break;
+        case ew::EwOp::Bin: {
+          const Slot L = Stack[Top - 2], R = Stack[Top - 1];
+          --Top;
+          double *D = IsLast ? PO + S0 : Scratch[Top - 1];
+          // One strip loop per operator (matching the interpreter's one
+          // memory pass per op), so the compiler cannot contract a
+          // multiply and an add from different ops into an FMA.
+          auto Apply = [&](auto Op) {
+            if (L.S && R.S) {
+              for (size_t I = 0; I != Len; ++I)
+                D[I] = Op(L.P[I], R.P[I]);
+            } else if (L.S) {
+              const double Y = *R.P;
+              for (size_t I = 0; I != Len; ++I)
+                D[I] = Op(L.P[I], Y);
+            } else if (R.S) {
+              const double X = *L.P;
+              for (size_t I = 0; I != Len; ++I)
+                D[I] = Op(X, R.P[I]);
+            } else {
+              const double V = Op(*L.P, *R.P);
+              if (!IsLast) {
+                ScalOut[Top - 1] = V;
+                Stack[Top - 1] = {&ScalOut[Top - 1], 0};
+                return; // scalar result: stays a broadcast view
+              }
+              for (size_t I = 0; I != Len; ++I)
+                D[I] = V;
+            }
+            Stack[Top - 1] = {D, 1};
+          };
+          switch (static_cast<rt::BinOp>(Arg)) {
+          case rt::BinOp::Add:
+            Apply([](double X, double Y) { return X + Y; });
+            break;
+          case rt::BinOp::Sub:
+            Apply([](double X, double Y) { return X - Y; });
+            break;
+          case rt::BinOp::ElemMul:
+          case rt::BinOp::MatMul: // scalar side proven above
+            Apply([](double X, double Y) { return X * Y; });
+            break;
+          case rt::BinOp::ElemRDiv:
+          case rt::BinOp::MatRDiv: // scalar divisor proven above
+            Apply([](double X, double Y) { return X / Y; });
+            break;
+          case rt::BinOp::ElemPow:
+            for (size_t I = 0; I != Len; ++I) {
+              const double X = L.P[I * L.S], Y = R.P[I * R.S];
+              // The interpreter escalates a negative base with a
+              // non-integral exponent to a complex result; the fused loop
+              // cannot, so hand the whole chain back to it.
+              if (X < 0 && Y != std::floor(Y))
+                throw DeoptError{ScalarIntrinsic::None, X};
+              D[I] = std::pow(X, Y);
+            }
+            Stack[Top - 1] = {D, 1};
+            break;
+          default:
+            majic_unreachable("non-fusable binary op in fused program");
+          }
+          break;
+        }
+        case ew::EwOp::Neg: {
+          const Slot T = Stack[Top - 1];
+          if (T.S == 0 && !IsLast) {
+            ScalOut[Top - 1] = -*T.P;
+            Stack[Top - 1] = {&ScalOut[Top - 1], 0};
+            break;
+          }
+          double *D = IsLast ? PO + S0 : Scratch[Top - 1];
+          if (T.S) {
+            for (size_t I = 0; I != Len; ++I)
+              D[I] = -T.P[I];
+          } else {
+            const double V = -*T.P;
+            for (size_t I = 0; I != Len; ++I)
+              D[I] = V;
+          }
+          Stack[Top - 1] = {D, 1};
+          break;
+        }
+        case ew::EwOp::Intr: {
+          const auto Intr = static_cast<ScalarIntrinsic>(Arg);
+          const Slot T = Stack[Top - 1];
+          const bool Guarded = scalarIntrinsicNeedsGuard(Intr);
+          if (T.S == 0) {
+            const double X = *T.P;
+            if (Guarded)
+              checkIntrinsicGuard(Intr, X);
+            const double V = evalScalarIntrinsic1(Intr, X);
+            if (!IsLast) {
+              ScalOut[Top - 1] = V;
+              Stack[Top - 1] = {&ScalOut[Top - 1], 0};
+              break;
+            }
+            double *D = PO + S0;
+            for (size_t I = 0; I != Len; ++I)
+              D[I] = V;
+            Stack[Top - 1] = {D, 1};
+            break;
+          }
+          if (Guarded)
+            for (size_t I = 0; I != Len; ++I)
+              checkIntrinsicGuard(Intr, T.P[I]);
+          double *D = IsLast ? PO + S0 : Scratch[Top - 1];
+          for (size_t I = 0; I != Len; ++I)
+            D[I] = evalScalarIntrinsic1(Intr, T.P[I]);
+          Stack[Top - 1] = {D, 1};
+          break;
+        }
+        }
+      }
+    }
+  });
+  return Out;
 }
 
 } // namespace
@@ -266,10 +550,10 @@ std::vector<ValuePtr> VM::run(const IRFunction &F, std::vector<ValuePtr> Args,
       PR[In.A] = makeValue(Value::complexScalar(FR[In.B], FR[In.C]));
       break;
     case Opcode::UnboxF:
-      FR[In.A] = requireValue(PR[In.B]).scalarValue();
+      FR[In.A] = requireRealData(requireValue(PR[In.B])).scalarValue();
       break;
     case Opcode::UnboxI: {
-      double X = requireValue(PR[In.B]).scalarValue();
+      double X = requireRealData(requireValue(PR[In.B])).scalarValue();
       double R = std::round(X);
       if (std::abs(X - R) > 1e-8)
         throw MatlabError(format("expected an integer value, got %g", X));
@@ -305,10 +589,11 @@ std::vector<ValuePtr> VM::run(const IRFunction &F, std::vector<ValuePtr> Args,
     }
 
     case Opcode::LoadEl:
-      FR[In.A] = requireValue(PR[In.B]).re(static_cast<size_t>(IR[In.C]));
+      FR[In.A] = requireRealData(requireValue(PR[In.B]))
+                     .re(static_cast<size_t>(IR[In.C]));
       break;
     case Opcode::LoadElChk: {
-      const Value &V = requireValue(PR[In.B]);
+      const Value &V = requireRealData(requireValue(PR[In.B]));
       int64_t Idx = IR[In.C];
       if (Idx < 0 || static_cast<size_t>(Idx) >= V.numel())
         throw MatlabError(format("index out of bounds: %lld exceeds numel %zu",
@@ -317,12 +602,12 @@ std::vector<ValuePtr> VM::run(const IRFunction &F, std::vector<ValuePtr> Args,
       break;
     }
     case Opcode::LoadEl2:
-      FR[In.A] = requireValue(PR[In.B])
+      FR[In.A] = requireRealData(requireValue(PR[In.B]))
                      .at(static_cast<size_t>(IR[In.C]),
                          static_cast<size_t>(IR[In.D]));
       break;
     case Opcode::LoadEl2Chk: {
-      const Value &V = requireValue(PR[In.B]);
+      const Value &V = requireRealData(requireValue(PR[In.B]));
       int64_t R = IR[In.C], C = IR[In.D];
       if (R < 0 || C < 0 || static_cast<size_t>(R) >= V.rows() ||
           static_cast<size_t>(C) >= V.cols())
@@ -562,6 +847,10 @@ std::vector<ValuePtr> VM::run(const IRFunction &F, std::vector<ValuePtr> Args,
       }
       break;
     }
+
+    case Opcode::EwFuse:
+      PR[In.A] = makeValue(runEwFuse(F, In, PR));
+      break;
 
     case Opcode::LoadParam:
       PR[In.A] = In.Imm.I < static_cast<int64_t>(Args.size())

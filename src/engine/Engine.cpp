@@ -110,6 +110,9 @@ Engine::Engine(EngineOptions OptsIn) : Opts(std::move(OptsIn)) {
   Inst.CodeGenSeconds = &Metrics.histogram("compile.codegen.seconds");
   Inst.VmRunSeconds = &Metrics.histogram("vm.run.seconds");
   Inst.InterpRunSeconds = &Metrics.histogram("interp.run.seconds");
+  Inst.FusionGroups = &Metrics.counter("fusion.groups");
+  Inst.FusionOpsFused = &Metrics.counter("fusion.ops_fused");
+  Inst.FusionTempsElided = &Metrics.counter("fusion.temps_elided");
   // Trace/metrics destinations: option first, environment knob second.
   // Tracing is enabled only when a destination exists - the disabled path
   // is one relaxed atomic load per site.
@@ -123,6 +126,9 @@ Engine::Engine(EngineOptions OptsIn) : Opts(std::move(OptsIn)) {
   if (MetricsFile.empty())
     if (const char *Env = std::getenv("MAJIC_METRICS"); Env && *Env)
       MetricsFile = Env;
+  // Environment kill switch for elementwise fusion (A/B measurement).
+  if (const char *Env = std::getenv("MAJIC_NO_FUSION"); Env && *Env)
+    Opts.FuseElementwise = false;
   // Pin the dense-kernel thread count when the embedder asked for one;
   // 0 leaves the process-wide default (env override, then hardware).
   if (Opts.ComputeThreads)
@@ -367,6 +373,7 @@ CompileRequest Engine::makeRequest(const FunctionInfo *FI,
   Req.RegAlloc = Opts.RegAlloc;
   Req.UnrollSmallVectors =
       Mode == CodeGenMode::Jit ? Opts.Platform.JitUnrollsSmallVectors : true;
+  Req.FuseElementwise = Opts.FuseElementwise;
   return Req;
 }
 
@@ -404,6 +411,9 @@ CompiledObjectPtr Engine::compileAndInsert(const std::string &Name,
     Phases.add(Phase::CodeGen, Result->CodeGenSeconds);
     Inst.InferSeconds->observe(Result->TypeInferSeconds);
     Inst.CodeGenSeconds->observe(Result->CodeGenSeconds);
+    Inst.FusionGroups->inc(Result->Fusion.Groups);
+    Inst.FusionOpsFused->inc(Result->Fusion.OpsFused);
+    Inst.FusionTempsElided->inc(Result->Fusion.TempsElided);
 
     CompiledObject Obj;
     Obj.FunctionName = Name;
@@ -757,6 +767,9 @@ void Engine::backgroundCompile(std::string Name,
     Phases.add(Phase::CodeGen, Result->CodeGenSeconds);
     Inst.InferSeconds->observe(Result->TypeInferSeconds);
     Inst.CodeGenSeconds->observe(Result->CodeGenSeconds);
+    Inst.FusionGroups->inc(Result->Fusion.Groups);
+    Inst.FusionOpsFused->inc(Result->Fusion.OpsFused);
+    Inst.FusionTempsElided->inc(Result->Fusion.TempsElided);
     Inst.CompileSeconds->observe(Seconds);
     Profiles.recordCompile(Name, Seconds);
     Obj.FunctionName = Name;

@@ -84,6 +84,12 @@ struct EngineOptions {
   RegAllocOptions RegAlloc;
   /// Inline small user functions before compiling (Section 2.6.1).
   bool InlineCalls = true;
+  /// Fuse elementwise expression trees into single-pass loops (one loop,
+  /// one memory pass, zero intermediate temporaries). Results stay
+  /// bit-identical to the unfused interpreter. The MAJIC_NO_FUSION
+  /// environment variable (any non-empty value) forces this off, for
+  /// A/B measurement without recompiling the embedder.
+  bool FuseElementwise = true;
   uint64_t RandSeed = 0x9e3779b97f4a7c15ull;
   /// C-stack protection for recursive MATLAB programs.
   unsigned MaxCallDepth = 4000;
@@ -484,6 +490,11 @@ private:
     obs::Histogram *CodeGenSeconds = nullptr;
     obs::Histogram *VmRunSeconds = nullptr;
     obs::Histogram *InterpRunSeconds = nullptr;
+    /// Elementwise-fusion outcomes, accumulated across every compile
+    /// (foreground and speculative) from CompileResult::Fusion.
+    obs::Counter *FusionGroups = nullptr;
+    obs::Counter *FusionOpsFused = nullptr;
+    obs::Counter *FusionTempsElided = nullptr;
   } Inst;
   std::string TraceFile;   ///< trace JSON destination; empty = tracing off
   std::string MetricsFile; ///< metrics JSON destination; empty = no dump

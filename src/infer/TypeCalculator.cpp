@@ -455,7 +455,14 @@ void TypeCalculator::registerArithmeticRules() {
       BinOp::ElemPow, "epow:array",
       [](const Type &A, const Type &B) { return cplxArray(A) && cplxArray(B); },
       [](const Type &A, const Type &B) {
-        bool Safe = realArray(A) && realArray(B) && A.range().Lo >= 0;
+        // Stays real: non-negative base, or a provably integral exponent
+        // (mirrors epow:real-safe; scalarPow never escalates when the
+        // exponent is integral, so x.^2 on a sign-unknown array is Real).
+        bool IntExp = intrinsicLE(B.intrinsic(), IntrinsicType::Int) ||
+                      (B.range().isConstant() &&
+                       B.range().Lo == std::floor(B.range().Lo));
+        bool Safe = realArray(A) && realArray(B) &&
+                    (A.range().Lo >= 0 || IntExp);
         return elemResult(
             A, B, Safe ? IntrinsicType::Real : IntrinsicType::Complex,
             Range::top());

@@ -148,6 +148,8 @@ const char *majic::opcodeName(Opcode Op) {
     return "gemv";
   case Opcode::Axpy:
     return "axpy";
+  case Opcode::EwFuse:
+    return "ewfuse";
   case Opcode::LoadParam:
     return "loadparam";
   case Opcode::StoreOut:

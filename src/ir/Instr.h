@@ -121,6 +121,14 @@ enum class Opcode : uint8_t {
   Gemv, // P[A] = P[B] * P[C]  (real matrix x real vector via BLAS dgemv)
   Axpy, // P[A] = F[B] * P[C] + P[D]  (real vectors, fused)
 
+  // Fused elementwise expression tree: one loop, one memory pass, zero
+  // intermediate Values. P[A] = program applied elementwise over the
+  // operands pool[B..B+C); the postfix program lives in pool[D..D+Imm.I)
+  // (see namespace ew below). Operand shapes/classes are resolved at run
+  // time exactly as the interpreter would resolve the unfused chain, so
+  // results (values, classes, and error messages) stay bit-identical.
+  EwFuse,
+
   // Calling convention: arguments and outputs live outside the register
   // files so allocation cannot disturb them.
   LoadParam, // P[A] = args[Imm.I]
@@ -136,6 +144,50 @@ enum class Opcode : uint8_t {
 };
 
 const char *opcodeName(Opcode Op);
+
+/// Encoding of the EwFuse per-element bytecode program. Each program entry
+/// is one int32 in the pool: the low 8 bits select the operation, the rest
+/// carry its argument. The program is postfix over a small evaluation
+/// stack of per-element doubles; fusable trees deeper than kMaxEwStack are
+/// split at codegen, so the executor's stack is a fixed-size array.
+///
+/// Op-order identity: the program encodes the *exact* per-element dataflow
+/// of the unfused expression tree (operands pushed left-to-right, each
+/// binary/unary applied in source order, no reassociation), which is why a
+/// fused evaluation is bit-identical to the interpreter's temporaries.
+namespace ew {
+
+enum class EwOp : int32_t {
+  Push, ///< push operand[arg] (broadcast if scalar) onto the stack
+  Bin,  ///< pop RHS, pop LHS, push LHS <arg as rt::BinOp> RHS
+  Neg,  ///< negate the stack top (arg unused)
+  Intr, ///< apply arity-1 scalar intrinsic [arg] to the stack top
+};
+
+/// Maximum evaluation-stack depth of a fused program.
+constexpr int32_t kMaxEwStack = 8;
+
+constexpr int32_t encode(EwOp Op, int32_t Arg = 0) {
+  return static_cast<int32_t>(Op) | (Arg << 8);
+}
+constexpr EwOp opOf(int32_t Entry) {
+  return static_cast<EwOp>(Entry & 0xff);
+}
+constexpr int32_t argOf(int32_t Entry) { return Entry >> 8; }
+
+/// Binary operators a fused program may carry. MatMul/MatRDiv appear only
+/// when codegen proved one side scalar (where MATLAB's * and / degenerate
+/// to the elementwise op); the executor re-applies the interpreter's own
+/// broadcast and class rules at run time, so the distinction stays
+/// observable in error messages.
+constexpr bool isFusableBinOp(rt::BinOp Op) {
+  return Op == rt::BinOp::Add || Op == rt::BinOp::Sub ||
+         Op == rt::BinOp::MatMul || Op == rt::BinOp::ElemMul ||
+         Op == rt::BinOp::MatRDiv || Op == rt::BinOp::ElemRDiv ||
+         Op == rt::BinOp::ElemPow;
+}
+
+} // namespace ew
 
 /// CallB/CallU Imm flag: the call is a statement (MATLAB nargout = 0).
 /// Destination registers receive the optional outputs or null.

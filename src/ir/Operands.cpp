@@ -99,6 +99,8 @@ struct Table {
     Set(Opcode::Display, make(OK::UseP));
     Set(Opcode::Gemv, make(OK::DefP, OK::UseP, OK::UseP));
     Set(Opcode::Axpy, make(OK::DefP, OK::UseF, OK::UseP, OK::UseP));
+    Set(Opcode::EwFuse, make(OK::DefP, OK::None, OK::None, OK::None,
+                             /*PoolCall=*/false, /*PoolUses=*/true));
     Set(Opcode::LoadParam, make(OK::DefP));
     Set(Opcode::StoreOut, make(OK::UseP));
     Set(Opcode::FSpLd, make(OK::DefF));
@@ -129,6 +131,12 @@ PoolRanges majic::poolRanges(const Instr &In) {
     break;
   case Opcode::HorzCat:
   case Opcode::VertCat:
+    R.UseOff = In.B;
+    R.UseCount = In.C;
+    break;
+  case Opcode::EwFuse:
+    // Only the operand table [B, B+C) names registers; the postfix program
+    // at [D, D+Imm.I) is bytecode, not register uses.
     R.UseOff = In.B;
     R.UseCount = In.C;
     break;

@@ -554,6 +554,54 @@ void majic::ser::validateIRFunction(const IRFunction &F) {
       RegP(In.C);
       RegP(In.D);
       break;
+    case Opcode::EwFuse: {
+      RegP(In.A);
+      PoolP(In.B, In.C); // operand table: all P registers
+      // The postfix program must be well formed before the VM may run it:
+      // simulate it against the fixed-depth evaluation stack.
+      int64_t ProgLen = In.Imm.I;
+      if (ProgLen < 2)
+        throw SerializeError("fused program too short");
+      if (In.D < 0 || static_cast<uint64_t>(In.D) +
+                              static_cast<uint64_t>(ProgLen) >
+                          F.Pool.size())
+        throw SerializeError("fused program out of bounds");
+      int32_t Sp = 0;
+      for (int64_t K = 0; K != ProgLen; ++K) {
+        int32_t Entry = F.Pool[In.D + K];
+        int32_t Arg = ew::argOf(Entry);
+        switch (ew::opOf(Entry)) {
+        case ew::EwOp::Push:
+          if (Arg < 0 || Arg >= In.C)
+            throw SerializeError("fused operand index out of range");
+          if (++Sp > ew::kMaxEwStack)
+            throw SerializeError("fused program overflows stack");
+          break;
+        case ew::EwOp::Bin:
+          if (Arg < 0 || Arg > static_cast<int32_t>(rt::BinOp::ElemPow) ||
+              !ew::isFusableBinOp(static_cast<rt::BinOp>(Arg)))
+            throw SerializeError("invalid fused binary op");
+          if (Sp < 2)
+            throw SerializeError("fused program underflows stack");
+          --Sp;
+          break;
+        case ew::EwOp::Neg:
+          if (Sp < 1)
+            throw SerializeError("fused program underflows stack");
+          break;
+        case ew::EwOp::Intr:
+          Intr(Arg, /*Arity=*/1);
+          if (Sp < 1)
+            throw SerializeError("fused program underflows stack");
+          break;
+        default:
+          throw SerializeError("invalid fused program entry");
+        }
+      }
+      if (Sp != 1)
+        throw SerializeError("fused program leaves stack unbalanced");
+      break;
+    }
     case Opcode::LoadParam:
       RegP(In.A);
       Index(In.Imm.I, F.NumParams, "parameter index out of range");

@@ -52,7 +52,7 @@ namespace ser {
 /// reuse object files, so a timestamp both churns without a semantic
 /// change and - worse - stays fixed when a semantic change lands in a
 /// different translation unit.
-constexpr uint32_t kCodeABIVersion = 2;
+constexpr uint32_t kCodeABIVersion = 3; // v3: EwFuse fused elementwise op
 
 /// Raised by the readers on any malformed input.
 class SerializeError : public std::runtime_error {

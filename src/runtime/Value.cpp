@@ -49,6 +49,13 @@ Value Value::zeros(size_t R, size_t C, MClass Cls) {
   return V;
 }
 
+Value Value::uninit(size_t R, size_t C, MClass Cls) {
+  Value V;
+  V.reshapeUninit(R, C, /*WithImag=*/false);
+  V.Class = Cls;
+  return V;
+}
+
 Value Value::range(double First, double Step, double Last) {
   Value V;
   if (Step == 0)

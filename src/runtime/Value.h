@@ -88,6 +88,12 @@ public:
   /// \p C is Complex).
   static Value zeros(size_t R, size_t C, MClass Cls = MClass::Real);
 
+  /// An R x C real-plane matrix whose elements are left UNINITIALIZED.
+  /// For kernels that overwrite every element in one pass (the fused
+  /// elementwise executor) the zero-fill of zeros() would be a second,
+  /// wasted memory sweep. \p Cls must not be Complex.
+  static Value uninit(size_t R, size_t C, MClass Cls = MClass::Real);
+
   static Value str(std::string S) {
     Value V;
     V.Class = MClass::String;

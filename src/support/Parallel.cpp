@@ -132,6 +132,12 @@ void par::parallelFor(size_t N, size_t Grain,
   // cancellation point. Throws before any chunk has run.
   exec::pollInterrupt();
   Grain = std::max<size_t>(Grain, 1);
+  // Grain floor (see Parallel.h): element-sized grains are clamped so
+  // small arrays run inline on the caller instead of paying pool dispatch
+  // latency. Grain == 1 is exempt - it designates coarse task units
+  // (BLAS panels, reduction chunks) whose per-index work is already large.
+  if (Grain > 1)
+    Grain = std::max<size_t>(Grain, kMinElementGrain);
 
   ThreadPool *Pool = nullptr;
   unsigned Threads = 1;

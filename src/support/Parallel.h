@@ -48,12 +48,22 @@ unsigned computeThreads();
 /// is (re)created lazily on the next parallelFor that needs it.
 void setComputeThreads(unsigned N);
 
+/// Floor applied to element-sized grains: a parallelFor with Grain > 1
+/// behaves as if Grain were at least this large, so loops over small
+/// vectors (fused elementwise chains included) run inline on the calling
+/// thread instead of paying pool dispatch latency for microseconds of
+/// work. Grain == 1 is exempt by convention - it designates *coarse task
+/// units* (BLAS panels, fixed-size reduction chunks) where each index
+/// already represents a large block of work.
+constexpr size_t kMinElementGrain = 8192;
+
 /// Runs Body(Begin, End) over disjoint contiguous subranges of [0, N),
 /// using at most computeThreads() threads, with at least \p Grain indices
-/// per chunk. Runs serially (a single Body(0, N) call) when N <= Grain,
-/// when one thread is configured, or when already inside a parallelFor
-/// (no nested parallelism). Exceptions thrown by Body are rethrown on the
-/// calling thread after all chunks finish.
+/// per chunk (subject to kMinElementGrain when Grain > 1). Runs serially
+/// (a single Body(0, N) call) when N <= Grain, when one thread is
+/// configured, or when already inside a parallelFor (no nested
+/// parallelism). Exceptions thrown by Body are rethrown on the calling
+/// thread after all chunks finish.
 void parallelFor(size_t N, size_t Grain,
                  const std::function<void(size_t, size_t)> &Body);
 

@@ -96,6 +96,27 @@ TEST(CEmitter, ChecksAppearOnlyWithoutProof) {
   EXPECT_NE(Unproven.emit().find("mlfStoreGrow"), std::string::npos);
 }
 
+TEST(CEmitter, ElementwiseChainEmitsOneFusedLoop) {
+  // A four-op elementwise chain over real matrices lowers to a single
+  // fused loop: one allocation, one pass, per-entry named temporaries
+  // (and no mlf operator call per op).
+  Compiled C("function r = f(a, b, c)\nr = a .* b + c - a .* 0.5;\n",
+             {Type::matrix(IntrinsicType::Real),
+              Type::matrix(IntrinsicType::Real),
+              Type::matrix(IntrinsicType::Real)});
+  std::string Src = C.emit();
+  // Four operands, not five: the second read of `a` reuses its table slot.
+  EXPECT_NE(Src.find("mlfEwAlloc(4"), std::string::npos) << Src;
+  EXPECT_NE(Src.find("fused elementwise: 9 entries"), std::string::npos);
+  EXPECT_NE(Src.find("FP_CONTRACT OFF"), std::string::npos);
+  EXPECT_NE(Src.find("mlfEwLoad"), std::string::npos);
+  // One loop for the whole chain, and none of the per-op library calls
+  // the generic path would emit.
+  EXPECT_EQ(Src.find("for (long long k"), Src.rfind("for (long long k"));
+  EXPECT_EQ(Src.find("mlfTimes"), std::string::npos);
+  EXPECT_EQ(Src.find("mlfPlus"), std::string::npos);
+}
+
 TEST(CEmitter, EveryCorpusBenchmarkEmits) {
   // The emitter must cover every opcode the corpus generates; emitting all
   // sixteen benchmarks is a broad opcode-coverage sweep.

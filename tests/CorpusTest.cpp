@@ -42,6 +42,9 @@ const std::map<std::string, std::vector<double>> &testArgs() {
       {"fractal", {400}},
       {"mandel", {16, 30}},
       {"fibonacci", {11}},
+      // Not in the Table 1 corpus: the vectorized-style companion program
+      // (its whole-array update is the elementwise-fusion target).
+      {"heavyball", {60, 80}},
   };
   return Args;
 }
@@ -192,6 +195,50 @@ TEST(CorpusAnswers, DirichletBoundariesPreserved) {
       EXPECT_GE(U.at(I, J), 0.0);
       EXPECT_LE(U.at(I, J), 180.0);
     }
+}
+
+TEST(CorpusFusion, ElidesTemporariesAcrossTheCorpus) {
+  // The fusion pass must fire on real programs, not just synthetic chains:
+  // compiling the corpus with concrete argument types has to elide at
+  // least one elementwise temporary in at least four distinct benchmarks.
+  std::vector<std::string> Programs;
+  for (const BenchmarkSpec &Spec : benchmarkCorpus())
+    Programs.push_back(Spec.Name);
+  Programs.push_back("heavyball");
+  std::vector<std::string> Fused;
+  for (const std::string &Prog : Programs) {
+    EngineOptions O;
+    O.Policy = CompilePolicy::Falcon;
+    O.BackgroundCompileThreads = 0;
+    Engine E(O);
+    ASSERT_TRUE(E.loadFile(mlibDirectory() + "/" + Prog + ".m"))
+        << E.diagnostics();
+    E.precompileWithArgs(Prog, boxArgs(testArgs().at(Prog)));
+    for (const auto &[Name, Count] : E.sampleMetrics().Counters)
+      if (Name == "fusion.temps_elided" && Count > 0)
+        Fused.push_back(Prog);
+  }
+  std::string Names;
+  for (const std::string &N : Fused)
+    Names += N + " ";
+  EXPECT_GE(Fused.size(), 4u) << "fused benchmarks: " << Names;
+}
+
+TEST(CorpusAnswers, HeavyBallSolvesTheSystemIdenticallyWhenFused) {
+  // The vectorized companion program: its fused five-op update must solve
+  // the same tridiagonal system cgopt does, and the JIT (which fuses the
+  // update into one EwFuse loop) must match the interpreter bit for bit.
+  Result Ref = runPolicy("heavyball", CompilePolicy::InterpretOnly, false);
+  Result Jit = runPolicy("heavyball", CompilePolicy::Jit, false);
+  ASSERT_EQ(Ref.V.numel(), 60u);
+  ASSERT_EQ(Jit.V.numel(), 60u);
+  for (size_t I = 0; I != 60; ++I)
+    EXPECT_DOUBLE_EQ(Ref.V.re(I), Jit.V.re(I)) << I;
+  // Interior equation of the system: 4 x_i - x_{i-1} - x_{i+1} = 1.
+  for (size_t I = 1; I + 1 < 60; ++I) {
+    double Lhs = 4 * Jit.V.re(I) - Jit.V.re(I - 1) - Jit.V.re(I + 1);
+    EXPECT_NEAR(Lhs, 1.0, 1e-6) << I;
+  }
 }
 
 TEST(CorpusMeta, TableOneMetadataComplete) {

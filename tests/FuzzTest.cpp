@@ -15,12 +15,14 @@
 #include "engine/Engine.h"
 #include "obs/Metrics.h"
 #include "support/FaultInjection.h"
+#include "support/Parallel.h"
 #include "support/Rng.h"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <string>
 
@@ -388,5 +390,227 @@ TEST_P(FaultSweep, EngineSurvivesScheduleAndRecovers) {
 
 INSTANTIATE_TEST_SUITE_P(Schedules, FaultSweep,
                          ::testing::Range<uint64_t>(1, 56));
+
+//===----------------------------------------------------------------------===//
+// Elementwise-fusion fuzz: random elementwise expression trees over
+// matrices with NaN/Inf elements, empty matrices, int/real operands and
+// scalar<->matrix broadcasts must produce BIT-identical values under the
+// interpreter and under every compiled configuration, at 1 and at 4
+// compute threads (the fused kernel's determinism contract), with
+// identical error messages and printed output. Trees deliberately exceed
+// the fusion stack depth sometimes (partial fusion), hit the complex/
+// domain deopt guards (x.^y with negative base, sqrt/log of negatives),
+// and mix in dimension mismatches so error ordering is exercised too.
+//===----------------------------------------------------------------------===//
+
+/// Generates one function whose body is a chain of elementwise statements
+/// and whose single output is a matrix.
+class EwTreeGen {
+public:
+  explicit EwTreeGen(uint64_t Seed) : R(Seed) {}
+
+  std::string generate() {
+    Rows = 1 + pick(3);
+    Cols = 1 + pick(4);
+    Src = "function out = ewfuzz(n)\n";
+    // q = NaN, w = Inf, computed so no special literals are needed.
+    Src += "q = 0 / 0;\nw = 1 / 0;\n";
+    Src += "X = " + matrixLit(true) + ";\n";
+    Src += "Y = " + matrixLit(true) + ";\n";
+    Src += "Z = " + matrixLit(false) + ";\n";
+    Src += "K = ones(" + std::to_string(Rows) + ", " + std::to_string(Cols) +
+           ");\n"; // int-classed matrix
+    Src += "K = K + K + K;\n";
+    Src += "s = 2.5;\nt = -1.25;\nu = 3;\n";
+    if (pick(4) == 0) {
+      // An empty-matrix round: elementwise chains over 0xN values.
+      Src += "E = zeros(0, " + std::to_string(Cols) + ");\n";
+      Src += "r0 = E + E .* 2 - E ./ 4;\n";
+    }
+    unsigned NumStmts = 1 + pick(3);
+    for (unsigned S = 0; S != NumStmts; ++S)
+      Src += "r" + std::to_string(S + 1) + " = " + expr(0) + ";\n";
+    if (pick(6) == 0) // dimension-mismatch round: error text must match
+      Src += "bad = X + ones(" + std::to_string(Rows + 1) + ", " +
+             std::to_string(Cols) + ");\ndisp(bad);\n";
+    Src += "out = r" + std::to_string(NumStmts) + ";\n";
+    return Src;
+  }
+
+private:
+  unsigned pick(unsigned N) { return static_cast<unsigned>(R.nextU64() % N); }
+
+  std::string matrixLit(bool WithSpecials) {
+    // Element pool mixes signs, zeros, and (optionally) NaN/Inf variables.
+    static const char *Plain[] = {"0",  "1",    "-2", "0.5", "3.75",
+                                  "-7", "0.125", "2",  "-0.5"};
+    std::string S = "[";
+    for (unsigned RI = 0; RI != Rows; ++RI) {
+      if (RI)
+        S += "; ";
+      for (unsigned CI = 0; CI != Cols; ++CI) {
+        if (CI)
+          S += " ";
+        if (WithSpecials && pick(8) == 0)
+          S += pick(2) ? "q" : "w";
+        else
+          S += Plain[pick(sizeof(Plain) / sizeof(Plain[0]))];
+      }
+    }
+    return S + "]";
+  }
+
+  std::string expr(unsigned Depth) {
+    // Leaves get likelier with depth; depth 5+ is leaves only. Chains can
+    // exceed the 8-slot fusion stack, exercising partial fusion.
+    if (Depth >= 5 || pick(10) < 2 + Depth) {
+      switch (pick(7)) {
+      case 0:
+        return "X";
+      case 1:
+        return "Y";
+      case 2:
+        return "Z";
+      case 3:
+        return "K"; // int-classed operand
+      case 4:
+        return "s";
+      case 5:
+        return "t";
+      default:
+        return "u"; // int scalar: x .^ u keeps the fused int-exponent rule hot
+      }
+    }
+    switch (pick(9)) {
+    case 0:
+      return "(" + expr(Depth + 1) + " + " + expr(Depth + 1) + ")";
+    case 1:
+      return "(" + expr(Depth + 1) + " - " + expr(Depth + 1) + ")";
+    case 2:
+      return "(" + expr(Depth + 1) + " .* " + expr(Depth + 1) + ")";
+    case 3:
+      return "(" + expr(Depth + 1) + " ./ " + expr(Depth + 1) + ")";
+    case 4:
+      // Scalar * matrix via the matrix-op spelling (broadcast MatMul).
+      return "(s * " + expr(Depth + 1) + ")";
+    case 5:
+      return "(-" + expr(Depth + 1) + ")";
+    case 6: {
+      static const char *Fns[] = {"abs", "sqrt", "exp", "sin", "cos"};
+      return std::string(Fns[pick(5)]) + "(" + expr(Depth + 1) + ")";
+    }
+    case 7:
+      // Negative bases and non-integral exponents hit the complex deopt.
+      return "(" + expr(Depth + 1) + " .^ " + (pick(2) ? "u" : "t") + ")";
+    default:
+      return "(" + expr(Depth + 1) + " ./ (abs(" + expr(Depth + 1) +
+             ") + 0.5))";
+    }
+  }
+
+  Rng R;
+  std::string Src;
+  unsigned Rows = 2, Cols = 2;
+};
+
+struct EwOutcome {
+  bool Threw = false;
+  std::string Error;
+  Value V;
+  std::string Output;
+};
+
+EwOutcome runEwFuzz(const std::string &Src, EngineOptions Opts) {
+  Engine E(Opts);
+  EwOutcome Out;
+  if (!E.addSource("ewfuzz", Src)) {
+    Out.Threw = true;
+    Out.Error = "parse: " + E.diagnostics();
+    return Out;
+  }
+  try {
+    auto R = E.callFunction("ewfuzz", {makeValue(Value::intScalar(5))}, 1,
+                            SourceLoc());
+    Out.V = *R[0];
+  } catch (const MatlabError &Err) {
+    Out.Threw = true;
+    Out.Error = Err.message();
+  }
+  Out.Output = E.context().output();
+  return Out;
+}
+
+/// Bit-exact matrix comparison: same shape, same class, and the same
+/// 64-bit pattern for every element (NaNs included).
+void expectBitIdentical(const Value &Ref, const Value &Got,
+                        const std::string &Label, const std::string &Src) {
+  ASSERT_EQ(Ref.rows(), Got.rows()) << Label << "\n" << Src;
+  ASSERT_EQ(Ref.cols(), Got.cols()) << Label << "\n" << Src;
+  EXPECT_EQ(static_cast<int>(Ref.mclass()), static_cast<int>(Got.mclass()))
+      << Label << "\n"
+      << Src;
+  for (size_t I = 0, N = Ref.numel(); I != N; ++I) {
+    uint64_t RB, GB;
+    double RV = Ref.re(I), GV = Got.re(I);
+    std::memcpy(&RB, &RV, sizeof RB);
+    std::memcpy(&GB, &GV, sizeof GB);
+    EXPECT_EQ(RB, GB) << Label << " re[" << I << "] " << RV << " vs " << GV
+                      << "\n"
+                      << Src;
+    RV = Ref.im(I);
+    GV = Got.im(I);
+    std::memcpy(&RB, &RV, sizeof RB);
+    std::memcpy(&GB, &GV, sizeof GB);
+    EXPECT_EQ(RB, GB) << Label << " im[" << I << "]\n" << Src;
+  }
+}
+
+class EwFusionFuzz : public ::testing::TestWithParam<uint64_t> {
+protected:
+  void TearDown() override { par::setComputeThreads(0); }
+};
+
+TEST_P(EwFusionFuzz, BitIdenticalAcrossConfigsAndThreadCounts) {
+  EwTreeGen Gen(GetParam());
+  std::string Src = Gen.generate();
+
+  EngineOptions Interp;
+  Interp.Policy = CompilePolicy::InterpretOnly;
+  Interp.ComputeThreads = 1;
+  EwOutcome Ref = runEwFuzz(Src, Interp);
+
+  struct Cfg {
+    const char *Name;
+    CompilePolicy Policy;
+    unsigned Threads;
+    bool Fusion;
+  };
+  const Cfg Configs[] = {
+      {"jit-1t", CompilePolicy::Jit, 1, true},
+      {"jit-4t", CompilePolicy::Jit, 4, true},
+      {"falcon-4t", CompilePolicy::Falcon, 4, true},
+      {"jit-nofusion", CompilePolicy::Jit, 1, false},
+      {"interp-4t", CompilePolicy::InterpretOnly, 4, true},
+  };
+  for (const Cfg &C : Configs) {
+    EngineOptions O;
+    O.Policy = C.Policy;
+    O.ComputeThreads = C.Threads;
+    O.FuseElementwise = C.Fusion;
+    EwOutcome Got = runEwFuzz(Src, O);
+    ASSERT_EQ(Ref.Threw, Got.Threw)
+        << C.Name << " error='" << Got.Error << "' vs ref='" << Ref.Error
+        << "'\nprogram:\n"
+        << Src;
+    if (Ref.Threw)
+      EXPECT_EQ(Ref.Error, Got.Error) << C.Name << "\n" << Src;
+    else
+      expectBitIdentical(Ref.V, Got.V, C.Name, Src);
+    EXPECT_EQ(Ref.Output, Got.Output) << C.Name << "\n" << Src;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EwFusionFuzz,
+                         ::testing::Range<uint64_t>(1, 61));
 
 } // namespace

@@ -596,4 +596,127 @@ TEST(Serialize, ValidatorAcceptsCompiledCode) {
   EXPECT_NO_THROW(ser::validateIRFunction(*F));
 }
 
+//===----------------------------------------------------------------------===//
+// EwFuse: fused-program round trips and validator rejections
+//===----------------------------------------------------------------------===//
+
+/// Builds: out = sin((a .* b) - c) as a single fused elementwise program
+/// over three boxed parameters.
+std::unique_ptr<IRFunction> buildEwFuseFunction() {
+  auto F = std::make_unique<IRFunction>();
+  F->Name = "fused";
+  F->NumOuts = 1;
+  F->NumParams = 3;
+  IRBuilder B(*F);
+  int32_t A = B.newP(), Bv = B.newP(), C = B.newP();
+  B.emitImmI(Opcode::LoadParam, 0, A);
+  B.emitImmI(Opcode::LoadParam, 1, Bv);
+  B.emitImmI(Opcode::LoadParam, 2, C);
+  int32_t Dst = B.newP();
+  int32_t Table = B.pool({A, Bv, C});
+  int32_t Prog = B.pool({
+      ew::encode(ew::EwOp::Push, 0),
+      ew::encode(ew::EwOp::Push, 1),
+      ew::encode(ew::EwOp::Bin, static_cast<int32_t>(rt::BinOp::ElemMul)),
+      ew::encode(ew::EwOp::Push, 2),
+      ew::encode(ew::EwOp::Bin, static_cast<int32_t>(rt::BinOp::Sub)),
+      ew::encode(ew::EwOp::Intr, static_cast<int32_t>(ScalarIntrinsic::Sin)),
+  });
+  Instr In = Instr::make(Opcode::EwFuse, Dst, Table, 3, Prog);
+  In.Imm.I = 6;
+  B.emit(In);
+  B.emitImmI(Opcode::StoreOut, 0, Dst);
+  B.emit(Opcode::Ret);
+  B.finish();
+  return F;
+}
+
+TEST(Serialize, EwFuseRoundTripExecutesIdentically) {
+  auto F = buildEwFuseFunction();
+  allocateRegisters(*F, PlatformModel::sparc(), {});
+  EXPECT_NO_THROW(ser::validateIRFunction(*F));
+  IRFunction G = decodeBytes(encodeFunction(*F));
+
+  Value A = Value::zeros(2, 2), Bv = Value::zeros(2, 2), C = Value::zeros(2, 2);
+  const double AD[] = {0.5, -3.0, 7.25, 0.0};
+  const double BD[] = {2.0, 0.125, -1.5, 4.0};
+  const double CD[] = {1.0, -0.25, 0.75, -2.0};
+  std::copy(AD, AD + 4, A.reData());
+  std::copy(BD, BD + 4, Bv.reData());
+  std::copy(CD, CD + 4, C.reData());
+
+  Context Ctx;
+  NoCalls Resolver;
+  VM Machine(Ctx, Resolver);
+  auto MakeArgs = [&] {
+    return std::vector<ValuePtr>{makeValue(Value(A)), makeValue(Value(Bv)),
+                                 makeValue(Value(C))};
+  };
+  auto R1 = Machine.run(*F, MakeArgs(), 1);
+  auto R2 = Machine.run(G, MakeArgs(), 1);
+  ASSERT_EQ(R1[0]->numel(), 4u);
+  ASSERT_EQ(R2[0]->numel(), 4u);
+  for (size_t K = 0; K != 4; ++K) {
+    double Want = std::sin(AD[K] * BD[K] - CD[K]);
+    EXPECT_DOUBLE_EQ(R1[0]->re(K), Want);
+    EXPECT_DOUBLE_EQ(R2[0]->re(K), Want);
+  }
+}
+
+TEST(Serialize, ValidatorRejectsCorruptEwFusePrograms) {
+  // Every mutation corrupts one aspect of the fused program; the validator
+  // must reject each before the VM would execute it.
+  auto FindFuse = [](IRFunction &F) -> Instr & {
+    for (Instr &In : F.Code)
+      if (In.Op == Opcode::EwFuse)
+        return In;
+    throw std::logic_error("no EwFuse instruction");
+  };
+  auto Rejects = [&](void (*Mutate)(IRFunction &, Instr &)) {
+    auto F = buildEwFuseFunction();
+    allocateRegisters(*F, PlatformModel::sparc(), {});
+    Mutate(*F, FindFuse(*F));
+    EXPECT_THROW(ser::validateIRFunction(*F), ser::SerializeError);
+  };
+
+  // Program shorter than any useful fusion (one push is not a chain).
+  Rejects([](IRFunction &, Instr &In) { In.Imm.I = 1; });
+  // Program range reaching past the pool.
+  Rejects([](IRFunction &F, Instr &In) {
+    In.D = static_cast<int32_t>(F.Pool.size()) - 2;
+  });
+  // Push of an operand index beyond the operand table.
+  Rejects([](IRFunction &F, Instr &In) {
+    F.Pool[In.D] = ew::encode(ew::EwOp::Push, In.C);
+  });
+  // Operand-table entry naming a P register outside the file.
+  Rejects([](IRFunction &F, Instr &In) { F.Pool[In.B] = 99; });
+  // Binary op that is not elementwise-fusable (backslash solve).
+  Rejects([](IRFunction &F, Instr &In) {
+    F.Pool[In.D + 2] =
+        ew::encode(ew::EwOp::Bin, static_cast<int32_t>(rt::BinOp::MatLDiv));
+  });
+  // Entry whose opcode byte is outside the EwOp enum.
+  Rejects([](IRFunction &F, Instr &In) { F.Pool[In.D + 3] = 0x07; });
+  // Stack underflow: a binary op as the first program entry.
+  Rejects([](IRFunction &F, Instr &In) {
+    F.Pool[In.D] =
+        ew::encode(ew::EwOp::Bin, static_cast<int32_t>(rt::BinOp::Add));
+  });
+  // Unbalanced program: two pushes and nothing to combine them.
+  Rejects([](IRFunction &F, Instr &In) {
+    F.Pool[In.D + 2] = ew::encode(ew::EwOp::Push, 0);
+    F.Pool[In.D + 4] = ew::encode(ew::EwOp::Push, 1);
+    F.Pool[In.D + 5] = ew::encode(ew::EwOp::Push, 2);
+  });
+  // Stack overflow: deeper than the executor's fixed evaluation stack.
+  Rejects([](IRFunction &F, Instr &In) {
+    std::vector<int32_t> Deep(ew::kMaxEwStack + 1,
+                              ew::encode(ew::EwOp::Push, 0));
+    In.D = static_cast<int32_t>(F.Pool.size());
+    In.Imm.I = static_cast<int64_t>(Deep.size());
+    F.Pool.insert(F.Pool.end(), Deep.begin(), Deep.end());
+  });
+}
+
 } // namespace

@@ -454,6 +454,83 @@ TEST_F(RepoStoreTest, MultipleVersionsAndFunctionsSurviveRestart) {
 }
 
 //===----------------------------------------------------------------------===//
+// Fused code in the store
+//===----------------------------------------------------------------------===//
+
+/// An elementwise chain the compiler fuses into a single EwFuse op.
+const char *kFusedSource = "function y = fz(x)\n"
+                           "a = ones(100, 1) * x;\n"
+                           "b = a + a .* a - 2.5;\n"
+                           "y = b(1) + b(100);\n";
+const double kFusedExpect = 215.0; // b(k) = 10 + 100 - 2.5 at x = 10
+
+bool holdsEwFuse(const Repository &Repo, const std::string &Name) {
+  for (const CompiledObjectPtr &Obj : Repo.versions(Name))
+    for (const Instr &In : Obj->Code->Code)
+      if (In.Op == Opcode::EwFuse)
+        return true;
+  return false;
+}
+
+TEST_F(RepoStoreTest, FusedCodeWarmStartsBitIdentically) {
+  {
+    Engine Cold(syncOpts());
+    ASSERT_TRUE(Cold.addSource("fz", kFusedSource));
+    auto R = Cold.callFunction("fz", {intArg(kArg)}, 1, SourceLoc());
+    ASSERT_DOUBLE_EQ(R[0]->scalarValue(), kFusedExpect);
+    // The entry on disk holds a fused program, not just fusable source.
+    ASSERT_TRUE(holdsEwFuse(Cold.repository(), "fz"));
+    ASSERT_EQ(Cold.repoStoreStats().Saved, 1u);
+  }
+
+  // The fused program survives the serialize/validate/adopt ladder and is
+  // served straight from disk: no compile, and the identical answer.
+  Engine Warm(syncOpts());
+  EXPECT_EQ(Warm.repoStoreStats().Loaded, 1u);
+  ASSERT_TRUE(Warm.addSource("fz", kFusedSource));
+  EXPECT_EQ(Warm.repoStoreStats().Adopted, 1u);
+  EXPECT_TRUE(holdsEwFuse(Warm.repository(), "fz"));
+  auto R = Warm.callFunction("fz", {intArg(kArg)}, 1, SourceLoc());
+  EXPECT_DOUBLE_EQ(R[0]->scalarValue(), kFusedExpect);
+  EXPECT_EQ(Warm.jitCompiles(), 0u);
+  EXPECT_EQ(Warm.interpreterFallbacks(), 0u);
+}
+
+TEST_F(RepoStoreTest, OldAbiStampIsDiscardedCleanlyAndRecompiled) {
+  {
+    Engine Cold(syncOpts());
+    ASSERT_TRUE(Cold.addSource("fz", kFusedSource));
+    Cold.callFunction("fz", {intArg(kArg)}, 1, SourceLoc());
+    ASSERT_EQ(Cold.repoStoreStats().Saved, 1u);
+  }
+
+  // Rewrite the entry's build stamp (bytes 8..15, after magic and format
+  // version) to simulate a store written by an engine with a different
+  // code ABI - an older kCodeABIVersion, say, without the fused opcode.
+  auto Files = entryFiles();
+  ASSERT_EQ(Files.size(), 1u);
+  {
+    std::fstream IO(Files[0], std::ios::in | std::ios::out |
+                                  std::ios::binary);
+    ASSERT_TRUE(IO.good());
+    IO.seekp(8);
+    IO.put('\x5a');
+  }
+
+  // Skewed entries are discarded before decoding - not quarantined as
+  // corruption, not adopted - and the call path recompiles from source.
+  Engine Warm(syncOpts());
+  RepoStoreStats S = Warm.repoStoreStats();
+  EXPECT_EQ(S.Loaded, 0u);
+  EXPECT_EQ(S.Skewed, 1u);
+  EXPECT_EQ(S.Quarantined, 0u);
+  ASSERT_TRUE(Warm.addSource("fz", kFusedSource));
+  auto R = Warm.callFunction("fz", {intArg(kArg)}, 1, SourceLoc());
+  EXPECT_DOUBLE_EQ(R[0]->scalarValue(), kFusedExpect);
+  EXPECT_EQ(Warm.jitCompiles(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
 // Persistent profiles (profiles.mjp)
 //===----------------------------------------------------------------------===//
 
