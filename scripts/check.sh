@@ -37,6 +37,6 @@ cmake -B build-tsan -S . -DMAJIC_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-tsan -j >/dev/null
 ctest --test-dir build-tsan --output-on-failure \
-  -R "async_compile_test|robustness_test|fuzz_test|support_test|kernel_test|repo_store_test|obs_test"
+  -R "async_compile_test|robustness_test|fuzz_test|support_test|kernel_test|repo_store_test|obs_test|service_test"
 
 echo "== all checks passed =="

@@ -71,21 +71,32 @@ Engine::Engine(EngineOptions OptsIn) : Opts(std::move(OptsIn)) {
     Opts.Limits.MaxAllocBytes = envLimit("MAJIC_MAX_ALLOC_BYTES");
   if (!Opts.Limits.MaxOps)
     Opts.Limits.MaxOps = envLimit("MAJIC_MAX_OPS");
+  if (!Opts.Limits.MaxWallMillis)
+    Opts.Limits.MaxWallMillis = envLimit("MAJIC_MAX_WALL_MILLIS");
 
   Ctx.Rand.reseed(Opts.RandSeed);
   Ctx.Exec.OpBudget = Opts.Limits.MaxOps;
-  // Matrix storage is charged against a process-wide account (the tracking
-  // allocator cannot see engine state), so apply the stricter of the two
-  // limits globally and lift it again in the destructor.
+  Ctx.Exec.TimeBudgetNs = Opts.Limits.MaxWallMillis * 1000000ull;
   uint64_t ByteLimit = Opts.Limits.MaxAllocBytes;
   if (Opts.Limits.MaxLiveElements) {
     uint64_t ElemBytes = Opts.Limits.MaxLiveElements * sizeof(double);
     ByteLimit = ByteLimit ? std::min(ByteLimit, ElemBytes) : ElemBytes;
   }
   if (ByteLimit) {
-    mem::setLimitBytes(ByteLimit);
-    OwnsMemLimit = true;
+    if (Opts.PerSessionLimits) {
+      // The budget binds to this engine's own account, installed around
+      // each top-level invocation: any number of engines can carry
+      // independent budgets in one process.
+      MemAccount.setLimit(ByteLimit);
+    } else {
+      // Matrix storage is charged against a process-wide account (the
+      // tracking allocator cannot see engine state), so apply the stricter
+      // of the two limits globally and lift it again at shutdown.
+      mem::setLimitBytes(ByteLimit);
+      OwnsMemLimit = true;
+    }
   }
+  CfgHash = sharedCacheConfigHash(Opts);
   Repo.setVersionCap(Opts.MaxVersionsPerFunction);
   // Wire the observability subsystem. The repository's hit/miss/eviction
   // counters and the engine's own counters register as externally-owned
@@ -113,17 +124,19 @@ Engine::Engine(EngineOptions OptsIn) : Opts(std::move(OptsIn)) {
   Inst.FusionGroups = &Metrics.counter("fusion.groups");
   Inst.FusionOpsFused = &Metrics.counter("fusion.ops_fused");
   Inst.FusionTempsElided = &Metrics.counter("fusion.temps_elided");
-  // Trace/metrics destinations: option first, environment knob second.
-  // Tracing is enabled only when a destination exists - the disabled path
-  // is one relaxed atomic load per site.
+  // Trace/metrics destinations: option first, environment knob second
+  // (environment fallbacks only when EnvFallbacks - service sessions must
+  // not all dump into one file). Tracing is enabled only when a
+  // destination exists - the disabled path is one relaxed atomic load per
+  // site.
   TraceFile = Opts.TracePath;
-  if (TraceFile.empty())
+  if (TraceFile.empty() && Opts.EnvFallbacks)
     if (const char *Env = std::getenv("MAJIC_TRACE"); Env && *Env)
       TraceFile = Env;
   if (!TraceFile.empty())
     obs::setTraceEnabled(true);
   MetricsFile = Opts.MetricsPath;
-  if (MetricsFile.empty())
+  if (MetricsFile.empty() && Opts.EnvFallbacks)
     if (const char *Env = std::getenv("MAJIC_METRICS"); Env && *Env)
       MetricsFile = Env;
   // Environment kill switch for elementwise fusion (A/B measurement).
@@ -140,7 +153,7 @@ Engine::Engine(EngineOptions OptsIn) : Opts(std::move(OptsIn)) {
   // PendingWarm until their source is loaded - only then can the source
   // hash confirm the compiled code still matches the .m text.
   std::string RepoDir = Opts.RepoDir;
-  if (RepoDir.empty())
+  if (RepoDir.empty() && Opts.EnvFallbacks)
     if (const char *Env = std::getenv("MAJIC_REPO_DIR"); Env && *Env)
       RepoDir = Env;
   if (!RepoDir.empty()) {
@@ -155,7 +168,7 @@ Engine::Engine(EngineOptions OptsIn) : Opts(std::move(OptsIn)) {
   // anything runs); the observed signatures wait in PendingProfileSigs
   // until their source is loaded and the arity can be checked.
   std::string ProfDir = Opts.ProfileDir;
-  if (ProfDir.empty())
+  if (ProfDir.empty() && Opts.EnvFallbacks)
     if (const char *Env = std::getenv("MAJIC_PROFILE_DIR"); Env && *Env)
       ProfDir = Env;
   if (ProfDir.empty())
@@ -176,11 +189,16 @@ Engine::Engine(EngineOptions OptsIn) : Opts(std::move(OptsIn)) {
         PendingProfileSigs[PS.Name] = std::move(PS.Sigs);
     }
   }
-  // Idle-priority workers: background compilation only consumes cycles
-  // the interactive thread leaves free, so responsiveness holds even on a
-  // single-core machine (the paper's "the user never waits"). The pool
-  // records into registry-owned instruments ("pool.spec.*").
-  if (Opts.BackgroundCompileThreads > 0) {
+  // Background workers for speculation and store saves. A shared pool (the
+  // multi-session service) takes precedence; otherwise idle-priority
+  // workers are spawned so background compilation only consumes cycles the
+  // interactive thread leaves free - responsiveness holds even on a
+  // single-core machine (the paper's "the user never waits"). An owned
+  // pool records into registry-owned instruments ("pool.spec.*"); a shared
+  // pool's instruments belong to its owner.
+  if (Opts.SharedSpecPool) {
+    SpecPool = Opts.SharedSpecPool;
+  } else if (Opts.BackgroundCompileThreads > 0) {
     ThreadPool::MetricsSink Sink;
     Sink.Enqueued = &Metrics.counter("pool.spec.enqueued");
     Sink.Finished = &Metrics.counter("pool.spec.finished");
@@ -188,25 +206,75 @@ Engine::Engine(EngineOptions OptsIn) : Opts(std::move(OptsIn)) {
     Sink.QueueDepth = &Metrics.gauge("pool.spec.queue_depth");
     Sink.QueueSeconds = &Metrics.histogram("pool.spec.queue_seconds");
     Sink.RunSeconds = &Metrics.histogram("pool.spec.run_seconds");
-    SpecPool = std::make_unique<ThreadPool>(Opts.BackgroundCompileThreads,
-                                            ThreadPool::Priority::Idle,
-                                            &Sink);
+    OwnedSpecPool = std::make_unique<ThreadPool>(
+        Opts.BackgroundCompileThreads, ThreadPool::Priority::Idle, &Sink);
+    SpecPool = OwnedSpecPool.get();
   }
 }
 
-Engine::~Engine() {
-  // A paused pool would never drain its queue; the pool destructor joins
-  // after finishing queued tasks, so un-pause first.
-  if (SpecPool)
-    SpecPool->setPaused(false);
-  // Joining the workers first: in-flight tasks touch the repository and
-  // the speculation bookkeeping, which must outlive them.
-  SpecPool.reset();
+Engine::~Engine() { shutdown(); }
+
+void Engine::shutdown() {
+  if (ShutdownDone)
+    return;
+  ShutdownDone = true;
+  if (OwnedSpecPool) {
+    // Workers observe Draining under SpecMutex and persist synchronously
+    // from then on, so nothing re-enqueues while the pool tears down (the
+    // old destructor nulled the pool member before joining, which raced
+    // the workers' own reads of it).
+    {
+      std::lock_guard<std::mutex> L(SpecMutex);
+      Draining = true;
+    }
+    // A paused pool would never drain its queue; the pool destructor joins
+    // after finishing queued tasks, so un-pause first. In-flight tasks
+    // touch the repository and the speculation bookkeeping, which must
+    // outlive them - hence join before anything else is torn down.
+    OwnedSpecPool->setPaused(false);
+    OwnedSpecPool.reset();
+    std::lock_guard<std::mutex> L(SpecMutex);
+    SpecPool = nullptr;
+  } else if (SpecPool) {
+    // Shared pool: it outlives this engine and may be serving other
+    // sessions, so never drain or pause it. Cancel this engine's
+    // still-queued tasks (doing the bookkeeping their bodies would have),
+    // then wait out only the ones already running.
+    std::unique_lock<std::mutex> L(SpecMutex);
+    Draining = true;
+    for (auto It = QueuedIds.begin(); It != QueuedIds.end();) {
+      if (!SpecPool->cancel(It->second)) {
+        ++It; // already running; its body does its own bookkeeping
+        continue;
+      }
+      const std::string &Name = It->first;
+      auto QIt = std::find(QueuedOrder.begin(), QueuedOrder.end(), Name);
+      if (QIt != QueuedOrder.end())
+        QueuedOrder.erase(QIt);
+      auto FIt = std::find(InFlight.begin(), InFlight.end(), Name);
+      if (FIt != InFlight.end())
+        InFlight.erase(FIt);
+      --PendingCompiles;
+      Spec.Dropped.inc();
+      It = QueuedIds.erase(It);
+    }
+    for (auto It = QueuedSaveIds.begin(); It != QueuedSaveIds.end();) {
+      if (SpecPool->cancel(*It)) {
+        --PendingSaves;
+        It = QueuedSaveIds.erase(It);
+      } else {
+        ++It;
+      }
+    }
+    SpecIdleCv.wait(
+        L, [this] { return PendingCompiles == 0 && PendingSaves == 0; });
+    SpecPool = nullptr;
+  }
   // Persist the profile summary now that all recording is quiesced; the
   // next session's snooper ranks its speculation queue by these counts.
   saveProfilesToStore();
   // Final observability dumps, with every member still alive and all
-  // recording quiesced (the workers are joined).
+  // recording quiesced (this engine's workers are joined or waited out).
   if (!MetricsFile.empty()) {
     std::ofstream Out(MetricsFile);
     if (Out)
@@ -214,8 +282,28 @@ Engine::~Engine() {
   }
   if (!TraceFile.empty())
     obs::writeTraceJson(TraceFile);
-  if (OwnsMemLimit)
+  if (OwnsMemLimit) {
     mem::setLimitBytes(0);
+    OwnsMemLimit = false;
+  }
+}
+
+uint64_t Engine::sharedCacheConfigHash(const EngineOptions &Opts) {
+  // Renders every option that changes generated code, then hashes the
+  // rendering. Policy, limits, pool sizes and directories are
+  // deliberately absent: they steer *when* compilation happens, not what
+  // it produces.
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf), "%s|%u|%u|%u|%d|%u|%d|%d|%d|%u|%d|%d|%d",
+                Opts.Platform.Name.c_str(), Opts.Platform.NumFRegs,
+                Opts.Platform.NumIRegs, Opts.Platform.NumPRegs,
+                int(Opts.Platform.JitUnrollsSmallVectors),
+                Opts.Platform.NativeOptRounds, int(Opts.Infer.EnableRanges),
+                int(Opts.Infer.EnableMinShapes),
+                int(Opts.Infer.OptimisticRealMath), Opts.Infer.MaxPasses,
+                int(Opts.RegAlloc.SpillEverything), int(Opts.InlineCalls),
+                int(Opts.FuseElementwise));
+  return hashing::fnv1a(Buf);
 }
 
 //===----------------------------------------------------------------------===//
@@ -392,9 +480,41 @@ CompiledObjectPtr Engine::compileAndInsert(const std::string &Name,
     return nullptr;
 
   uint64_t Gen;
+  uint64_t SrcHash = 0;
+  bool HaveSrcHash = false;
   {
     std::lock_guard<std::mutex> L(SpecMutex);
     Gen = SourceGeneration[Name];
+    auto HIt = SourceHashByFn.find(Name);
+    if (HIt != SourceHashByFn.end()) {
+      SrcHash = HIt->second;
+      HaveSrcHash = true;
+    }
+  }
+  // Cross-session reuse: another session may already have compiled exactly
+  // this (source, signature, configuration). A hit clones the immutable
+  // code body into this engine's repository - zero compile work.
+  std::string CacheKey;
+  if (Opts.SharedCache && HaveSrcHash) {
+    CacheKey =
+        SharedCodeCache::key(Name, SrcHash, CfgHash, Mode, Optimistic, Sig);
+    if (CompiledObjectPtr Cached = Opts.SharedCache->lookup(CacheKey)) {
+      try {
+        CompiledObject Obj;
+        Obj.FunctionName = Name;
+        Obj.Sig = Cached->Sig;
+        Obj.Code = Cached->Code;
+        Obj.Mode = Cached->Mode;
+        Obj.CompileSeconds = 0; // this session spent nothing
+        Obj.From = Cached->From;
+        Repo.insert(std::move(Obj));
+        CompiledObjectPtr Adopted = Repo.lookup(Name, Sig);
+        if (Adopted)
+          return Adopted;
+      } catch (...) {
+        // An injected repo-insert fault costs one compile; fall through.
+      }
+    }
   }
   // The compiler must never take the engine down: any exception escaping
   // the pipeline (injected faults included; MatlabError does not derive
@@ -426,8 +546,11 @@ CompiledObjectPtr Engine::compileAndInsert(const std::string &Name,
     Profiles.recordCompile(Name, Obj.CompileSeconds);
     Repo.insert(std::move(Obj));
     CompiledObjectPtr Inserted = Repo.lookup(Name, Sig);
-    if (Inserted)
+    if (Inserted) {
       saveToStore(*Inserted);
+      if (Opts.SharedCache && !CacheKey.empty())
+        Opts.SharedCache->publish(CacheKey, Inserted, SrcHash);
+    }
     return Inserted;
   } catch (...) {
     noteCompileFailure(Name, Gen);
@@ -488,28 +611,43 @@ void Engine::saveToStore(const CompiledObject &Obj) {
   Clone->CompileSeconds = Obj.CompileSeconds;
   Clone->From = Obj.From;
   RepoStore *S = Store.get();
-  if (SpecPool) {
+  {
     // Persisting rides the idle-priority pool like speculative compiles:
-    // the interactive thread never waits for the disk.
-    {
-      std::lock_guard<std::mutex> L(SpecMutex);
+    // the interactive thread never waits for the disk. The pool pointer is
+    // read under SpecMutex because this path runs on workers, which must
+    // observe shutdown's Draining/clearing writes - while draining, save
+    // synchronously instead of enqueueing onto a pool that is mid-teardown
+    // (owned) or possibly paused (shared).
+    std::unique_lock<std::mutex> L(SpecMutex);
+    if (SpecPool && !Draining) {
       ++PendingSaves;
-    }
-    try {
-      SpecPool->enqueue([this, S, Clone, SrcHash] {
-        runStoreSave(*S, *Clone, SrcHash);
-        {
-          std::lock_guard<std::mutex> L(SpecMutex);
-          --PendingSaves;
-        }
-        SpecIdleCv.notify_all();
-      });
-      return;
-    } catch (...) {
-      // Injected pool-enqueue fault: undo the pending count and fall back
-      // to the synchronous path (save() itself never throws).
-      std::lock_guard<std::mutex> L(SpecMutex);
-      --PendingSaves;
+      // Enqueueing while holding SpecMutex (the established SpecMutex ->
+      // pool-mutex order) makes id tracking race-free: the worker's first
+      // action in the task body is to take SpecMutex, so the id is in
+      // QueuedSaveIds - and in the box - before the body can look.
+      auto IdBox = std::make_shared<ThreadPool::TaskId>(0);
+      try {
+        ThreadPool::TaskId Id =
+            SpecPool->enqueue([this, S, Clone, SrcHash, IdBox] {
+              {
+                std::lock_guard<std::mutex> L2(SpecMutex);
+                QueuedSaveIds.erase(*IdBox);
+              }
+              runStoreSave(*S, *Clone, SrcHash);
+              {
+                std::lock_guard<std::mutex> L2(SpecMutex);
+                --PendingSaves;
+              }
+              SpecIdleCv.notify_all();
+            });
+        *IdBox = Id;
+        QueuedSaveIds.insert(Id);
+        return;
+      } catch (...) {
+        // Injected pool-enqueue fault: undo the pending count and fall
+        // back to the synchronous path (save() itself never throws).
+        --PendingSaves;
+      }
     }
   }
   runStoreSave(*S, *Clone, SrcHash);
@@ -649,6 +787,8 @@ bool Engine::speculateAsync(const std::string &Name,
     Forced = *SigOverride;
   {
     std::lock_guard<std::mutex> L(SpecMutex);
+    if (Draining)
+      return false;
     if (std::find(InFlight.begin(), InFlight.end(), Name) != InFlight.end()) {
       Spec.DedupedRequests.inc();
       return false;
@@ -702,13 +842,15 @@ bool Engine::promoteSpeculation(const std::string &Name) {
 }
 
 void Engine::pauseBackgroundCompiles() {
-  if (SpecPool)
-    SpecPool->setPaused(true);
+  // Owned pool only: pausing a shared pool would stall every other
+  // session's background work, and no session may have that power.
+  if (OwnedSpecPool)
+    OwnedSpecPool->setPaused(true);
 }
 
 void Engine::resumeBackgroundCompiles() {
-  if (SpecPool)
-    SpecPool->setPaused(false);
+  if (OwnedSpecPool)
+    OwnedSpecPool->setPaused(false);
 }
 
 std::vector<std::string> Engine::queuedSpeculations() const {
@@ -739,6 +881,9 @@ void Engine::backgroundCompile(std::string Name,
   std::optional<CompileResult> Result;
   TypeSignature Sig;
   bool Crashed = false;
+  CompiledObjectPtr CacheHit;
+  std::string CacheKey;
+  uint64_t SrcHash = 0;
   try {
     // Signature pick order: an explicit override (re-speculation), then
     // the most-called observed signature, then the backward-hint guess.
@@ -753,16 +898,45 @@ void Engine::backgroundCompile(std::string Name,
     } else {
       Sig = speculateSignature(*FI, Opts.Infer);
     }
-    CompileRequest Req = makeRequest(FI.get(), Sig, CodeGenMode::Optimized,
-                                     /*Optimistic=*/true);
-    Result = compileFunction(Req);
+    // Cross-session reuse on the background path too: a sibling session's
+    // speculative compile of the same (source, signature, configuration)
+    // serves this one for free.
+    if (Opts.SharedCache) {
+      bool HaveSrcHash = false;
+      {
+        std::lock_guard<std::mutex> L(SpecMutex);
+        auto HIt = SourceHashByFn.find(Name);
+        if (HIt != SourceHashByFn.end()) {
+          SrcHash = HIt->second;
+          HaveSrcHash = true;
+        }
+      }
+      if (HaveSrcHash) {
+        CacheKey = SharedCodeCache::key(Name, SrcHash, CfgHash,
+                                        CodeGenMode::Optimized,
+                                        /*Optimistic=*/true, Sig);
+        CacheHit = Opts.SharedCache->lookup(CacheKey);
+      }
+    }
+    if (!CacheHit) {
+      CompileRequest Req = makeRequest(FI.get(), Sig, CodeGenMode::Optimized,
+                                       /*Optimistic=*/true);
+      Result = compileFunction(Req);
+    }
   } catch (...) {
     Crashed = true;
   }
   double Seconds = Total.seconds();
 
   CompiledObject Obj;
-  if (Result) {
+  if (CacheHit) {
+    Obj.FunctionName = Name;
+    Obj.Sig = CacheHit->Sig;
+    Obj.Code = CacheHit->Code;
+    Obj.Mode = CacheHit->Mode;
+    Obj.CompileSeconds = 0; // this session spent nothing
+    Obj.From = CacheHit->From;
+  } else if (Result) {
     Phases.add(Phase::TypeInference, Result->TypeInferSeconds);
     Phases.add(Phase::CodeGen, Result->CodeGenSeconds);
     Inst.InferSeconds->observe(Result->TypeInferSeconds);
@@ -786,7 +960,7 @@ void Engine::backgroundCompile(std::string Name,
     // Publish only when the source generation is unchanged: an invalidate
     // or reload while we compiled makes this object stale.
     bool Stale = SourceGeneration[Name] != Gen;
-    if (Result && !Stale) {
+    if ((Result || CacheHit) && !Stale) {
       try {
         Repo.insert(std::move(Obj));
         Published = Repo.lookup(Name, Sig);
@@ -810,9 +984,14 @@ void Engine::backgroundCompile(std::string Name,
   // Queue the persist before releasing the compile's pending count (and
   // outside SpecMutex, which saveToStore takes): a drainCompiles() +
   // flushRepoStore() sequence must find either PendingCompiles or
-  // PendingSaves nonzero until the object is actually on disk.
-  if (Published)
+  // PendingSaves nonzero until the object is actually on disk. Freshly
+  // compiled (not cache-served) objects are also published for the
+  // sibling sessions.
+  if (Published) {
     saveToStore(*Published);
+    if (Result && Opts.SharedCache && !CacheKey.empty())
+      Opts.SharedCache->publish(CacheKey, Published, SrcHash);
+  }
   {
     std::lock_guard<std::mutex> L(SpecMutex);
     InFlight.erase(std::find(InFlight.begin(), InFlight.end(), Name));
@@ -876,9 +1055,19 @@ size_t Engine::quarantineCount() const {
   return Quarantined.size();
 }
 
-void Engine::requestInterrupt() { exec::requestInterrupt(); }
+void Engine::requestInterrupt() {
+  if (Opts.PerSessionLimits)
+    IntrToken.request();
+  else
+    exec::requestInterrupt();
+}
 
-void Engine::clearInterrupt() { exec::clearInterrupt(); }
+void Engine::clearInterrupt() {
+  if (Opts.PerSessionLimits)
+    IntrToken.clear();
+  else
+    exec::clearInterrupt();
+}
 
 void Engine::recordFirstResult() {
   if (CallDepth != 1)
@@ -1106,9 +1295,18 @@ std::vector<ValuePtr> Engine::callFunction(const std::string &Name,
   if (CallDepth >= Opts.MaxCallDepth)
     throw MatlabError("maximum recursion depth exceeded", Loc);
   // A fresh top-level invocation gets a fresh op budget; nested calls
-  // (including scripts' callees) spend their caller's.
-  if (CallDepth == 0)
+  // (including scripts' callees) spend their caller's. Per-session limits
+  // install the engine's own memory account and interrupt token for the
+  // whole invocation (parallelFor propagates both into its chunks).
+  std::optional<mem::ScopedAccount> AcctScope;
+  std::optional<exec::ScopedToken> TokenScope;
+  if (CallDepth == 0) {
     Ctx.Exec.reset();
+    if (Opts.PerSessionLimits) {
+      AcctScope.emplace(&MemAccount);
+      TokenScope.emplace(&IntrToken);
+    }
+  }
   DepthGuard Guard(CallDepth);
 
   if (Opts.Policy == CompilePolicy::InterpretOnly || LF->F->isScript()) {
@@ -1352,9 +1550,16 @@ std::string Engine::runScript(const std::string &Source) {
   try {
     ScopedPhaseTimer T(Phases, Phase::Execute);
     // The script itself is a top-level invocation: it gets a fresh op
-    // budget, and the depth guard keeps callFunction (depth >= 1 from
+    // budget (and, per-session, the engine's memory account and interrupt
+    // token), and the depth guard keeps callFunction (depth >= 1 from
     // here) from resetting the budget mid-script.
     Ctx.Exec.reset();
+    std::optional<mem::ScopedAccount> AcctScope;
+    std::optional<exec::ScopedToken> TokenScope;
+    if (CallDepth == 0 && Opts.PerSessionLimits) {
+      AcctScope.emplace(&MemAccount);
+      TokenScope.emplace(&IntrToken);
+    }
     DepthGuard Guard(CallDepth);
     Interp->runScript(*Script, Slots);
     recordFirstResult();

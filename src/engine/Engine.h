@@ -34,7 +34,9 @@
 #include "obs/Profile.h"
 #include "repo/RepoStore.h"
 #include "repo/Repository.h"
+#include "repo/SharedCache.h"
 #include "repo/Snooper.h"
+#include "support/ResourceGuard.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 
@@ -75,6 +77,11 @@ struct ExecutionLimits {
   /// Operation budget per top-level invocation (VM instructions plus
   /// interpreted statements); bounds runaway loops.
   uint64_t MaxOps = 0;
+  /// Wall-clock budget per top-level invocation, in milliseconds; bounds
+  /// programs whose per-op cost is large (huge matmuls in a loop). Sampled
+  /// every ~512 op-budget polls, so enforcement granularity is coarse by
+  /// design.
+  uint64_t MaxWallMillis = 0;
 };
 
 struct EngineOptions {
@@ -103,10 +110,33 @@ struct EngineOptions {
   /// environment variable when set, otherwise the hardware concurrency.
   /// Nonzero pins the count (kernel results are bit-identical either way).
   unsigned ComputeThreads = 0;
-  /// Resource limits (0 = unlimited). The memory limits are applied
-  /// process-wide (matrix storage uses a global tracking allocator), so
-  /// only one engine at a time should set them.
+  /// Resource limits (0 = unlimited). By default the memory limits are
+  /// applied process-wide (matrix storage uses a global tracking
+  /// allocator), so only one engine at a time should set them; with
+  /// PerSessionLimits they bind to this engine's own account instead and
+  /// any number of engines can carry independent budgets.
   ExecutionLimits Limits;
+  /// Scope the memory limit and the interrupt to this engine: the byte
+  /// budget charges an engine-owned mem::Account (installed thread-locally
+  /// around each top-level invocation and propagated into parallelFor
+  /// chunks), and requestInterrupt() raises an engine-owned exec::Token
+  /// instead of the process-wide flag. This is what makes N sessions in
+  /// one process unable to exhaust - or interrupt - each other.
+  bool PerSessionLimits = false;
+  /// Compile speculation and store saves on this externally owned pool
+  /// instead of spawning workers (BackgroundCompileThreads is ignored when
+  /// set). The pool must outlive the engine; the multi-session service
+  /// multiplexes every session's background work onto one idle pool.
+  ThreadPool *SharedSpecPool = nullptr;
+  /// Process-wide compiled-code cache consulted before every compile and
+  /// published to after (one compile serves every session hitting the same
+  /// source + signature + configuration). Null = no sharing.
+  std::shared_ptr<SharedCodeCache> SharedCache;
+  /// When false, the MAJIC_TRACE / MAJIC_METRICS / MAJIC_REPO_DIR /
+  /// MAJIC_PROFILE_DIR environment fallbacks are ignored (the explicit
+  /// option fields still work). The service disables them for session
+  /// engines so N sessions cannot race dumps into one file.
+  bool EnvFallbacks = true;
   /// Cap on compiled versions kept per function; the least-used version is
   /// evicted when a new one would exceed it. 0 = unlimited.
   unsigned MaxVersionsPerFunction = 8;
@@ -167,6 +197,22 @@ class Engine : public CallResolver {
 public:
   explicit Engine(EngineOptions Opts = EngineOptions());
   ~Engine() override;
+
+  /// Quiesces the engine: drains or cancels this engine's background work
+  /// (owned pool: drain and join; shared pool: cancel queued tasks, wait
+  /// out running ones - never blocking on other sessions' work), persists
+  /// profiles, writes the final observability dumps, and lifts any
+  /// process-wide limit this engine installed. Idempotent; the destructor
+  /// calls it. After shutdown the engine serves no further invocations'
+  /// speculation (synchronous execution still works).
+  void shutdown();
+
+  /// Hash of the codegen-relevant options: two engines whose hashes match
+  /// produce interchangeable compiled objects for identical source and
+  /// signature. This is the CfgHash component of SharedCodeCache keys, so
+  /// mixed-option engines sharing one cache can never serve each other
+  /// mismatched code.
+  static uint64_t sharedCacheConfigHash(const EngineOptions &Opts);
 
   //===--------------------------------------------------------------------===
   // Loading sources
@@ -248,6 +294,9 @@ public:
 
   /// Pause/resume the background compile workers (running compiles finish;
   /// queued ones hold). Tests use this to stage a deterministic backlog.
+  /// No-ops on a shared pool: one session must not be able to pause every
+  /// other session's background work (the service pauses the shared pool
+  /// itself when shedding load).
   void pauseBackgroundCompiles();
   void resumeBackgroundCompiles();
 
@@ -267,7 +316,9 @@ public:
 
   /// Requests cooperative interruption of the running program (safe from
   /// any thread, e.g. a SIGINT handler). The program stops at the next
-  /// poll point with a clean MatlabError; the engine stays usable.
+  /// poll point with a clean MatlabError; the engine stays usable. With
+  /// PerSessionLimits this raises the engine's own token, so only this
+  /// engine's work stops; otherwise it raises the process-wide flag.
   void requestInterrupt();
 
   /// Clears a pending interrupt request.
@@ -570,9 +621,34 @@ private:
   // are touched from workers.
   //===--------------------------------------------------------------------===
 
-  std::unique_ptr<ThreadPool> SpecPool;
+  /// Owned workers when no shared pool is configured (null otherwise).
+  /// Only the engine thread touches the unique_ptr itself.
+  std::unique_ptr<ThreadPool> OwnedSpecPool;
+  /// The pool speculation and saves run on: OwnedSpecPool.get() or
+  /// Opts.SharedSpecPool. Written only on the engine thread (constructor
+  /// and shutdown); engine-thread reads are plain, worker reads go through
+  /// SpecMutex, where shutdown's clearing write is also made - that
+  /// ordering is what fixes the old teardown race, where workers read the
+  /// unique_ptr member while the destructor nulled it.
+  ThreadPool *SpecPool = nullptr;
+  /// Engine-thread only: shutdown() already ran.
+  bool ShutdownDone = false;
   mutable std::mutex SpecMutex;
   std::condition_variable SpecIdleCv;
+  /// Guarded by SpecMutex. While draining (shutdown), workers persist
+  /// synchronously instead of enqueueing onto a pool that may be paused or
+  /// mid-teardown, and no new speculation is accepted.
+  bool Draining = false;
+  /// Pool task ids of store saves still sitting in the queue (erased when
+  /// a worker starts one); shutdown on a shared pool cancels through
+  /// these. Guarded by SpecMutex.
+  std::unordered_set<ThreadPool::TaskId> QueuedSaveIds;
+  /// Per-session byte budget and interrupt token (PerSessionLimits);
+  /// internally synchronized.
+  mem::Account MemAccount;
+  exec::Token IntrToken;
+  /// sharedCacheConfigHash(Opts), resolved once at construction.
+  uint64_t CfgHash = 0;
   /// Functions queued or compiling: the in-flight dedup set. Keyed by
   /// name (one speculative compile per function at a time) because the
   /// speculated signature is only computed on the worker.

@@ -1,0 +1,65 @@
+//===- repo/SharedCache.cpp - Cross-session compiled-code cache ------------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "repo/SharedCache.h"
+
+#include <cstdio>
+
+using namespace majic;
+
+std::string SharedCodeCache::key(const std::string &Name, uint64_t SrcHash,
+                                 uint64_t CfgHash, CodeGenMode Mode,
+                                 bool Optimistic, const TypeSignature &Sig) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "|%016llx|%016llx|%u%c|",
+                static_cast<unsigned long long>(SrcHash),
+                static_cast<unsigned long long>(CfgHash),
+                static_cast<unsigned>(Mode), Optimistic ? 'o' : 'p');
+  return Name + Buf + Sig.str();
+}
+
+CompiledObjectPtr SharedCodeCache::lookup(const std::string &Key) const {
+  {
+    std::shared_lock<std::shared_mutex> L(Mutex);
+    auto It = Table.find(Key);
+    if (It != Table.end()) {
+      HitsCount.inc();
+      return It->second;
+    }
+  }
+  MissesCount.inc();
+  return nullptr;
+}
+
+bool SharedCodeCache::publish(const std::string &Key, CompiledObjectPtr Obj,
+                              uint64_t SrcHash) {
+  if (!Obj)
+    return false;
+  {
+    std::unique_lock<std::shared_mutex> L(Mutex);
+    auto [It, Inserted] = Table.emplace(Key, Obj);
+    (void)It;
+    if (!Inserted) {
+      DuplicatesCount.inc();
+      return false;
+    }
+    Order.push_back(Key);
+    PublishedCount.inc();
+    while (Capacity && Table.size() > Capacity) {
+      Table.erase(Order.front());
+      Order.pop_front();
+      EvictionsCount.inc();
+    }
+  }
+  if (OnPublish)
+    OnPublish(Obj, SrcHash);
+  return true;
+}
+
+size_t SharedCodeCache::size() const {
+  std::shared_lock<std::shared_mutex> L(Mutex);
+  return Table.size();
+}

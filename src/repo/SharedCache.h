@@ -1,0 +1,112 @@
+//===- repo/SharedCache.h - Cross-session compiled-code cache --*- C++ -*-===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The process-wide compiled-code cache behind the multi-session service:
+/// one compile serves every session that hits the same (function source,
+/// signature, codegen configuration). Each session keeps its own
+/// Repository (the function locator's subtype matching stays per-session
+/// and unsynchronized on the hot lookup path); this cache sits behind the
+/// compile path - before a session compiles, it asks the cache; after a
+/// session compiles, it publishes.
+///
+/// Safety against poisoning: the key includes the full source hash and a
+/// hash of the codegen-relevant engine options, so a session whose source
+/// text or options differ can never be served - or plant - code that is
+/// wrong for another session. CompiledObject code bodies are immutable
+/// (`shared_ptr<const IRFunction>`), so sharing one across engines is
+/// data-race-free by construction.
+///
+/// Publication is keep-first: when two sessions race to compile the same
+/// key, the second publish is dropped and counted as a duplicate - both
+/// objects are equally valid, and keep-first means a reader never sees a
+/// key's value change underneath it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAJIC_REPO_SHAREDCACHE_H
+#define MAJIC_REPO_SHAREDCACHE_H
+
+#include "repo/Repository.h"
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+
+namespace majic {
+
+class SharedCodeCache {
+public:
+  /// \p Capacity caps the number of cached objects; 0 means unlimited.
+  /// Over capacity, the oldest entries are evicted FIFO - the cache is an
+  /// admission buffer for cross-session reuse, not the persistent store.
+  explicit SharedCodeCache(size_t Capacity = 4096) : Capacity(Capacity) {}
+
+  SharedCodeCache(const SharedCodeCache &) = delete;
+  SharedCodeCache &operator=(const SharedCodeCache &) = delete;
+
+  /// Builds the cache key for one compiled version. \p SrcHash must cover
+  /// the function's full source text and \p CfgHash the codegen-relevant
+  /// engine options (Engine::sharedCacheConfigHash). \p Optimistic is part
+  /// of the key: a deoptimizing session recompiles pessimistically and
+  /// must not be handed the optimistic object back.
+  static std::string key(const std::string &Name, uint64_t SrcHash,
+                         uint64_t CfgHash, CodeGenMode Mode, bool Optimistic,
+                         const TypeSignature &Sig);
+
+  /// Returns the cached object for \p Key, or null. Counts a hit or miss.
+  CompiledObjectPtr lookup(const std::string &Key) const;
+
+  /// Publishes \p Obj under \p Key. Keep-first: returns false (and counts
+  /// a duplicate) when the key is already present. The publish hook, when
+  /// set, runs outside the cache lock for every accepted publish.
+  bool publish(const std::string &Key, CompiledObjectPtr Obj,
+               uint64_t SrcHash);
+
+  /// Installs a hook observing accepted publishes (the service persists
+  /// them to the shared RepoStore). Set once, before concurrent use.
+  void setOnPublish(
+      std::function<void(const CompiledObjectPtr &, uint64_t SrcHash)> Hook) {
+    OnPublish = std::move(Hook);
+  }
+
+  size_t size() const;
+
+  uint64_t hits() const { return HitsCount.value(); }
+  uint64_t misses() const { return MissesCount.value(); }
+  uint64_t published() const { return PublishedCount.value(); }
+  uint64_t duplicates() const { return DuplicatesCount.value(); }
+  uint64_t evictions() const { return EvictionsCount.value(); }
+
+  /// Registers the cache's counters under "shared_cache.*". The registry
+  /// borrows the instruments; the cache must outlive the registry's use.
+  void registerMetrics(obs::MetricsRegistry &Registry) const {
+    Registry.registerCounter("shared_cache.hits", HitsCount);
+    Registry.registerCounter("shared_cache.misses", MissesCount);
+    Registry.registerCounter("shared_cache.published", PublishedCount);
+    Registry.registerCounter("shared_cache.duplicates", DuplicatesCount);
+    Registry.registerCounter("shared_cache.evictions", EvictionsCount);
+  }
+
+private:
+  const size_t Capacity;
+  mutable std::shared_mutex Mutex;
+  std::unordered_map<std::string, CompiledObjectPtr> Table;
+  std::deque<std::string> Order; ///< insertion order, for FIFO eviction
+  std::function<void(const CompiledObjectPtr &, uint64_t)> OnPublish;
+  mutable obs::Counter HitsCount;
+  mutable obs::Counter MissesCount;
+  mutable obs::Counter PublishedCount;
+  mutable obs::Counter DuplicatesCount;
+  mutable obs::Counter EvictionsCount;
+};
+
+} // namespace majic
+
+#endif // MAJIC_REPO_SHAREDCACHE_H

@@ -20,6 +20,7 @@
 #include "support/ResourceGuard.h"
 #include "support/Rng.h"
 
+#include <chrono>
 #include <functional>
 #include <string>
 
@@ -32,24 +33,43 @@ namespace majic {
 /// top-level invocation so the budget bounds one user request at a time.
 class ExecControl {
 public:
-  uint64_t OpBudget = 0; ///< 0 = unlimited
+  uint64_t OpBudget = 0;     ///< 0 = unlimited
+  uint64_t TimeBudgetNs = 0; ///< wall-clock cap per invocation; 0 = unlimited
 
-  void reset() { Used = 0; }
+  void reset() {
+    Used = 0;
+    Checks = 0;
+    if (TimeBudgetNs)
+      Start = std::chrono::steady_clock::now();
+  }
   uint64_t used() const { return Used; }
 
   /// Accounts \p N ops; throws a clean MatlabError on interrupt or budget
   /// exhaustion. Engine state stays intact: callers unwind through the
-  /// normal MATLAB-error path.
+  /// normal MATLAB-error path. The wall-clock budget is only sampled every
+  /// ~512 consume() calls: a steady_clock read on every VM poll would cost
+  /// more than the dispatch it guards.
   void consume(uint64_t N) {
     Used += N;
     exec::pollInterrupt();
     if (OpBudget && Used > OpBudget)
       throw MatlabError("operation budget exceeded (limit " +
                         std::to_string(OpBudget) + " ops)");
+    if (TimeBudgetNs && (++Checks & 511u) == 0) {
+      auto Elapsed = std::chrono::steady_clock::now() - Start;
+      if (uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       Elapsed)
+                       .count()) > TimeBudgetNs)
+        throw MatlabError(
+            "time budget exceeded (limit " +
+            std::to_string(TimeBudgetNs / 1000000) + " ms)");
+    }
   }
 
 private:
   uint64_t Used = 0;
+  uint64_t Checks = 0;
+  std::chrono::steady_clock::time_point Start{};
 };
 
 class Context {

@@ -1,0 +1,444 @@
+//===- service/SessionManager.cpp - Multi-session engine service ----------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/SessionManager.h"
+
+#include "support/FaultInjection.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace majic;
+
+namespace {
+
+uint64_t envU64(const char *Name) {
+  const char *V = std::getenv(Name);
+  if (!V || !*V)
+    return 0;
+  return std::strtoull(V, nullptr, 10);
+}
+
+} // namespace
+
+const char *majic::replyStatusName(Reply::Status S) {
+  switch (S) {
+  case Reply::Status::Ok:
+    return "ok";
+  case Reply::Status::Error:
+    return "error";
+  case Reply::Status::RejectedOverloaded:
+    return "rejected-overloaded";
+  case Reply::Status::SessionGone:
+    return "session-gone";
+  case Reply::Status::ShuttingDown:
+    return "shutting-down";
+  }
+  return "?";
+}
+
+SessionManager::SessionManager(ServiceOptions O) : Opts(std::move(O)) {
+  if (!Opts.MaxSessions)
+    Opts.MaxSessions = unsigned(envU64("MAJIC_MAX_SESSIONS"));
+  if (!Opts.MaxSessions)
+    Opts.MaxSessions = 64;
+  if (!Opts.Workers) {
+    unsigned HW = std::thread::hardware_concurrency();
+    Opts.Workers = std::min(HW ? HW : 4u, 8u);
+  }
+  if (!Opts.SpecThreads)
+    Opts.SpecThreads = 1;
+  if (!Opts.MaxQueuedRequests)
+    Opts.MaxQueuedRequests = 4096;
+  if (!Opts.MaxQueuedPerSession)
+    Opts.MaxQueuedPerSession = 256;
+  if (!Opts.ShedQueuedRequests)
+    Opts.ShedQueuedRequests = std::max(1u, Opts.MaxQueuedRequests / 2);
+  if (!Opts.SessionLimits.MaxOps)
+    Opts.SessionLimits.MaxOps = envU64("MAJIC_SESSION_MAX_OPS");
+  if (!Opts.SessionLimits.MaxAllocBytes)
+    Opts.SessionLimits.MaxAllocBytes = envU64("MAJIC_SESSION_MAX_ALLOC_BYTES");
+  if (!Opts.SessionLimits.MaxWallMillis)
+    Opts.SessionLimits.MaxWallMillis = envU64("MAJIC_SESSION_MAX_WALL_MILLIS");
+
+  Inst.SessionsCreated = &Metrics.counter("service.sessions.created");
+  Inst.SessionsRejected = &Metrics.counter("service.sessions.rejected");
+  Inst.SessionsDestroyed = &Metrics.counter("service.sessions.destroyed");
+  Inst.SessionsLive = &Metrics.gauge("service.sessions.live");
+  Inst.ReqAccepted = &Metrics.counter("service.requests.accepted");
+  Inst.ReqRejected = &Metrics.counter("service.requests.rejected");
+  Inst.ReqCompleted = &Metrics.counter("service.requests.completed");
+  Inst.ReqFailed = &Metrics.counter("service.requests.failed");
+  Inst.ReqQueued = &Metrics.gauge("service.requests.queued");
+  Inst.ShedEntered = &Metrics.counter("service.shed.entered");
+  Inst.ShedExited = &Metrics.counter("service.shed.exited");
+  Inst.ShedActive = &Metrics.gauge("service.shed.active");
+  Inst.RequestSeconds = &Metrics.histogram("service.request.seconds");
+  Inst.QueueSeconds = &Metrics.histogram("service.request.queue_seconds");
+
+  Cache = std::make_shared<SharedCodeCache>(Opts.SharedCacheCapacity);
+  Cache->registerMetrics(Metrics);
+
+  // Shared persistent repository: preload yesterday's compiles into the
+  // cache, then persist tomorrow's through the publish hook. The preload
+  // runs before the hook is installed so warm entries aren't rewritten.
+  // Stored objects are keyed optimistic: serving *less* optimized code
+  // under an optimistic key is always correct, never the reverse.
+  if (!Opts.RepoDir.empty()) {
+    Store = std::make_unique<RepoStore>(Opts.RepoDir);
+    Store->sweepTemps();
+    uint64_t CfgHash = Engine::sharedCacheConfigHash(sessionEngineOptions());
+    for (RepoStore::Entry &E : Store->loadAll()) {
+      std::string Key =
+          SharedCodeCache::key(E.Obj.FunctionName, E.SourceHash, CfgHash,
+                               E.Obj.Mode, /*Optimistic=*/true, E.Obj.Sig);
+      auto Obj = std::make_shared<CompiledObject>(std::move(E.Obj));
+      Cache->publish(Key, std::move(Obj), E.SourceHash);
+      Store->noteAdopted();
+    }
+    Cache->setOnPublish(
+        [S = Store.get()](const CompiledObjectPtr &Obj, uint64_t SrcHash) {
+          S->save(*Obj, SrcHash);
+        });
+  }
+
+  SpecPool =
+      std::make_unique<ThreadPool>(Opts.SpecThreads, ThreadPool::Priority::Idle);
+
+  Workers.reserve(Opts.Workers);
+  for (unsigned I = 0; I < Opts.Workers; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+SessionManager::~SessionManager() { shutdown(); }
+
+EngineOptions SessionManager::sessionEngineOptions() const {
+  EngineOptions E = Opts.Session;
+  E.Limits = Opts.SessionLimits;
+  E.PerSessionLimits = true;
+  E.SharedSpecPool = SpecPool.get(); // null during the preload hash; the
+                                     // field is not part of the cfg hash
+  E.SharedCache = Cache;
+  E.EnvFallbacks = false; // N sessions must not race dumps into one file
+  E.ComputeThreads = 1;   // request workers are the service's parallelism
+  E.RepoDir.clear();      // persistence is service-wide, not per-session
+  E.ProfileDir.clear();
+  E.TracePath.clear();
+  E.MetricsPath.clear();
+  return E;
+}
+
+SessionId SessionManager::createSession() {
+  // Build the engine outside the manager lock: creation cost must not
+  // stall dispatch. The slot is only claimed under the lock afterwards.
+  std::unique_ptr<Engine> Eng;
+  try {
+    faults::maybeThrow(faults::Site::SessionCreate);
+    Eng = std::make_unique<Engine>(sessionEngineOptions());
+  } catch (...) {
+    Inst.SessionsRejected->inc();
+    return 0;
+  }
+
+  SessionPtr S;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    if (Stopping || Sessions.size() >= Opts.MaxSessions) {
+      Inst.SessionsRejected->inc();
+      S = nullptr;
+    } else {
+      S = std::make_shared<Session>();
+      S->Id = NextId++;
+      S->Eng = std::move(Eng);
+      Sessions.emplace(S->Id, S);
+      Inst.SessionsCreated->inc();
+      Inst.SessionsLive->set(int64_t(Sessions.size()));
+    }
+  }
+  if (!S) {
+    // Rejected after construction: tear the engine down off-lock.
+    Eng.reset();
+    return 0;
+  }
+  return S->Id;
+}
+
+bool SessionManager::destroySession(SessionId Id) {
+  SessionPtr S;
+  {
+    std::unique_lock<std::mutex> L(Mu);
+    auto It = Sessions.find(Id);
+    if (It == Sessions.end() || It->second->Closing)
+      return false;
+    S = It->second;
+    S->Closing = true;
+    // Accepted requests drain first - they were promised a Reply. The
+    // session stays in the ready ring until its queue is empty.
+    DrainCv.wait(L, [&] {
+      return (S->Queue.empty() && !S->Busy) || Stopping;
+    });
+    if (Stopping)
+      return false; // shutdown() took over every session's teardown
+    Sessions.erase(Id);
+    Inst.SessionsLive->set(int64_t(Sessions.size()));
+    Inst.SessionsDestroyed->inc();
+  }
+  // Engine teardown off-lock, on the caller's thread: it may wait out an
+  // in-flight background compile on the shared pool, and that wait must
+  // never hold up other sessions' dispatch.
+  S->Eng->shutdown();
+  S.reset();
+  return true;
+}
+
+std::future<Reply> SessionManager::submit(SessionId Id, std::string Text) {
+  std::promise<Reply> Rejected;
+  std::future<Reply> F = Rejected.get_future();
+
+  std::unique_lock<std::mutex> L(Mu);
+  if (Stopping) {
+    Inst.ReqRejected->inc();
+    Rejected.set_value({Reply::Status::ShuttingDown, ""});
+    return F;
+  }
+  auto It = Sessions.find(Id);
+  if (It == Sessions.end() || It->second->Closing) {
+    Inst.ReqRejected->inc();
+    Rejected.set_value({Reply::Status::SessionGone, ""});
+    return F;
+  }
+  SessionPtr S = It->second;
+  bool Faulted = false;
+  try {
+    faults::maybeThrow(faults::Site::Admission);
+  } catch (...) {
+    Faulted = true;
+  }
+  if (Faulted || QueuedTotal >= Opts.MaxQueuedRequests ||
+      S->Queue.size() >= Opts.MaxQueuedPerSession) {
+    Inst.ReqRejected->inc();
+    Rejected.set_value({Reply::Status::RejectedOverloaded, ""});
+    return F;
+  }
+
+  Request R;
+  R.Text = std::move(Text);
+  F = R.Promise.get_future();
+  S->Queue.push_back(std::move(R));
+  ++QueuedTotal;
+  Inst.ReqAccepted->inc();
+  Inst.ReqQueued->set(int64_t(QueuedTotal));
+  enqueueReady(S);
+  updateShedLocked();
+  L.unlock();
+  WorkCv.notify_one();
+  return F;
+}
+
+bool SessionManager::interrupt(SessionId Id) {
+  std::lock_guard<std::mutex> L(Mu);
+  auto It = Sessions.find(Id);
+  if (It == Sessions.end())
+    return false;
+  // Token-based and internally synchronized; only this session's program
+  // stops at its next poll point.
+  It->second->Eng->requestInterrupt();
+  return true;
+}
+
+size_t SessionManager::liveSessions() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Sessions.size();
+}
+
+size_t SessionManager::queuedRequests() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return QueuedTotal;
+}
+
+bool SessionManager::shedding() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return SheddingFlag;
+}
+
+void SessionManager::setWorkersPaused(bool Paused) {
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    WorkersPausedFlag = Paused;
+  }
+  if (!Paused)
+    WorkCv.notify_all();
+}
+
+void SessionManager::enqueueReady(const SessionPtr &S) {
+  if (S->InReady || S->Busy || S->Queue.empty())
+    return;
+  S->InReady = true;
+  Ready.push_back(S->Id);
+}
+
+void SessionManager::updateShedLocked() {
+  // Speculation is the first load to go: pause the shared compile pool
+  // when the backlog crosses the threshold, resume when it halves.
+  // Running compiles finish (pausing is cooperative); queued ones hold,
+  // freeing the idle workers' cores for the request backlog.
+  if (!SheddingFlag && QueuedTotal >= Opts.ShedQueuedRequests) {
+    SheddingFlag = true;
+    SpecPool->setPaused(true);
+    Inst.ShedEntered->inc();
+    Inst.ShedActive->set(1);
+  } else if (SheddingFlag && QueuedTotal <= Opts.ShedQueuedRequests / 2) {
+    SheddingFlag = false;
+    SpecPool->setPaused(false);
+    Inst.ShedExited->inc();
+    Inst.ShedActive->set(0);
+  }
+}
+
+Reply SessionManager::runRequest(Session &S, const std::string &Text) {
+  try {
+    faults::maybeThrow(faults::Site::BudgetCheck);
+  } catch (const std::exception &E) {
+    return {Reply::Status::Error, std::string("??? ") + E.what() + "\n"};
+  }
+  std::string Out;
+  try {
+    Out = S.Eng->runScript(Text);
+  } catch (const std::exception &E) {
+    S.Eng->clearInterrupt();
+    // runScript reports program errors in its output; anything escaping
+    // is unexpected - contain it to this reply.
+    return {Reply::Status::Error, std::string("??? ") + E.what() + "\n"};
+  }
+  // An interrupt kills at most the request it raced with; the next one
+  // starts clean.
+  S.Eng->clearInterrupt();
+  // The engine renders program errors as "??? <message>" lines.
+  bool HasError =
+      Out.rfind("??? ", 0) == 0 || Out.find("\n??? ") != std::string::npos;
+  return {HasError ? Reply::Status::Error : Reply::Status::Ok, std::move(Out)};
+}
+
+void SessionManager::workerLoop() {
+  for (;;) {
+    SessionPtr S;
+    Request R;
+    {
+      std::unique_lock<std::mutex> L(Mu);
+      WorkCv.wait(L, [this] {
+        return Stopping || (!WorkersPausedFlag && !Ready.empty());
+      });
+      if (Stopping)
+        return;
+      SessionId Id = Ready.front();
+      Ready.pop_front();
+      auto It = Sessions.find(Id);
+      if (It == Sessions.end())
+        continue; // destroyed while queued; its requests were drained
+      S = It->second;
+      S->InReady = false;
+      if (S->Busy || S->Queue.empty())
+        continue;
+      R = std::move(S->Queue.front());
+      S->Queue.pop_front();
+      S->Busy = true;
+      --QueuedTotal;
+      Inst.ReqQueued->set(int64_t(QueuedTotal));
+      updateShedLocked();
+    }
+
+    Inst.QueueSeconds->observe(R.Queued.seconds());
+    Timer Run;
+    Reply Rep = runRequest(*S, R.Text);
+    Inst.RequestSeconds->observe(Run.seconds());
+    (Rep.St == Reply::Status::Ok ? Inst.ReqCompleted : Inst.ReqFailed)->inc();
+
+    bool MoreWork;
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      S->Busy = false;
+      // Round-robin fairness: the session rejoins at the *tail*, so a
+      // session with an endless stream of requests advances one request
+      // per turn of the ring, never starving the others.
+      enqueueReady(S);
+      MoreWork = !Ready.empty();
+      if (S->Closing && S->Queue.empty())
+        DrainCv.notify_all();
+    }
+    R.Promise.set_value(std::move(Rep));
+    if (MoreWork)
+      WorkCv.notify_one();
+  }
+}
+
+obs::MetricsSnapshot SessionManager::sampleMetrics() {
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    Inst.SessionsLive->set(int64_t(Sessions.size()));
+    Inst.ReqQueued->set(int64_t(QueuedTotal));
+    Inst.ShedActive->set(SheddingFlag ? 1 : 0);
+  }
+  return Metrics.snapshot();
+}
+
+std::string SessionManager::metricsJson() {
+  sampleMetrics();
+  return Metrics.json();
+}
+
+void SessionManager::shutdown() {
+  std::vector<SessionPtr> Doomed;
+  std::vector<Request> Orphans;
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    if (ShutdownDone)
+      return;
+    ShutdownDone = true;
+    Stopping = true;
+    for (auto &[Id, S] : Sessions) {
+      (void)Id;
+      for (Request &R : S->Queue)
+        Orphans.push_back(std::move(R));
+      S->Queue.clear();
+      Doomed.push_back(S);
+    }
+    Sessions.clear();
+    Ready.clear();
+    QueuedTotal = 0;
+  }
+  WorkCv.notify_all();
+  DrainCv.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+  Workers.clear();
+  // Promises resolve after the workers are gone: a request that was
+  // *running* at shutdown still resolved through its worker; only
+  // never-started ones land here.
+  for (Request &R : Orphans) {
+    Inst.ReqFailed->inc();
+    R.Promise.set_value({Reply::Status::ShuttingDown, ""});
+  }
+
+  // Engine shutdown needs the shared pool's workers awake (it waits out
+  // its in-flight compiles), so lift any shed pause first.
+  if (SpecPool)
+    SpecPool->setPaused(false);
+  for (SessionPtr &S : Doomed) {
+    S->Eng->shutdown();
+    S.reset();
+  }
+  Doomed.clear();
+  SpecPool.reset();
+
+  if (!Opts.MetricsPath.empty()) {
+    std::string Json = metricsJson();
+    if (FILE *F = std::fopen(Opts.MetricsPath.c_str(), "w")) {
+      std::fwrite(Json.data(), 1, Json.size(), F);
+      std::fclose(F);
+    }
+  }
+}

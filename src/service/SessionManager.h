@@ -1,0 +1,244 @@
+//===- service/SessionManager.h - Multi-session engine service -*- C++ -*-===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The multi-session engine service: M concurrent interactive sessions
+/// multiplexed onto a fixed worker pool, sharing one process-wide
+/// compiled-code cache (repo/SharedCache.h) so one compile serves every
+/// session that hits the same (function source, signature, configuration).
+/// Everything else - workspace, profiles, budgets, interrupts - stays
+/// per-session.
+///
+/// The service makes four promises:
+///
+///  * Admission control. Live sessions and queued requests are capped;
+///    past the caps, createSession() and submit() return explicit
+///    rejections (never silent drops, never unbounded queues). Every
+///    request that is *accepted* completes with a Reply.
+///
+///  * Fair scheduling. Sessions are dispatched round-robin with at most
+///    one in-flight request per session, so a session stuck in `while 1`
+///    occupies one worker while every other session keeps its turn.
+///
+///  * Fault containment. A session that trips its budget, quarantines a
+///    function, or absorbs an injected fault reports an error on its own
+///    reply and perturbs nothing else: other sessions' results stay
+///    bit-identical to solo runs. Destroying one session never blocks or
+///    crashes the rest.
+///
+///  * Graceful degradation. Under load the service sheds speculative
+///    work first (the shared background-compile pool is paused until the
+///    backlog halves), then rejects new work; it never corrupts state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAJIC_SERVICE_SESSIONMANAGER_H
+#define MAJIC_SERVICE_SESSIONMANAGER_H
+
+#include "engine/Engine.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace majic {
+
+/// Opaque session handle. 0 is never a valid id.
+using SessionId = uint64_t;
+
+struct ServiceOptions {
+  /// Cap on live sessions; createSession() past it is rejected. 0 falls
+  /// back to the MAJIC_MAX_SESSIONS environment variable, then to 64.
+  unsigned MaxSessions = 0;
+  /// Service worker threads executing requests. 0 = min(hardware, 8).
+  unsigned Workers = 0;
+  /// Threads in the shared background-compile pool every session's
+  /// speculation and store saves run on. 0 = 1.
+  unsigned SpecThreads = 0;
+  /// Cap on requests queued across all sessions; submit() past it is
+  /// rejected with Overloaded. 0 = 4096.
+  unsigned MaxQueuedRequests = 0;
+  /// Cap on requests queued in one session (a single flooding client
+  /// hits its own wall long before the service-wide one). 0 = 256.
+  unsigned MaxQueuedPerSession = 0;
+  /// Backlog at which the service starts shedding: the shared compile
+  /// pool is paused (speculation is the first load to go) until the
+  /// backlog drops below half this. 0 = half of MaxQueuedRequests.
+  unsigned ShedQueuedRequests = 0;
+  /// Per-session resource budgets applied to every session engine
+  /// (0 = unlimited). Fields left 0 fall back to MAJIC_SESSION_MAX_OPS,
+  /// MAJIC_SESSION_MAX_ALLOC_BYTES and MAJIC_SESSION_MAX_WALL_MILLIS.
+  ExecutionLimits SessionLimits;
+  /// Template for session engines. The service overrides the sharing and
+  /// isolation fields (SharedSpecPool, SharedCache, PerSessionLimits,
+  /// EnvFallbacks, ComputeThreads, RepoDir/ProfileDir/TracePath/
+  /// MetricsPath); policy, platform and compiler options are yours.
+  EngineOptions Session;
+  /// Directory of the shared persistent code repository. Entries are
+  /// preloaded into the shared cache at service start and accepted cache
+  /// publishes are persisted back, so a service restart warm-starts every
+  /// session. Empty = no persistence.
+  std::string RepoDir;
+  /// Shared compiled-code cache capacity (0 = unlimited).
+  size_t SharedCacheCapacity = 4096;
+  /// Metrics-dump path written at shutdown (service + shared-cache
+  /// instruments). Empty = no dump.
+  std::string MetricsPath;
+};
+
+/// The outcome of one submitted request.
+struct Reply {
+  enum class Status : uint8_t {
+    Ok,                 ///< ran to completion
+    Error,              ///< ran, but the program raised an error
+    RejectedOverloaded, ///< not admitted: queue caps reached
+    SessionGone,        ///< no such session (or it is being destroyed)
+    ShuttingDown,       ///< service is shutting down
+  };
+  Status St = Status::Ok;
+  std::string Output; ///< what the script printed (Ok/Error)
+};
+
+const char *replyStatusName(Reply::Status S);
+
+class SessionManager {
+public:
+  explicit SessionManager(ServiceOptions Opts = ServiceOptions());
+  ~SessionManager();
+
+  SessionManager(const SessionManager &) = delete;
+  SessionManager &operator=(const SessionManager &) = delete;
+
+  /// Creates a session, or returns 0 when the service is at its session
+  /// cap, shutting down, or the creation faulted (injected session-create
+  /// fault). Rejection is a clean denial: nothing is left half-built.
+  SessionId createSession();
+
+  /// Destroys session \p Id: no further submits are admitted, already
+  /// accepted requests drain (they were promised a Reply), then the
+  /// engine is shut down and destroyed on the calling thread - never on a
+  /// worker, so one session's teardown cannot stall dispatch. Returns
+  /// false when no such session exists.
+  bool destroySession(SessionId Id);
+
+  /// Submits \p Text to run as a script in session \p Id. The future
+  /// always resolves: with the script's output, or with an explicit
+  /// rejection status when the request was not admitted. Admission is
+  /// decided synchronously (queue caps, session liveness, injected
+  /// admission faults), so a returned Ok/Error future means the request
+  /// was accepted and will execute.
+  std::future<Reply> submit(SessionId Id, std::string Text);
+
+  /// Requests cooperative interruption of \p Id's running program (its
+  /// engine's own token: other sessions are untouched). Returns false
+  /// when no such session exists.
+  bool interrupt(SessionId Id);
+
+  /// Number of live sessions / queued requests right now.
+  size_t liveSessions() const;
+  size_t queuedRequests() const;
+
+  /// True while the service is shedding speculative load.
+  bool shedding() const;
+
+  /// Test hook: pause/resume the request workers (accepted requests
+  /// queue; admission still runs). Deterministic overload staging.
+  void setWorkersPaused(bool Paused);
+
+  /// The shared compiled-code cache (tests inspect hit counters).
+  SharedCodeCache &sharedCache() { return *Cache; }
+
+  /// Service-level metrics: sessions, requests, queue depth, shed state,
+  /// request latency histograms, shared-cache counters.
+  obs::MetricsRegistry &metrics() { return Metrics; }
+  obs::MetricsSnapshot sampleMetrics();
+  std::string metricsJson();
+
+  /// Stops the service: pending requests are failed with ShuttingDown,
+  /// workers are joined, every session engine is shut down, the shared
+  /// pool is drained. Idempotent; the destructor calls it.
+  void shutdown();
+
+private:
+  struct Request {
+    std::string Text;
+    std::promise<Reply> Promise;
+    Timer Queued; ///< queue-latency measurement
+  };
+
+  struct Session {
+    SessionId Id = 0;
+    std::unique_ptr<Engine> Eng;
+    std::deque<Request> Queue; ///< guarded by the manager mutex
+    bool Busy = false;    ///< a worker is executing a request right now
+    bool Closing = false; ///< destroySession() ran; no new admissions
+    bool InReady = false; ///< sits in the round-robin ready ring
+  };
+  using SessionPtr = std::shared_ptr<Session>;
+
+  void workerLoop();
+  /// Executes one request on \p S's engine (no manager lock held).
+  Reply runRequest(Session &S, const std::string &Text);
+  /// Ready-ring invariant: S joins iff it has work, isn't running, isn't
+  /// closing-and-empty, and isn't already queued. Call with the lock.
+  void enqueueReady(const SessionPtr &S);
+  /// Shed-state transitions from the current backlog. Call with the lock.
+  void updateShedLocked();
+  EngineOptions sessionEngineOptions() const;
+
+  ServiceOptions Opts;
+  std::shared_ptr<SharedCodeCache> Cache;
+  /// Shared persistent store behind the cache (null without RepoDir).
+  /// Declared before the pool and sessions: publish hooks write to it.
+  std::unique_ptr<RepoStore> Store;
+  /// The one idle-priority pool all sessions' speculation runs on.
+  /// Declared before Sessions: engines hold a pointer to it.
+  std::unique_ptr<ThreadPool> SpecPool;
+
+  obs::MetricsRegistry Metrics;
+  struct {
+    obs::Counter *SessionsCreated = nullptr;
+    obs::Counter *SessionsRejected = nullptr;
+    obs::Counter *SessionsDestroyed = nullptr;
+    obs::Gauge *SessionsLive = nullptr;
+    obs::Counter *ReqAccepted = nullptr;
+    obs::Counter *ReqRejected = nullptr;
+    obs::Counter *ReqCompleted = nullptr;
+    obs::Counter *ReqFailed = nullptr;
+    obs::Gauge *ReqQueued = nullptr;
+    obs::Counter *ShedEntered = nullptr;
+    obs::Counter *ShedExited = nullptr;
+    obs::Gauge *ShedActive = nullptr;
+    obs::Histogram *RequestSeconds = nullptr;
+    obs::Histogram *QueueSeconds = nullptr;
+  } Inst;
+
+  mutable std::mutex Mu;
+  std::condition_variable WorkCv;  ///< workers: work available / stopping
+  std::condition_variable DrainCv; ///< destroySession: session drained
+  std::map<SessionId, SessionPtr> Sessions;
+  std::deque<SessionId> Ready; ///< round-robin dispatch ring
+  SessionId NextId = 1;
+  size_t QueuedTotal = 0;
+  bool Stopping = false;
+  bool WorkersPausedFlag = false;
+  bool SheddingFlag = false;
+  bool ShutdownDone = false;
+
+  std::vector<std::thread> Workers;
+};
+
+} // namespace majic
+
+#endif // MAJIC_SERVICE_SESSIONMANAGER_H

@@ -56,8 +56,9 @@ void refreshAnyArmedLocked(Registry &Reg) {
 }
 
 const char *const SiteNames[kNumSites] = {
-    "parse",       "infer",       "codegen",   "regalloc",  "repo-insert",
-    "value-alloc", "pool-enqueue", "repo-save", "repo-load"};
+    "parse",       "infer",        "codegen",   "regalloc",  "repo-insert",
+    "value-alloc", "pool-enqueue", "repo-save", "repo-load",
+    "session-create", "admission", "budget-check"};
 
 /// Strict full-string parses: "5x" or "" must be diagnosed, not silently
 /// truncated to a number.

@@ -51,8 +51,11 @@ enum class Site : uint8_t {
   PoolEnqueue, ///< support: ThreadPool::enqueue
   RepoSave,    ///< repo: before a compiled object is persisted to disk
   RepoLoad,    ///< repo: before a persisted entry is decoded at startup
+  SessionCreate, ///< service: before a session's engine is constructed
+  Admission,     ///< service: before a request is admitted to a queue
+  BudgetCheck,   ///< service: per-session budget check before dispatch
 };
-constexpr unsigned kNumSites = 9;
+constexpr unsigned kNumSites = 12;
 
 const char *siteName(Site S);
 

@@ -170,7 +170,15 @@ void par::parallelFor(size_t N, size_t Grain,
   obs::TraceScope Span("parallelFor", "compute", SpanDetail);
   size_t Base = N / Chunks, Extra = N % Chunks;
   Latch Sync(static_cast<unsigned>(Chunks));
-  auto RunChunk = [&Body, &Sync](size_t Begin, size_t End) {
+  // Chunks dispatched to pool workers run on threads that don't carry the
+  // caller's per-session context: install the caller's memory account and
+  // interrupt token around each chunk so a session's budget covers (and its
+  // interrupt reaches) the work it fanned out.
+  mem::Account *Acct = mem::currentAccount();
+  exec::Token *Intr = exec::currentToken();
+  auto RunChunk = [&Body, &Sync, Acct, Intr](size_t Begin, size_t End) {
+    mem::ScopedAccount AcctScope(Acct);
+    exec::ScopedToken IntrScope(Intr);
     InParallelBody = true;
     std::exception_ptr E;
     try {

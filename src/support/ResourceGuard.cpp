@@ -19,6 +19,9 @@ std::atomic<uint64_t> Live{0};
 std::atomic<uint64_t> Peak{0};
 std::atomic<bool> InterruptFlag{false};
 
+thread_local mem::Account *CurrentAccount = nullptr;
+thread_local exec::Token *CurrentToken = nullptr;
+
 } // namespace
 
 void majic::mem::setLimitBytes(uint64_t Bytes) {
@@ -37,11 +40,42 @@ uint64_t majic::mem::peakBytes() {
   return Peak.load(std::memory_order_relaxed);
 }
 
+bool majic::mem::Account::tryCharge(size_t Bytes) {
+  int64_t Now = LiveV.fetch_add(int64_t(Bytes), std::memory_order_relaxed) +
+                int64_t(Bytes);
+  uint64_t Max = LimitV.load(std::memory_order_relaxed);
+  if (Max && Now > 0 && uint64_t(Now) > Max) {
+    LiveV.fetch_sub(int64_t(Bytes), std::memory_order_relaxed);
+    return false;
+  }
+  uint64_t Prev = PeakV.load(std::memory_order_relaxed);
+  while (Now > 0 && uint64_t(Now) > Prev &&
+         !PeakV.compare_exchange_weak(Prev, uint64_t(Now),
+                                      std::memory_order_relaxed))
+    ;
+  return true;
+}
+
+majic::mem::Account *majic::mem::currentAccount() { return CurrentAccount; }
+
+majic::mem::Account *majic::mem::setCurrentAccount(Account *A) {
+  Account *Prev = CurrentAccount;
+  CurrentAccount = A;
+  return Prev;
+}
+
 void majic::mem::charge(size_t Bytes) {
+  // Session account first: its limit is usually the stricter one, and a
+  // refused session charge must not disturb the process-wide tally.
+  Account *A = CurrentAccount;
+  if (A && !A->tryCharge(Bytes))
+    throw std::bad_alloc();
   uint64_t Now = Live.fetch_add(Bytes, std::memory_order_relaxed) + Bytes;
   uint64_t Max = Limit.load(std::memory_order_relaxed);
   if (Max && Now > Max) {
     Live.fetch_sub(Bytes, std::memory_order_relaxed);
+    if (A)
+      A->release(Bytes);
     throw std::bad_alloc();
   }
   // Racy max update is fine: Peak is a diagnostic, not a correctness value.
@@ -52,6 +86,8 @@ void majic::mem::charge(size_t Bytes) {
 }
 
 void majic::mem::release(size_t Bytes) {
+  if (Account *A = CurrentAccount)
+    A->release(Bytes);
   Live.fetch_sub(Bytes, std::memory_order_relaxed);
 }
 
@@ -67,7 +103,17 @@ bool majic::exec::interruptRequested() {
   return InterruptFlag.load(std::memory_order_relaxed);
 }
 
+majic::exec::Token *majic::exec::currentToken() { return CurrentToken; }
+
+majic::exec::Token *majic::exec::setCurrentToken(Token *T) {
+  Token *Prev = CurrentToken;
+  CurrentToken = T;
+  return Prev;
+}
+
 void majic::exec::pollInterrupt() {
   if (InterruptFlag.load(std::memory_order_relaxed))
+    throw MatlabError("execution interrupted");
+  if (Token *T = CurrentToken; T && T->requested())
     throw MatlabError("execution interrupted");
 }

@@ -19,15 +19,21 @@
 ///    statements, parallelFor chunks - and unwinds with a clean MatlabError,
 ///    leaving engine state intact.
 ///
-/// Both are process-wide: the accounting must be visible from compute and
-/// compilation workers, and an interrupt targets whatever the process is
-/// doing on the user's behalf.
+/// Both have a process-wide half (the accounting must be visible from
+/// compute and compilation workers; a Ctrl-C targets whatever the process
+/// is doing) and a *per-session* half for the multi-session service: a
+/// mem::Account scopes a byte budget to one session's work, an exec::Token
+/// scopes an interrupt to one session. Both are installed thread-locally
+/// around a session's request (and propagated into parallelFor chunks by
+/// support/Parallel.cpp) so N sessions in one process cannot exhaust - or
+/// interrupt - each other.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef MAJIC_SUPPORT_RESOURCEGUARD_H
 #define MAJIC_SUPPORT_RESOURCEGUARD_H
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <new>
@@ -45,7 +51,60 @@ uint64_t limitBytes();
 uint64_t liveBytes();
 uint64_t peakBytes();
 
-/// Accounts \p Bytes of allocation; throws std::bad_alloc when the limit
+/// Per-session live-byte account. When one is installed on the current
+/// thread (ScopedAccount), charge()/release() also debit/credit it and its
+/// limit is enforced in addition to the process-wide ceiling, so one
+/// session of a multi-session service cannot exhaust the budget of the
+/// other N-1 by ganging up on the shared pools. Balances are exact while
+/// allocation and release happen under the same session's scope (the
+/// overwhelmingly common case); cross-scope frees (e.g. shared compiled
+/// constants outliving the session that compiled them) cause bounded
+/// drift, clamped at zero - the account is an admission-control budget,
+/// not an audit.
+class Account {
+public:
+  void setLimit(uint64_t Bytes) {
+    LimitV.store(Bytes, std::memory_order_relaxed);
+  }
+  uint64_t limit() const { return LimitV.load(std::memory_order_relaxed); }
+  uint64_t live() const {
+    int64_t L = LiveV.load(std::memory_order_relaxed);
+    return L > 0 ? uint64_t(L) : 0;
+  }
+  uint64_t peak() const { return PeakV.load(std::memory_order_relaxed); }
+
+  /// Debits \p Bytes; returns false (after rolling the debit back) when
+  /// the account's limit would be exceeded.
+  bool tryCharge(size_t Bytes);
+  void release(size_t Bytes) {
+    LiveV.fetch_sub(int64_t(Bytes), std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<uint64_t> LimitV{0}; ///< 0 = unlimited
+  std::atomic<int64_t> LiveV{0};   ///< signed: tolerates cross-scope frees
+  std::atomic<uint64_t> PeakV{0};
+};
+
+/// The account installed on the calling thread, or null.
+Account *currentAccount();
+
+/// Installs \p A (null to clear) and returns the previous installation.
+Account *setCurrentAccount(Account *A);
+
+/// RAII installation of a per-session account for the current scope.
+struct ScopedAccount {
+  explicit ScopedAccount(Account *A) : Prev(setCurrentAccount(A)) {}
+  ~ScopedAccount() { setCurrentAccount(Prev); }
+  ScopedAccount(const ScopedAccount &) = delete;
+  ScopedAccount &operator=(const ScopedAccount &) = delete;
+
+private:
+  Account *Prev;
+};
+
+/// Accounts \p Bytes of allocation; throws std::bad_alloc when the
+/// process-wide limit - or the current thread's session account limit -
 /// would be exceeded (the charge is rolled back first).
 void charge(size_t Bytes);
 void release(size_t Bytes);
@@ -92,8 +151,41 @@ void requestInterrupt();
 void clearInterrupt();
 bool interruptRequested();
 
-/// Throws MatlabError("execution interrupted") when the flag is set; the
-/// polling points in the VM, interpreter and parallelFor call this.
+/// Per-session interrupt token. The process-wide flag above answers
+/// Ctrl-C; a token answers "stop *that* session" without perturbing the
+/// other sessions sharing the process. Polling points see the token
+/// installed on their thread (ScopedToken; parallelFor propagates the
+/// caller's token into its chunks).
+class Token {
+public:
+  void request() { Flag.store(true, std::memory_order_relaxed); }
+  void clear() { Flag.store(false, std::memory_order_relaxed); }
+  bool requested() const { return Flag.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<bool> Flag{false};
+};
+
+/// The token installed on the calling thread, or null.
+Token *currentToken();
+
+/// Installs \p T (null to clear) and returns the previous installation.
+Token *setCurrentToken(Token *T);
+
+/// RAII installation of a per-session interrupt token.
+struct ScopedToken {
+  explicit ScopedToken(Token *T) : Prev(setCurrentToken(T)) {}
+  ~ScopedToken() { setCurrentToken(Prev); }
+  ScopedToken(const ScopedToken &) = delete;
+  ScopedToken &operator=(const ScopedToken &) = delete;
+
+private:
+  Token *Prev;
+};
+
+/// Throws MatlabError("execution interrupted") when the process-wide flag
+/// or the current thread's session token is set; the polling points in the
+/// VM, interpreter and parallelFor call this.
 void pollInterrupt();
 
 } // namespace exec

@@ -102,6 +102,20 @@ bool ThreadPool::promote(TaskId Id) {
   return true;
 }
 
+bool ThreadPool::cancel(TaskId Id) {
+  std::lock_guard<std::mutex> L(Mutex);
+  auto It = std::find_if(Queue.begin(), Queue.end(),
+                         [Id](const Item &I) { return I.Id == Id; });
+  if (It == Queue.end())
+    return false;
+  Queue.erase(It);
+  Sink.QueueDepth->add(-1);
+  obs::traceInstant("pool.cancel", "pool", PrioTag);
+  if (Queue.empty() && Running == 0)
+    Idle.notify_all();
+  return true;
+}
+
 void ThreadPool::setPaused(bool NewPaused) {
   {
     std::lock_guard<std::mutex> L(Mutex);

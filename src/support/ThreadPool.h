@@ -80,6 +80,12 @@ public:
   /// started (or finished) - promotion is only meaningful while queued.
   bool promote(TaskId Id);
 
+  /// Removes the queued task \p Id without running it. Returns false when
+  /// the task already started (or finished) - a running task cannot be
+  /// cancelled, only waited out. Session shutdown uses this to drop a
+  /// departing session's not-yet-started work from a shared pool.
+  bool cancel(TaskId Id);
+
   /// While paused, workers finish the tasks they are running but start no
   /// new ones; enqueue/promote still operate on the queue. Tests use this
   /// to build a deterministic backlog.

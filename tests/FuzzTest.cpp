@@ -358,23 +358,23 @@ TEST_P(FaultSweep, EngineSurvivesScheduleAndRecovers) {
   // must agree with the reference exactly.
   faults::reset();
   Outcome Got;
-  {
-    // Scoped: the engine (and its background store writes) must be fully
-    // torn down before the directory goes away, or the cleanup races a
-    // late save re-populating it.
-    Engine E(O);
-    ASSERT_TRUE(E.addSource("fuzz", Src)) << E.diagnostics();
-    EXPECT_EQ(E.quarantineCount(), 0u);
+  Engine E(O);
+  ASSERT_TRUE(E.addSource("fuzz", Src)) << E.diagnostics();
+  EXPECT_EQ(E.quarantineCount(), 0u);
 
-    try {
-      auto Res = E.callFunction("fuzz", {makeValue(Value::intScalar(5))}, 1,
-                                SourceLoc());
-      Got.Result = Res[0]->scalarValue();
-    } catch (const MatlabError &Err) {
-      Got.Threw = true;
-      Got.Error = Err.message();
-    }
+  try {
+    auto Res = E.callFunction("fuzz", {makeValue(Value::intScalar(5))}, 1,
+                              SourceLoc());
+    Got.Result = Res[0]->scalarValue();
+  } catch (const MatlabError &Err) {
+    Got.Threw = true;
+    Got.Error = Err.message();
   }
+  // shutdown() quiesces the background store writes (cancelling queued
+  // saves, waiting out running ones), so the directory can be removed
+  // with the engine still in scope - the scoped-block workaround this
+  // test used to need is exactly the race shutdown() closes.
+  E.shutdown();
   ASSERT_EQ(Ref.Threw, Got.Threw)
       << "error='" << Got.Error << "' vs ref='" << Ref.Error
       << "'\nprogram:\n"
