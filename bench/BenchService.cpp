@@ -29,9 +29,11 @@
 #include "Harness.h"
 #include "service/SessionManager.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -92,9 +94,249 @@ uint64_t percentileUs(const obs::HistogramSnapshot &H, double P) {
   return obs::Histogram::bucketFloorUs(obs::Histogram::kNumBuckets - 1);
 }
 
+//===----------------------------------------------------------------------===//
+// Oversubscription mode (MAJIC_BENCH_OVERSUBSCRIBE=1)
+//===----------------------------------------------------------------------===//
+//
+// Sessions = 4x the live cap, all of them long-lived: the only way every
+// user keeps a working session is hibernation churn - idle workspaces
+// snapshotted to MAJIC_SESSION_DIR-style storage, resurrected on their
+// next request. The run is held to the robustness bar, not a throughput
+// one: zero accepted requests lost, and every session's outputs
+// bit-identical to an uncapped reference run where nobody ever hibernated.
+
+/// The per-slot scripts. Distinctive per slot so a resurrect that mixed
+/// up two workspaces would change an output, not just a latency.
+std::string oversubDef() {
+  return "function s = sumsq(n)\ns = 0;\nfor i = 1:n\n  s = s + i * i;\n"
+         "end\n";
+}
+std::string oversubSetup(unsigned Slot) {
+  return "base = " + std::to_string(Slot + 1) + ";";
+}
+std::string oversubRound(unsigned Slot, unsigned Round) {
+  return "y = sumsq(" + std::to_string(40 + Slot % 7) + ") + base * " +
+         std::to_string(Round + 1);
+}
+
+/// Submits with retry: a RejectedOverloaded reply in this mode means
+/// "nothing idle right now" - the documented retryable condition.
+Reply submitRetry(SessionManager &M, SessionId Id, const std::string &Text,
+                  std::atomic<uint64_t> &Retries) {
+  for (;;) {
+    Reply R = M.submit(Id, Text).get();
+    if (R.St != Reply::Status::RejectedOverloaded)
+      return R;
+    Retries.fetch_add(1);
+    std::this_thread::yield();
+  }
+}
+
+/// Runs \p Slots sessions through \p Rounds request rounds on \p Clients
+/// threads. Outputs land in \p Outputs at slot * Rounds + round; any
+/// non-Ok terminal reply bumps \p Failures.
+void driveOversubscribed(SessionManager &M, unsigned Slots, unsigned Clients,
+                         unsigned Rounds, std::vector<std::string> &Outputs,
+                         std::atomic<uint64_t> &Retries,
+                         std::atomic<uint64_t> &Failures) {
+  std::vector<std::thread> Pool;
+  unsigned PerClient = (Slots + Clients - 1) / Clients;
+  for (unsigned C = 0; C != Clients; ++C) {
+    Pool.emplace_back([&, C] {
+      unsigned Lo = C * PerClient;
+      unsigned Hi = std::min(Slots, Lo + PerClient);
+      std::vector<SessionId> Ids(Hi > Lo ? Hi - Lo : 0, 0);
+      for (unsigned S = Lo; S != Hi; ++S) {
+        SessionId Id = 0;
+        while (!(Id = M.createSession())) {
+          Retries.fetch_add(1);
+          std::this_thread::yield();
+        }
+        Ids[S - Lo] = Id;
+        if (submitRetry(M, Id, oversubDef(), Retries).St != Reply::Status::Ok)
+          Failures.fetch_add(1);
+        if (submitRetry(M, Id, oversubSetup(S), Retries).St !=
+            Reply::Status::Ok)
+          Failures.fetch_add(1);
+      }
+      for (unsigned R = 0; R != Rounds; ++R) {
+        for (unsigned S = Lo; S != Hi; ++S) {
+          Reply Rep = submitRetry(M, Ids[S - Lo], oversubRound(S, R), Retries);
+          if (Rep.St != Reply::Status::Ok)
+            Failures.fetch_add(1);
+          Outputs[S * Rounds + R] = std::move(Rep.Output);
+        }
+      }
+    });
+  }
+  for (std::thread &T : Pool)
+    T.join();
+}
+
+int runOversubscribed() {
+  const unsigned LiveCap = unsigned(envU64("MAJIC_BENCH_LIVE_SESSIONS", 16));
+  const unsigned Slots = LiveCap * 4;
+  const unsigned Clients = unsigned(envU64("MAJIC_BENCH_CLIENTS", 4));
+  const unsigned Rounds = unsigned(envU64("MAJIC_BENCH_ROUNDS", 3));
+
+  printHeader("Multi-session service (oversubscribed)",
+              std::to_string(Slots) + " persistent sessions through a live "
+              "cap of " + std::to_string(LiveCap) + " (4x), " +
+              std::to_string(Clients) + " clients, " +
+              std::to_string(Rounds) + " rounds");
+
+  std::atomic<uint64_t> Retries{0}, Failures{0};
+  std::vector<std::string> Reference(size_t(Slots) * Rounds);
+  std::vector<std::string> Observed(size_t(Slots) * Rounds);
+
+  // Reference: same sessions, same requests, cap high enough that nobody
+  // ever hibernates. These outputs are the bit-identity bar.
+  {
+    ServiceOptions O;
+    O.Session.Policy = CompilePolicy::Jit;
+    O.MaxSessions = Slots;
+    O.Workers = Clients;
+    O.SpecThreads = 1;
+    SessionManager M(O);
+    std::atomic<uint64_t> RefRetries{0};
+    driveOversubscribed(M, Slots, Clients, Rounds, Reference, RefRetries,
+                        Failures);
+    M.shutdown();
+  }
+
+  // A scratch session directory; the snapshots are ephemeral benchmark
+  // state, cleared on both sides of the run.
+  std::string Dir = (std::filesystem::temp_directory_path() /
+                     "majic_bench_oversub_sessions")
+                        .string();
+  std::error_code CleanupEC;
+  std::filesystem::remove_all(Dir, CleanupEC);
+  ServiceOptions O;
+  O.Session.Policy = CompilePolicy::Jit;
+  O.MaxSessions = LiveCap;
+  O.Workers = Clients;
+  O.SpecThreads = 1;
+  O.SessionDir = Dir;
+  SessionManager M(O);
+
+  Timer Wall;
+  driveOversubscribed(M, Slots, Clients, Rounds, Observed, Retries, Failures);
+  double Seconds = Wall.seconds();
+
+  obs::MetricsSnapshot Snap = M.sampleMetrics();
+  auto CounterOf = [&Snap](const std::string &Name) -> uint64_t {
+    for (const auto &[N, V] : Snap.Counters)
+      if (N == Name)
+        return V;
+    return 0;
+  };
+  const obs::HistogramSnapshot *HibHist = nullptr, *ResHist = nullptr;
+  for (const obs::HistogramSnapshot &H : Snap.Histograms) {
+    if (H.Name == "service.hibernate.seconds")
+      HibHist = &H;
+    if (H.Name == "service.resurrect.seconds")
+      ResHist = &H;
+  }
+
+  uint64_t Hibernations = CounterOf("service.hibernates");
+  uint64_t Resurrections = CounterOf("service.resurrects");
+  uint64_t SvcAccepted = CounterOf("service.requests.accepted");
+  uint64_t SvcCompleted = CounterOf("service.requests.completed");
+  uint64_t SvcFailed = CounterOf("service.requests.failed");
+  uint64_t AcceptedLost = SvcAccepted - (SvcCompleted + SvcFailed);
+
+  uint64_t Mismatches = 0;
+  for (size_t I = 0; I != Observed.size(); ++I)
+    if (Observed[I] != Reference[I])
+      ++Mismatches;
+
+  uint64_t HibP50 = HibHist ? percentileUs(*HibHist, 0.50) : 0;
+  uint64_t HibP99 = HibHist ? percentileUs(*HibHist, 0.99) : 0;
+  uint64_t ResP50 = ResHist ? percentileUs(*ResHist, 0.50) : 0;
+  uint64_t ResP99 = ResHist ? percentileUs(*ResHist, 0.99) : 0;
+
+  std::printf("  sessions            %u persistent through live cap %u\n",
+              Slots, LiveCap);
+  std::printf("  hibernations        %llu (p50 %llu us, p99 %llu us)\n",
+              (unsigned long long)Hibernations, (unsigned long long)HibP50,
+              (unsigned long long)HibP99);
+  std::printf("  resurrections       %llu (p50 %llu us, p99 %llu us)\n",
+              (unsigned long long)Resurrections, (unsigned long long)ResP50,
+              (unsigned long long)ResP99);
+  std::printf("  no-idle retries     %llu\n", (unsigned long long)Retries.load());
+  std::printf("  accepted lost       %llu (must be 0)\n",
+              (unsigned long long)AcceptedLost);
+  std::printf("  output mismatches   %llu of %zu vs uncapped (must be 0)\n",
+              (unsigned long long)Mismatches, Observed.size());
+  std::printf("  wall time           %.2f s\n", Seconds);
+
+  JsonWriter W;
+  W.beginObject();
+  W.field("benchmark", "service");
+  W.field("mode", "oversubscribed");
+  writeMachineInfo(W);
+  W.beginObject("config");
+  W.field("live_cap", LiveCap);
+  W.field("sessions", Slots);
+  W.field("clients", Clients);
+  W.field("rounds", Rounds);
+  W.endObject();
+  W.beginObject("results");
+  W.field("hibernations", Hibernations);
+  W.field("resurrections", Resurrections);
+  W.field("hibernate_p50_us", HibP50);
+  W.field("hibernate_p99_us", HibP99);
+  W.field("resurrect_p50_us", ResP50);
+  W.field("resurrect_p99_us", ResP99);
+  W.field("no_idle_retries", Retries.load());
+  W.field("accepted_lost", AcceptedLost);
+  W.field("request_failures", Failures.load());
+  W.field("output_mismatches", Mismatches);
+  W.field("outputs_identical", Mismatches == 0 ? 1 : 0);
+  W.field("wall_seconds", Seconds);
+  W.endObject();
+  W.endObject();
+  if (!W.writeFile("BENCH_service.json"))
+    std::fprintf(stderr, "warning: could not write BENCH_service.json\n");
+  else
+    std::printf("\n  wrote BENCH_service.json\n");
+
+  M.shutdown();
+  std::filesystem::remove_all(Dir, CleanupEC);
+
+  bool Pass = true;
+  if (AcceptedLost != 0) {
+    std::fprintf(stderr, "FAIL: %llu accepted requests were lost\n",
+                 (unsigned long long)AcceptedLost);
+    Pass = false;
+  }
+  if (Failures.load() != 0) {
+    std::fprintf(stderr, "FAIL: %llu requests failed outright\n",
+                 (unsigned long long)Failures.load());
+    Pass = false;
+  }
+  if (Mismatches != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %llu outputs differ from the uncapped reference\n",
+                 (unsigned long long)Mismatches);
+    Pass = false;
+  }
+  if (Hibernations < Slots - LiveCap || Resurrections == 0) {
+    std::fprintf(stderr,
+                 "FAIL: oversubscription never exercised hibernation "
+                 "(%llu hibernates, %llu resurrects)\n",
+                 (unsigned long long)Hibernations,
+                 (unsigned long long)Resurrections);
+    Pass = false;
+  }
+  return Pass ? 0 : 1;
+}
+
 } // namespace
 
 int main() {
+  if (envU64("MAJIC_BENCH_OVERSUBSCRIBE", 0))
+    return runOversubscribed();
   const uint64_t TotalSessions = envU64("MAJIC_BENCH_SESSIONS", 320);
   const unsigned LiveCap = unsigned(envU64("MAJIC_BENCH_LIVE_SESSIONS", 64));
   const unsigned Clients = unsigned(envU64("MAJIC_BENCH_CLIENTS", 8));

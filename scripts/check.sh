@@ -36,7 +36,9 @@ echo "== tsan: thread-sanitized build + concurrency tests =="
 cmake -B build-tsan -S . -DMAJIC_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-tsan -j >/dev/null
+# hibernate_crash_test is deliberately absent from the filter: its
+# fork()+SIGKILL harness is incompatible with TSan's runtime.
 ctest --test-dir build-tsan --output-on-failure \
-  -R "async_compile_test|robustness_test|fuzz_test|support_test|kernel_test|repo_store_test|obs_test|service_test"
+  -R "async_compile_test|robustness_test|fuzz_test|support_test|kernel_test|repo_store_test|obs_test|service_test|value_serialize_test"
 
 echo "== all checks passed =="

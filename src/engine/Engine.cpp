@@ -1508,6 +1508,15 @@ std::string Engine::runScript(const std::string &Source) {
   Function *Script = Mod->mainFunction();
   if (!Script->isScript()) {
     // Defining functions interactively: register them instead of running.
+    // Hibernation replays these definitions verbatim, so record the text
+    // (once per distinct text; re-submitting an identical definition is
+    // idempotent and replaying the survivor in order reaches the same
+    // final state).
+    bool Known = false;
+    for (const auto &D : InteractiveDefs)
+      Known |= D.Text == Source;
+    if (!Known)
+      InteractiveDefs.push_back({Name, Source});
     Modules.push_back(std::move(Mod));
     Module *M = Modules.back().get();
     uint64_t SrcHash = hashing::fnv1a(Source);
@@ -1583,4 +1592,34 @@ std::string Engine::runScript(const std::string &Source) {
 ValuePtr Engine::workspaceVar(const std::string &Name) const {
   auto It = WorkspaceByName.find(Name);
   return It == WorkspaceByName.end() ? nullptr : It->second;
+}
+
+ser::WorkspaceImage Engine::workspaceImage() const {
+  ser::WorkspaceImage W;
+  W.Sources = InteractiveDefs;
+  W.Vars.reserve(WorkspaceByName.size());
+  for (const auto &[Name, V] : WorkspaceByName)
+    if (V)
+      W.Vars.push_back({Name, V});
+  std::sort(W.Vars.begin(), W.Vars.end(),
+            [](const ser::WorkspaceImage::VarDef &A,
+               const ser::WorkspaceImage::VarDef &B) { return A.Name < B.Name; });
+  return W;
+}
+
+void Engine::restoreWorkspaceImage(const ser::WorkspaceImage &W) {
+  // Replaying through runScript re-registers the functions exactly the way
+  // the original definitions did (and re-records them for the next
+  // hibernation); the text parsed when it was snapshotted, and the decode
+  // ladder vouches for the bytes, so a parse failure here means a writer
+  // bug - surface it rather than restore half a session.
+  for (const ser::WorkspaceImage::SourceDef &S : W.Sources) {
+    std::string Out = runScript(S.Text);
+    if (Out.compare(0, 4, "??? ") == 0)
+      throw ser::SerializeError("snapshotted definition failed to replay: " +
+                                Out.substr(4));
+  }
+  for (const ser::WorkspaceImage::VarDef &Var : W.Vars)
+    if (Var.V)
+      WorkspaceByName[Var.Name] = Var.V;
 }

@@ -36,6 +36,7 @@
 #include "repo/Repository.h"
 #include "repo/SharedCache.h"
 #include "repo/Snooper.h"
+#include "runtime/ValueSerialize.h"
 #include "support/ResourceGuard.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
@@ -250,6 +251,20 @@ public:
 
   /// The value of interactive workspace variable \p Name, or null.
   ValuePtr workspaceVar(const std::string &Name) const;
+
+  /// Snapshot of the interactive session for hibernation: every function
+  /// definition submitted through runScript (in submission order) plus the
+  /// workspace variables, sorted by name so identical workspaces encode to
+  /// identical bytes. Values are shared, not copied - the image must be
+  /// consumed before the session mutates again. Engine-thread only.
+  ser::WorkspaceImage workspaceImage() const;
+
+  /// Rebuilds an interactive session from \p W on a fresh engine: replays
+  /// the recorded definitions through runScript (compiled code comes back
+  /// from the shared cache, not from scratch) and installs the workspace
+  /// variables. Engine-thread only; meant for an engine that has run
+  /// nothing yet.
+  void restoreWorkspaceImage(const ser::WorkspaceImage &W);
 
   //===--------------------------------------------------------------------===
   // Ahead-of-time entry points for the measured configurations
@@ -565,6 +580,11 @@ private:
 
   // Interactive workspace (scripts).
   std::unordered_map<std::string, ValuePtr> WorkspaceByName;
+  /// Function definitions submitted interactively through runScript, in
+  /// order, deduplicated by exact text (replaying later-wins redefinitions
+  /// in order reaches the same state) - the replay half of a hibernation
+  /// snapshot.
+  std::vector<ser::WorkspaceImage::SourceDef> InteractiveDefs;
   /// Function names registered by the most recent addSource/loadFile (the
   /// snooper speculates on these; a file's stem need not match them).
   std::vector<std::string> LastLoadedNames;

@@ -34,10 +34,10 @@
 #define MAJIC_IR_SERIALIZE_H
 
 #include "ir/Instr.h"
+#include "support/ByteStream.h"
 #include "types/Signature.h"
 
 #include <cstdint>
-#include <stdexcept>
 #include <string>
 
 namespace majic {
@@ -54,62 +54,9 @@ namespace ser {
 /// different translation unit.
 constexpr uint32_t kCodeABIVersion = 3; // v3: EwFuse fused elementwise op
 
-/// Raised by the readers on any malformed input.
-class SerializeError : public std::runtime_error {
-public:
-  explicit SerializeError(const std::string &What)
-      : std::runtime_error("serialize: " + What) {}
-};
-
-/// Appends little-endian fixed-width values to a byte buffer.
-class ByteWriter {
-public:
-  void u8(uint8_t V) { Buf.push_back(static_cast<char>(V)); }
-  void u32(uint32_t V);
-  void u64(uint64_t V);
-  void i32(int32_t V) { u32(static_cast<uint32_t>(V)); }
-  void i64(int64_t V) { u64(static_cast<uint64_t>(V)); }
-  void f64(double V);
-  /// Length-prefixed (u32) byte string.
-  void str(const std::string &S);
-
-  const std::string &bytes() const { return Buf; }
-  std::string take() { return std::move(Buf); }
-
-private:
-  std::string Buf;
-};
-
-/// Bounds-checked reader over a byte buffer; throws SerializeError on any
-/// read past the end.
-class ByteReader {
-public:
-  ByteReader(const void *Data, size_t Len)
-      : P(static_cast<const unsigned char *>(Data)), End(P + Len) {}
-  explicit ByteReader(const std::string &Bytes)
-      : ByteReader(Bytes.data(), Bytes.size()) {}
-
-  uint8_t u8();
-  uint32_t u32();
-  uint64_t u64();
-  int32_t i32() { return static_cast<int32_t>(u32()); }
-  int64_t i64() { return static_cast<int64_t>(u64()); }
-  double f64();
-  std::string str();
-
-  /// An array length that claims more elements than the remaining bytes
-  /// could hold (at \p MinElemBytes each) is corrupt; reject it before
-  /// allocating.
-  uint32_t arrayLen(size_t MinElemBytes);
-
-  size_t remaining() const { return static_cast<size_t>(End - P); }
-  bool atEnd() const { return P == End; }
-
-private:
-  void need(size_t N);
-  const unsigned char *P;
-  const unsigned char *End;
-};
+// SerializeError / ByteWriter / ByteReader live in support/ByteStream.h so
+// the runtime's workspace serializer (runtime/ValueSerialize) can share
+// them; this header re-exports the names for its historical clients.
 
 //===----------------------------------------------------------------------===//
 // Type signatures and IR functions

@@ -26,8 +26,9 @@ CompiledObjectPtr SharedCodeCache::lookup(const std::string &Key) const {
     std::shared_lock<std::shared_mutex> L(Mutex);
     auto It = Table.find(Key);
     if (It != Table.end()) {
+      It->second.Hits.fetch_add(1, std::memory_order_relaxed);
       HitsCount.inc();
-      return It->second;
+      return It->second.Obj;
     }
   }
   MissesCount.inc();
@@ -40,17 +41,36 @@ bool SharedCodeCache::publish(const std::string &Key, CompiledObjectPtr Obj,
     return false;
   {
     std::unique_lock<std::shared_mutex> L(Mutex);
-    auto [It, Inserted] = Table.emplace(Key, Obj);
-    (void)It;
+    auto [It, Inserted] = Table.try_emplace(Key);
     if (!Inserted) {
       DuplicatesCount.inc();
       return false;
     }
-    Order.push_back(Key);
+    It->second.Obj = Obj;
+    It->second.Seq = NextSeq++;
     PublishedCount.inc();
+    // Evict the least-hit entry (insertion order breaks ties), sparing
+    // the fresh insert: it has zero hits by construction, but the session
+    // that just compiled it is about to use it - churning it straight
+    // back out would turn the cap into a compile amplifier. The scan is
+    // O(n), but publishes are as rare as compiles; lookups, the hot path,
+    // stay on the shared lock.
     while (Capacity && Table.size() > Capacity) {
-      Table.erase(Order.front());
-      Order.pop_front();
+      auto Victim = Table.end();
+      uint64_t VictimHits = 0;
+      for (auto VI = Table.begin(); VI != Table.end(); ++VI) {
+        if (VI == It)
+          continue;
+        uint64_t H = VI->second.Hits.load(std::memory_order_relaxed);
+        if (Victim == Table.end() || H < VictimHits ||
+            (H == VictimHits && VI->second.Seq < Victim->second.Seq)) {
+          Victim = VI;
+          VictimHits = H;
+        }
+      }
+      if (Victim == Table.end())
+        break; // capacity 1: the fresh insert is the whole cache
+      Table.erase(Victim);
       EvictionsCount.inc();
     }
   }

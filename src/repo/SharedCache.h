@@ -32,8 +32,8 @@
 
 #include "repo/Repository.h"
 
+#include <atomic>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <shared_mutex>
 #include <string>
@@ -44,8 +44,11 @@ namespace majic {
 class SharedCodeCache {
 public:
   /// \p Capacity caps the number of cached objects; 0 means unlimited.
-  /// Over capacity, the oldest entries are evicted FIFO - the cache is an
-  /// admission buffer for cross-session reuse, not the persistent store.
+  /// Over capacity, the entry with the fewest lookup hits goes first
+  /// (insertion order breaks ties, and the entry being published is
+  /// spared - evicting the thing you just paid to compile defeats the
+  /// cache), mirroring Repository's own eviction semantics: a hot entry
+  /// survives any flood of cold ones.
   explicit SharedCodeCache(size_t Capacity = 4096) : Capacity(Capacity) {}
 
   SharedCodeCache(const SharedCodeCache &) = delete;
@@ -95,10 +98,18 @@ public:
   }
 
 private:
+  struct Slot {
+    CompiledObjectPtr Obj;
+    /// Lookup hits on this entry; atomic because lookups bump it under
+    /// the *shared* lock.
+    mutable std::atomic<uint64_t> Hits{0};
+    uint64_t Seq = 0; ///< insertion order, the eviction tie-break
+  };
+
   const size_t Capacity;
   mutable std::shared_mutex Mutex;
-  std::unordered_map<std::string, CompiledObjectPtr> Table;
-  std::deque<std::string> Order; ///< insertion order, for FIFO eviction
+  std::unordered_map<std::string, Slot> Table;
+  uint64_t NextSeq = 0;
   std::function<void(const CompiledObjectPtr &, uint64_t)> OnPublish;
   mutable obs::Counter HitsCount;
   mutable obs::Counter MissesCount;

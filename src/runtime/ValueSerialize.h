@@ -1,0 +1,101 @@
+//===- runtime/ValueSerialize.h - Workspace snapshots ----------*- C++ -*-===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Binary (de)serialization of interactive workspaces for session
+/// hibernation: when the service's live-session cap is hit, an idle
+/// session's state is snapshotted to disk (`.mjws`) and its slot freed; a
+/// later request resurrects it transparently. MaJIC's responsiveness story
+/// assumes an interactive session whose state survives the compiler's
+/// adventures, so the snapshot gets the same crash-safety discipline as
+/// the `.mjo` code store: a validation ladder of
+///
+///   magic -> format version -> payload size -> CRC32 -> bounds-checked
+///   decode
+///
+/// where any rung's failure classifies the snapshot as corrupt (quarantine
+/// on disk, session restarts empty with a loud error) rather than ever
+/// admitting a torn workspace. A version-skew failure is its own verdict:
+/// an old snapshot after an upgrade is routine turnover, deleted silently.
+///
+/// The payload is self-contained: the session's interactive function
+/// definitions (source text, replayed through the engine so compiled code
+/// comes back from the shared cache) followed by the workspace variables.
+/// Values round-trip bit-identically - doubles are moved as raw IEEE bits,
+/// so NaN payloads and signed zeros survive - because the acceptance bar
+/// for hibernation is that a resurrected session is indistinguishable from
+/// one that never left memory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAJIC_RUNTIME_VALUESERIALIZE_H
+#define MAJIC_RUNTIME_VALUESERIALIZE_H
+
+#include "runtime/Value.h"
+#include "support/ByteStream.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace majic {
+namespace ser {
+
+/// "MJWS" little-endian, the workspace snapshot magic.
+constexpr uint32_t kWorkspaceMagic = 0x53574a4d;
+
+/// Version of the snapshot encoding itself. Unlike compiled code, a
+/// workspace carries no ABI beyond the Value model, so this only bumps
+/// when the byte layout below changes.
+constexpr uint32_t kWorkspaceFormatVersion = 1;
+
+/// Raised when a snapshot's format version differs from ours: not
+/// corruption but turnover, so stores delete rather than quarantine.
+class WorkspaceSkew : public SerializeError {
+public:
+  explicit WorkspaceSkew(uint32_t Found)
+      : SerializeError("workspace format version " + std::to_string(Found) +
+                       " (want " + std::to_string(kWorkspaceFormatVersion) +
+                       ")") {}
+};
+
+/// Everything a session needs to come back from disk: the interactive
+/// function definitions in submission order and the workspace variables
+/// (sorted by name so identical workspaces encode to identical bytes).
+struct WorkspaceImage {
+  struct SourceDef {
+    std::string Name; ///< module name at definition time (diagnostic only)
+    std::string Text; ///< the source replayed on resurrect
+  };
+  struct VarDef {
+    std::string Name;
+    ValuePtr V;
+  };
+  std::vector<SourceDef> Sources;
+  std::vector<VarDef> Vars;
+};
+
+/// Encodes one Value. Exposed (with readValue) so the fuzz tests can
+/// attack the per-value layout directly.
+void writeValue(ByteWriter &W, const Value &V);
+
+/// Decodes one Value; throws SerializeError on any malformed encoding
+/// (bad class, shape overflow, data overrunning the buffer, an imaginary
+/// flag disagreeing with the class).
+Value readValue(ByteReader &R);
+
+/// Full snapshot: ladder header + payload.
+std::string encodeWorkspaceImage(const WorkspaceImage &W);
+
+/// Walks the full ladder; throws WorkspaceSkew on a version mismatch and
+/// SerializeError on everything else (bad magic, size mismatch, checksum
+/// mismatch, malformed payload, trailing bytes).
+WorkspaceImage decodeWorkspaceImage(const std::string &Bytes);
+
+} // namespace ser
+} // namespace majic
+
+#endif // MAJIC_RUNTIME_VALUESERIALIZE_H

@@ -7,6 +7,7 @@
 #include "service/SessionManager.h"
 
 #include "support/FaultInjection.h"
+#include "support/StringUtils.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -41,6 +42,20 @@ const char *majic::replyStatusName(Reply::Status S) {
   return "?";
 }
 
+const char *majic::rejectReasonName(Reply::Reason R) {
+  switch (R) {
+  case Reply::Reason::None:
+    return "none";
+  case Reply::Reason::QueueFull:
+    return "queue-full";
+  case Reply::Reason::BudgetExceeded:
+    return "budget-exceeded";
+  case Reply::Reason::SessionCapNoIdle:
+    return "session-cap-no-idle";
+  }
+  return "?";
+}
+
 SessionManager::SessionManager(ServiceOptions O) : Opts(std::move(O)) {
   if (!Opts.MaxSessions)
     Opts.MaxSessions = unsigned(envU64("MAJIC_MAX_SESSIONS"));
@@ -64,6 +79,9 @@ SessionManager::SessionManager(ServiceOptions O) : Opts(std::move(O)) {
     Opts.SessionLimits.MaxAllocBytes = envU64("MAJIC_SESSION_MAX_ALLOC_BYTES");
   if (!Opts.SessionLimits.MaxWallMillis)
     Opts.SessionLimits.MaxWallMillis = envU64("MAJIC_SESSION_MAX_WALL_MILLIS");
+  if (Opts.SessionDir.empty())
+    if (const char *D = std::getenv("MAJIC_SESSION_DIR"))
+      Opts.SessionDir = D;
 
   Inst.SessionsCreated = &Metrics.counter("service.sessions.created");
   Inst.SessionsRejected = &Metrics.counter("service.sessions.rejected");
@@ -79,6 +97,14 @@ SessionManager::SessionManager(ServiceOptions O) : Opts(std::move(O)) {
   Inst.ShedActive = &Metrics.gauge("service.shed.active");
   Inst.RequestSeconds = &Metrics.histogram("service.request.seconds");
   Inst.QueueSeconds = &Metrics.histogram("service.request.queue_seconds");
+  Inst.Hibernates = &Metrics.counter("service.hibernates");
+  Inst.HibernateFailures = &Metrics.counter("service.hibernate.failures");
+  Inst.Resurrects = &Metrics.counter("service.resurrects");
+  Inst.ResurrectCorrupt = &Metrics.counter("service.resurrect.corrupt");
+  Inst.NoIdleRejects = &Metrics.counter("service.rejected.no_idle");
+  Inst.SessionsHibernated = &Metrics.gauge("service.sessions.hibernated");
+  Inst.HibernateSeconds = &Metrics.histogram("service.hibernate.seconds");
+  Inst.ResurrectSeconds = &Metrics.histogram("service.resurrect.seconds");
 
   Cache = std::make_shared<SharedCodeCache>(Opts.SharedCacheCapacity);
   Cache->registerMetrics(Metrics);
@@ -104,6 +130,25 @@ SessionManager::SessionManager(ServiceOptions O) : Opts(std::move(O)) {
         [S = Store.get()](const CompiledObjectPtr &Obj, uint64_t SrcHash) {
           S->save(*Obj, SrcHash);
         });
+  }
+
+  // Recovery sweep: before any traffic is admitted, clear torn temp files
+  // a crashed save left behind and re-register every hibernated session
+  // found on disk. A snapshot that turns out corrupt is only discovered -
+  // and quarantined - at resurrect time; registration trusts nothing but
+  // the file name. NextId advances past every recovered id so new
+  // sessions can never collide with a hibernated one.
+  if (!Opts.SessionDir.empty()) {
+    Snapshots = std::make_unique<SnapshotStore>(Opts.SessionDir);
+    Snapshots->sweepTemps();
+    for (uint64_t Id : Snapshots->scan()) {
+      auto S = std::make_shared<Session>();
+      S->Id = Id;
+      S->Hibernated = true;
+      Sessions.emplace(Id, S);
+      NextId = std::max(NextId, Id + 1);
+    }
+    Inst.SessionsHibernated->set(int64_t(hibernatedCountLocked()));
   }
 
   SpecPool =
@@ -146,17 +191,25 @@ SessionId SessionManager::createSession() {
 
   SessionPtr S;
   {
-    std::lock_guard<std::mutex> L(Mu);
-    if (Stopping || Sessions.size() >= Opts.MaxSessions) {
+    std::unique_lock<std::mutex> L(Mu);
+    // At the cap, hibernate the LRU idle session to free a slot; the loop
+    // re-checks because freeSlotLocked drops the lock and a concurrent
+    // creator may claim the slot it freed.
+    while (!Stopping && LiveEngines >= Opts.MaxSessions)
+      if (!freeSlotLocked(L))
+        break;
+    if (Stopping || LiveEngines >= Opts.MaxSessions) {
       Inst.SessionsRejected->inc();
       S = nullptr;
     } else {
       S = std::make_shared<Session>();
       S->Id = NextId++;
       S->Eng = std::move(Eng);
+      S->LastUsed = ++UseTick;
+      ++LiveEngines;
       Sessions.emplace(S->Id, S);
       Inst.SessionsCreated->inc();
-      Inst.SessionsLive->set(int64_t(Sessions.size()));
+      Inst.SessionsLive->set(int64_t(LiveEngines));
     }
   }
   if (!S) {
@@ -169,6 +222,7 @@ SessionId SessionManager::createSession() {
 
 bool SessionManager::destroySession(SessionId Id) {
   SessionPtr S;
+  bool WasHibernated = false;
   {
     std::unique_lock<std::mutex> L(Mu);
     auto It = Sessions.find(Id);
@@ -177,21 +231,31 @@ bool SessionManager::destroySession(SessionId Id) {
     S = It->second;
     S->Closing = true;
     // Accepted requests drain first - they were promised a Reply. The
-    // session stays in the ready ring until its queue is empty.
+    // session stays in the ready ring until its queue is empty. Busy also
+    // covers an in-flight hibernate/resurrect of this session.
     DrainCv.wait(L, [&] {
       return (S->Queue.empty() && !S->Busy) || Stopping;
     });
     if (Stopping)
       return false; // shutdown() took over every session's teardown
+    WasHibernated = S->Hibernated;
+    if (S->Eng)
+      --LiveEngines;
     Sessions.erase(Id);
-    Inst.SessionsLive->set(int64_t(Sessions.size()));
+    Inst.SessionsLive->set(int64_t(LiveEngines));
+    Inst.SessionsHibernated->set(int64_t(hibernatedCountLocked()));
     Inst.SessionsDestroyed->inc();
   }
   // Engine teardown off-lock, on the caller's thread: it may wait out an
   // in-flight background compile on the shared pool, and that wait must
   // never hold up other sessions' dispatch.
-  S->Eng->shutdown();
+  if (S->Eng)
+    S->Eng->shutdown();
   S.reset();
+  // A destroyed session's snapshot must not resurrect as a ghost at the
+  // next service start.
+  if (WasHibernated && Snapshots)
+    Snapshots->remove(Id);
   return true;
 }
 
@@ -218,11 +282,50 @@ std::future<Reply> SessionManager::submit(SessionId Id, std::string Text) {
   } catch (...) {
     Faulted = true;
   }
-  if (Faulted || QueuedTotal >= Opts.MaxQueuedRequests ||
-      S->Queue.size() >= Opts.MaxQueuedPerSession) {
+  if (Faulted || QueuedTotal >= Opts.MaxQueuedRequests) {
     Inst.ReqRejected->inc();
-    Rejected.set_value({Reply::Status::RejectedOverloaded, ""});
+    Rejected.set_value(
+        {Reply::Status::RejectedOverloaded, "", Reply::Reason::QueueFull});
     return F;
+  }
+  if (S->Queue.size() >= Opts.MaxQueuedPerSession) {
+    Inst.ReqRejected->inc();
+    Rejected.set_value({Reply::Status::RejectedOverloaded, "",
+                        Reply::Reason::BudgetExceeded});
+    return F;
+  }
+
+  // A request for a hibernated session resurrects it transparently -
+  // after securing a live slot, hibernating someone else's idle session
+  // if need be. Only when nothing is idle does admission reject, and the
+  // reason says so: this rejection is retryable the moment any session
+  // goes quiet. Busy means another thread's resurrect is already in
+  // flight; just queue behind it.
+  bool NeedResurrect = S->Hibernated && !S->Busy;
+  if (NeedResurrect) {
+    while (!Stopping && !S->Closing && S->Hibernated && !S->Busy &&
+           LiveEngines >= Opts.MaxSessions)
+      if (!freeSlotLocked(L))
+        break;
+    // freeSlotLocked drops the lock; every precondition needs a re-check.
+    if (Stopping) {
+      Inst.ReqRejected->inc();
+      Rejected.set_value({Reply::Status::ShuttingDown, ""});
+      return F;
+    }
+    if (S->Closing) {
+      Inst.ReqRejected->inc();
+      Rejected.set_value({Reply::Status::SessionGone, ""});
+      return F;
+    }
+    NeedResurrect = S->Hibernated && !S->Busy;
+    if (NeedResurrect && LiveEngines >= Opts.MaxSessions) {
+      Inst.ReqRejected->inc();
+      Inst.NoIdleRejects->inc();
+      Rejected.set_value({Reply::Status::RejectedOverloaded, "",
+                          Reply::Reason::SessionCapNoIdle});
+      return F;
+    }
   }
 
   Request R;
@@ -230,9 +333,13 @@ std::future<Reply> SessionManager::submit(SessionId Id, std::string Text) {
   F = R.Promise.get_future();
   S->Queue.push_back(std::move(R));
   ++QueuedTotal;
+  S->LastUsed = ++UseTick;
   Inst.ReqAccepted->inc();
   Inst.ReqQueued->set(int64_t(QueuedTotal));
-  enqueueReady(S);
+  if (NeedResurrect)
+    resurrectLocked(L, S); // ends with enqueueReady(S)
+  else
+    enqueueReady(S);
   updateShedLocked();
   L.unlock();
   WorkCv.notify_one();
@@ -242,8 +349,8 @@ std::future<Reply> SessionManager::submit(SessionId Id, std::string Text) {
 bool SessionManager::interrupt(SessionId Id) {
   std::lock_guard<std::mutex> L(Mu);
   auto It = Sessions.find(Id);
-  if (It == Sessions.end())
-    return false;
+  if (It == Sessions.end() || !It->second->Eng)
+    return false; // hibernated (or mid-move): nothing is running
   // Token-based and internally synchronized; only this session's program
   // stops at its next poll point.
   It->second->Eng->requestInterrupt();
@@ -252,7 +359,21 @@ bool SessionManager::interrupt(SessionId Id) {
 
 size_t SessionManager::liveSessions() const {
   std::lock_guard<std::mutex> L(Mu);
-  return Sessions.size();
+  return LiveEngines;
+}
+
+size_t SessionManager::hibernatedSessions() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return hibernatedCountLocked();
+}
+
+size_t SessionManager::hibernatedCountLocked() const {
+  size_t N = 0;
+  for (const auto &[Id, S] : Sessions) {
+    (void)Id;
+    N += S->Hibernated;
+  }
+  return N;
 }
 
 size_t SessionManager::queuedRequests() const {
@@ -299,6 +420,143 @@ void SessionManager::updateShedLocked() {
   }
 }
 
+bool SessionManager::freeSlotLocked(std::unique_lock<std::mutex> &L) {
+  if (!Snapshots || !Snapshots->usable())
+    return false;
+  // The LRU *idle* session: engine-resident, nothing queued, nothing
+  // running, not being destroyed. Sessions mid-request are never torn
+  // out from under their worker.
+  SessionPtr V;
+  for (const auto &[Id, S] : Sessions) {
+    (void)Id;
+    if (!S->Eng || S->Busy || S->Closing || !S->Queue.empty())
+      continue;
+    if (!V || S->LastUsed < V->LastUsed)
+      V = S;
+  }
+  if (!V)
+    return false;
+
+  // Busy claims the victim against dispatch, destroy and rival hibernate
+  // passes; moving the engine out makes interrupt() a clean no-op.
+  V->Busy = true;
+  std::unique_ptr<Engine> Eng = std::move(V->Eng);
+  L.unlock();
+  Timer T;
+  ser::WorkspaceImage Img = Eng->workspaceImage();
+  bool Saved = Snapshots->save(V->Id, Img);
+  if (Saved) {
+    Eng->shutdown();
+    Eng.reset();
+  }
+  double Secs = T.seconds();
+  L.lock();
+  V->Busy = false;
+  if (!Saved) {
+    // Failed saves must not strand the victim: it keeps its engine and
+    // stays fully live, and the caller reports the cap instead.
+    V->Eng = std::move(Eng);
+    Inst.HibernateFailures->inc();
+    enqueueReady(V); // requests may have queued during the attempt
+  } else {
+    V->Hibernated = true;
+    --LiveEngines;
+    Inst.Hibernates->inc();
+    Inst.HibernateSeconds->observe(Secs);
+    Inst.SessionsLive->set(int64_t(LiveEngines));
+    Inst.SessionsHibernated->set(int64_t(hibernatedCountLocked()));
+    if (!V->Queue.empty() && !Stopping) {
+      // A request slipped in while the snapshot was being written. It was
+      // accepted - it must run - so the hibernation is immediately undone
+      // (the slot this call freed goes right back to its old owner, and
+      // the caller's retry loop looks for another victim).
+      resurrectLocked(L, V);
+    }
+  }
+  if (V->Closing && V->Queue.empty() && !V->Busy)
+    DrainCv.notify_all();
+  return Saved;
+}
+
+void SessionManager::resurrectLocked(std::unique_lock<std::mutex> &L,
+                                     const SessionPtr &S) {
+  S->Busy = true;
+  L.unlock();
+  Timer T;
+  std::unique_ptr<Engine> Eng;
+  std::string Loud;
+  bool Corrupt = false;
+  try {
+    faults::maybeThrow(faults::Site::SessionCreate);
+    Eng = std::make_unique<Engine>(sessionEngineOptions());
+    ser::WorkspaceImage Img;
+    switch (Snapshots->load(S->Id, Img)) {
+    case SnapshotStore::LoadStatus::Ok:
+      try {
+        Eng->restoreWorkspaceImage(Img);
+        // The snapshot must not outlive the live state it described: if
+        // it did, a crash after the session mutates could resurrect the
+        // past. Deleting it here, before any request runs, closes that
+        // window (SnapshotStore's load-site kill point sits on either
+        // side for the crash sweep).
+        Snapshots->remove(S->Id);
+        faults::killPoint(faults::Site::SessionSnapshotLoad);
+      } catch (const std::exception &E) {
+        // The ladder vouched for the bytes but the replay failed - a
+        // writer bug, handled like corruption: evidence kept, loud
+        // structured error, session restarts empty.
+        Corrupt = true;
+        Loud = format("??? resurrect: workspace snapshot for session %llu "
+                      "failed to replay (%s); session restarts empty\n",
+                      (unsigned long long)S->Id, E.what());
+        Snapshots->remove(S->Id);
+        Eng = std::make_unique<Engine>(sessionEngineOptions());
+      }
+      break;
+    case SnapshotStore::LoadStatus::Missing:
+      // No snapshot (vanished, or format turnover): a fresh empty
+      // session, silently.
+      break;
+    case SnapshotStore::LoadStatus::Corrupt:
+      // The store already quarantined the file and shouted to stderr;
+      // the structured reply error makes the client hear it too.
+      Corrupt = true;
+      Loud = format("??? resurrect: workspace snapshot for session %llu "
+                    "failed validation; quarantined, session restarts "
+                    "empty\n",
+                    (unsigned long long)S->Id);
+      break;
+    }
+  } catch (const std::exception &E) {
+    // Engine construction failed (injected session-create fault, OOM):
+    // the snapshot stays on disk and the session stays hibernated, so a
+    // later submit retries the whole resurrect. Queued requests fail
+    // loudly through the worker's no-engine path below.
+    Eng.reset();
+    Loud = format("??? resurrect: session %llu engine construction failed "
+                  "(%s)\n",
+                  (unsigned long long)S->Id, E.what());
+  }
+  double Secs = T.seconds();
+  L.lock();
+  S->Busy = false;
+  S->PendingError = Loud;
+  if (Eng) {
+    S->Eng = std::move(Eng);
+    S->Hibernated = false;
+    ++LiveEngines;
+    Inst.Resurrects->inc();
+    if (Corrupt)
+      Inst.ResurrectCorrupt->inc();
+    Inst.ResurrectSeconds->observe(Secs);
+    Inst.SessionsLive->set(int64_t(LiveEngines));
+    Inst.SessionsHibernated->set(int64_t(hibernatedCountLocked()));
+  }
+  enqueueReady(S);
+  if (S->Closing && S->Queue.empty())
+    DrainCv.notify_all();
+}
+
 Reply SessionManager::runRequest(Session &S, const std::string &Text) {
   try {
     faults::maybeThrow(faults::Site::BudgetCheck);
@@ -327,6 +585,7 @@ void SessionManager::workerLoop() {
   for (;;) {
     SessionPtr S;
     Request R;
+    std::string Pending;
     {
       std::unique_lock<std::mutex> L(Mu);
       WorkCv.wait(L, [this] {
@@ -346,6 +605,8 @@ void SessionManager::workerLoop() {
       R = std::move(S->Queue.front());
       S->Queue.pop_front();
       S->Busy = true;
+      Pending = std::move(S->PendingError);
+      S->PendingError.clear();
       --QueuedTotal;
       Inst.ReqQueued->set(int64_t(QueuedTotal));
       updateShedLocked();
@@ -353,7 +614,20 @@ void SessionManager::workerLoop() {
 
     Inst.QueueSeconds->observe(R.Queued.seconds());
     Timer Run;
-    Reply Rep = runRequest(*S, R.Text);
+    // A pending resurrect diagnostic preempts the request: a session
+    // whose workspace was quarantined must fail its triggering request
+    // with the structured error, never silently recompute on an empty
+    // workspace. The no-engine case is a resurrect whose engine
+    // construction failed; the request was accepted, so it still gets a
+    // (loud) reply. Busy is ours, so reading S->Eng off-lock is safe.
+    Reply Rep;
+    if (!Pending.empty())
+      Rep = {Reply::Status::Error, std::move(Pending)};
+    else if (!S->Eng)
+      Rep = {Reply::Status::Error,
+             "??? session not resident and resurrect failed; retry\n"};
+    else
+      Rep = runRequest(*S, R.Text);
     Inst.RequestSeconds->observe(Run.seconds());
     (Rep.St == Reply::Status::Ok ? Inst.ReqCompleted : Inst.ReqFailed)->inc();
 
@@ -378,7 +652,8 @@ void SessionManager::workerLoop() {
 obs::MetricsSnapshot SessionManager::sampleMetrics() {
   {
     std::lock_guard<std::mutex> L(Mu);
-    Inst.SessionsLive->set(int64_t(Sessions.size()));
+    Inst.SessionsLive->set(int64_t(LiveEngines));
+    Inst.SessionsHibernated->set(int64_t(hibernatedCountLocked()));
     Inst.ReqQueued->set(int64_t(QueuedTotal));
     Inst.ShedActive->set(SheddingFlag ? 1 : 0);
   }
@@ -409,6 +684,7 @@ void SessionManager::shutdown() {
     Sessions.clear();
     Ready.clear();
     QueuedTotal = 0;
+    LiveEngines = 0;
   }
   WorkCv.notify_all();
   DrainCv.notify_all();
@@ -427,8 +703,12 @@ void SessionManager::shutdown() {
   // its in-flight compiles), so lift any shed pause first.
   if (SpecPool)
     SpecPool->setPaused(false);
+  // Hibernated sessions have no engine to tear down; their snapshots stay
+  // on disk, to be re-registered by the next service start's recovery
+  // sweep - that durability is the point of hibernation.
   for (SessionPtr &S : Doomed) {
-    S->Eng->shutdown();
+    if (S->Eng)
+      S->Eng->shutdown();
     S.reset();
   }
   Doomed.clear();

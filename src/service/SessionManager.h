@@ -17,7 +17,12 @@
 ///  * Admission control. Live sessions and queued requests are capped;
 ///    past the caps, createSession() and submit() return explicit
 ///    rejections (never silent drops, never unbounded queues). Every
-///    request that is *accepted* completes with a Reply.
+///    request that is *accepted* completes with a Reply. With a
+///    SessionDir configured the live cap stops bounding *users*: hitting
+///    it hibernates the LRU idle session's workspace to disk and reuses
+///    its slot, a request for a hibernated session resurrects it
+///    transparently, and only when nothing is idle does admission reject
+///    (with a machine-readable retryable reason).
 ///
 ///  * Fair scheduling. Sessions are dispatched round-robin with at most
 ///    one in-flight request per session, so a session stuck in `while 1`
@@ -39,6 +44,7 @@
 #define MAJIC_SERVICE_SESSIONMANAGER_H
 
 #include "engine/Engine.h"
+#include "service/SnapshotStore.h"
 
 #include <condition_variable>
 #include <cstdint>
@@ -95,6 +101,12 @@ struct ServiceOptions {
   /// Metrics-dump path written at shutdown (service + shared-cache
   /// instruments). Empty = no dump.
   std::string MetricsPath;
+  /// Directory idle sessions hibernate to when the live-session cap is
+  /// hit (crash-durable `.mjws` workspace snapshots; a request for a
+  /// hibernated session resurrects it transparently). Empty falls back to
+  /// the MAJIC_SESSION_DIR environment variable; when both are empty,
+  /// hibernation is off and the cap rejects as before.
+  std::string SessionDir;
 };
 
 /// The outcome of one submitted request.
@@ -106,11 +118,23 @@ struct Reply {
     SessionGone,        ///< no such session (or it is being destroyed)
     ShuttingDown,       ///< service is shutting down
   };
+  /// Machine-readable cause of a RejectedOverloaded reply, so clients can
+  /// tell retryable service-wide pressure (QueueFull, SessionCapNoIdle -
+  /// back off and retry) from their own per-session backlog
+  /// (BudgetExceeded - drain your futures first).
+  enum class Reason : uint8_t {
+    None,             ///< not a rejection
+    QueueFull,        ///< service-wide queue cap (or admission fault)
+    BudgetExceeded,   ///< this session's own queue cap
+    SessionCapNoIdle, ///< session cap hit and no idle session to hibernate
+  };
   Status St = Status::Ok;
   std::string Output; ///< what the script printed (Ok/Error)
+  Reason Why = Reason::None;
 };
 
 const char *replyStatusName(Reply::Status S);
+const char *rejectReasonName(Reply::Reason R);
 
 class SessionManager {
 public:
@@ -145,8 +169,11 @@ public:
   /// when no such session exists.
   bool interrupt(SessionId Id);
 
-  /// Number of live sessions / queued requests right now.
+  /// Number of engine-resident sessions / hibernated sessions / queued
+  /// requests right now. A hibernated session is still addressable
+  /// (submit resurrects it) but holds no live slot.
   size_t liveSessions() const;
+  size_t hibernatedSessions() const;
   size_t queuedRequests() const;
 
   /// True while the service is shedding speculative load.
@@ -179,11 +206,17 @@ private:
 
   struct Session {
     SessionId Id = 0;
-    std::unique_ptr<Engine> Eng;
+    std::unique_ptr<Engine> Eng; ///< null while hibernated (or mid-move)
     std::deque<Request> Queue; ///< guarded by the manager mutex
-    bool Busy = false;    ///< a worker is executing a request right now
+    bool Busy = false;    ///< a worker is executing a request right now,
+                          ///< or the session is mid-hibernate/-resurrect
     bool Closing = false; ///< destroySession() ran; no new admissions
     bool InReady = false; ///< sits in the round-robin ready ring
+    bool Hibernated = false; ///< workspace snapshotted to disk, slot freed
+    uint64_t LastUsed = 0;   ///< admission tick, the hibernation LRU key
+    /// Structured "??? resurrect: ..." diagnostic from a corrupt-snapshot
+    /// resurrect, delivered loudly on the next dispatched request.
+    std::string PendingError;
   };
   using SessionPtr = std::shared_ptr<Session>;
 
@@ -196,6 +229,18 @@ private:
   /// Shed-state transitions from the current backlog. Call with the lock.
   void updateShedLocked();
   EngineOptions sessionEngineOptions() const;
+  /// Frees one live slot by hibernating the LRU idle session (snapshot to
+  /// disk, engine shut down). Drops and reacquires \p L around the save;
+  /// returns false when hibernation is off or nothing is idle. A failed
+  /// save leaves the victim fully live.
+  bool freeSlotLocked(std::unique_lock<std::mutex> &L);
+  /// Brings hibernated \p S back: fresh engine, snapshot loaded through
+  /// the validation ladder, workspace restored, snapshot deleted. A
+  /// corrupt snapshot is quarantined and the session restarts empty with
+  /// a PendingError. Drops and reacquires \p L; caller guarantees a free
+  /// live slot and !S->Busy.
+  void resurrectLocked(std::unique_lock<std::mutex> &L, const SessionPtr &S);
+  size_t hibernatedCountLocked() const;
 
   ServiceOptions Opts;
   std::shared_ptr<SharedCodeCache> Cache;
@@ -205,6 +250,8 @@ private:
   /// The one idle-priority pool all sessions' speculation runs on.
   /// Declared before Sessions: engines hold a pointer to it.
   std::unique_ptr<ThreadPool> SpecPool;
+  /// Hibernated workspaces on disk (null when SessionDir is empty).
+  std::unique_ptr<SnapshotStore> Snapshots;
 
   obs::MetricsRegistry Metrics;
   struct {
@@ -222,6 +269,14 @@ private:
     obs::Gauge *ShedActive = nullptr;
     obs::Histogram *RequestSeconds = nullptr;
     obs::Histogram *QueueSeconds = nullptr;
+    obs::Counter *Hibernates = nullptr;
+    obs::Counter *HibernateFailures = nullptr;
+    obs::Counter *Resurrects = nullptr;
+    obs::Counter *ResurrectCorrupt = nullptr;
+    obs::Counter *NoIdleRejects = nullptr;
+    obs::Gauge *SessionsHibernated = nullptr;
+    obs::Histogram *HibernateSeconds = nullptr;
+    obs::Histogram *ResurrectSeconds = nullptr;
   } Inst;
 
   mutable std::mutex Mu;
@@ -231,6 +286,10 @@ private:
   std::deque<SessionId> Ready; ///< round-robin dispatch ring
   SessionId NextId = 1;
   size_t QueuedTotal = 0;
+  /// Engine-resident sessions; Sessions.size() minus the hibernated ones.
+  /// The MaxSessions cap binds this, not the addressable-session count.
+  size_t LiveEngines = 0;
+  uint64_t UseTick = 0; ///< monotonic clock feeding Session::LastUsed
   bool Stopping = false;
   bool WorkersPausedFlag = false;
   bool SheddingFlag = false;

@@ -6,6 +6,8 @@
 
 #include "support/AtomicFile.h"
 
+#include "support/FaultInjection.h"
+
 #include <atomic>
 #include <cerrno>
 #include <cstdio>
@@ -60,18 +62,31 @@ bool majic::atomicfile::writeFileAtomic(const std::string &Path,
     setError(Error, "cannot create '" + Tmp + "'");
     return false;
   }
+  // Crash-sweep kill points bracket every state transition of the
+  // protocol: an empty temp file, a half-written temp file, a full but
+  // unsynced temp file, a durable temp file, and a renamed target whose
+  // directory entry is not yet synced. killPoint() is a no-op (one relaxed
+  // load) unless a test armed a kill schedule; it never throws, so the
+  // function's no-exceptions contract holds.
+  faults::killPoint(faults::Site::AtomicWriteStep);
+  // Write in two halves so the sweep can die with a genuinely torn payload
+  // on disk, not just before-any-bytes or after-all-bytes.
+  size_t Chunk[2] = {Bytes.size() / 2, Bytes.size()};
   size_t Off = 0;
-  while (Off < Bytes.size()) {
-    ssize_t N = ::write(Fd, Bytes.data() + Off, Bytes.size() - Off);
-    if (N < 0) {
-      if (errno == EINTR)
-        continue;
-      setError(Error, "cannot write '" + Tmp + "'");
-      ::close(Fd);
-      ::unlink(Tmp.c_str());
-      return false;
+  for (size_t Limit : Chunk) {
+    while (Off < Limit) {
+      ssize_t N = ::write(Fd, Bytes.data() + Off, Limit - Off);
+      if (N < 0) {
+        if (errno == EINTR)
+          continue;
+        setError(Error, "cannot write '" + Tmp + "'");
+        ::close(Fd);
+        ::unlink(Tmp.c_str());
+        return false;
+      }
+      Off += static_cast<size_t>(N);
     }
-    Off += static_cast<size_t>(N);
+    faults::killPoint(faults::Site::AtomicWriteStep);
   }
   // The data must be on disk before the rename makes it reachable,
   // otherwise a crash could expose a named-but-empty file.
@@ -81,6 +96,7 @@ bool majic::atomicfile::writeFileAtomic(const std::string &Path,
     ::unlink(Tmp.c_str());
     return false;
   }
+  faults::killPoint(faults::Site::AtomicWriteStep);
   if (::close(Fd) != 0) {
     setError(Error, "cannot close '" + Tmp + "'");
     ::unlink(Tmp.c_str());
@@ -91,6 +107,7 @@ bool majic::atomicfile::writeFileAtomic(const std::string &Path,
     ::unlink(Tmp.c_str());
     return false;
   }
+  faults::killPoint(faults::Site::AtomicWriteStep);
   syncParentDir(Path);
   return true;
 }

@@ -1,0 +1,91 @@
+//===- support/ByteStream.cpp - Bounds-checked byte (de)coding -------------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ByteStream.h"
+
+#include <cstring>
+
+using namespace majic;
+using namespace majic::ser;
+
+//===----------------------------------------------------------------------===//
+// ByteWriter
+//===----------------------------------------------------------------------===//
+
+void ByteWriter::u32(uint32_t V) {
+  for (int I = 0; I != 4; ++I)
+    Buf.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void ByteWriter::u64(uint64_t V) {
+  for (int I = 0; I != 8; ++I)
+    Buf.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void ByteWriter::f64(double V) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  u64(Bits);
+}
+
+void ByteWriter::str(const std::string &S) {
+  u32(static_cast<uint32_t>(S.size()));
+  Buf.append(S);
+}
+
+//===----------------------------------------------------------------------===//
+// ByteReader
+//===----------------------------------------------------------------------===//
+
+void ByteReader::need(size_t N) {
+  if (remaining() < N)
+    throw SerializeError("truncated input");
+}
+
+uint8_t ByteReader::u8() {
+  need(1);
+  return *P++;
+}
+
+uint32_t ByteReader::u32() {
+  need(4);
+  uint32_t V = 0;
+  for (int I = 0; I != 4; ++I)
+    V |= static_cast<uint32_t>(P[I]) << (8 * I);
+  P += 4;
+  return V;
+}
+
+uint64_t ByteReader::u64() {
+  need(8);
+  uint64_t V = 0;
+  for (int I = 0; I != 8; ++I)
+    V |= static_cast<uint64_t>(P[I]) << (8 * I);
+  P += 8;
+  return V;
+}
+
+double ByteReader::f64() {
+  uint64_t Bits = u64();
+  double V;
+  std::memcpy(&V, &Bits, sizeof(V));
+  return V;
+}
+
+std::string ByteReader::str() {
+  uint32_t Len = u32();
+  need(Len);
+  std::string S(reinterpret_cast<const char *>(P), Len);
+  P += Len;
+  return S;
+}
+
+uint32_t ByteReader::arrayLen(size_t MinElemBytes) {
+  uint32_t N = u32();
+  if (MinElemBytes && static_cast<uint64_t>(N) * MinElemBytes > remaining())
+    throw SerializeError("array length exceeds remaining bytes");
+  return N;
+}

@@ -15,12 +15,15 @@
 #include <mutex>
 #include <vector>
 
+#include <signal.h>
+#include <unistd.h>
+
 using namespace majic;
 using namespace majic::faults;
 
 namespace {
 
-enum class Mode : uint8_t { Off, At, Every, Rand };
+enum class Mode : uint8_t { Off, At, Every, Rand, Kill };
 
 struct SiteState {
   Mode M = Mode::Off;
@@ -58,7 +61,8 @@ void refreshAnyArmedLocked(Registry &Reg) {
 const char *const SiteNames[kNumSites] = {
     "parse",       "infer",        "codegen",   "regalloc",  "repo-insert",
     "value-alloc", "pool-enqueue", "repo-save", "repo-load",
-    "session-create", "admission", "budget-check"};
+    "session-create", "admission", "budget-check",
+    "session-snapshot-save", "session-snapshot-load", "atomic-write-step"};
 
 /// Strict full-string parses: "5x" or "" must be diagnosed, not silently
 /// truncated to a number.
@@ -145,6 +149,16 @@ void majic::faults::armRandom(Site S, double P, uint64_t Seed) {
   refreshAnyArmedLocked(Reg);
 }
 
+void majic::faults::armKill(Site S, uint64_t Nth) {
+  Registry &Reg = registry();
+  std::lock_guard<std::mutex> L(Reg.Mutex);
+  SiteState &St = stateLocked(Reg, S);
+  St.M = Mode::Kill;
+  St.N = Nth ? Nth : 1;
+  St.Hits = St.Fired = 0;
+  refreshAnyArmedLocked(Reg);
+}
+
 void majic::faults::disarm(Site S) {
   Registry &Reg = registry();
   std::lock_guard<std::mutex> L(Reg.Mutex);
@@ -188,8 +202,9 @@ bool majic::faults::loadSpec(const std::string &Spec, std::string *Error) {
     size_t C1 = Action.find(':');
     std::string Kind = Action.substr(0, C1);
     std::string Args = C1 == std::string::npos ? "" : Action.substr(C1 + 1);
-    if (Kind == "at" || Kind == "every") {
-      E.M = Kind == "at" ? Mode::At : Mode::Every;
+    if (Kind == "at" || Kind == "every" || Kind == "kill") {
+      E.M = Kind == "at" ? Mode::At
+                         : (Kind == "every" ? Mode::Every : Mode::Kill);
       if (!parseU64(Args, E.N))
         return Fail("fault entry '" + Item + "' has a malformed count '" +
                     Args + "'");
@@ -226,6 +241,9 @@ bool majic::faults::loadSpec(const std::string &Spec, std::string *Error) {
       break;
     case Mode::Rand:
       armRandom(E.S, E.P, E.Seed);
+      break;
+    case Mode::Kill:
+      armKill(E.S, E.N);
       break;
     case Mode::Off:
       break;
@@ -273,12 +291,16 @@ bool majic::faults::shouldFire(Site S) {
     return false;
   std::lock_guard<std::mutex> L(Reg.Mutex);
   SiteState &St = stateLocked(Reg, S);
-  if (St.M == Mode::Off)
+  // Kill schedules belong to killPoint(): counting their hits here would
+  // skew the kill ordinal, and firing them here would throw from paths
+  // that must not throw.
+  if (St.M == Mode::Off || St.M == Mode::Kill)
     return false;
   ++St.Hits;
   bool Fire = false;
   switch (St.M) {
   case Mode::Off:
+  case Mode::Kill:
     break;
   case Mode::At:
     Fire = St.Hits == St.N;
@@ -293,4 +315,26 @@ bool majic::faults::shouldFire(Site S) {
   if (Fire)
     ++St.Fired;
   return Fire;
+}
+
+void majic::faults::killPoint(Site S) {
+  Registry &Reg = registry();
+  if (!Reg.AnyArmed.load(std::memory_order_relaxed))
+    return;
+  bool Kill = false;
+  {
+    std::lock_guard<std::mutex> L(Reg.Mutex);
+    SiteState &St = stateLocked(Reg, S);
+    if (St.M != Mode::Kill)
+      return;
+    ++St.Hits;
+    Kill = St.Hits == St.N;
+    if (Kill)
+      ++St.Fired;
+  }
+  if (Kill) {
+    // Die the way a power cut does: no unwinding, no flushing, no atexit.
+    ::kill(::getpid(), SIGKILL);
+    ::pause(); // unreachable; SIGKILL cannot be blocked
+  }
 }

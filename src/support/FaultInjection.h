@@ -24,6 +24,12 @@
 ///   <site>=every:<N>       fire at every Nth hit
 ///   <site>=rand:<P>:<SEED> fire each hit with probability P, deterministic
 ///                          per seed
+///   <site>=kill:<N>        raise SIGKILL at the Nth killPoint() hit - the
+///                          crash-recovery sweeps' murder weapon. Only
+///                          killPoint() honors it; the throwing hooks
+///                          ignore kill schedules entirely, so arming one
+///                          can never smuggle an exception into a
+///                          non-throwing path.
 ///
 /// e.g. MAJIC_FAULTS="codegen=at:2,repo-insert=rand:0.25:7"
 ///
@@ -54,8 +60,12 @@ enum class Site : uint8_t {
   SessionCreate, ///< service: before a session's engine is constructed
   Admission,     ///< service: before a request is admitted to a queue
   BudgetCheck,   ///< service: per-session budget check before dispatch
+  SessionSnapshotSave, ///< service: workspace snapshot save (hibernate)
+  SessionSnapshotLoad, ///< service: workspace snapshot load (resurrect)
+  AtomicWriteStep,     ///< support: each step inside writeFileAtomic
+                       ///< (kill-mode only; the write path never throws)
 };
-constexpr unsigned kNumSites = 12;
+constexpr unsigned kNumSites = 15;
 
 const char *siteName(Site S);
 
@@ -99,6 +109,11 @@ void armEvery(Site S, uint64_t Nth);
 /// deterministic per-site PRNG seeded with \p Seed.
 void armRandom(Site S, double P, uint64_t Seed);
 
+/// Arms \p S to SIGKILL the process at the \p Nth killPoint() hit
+/// (1-based). Hits are counted by killPoint() alone; shouldFire() treats a
+/// kill-armed site as disarmed.
+void armKill(Site S, uint64_t Nth);
+
 void disarm(Site S);
 
 /// Applies a MAJIC_FAULTS-grammar schedule, replacing the current one
@@ -115,7 +130,15 @@ SiteStats stats(Site S);
 uint64_t totalFired();
 
 /// The site hook: records a hit and decides whether this hit faults.
+/// Kill-armed sites never fire here - killPoint() owns that schedule.
 bool shouldFire(Site S);
+
+/// The crash-sweep hook: when \p S is armed with a kill schedule, counts
+/// the hit and raises SIGKILL at the Nth one - the process dies mid-step
+/// exactly as a power cut or OOM-kill would, with no unwinding and no
+/// destructors. A no-op (one relaxed load) in every other mode, so the
+/// durable write paths can call it unconditionally.
+void killPoint(Site S);
 
 /// Raises InjectedFault when the site fires.
 inline void maybeThrow(Site S) {

@@ -25,11 +25,15 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "repo/SharedCache.h"
 #include "service/SessionManager.h"
+#include "service/SnapshotStore.h"
 #include "support/FaultInjection.h"
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <future>
 #include <string>
 #include <thread>
@@ -261,14 +265,22 @@ TEST_F(ServiceTest, QueueCapsRejectExactlyPastTheLimit) {
   SessionId A = M.createSession(), B = M.createSession();
   std::vector<std::future<Reply>> Accepted;
 
-  // Session A hits its per-session wall at 3.
+  // Session A hits its per-session wall at 3: its own backlog, so the
+  // machine-readable reason says "drain your futures", not "back off".
   for (int I = 0; I != 3; ++I)
     Accepted.push_back(M.submit(A, "x = 1"));
-  EXPECT_EQ(M.submit(A, "x = 1").get().St, Reply::Status::RejectedOverloaded);
+  Reply RejA = M.submit(A, "x = 1").get();
+  EXPECT_EQ(RejA.St, Reply::Status::RejectedOverloaded);
+  EXPECT_EQ(RejA.Why, Reply::Reason::BudgetExceeded);
+  EXPECT_STREQ(rejectReasonName(RejA.Why), "budget-exceeded");
 
-  // Session B then hits the service-wide wall at 4 total.
+  // Session B then hits the service-wide wall at 4 total: shared
+  // pressure, the retryable kind.
   Accepted.push_back(M.submit(B, "x = 1"));
-  EXPECT_EQ(M.submit(B, "x = 1").get().St, Reply::Status::RejectedOverloaded);
+  Reply RejB = M.submit(B, "x = 1").get();
+  EXPECT_EQ(RejB.St, Reply::Status::RejectedOverloaded);
+  EXPECT_EQ(RejB.Why, Reply::Reason::QueueFull);
+  EXPECT_STREQ(rejectReasonName(RejB.Why), "queue-full");
   EXPECT_EQ(M.queuedRequests(), 4u);
 
   // Every accepted request resolves once the workers resume.
@@ -454,5 +466,251 @@ TEST_P(ServiceFaultSweep, ServiceSurvivesScheduleAndRecovers) {
 
 INSTANTIATE_TEST_SUITE_P(Schedules, ServiceFaultSweep,
                          ::testing::Range<uint64_t>(1, 13));
+
+//===----------------------------------------------------------------------===//
+// Session hibernation
+//===----------------------------------------------------------------------===//
+
+namespace fs = std::filesystem;
+
+/// Hibernation fixture: a scratch session directory per test, removed on
+/// both sides so a crashed run can't leak state into the next.
+class HibernationTest : public ServiceTest {
+protected:
+  void SetUp() override {
+    ServiceTest::SetUp();
+    Dir = fs::temp_directory_path() /
+          ("majic_hib_" +
+           std::string(
+               ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(Dir);
+  }
+  void TearDown() override {
+    fs::remove_all(Dir);
+    ServiceTest::TearDown();
+  }
+
+  ServiceOptions hibOptions(unsigned Cap) {
+    ServiceOptions O = baseOptions();
+    O.Workers = 1; // deterministic idleness for LRU selection
+    O.MaxSessions = Cap;
+    O.SessionDir = Dir.string();
+    return O;
+  }
+
+  size_t snapshotsOnDisk() {
+    return SnapshotStore(Dir.string()).scan().size();
+  }
+
+  fs::path Dir;
+};
+
+TEST_F(HibernationTest, CapHibernatesLruIdleSessionTransparently) {
+  const char *Setup = "v = 41;";
+  const char *Use = "w = v + 1";
+  std::string Ref = soloOutput(Setup, Use);
+
+  SessionManager M(hibOptions(2));
+  SessionId A = M.createSession();
+  ASSERT_NE(A, 0u);
+  ASSERT_EQ(run(M, A, Setup).St, Reply::Status::Ok);
+  SessionId B = M.createSession();
+  ASSERT_NE(B, 0u);
+  ASSERT_EQ(run(M, B, "v = 1;").St, Reply::Status::Ok);
+
+  // The third create does not reject: A (the LRU idle session) is
+  // snapshotted to disk and its slot reused.
+  SessionId C = M.createSession();
+  ASSERT_NE(C, 0u) << "cap must hibernate, not reject";
+  EXPECT_EQ(M.liveSessions(), 2u);
+  EXPECT_EQ(M.hibernatedSessions(), 1u);
+  EXPECT_EQ(snapshotsOnDisk(), 1u);
+
+  // Submitting to A resurrects it transparently (hibernating another
+  // idle session to make room) and the workspace is bit-identical to a
+  // session that never left memory. The consumed snapshot is gone.
+  Reply R = run(M, A, Use);
+  EXPECT_EQ(R.St, Reply::Status::Ok) << R.Output;
+  EXPECT_EQ(R.Output, Ref);
+  EXPECT_EQ(M.hibernatedSessions(), 1u); // B or C took A's place on disk
+  EXPECT_EQ(snapshotsOnDisk(), 1u);
+}
+
+TEST_F(HibernationTest, NothingIdleRejectsWithRetryableReason) {
+  SessionManager M(hibOptions(1));
+  SessionId A = M.createSession();
+  ASSERT_NE(A, 0u);
+  ASSERT_EQ(run(M, A, "v = 7;").St, Reply::Status::Ok);
+  SessionId B = M.createSession(); // hibernates idle A
+  ASSERT_NE(B, 0u);
+  EXPECT_EQ(M.hibernatedSessions(), 1u);
+
+  // Stage "nothing idle": B has a queued request, so it can't be torn
+  // out. A's resurrect now has nowhere to live.
+  M.setWorkersPaused(true);
+  std::future<Reply> Busy = M.submit(B, "x = 1");
+  Reply R = M.submit(A, "w = v").get();
+  EXPECT_EQ(R.St, Reply::Status::RejectedOverloaded);
+  EXPECT_EQ(R.Why, Reply::Reason::SessionCapNoIdle);
+  EXPECT_STREQ(rejectReasonName(R.Why), "session-cap-no-idle");
+  EXPECT_EQ(M.createSession(), 0u) << "creates reject too while nothing idle";
+
+  // The reason is advertised as retryable: once B drains, the same
+  // submit succeeds (B hibernates, A resurrects with its state).
+  M.setWorkersPaused(false);
+  EXPECT_EQ(Busy.get().St, Reply::Status::Ok);
+  Reply Retry = run(M, A, "w = v");
+  EXPECT_EQ(Retry.St, Reply::Status::Ok) << Retry.Output;
+  EXPECT_NE(Retry.Output.find("7"), std::string::npos) << Retry.Output;
+}
+
+TEST_F(HibernationTest, CorruptSnapshotQuarantinesAndRestartsEmptyLoudly) {
+  SessionManager M(hibOptions(1));
+  SessionId A = M.createSession();
+  ASSERT_NE(A, 0u);
+  ASSERT_EQ(run(M, A, "v = 123;").St, Reply::Status::Ok);
+  ASSERT_NE(M.createSession(), 0u); // hibernates A
+  ASSERT_EQ(M.hibernatedSessions(), 1u);
+
+  // Flip one payload byte of A's snapshot on disk.
+  std::string Path = SnapshotStore(Dir.string()).pathFor(A);
+  std::string Bytes;
+  {
+    std::ifstream In(Path, std::ios::binary);
+    ASSERT_TRUE(In.good());
+    Bytes.assign(std::istreambuf_iterator<char>(In),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_FALSE(Bytes.empty());
+  Bytes.back() = char(Bytes.back() ^ 0x40);
+  {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out.write(Bytes.data(), std::streamsize(Bytes.size()));
+  }
+
+  // The resurrect walks the ladder, refuses the bytes, quarantines the
+  // file, and the triggering request fails with the structured error -
+  // never a silent recompute on the empty workspace.
+  Reply R = run(M, A, "w = v + 1");
+  EXPECT_EQ(R.St, Reply::Status::Error);
+  EXPECT_EQ(R.Output.find("??? resurrect:"), 0u) << R.Output;
+  EXPECT_NE(R.Output.find("quarantined"), std::string::npos) << R.Output;
+
+  bool SawQuarantine = false;
+  for (const fs::directory_entry &E : fs::directory_iterator(Dir))
+    SawQuarantine |=
+        E.path().filename().string().find(".corrupt") != std::string::npos;
+  EXPECT_TRUE(SawQuarantine) << "torn snapshot must be kept as evidence";
+
+  // The session restarted empty and usable: old state gone, new state ok.
+  EXPECT_EQ(run(M, A, "w = v").St, Reply::Status::Error) << "v must be gone";
+  Reply Fresh = run(M, A, "x = 5");
+  EXPECT_EQ(Fresh.St, Reply::Status::Ok);
+}
+
+TEST_F(HibernationTest, RestartReRegistersHibernatedSessions) {
+  const char *Setup = "v = 19;";
+  const char *Use = "w = v * 2";
+  std::string Ref = soloOutput(Setup, Use);
+
+  SessionId A = 0;
+  {
+    SessionManager M(hibOptions(1));
+    A = M.createSession();
+    ASSERT_NE(A, 0u);
+    ASSERT_EQ(run(M, A, Setup).St, Reply::Status::Ok);
+    ASSERT_NE(M.createSession(), 0u); // hibernates A
+    ASSERT_EQ(M.hibernatedSessions(), 1u);
+  } // shutdown: the snapshot stays on disk - that is the durability story
+
+  // A brand-new service on the same directory recovers the session: same
+  // id, same workspace, bit-identical output.
+  SessionManager M2(hibOptions(1));
+  EXPECT_EQ(M2.hibernatedSessions(), 1u);
+  Reply R = run(M2, A, Use);
+  EXPECT_EQ(R.St, Reply::Status::Ok) << R.Output;
+  EXPECT_EQ(R.Output, Ref);
+  // New ids never collide with recovered ones.
+  SessionId Fresh = M2.createSession();
+  EXPECT_NE(Fresh, 0u);
+  EXPECT_NE(Fresh, A);
+}
+
+TEST_F(HibernationTest, FailedSaveLeavesVictimFullyLive) {
+  SessionManager M(hibOptions(1));
+  SessionId A = M.createSession();
+  ASSERT_NE(A, 0u);
+  ASSERT_EQ(run(M, A, "v = 7;").St, Reply::Status::Ok);
+
+  // The snapshot write fails (injected): the victim must keep its engine
+  // and state, and the create reports the cap instead.
+  faults::armAt(faults::Site::SessionSnapshotSave, 1);
+  EXPECT_EQ(M.createSession(), 0u);
+  faults::disarm(faults::Site::SessionSnapshotSave);
+  EXPECT_EQ(M.liveSessions(), 1u);
+  EXPECT_EQ(M.hibernatedSessions(), 0u);
+  EXPECT_EQ(snapshotsOnDisk(), 0u) << "failed save must leave no file";
+
+  Reply R = run(M, A, "w = v + 1");
+  EXPECT_EQ(R.St, Reply::Status::Ok) << R.Output;
+  EXPECT_NE(R.Output.find("8"), std::string::npos) << R.Output;
+
+  // With the fault gone the same create succeeds by hibernating A.
+  EXPECT_NE(M.createSession(), 0u);
+  EXPECT_EQ(M.hibernatedSessions(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Shared-cache eviction
+//===----------------------------------------------------------------------===//
+
+CompiledObjectPtr dummyObject(const std::string &Name) {
+  auto Obj = std::make_shared<CompiledObject>();
+  Obj->FunctionName = Name;
+  return Obj;
+}
+
+TEST(SharedCacheEvictionTest, HotEntrySurvivesColdFlood) {
+  SharedCodeCache Cache(/*Capacity=*/4);
+  ASSERT_TRUE(Cache.publish("hot", dummyObject("hot"), 1));
+  for (int I = 0; I != 32; ++I)
+    ASSERT_NE(Cache.lookup("hot"), nullptr);
+
+  // A flood of cold entries (never looked up) churns through the cache;
+  // the hot entry must outlive every one of them.
+  for (int I = 0; I != 64; ++I) {
+    std::string Key = "cold" + std::to_string(I);
+    ASSERT_TRUE(Cache.publish(Key, dummyObject(Key), 2));
+    EXPECT_NE(Cache.lookup("hot"), nullptr)
+        << "hot entry evicted by cold insert " << I;
+  }
+  EXPECT_LE(Cache.size(), 4u);
+  EXPECT_GE(Cache.evictions(), 61u); // 65 publishes into 4 slots
+}
+
+TEST(SharedCacheEvictionTest, FreshInsertIsSparedFromItsOwnEviction) {
+  // Capacity 1 is the degenerate case: every publish must evict the
+  // *previous* entry, never bounce the fresh one (the session that just
+  // compiled it is about to use it).
+  SharedCodeCache Cache(/*Capacity=*/1);
+  ASSERT_TRUE(Cache.publish("a", dummyObject("a"), 1));
+  for (int I = 0; I != 8; ++I)
+    ASSERT_NE(Cache.lookup("a"), nullptr); // "a" is hot - and still loses:
+  ASSERT_TRUE(Cache.publish("b", dummyObject("b"), 2));
+  EXPECT_EQ(Cache.lookup("a"), nullptr) << "previous entry must be evicted";
+  EXPECT_NE(Cache.lookup("b"), nullptr) << "fresh insert must be spared";
+  EXPECT_EQ(Cache.size(), 1u);
+}
+
+TEST(SharedCacheEvictionTest, TiesFallToTheOldestInsertion) {
+  SharedCodeCache Cache(/*Capacity=*/2);
+  ASSERT_TRUE(Cache.publish("first", dummyObject("first"), 1));
+  ASSERT_TRUE(Cache.publish("second", dummyObject("second"), 2));
+  // Zero hits everywhere: insertion order breaks the tie, FIFO-style.
+  ASSERT_TRUE(Cache.publish("third", dummyObject("third"), 3));
+  EXPECT_EQ(Cache.lookup("first"), nullptr);
+  EXPECT_NE(Cache.lookup("second"), nullptr);
+  EXPECT_NE(Cache.lookup("third"), nullptr);
+}
 
 } // namespace
