@@ -1,0 +1,197 @@
+//===- bench/BenchNative.cpp - Native tier vs register VM ------------------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Steady-state per-call time of the native (emitted-C, dlopen'd) tier
+// against the register VM on five scalar-loop mlib kernels - the workloads
+// the third tier exists for. Methodology:
+//
+//  - one engine per tier per kernel, JIT policy, synchronous compiles;
+//  - warm-up invocations first (the VM session pays its JIT, the native
+//    session additionally pays the system-compiler promotion), so the
+//    timed region is pure execution against a warm repository;
+//  - best of N runs (default 25; MAJIC_BENCH_REPS overrides), PRNG
+//    reseeded per run so both tiers do identical work;
+//  - both tiers must produce bit-identical results, and the native
+//    session must actually have served the timed calls natively
+//    (native hits > 0) - otherwise the row is marked invalid.
+//
+// Emits BENCH_native.json with the machine stamp and a summary gate:
+// native >= 1.3x over the VM on at least 3 of the 5 kernels.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+using namespace majic;
+using namespace majic::bench;
+
+namespace {
+
+// Scalar-dominated loop kernels (Table 1's "scalar" category): the code
+// shape where emitted C most outruns dispatch overhead.
+const char *kKernels[] = {"crnich", "dirich", "finedif", "galrkn", "mandel"};
+
+constexpr double kSpeedupGate = 1.3;
+constexpr int kGateCount = 3;
+
+// Best-of-25 per the experiment protocol; MAJIC_BENCH_REPS overrides for
+// smoke runs.
+int nativeReps() {
+  if (const char *Env = std::getenv("MAJIC_BENCH_REPS"))
+    return std::max(1, std::atoi(Env));
+  return 25;
+}
+
+constexpr uint64_t kSeed = 0x5eed5eed5eedull;
+
+struct TierResult {
+  double Seconds = 0;
+  std::vector<ValuePtr> Values; ///< outputs of the final timed run
+  uint64_t NativeHits = 0;
+  uint64_t NativeFailures = 0;
+};
+
+TierResult measureTier(const BenchmarkSpec &Spec, bool Native,
+                       const std::string &StoreDir) {
+  EngineOptions O;
+  O.Policy = CompilePolicy::Jit;
+  O.BackgroundCompileThreads = 0; // everything synchronous and counted
+  O.RepoDir = StoreDir;
+  O.NativeTier = Native;
+  O.NativeHotThreshold = 1; // promote on first profile observation
+  if (Native)
+    O.NativeCC = "cc";
+  Engine E(O);
+  loadBenchmark(E, Spec);
+
+  auto Invoke = [&] {
+    E.context().Rand.reseed(kSeed);
+    return E.callFunction(Spec.Name, scaledArgs(Spec), 1, SourceLoc());
+  };
+
+  // Warm-up: the first call pays the JIT (and, on the native tier, the
+  // system-compiler promotion); the second confirms steady state.
+  Invoke();
+  Invoke();
+
+  TierResult R;
+  R.Seconds = bestOf(nativeReps(), [&] { Invoke(); });
+  R.Values = Invoke();
+  R.NativeHits = E.nativeHits();
+  R.NativeFailures = E.nativeFailures() + E.nativeDeopts();
+  return R;
+}
+
+bool sameValues(const std::vector<ValuePtr> &A,
+                const std::vector<ValuePtr> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I != A.size(); ++I) {
+    const Value &X = *A[I], &Y = *B[I];
+    if (X.rows() != Y.rows() || X.cols() != Y.cols() ||
+        X.isComplex() != Y.isComplex())
+      return false;
+    for (size_t K = 0; K != X.numel(); ++K)
+      if (X.reData()[K] != Y.reData()[K] ||
+          (X.isComplex() && X.imData()[K] != Y.imData()[K]))
+        return false;
+  }
+  return true;
+}
+
+} // namespace
+
+int main() {
+  namespace fs = std::filesystem;
+  const fs::path Base = fs::temp_directory_path() / "majic_bench_native";
+
+  printHeader("Native tier vs register VM (steady state, warm repository)",
+              "JIT policy, synchronous compiles; warm-up untimed, then "
+              "best-of-N pure\nexecution per tier; identical seeds, "
+              "bit-identical results required");
+
+  std::printf("%-10s %12s %12s %8s %7s  %s\n", "benchmark", "vm (ms)",
+              "native (ms)", "speedup", "hits", "results");
+  std::printf("%.*s\n", 62,
+              "-----------------------------------------------------------"
+              "---");
+
+  JsonWriter W;
+  W.beginObject();
+  W.field("benchmark_set", "native");
+  W.field("policy", "jit");
+  W.field("reps", nativeReps());
+  W.field("speedup_gate", kSpeedupGate);
+  writeMachineInfo(W);
+  W.beginArray("results");
+
+  int AboveGate = 0, Matching = 0, Valid = 0;
+  for (const char *Name : kKernels) {
+    const BenchmarkSpec *Spec = findBenchmark(Name);
+    if (!Spec) {
+      std::fprintf(stderr, "unknown benchmark '%s'\n", Name);
+      return 1;
+    }
+    const fs::path VmDir = Base / (std::string(Name) + ".vm");
+    const fs::path NatDir = Base / (std::string(Name) + ".native");
+    fs::remove_all(VmDir);
+    fs::remove_all(NatDir);
+
+    TierResult Vm = measureTier(*Spec, /*Native=*/false, VmDir.string());
+    TierResult Nat = measureTier(*Spec, /*Native=*/true, NatDir.string());
+
+    double Speedup = Nat.Seconds > 0 ? Vm.Seconds / Nat.Seconds : 0;
+    bool Match = sameValues(Vm.Values, Nat.Values);
+    bool Served = Nat.NativeHits > 0 && Nat.NativeFailures == 0;
+    AboveGate += Served && Speedup >= kSpeedupGate;
+    Matching += Match;
+    Valid += Served;
+    std::printf("%-10s %12.3f %12.3f %7.2fx %7llu  %s%s\n", Name,
+                Vm.Seconds * 1e3, Nat.Seconds * 1e3, Speedup,
+                static_cast<unsigned long long>(Nat.NativeHits),
+                Match ? "identical" : "MISMATCH",
+                Served ? "" : " (NOT NATIVE)");
+
+    W.beginObject();
+    W.field("benchmark", Name);
+    W.field("vm_ms", Vm.Seconds * 1e3);
+    W.field("native_ms", Nat.Seconds * 1e3);
+    W.field("speedup", Speedup);
+    W.field("native_hits", Nat.NativeHits);
+    W.field("served_natively", Served);
+    W.field("outputs_identical", Match);
+    W.endObject();
+  }
+
+  const int Total = static_cast<int>(std::size(kKernels));
+  bool Pass = AboveGate >= kGateCount && Matching == Total && Valid == Total;
+  std::printf("\n%d/%d kernels >= %.1fx, %d/%d identical, %d/%d served "
+              "natively -> %s\n",
+              AboveGate, Total, kSpeedupGate, Matching, Total, Valid, Total,
+              Pass ? "PASS" : "FAIL");
+
+  W.endArray();
+  W.beginObject("summary");
+  W.field("kernels", Total);
+  W.field("above_gate", AboveGate);
+  W.field("outputs_identical", Matching);
+  W.field("served_natively", Valid);
+  W.field("pass", Pass);
+  W.endObject();
+  W.endObject();
+  if (!W.writeFile("BENCH_native.json")) {
+    std::fprintf(stderr, "cannot write BENCH_native.json\n");
+    return 1;
+  }
+  std::printf("wrote BENCH_native.json\n");
+  return Pass ? 0 : 1;
+}

@@ -1,0 +1,179 @@
+//===- examples/native_smoke.cpp - Three-leg native-tier smoke -------------------===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Scriptable smoke check for the native (emitted-C) tier, used by CI:
+//
+//   native_smoke <storedir> cold
+//     runs a hot function past the promotion threshold against the
+//     persistent store in <storedir>. Asserts the system compiler was
+//     invoked (native.compiles >= 1), the promoted version actually
+//     served calls (native.hits >= 1), nothing failed, and the .so
+//     payload was persisted as a .mjn file.
+//
+//   native_smoke <storedir> warm
+//     a fresh session on the same store. Asserts the first call is
+//     served natively with ZERO compiler invocations and zero
+//     foreground JIT compiles - the warm-start contract. Run with
+//     MAJIC_METRICS=metrics.json and the CI job greps
+//     `"native.compiles": 0` from the dump as an independent check.
+//
+//   native_smoke <storedir> nocc
+//     leaves EngineOptions::NativeCC empty so the MAJIC_NATIVE_CC
+//     environment fallback applies; CI sets it to a nonexistent path.
+//     Asserts results are still bit-correct via the VM, no native
+//     counter moved, and no .mjn was written: a missing compiler
+//     degrades silently, it never breaks the session.
+//
+// Every leg checks the same expected values, so a numeric divergence
+// between tiers fails the job too.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/Engine.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+using namespace majic;
+
+namespace {
+
+int fail(const char *Msg) {
+  std::fprintf(stderr, "native_smoke: FAIL: %s\n", Msg);
+  return 1;
+}
+
+// Enough work per call that a native win is plausible, cheap enough
+// that CI barely notices: sum of squares 1..n.
+const char *kHotSource = "function y = hotfn(n)\n"
+                         "y = 0;\n"
+                         "for k = 1:n\n"
+                         "y = y + k * k;\n"
+                         "end\n";
+
+constexpr long kArg = 100;
+constexpr double kExpect = 338350; // sum k^2, k=1..100
+
+EngineOptions options(const std::string &StoreDir, bool ExplicitCC) {
+  EngineOptions O;
+  O.Policy = CompilePolicy::Jit;
+  O.BackgroundCompileThreads = 0; // deterministic counters
+  O.RepoDir = StoreDir;
+  O.NativeTier = true;
+  O.NativeHotThreshold = 2;
+  if (ExplicitCC)
+    O.NativeCC = "cc";
+  return O;
+}
+
+size_t countFiles(const std::string &Dir, const char *Ext) {
+  size_t N = 0;
+  std::error_code Ec;
+  for (const auto &E :
+       std::filesystem::directory_iterator(Dir, Ec))
+    if (E.path().extension() == Ext)
+      ++N;
+  return N;
+}
+
+/// Calls hotfn(kArg) and checks the value; every leg goes through this
+/// so VM and native answers are held to the same constant.
+bool callChecks(Engine &E) {
+  auto R = E.callFunction("hotfn", {makeValue(Value::intScalar(kArg))}, 1,
+                          SourceLoc());
+  return !R.empty() && R[0]->scalarValue() == kExpect;
+}
+
+int runCold(const std::string &StoreDir) {
+  Engine E(options(StoreDir, /*ExplicitCC=*/true));
+  if (!E.nativeTierAvailable())
+    return fail("cold: system compiler 'cc' not usable");
+  if (!E.addSource("hotfn", kHotSource))
+    return fail("cold: addSource rejected the corpus");
+
+  // Threshold is 2: call 1 runs on the VM, call 2 promotes, call 3 reuses.
+  for (int I = 0; I != 3; ++I)
+    if (!callChecks(E))
+      return fail("cold: hotfn(100) != 338350");
+
+  if (E.nativeCompiles() < 1)
+    return fail("cold: hot function was never promoted to native");
+  if (E.nativeHits() < 1)
+    return fail("cold: native version never served a call");
+  if (E.nativeFailures() != 0 || E.nativeDeopts() != 0)
+    return fail("cold: native tier reported failures");
+  E.flushRepoStore();
+  if (countFiles(StoreDir, ".mjn") == 0)
+    return fail("cold: no .mjn payload persisted");
+  std::printf("native_smoke: cold OK (%llu native compile(s), %llu hit(s))\n",
+              static_cast<unsigned long long>(E.nativeCompiles()),
+              static_cast<unsigned long long>(E.nativeHits()));
+  return 0;
+}
+
+int runWarm(const std::string &StoreDir) {
+  Engine E(options(StoreDir, /*ExplicitCC=*/true));
+  RepoStoreStats St = E.repoStoreStats();
+  if (St.NativeLoaded == 0)
+    return fail("warm: no persisted .mjn payload loaded");
+  if (St.NativeQuarantined != 0 || St.NativeSkewed != 0)
+    return fail("warm: persisted .mjn payload was rejected");
+  if (!E.addSource("hotfn", kHotSource))
+    return fail("warm: addSource rejected the corpus");
+
+  // The warm-start contract: served natively, zero compiler invocations.
+  if (!callChecks(E))
+    return fail("warm: hotfn(100) != 338350");
+  if (E.nativeCompiles() != 0)
+    return fail("warm: first call invoked the system compiler");
+  if (E.nativeHits() == 0)
+    return fail("warm: first call was not served by the native tier");
+  if (E.jitCompiles() != 0)
+    return fail("warm: first call paid a foreground JIT compile");
+  std::printf("native_smoke: warm OK (native hit, zero compiler "
+              "invocations)\n");
+  return 0;
+}
+
+int runNoCc(const std::string &StoreDir) {
+  // NativeCC left empty: the MAJIC_NATIVE_CC environment fallback
+  // applies, and CI points it at a path that does not exist.
+  Engine E(options(StoreDir, /*ExplicitCC=*/false));
+  if (E.nativeTierAvailable())
+    return fail("nocc: expected the native tier to be unavailable");
+  if (!E.addSource("hotfn", kHotSource))
+    return fail("nocc: addSource rejected the corpus");
+
+  for (int I = 0; I != 3; ++I)
+    if (!callChecks(E))
+      return fail("nocc: hotfn(100) != 338350 on the VM fallback");
+  if (E.nativeCompiles() != 0 || E.nativeHits() != 0)
+    return fail("nocc: native counters moved without a compiler");
+  E.flushRepoStore();
+  if (countFiles(StoreDir, ".mjn") != 0)
+    return fail("nocc: wrote a .mjn payload without a compiler");
+  std::printf("native_smoke: nocc OK (VM fallback, no native activity)\n");
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc != 3 || (std::strcmp(Argv[2], "cold") != 0 &&
+                    std::strcmp(Argv[2], "warm") != 0 &&
+                    std::strcmp(Argv[2], "nocc") != 0)) {
+    std::fprintf(stderr, "usage: native_smoke <storedir> cold|warm|nocc\n");
+    return 2;
+  }
+  std::filesystem::create_directories(Argv[1]);
+  if (std::strcmp(Argv[2], "cold") == 0)
+    return runCold(Argv[1]);
+  if (std::strcmp(Argv[2], "warm") == 0)
+    return runWarm(Argv[1]);
+  return runNoCc(Argv[1]);
+}

@@ -3,12 +3,26 @@
 // Part of the MaJIC reproduction. Distributed under the MIT license.
 //
 //===----------------------------------------------------------------------===//
+//
+// Every emission decision here is constrained by two hard requirements of
+// the native tier: the output must compile warning-clean under
+// `-std=c11 -Wall -Werror` (so registers are initialized and
+// void-discarded, labels carry null statements, literals never overflow),
+// and it must reproduce the register VM bit for bit (so min/max use the
+// comparison form rather than fmin/fmax, non-finite constants are spelled
+// as IEEE bit patterns, and guarded intrinsics/negative-base powers
+// deoptimize through the host exactly where the VM would).
+//
+//===----------------------------------------------------------------------===//
 
 #include "backend/CEmitter.h"
 
 #include "runtime/Builtins.h"
 #include "support/StringUtils.h"
 
+#include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <set>
 #include <vector>
 
@@ -130,9 +144,11 @@ const char *intrName(ScalarIntrinsic I) {
   case ScalarIntrinsic::Rem:
     return "mlf_rem";
   case ScalarIntrinsic::Min2:
-    return "fmin";
+    // NOT fmin/fmax: their NaN-absorbing semantics differ from the
+    // host's std::min/std::max comparison form.
+    return "mlf_min2";
   case ScalarIntrinsic::Max2:
-    return "fmax";
+    return "mlf_max2";
   case ScalarIntrinsic::Hypot:
     return "hypot";
   case ScalarIntrinsic::None:
@@ -148,6 +164,26 @@ std::string shapeStr(const ShapeBound &S) {
                : format("%llu", static_cast<unsigned long long>(D));
   };
   return Dim(S.Rows) + "x" + Dim(S.Cols);
+}
+
+/// A C double literal that reconstructs \p X exactly. %.17g loses
+/// infinities ("inf" is not C) and NaNs, so those go through their bit
+/// patterns instead.
+std::string fLit(double X) {
+  if (!std::isfinite(X)) {
+    unsigned long long Bits;
+    std::memcpy(&Bits, &X, sizeof Bits);
+    return format("mlf_f64bits(0x%016llxull)", Bits);
+  }
+  return format("%.17g", X);
+}
+
+/// A C long long literal. INT64_MIN has no direct spelling (the '-' is
+/// applied to an out-of-range positive constant).
+std::string iLit(int64_t X) {
+  if (X == INT64_MIN)
+    return "(-9223372036854775807LL - 1)";
+  return format("%lld", static_cast<long long>(X));
 }
 
 } // namespace
@@ -173,29 +209,87 @@ std::string majic::emitCSource(const IRFunction &F, const TypeSignature &Sig) {
   Out += " * mxValue handles are reference counted by the runtime shim.\n";
   Out += " */\n";
   Out += "#include \"majic_mlf.h\"\n\n";
-  Out += format("int %s_compiled(mxValue **args, int nargs, "
-                "mxValue **outs, int nouts) {\n",
-                F.Name.c_str());
 
-  // Declarations.
-  if (F.NumF)
-    Out += format("  double %s", freg(0).c_str());
-  for (unsigned R = 1; R < F.NumF; ++R)
-    Out += ", " + freg(R);
-  if (F.NumF)
+  // Fused elementwise programs become file-scope tables (emitting them
+  // inline would put declarations after labels and re-materialize the
+  // array on every execution of the loop's enclosing block).
+  for (size_t Pos = 0; Pos != F.Code.size(); ++Pos) {
+    const Instr &In = F.Code[Pos];
+    if (In.Op != Opcode::EwFuse || In.Imm.I <= 0)
+      continue;
+    Out += format("static const int mlf_prog_%zu[] = {", Pos);
+    for (int64_t K = 0; K != In.Imm.I; ++K)
+      Out += format("%s%d", K ? ", " : "", F.Pool[In.D + K]);
+    Out += "};\n";
+  }
+
+  Out += format("\nint %s_compiled(mxValue **args, int nargs, "
+                "mxValue **outs, int nouts) {\n",
+                cIdentifier(F.Name).c_str());
+
+  // Declarations. Registers are assigned along every path that reads
+  // them, but the C compiler cannot always prove that across the goto
+  // graph, so initialize everything; the (void) line keeps registers the
+  // allocator made write-only (or never used) from tripping
+  // -Wunused-but-set-variable under -Werror.
+  std::string Discards;
+  if (F.NumF) {
+    Out += "  double";
+    for (unsigned R = 0; R != F.NumF; ++R) {
+      Out += format("%s %s = 0", R ? "," : "", freg(R).c_str());
+      Discards += format("(void)%s; ", freg(R).c_str());
+    }
     Out += ";\n";
-  if (F.NumI)
-    Out += format("  long long %s", ireg(0).c_str());
-  for (unsigned R = 1; R < F.NumI; ++R)
-    Out += ", " + ireg(R);
-  if (F.NumI)
+  }
+  if (F.NumI) {
+    Out += "  long long";
+    for (unsigned R = 0; R != F.NumI; ++R) {
+      Out += format("%s %s = 0", R ? "," : "", ireg(R).c_str());
+      Discards += format("(void)%s; ", ireg(R).c_str());
+    }
     Out += ";\n";
-  if (F.NumP)
-    Out += format("  mxValue *%s", preg(0).c_str());
-  for (unsigned R = 1; R < F.NumP; ++R)
-    Out += ", *" + preg(R);
-  if (F.NumP)
-    Out += " = 0;\n";
+  }
+  if (F.NumP) {
+    Out += "  mxValue";
+    for (unsigned R = 0; R != F.NumP; ++R) {
+      Out += format("%s *%s = 0", R ? "," : "", preg(R).c_str());
+      Discards += format("(void)%s; ", preg(R).c_str());
+    }
+    Out += ";\n";
+  }
+  // Spill slots from allocated IR map to plain local arrays (a pointer
+  // spill copies the box pointer: slot and register are the same virtual
+  // register, so the aliasing is exactly the VM's).
+  if (F.NumFSpill) {
+    Out += format("  double fsp[%u] = {0};\n", F.NumFSpill);
+    Discards += "(void)fsp; ";
+  }
+  if (F.NumISpill) {
+    Out += format("  long long isp[%u] = {0};\n", F.NumISpill);
+    Discards += "(void)isp; ";
+  }
+  if (F.NumPSpill) {
+    Out += format("  mxValue *psp[%u] = {0};\n", F.NumPSpill);
+    Discards += "(void)psp; ";
+  }
+
+  // Back-edge counter for cooperative interruption: the VM polls its
+  // execution budget every 256 instructions; generated code polls every
+  // 256 backward branches, so unbounded loops stay interruptible.
+  bool HasBackEdge = false;
+  for (size_t Pos = 0; Pos != F.Code.size(); ++Pos) {
+    const Instr &In = F.Code[Pos];
+    if ((In.Op == Opcode::Br || In.Op == Opcode::Brz ||
+         In.Op == Opcode::Brnz) &&
+        In.A <= static_cast<int32_t>(Pos))
+      HasBackEdge = true;
+  }
+  if (HasBackEdge)
+    Out += "  long long mlf_ops = 0;\n";
+  if (!Discards.empty()) {
+    Discards.pop_back(); // trailing space
+    Out += "  " + Discards + "\n";
+  }
   Out += "\n";
 
   // Branch targets need labels.
@@ -213,25 +307,41 @@ std::string majic::emitCSource(const IRFunction &F, const TypeSignature &Sig) {
     }
     return S;
   };
+  // Call destinations are written through their address (the callee
+  // boxes fresh results).
+  auto PoolDsts = [&](int32_t Off, int32_t N) {
+    std::string S;
+    for (int32_t K = 0; K != N; ++K) {
+      if (K)
+        S += ", ";
+      S += "&" + preg(F.Pool[Off + K]);
+    }
+    return S;
+  };
+  // Polling guard spliced ahead of a backward goto.
+  auto BackPoll = [&](int32_t Target, size_t Pos) {
+    return Target <= static_cast<int32_t>(Pos)
+               ? std::string("if ((++mlf_ops & 0xff) == 0) { mlfPoll(256); } ")
+               : std::string();
+  };
 
   for (size_t Pos = 0; Pos != F.Code.size(); ++Pos) {
     const Instr &In = F.Code[Pos];
     if (Labels.count(static_cast<int32_t>(Pos)))
-      Out += format("L%zu:\n", Pos);
+      Out += format("L%zu:;\n", Pos); // null statement: labels may precede '}'
     std::string Line;
     switch (In.Op) {
     case Opcode::Nop:
       continue;
     case Opcode::FConst:
-      Line = format("%s = %.17g;", freg(In.A).c_str(), In.Imm.F);
+      Line = freg(In.A) + " = " + fLit(In.Imm.F) + ";";
       break;
     case Opcode::IConst:
-      Line = format("%s = %lld;", ireg(In.A).c_str(),
-                    static_cast<long long>(In.Imm.I));
+      Line = ireg(In.A) + " = " + iLit(In.Imm.I) + ";";
       break;
     case Opcode::SConst:
       Line = format("%s = mlfString(\"%s\");", preg(In.A).c_str(),
-                    F.Strings[In.Imm.I].c_str());
+                    cStringEscape(F.Strings[In.Imm.I]).c_str());
       break;
     case Opcode::MovF:
       Line = freg(In.A) + " = " + freg(In.B) + ";";
@@ -273,11 +383,18 @@ std::string majic::emitCSource(const IRFunction &F, const TypeSignature &Sig) {
       Line = ireg(In.A) + " = " + freg(In.B) + " " +
              condOp(static_cast<CondCode>(In.Imm.I)) + " " + freg(In.C) + ";";
       break;
-    case Opcode::FIntr1:
-      Line = freg(In.A) + " = " +
-             intrName(static_cast<ScalarIntrinsic>(In.Imm.I)) + "(" +
-             freg(In.B) + ");";
+    case Opcode::FIntr1: {
+      auto I = static_cast<ScalarIntrinsic>(In.Imm.I);
+      // Optimistically typed intrinsics carry their domain guard: a
+      // negative sqrt/log (or out-of-range asin/acos) operand must
+      // deoptimize to the general tiers, exactly like the VM.
+      std::string Arg = scalarIntrinsicNeedsGuard(I)
+                            ? format("mlfEwGuard(%d, %s)",
+                                     static_cast<int>(I), freg(In.B).c_str())
+                            : freg(In.B);
+      Line = freg(In.A) + " = " + intrName(I) + "(" + Arg + ");";
       break;
+    }
     case Opcode::FIntr2:
       Line = freg(In.A) + " = " +
              intrName(static_cast<ScalarIntrinsic>(In.Imm.I)) + "(" +
@@ -311,14 +428,24 @@ std::string majic::emitCSource(const IRFunction &F, const TypeSignature &Sig) {
       Line = ireg(In.A) + " = " + ireg(In.B) + " == 0;";
       break;
     case Opcode::Br:
-      Line = format("goto L%d;", In.A);
+      Line = BackPoll(In.A, Pos) + format("goto L%d;", In.A);
       break;
-    case Opcode::Brz:
-      Line = format("if (%s == 0) goto L%d;", ireg(In.B).c_str(), In.A);
+    case Opcode::Brz: {
+      std::string Poll = BackPoll(In.A, Pos);
+      Line = Poll.empty()
+                 ? format("if (%s == 0) goto L%d;", ireg(In.B).c_str(), In.A)
+                 : format("if (%s == 0) { %sgoto L%d; }",
+                          ireg(In.B).c_str(), Poll.c_str(), In.A);
       break;
-    case Opcode::Brnz:
-      Line = format("if (%s != 0) goto L%d;", ireg(In.B).c_str(), In.A);
+    }
+    case Opcode::Brnz: {
+      std::string Poll = BackPoll(In.A, Pos);
+      Line = Poll.empty()
+                 ? format("if (%s != 0) goto L%d;", ireg(In.B).c_str(), In.A)
+                 : format("if (%s != 0) { %sgoto L%d; }",
+                          ireg(In.B).c_str(), Poll.c_str(), In.A);
       break;
+    }
     case Opcode::Ret:
       Line = "return 0;";
       break;
@@ -347,14 +474,15 @@ std::string majic::emitCSource(const IRFunction &F, const TypeSignature &Sig) {
       break;
     case Opcode::CheckDef:
       Line = format("mlfCheckDefined(%s, \"%s\");", preg(In.A).c_str(),
-                    F.Names[In.Imm.I].c_str());
+                    cStringEscape(F.Names[In.Imm.I]).c_str());
       break;
     case Opcode::NewMat:
       Line = preg(In.A) + " = mlfZeros(" + ireg(In.B) + ", " + ireg(In.C) +
              format(", %d);", static_cast<int>(In.Imm.I));
       break;
     case Opcode::FillF:
-      Line = format("mlfFill(%s, %.17g);", preg(In.A).c_str(), In.Imm.F);
+      Line = format("mlfFill(%s, %s);", preg(In.A).c_str(),
+                    fLit(In.Imm.F).c_str());
       break;
     case Opcode::LoadEl:
       Line = freg(In.A) + " = mxRe(" + preg(In.B) + ")[" + ireg(In.C) + "];";
@@ -372,20 +500,25 @@ std::string majic::emitCSource(const IRFunction &F, const TypeSignature &Sig) {
              ireg(In.C) + ", " + ireg(In.D) + ");";
       break;
     case Opcode::StoreEl:
-      Line = "mxRe(mxUnique(&" + preg(In.A) + "))[" + ireg(In.B) + "] = " +
-             freg(In.C) + ";";
+      // The class immediate rides along so the store can promote the
+      // array (int -> real) exactly like the VM's promoteClass; the
+      // macro's fast path checks it against the write cache.
+      Line = "mlfStore(&" + preg(In.A) + ", " + ireg(In.B) + ", " +
+             freg(In.C) + format(", %d);", static_cast<int>(In.Imm.I));
       break;
     case Opcode::StoreElChk:
       Line = "mlfStoreGrow(&" + preg(In.A) + ", " + ireg(In.B) + ", " +
-             freg(In.C) + ");";
+             freg(In.C) + format(", %d);", static_cast<int>(In.Imm.I));
       break;
     case Opcode::StoreEl2:
       Line = "mlfStore2(&" + preg(In.A) + ", " + ireg(In.B) + ", " +
-             ireg(In.C) + ", " + freg(In.D) + ");";
+             ireg(In.C) + ", " + freg(In.D) +
+             format(", %d);", static_cast<int>(In.Imm.I));
       break;
     case Opcode::StoreEl2Chk:
       Line = "mlfStore2Grow(&" + preg(In.A) + ", " + ireg(In.B) + ", " +
-             ireg(In.C) + ", " + freg(In.D) + ");";
+             ireg(In.C) + ", " + freg(In.D) +
+             format(", %d);", static_cast<int>(In.Imm.I));
       break;
     case Opcode::LenRows:
       Line = ireg(In.A) + " = mxRows(" + preg(In.B) + ");";
@@ -438,20 +571,24 @@ std::string majic::emitCSource(const IRFunction &F, const TypeSignature &Sig) {
              format("%d", In.D) + ", " + PoolArgs(In.C, In.D) + ");";
       break;
     case Opcode::CallB:
-      Line = format("mlfCallBuiltin(\"%s\", %d",
-                    F.Names[In.Imm.I & ~kStatementCallFlag].c_str(), In.B);
+      Line = format("mlfCallBuiltin(\"%s\", %d, %d",
+                    cStringEscape(F.Names[In.Imm.I & ~kStatementCallFlag])
+                        .c_str(),
+                    (In.Imm.I & kStatementCallFlag) ? 1 : 0, In.B);
       if (In.B)
-        Line += ", " + PoolArgs(In.A, In.B);
+        Line += ", " + PoolDsts(In.A, In.B);
       Line += format(", %d", In.D);
       if (In.D)
         Line += ", " + PoolArgs(In.C, In.D);
       Line += ");";
       break;
     case Opcode::CallU:
-      Line = format("mlfCallFunction(\"%s\", %d",
-                    F.Names[In.Imm.I & ~kStatementCallFlag].c_str(), In.B);
+      Line = format("mlfCallFunction(\"%s\", %d, %d",
+                    cStringEscape(F.Names[In.Imm.I & ~kStatementCallFlag])
+                        .c_str(),
+                    (In.Imm.I & kStatementCallFlag) ? 1 : 0, In.B);
       if (In.B)
-        Line += ", " + PoolArgs(In.A, In.B);
+        Line += ", " + PoolDsts(In.A, In.B);
       Line += format(", %d", In.D);
       if (In.D)
         Line += ", " + PoolArgs(In.C, In.D);
@@ -459,7 +596,7 @@ std::string majic::emitCSource(const IRFunction &F, const TypeSignature &Sig) {
       break;
     case Opcode::Display:
       Line = format("mlfDisplay(%s, \"%s\");", preg(In.A).c_str(),
-                    F.Names[In.Imm.I].c_str());
+                    cStringEscape(F.Names[In.Imm.I]).c_str());
       break;
     case Opcode::Gemv:
       Line = preg(In.A) + " = mlfDgemv(" + preg(In.B) + ", " + preg(In.C) +
@@ -470,22 +607,24 @@ std::string majic::emitCSource(const IRFunction &F, const TypeSignature &Sig) {
              ", " + preg(In.D) + ");";
       break;
     case Opcode::EwFuse: {
-      // One fused loop over the whole elementwise tree: mlfEwAlloc checks
-      // operand conformance and allocates the result; mlfEwLoad reads
-      // element k (broadcasting scalars); each program entry becomes its
-      // own named temporary, one statement per op, so the native compiler
-      // cannot contract separate multiplies and adds into FMAs (results
-      // must stay bit-identical to the interpreter). FP_CONTRACT OFF makes
-      // the same demand explicit within each statement.
+      // One fused loop over the whole elementwise tree: mlfEwAlloc
+      // simulates the program (conformance checks, complex deopt) and
+      // allocates the result; mlfEwLoad reads element k (broadcasting
+      // scalars); each program entry becomes its own named temporary,
+      // one statement per op, mirroring the VM's stack evaluation. The
+      // host compiles this with -ffp-contract=off, so separate
+      // multiplies and adds are never contracted into FMAs (results
+      // must stay bit-identical to the interpreter).
       Line = preg(In.A) + " = mlfEwAlloc(" + format("%d", In.C);
       if (In.C)
         Line += ", " + PoolArgs(In.B, In.C);
-      Line += ");\n";
+      Line += format(", %d, %s);\n", static_cast<int>(In.Imm.I),
+                     In.Imm.I > 0 ? format("mlf_prog_%zu", Pos).c_str()
+                                  : "(const int *)0");
       Line += format("  { /* fused elementwise: %lld entries, one pass */\n",
                      static_cast<long long>(In.Imm.I));
-      Line += "    long long n = mlfNumel(" + preg(In.A) + ");\n";
+      Line += "    long long n = mxNumel(" + preg(In.A) + ");\n";
       Line += "    double *d = mxRe(" + preg(In.A) + ");\n";
-      Line += "    #pragma STDC FP_CONTRACT OFF\n";
       Line += "    for (long long k = 0; k < n; ++k) {\n";
       std::vector<std::string> Stk;
       int Tmp = 0;
@@ -521,7 +660,9 @@ std::string majic::emitCSource(const IRFunction &F, const TypeSignature &Sig) {
             E = X + " / " + Y;
             break;
           case rt::BinOp::ElemPow:
-            E = "pow(" + X + ", " + Y + ")";
+            // mlf_powg deoptimizes negative-base/fractional-exponent
+            // (complex result) cases instead of returning pow's NaN.
+            E = "mlf_powg(" + X + ", " + Y + ")";
             break;
           default:
             E = "0 /* invalid fused op */";
@@ -570,20 +711,36 @@ std::string majic::emitCSource(const IRFunction &F, const TypeSignature &Sig) {
                     static_cast<long long>(In.Imm.I), preg(In.A).c_str());
       break;
     case Opcode::FSpLd:
+      Line = freg(In.A) + format(" = fsp[%lld];",
+                                 static_cast<long long>(In.Imm.I));
+      break;
     case Opcode::FSpSt:
+      Line = format("fsp[%lld] = ", static_cast<long long>(In.Imm.I)) +
+             freg(In.A) + ";";
+      break;
     case Opcode::ISpLd:
+      Line = ireg(In.A) + format(" = isp[%lld];",
+                                 static_cast<long long>(In.Imm.I));
+      break;
     case Opcode::ISpSt:
+      Line = format("isp[%lld] = ", static_cast<long long>(In.Imm.I)) +
+             ireg(In.A) + ";";
+      break;
     case Opcode::PSpLd:
+      Line = preg(In.A) + format(" = psp[%lld];",
+                                 static_cast<long long>(In.Imm.I));
+      break;
     case Opcode::PSpSt:
-      // Spill traffic never appears: the emitter runs on unallocated IR
-      // (the native compiler does its own register allocation).
-      Line = "/* spill */";
+      Line = format("psp[%lld] = ", static_cast<long long>(In.Imm.I)) +
+             preg(In.A) + ";";
       break;
     }
     Out += "  " + Line + "\n";
   }
   if (Labels.count(static_cast<int32_t>(F.Code.size())))
-    Out += format("L%zu:\n  return 0;\n", F.Code.size());
+    Out += format("L%zu:;\n  return 0;\n", F.Code.size());
+  else if (F.Code.empty() || F.Code.back().Op != Opcode::Ret)
+    Out += "  return 0;\n"; // -Wreturn-type: no path may fall off the end
   Out += "}\n";
   return Out;
 }

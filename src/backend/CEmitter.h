@@ -7,12 +7,13 @@
 /// \file
 /// The source code generator's textual backend (Section 2.6: "in
 /// speculative mode, the code generator builds C or Fortran source code,
-/// which is then compiled and linked with platform native tools"). This
-/// reproduction executes compiled code in the register VM instead
-/// (DESIGN.md substitution #2), but the C emitter renders the same IR as a
-/// self-contained C translation unit against an mlf-style runtime shim —
-/// the Figure 3 artifact. The output is for inspection/export; it is not
-/// compiled back in.
+/// which is then compiled and linked with platform native tools"). The
+/// emitter renders compiled IR as a self-contained C translation unit
+/// against the mlf-style runtime interface in majic_mlf.h (the Figure 3
+/// artifact). The output is live code: the native tier compiles it with
+/// the system C compiler and runs the result in place of the register VM
+/// (see native/NativeCompiler.h), so it must build warning-clean under
+/// `-std=c11 -Wall -Werror` and reproduce the VM's results bit for bit.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,8 +27,9 @@
 
 namespace majic {
 
-/// Renders unallocated IR as C source. The signature is emitted as the
-/// Figure 3 style itype/shape/limits comment block.
+/// Renders IR (allocated or not - spill slots become local arrays) as C
+/// source. The signature is emitted as the Figure 3 style
+/// itype/shape/limits comment block.
 std::string emitCSource(const IRFunction &F, const TypeSignature &Sig);
 
 } // namespace majic

@@ -6,6 +6,7 @@
 
 #include "backend/VM.h"
 
+#include "backend/ExecShared.h"
 #include "obs/Trace.h"
 #include "runtime/Blas.h"
 #include "runtime/Builtins.h"
@@ -38,62 +39,14 @@ bool evalCond(CondCode CC, double A, double B) {
   majic_unreachable("invalid condition code");
 }
 
-/// Promotes the array's class tag when storing an element of class \p C.
-void promoteClass(Value &V, MClass C) {
-  if (V.mclass() == MClass::String)
-    throw MatlabError("cannot index-assign into a string");
-  if (static_cast<int>(C) > static_cast<int>(V.mclass()) &&
-      C != MClass::Complex)
-    V.setClass(C);
-}
-
-/// Direct element store with complex-imaginary clearing.
-inline void storeDirect(Value &V, size_t Idx, double X) {
-  V.reRef(Idx) = X;
-  if (V.isComplex())
-    V.imRef(Idx) = 0.0;
-}
-
-/// Domain guards for optimistically typed math intrinsics (Section 2.4's
-/// guarded-intrinsic story): violation triggers deoptimization.
-inline void checkIntrinsicGuard(ScalarIntrinsic Intr, double X) {
-  switch (Intr) {
-  case ScalarIntrinsic::Sqrt:
-  case ScalarIntrinsic::Log:
-  case ScalarIntrinsic::Log2:
-  case ScalarIntrinsic::Log10:
-    if (X < 0)
-      throw DeoptError{Intr, X};
-    return;
-  case ScalarIntrinsic::Asin:
-  case ScalarIntrinsic::Acos:
-    if (X < -1 || X > 1)
-      throw DeoptError{Intr, X};
-    return;
-  default:
-    return;
-  }
-}
-
-Value &requireValue(const ValuePtr &P) {
-  if (!P)
-    throw MatlabError("internal: use of an empty value register");
-  return *P;
-}
-
-/// Real-extraction guard: codegen routes a value through F registers only
-/// when inference typed it real, and under optimistic real-math that typing
-/// is a speculation (sqrt/log/... assumed to stay in domain). A complex
-/// value reaching an F extraction means the speculation failed - reading
-/// just the real part would silently drop the imaginary half - so
-/// deoptimize and let the replay produce the general complex result.
-/// Pessimistic code never selects an F path for a possibly-complex value,
-/// so this cannot fire twice.
-const Value &requireRealData(const Value &V) {
-  if (V.isComplex())
-    throw DeoptError{ScalarIntrinsic::None, 0.0};
-  return V;
-}
+// Semantics helpers shared with the native tier (backend/ExecShared.h):
+// both tiers must promote classes, guard intrinsics, and validate register
+// contents identically.
+using exec::checkIntrinsicGuard;
+using exec::promoteClass;
+using exec::requireRealData;
+using exec::requireValue;
+using exec::storeDirect;
 
 /// Minimum elements before the fused elementwise loop goes parallel
 /// (matches the interpreter's ElemGrain: these loops are memory-bound).
@@ -124,80 +77,15 @@ Value runEwFuse(const IRFunction &F, const Instr &In,
   // arrays; a complex or string value reaching one anyway means an
   // optimistic assumption failed, so deoptimize (the interpreter fallback
   // produces the general-semantics result) rather than risk divergence.
+  // The operand checks and the Pass-1 shape/class simulation live in
+  // exec::ewSimulate, shared verbatim with the native tier's allocation
+  // shim so both tiers raise identical errors and allocate identically.
   std::vector<const Value *> Ops(NumOps);
-  for (int32_t K = 0; K != NumOps; ++K) {
-    const Value &V = requireValue(PR[F.Pool[In.B + K]]);
-    if (V.isComplex() || V.mclass() == MClass::String)
-      throw DeoptError{ScalarIntrinsic::None, 0.0};
-    Ops[K] = &V;
-  }
+  for (int32_t K = 0; K != NumOps; ++K)
+    Ops[K] = PR[F.Pool[In.B + K]].get();
 
-  // Pass 1 - shape/class simulation, mirroring the interpreter's unfused
-  // chain: scalars (1x1) broadcast, equal shapes pass, anything else
-  // throws the interpreter's exact dimension error at the same operator.
-  // Classes follow arithResultClass: int-preserving ops keep int-like
-  // (Int/Bool) operands Int; division, power, and math builtins give Real.
-  struct SimSlot {
-    size_t R, C;
-    bool Scalar, IntLike;
-  };
-  SimSlot Sim[ew::kMaxEwStack];
-  int SP = 0;
-  for (size_t K = 0; K != ProgLen; ++K) {
-    int32_t Arg = ew::argOf(Prog[K]);
-    switch (ew::opOf(Prog[K])) {
-    case ew::EwOp::Push: {
-      const Value &V = *Ops[Arg];
-      MClass MC = V.mclass();
-      Sim[SP++] = {V.rows(), V.cols(), V.isScalar(),
-                   MC == MClass::Int || MC == MClass::Bool};
-      break;
-    }
-    case ew::EwOp::Bin: {
-      auto Op = static_cast<rt::BinOp>(Arg);
-      SimSlot &L = Sim[SP - 2], &R = Sim[SP - 1];
-      --SP;
-      // MatMul (*) and MatRDiv (/) were fused because one side was typed
-      // scalar; if the runtime value disagrees, the op is a real matrix
-      // product/solve - deoptimize so the interpreter's general path
-      // (and its distinct error messages) takes over.
-      if ((Op == rt::BinOp::MatMul && !L.Scalar && !R.Scalar) ||
-          (Op == rt::BinOp::MatRDiv && !R.Scalar))
-        throw DeoptError{ScalarIntrinsic::None, 0.0};
-      size_t RR, RC;
-      if (L.Scalar) {
-        RR = R.R;
-        RC = R.C;
-      } else if (R.Scalar) {
-        RR = L.R;
-        RC = L.C;
-      } else if (L.R == R.R && L.C == R.C) {
-        RR = L.R;
-        RC = L.C;
-      } else {
-        throw MatlabError(format(
-            "matrix dimensions must agree for operator '%s' (%zux%zu vs "
-            "%zux%zu)",
-            rt::binOpName(Op), L.R, L.C, R.R, R.C));
-      }
-      bool Preserving = Op == rt::BinOp::Add || Op == rt::BinOp::Sub ||
-                        Op == rt::BinOp::ElemMul || Op == rt::BinOp::MatMul;
-      L = {RR, RC, RR == 1 && RC == 1,
-           Preserving && L.IntLike && R.IntLike};
-      break;
-    }
-    case ew::EwOp::Neg:
-      // Negation preserves shape; Bool negates to Int, both int-like.
-      break;
-    case ew::EwOp::Intr:
-      Sim[SP - 1].IntLike = false; // math builtins produce Real arrays
-      break;
-    }
-  }
-
-  size_t Rows = Sim[0].R, Cols = Sim[0].C;
-  Value Out =
-      Value::uninit(Rows, Cols, Sim[0].IntLike ? MClass::Int : MClass::Real);
+  exec::EwPlan Plan = exec::ewSimulate(Ops.data(), NumOps, Prog, ProgLen);
+  Value Out = Value::uninit(Plan.Rows, Plan.Cols, Plan.Class);
   size_t N = Out.numel();
   if (N == 0)
     return Out;

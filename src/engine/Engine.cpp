@@ -7,7 +7,9 @@
 #include "engine/Engine.h"
 
 #include "analysis/Inliner.h"
+#include "backend/CEmitter.h"
 #include "infer/Speculate.h"
+#include "ir/Serialize.h"
 #include "obs/Trace.h"
 #include "support/FaultInjection.h"
 #include "support/Hashing.h"
@@ -96,6 +98,19 @@ Engine::Engine(EngineOptions OptsIn) : Opts(std::move(OptsIn)) {
       OwnsMemLimit = true;
     }
   }
+  // Native-tier knobs resolve before the config hash computes: the tier
+  // flag is part of the shared-cache key. MAJIC_NATIVE opts in without
+  // recompiling the embedder (the same pattern as MAJIC_NO_FUSION).
+  if (const char *Env = std::getenv("MAJIC_NATIVE"); Env && *Env)
+    Opts.NativeTier = true;
+  if (Opts.NativeCC.empty()) {
+    if (const char *Env = std::getenv("MAJIC_NATIVE_CC"); Env && *Env)
+      Opts.NativeCC = Env;
+    else
+      Opts.NativeCC = "cc";
+  }
+  if (uint64_t Hot = envLimit("MAJIC_NATIVE_HOT"))
+    Opts.NativeHotThreshold = static_cast<unsigned>(Hot);
   CfgHash = sharedCacheConfigHash(Opts);
   Repo.setVersionCap(Opts.MaxVersionsPerFunction);
   // Wire the observability subsystem. The repository's hit/miss/eviction
@@ -106,6 +121,10 @@ Engine::Engine(EngineOptions OptsIn) : Opts(std::move(OptsIn)) {
   Metrics.registerCounter("engine.interp_fallbacks", InterpFallbacks);
   Metrics.registerCounter("engine.jit_compiles", JitCompiles);
   Metrics.registerCounter("engine.deopts", Deopts);
+  Metrics.registerCounter("native.compiles", NativeCompiles);
+  Metrics.registerCounter("native.failures", NativeFailures);
+  Metrics.registerCounter("native.deopts", NativeDeopts);
+  Metrics.registerCounter("native.hits", NativeHits);
   Metrics.registerCounter("spec.queued", Spec.Queued);
   Metrics.registerCounter("spec.completed", Spec.Completed);
   Metrics.registerCounter("spec.dropped", Spec.Dropped);
@@ -148,6 +167,12 @@ Engine::Engine(EngineOptions OptsIn) : Opts(std::move(OptsIn)) {
     par::setComputeThreads(Opts.ComputeThreads);
   Machine = std::make_unique<VM>(Ctx, *this);
   Interp = std::make_unique<Interpreter>(Ctx, *this);
+  // Third tier: probe the system C compiler once (out of process, with a
+  // deadline). An unprobeable compiler leaves available() false and the
+  // engine permanently on the VM - opting in never risks correctness.
+  NativeHostAdapter.E = this;
+  if (Opts.NativeTier)
+    NativeComp = std::make_unique<native::NativeCompiler>(Opts.NativeCC);
   // Open the persistent repository (warm start): sweep temp files a crashed
   // save left behind, then read and validate every entry. Entries wait in
   // PendingWarm until their source is loaded - only then can the source
@@ -161,6 +186,24 @@ Engine::Engine(EngineOptions OptsIn) : Opts(std::move(OptsIn)) {
     Store->sweepTemps();
     for (RepoStore::Entry &E : Store->loadAll())
       PendingWarm[E.Obj.FunctionName].push_back(std::move(E));
+    if (NativeComp && NativeComp->available()) {
+      // Native payloads carry a narrower stamp: the ABI version plus the
+      // compiler's identification line fold into the extra, so a cc
+      // upgrade or an ABI bump turns last session's .so files into
+      // routine skew rather than loadable code. With the compiler absent
+      // the .mjn files are left untouched - their provenance cannot be
+      // re-validated, and the tier is dormant anyway.
+      struct {
+        uint32_t Abi;
+        uint32_t Zero;
+        uint64_t CompilerId;
+      } StampFacts = {native::kNativeABIVersion, 0,
+                      hashing::fnv1a(NativeComp->compilerId())};
+      Store->setNativeStampExtra(hashing::fnv1a(
+          &StampFacts, sizeof(StampFacts), hashing::fnv1a("majic-native")));
+      for (RepoStore::NativeEntry &E : Store->loadAllNative())
+        PendingNativeWarm[E.FunctionName].push_back(std::move(E));
+    }
   }
   // The profile summary lives beside the .mjo entries unless an explicit
   // profile directory points elsewhere. Persisted counts merge into the
@@ -266,8 +309,17 @@ void Engine::shutdown() {
         ++It;
       }
     }
-    SpecIdleCv.wait(
-        L, [this] { return PendingCompiles == 0 && PendingSaves == 0; });
+    for (auto It = QueuedNativeIds.begin(); It != QueuedNativeIds.end();) {
+      if (SpecPool->cancel(*It)) {
+        --PendingNative;
+        It = QueuedNativeIds.erase(It);
+      } else {
+        ++It;
+      }
+    }
+    SpecIdleCv.wait(L, [this] {
+      return PendingCompiles == 0 && PendingSaves == 0 && PendingNative == 0;
+    });
     SpecPool = nullptr;
   }
   // Persist the profile summary now that all recording is quiesced; the
@@ -294,7 +346,7 @@ uint64_t Engine::sharedCacheConfigHash(const EngineOptions &Opts) {
   // deliberately absent: they steer *when* compilation happens, not what
   // it produces.
   char Buf[160];
-  std::snprintf(Buf, sizeof(Buf), "%s|%u|%u|%u|%d|%u|%d|%d|%d|%u|%d|%d|%d",
+  std::snprintf(Buf, sizeof(Buf), "%s|%u|%u|%u|%d|%u|%d|%d|%d|%u|%d|%d|%d|%d",
                 Opts.Platform.Name.c_str(), Opts.Platform.NumFRegs,
                 Opts.Platform.NumIRegs, Opts.Platform.NumPRegs,
                 int(Opts.Platform.JitUnrollsSmallVectors),
@@ -302,7 +354,7 @@ uint64_t Engine::sharedCacheConfigHash(const EngineOptions &Opts) {
                 int(Opts.Infer.EnableMinShapes),
                 int(Opts.Infer.OptimisticRealMath), Opts.Infer.MaxPasses,
                 int(Opts.RegAlloc.SpillEverything), int(Opts.InlineCalls),
-                int(Opts.FuseElementwise));
+                int(Opts.FuseElementwise), int(Opts.NativeTier));
   return hashing::fnv1a(Buf);
 }
 
@@ -588,6 +640,35 @@ void Engine::adoptWarmEntries(const std::string &Name, uint64_t SrcHash) {
       // loading must never take the engine down.
     }
   }
+  // The native half of the warm start: a validated .mjn whose source hash
+  // still matches dlopens straight into a Ready version - machine code
+  // with zero compiler invocations. Any loader refusal (injected fault,
+  // ABI drift the stamp missed) discards the file and the function simply
+  // stays on the VM until re-promoted.
+  auto NIt = PendingNativeWarm.find(Name);
+  if (NIt == PendingNativeWarm.end())
+    return;
+  std::vector<RepoStore::NativeEntry> NEntries = std::move(NIt->second);
+  PendingNativeWarm.erase(NIt);
+  for (RepoStore::NativeEntry &E : NEntries) {
+    if (E.SourceHash != SrcHash) {
+      Store->discardStale(E.Path);
+      continue;
+    }
+    try {
+      std::vector<uint8_t> So(E.SoBytes.begin(), E.SoBytes.end());
+      std::shared_ptr<native::NativeModule> Mod =
+          native::NativeCompiler::load(So, E.FunctionName, E.NumOuts);
+      std::lock_guard<std::mutex> L(SpecMutex);
+      NativeVersion &NV = NativeVersions[nativeKey(Name, E.Sig)];
+      NV.St = NativeVersion::State::Ready;
+      NV.Module = std::move(Mod);
+      obs::traceInstant("warm.adopt_native", "native", Name);
+    } catch (...) {
+      NativeFailures.inc();
+      Store->discardStale(E.Path);
+    }
+  }
 }
 
 void Engine::saveToStore(const CompiledObject &Obj) {
@@ -677,9 +758,11 @@ void Engine::runStoreSave(RepoStore &S, const CompiledObject &Obj,
 
 void Engine::flushRepoStore() {
   // A compile still in flight may yet queue a save, so wait out both.
+  // Native compile tasks save their .so inline, so they count too.
   std::unique_lock<std::mutex> L(SpecMutex);
-  SpecIdleCv.wait(L,
-                  [this] { return PendingSaves == 0 && PendingCompiles == 0; });
+  SpecIdleCv.wait(L, [this] {
+    return PendingSaves == 0 && PendingCompiles == 0 && PendingNative == 0;
+  });
 }
 
 RepoStoreStats Engine::repoStoreStats() const {
@@ -1001,8 +1084,11 @@ void Engine::backgroundCompile(std::string Name,
 }
 
 void Engine::drainCompiles() {
+  // Native compiles count as compiles: tests that drain before asserting
+  // on tier state must not race the background cc invocation.
   std::unique_lock<std::mutex> L(SpecMutex);
-  SpecIdleCv.wait(L, [this] { return PendingCompiles == 0; });
+  SpecIdleCv.wait(
+      L, [this] { return PendingCompiles == 0 && PendingNative == 0; });
 }
 
 bool Engine::speculationInFlight(const std::string &Name) const {
@@ -1036,6 +1122,17 @@ void Engine::invalidateFunction(const std::string &Name) {
   // old generation's compile.
   Quarantined.erase(Name);
   Repo.invalidate(Name);
+  // Native versions compiled from the old source must not serve the new
+  // one. Warm .mjn entries stay pending: like PendingWarm above them,
+  // they carry the source hash they were compiled from, and adoption
+  // discards the stale ones itself.
+  std::string Prefix = Name + '\0';
+  for (auto It = NativeVersions.begin(); It != NativeVersions.end();) {
+    if (It->first.rfind(Prefix, 0) == 0)
+      It = NativeVersions.erase(It);
+    else
+      ++It;
+  }
 }
 
 void Engine::noteCompileFailure(const std::string &Name, uint64_t Gen) {
@@ -1229,6 +1326,13 @@ obs::MetricsSnapshot Engine::sampleMetrics() {
   Metrics.gauge("repo.store.profiles_quarantined")
       .set(int64_t(SS.ProfilesQuarantined));
   Metrics.gauge("repo.store.profiles_skewed").set(int64_t(SS.ProfilesSkewed));
+  Metrics.gauge("repo.store.native_saved").set(int64_t(SS.NativeSaved));
+  Metrics.gauge("repo.store.native_save_failures")
+      .set(int64_t(SS.NativeSaveFailures));
+  Metrics.gauge("repo.store.native_loaded").set(int64_t(SS.NativeLoaded));
+  Metrics.gauge("repo.store.native_quarantined")
+      .set(int64_t(SS.NativeQuarantined));
+  Metrics.gauge("repo.store.native_skewed").set(int64_t(SS.NativeSkewed));
   Metrics.gauge("repo.objects").set(int64_t(Repo.totalObjects()));
   Metrics.gauge("engine.quarantined").set(int64_t(quarantineCount()));
   par::ComputePoolSample CP = par::sampleComputePool();
@@ -1400,6 +1504,204 @@ bool Engine::knowsFunction(const std::string &Name) {
   return Functions.count(Name) != 0;
 }
 
+std::string Engine::nativeKey(const std::string &Name,
+                              const TypeSignature &Sig) {
+  ser::ByteWriter W;
+  ser::writeTypeSignature(W, Sig);
+  return Name + '\0' +
+         format("%016llx",
+                static_cast<unsigned long long>(hashing::fnv1a(W.bytes())));
+}
+
+std::vector<ValuePtr> Engine::NativeHostBridge::callFunction(
+    const std::string &Name, std::vector<ValuePtr> Args, size_t NumOuts) {
+  return E->callFunction(Name, std::move(Args), NumOuts, SourceLoc());
+}
+
+std::shared_ptr<native::NativeModule>
+Engine::nativeModuleFor(const CompiledObject &Obj) {
+  std::string Key = nativeKey(Obj.FunctionName, Obj.Sig);
+  {
+    std::lock_guard<std::mutex> L(SpecMutex);
+    auto It = NativeVersions.find(Key);
+    if (It != NativeVersions.end())
+      return It->second.St == NativeVersion::State::Ready ? It->second.Module
+                                                          : nullptr;
+  }
+  if (!NativeComp->available())
+    return nullptr;
+  // Promotion is profile-guided: the function must have earned the
+  // hotness threshold (counting invocations persisted from previous
+  // sessions, so a warm start re-promotes immediately).
+  if (Profiles.invocations(Obj.FunctionName) < Opts.NativeHotThreshold)
+    return nullptr;
+  std::shared_ptr<const IRFunction> Code = Obj.Code;
+  {
+    std::unique_lock<std::mutex> L(SpecMutex);
+    if (Draining)
+      return nullptr;
+    auto [It, New] = NativeVersions.emplace(Key, NativeVersion());
+    if (!New)
+      return It->second.St == NativeVersion::State::Ready ? It->second.Module
+                                                          : nullptr;
+    // Compile off-thread when a pool exists: the invocation that crossed
+    // the threshold still runs on the VM while cc works in the
+    // background (the paper's "the user never waits", applied to a
+    // compiler we do not control). The id bookkeeping mirrors
+    // saveToStore so shutdown can cancel queued tasks.
+    if (SpecPool && !Draining) {
+      ++PendingNative;
+      auto IdBox = std::make_shared<ThreadPool::TaskId>(0);
+      try {
+        ThreadPool::TaskId Id = SpecPool->enqueue(
+            [this, Name = Obj.FunctionName, Sig = Obj.Sig, Code, IdBox] {
+              {
+                std::lock_guard<std::mutex> L2(SpecMutex);
+                QueuedNativeIds.erase(*IdBox);
+              }
+              buildNative(Name, Sig, Code);
+              {
+                std::lock_guard<std::mutex> L2(SpecMutex);
+                --PendingNative;
+              }
+              SpecIdleCv.notify_all();
+            });
+        *IdBox = Id;
+        QueuedNativeIds.insert(Id);
+        return nullptr;
+      } catch (...) {
+        // Injected pool-enqueue fault: fall through to the synchronous
+        // path below.
+        --PendingNative;
+      }
+    }
+  }
+  buildNative(Obj.FunctionName, Obj.Sig, Code);
+  std::lock_guard<std::mutex> L(SpecMutex);
+  auto It = NativeVersions.find(Key);
+  if (It != NativeVersions.end() && It->second.St == NativeVersion::State::Ready)
+    return It->second.Module;
+  return nullptr;
+}
+
+void Engine::buildNative(const std::string &Name, const TypeSignature &Sig,
+                         std::shared_ptr<const IRFunction> Code) {
+  std::string Key = nativeKey(Name, Sig);
+  std::shared_ptr<native::NativeModule> Mod;
+  std::vector<uint8_t> So;
+  try {
+    std::string CSource = emitCSource(*Code, Sig);
+    So = NativeComp->compile(CSource, Name);
+    Mod = native::NativeCompiler::load(So, Name, Code->NumOuts);
+  } catch (...) {
+    // Compiler crash, timeout, -Werror rejection, loader refusal,
+    // injected fault: the version pins to the VM tier, and the engine
+    // does not retry until the source changes. The native tier must
+    // never take the engine down or change observable results.
+    NativeFailures.inc();
+    obs::traceInstant("native.fail", "native", Name);
+    std::lock_guard<std::mutex> L(SpecMutex);
+    NativeVersions[Key].St = NativeVersion::State::Failed;
+    return;
+  }
+  NativeCompiles.inc();
+  obs::traceInstant("native.promote", "native", Name);
+  uint32_t NumOuts = static_cast<uint32_t>(Mod->numOuts());
+  {
+    std::lock_guard<std::mutex> L(SpecMutex);
+    NativeVersion &NV = NativeVersions[Key];
+    NV.St = NativeVersion::State::Ready;
+    NV.Module = std::move(Mod);
+  }
+  // Persist the .so beside the .mjo so the next session warm-starts into
+  // machine code with zero compiler invocations. Same erased-function
+  // tombstone discipline as runStoreSave.
+  if (!Store)
+    return;
+  uint64_t SrcHash;
+  {
+    std::lock_guard<std::mutex> L(SpecMutex);
+    if (ErasedFns.count(Name))
+      return;
+    auto It = SourceHashByFn.find(Name);
+    if (It == SourceHashByFn.end())
+      return;
+    SrcHash = It->second;
+  }
+  Store->saveNative(Name, Sig, NumOuts,
+                    std::string(So.begin(), So.end()), SrcHash);
+  bool Erased;
+  {
+    std::lock_guard<std::mutex> L(SpecMutex);
+    Erased = ErasedFns.count(Name) != 0;
+  }
+  if (Erased)
+    Store->eraseNative(Name);
+}
+
+void Engine::quarantineNative(const std::string &Name,
+                              const TypeSignature &Sig) {
+  {
+    std::lock_guard<std::mutex> L(SpecMutex);
+    NativeVersion &NV = NativeVersions[nativeKey(Name, Sig)];
+    NV.St = NativeVersion::State::Failed;
+    NV.Module.reset();
+  }
+  // Drop the on-disk entries too: code that failed at run time must not
+  // resurrect on the next warm start.
+  if (Store)
+    Store->eraseNative(Name);
+  obs::traceInstant("native.quarantine", "native", Name);
+}
+
+bool Engine::runNativeTier(const CompiledObject &Obj,
+                           const std::vector<ValuePtr> &Args, size_t NumOuts,
+                           const Rng &SavedRand, size_t OutputMark,
+                           std::vector<ValuePtr> &Out) {
+  std::shared_ptr<native::NativeModule> Mod = nativeModuleFor(Obj);
+  if (!Mod)
+    return false;
+  // Genuine MATLAB errors propagate exactly as from the VM; everything
+  // else the tier can fail with - deopt guards, injected faults -
+  // restores the snapshots and degrades to the VM, so the tiers are
+  // distinguishable only by speed.
+  try {
+    NativeHits.inc();
+    if (CallDepth == 1) {
+      ScopedPhaseTimer T(Phases, Phase::Execute);
+      Timer Run;
+      Out = native::runNative(Mod->entry(), Obj.FunctionName, Mod->numOuts(),
+                              Ctx, NativeHostAdapter, Args, NumOuts);
+      Profiles.recordNativeRun(Obj.FunctionName, Run.seconds());
+      return true;
+    }
+    Out = native::runNative(Mod->entry(), Obj.FunctionName, Mod->numOuts(),
+                            Ctx, NativeHostAdapter, Args, NumOuts);
+    return true;
+  } catch (const DeoptError &) {
+    // An optimistic guard failed inside machine code. Quarantine the
+    // module and fall back to the VM: it re-runs with identical state,
+    // and its own DeoptError handling performs the pessimistic recompile
+    // when the guard fails there too.
+    NativeDeopts.inc();
+    quarantineNative(Obj.FunctionName, Obj.Sig);
+    Ctx.Rand = SavedRand;
+    Ctx.truncateOutput(OutputMark);
+  } catch (const MatlabError &) {
+    // The program's own error (bad subscript, undefined variable,
+    // interrupt, resource limit): the VM would raise it identically.
+    throw;
+  } catch (...) {
+    // Injected fault or native-side surprise: never let the tier take
+    // the engine down - quarantine and serve from the VM.
+    NativeFailures.inc();
+    quarantineNative(Obj.FunctionName, Obj.Sig);
+    Ctx.Rand = SavedRand;
+    Ctx.truncateOutput(OutputMark);
+  }
+  return false;
+}
+
 std::vector<ValuePtr> Engine::runCompiled(const CompiledObject &Obj,
                                           std::vector<ValuePtr> Args,
                                           size_t NumOuts) {
@@ -1407,6 +1709,16 @@ std::vector<ValuePtr> Engine::runCompiled(const CompiledObject &Obj,
   // identical work.
   Rng SavedRand = Ctx.Rand;
   size_t OutputMark = Ctx.output().size();
+  // Third tier: machine code when this (function, signature) version has
+  // been promoted. Outlined (never inlined) so the tier's locals and
+  // exception tables stay off runCompiled's frame - this function is on
+  // the VM's call-recursion cycle and its frame size bounds how deep the
+  // MaxCallDepth guard can actually be reached.
+  if (NativeComp) {
+    std::vector<ValuePtr> NativeOut;
+    if (runNativeTier(Obj, Args, NumOuts, SavedRand, OutputMark, NativeOut))
+      return NativeOut;
+  }
   try {
     if (CallDepth == 1) {
       ScopedPhaseTimer T(Phases, Phase::Execute);

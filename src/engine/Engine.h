@@ -30,6 +30,8 @@
 #include "backend/Compiler.h"
 #include "backend/VM.h"
 #include "interp/Interpreter.h"
+#include "native/NativeCompiler.h"
+#include "native/NativeRuntime.h"
 #include "obs/Metrics.h"
 #include "obs/Profile.h"
 #include "repo/RepoStore.h"
@@ -99,6 +101,23 @@ struct EngineOptions {
   /// A/B measurement without recompiling the embedder.
   bool FuseElementwise = true;
   uint64_t RandSeed = 0x9e3779b97f4a7c15ull;
+  /// Third execution tier above the register VM: hot compiled functions
+  /// are rendered to C, compiled out of process by the system C compiler,
+  /// and dlopen'd; subsequent invocations run machine code. Off by
+  /// default (tier-1 behavior is unchanged); the MAJIC_NATIVE environment
+  /// variable (any non-empty value) turns it on without recompiling the
+  /// embedder. Every native-tier failure - missing compiler, compile
+  /// error, load error, runtime deopt - degrades transparently to the VM.
+  bool NativeTier = false;
+  /// C compiler driver for the native tier. Empty falls back to the
+  /// MAJIC_NATIVE_CC environment variable, then to "cc". An unusable
+  /// compiler leaves the tier dormant: everything runs on the VM.
+  std::string NativeCC;
+  /// Recorded invocations of a function (FunctionProfiles counts,
+  /// including counts persisted from previous sessions) before a compiled
+  /// version is promoted to the native tier. The MAJIC_NATIVE_HOT
+  /// environment variable (a positive integer) overrides.
+  unsigned NativeHotThreshold = 3;
   /// C-stack protection for recursive MATLAB programs.
   unsigned MaxCallDepth = 4000;
   /// Background speculative-compilation workers (Section 2.5: compilation
@@ -376,6 +395,19 @@ public:
   /// Number of deoptimizations (guard failures causing a recompile).
   uint64_t deoptimizations() const { return Deopts.value(); }
 
+  /// Native-tier counters (also published as native.* metrics): system-
+  /// compiler invocations that produced a module, failures at any stage,
+  /// guard failures inside machine code, and invocations served natively.
+  uint64_t nativeCompiles() const { return NativeCompiles.value(); }
+  uint64_t nativeFailures() const { return NativeFailures.value(); }
+  uint64_t nativeDeopts() const { return NativeDeopts.value(); }
+  uint64_t nativeHits() const { return NativeHits.value(); }
+
+  /// True when the native tier is on and its C compiler probed usable.
+  bool nativeTierAvailable() const {
+    return NativeComp && NativeComp->available();
+  }
+
   //===--------------------------------------------------------------------===
   // Observability
   //===--------------------------------------------------------------------===
@@ -533,6 +565,47 @@ private:
                                       std::vector<ValuePtr> Args,
                                       size_t NumOuts);
 
+  //===--------------------------------------------------------------------===
+  // Native tier internals
+  //===--------------------------------------------------------------------===
+
+  /// Map key of one native version: function name + '\0' + signature hash
+  /// (same hash the store's file names use).
+  static std::string nativeKey(const std::string &Name,
+                               const TypeSignature &Sig);
+
+  /// The ready native module for \p Obj, or null. Tracks per-version
+  /// promotion: once the function's recorded invocations reach the
+  /// hotness threshold, queues a native compile on the background pool
+  /// (or compiles synchronously without one) - so the first sighting
+  /// after the threshold still runs on the VM while cc works off-thread.
+  std::shared_ptr<native::NativeModule> nativeModuleFor(
+      const CompiledObject &Obj);
+
+  /// The native-tier leg of runCompiled: runs \p Obj's promoted module if
+  /// one is ready, handling deopt/fault degradation. Returns true with
+  /// \p Out filled when the native tier served the call. Deliberately
+  /// never inlined: runCompiled sits on the VM's call-recursion cycle,
+  /// and keeping this leg's locals and exception machinery out of that
+  /// frame keeps the MaxCallDepth guard reachable on sanitizer stacks.
+  [[gnu::noinline]] bool runNativeTier(const CompiledObject &Obj,
+                                       const std::vector<ValuePtr> &Args,
+                                       size_t NumOuts, const Rng &SavedRand,
+                                       size_t OutputMark,
+                                       std::vector<ValuePtr> &Out);
+
+  /// Emits C for \p Code, drives the system compiler, loads the result,
+  /// publishes the module, and persists the .so bytes beside the .mjo.
+  /// Never throws: any failure marks the version Failed (VM from then on).
+  void buildNative(const std::string &Name, const TypeSignature &Sig,
+                   std::shared_ptr<const IRFunction> Code);
+
+  /// Drops one native version after a runtime failure (deopt, injected
+  /// fault): the module is discarded, the version pinned to the VM, and
+  /// the function's on-disk .mjn entries erased so the next session does
+  /// not resurrect the bad code.
+  void quarantineNative(const std::string &Name, const TypeSignature &Sig);
+
   /// Records one observation of \p Sig on \p LF (count bump, publishing
   /// the most-called signature for the speculation workers) and returns
   /// its cached rendering for the profile layer.
@@ -593,6 +666,43 @@ private:
   obs::Counter InterpFallbacks; ///< registered as "engine.interp_fallbacks"
   obs::Counter JitCompiles;     ///< registered as "engine.jit_compiles"
   obs::Counter Deopts;          ///< registered as "engine.deopts"
+  obs::Counter NativeCompiles;  ///< registered as "native.compiles"
+  obs::Counter NativeFailures;  ///< registered as "native.failures"
+  obs::Counter NativeDeopts;    ///< registered as "native.deopts"
+  obs::Counter NativeHits;      ///< registered as "native.hits"
+
+  //===--------------------------------------------------------------------===
+  // Native tier state
+  //===--------------------------------------------------------------------===
+
+  /// Bridges Opcode::CallU from machine code back into the engine's own
+  /// dispatch (repository lookup, tiering, interpreter fallback).
+  struct NativeHostBridge : native::NativeHost {
+    Engine *E = nullptr;
+    std::vector<ValuePtr> callFunction(const std::string &Name,
+                                       std::vector<ValuePtr> Args,
+                                       size_t NumOuts) override;
+  } NativeHostAdapter;
+  /// Present when NativeTier is on (even if the compiler probe failed -
+  /// available() distinguishes). Null when the tier is off.
+  std::unique_ptr<native::NativeCompiler> NativeComp;
+  /// One (function, signature) version's place in the tier. Guarded by
+  /// SpecMutex: workers publish Ready modules, the engine thread reads.
+  struct NativeVersion {
+    enum class State { Pending, Ready, Failed } St = State::Pending;
+    std::shared_ptr<native::NativeModule> Module;
+  };
+  std::unordered_map<std::string, NativeVersion> NativeVersions;
+  /// Validated .mjn entries waiting for their source (and its hash) to be
+  /// loaded, exactly like PendingWarm. Engine-thread only.
+  std::unordered_map<std::string, std::vector<RepoStore::NativeEntry>>
+      PendingNativeWarm;
+  /// Pool task ids of native compiles still in the queue; shutdown on a
+  /// shared pool cancels through these. Guarded by SpecMutex.
+  std::unordered_set<ThreadPool::TaskId> QueuedNativeIds;
+  /// Native compiles queued or running on the pool. Guarded by SpecMutex;
+  /// drainCompiles/flushRepoStore/shutdown wait on it via SpecIdleCv.
+  unsigned PendingNative = 0;
   /// True when this engine installed the process-wide memory limit (so the
   /// destructor knows to lift it).
   bool OwnsMemLimit = false;

@@ -1,0 +1,102 @@
+//===- native/NativeCompiler.h - Out-of-process C compilation ---*- C++ -*-===//
+//
+// Part of the MaJIC reproduction. Distributed under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives the system C compiler to turn `emitCSource` output into loadable
+/// shared objects, and loads the resulting bytes without touching the
+/// filesystem (memfd + /proc/self/fd). The compiler runs out of process
+/// with a hard deadline, so a hung or crashing `cc` costs one native
+/// compilation, never the engine. All failures throw MatlabError; callers
+/// (the engine's tiering logic) treat any throw as "this function stays
+/// on the VM tier".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MAJIC_NATIVE_NATIVECOMPILER_H
+#define MAJIC_NATIVE_NATIVECOMPILER_H
+
+#include "native/NativeABI.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace majic {
+namespace native {
+
+/// A loaded native module. Owns the dlopen handle and the memfd behind
+/// the /proc/self/fd path it was loaded from; the entry pointer is valid
+/// for the lifetime of this object. The fd must stay open as long as the
+/// module is loaded: dlopen deduplicates by pathname, so releasing the
+/// number would let a later load's /proc/self/fd/<N> path silently alias
+/// this module instead of mapping its own bytes.
+class NativeModule {
+public:
+  NativeModule(void *Handle, NativeEntryFn Entry, std::string Name,
+               size_t NumOuts, int MemFd = -1)
+      : Handle(Handle), Entry(Entry), Name(std::move(Name)),
+        NumOuts(NumOuts), MemFd(MemFd) {}
+  NativeModule(const NativeModule &) = delete;
+  NativeModule &operator=(const NativeModule &) = delete;
+  ~NativeModule();
+
+  NativeEntryFn entry() const { return Entry; }
+  const std::string &name() const { return Name; }
+  size_t numOuts() const { return NumOuts; }
+
+private:
+  void *Handle;
+  NativeEntryFn Entry;
+  std::string Name;
+  size_t NumOuts;
+  int MemFd;
+};
+
+/// The entry-point symbol `emitCSource` gives a function - both sides of
+/// the dlsym handshake derive it from the same sanitized name.
+std::string entrySymbol(const std::string &FnName);
+
+class NativeCompiler {
+public:
+  /// Probes \p CompilerPath ("cc --version"); an unprobeable compiler
+  /// leaves the instance unavailable and every compile() failing, which
+  /// the engine's fallback turns into "VM tier only".
+  explicit NativeCompiler(std::string CompilerPath,
+                          int64_t TimeoutMs = 30000);
+
+  bool available() const { return !Id.empty(); }
+  const std::string &compilerPath() const { return Path; }
+
+  /// First line of `cc --version`, empty when unavailable. Folded into
+  /// the repository build stamp so a compiler upgrade invalidates cached
+  /// native payloads.
+  const std::string &compilerId() const { return Id; }
+
+  /// Compiles \p CSource (which includes "majic_mlf.h"; the prelude is
+  /// written beside it) with `-std=c11 -Wall -Werror -O2 -fPIC -shared
+  /// -fno-math-errno -ffp-contract=off` and returns the shared-object
+  /// bytes. Throws MatlabError with a stderr excerpt on any failure.
+  std::vector<uint8_t> compile(const std::string &CSource,
+                               const std::string &FnName) const;
+
+  /// Loads shared-object bytes through an anonymous memfd, resolves
+  /// majic_native_init and the entry symbol, and injects the host API
+  /// table. Throws MatlabError on loader failure or ABI-version refusal.
+  static std::unique_ptr<NativeModule>
+  load(const std::vector<uint8_t> &SoBytes, const std::string &FnName,
+       size_t NumOuts);
+
+private:
+  std::string Path;
+  std::string Id;
+  int64_t TimeoutMs;
+};
+
+} // namespace native
+} // namespace majic
+
+#endif // MAJIC_NATIVE_NATIVECOMPILER_H

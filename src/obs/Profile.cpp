@@ -51,6 +51,15 @@ void FunctionProfiles::recordInterpRun(const std::string &Name,
   E.InterpSeconds += Seconds;
 }
 
+void FunctionProfiles::recordNativeRun(const std::string &Name,
+                                       double Seconds) {
+  Shard &S = shardFor(Name);
+  std::lock_guard<std::mutex> L(S.M);
+  Entry &E = S.Map[Name];
+  ++E.NativeRuns;
+  E.NativeSeconds += Seconds;
+}
+
 void FunctionProfiles::recordCompile(const std::string &Name,
                                      double Seconds) {
   Shard &S = shardFor(Name);
@@ -97,8 +106,10 @@ FunctionProfile FunctionProfiles::toProfile(const std::string &Name,
   P.Invocations = E.Invocations;
   P.VmRuns = E.VmRuns;
   P.InterpRuns = E.InterpRuns;
+  P.NativeRuns = E.NativeRuns;
   P.VmSeconds = E.VmSeconds;
   P.InterpSeconds = E.InterpSeconds;
+  P.NativeSeconds = E.NativeSeconds;
   P.Compiles = E.Compiles;
   P.CompileSeconds = E.CompileSeconds;
   P.WarmStartAdoptions = E.WarmStartAdoptions;
@@ -158,8 +169,10 @@ std::string FunctionProfiles::json() const {
            "\", \"invocations\": " + std::to_string(P.Invocations) +
            ", \"vm_runs\": " + std::to_string(P.VmRuns) +
            ", \"interp_runs\": " + std::to_string(P.InterpRuns) +
+           ", \"native_runs\": " + std::to_string(P.NativeRuns) +
            ", \"vm_seconds\": " + jsonNumber(P.VmSeconds) +
            ", \"interp_seconds\": " + jsonNumber(P.InterpSeconds) +
+           ", \"native_seconds\": " + jsonNumber(P.NativeSeconds) +
            ", \"compiles\": " + std::to_string(P.Compiles) +
            ", \"compile_seconds\": " + jsonNumber(P.CompileSeconds) +
            ", \"warm_start_adoptions\": " +
@@ -188,20 +201,21 @@ std::string FunctionProfiles::renderTable(size_t Limit) const {
     return Out;
   Out += "function profiles (top by invocations):\n"
          "  function             calls  vm-runs  int-runs    vm ms   int ms"
-         "  compiles  top signature\n";
+         "  compiles  nat  top signature\n";
   char Line[256];
   for (size_t I = 0; I != All.size() && I != Limit; ++I) {
     const FunctionProfile &P = All[I];
     const char *TopSig =
         P.ArgSignatures.empty() ? "-" : P.ArgSignatures.front().first.c_str();
     std::snprintf(Line, sizeof(Line),
-                  "  %-18s %7llu %8llu %9llu %8.2f %8.2f %9llu  %s\n",
+                  "  %-18s %7llu %8llu %9llu %8.2f %8.2f %9llu  %3s  %s\n",
                   P.Name.c_str(),
                   static_cast<unsigned long long>(P.Invocations),
                   static_cast<unsigned long long>(P.VmRuns),
                   static_cast<unsigned long long>(P.InterpRuns),
                   P.VmSeconds * 1e3, P.InterpSeconds * 1e3,
-                  static_cast<unsigned long long>(P.Compiles), TopSig);
+                  static_cast<unsigned long long>(P.Compiles),
+                  P.NativeRuns ? "yes" : "-", TopSig);
     Out += Line;
   }
   return Out;

@@ -46,8 +46,10 @@ struct FunctionProfile {
   uint64_t Invocations = 0; ///< calls at every depth, however executed
   uint64_t VmRuns = 0;      ///< top-level executions on compiled code
   uint64_t InterpRuns = 0;  ///< top-level executions in the interpreter
+  uint64_t NativeRuns = 0;  ///< top-level executions on the native tier
   double VmSeconds = 0;     ///< inclusive top-level VM time
   double InterpSeconds = 0; ///< inclusive top-level interpreter time
+  double NativeSeconds = 0; ///< inclusive top-level native-tier time
   uint64_t Compiles = 0;
   double CompileSeconds = 0;
   uint64_t WarmStartAdoptions = 0;
@@ -67,6 +69,7 @@ public:
   void recordInvocation(const std::string &Name, const std::string &SigStr);
   void recordVmRun(const std::string &Name, double Seconds);
   void recordInterpRun(const std::string &Name, double Seconds);
+  void recordNativeRun(const std::string &Name, double Seconds);
   void recordCompile(const std::string &Name, double Seconds);
   void recordWarmAdoption(const std::string &Name);
   void recordDeopt(const std::string &Name);
@@ -102,8 +105,8 @@ public:
 private:
   struct Entry {
     uint64_t Invocations = 0;
-    uint64_t VmRuns = 0, InterpRuns = 0;
-    double VmSeconds = 0, InterpSeconds = 0;
+    uint64_t VmRuns = 0, InterpRuns = 0, NativeRuns = 0;
+    double VmSeconds = 0, InterpSeconds = 0, NativeSeconds = 0;
     uint64_t Compiles = 0;
     double CompileSeconds = 0;
     uint64_t WarmStartAdoptions = 0;

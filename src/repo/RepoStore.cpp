@@ -28,6 +28,9 @@ constexpr const char *kExtension = ".mjo";
 constexpr uint32_t kProfileMagic = 0x4d4a5046u; // "MJPF"
 constexpr uint32_t kProfileFormatVersion = 1;
 constexpr const char *kProfileExtension = ".mjp";
+constexpr uint32_t kNativeMagic = 0x4d4a4e42u; // "MJNB"
+constexpr uint32_t kNativeFormatVersion = 1;
+constexpr const char *kNativeExtension = ".mjn";
 /// Refuse to slurp absurdly large files: a cache entry is a few KB; a
 /// multi-megabyte one is damage, not data.
 constexpr uint64_t kMaxFileBytes = 64ull << 20;
@@ -52,6 +55,28 @@ uint64_t buildStamp() {
              static_cast<uint32_t>(sizeof(Type))};
   return hashing::fnv1a(&Facts, sizeof(Facts),
                         hashing::fnv1a("majic-repo-abi"));
+}
+
+/// The native payload stamp: machine code is a narrower ABI than
+/// serialized IR (it bakes in the marshalling struct layout, the shim
+/// table order, and the compiler that produced it), so .mjn files fold
+/// the engine-supplied extra - native ABI version plus a hash of the C
+/// compiler's identification line - on top of the code stamp. A compiler
+/// upgrade invalidates the cached .so while the .mjo beside it survives.
+uint64_t nativeStamp(uint64_t Extra) {
+  struct {
+    uint64_t Base;
+    uint64_t Extra;
+  } Facts = {buildStamp(), Extra};
+  return hashing::fnv1a(&Facts, sizeof(Facts),
+                        hashing::fnv1a("majic-native-abi"));
+}
+
+std::string sigHashHex(const TypeSignature &Sig) {
+  ser::ByteWriter SigBytes;
+  ser::writeTypeSignature(SigBytes, Sig);
+  return format("%016llx", static_cast<unsigned long long>(
+                               hashing::fnv1a(SigBytes.bytes())));
 }
 
 std::string payloadBytes(const CompiledObject &Obj) {
@@ -111,6 +136,7 @@ unsigned RepoStore::sweepTemps() {
     return 0;
   unsigned N = atomicfile::sweepTempFiles(Dir, kExtension);
   N += atomicfile::sweepTempFiles(Dir, kProfileExtension);
+  N += atomicfile::sweepTempFiles(Dir, kNativeExtension);
   std::lock_guard<std::mutex> L(Mutex);
   Stats.SweptTemps += N;
   return N;
@@ -133,11 +159,14 @@ std::string RepoStore::encode(const CompiledObject &Obj, uint64_t SourceHash) {
 std::string RepoStore::entryPath(const CompiledObject &Obj) const {
   // One file per (function, signature) version: the signature hash keys
   // the version, so recompiling the same signature overwrites in place.
-  ser::ByteWriter SigBytes;
-  ser::writeTypeSignature(SigBytes, Obj.Sig);
-  uint64_t SigHash = hashing::fnv1a(SigBytes.bytes());
-  return Dir + "/" + Obj.FunctionName + "." + format("%016llx",
-         static_cast<unsigned long long>(SigHash)) + kExtension;
+  return Dir + "/" + Obj.FunctionName + "." + sigHashHex(Obj.Sig) +
+         kExtension;
+}
+
+std::string RepoStore::nativePath(const std::string &FunctionName,
+                                  const TypeSignature &Sig) const {
+  // Same naming scheme as entryPath so the .so lands beside its .mjo.
+  return Dir + "/" + FunctionName + "." + sigHashHex(Sig) + kNativeExtension;
 }
 
 bool RepoStore::save(const CompiledObject &Obj, uint64_t SourceHash) {
@@ -256,6 +285,8 @@ std::vector<RepoStore::Entry> RepoStore::loadAll() {
 }
 
 void RepoStore::erase(const std::string &FunctionName) {
+  // Source turnover invalidates both payload kinds: the native .so was
+  // compiled from the same stale source as the IR beside it.
   if (!Usable || !safeFileName(FunctionName))
     return;
   std::error_code EC;
@@ -264,7 +295,25 @@ void RepoStore::erase(const std::string &FunctionName) {
     if (EC)
       break;
     std::string Name = E.path().filename().string();
-    if (E.is_regular_file() && E.path().extension() == kExtension &&
+    std::string Ext = E.path().extension().string();
+    if (E.is_regular_file() && (Ext == kExtension || Ext == kNativeExtension) &&
+        Name.rfind(Prefix, 0) == 0) {
+      std::error_code RmEC;
+      fs::remove(E.path(), RmEC);
+    }
+  }
+}
+
+void RepoStore::eraseNative(const std::string &FunctionName) {
+  if (!Usable || !safeFileName(FunctionName))
+    return;
+  std::error_code EC;
+  std::string Prefix = FunctionName + ".";
+  for (const fs::directory_entry &E : fs::directory_iterator(Dir, EC)) {
+    if (EC)
+      break;
+    std::string Name = E.path().filename().string();
+    if (E.is_regular_file() && E.path().extension() == kNativeExtension &&
         Name.rfind(Prefix, 0) == 0) {
       std::error_code RmEC;
       fs::remove(E.path(), RmEC);
@@ -282,6 +331,153 @@ void RepoStore::discardStale(const std::string &Path) {
 void RepoStore::noteAdopted() {
   std::lock_guard<std::mutex> L(Mutex);
   ++Stats.Adopted;
+}
+
+//===----------------------------------------------------------------------===//
+// Native payloads (.mjn)
+//===----------------------------------------------------------------------===//
+
+void RepoStore::setNativeStampExtra(uint64_t Extra) { NativeExtra = Extra; }
+
+std::string RepoStore::encodeNative(const std::string &FunctionName,
+                                    const TypeSignature &Sig, uint32_t NumOuts,
+                                    const std::string &SoBytes,
+                                    uint64_t SourceHash, uint64_t StampExtra) {
+  ser::ByteWriter P;
+  P.str(FunctionName);
+  ser::writeTypeSignature(P, Sig);
+  P.u32(NumOuts);
+  P.str(SoBytes);
+  std::string Payload = P.take();
+  ser::ByteWriter W;
+  W.u32(kNativeMagic);
+  W.u32(kNativeFormatVersion);
+  W.u64(nativeStamp(StampExtra));
+  W.u64(SourceHash);
+  W.u64(Payload.size());
+  W.u32(hashing::crc32(Payload));
+  std::string File = W.take();
+  File += Payload;
+  return File;
+}
+
+bool RepoStore::saveNative(const std::string &FunctionName,
+                           const TypeSignature &Sig, uint32_t NumOuts,
+                           const std::string &SoBytes, uint64_t SourceHash) {
+  obs::TraceScope Span("repo.save_native", "repo", FunctionName.c_str());
+  try {
+    faults::maybeThrow(faults::Site::RepoSave);
+    if (!Usable || SoBytes.empty() || !safeFileName(FunctionName))
+      throw std::runtime_error("store unusable");
+    std::string Bytes =
+        encodeNative(FunctionName, Sig, NumOuts, SoBytes, SourceHash,
+                     NativeExtra);
+    std::string Error;
+    if (!atomicfile::writeFileAtomic(nativePath(FunctionName, Sig), Bytes,
+                                     &Error))
+      throw std::runtime_error(Error);
+    std::lock_guard<std::mutex> L(Mutex);
+    ++Stats.NativeSaved;
+    return true;
+  } catch (...) {
+    std::lock_guard<std::mutex> L(Mutex);
+    ++Stats.NativeSaveFailures;
+    return false;
+  }
+}
+
+std::vector<RepoStore::NativeEntry> RepoStore::loadAllNative() {
+  obs::TraceScope Span("repo.load_native", "repo", Dir.c_str());
+  std::vector<NativeEntry> Out;
+  if (!Usable)
+    return Out;
+
+  std::vector<std::string> Paths;
+  std::error_code EC;
+  for (const fs::directory_entry &E : fs::directory_iterator(Dir, EC)) {
+    if (EC)
+      break;
+    if (E.is_regular_file() && E.path().extension() == kNativeExtension)
+      Paths.push_back(E.path().string());
+  }
+  std::sort(Paths.begin(), Paths.end()); // deterministic load order
+
+  for (const std::string &Path : Paths) {
+    // The same ladder as .mjo entries with the native stamp on the third
+    // rung; the source-hash rung runs at adoption time as for IR entries.
+    enum class Verdict { Ok, Corrupt, Skew } V = Verdict::Corrupt;
+    try {
+      faults::maybeThrow(faults::Site::RepoLoad);
+      std::error_code SzEC;
+      uint64_t Size = fs::file_size(Path, SzEC);
+      if (SzEC || Size > kMaxFileBytes)
+        throw ser::SerializeError("unreadable or oversized file");
+      std::string Bytes;
+      if (!atomicfile::readFile(Path, Bytes))
+        throw ser::SerializeError("cannot read file");
+
+      ser::ByteReader R(Bytes);
+      if (R.u32() != kNativeMagic)
+        throw ser::SerializeError("bad magic");
+      if (R.u32() != kNativeFormatVersion) {
+        V = Verdict::Skew;
+        throw ser::SerializeError("format version skew");
+      }
+      if (R.u64() != nativeStamp(NativeExtra)) {
+        V = Verdict::Skew;
+        throw ser::SerializeError("native stamp skew");
+      }
+      NativeEntry E;
+      E.SourceHash = R.u64();
+      uint64_t PayloadSize = R.u64();
+      uint32_t Crc = R.u32();
+      if (PayloadSize != R.remaining())
+        throw ser::SerializeError("payload size mismatch");
+      if (hashing::crc32(static_cast<const void *>(
+                             Bytes.data() + (Bytes.size() - PayloadSize)),
+                         static_cast<size_t>(PayloadSize)) != Crc)
+        throw ser::SerializeError("checksum mismatch");
+      E.FunctionName = R.str();
+      if (!safeFileName(E.FunctionName))
+        throw ser::SerializeError("invalid function name");
+      E.Sig = ser::readTypeSignature(R);
+      E.NumOuts = R.u32();
+      E.SoBytes = R.str();
+      if (!R.atEnd())
+        throw ser::SerializeError("trailing bytes after payload");
+      if (E.SoBytes.empty())
+        throw ser::SerializeError("empty shared object");
+      E.Path = Path;
+      Out.push_back(std::move(E));
+      V = Verdict::Ok;
+    } catch (...) {
+      // fall through to the verdict handling below
+    }
+
+    std::error_code IgnoredEC;
+    switch (V) {
+    case Verdict::Ok: {
+      std::lock_guard<std::mutex> L(Mutex);
+      ++Stats.NativeLoaded;
+      break;
+    }
+    case Verdict::Corrupt: {
+      fs::rename(Path, Path + ".corrupt", IgnoredEC);
+      if (IgnoredEC)
+        fs::remove(Path, IgnoredEC);
+      std::lock_guard<std::mutex> L(Mutex);
+      ++Stats.NativeQuarantined;
+      break;
+    }
+    case Verdict::Skew: {
+      fs::remove(Path, IgnoredEC);
+      std::lock_guard<std::mutex> L(Mutex);
+      ++Stats.NativeSkewed;
+      break;
+    }
+    }
+  }
+  return Out;
 }
 
 std::string RepoStore::profilePath() const {

@@ -52,6 +52,11 @@ struct RepoStoreStats {
   uint64_t ProfilesLoaded = 0;       ///< function summaries read back
   uint64_t ProfilesQuarantined = 0;  ///< corrupt profile files renamed
   uint64_t ProfilesSkewed = 0;       ///< profile files dropped for skew
+  uint64_t NativeSaved = 0;          ///< native (.mjn) entries written
+  uint64_t NativeSaveFailures = 0;   ///< native saves that failed
+  uint64_t NativeLoaded = 0;         ///< native entries that validated
+  uint64_t NativeQuarantined = 0;    ///< corrupt native files renamed
+  uint64_t NativeSkewed = 0;         ///< native files dropped for skew
 };
 
 class RepoStore {
@@ -132,6 +137,55 @@ public:
   /// Serialized image of a profile summary file; exposed for fuzz tests.
   static std::string encodeProfiles(const std::vector<ProfileSummary> &Ps);
 
+  //===--------------------------------------------------------------------===//
+  // Native payloads (.mjn): machine code beside the IR
+  //===--------------------------------------------------------------------===//
+
+  /// One validated native shared object read back from disk. The .so bytes
+  /// are opaque to the store; the engine dlopens them (or falls back to
+  /// the VM if that fails - the repository never vouches for more than
+  /// byte integrity).
+  struct NativeEntry {
+    std::string FunctionName;
+    TypeSignature Sig;
+    uint32_t NumOuts = 0;          ///< entry-point output arity
+    std::string SoBytes;           ///< the ELF image, verbatim
+    uint64_t SourceHash = 0;       ///< content hash of the source .m text
+    std::string Path;              ///< the file it came from
+  };
+
+  /// Folds tier-specific facts (native ABI version, compiler identity)
+  /// into the build stamp used for .mjn files only. Machine code is an
+  /// even narrower ABI than serialized IR: a compiler upgrade or an ABI
+  /// bump invalidates the cached .so while the .mjo beside it stays good,
+  /// so the two payload kinds carry different stamps. Call once before
+  /// any native save/load; defaults to 0 (still a valid stamp - entries
+  /// written under a different extra are discarded as skew).
+  void setNativeStampExtra(uint64_t Extra);
+
+  /// Persists one compiled shared object crash-safely beside the .mjo for
+  /// the same function + signature. Best-effort like save().
+  bool saveNative(const std::string &FunctionName, const TypeSignature &Sig,
+                  uint32_t NumOuts, const std::string &SoBytes,
+                  uint64_t SourceHash);
+
+  /// Reads and validates every .mjn entry through the same ladder as
+  /// loadAll() (magic, format version, native build stamp, payload size,
+  /// CRC32, bounds-checked decode; *.corrupt quarantine on failure).
+  std::vector<NativeEntry> loadAllNative();
+
+  /// Deletes every on-disk native version of \p FunctionName (runtime
+  /// quarantine or source turnover; the .mjo files are left alone).
+  void eraseNative(const std::string &FunctionName);
+
+  /// Serialized file image of one native entry; exposed so the loader
+  /// fuzz tests can corrupt known-good bytes. \p StampExtra plays the
+  /// role of setNativeStampExtra for the static encoder.
+  static std::string encodeNative(const std::string &FunctionName,
+                                  const TypeSignature &Sig, uint32_t NumOuts,
+                                  const std::string &SoBytes,
+                                  uint64_t SourceHash, uint64_t StampExtra);
+
   RepoStoreStats stats() const;
 
   const std::string &directory() const { return Dir; }
@@ -142,9 +196,12 @@ public:
 
 private:
   std::string entryPath(const CompiledObject &Obj) const;
+  std::string nativePath(const std::string &FunctionName,
+                         const TypeSignature &Sig) const;
 
   std::string Dir;
   bool Usable = false;
+  uint64_t NativeExtra = 0; ///< see setNativeStampExtra
   mutable std::mutex Mutex; ///< guards Stats (file ops are atomic already)
   RepoStoreStats Stats;
 };

@@ -62,7 +62,8 @@ const char *const SiteNames[kNumSites] = {
     "parse",       "infer",        "codegen",   "regalloc",  "repo-insert",
     "value-alloc", "pool-enqueue", "repo-save", "repo-load",
     "session-create", "admission", "budget-check",
-    "session-snapshot-save", "session-snapshot-load", "atomic-write-step"};
+    "session-snapshot-save", "session-snapshot-load", "atomic-write-step",
+    "native-compile", "native-load", "native-run"};
 
 /// Strict full-string parses: "5x" or "" must be diagnosed, not silently
 /// truncated to a number.

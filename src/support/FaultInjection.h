@@ -64,8 +64,11 @@ enum class Site : uint8_t {
   SessionSnapshotLoad, ///< service: workspace snapshot load (resurrect)
   AtomicWriteStep,     ///< support: each step inside writeFileAtomic
                        ///< (kill-mode only; the write path never throws)
+  NativeCompile,       ///< native: before the out-of-process C compile
+  NativeLoad,          ///< native: before a shared object is dlopen'd
+  NativeRun,           ///< native: before/inside a native-tier execution
 };
-constexpr unsigned kNumSites = 15;
+constexpr unsigned kNumSites = 18;
 
 const char *siteName(Site S);
 

@@ -30,6 +30,17 @@ bool endsWith(const std::string &S, const std::string &Suffix);
 /// trimming trailing zeros (used by disp/printing and golden tests).
 std::string formatDouble(double X);
 
+/// Maps \p S to a valid C identifier: non-[A-Za-z0-9_] characters become
+/// '_', and a leading digit (or empty input) gains an underscore prefix.
+/// The C emitter and the native compiler driver must agree on the entry
+/// symbol a function name produces; both go through here.
+std::string cIdentifier(const std::string &S);
+
+/// Escapes \p S for splicing between double quotes in generated C source:
+/// backslash, quote, and non-printing bytes (octal escapes, split so a
+/// following digit cannot extend them).
+std::string cStringEscape(const std::string &S);
+
 } // namespace majic
 
 #endif // MAJIC_SUPPORT_STRINGUTILS_H

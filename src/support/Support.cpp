@@ -131,3 +131,49 @@ std::string majic::formatDouble(double X) {
   std::string S = format("%.5g", X);
   return S;
 }
+
+std::string majic::cIdentifier(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 1);
+  for (char C : S) {
+    bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+              (C >= '0' && C <= '9') || C == '_';
+    Out.push_back(Ok ? C : '_');
+  }
+  if (Out.empty() || (Out[0] >= '0' && Out[0] <= '9'))
+    Out.insert(Out.begin(), '_');
+  return Out;
+}
+
+std::string majic::cStringEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (C < 0x20 || C == 0x7f) {
+        // Close the literal around the octal escape so a digit that
+        // follows cannot be absorbed into it.
+        Out += format("\\%03o\" \"", C);
+      } else {
+        Out.push_back(static_cast<char>(C));
+      }
+    }
+  }
+  return Out;
+}

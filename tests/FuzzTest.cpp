@@ -244,6 +244,59 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSoundness,
                          ::testing::Range<uint64_t>(1, 41));
 
 //===----------------------------------------------------------------------===//
+// Native-tier soundness: the same generated programs, executed as machine
+// code through the third tier (hot threshold 1: the first call already
+// compiles, loads and runs native), must agree with the interpreter
+// bit-for-bit - results, error text, and printed output. Gated off under
+// TSan: dlopen of the uninstrumented generated .so is incompatible with
+// the runtime.
+//===----------------------------------------------------------------------===//
+
+#ifndef __SANITIZE_THREAD__
+
+bool nativeHostCompilerAvailable() {
+  static const bool Available = native::NativeCompiler("cc").available();
+  return Available;
+}
+
+class NativeSoundness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NativeSoundness, MachineCodeAgreesWithInterpreter) {
+  if (!nativeHostCompilerAvailable())
+    GTEST_SKIP() << "no C compiler on host";
+  ProgramGen Gen(GetParam());
+  std::string Src = Gen.generate();
+
+  EngineOptions Interp;
+  Interp.Policy = CompilePolicy::InterpretOnly;
+  Outcome Ref = runFuzz(Src, Interp, 5);
+
+  EngineOptions O;
+  O.Policy = CompilePolicy::Jit;
+  O.BackgroundCompileThreads = 0;
+  O.NativeTier = true;
+  O.NativeHotThreshold = 1;
+  Outcome Got = runFuzz(Src, O, 5);
+  ASSERT_EQ(Ref.Threw, Got.Threw)
+      << "error='" << Got.Error << "' vs ref='" << Ref.Error
+      << "'\nprogram:\n"
+      << Src;
+  if (Ref.Threw) {
+    EXPECT_EQ(Ref.Error, Got.Error) << Src;
+  } else if (std::isnan(Ref.Result)) {
+    EXPECT_TRUE(std::isnan(Got.Result)) << Src;
+  } else {
+    EXPECT_DOUBLE_EQ(Ref.Result, Got.Result) << Src;
+  }
+  EXPECT_EQ(Ref.Output, Got.Output) << Src;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NativeSoundness,
+                         ::testing::Range<uint64_t>(1, 21));
+
+#endif // !__SANITIZE_THREAD__
+
+//===----------------------------------------------------------------------===//
 // Fault-schedule sweep: under an arbitrary seeded injection schedule the
 // engine never crashes, a call that completes returns the interpreter's
 // answer, and once the faults clear (and the source is reloaded, lifting
@@ -390,6 +443,110 @@ TEST_P(FaultSweep, EngineSurvivesScheduleAndRecovers) {
 
 INSTANTIATE_TEST_SUITE_P(Schedules, FaultSweep,
                          ::testing::Range<uint64_t>(1, 56));
+
+//===----------------------------------------------------------------------===//
+// Native-tier fault sweep: with the third tier promoted on the very first
+// call and the native sites firing (compile rejected, loader refused, the
+// machine code itself failing mid-run), every call still returns exactly
+// the interpreter's answer - native faults degrade the tier, they never
+// deny or corrupt a result. Gated off under TSan: dlopen of the
+// uninstrumented generated .so is incompatible with the runtime.
+//===----------------------------------------------------------------------===//
+
+#ifndef __SANITIZE_THREAD__
+
+class NativeFaultSweep : public ::testing::TestWithParam<uint64_t> {
+protected:
+  void SetUp() override { faults::reset(); }
+  void TearDown() override { faults::reset(); }
+};
+
+TEST_P(NativeFaultSweep, TierDegradesWithoutChangingResults) {
+  if (!native::NativeCompiler("cc").available())
+    GTEST_SKIP() << "no C compiler on host";
+  uint64_t Seed = GetParam();
+  ProgramGen Gen(Seed);
+  std::string Src = Gen.generate();
+
+  EngineOptions InterpOpts;
+  InterpOpts.Policy = CompilePolicy::InterpretOnly;
+  Outcome Ref = runFuzz(Src, InterpOpts, 5);
+
+  namespace fs = std::filesystem;
+  fs::path StoreDir = fs::temp_directory_path() /
+                      ("majic_nativesweep_" + std::to_string(Seed));
+  fs::remove_all(StoreDir);
+
+  EngineOptions O;
+  O.Policy = CompilePolicy::Jit;
+  O.BackgroundCompileThreads = 0; // native builds run synchronously
+  O.RepoDir = StoreDir.string();
+  O.NativeTier = true;
+  O.NativeHotThreshold = 1;
+
+  // Derive a schedule over the three native sites from the seed: each
+  // independently stays off, fires once, or fires at 50%.
+  Rng R(Seed * 0x9e3779b97f4a7c15ull + 0x2545f4914f6cdd1dull);
+  for (faults::Site S : {faults::Site::NativeCompile, faults::Site::NativeLoad,
+                         faults::Site::NativeRun}) {
+    switch (R.nextU64() % 3) {
+    case 0:
+      break;
+    case 1:
+      faults::armAt(S, 1 + R.nextU64() % 4);
+      break;
+    default:
+      faults::armRandom(S, 0.5, R.nextU64());
+      break;
+    }
+  }
+
+  // Two sessions share the store, so the second exercises native warm
+  // adoption under the same schedule. Native faults are invisible in the
+  // results: no call may fail or drift from the reference.
+  auto CheckCall = [&](Engine &E) {
+    try {
+      auto Got = E.callFunction("fuzz", {makeValue(Value::intScalar(5))}, 1,
+                                SourceLoc());
+      EXPECT_FALSE(Ref.Threw) << Src;
+      if (!Ref.Threw) {
+        if (std::isnan(Ref.Result)) {
+          EXPECT_TRUE(std::isnan(Got[0]->scalarValue())) << Src;
+        } else {
+          EXPECT_DOUBLE_EQ(Ref.Result, Got[0]->scalarValue()) << Src;
+        }
+      }
+    } catch (const MatlabError &Err) {
+      EXPECT_TRUE(Ref.Threw) << Src;
+      if (Ref.Threw) {
+        EXPECT_EQ(Ref.Error, Err.message()) << Src;
+      }
+    }
+  };
+  for (int Session = 0; Session != 2; ++Session) {
+    Engine E(O);
+    ASSERT_TRUE(E.addSource("fuzz", Src)) << E.diagnostics();
+    for (int I = 0; I != 4; ++I)
+      CheckCall(E);
+    E.flushRepoStore();
+    E.shutdown();
+  }
+
+  // Faults clear: a fresh session warm-starts from whatever survived and
+  // still agrees exactly, with the tier healthy again.
+  faults::reset();
+  Engine E(O);
+  ASSERT_TRUE(E.addSource("fuzz", Src)) << E.diagnostics();
+  for (int I = 0; I != 2; ++I)
+    CheckCall(E);
+  E.shutdown();
+  fs::remove_all(StoreDir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedules, NativeFaultSweep,
+                         ::testing::Range<uint64_t>(1, 13));
+
+#endif // !__SANITIZE_THREAD__
 
 //===----------------------------------------------------------------------===//
 // Elementwise-fusion fuzz: random elementwise expression trees over

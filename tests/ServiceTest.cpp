@@ -702,6 +702,30 @@ TEST(SharedCacheEvictionTest, FreshInsertIsSparedFromItsOwnEviction) {
   EXPECT_EQ(Cache.size(), 1u);
 }
 
+#ifndef __SANITIZE_THREAD__
+TEST_F(ServiceTest, NativeTierSessionMatchesVmOutput) {
+  // The native tier rides the Session engine-options template: a service
+  // configured with it produces byte-identical request output, whether
+  // the host has a C compiler (machine code serves the hot calls) or not
+  // (transparent VM fallback). Skipped under TSan: dlopen of the
+  // uninstrumented generated .so is incompatible with the runtime.
+  std::string Ref = soloOutput(kWorkSrc, kCallWork);
+
+  ServiceOptions O = baseOptions();
+  O.Session.NativeTier = true;
+  O.Session.NativeHotThreshold = 1;
+  SessionManager M(O);
+  SessionId Id = M.createSession();
+  ASSERT_NE(Id, 0u);
+  ASSERT_EQ(run(M, Id, kWorkSrc).St, Reply::Status::Ok);
+  for (int I = 0; I != 3; ++I) {
+    Reply R = run(M, Id, kCallWork);
+    ASSERT_EQ(R.St, Reply::Status::Ok);
+    EXPECT_EQ(R.Output, Ref);
+  }
+}
+#endif // !__SANITIZE_THREAD__
+
 TEST(SharedCacheEvictionTest, TiesFallToTheOldestInsertion) {
   SharedCodeCache Cache(/*Capacity=*/2);
   ASSERT_TRUE(Cache.publish("first", dummyObject("first"), 1));
