@@ -1333,6 +1333,7 @@ obs::MetricsSnapshot Engine::sampleMetrics() {
   Metrics.gauge("repo.store.native_quarantined")
       .set(int64_t(SS.NativeQuarantined));
   Metrics.gauge("repo.store.native_skewed").set(int64_t(SS.NativeSkewed));
+  Metrics.gauge("repo.store.native_untrusted").set(int64_t(SS.NativeUntrusted));
   Metrics.gauge("repo.objects").set(int64_t(Repo.totalObjects()));
   Metrics.gauge("engine.quarantined").set(int64_t(quarantineCount()));
   par::ComputePoolSample CP = par::sampleComputePool();
@@ -1666,17 +1667,20 @@ bool Engine::runNativeTier(const CompiledObject &Obj,
   // restores the snapshots and degrades to the VM, so the tiers are
   // distinguishable only by speed.
   try {
-    NativeHits.inc();
     if (CallDepth == 1) {
       ScopedPhaseTimer T(Phases, Phase::Execute);
       Timer Run;
       Out = native::runNative(Mod->entry(), Obj.FunctionName, Mod->numOuts(),
                               Ctx, NativeHostAdapter, Args, NumOuts);
       Profiles.recordNativeRun(Obj.FunctionName, Run.seconds());
+      // Counted only after the call returns: deopts and quarantined runs
+      // must not inflate native.hits relative to native.deopts/failures.
+      NativeHits.inc();
       return true;
     }
     Out = native::runNative(Mod->entry(), Obj.FunctionName, Mod->numOuts(),
                             Ctx, NativeHostAdapter, Args, NumOuts);
+    NativeHits.inc();
     return true;
   } catch (const DeoptError &) {
     // An optimistic guard failed inside machine code. Quarantine the

@@ -275,7 +275,11 @@ NativeCompiler::load(const std::vector<uint8_t> &SoBytes,
   std::string FdPath = format("/proc/self/fd/%d", Fd);
   void *Handle = dlopen(FdPath.c_str(), RTLD_NOW | RTLD_LOCAL);
   if (!Handle) {
-    std::string Err = dlerror() ? dlerror() : "unknown dlopen error";
+    // dlerror() clears the pending error, so it must be called exactly
+    // once: a second call would return NULL and std::string(nullptr) is
+    // undefined behavior.
+    const char *E = dlerror();
+    std::string Err = E ? E : "unknown dlopen error";
     close(Fd);
     throw MatlabError(
         format("native load of '%s' failed: %s", FnName.c_str(), Err.c_str()));

@@ -17,6 +17,9 @@
 #include <cctype>
 #include <filesystem>
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 using namespace majic;
 namespace fs = std::filesystem;
 
@@ -123,12 +126,28 @@ bool safeFileName(const std::string &Name) {
   return true;
 }
 
+/// Whether \p Dir is private enough to carry machine code: owned by the
+/// effective uid and neither group- nor world-writable. The validation
+/// ladder proves the bytes are intact, not who wrote them - and a .mjn
+/// payload gets dlopen'ed, so anyone who can write the directory can run
+/// code in the engine process. Data-only .mjo entries are not held to
+/// this bar: their worst case is a bounds-checked decode failure.
+bool dirTrustedForNative(const std::string &Dir) {
+  struct stat St;
+  if (lstat(Dir.c_str(), &St) != 0 || !S_ISDIR(St.st_mode))
+    return false;
+  if (St.st_uid != geteuid())
+    return false;
+  return (St.st_mode & (S_IWGRP | S_IWOTH)) == 0;
+}
+
 } // namespace
 
 RepoStore::RepoStore(std::string DirIn) : Dir(std::move(DirIn)) {
   std::error_code EC;
   fs::create_directories(Dir, EC);
   Usable = !EC && fs::is_directory(Dir, EC);
+  NativeTrusted = Usable && dirTrustedForNative(Dir);
 }
 
 unsigned RepoStore::sweepTemps() {
@@ -367,8 +386,9 @@ bool RepoStore::saveNative(const std::string &FunctionName,
   obs::TraceScope Span("repo.save_native", "repo", FunctionName.c_str());
   try {
     faults::maybeThrow(faults::Site::RepoSave);
-    if (!Usable || SoBytes.empty() || !safeFileName(FunctionName))
-      throw std::runtime_error("store unusable");
+    if (!Usable || !NativeTrusted || SoBytes.empty() ||
+        !safeFileName(FunctionName))
+      throw std::runtime_error("store unusable or untrusted for native");
     std::string Bytes =
         encodeNative(FunctionName, Sig, NumOuts, SoBytes, SourceHash,
                      NativeExtra);
@@ -391,6 +411,15 @@ std::vector<RepoStore::NativeEntry> RepoStore::loadAllNative() {
   std::vector<NativeEntry> Out;
   if (!Usable)
     return Out;
+  if (!NativeTrusted) {
+    // Integrity checks below cannot establish authenticity: loading from
+    // a directory other users can write would hand them native code
+    // execution. Leave the files alone and degrade to cold compiles.
+    obs::traceInstant("repo.native_untrusted", "repo", Dir);
+    std::lock_guard<std::mutex> L(Mutex);
+    ++Stats.NativeUntrusted;
+    return Out;
+  }
 
   std::vector<std::string> Paths;
   std::error_code EC;

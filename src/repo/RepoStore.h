@@ -57,6 +57,7 @@ struct RepoStoreStats {
   uint64_t NativeLoaded = 0;         ///< native entries that validated
   uint64_t NativeQuarantined = 0;    ///< corrupt native files renamed
   uint64_t NativeSkewed = 0;         ///< native files dropped for skew
+  uint64_t NativeUntrusted = 0;      ///< native loads refused: dir not private
 };
 
 class RepoStore {
@@ -145,6 +146,14 @@ public:
   /// are opaque to the store; the engine dlopens them (or falls back to
   /// the VM if that fails - the repository never vouches for more than
   /// byte integrity).
+  ///
+  /// Trust model: CRC32 is integrity, not authenticity, and dlopen'ing a
+  /// payload is arbitrary code execution - a step up from the data-only
+  /// .mjo files, whose worst case is a bounds-checked decode failure. So
+  /// native payloads are only saved to and loaded from a directory private
+  /// to this user: owned by the effective uid and neither group- nor
+  /// world-writable (see nativeTrusted()). An untrusted directory degrades
+  /// to cold native compiles; .mjo traffic is unaffected.
   struct NativeEntry {
     std::string FunctionName;
     TypeSignature Sig;
@@ -188,6 +197,11 @@ public:
 
   RepoStoreStats stats() const;
 
+  /// Whether the store directory is private enough to carry machine code:
+  /// owned by the effective uid, no group/world write bit. Checked once at
+  /// construction; false gates saveNative/loadAllNative, never .mjo files.
+  bool nativeTrusted() const { return NativeTrusted; }
+
   const std::string &directory() const { return Dir; }
 
   /// Serialized file image of one entry (header + payload); exposed so the
@@ -201,6 +215,7 @@ private:
 
   std::string Dir;
   bool Usable = false;
+  bool NativeTrusted = false; ///< see nativeTrusted()
   uint64_t NativeExtra = 0; ///< see setNativeStampExtra
   mutable std::mutex Mutex; ///< guards Stats (file ops are atomic already)
   RepoStoreStats Stats;

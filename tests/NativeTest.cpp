@@ -457,6 +457,34 @@ TEST_F(NativeStoreTest, StampSkewDiscardsQuietly) {
   EXPECT_TRUE(onlyMjn().empty());
 }
 
+TEST_F(NativeStoreTest, SharedWritableDirRefusesNativePayloads) {
+  saveOne(7);
+  // A group- or world-writable store directory means CRC-valid bytes could
+  // have been planted by another user; dlopen'ing them would be code
+  // execution, so both native save and native load must refuse. The .mjn
+  // file is left untouched (it may be legitimate - just unprovable).
+  fs::permissions(Dir, fs::perms::owner_all | fs::perms::group_all |
+                           fs::perms::others_read | fs::perms::others_exec);
+  {
+    RepoStore S(Dir.string());
+    S.setNativeStampExtra(7);
+    EXPECT_FALSE(S.nativeTrusted());
+    EXPECT_TRUE(S.loadAllNative().empty());
+    EXPECT_EQ(S.stats().NativeUntrusted, 1u);
+    EXPECT_EQ(S.stats().NativeLoaded, 0u);
+    EXPECT_EQ(S.stats().NativeQuarantined, 0u);
+    EXPECT_FALSE(S.saveNative("gg", sig(), 1, "bytes", 1));
+    EXPECT_FALSE(anyCorrupt());
+    EXPECT_FALSE(onlyMjn().empty());
+  }
+  // Tightening the permissions restores the tier: same bytes, now loadable.
+  fs::permissions(Dir, fs::perms::owner_all);
+  RepoStore S(Dir.string());
+  S.setNativeStampExtra(7);
+  EXPECT_TRUE(S.nativeTrusted());
+  EXPECT_EQ(S.loadAllNative().size(), 1u);
+}
+
 TEST_F(NativeStoreTest, EraseNativeLeavesMjoAlone) {
   saveOne(7);
   fs::create_directories(Dir);
